@@ -1,0 +1,98 @@
+package powerdrill
+
+import (
+	"net"
+	"time"
+
+	"powerdrill/internal/cluster"
+	"powerdrill/internal/exec"
+)
+
+// ClusterOptions configures distributed execution (paper, Section 4).
+type ClusterOptions struct {
+	// Shards is the number of data shards (the paper keeps 5–7 million
+	// rows per shard). Default 8.
+	Shards int
+	// Fanout of the execution tree (default 8).
+	Fanout int
+	// Replicas per sub-query: 2 enables the paper's primary+replica
+	// scheme (default), 1 disables it.
+	Replicas int
+	// Store configures the per-shard imports.
+	Store Options
+	// Seed drives shard placement.
+	Seed int64
+}
+
+// Cluster executes queries over sharded, replicated leaf servers through a
+// multi-level aggregation tree.
+type Cluster struct {
+	inner *cluster.Cluster
+}
+
+// NewCluster shards a raw table and builds an in-process cluster.
+func NewCluster(tbl *Table, opts ClusterOptions) (*Cluster, error) {
+	c, err := cluster.NewLocal(tbl, cluster.Options{
+		Shards:   opts.Shards,
+		Fanout:   opts.Fanout,
+		Replicas: opts.Replicas,
+		Store:    opts.Store.storeOptions(),
+		Engine:   opts.Store.engineOptions(),
+		Seed:     opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{inner: c}, nil
+}
+
+// ConnectCluster assembles a cluster from remote leaf servers started with
+// ServeShard (cmd/pdserver); addrSets[i] lists the addresses of shard i's
+// replicas.
+func ConnectCluster(addrSets [][]string, opts ClusterOptions) (*Cluster, error) {
+	var leafSets [][]cluster.Leaf
+	for _, addrs := range addrSets {
+		var replicas []cluster.Leaf
+		for _, a := range addrs {
+			leaf, err := cluster.Dial(a)
+			if err != nil {
+				return nil, err
+			}
+			replicas = append(replicas, leaf)
+		}
+		leafSets = append(leafSets, replicas)
+	}
+	return &Cluster{inner: cluster.FromLeaves(leafSets, cluster.Options{
+		Shards:   len(addrSets),
+		Fanout:   opts.Fanout,
+		Replicas: opts.Replicas,
+	})}, nil
+}
+
+// Query runs a SQL query across the cluster: leaves aggregate their
+// shards, inner levels merge, the root finalizes ORDER BY and LIMIT.
+func (c *Cluster) Query(sqlText string) (*Result, error) {
+	res, err := c.inner.Query(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Columns: res.Columns, Rows: res.Rows, Stats: res.Stats}, nil
+}
+
+// ClusterStats counts distributed execution events.
+type ClusterStats = cluster.Stats
+
+// Stats returns cumulative distributed-execution counters.
+func (c *Cluster) Stats() ClusterStats { return c.inner.Stats() }
+
+// InjectStragglers marks a random fraction of leaf servers as slow by
+// delay, for tail-latency experiments; replicas hide them.
+func (c *Cluster) InjectStragglers(frac float64, delay time.Duration, seed int64) {
+	c.inner.InjectStragglers(frac, delay, seed)
+}
+
+// ServeShard serves a store as a leaf server on the listener; it blocks.
+// Pair with ConnectCluster.
+func ServeShard(l net.Listener, s *Store) error {
+	return cluster.Serve(l, exec.New(s.internalStore(), s.opts.engineOptions()))
+}

@@ -1,0 +1,492 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"powerdrill/internal/cache"
+	"powerdrill/internal/cluster"
+	"powerdrill/internal/colstore"
+	"powerdrill/internal/compress"
+	"powerdrill/internal/exec"
+	"powerdrill/internal/prodsim"
+	"powerdrill/internal/sketch"
+	"powerdrill/internal/workload"
+)
+
+// prodConfig scales the production simulation to the -rows flag.
+func prodConfig(cfg config) prodsim.Config {
+	rows := cfg.rows / 4
+	if rows < 20_000 {
+		rows = 20_000
+	}
+	chunk := rows / 200
+	if chunk < 500 {
+		chunk = 500
+	}
+	return prodsim.Config{
+		Rows:             rows,
+		Servers:          4,
+		Sessions:         6,
+		ClicksPerSession: 10,
+		QueriesPerClick:  20,
+		Seed:             cfg.seed,
+		Store: colstore.Options{
+			PartitionFields:  []string{"country", "table_name"},
+			MaxChunkRows:     chunk,
+			OptimizeElements: true,
+		},
+		EvictProb: 0.15,
+		DiskMBps:  100,
+	}
+}
+
+// runFigure5 reproduces Figure 5: average latency by the amount of data
+// loaded from disk (log2 buckets; the paper buckets by GB, this harness by
+// MB at laboratory scale).
+func runFigure5(cfg config) error {
+	rep, err := prodsim.Run(prodConfig(cfg))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d queries over %d clicks; disk model 100 MB/s\n\n", rep.Queries, rep.Clicks)
+	fmt.Println("  data loaded (log2 MB buckets)   queries   avg latency")
+	for _, b := range rep.Buckets {
+		label := "memory only"
+		if b.Log2MB >= 0 {
+			label = fmt.Sprintf("[%d, %d) MB", 1<<b.Log2MB, 1<<(b.Log2MB+1))
+		}
+		bar := strings.Repeat("#", int(b.AvgLatency.Milliseconds()/2)+1)
+		fmt.Printf("  %-28s %8d   %10s %s\n", label, b.Queries, b.AvgLatency.Round(10*time.Microsecond), bar)
+	}
+	return nil
+}
+
+// runProduction reproduces the Section 6 headline split: percentage of
+// underlying records skipped, served from cache, and scanned.
+func runProduction(cfg config) error {
+	rep, err := prodsim.Run(prodConfig(cfg))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("records skipped:  %6.2f%%   (paper: 92.41%%)\n", rep.SkippedPct)
+	fmt.Printf("records cached:   %6.2f%%   (paper:  5.02%%)\n", rep.CachedPct)
+	fmt.Printf("records scanned:  %6.2f%%   (paper:  2.66%%)\n", rep.ScannedPct)
+	fmt.Printf("\nqueries touching no disk: %.1f%%  (paper: >70%%)\n", rep.NoDiskPct)
+	fmt.Printf("avg latency (no disk):    %v\n", rep.AvgLatencyNoDisk.Round(time.Microsecond))
+	fmt.Printf("avg latency (overall):    %v\n", rep.AvgLatency.Round(time.Microsecond))
+	fmt.Printf("avg cells covered/click:  %.2e  (paper: 782 billion)\n", rep.AvgCellsPerClick)
+	return nil
+}
+
+// runClick reproduces the headline interaction: one mouse click triggering
+// 20 group-by queries over a sharded cluster.
+func runClick(cfg config) error {
+	tbl := dataset(cfg)
+	chunk := cfg.rows / 100
+	if chunk < 1000 {
+		chunk = 1000
+	}
+	c, err := cluster.NewLocal(tbl, cluster.Options{
+		Shards:   4,
+		Replicas: 2,
+		Store: colstore.Options{
+			PartitionFields:  []string{"country", "table_name"},
+			MaxChunkRows:     chunk,
+			OptimizeElements: true,
+		},
+		Engine: exec.Options{ResultCacheBytes: 64 << 20},
+	})
+	if err != nil {
+		return err
+	}
+	clicks := workload.DrillDownSession(tbl, workload.SessionSpec{Seed: cfg.seed, Clicks: 3, QueriesPerClick: 20})
+	for i, click := range clicks {
+		start := time.Now()
+		var cells int64
+		for _, q := range click.Queries {
+			res, err := c.Query(q)
+			if err != nil {
+				return fmt.Errorf("click %d: %w", i, err)
+			}
+			cells += res.Stats.CellsCovered
+		}
+		elapsed := time.Since(start)
+		rate := float64(cells) / elapsed.Seconds()
+		fmt.Printf("click %d (%-40q): 20 queries, %.2e cells in %v (%.2e cells/s)\n",
+			i+1, truncate(click.Restriction, 38), float64(cells), elapsed.Round(time.Millisecond), rate)
+	}
+	fmt.Println("\n(paper: 20 queries process 782 billion cells in 30-40 s on >1000 machines)")
+	return nil
+}
+
+func truncate(s string, n int) string {
+	if s == "" {
+		return "<unrestricted>"
+	}
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+// runCountDistinct reproduces the Section 5 approximation: error of the
+// m-smallest-hashes estimate against the exact distinct count.
+func runCountDistinct(cfg config) error {
+	tbl := dataset(cfg)
+	exact := map[string]bool{}
+	for _, v := range tbl.Column("table_name").Strs {
+		exact[v] = true
+	}
+	fmt.Printf("table_name distinct values (exact): %d\n\n", len(exact))
+	row("m", "estimate", "error", "sketch KB")
+	for _, m := range []int{256, 1024, 2048, 8192} {
+		k := sketch.NewKMV(m)
+		for _, v := range tbl.Column("table_name").Strs {
+			k.AddString(v)
+		}
+		est := k.Estimate()
+		errPct := 100 * abs(float64(est)-float64(len(exact))) / float64(len(exact))
+		row(fmt.Sprint(m), fmt.Sprint(est), fmt.Sprintf("%.2f%%", errPct),
+			fmt.Sprintf("%.1f", float64(k.MemoryBytes())/1024))
+	}
+	fmt.Println("\n(paper: m typically a couple of thousand; sketches merge across the tree)")
+	return nil
+}
+
+func abs(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}
+
+// runCodecs reproduces the Section 5 compressor comparison on real column
+// bytes: ratio and throughput.
+func runCodecs(cfg config) error {
+	tbl := dataset(cfg)
+	store, err := colstore.FromTable(tbl, colstore.Options{
+		PartitionFields:  []string{"country", "table_name"},
+		MaxChunkRows:     50_000,
+		OptimizeElements: true,
+	})
+	if err != nil {
+		return err
+	}
+	// Assemble a representative payload: table_name elements + dictionary.
+	var payload []byte
+	col := store.Column("table_name")
+	for _, ch := range col.Chunks {
+		payload = ch.Elems.AppendBytes(payload)
+	}
+	for i := 0; i < col.Dict.Len(); i++ {
+		payload = append(payload, col.Dict.Value(uint32(i)).Str()...)
+	}
+	fmt.Printf("payload: %s MB of table_name elements + dictionary strings\n\n", mb(int64(len(payload))))
+	row("codec", "ratio", "compress MB/s", "decomp MB/s")
+	for _, name := range compress.Names() {
+		if name == "rle" {
+			continue // analytical tool, not a general codec
+		}
+		codec, err := compress.ByName(name)
+		if err != nil {
+			return err
+		}
+		comp := codec.Compress(nil, payload)
+		cAvg, err := measure(cfg.reps, func() error {
+			codec.Compress(nil, payload)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		dAvg, err := measure(cfg.reps, func() error {
+			_, err := codec.Decompress(nil, comp)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		row(name,
+			fmt.Sprintf("%.2fx", float64(len(payload))/float64(len(comp))),
+			mbps(len(payload), cAvg), mbps(len(payload), dAvg))
+	}
+	fmt.Println("\n(paper: ZLIB+Huffman gains 20-30% ratio at ~10x slower; an LZO variant")
+	fmt.Println(" won production for ~10% better ratio and 2x faster decompression)")
+	return nil
+}
+
+func mbps(bytes int, d time.Duration) string {
+	if d <= 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.0f", float64(bytes)/1e6/d.Seconds())
+}
+
+// runCaches reproduces the Section 5 cache-policy comparison: hit rates of
+// LRU vs 2Q vs ARC under a drill-down working set polluted by one-time
+// full scans.
+func runCaches(cfg config) error {
+	policies := []func(int64) cache.Cache{
+		func(n int64) cache.Cache { return cache.NewLRU(n) },
+		func(n int64) cache.Cache { return cache.NewTwoQ(n) },
+		func(n int64) cache.Cache { return cache.NewARC(n) },
+	}
+	const capacity = 100 * 64 // 100 chunk results of 64 bytes
+	row("policy", "hit rate", "hits", "misses", "evictions")
+	for _, mk := range policies {
+		c := mk(capacity)
+		// Working set: 60 hot chunk results revisited every click;
+		// pollution: a full scan of 1000 cold chunks every 5th click.
+		for click := 0; click < 100; click++ {
+			for i := 0; i < 60; i++ {
+				key := fmt.Sprintf("hot-%d", i)
+				if _, ok := c.Get(key); !ok {
+					c.Put(key, i, 64)
+				}
+			}
+			if click%5 == 4 {
+				for i := 0; i < 1000; i++ {
+					key := fmt.Sprintf("scan-%d-%d", click, i)
+					if _, ok := c.Get(key); !ok {
+						c.Put(key, i, 64)
+					}
+				}
+			}
+		}
+		st := c.Stats()
+		row(c.Name(), fmt.Sprintf("%.3f", st.HitRate()),
+			fmt.Sprint(st.Hits), fmt.Sprint(st.Misses), fmt.Sprint(st.Evictions))
+	}
+	fmt.Println("\n(paper: one-time scans invalidate LRU; production uses ARC/2Q-like policies)")
+	return nil
+}
+
+// runDistributed reproduces Section 4: scaling over shards, and replicas
+// hiding stragglers.
+func runDistributed(cfg config) error {
+	tbl := dataset(cfg)
+	chunk := cfg.rows / 100
+	if chunk < 1000 {
+		chunk = 1000
+	}
+	storeOpts := colstore.Options{
+		PartitionFields:  []string{"country", "table_name"},
+		MaxChunkRows:     chunk,
+		OptimizeElements: true,
+	}
+	q := `SELECT country, COUNT(*) as c, SUM(latency) FROM data GROUP BY country ORDER BY c DESC LIMIT 10;`
+	row("shards", "replicas", "latency")
+	for _, shards := range []int{1, 2, 4, 8} {
+		c, err := cluster.NewLocal(tbl, cluster.Options{Shards: shards, Replicas: 1, Store: storeOpts})
+		if err != nil {
+			return err
+		}
+		avg, err := measure(cfg.reps, func() error {
+			_, err := c.Query(q)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		row(fmt.Sprint(shards), "1", avg.Round(time.Microsecond).String())
+	}
+
+	fmt.Println("\nstraggler injection (30% of leaves sleep 100ms):")
+	row("replicas", "latency")
+	for _, replicas := range []int{1, 2} {
+		c, err := cluster.NewLocal(tbl, cluster.Options{Shards: 4, Replicas: replicas, Store: storeOpts})
+		if err != nil {
+			return err
+		}
+		// Mark every first replica of 30% of the shards slow; with
+		// replication the second copy answers immediately.
+		for i, leaf := range c.Leaves() {
+			if i%(3*replicas) == 0 {
+				leaf.SetStraggle(100 * time.Millisecond)
+			}
+		}
+		avg, err := measure(cfg.reps, func() error {
+			_, err := c.Query(q)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		row(fmt.Sprint(replicas), avg.Round(time.Millisecond).String())
+	}
+	fmt.Println("\n(paper: sub-queries go to a primary and a replica; the first answer wins)")
+	return nil
+}
+
+// runGroupBy is the ablation behind Section 2.5's 100x: the dense
+// counts-array inner loop versus a generic hash-table group-by over the
+// same in-memory data.
+func runGroupBy(cfg config) error {
+	tbl := dataset(cfg)
+	store, err := colstore.FromTable(tbl, colstore.Options{OptimizeElements: true})
+	if err != nil {
+		return err
+	}
+	engine := exec.New(store, exec.Options{})
+	row("field", "counts-array", "hash-table", "speedup")
+	for _, field := range []string{"country", "table_name"} {
+		q := fmt.Sprintf(`SELECT %s, COUNT(*) as c FROM data GROUP BY %s ORDER BY c DESC LIMIT 10;`, field, field)
+		fast, err := measure(cfg.reps, func() error {
+			_, err := engine.Query(q)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		// Generic baseline: materialize each value, hash it, then extract
+		// the same top-10 — the work a traditional scan engine does.
+		col := tbl.Column(field)
+		slow, err := measure(cfg.reps, func() error {
+			counts := make(map[string]int64, 1024)
+			for _, v := range col.Strs {
+				counts[v]++
+			}
+			type kv struct {
+				k string
+				v int64
+			}
+			all := make([]kv, 0, len(counts))
+			for k, v := range counts {
+				all = append(all, kv{k, v})
+			}
+			sort.Slice(all, func(a, b int) bool { return all[a].v > all[b].v })
+			if len(all) == 0 {
+				return fmt.Errorf("no groups")
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		row(field, fast.Round(time.Microsecond).String(), slow.Round(time.Microsecond).String(),
+			fmt.Sprintf("%.1fx", float64(slow)/float64(fast)))
+	}
+	fmt.Println("\n(paper: counts[elements[row]]++ answers Query 1 in 20ms where hash-based")
+	fmt.Println(" backends need seconds; for very high cardinality the group bookkeeping")
+	fmt.Println(" dominates both — 'for Query 3 the difference is basically negligible')")
+	return nil
+}
+
+// runSkipping isolates the Section 2.2 contribution: the same drill-down
+// queries with chunk classification enabled and disabled.
+func runSkipping(cfg config) error {
+	tbl := dataset(cfg)
+	chunk := cfg.rows / 200
+	if chunk < 500 {
+		chunk = 500
+	}
+	opts := colstore.Options{
+		PartitionFields:  []string{"country", "table_name"},
+		MaxChunkRows:     chunk,
+		OptimizeElements: true,
+	}
+	mk := func(disable bool) (*exec.Engine, error) {
+		s, err := colstore.FromTable(tbl, opts)
+		if err != nil {
+			return nil, err
+		}
+		return exec.New(s, exec.Options{DisableSkipping: disable}), nil
+	}
+	on, err := mk(false)
+	if err != nil {
+		return err
+	}
+	off, err := mk(true)
+	if err != nil {
+		return err
+	}
+	queries := []string{
+		`SELECT user, COUNT(*) FROM data WHERE country IN ("at") GROUP BY user;`,
+		`SELECT user, COUNT(*) FROM data WHERE country IN ("us") GROUP BY user;`,
+		`SELECT date(timestamp), COUNT(*) FROM data WHERE table_name IN ("none.such") GROUP BY date(timestamp);`,
+	}
+	// Materialize virtual fields once on both engines so the one-time
+	// date(timestamp) cost does not pollute the comparison (the paper's
+	// footnote 4 makes the same assumption).
+	for _, q := range queries {
+		if _, err := on.Query(q); err != nil {
+			return err
+		}
+		if _, err := off.Query(q); err != nil {
+			return err
+		}
+	}
+	row("query", "skip lat", "full lat", "skip rows", "full rows")
+	for i, q := range queries {
+		lat1, err := measure(cfg.reps, func() error { _, err := on.Query(q); return err })
+		if err != nil {
+			return err
+		}
+		lat2, err := measure(cfg.reps, func() error { _, err := off.Query(q); return err })
+		if err != nil {
+			return err
+		}
+		r1, err := on.Query(q)
+		if err != nil {
+			return err
+		}
+		r2, err := off.Query(q)
+		if err != nil {
+			return err
+		}
+		row(fmt.Sprintf("drill %d", i+1),
+			lat1.Round(time.Microsecond).String(), lat2.Round(time.Microsecond).String(),
+			fmt.Sprint(r1.Stats.RowsScanned), fmt.Sprint(r2.Stats.RowsScanned))
+	}
+	return nil
+}
+
+// runPartitionOrder shows the Section 6 claim that choosing 3-5 natural
+// key fields "is quite straightforward": skip rates under different
+// partition keys for the same drill-down stream.
+func runPartitionOrder(cfg config) error {
+	tbl := dataset(cfg)
+	chunk := cfg.rows / 200
+	if chunk < 500 {
+		chunk = 500
+	}
+	keys := [][]string{
+		{"country", "table_name"},
+		{"table_name", "country"},
+		{"user"},
+		nil, // no partitioning
+	}
+	clicks := workload.DrillDownSession(tbl, workload.SessionSpec{Seed: cfg.seed, Clicks: 8, QueriesPerClick: 10})
+	row("partition key", "skipped", "cached", "scanned")
+	for _, key := range keys {
+		s, err := colstore.FromTable(tbl, colstore.Options{
+			PartitionFields: key, MaxChunkRows: chunk, OptimizeElements: true,
+		})
+		if err != nil {
+			return err
+		}
+		engine := exec.New(s, exec.Options{ResultCacheBytes: 32 << 20})
+		for _, click := range clicks {
+			for _, q := range click.Queries {
+				if _, err := engine.Query(q); err != nil {
+					return err
+				}
+			}
+		}
+		st := engine.Stats()
+		total := float64(st.RowsTotal)
+		label := strings.Join(key, ",")
+		if label == "" {
+			label = "<none>"
+		}
+		row(label,
+			fmt.Sprintf("%.1f%%", 100*float64(st.RowsSkipped)/total),
+			fmt.Sprintf("%.1f%%", 100*float64(st.RowsCached)/total),
+			fmt.Sprintf("%.1f%%", 100*float64(st.RowsScanned)/total))
+	}
+	fmt.Println("\n(paper: most restrictions correlate with the natural key; production skips ~92%)")
+	return nil
+}

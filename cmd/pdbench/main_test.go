@@ -1,0 +1,37 @@
+package main
+
+import "testing"
+
+// TestAllExperimentsRun executes every experiment at miniature scale: the
+// harness must produce all tables without errors regardless of dataset
+// size. (Output goes to stdout; correctness of the underlying machinery is
+// covered by the internal package tests — this guards the harness glue.)
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness is slow")
+	}
+	cfg := config{rows: 20_000, reps: 1, seed: 7}
+	for _, e := range experiments {
+		e := e
+		t.Run(e.name, func(t *testing.T) {
+			if err := e.run(cfg); err != nil {
+				t.Fatalf("experiment %s: %v", e.name, err)
+			}
+		})
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if got := mb(2_500_000); got != "2.50" {
+		t.Errorf("mb = %q", got)
+	}
+	if got := truncate("", 5); got != "<unrestricted>" {
+		t.Errorf("truncate empty = %q", got)
+	}
+	if got := truncate("abcdefgh", 5); len(got) == 0 {
+		t.Errorf("truncate = %q", got)
+	}
+	if abs(-2) != 2 || abs(3) != 3 {
+		t.Error("abs broken")
+	}
+}

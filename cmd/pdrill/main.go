@@ -1,0 +1,268 @@
+// Command pdrill is the PowerDrill command line: generate synthetic query
+// logs, import them (or CSV files) into a partitioned column store, and
+// run SQL queries against it.
+//
+// Usage:
+//
+//	pdrill generate -rows 1000000 -out logs.csv
+//	pdrill import   -csv logs.csv -schema "timestamp:int64,table_name:string,latency:int64,country:string,user:string" \
+//	                -store ./store -partition country,table_name -codec zippy
+//	pdrill query    -store ./store -q 'SELECT country, COUNT(*) AS c FROM data GROUP BY country ORDER BY c DESC LIMIT 10;'
+//	pdrill info     -store ./store
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"powerdrill"
+
+	"powerdrill/internal/backends"
+	"powerdrill/internal/value"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "generate":
+		err = runGenerate(os.Args[2:])
+	case "import":
+		err = runImport(os.Args[2:])
+	case "query":
+		err = runQuery(os.Args[2:])
+	case "info":
+		err = runInfo(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pdrill: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: pdrill <generate|import|query|info> [flags]
+  generate -rows N -seed S -out FILE.csv
+  import   -csv FILE -schema name:kind,...  -store DIR [-partition f1,f2] [-chunk N] [-codec zippy] [-trie] [-reorder]
+  query    -store DIR -q SQL   (or -q - to read queries from stdin)
+  info     -store DIR`)
+}
+
+func runGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	rows := fs.Int("rows", 1_000_000, "rows to generate")
+	seed := fs.Int64("seed", 2012, "generator seed")
+	out := fs.String("out", "logs.csv", "output CSV path")
+	fs.Parse(args)
+
+	tbl := powerdrill.GenerateQueryLogs(*rows, *seed)
+	if _, err := backends.WriteCSV(tbl, *out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d rows to %s (schema: timestamp:int64,table_name:string,latency:int64,country:string,user:string)\n",
+		*rows, *out)
+	return nil
+}
+
+// parseSchema parses "name:kind,...".
+func parseSchema(s string) ([]string, []value.Kind, error) {
+	var names []string
+	var kinds []value.Kind
+	for _, part := range strings.Split(s, ",") {
+		bits := strings.SplitN(strings.TrimSpace(part), ":", 2)
+		if len(bits) != 2 {
+			return nil, nil, fmt.Errorf("bad schema field %q (want name:kind)", part)
+		}
+		k, err := value.ParseKind(bits[1])
+		if err != nil {
+			return nil, nil, err
+		}
+		names = append(names, bits[0])
+		kinds = append(kinds, k)
+	}
+	if len(names) == 0 {
+		return nil, nil, fmt.Errorf("empty schema")
+	}
+	return names, kinds, nil
+}
+
+func runImport(args []string) error {
+	fs := flag.NewFlagSet("import", flag.ExitOnError)
+	csvPath := fs.String("csv", "", "input CSV (headerless)")
+	schema := fs.String("schema", "", "schema name:kind,... for the CSV")
+	storeDir := fs.String("store", "", "output store directory")
+	partition := fs.String("partition", "", "comma-separated partition fields")
+	chunk := fs.Int("chunk", 50_000, "max rows per chunk")
+	codec := fs.String("codec", "zippy", "store compression codec ('' for raw)")
+	trie := fs.Bool("trie", true, "use trie dictionaries for strings")
+	reorderRows := fs.Bool("reorder", true, "sort rows by partition fields before chunking")
+	fs.Parse(args)
+	if *csvPath == "" || *schema == "" || *storeDir == "" {
+		return fmt.Errorf("import needs -csv, -schema and -store")
+	}
+	names, kinds, err := parseSchema(*schema)
+	if err != nil {
+		return err
+	}
+	tbl, err := loadCSV(*csvPath, names, kinds)
+	if err != nil {
+		return err
+	}
+	opts := powerdrill.Options{
+		MaxChunkRows:     *chunk,
+		OptimizeElements: true,
+		Reorder:          *reorderRows,
+	}
+	if *partition != "" {
+		opts.PartitionFields = strings.Split(*partition, ",")
+	}
+	if *trie {
+		opts.StringDict = powerdrill.StringDictTrie
+	}
+	start := time.Now()
+	store, err := powerdrill.Build(tbl, opts)
+	if err != nil {
+		return err
+	}
+	if err := store.Save(*storeDir, *codec); err != nil {
+		return err
+	}
+	fmt.Printf("imported %d rows into %d chunks in %v -> %s\n",
+		store.NumRows(), store.NumChunks(), time.Since(start).Round(time.Millisecond), *storeDir)
+	return nil
+}
+
+// loadCSV reads a headerless CSV into a raw table.
+func loadCSV(path string, names []string, kinds []value.Kind) (*powerdrill.Table, error) {
+	be := backends.NewCSV(path, backends.Schema{Names: names, Kinds: kinds})
+	it, err := be.Scan(names)
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	strCols := map[string][]string{}
+	intCols := map[string][]int64{}
+	fltCols := map[string][]float64{}
+	for {
+		r, err := it.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		for i, name := range names {
+			v := r.ColumnValue(name)
+			switch kinds[i] {
+			case value.KindString:
+				strCols[name] = append(strCols[name], v.Str())
+			case value.KindInt64:
+				intCols[name] = append(intCols[name], v.Int())
+			case value.KindFloat64:
+				fltCols[name] = append(fltCols[name], v.Float())
+			}
+		}
+	}
+	tbl := powerdrill.NewTable("data")
+	for i, name := range names {
+		switch kinds[i] {
+		case value.KindString:
+			tbl.AddStringColumn(name, strCols[name])
+		case value.KindInt64:
+			tbl.AddInt64Column(name, intCols[name])
+		case value.KindFloat64:
+			tbl.AddFloat64Column(name, fltCols[name])
+		}
+	}
+	return tbl, nil
+}
+
+func runQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	storeDir := fs.String("store", "", "store directory")
+	q := fs.String("q", "", "SQL query, or '-' to read one query per line from stdin")
+	fs.Parse(args)
+	if *storeDir == "" || *q == "" {
+		return fmt.Errorf("query needs -store and -q")
+	}
+	store, bytesRead, err := powerdrill.Open(*storeDir, powerdrill.Options{ResultCacheBytes: 64 << 20})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("opened store: %d rows, %d chunks (%0.1f MB read)\n",
+		store.NumRows(), store.NumChunks(), float64(bytesRead)/1e6)
+	runOne := func(sqlText string) error {
+		start := time.Now()
+		res, err := store.Query(sqlText)
+		if err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		printResult(res)
+		fmt.Printf("-- %d rows in %v; chunks: %d skipped, %d cached, %d scanned\n\n",
+			len(res.Rows), elapsed.Round(time.Microsecond),
+			res.Stats.ChunksSkipped, res.Stats.ChunksCached, res.Stats.ChunksScanned)
+		return nil
+	}
+	if *q != "-" {
+		return runOne(*q)
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "--") {
+			continue
+		}
+		if err := runOne(line); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		}
+	}
+	return sc.Err()
+}
+
+func printResult(res *powerdrill.Result) {
+	fmt.Println(strings.Join(res.Columns, "\t"))
+	for _, r := range res.Rows {
+		parts := make([]string, len(r))
+		for i, v := range r {
+			parts[i] = v.String()
+		}
+		fmt.Println(strings.Join(parts, "\t"))
+	}
+}
+
+func runInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	storeDir := fs.String("store", "", "store directory")
+	fs.Parse(args)
+	if *storeDir == "" {
+		return fmt.Errorf("info needs -store")
+	}
+	store, bytesRead, err := powerdrill.Open(*storeDir, powerdrill.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("store: %d rows, %d chunks, %.1f MB on disk\n", store.NumRows(), store.NumChunks(), float64(bytesRead)/1e6)
+	fmt.Println("columns:")
+	for _, cn := range store.Columns() {
+		m, err := store.Memory(cn)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-24s elements %8.2f MB  chunk-dicts %8.2f MB  dict %8.2f MB\n",
+			cn, float64(m.Elements)/1e6, float64(m.ChunkDicts)/1e6, float64(m.GlobalDict)/1e6)
+	}
+	return nil
+}

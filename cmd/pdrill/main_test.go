@@ -1,0 +1,114 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"powerdrill"
+
+	"powerdrill/internal/backends"
+	"powerdrill/internal/value"
+)
+
+func TestParseSchema(t *testing.T) {
+	names, kinds, err := parseSchema("ts:int64, name:string,score:float64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 3 || names[1] != "name" {
+		t.Fatalf("names = %v", names)
+	}
+	if kinds[0] != value.KindInt64 || kinds[1] != value.KindString || kinds[2] != value.KindFloat64 {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	for _, bad := range []string{"", "noColon", "x:blob", "a:int64,,b:string"} {
+		if _, _, err := parseSchema(bad); err == nil {
+			t.Errorf("parseSchema(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestLoadCSVRoundTrip(t *testing.T) {
+	tbl := powerdrill.GenerateQueryLogs(500, 3)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "logs.csv")
+	if _, err := backends.WriteCSV(tbl, path); err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"timestamp", "table_name", "latency", "country", "user"}
+	kinds := []value.Kind{value.KindInt64, value.KindString, value.KindInt64, value.KindString, value.KindString}
+	back, err := loadCSV(path, names, kinds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != 500 {
+		t.Fatalf("NumRows = %d", back.NumRows())
+	}
+	for i := 0; i < 500; i += 50 {
+		if back.Column("table_name").Strs[i] != tbl.Column("table_name").Strs[i] {
+			t.Fatalf("row %d mismatch", i)
+		}
+		if back.Column("latency").Ints[i] != tbl.Column("latency").Ints[i] {
+			t.Fatalf("row %d latency mismatch", i)
+		}
+	}
+	if _, err := loadCSV(filepath.Join(dir, "nope.csv"), names, kinds); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+// TestEndToEndPipeline drives generate → import → query through the same
+// code paths the subcommands use.
+func TestEndToEndPipeline(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "logs.csv")
+	tbl := powerdrill.GenerateQueryLogs(2000, 11)
+	if _, err := backends.WriteCSV(tbl, csvPath); err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"timestamp", "table_name", "latency", "country", "user"}
+	kinds := []value.Kind{value.KindInt64, value.KindString, value.KindInt64, value.KindString, value.KindString}
+	loaded, err := loadCSV(csvPath, names, kinds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := powerdrill.Build(loaded, powerdrill.Options{
+		PartitionFields:  []string{"country", "table_name"},
+		MaxChunkRows:     500,
+		OptimizeElements: true,
+		StringDict:       powerdrill.StringDictTrie,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	storeDir := filepath.Join(dir, "store")
+	if err := store.Save(storeDir, "zippy"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(storeDir, "manifest.json")); err != nil {
+		t.Fatal("manifest missing after save")
+	}
+	back, _, err := powerdrill.Open(storeDir, powerdrill.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := back.Query(`SELECT country, COUNT(*) AS c FROM data GROUP BY country ORDER BY c DESC LIMIT 3;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	full, err := back.Query(`SELECT country, COUNT(*) AS c FROM data GROUP BY country;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range full.Rows {
+		total += r[1].Int()
+	}
+	if total != 2000 {
+		t.Errorf("counts sum to %d, want 2000", total)
+	}
+	if len(res.Rows) != 3 {
+		t.Errorf("LIMIT 3 returned %d rows", len(res.Rows))
+	}
+}

@@ -1,0 +1,46 @@
+// Command pdserver runs one PowerDrill leaf server: it loads a persisted
+// store (one shard) and answers partial queries over net/rpc, the role of
+// an individual machine in the paper's Section 4 deployment. A coordinator
+// built with powerdrill.ConnectCluster fans queries out to a fleet of
+// pdserver processes and re-aggregates through the execution tree.
+//
+// Usage:
+//
+//	pdserver -store ./shard0 -listen :7070
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"powerdrill"
+)
+
+func main() {
+	storeDir := flag.String("store", "", "persisted store directory (one shard)")
+	listen := flag.String("listen", ":7070", "listen address")
+	cacheBytes := flag.Int64("cache", 64<<20, "result cache bytes")
+	flag.Parse()
+	if *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "pdserver: -store is required")
+		os.Exit(2)
+	}
+	store, bytesRead, err := powerdrill.Open(*storeDir, powerdrill.Options{ResultCacheBytes: *cacheBytes})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pdserver: %v\n", err)
+		os.Exit(1)
+	}
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pdserver: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("pdserver: serving %d rows (%d chunks, %.1f MB loaded) on %s\n",
+		store.NumRows(), store.NumChunks(), float64(bytesRead)/1e6, l.Addr())
+	if err := powerdrill.ServeShard(l, store); err != nil {
+		fmt.Fprintf(os.Stderr, "pdserver: %v\n", err)
+		os.Exit(1)
+	}
+}

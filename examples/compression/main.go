@@ -1,0 +1,72 @@
+// Compression walks through the paper's Section 3 footprint optimizations
+// layer by layer on the same dataset, printing where each megabyte goes:
+// the per-query memory story behind Tables 2-4.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"powerdrill"
+)
+
+// layout is one step of the paper's optimization sequence.
+type layout struct {
+	name string
+	opts powerdrill.Options
+}
+
+func main() {
+	tbl := powerdrill.GenerateQueryLogs(300_000, 3)
+	part := []string{"country", "table_name"}
+
+	layouts := []layout{
+		{"Basic     (one chunk, 4-byte elements)", powerdrill.Options{}},
+		{"Chunks    (composite range partitioning)", powerdrill.Options{
+			PartitionFields: part, MaxChunkRows: 5000}},
+		{"OptCols   (0/1/8/16/32-bit elements)", powerdrill.Options{
+			PartitionFields: part, MaxChunkRows: 5000, OptimizeElements: true}},
+		{"OptDicts  (4-bit trie dictionaries)", powerdrill.Options{
+			PartitionFields: part, MaxChunkRows: 5000, OptimizeElements: true,
+			StringDict: powerdrill.StringDictTrie}},
+		{"Reorder   (rows sorted by the partition key)", powerdrill.Options{
+			PartitionFields: part, MaxChunkRows: 5000, OptimizeElements: true,
+			StringDict: powerdrill.StringDictTrie, Reorder: true}},
+	}
+
+	// The paper's hard case: the high-cardinality table_name column.
+	fmt.Println("table_name column footprint by layout (MB):")
+	fmt.Printf("%-48s %10s %12s %10s %10s\n", "", "elements", "chunk-dicts", "dict", "total")
+	for _, l := range layouts {
+		store, err := powerdrill.Build(tbl, l.opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := store.Memory("table_name")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-48s %10.2f %12.2f %10.2f %10.2f\n", l.name,
+			float64(m.Elements)/1e6, float64(m.ChunkDicts)/1e6,
+			float64(m.GlobalDict)/1e6, float64(m.Total())/1e6)
+	}
+
+	// The easy case: country, first in the partition order — most chunks
+	// hold a single country, so elements all but vanish (Table 2's
+	// "80 KB suffice to encode the entire column with 5 million values").
+	fmt.Println("\ncountry column footprint by layout (MB):")
+	for _, l := range layouts {
+		store, err := powerdrill.Build(tbl, l.opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := store.Memory("country")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-48s %10.3f\n", l.name, float64(m.Total())/1e6)
+	}
+
+	fmt.Println("\n(the paper reduces Query 3's footprint 91.23 MB -> 5.63 MB across")
+	fmt.Println(" these steps, and Query 1's elements to 80 KB; see EXPERIMENTS.md)")
+}

@@ -1,0 +1,75 @@
+// Drilldown simulates the PowerDrill Web UI interaction the paper's
+// skipping machinery is built for: a user keeps narrowing the view by
+// adding IN restrictions, and each "mouse click" refreshes 20 charts —
+// 20 group-by queries sharing the same WHERE clause. The example prints,
+// per click, how much of the data the engine never had to touch.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"powerdrill"
+)
+
+// click is one UI state: a restriction plus the charts to refresh.
+type click struct {
+	label string
+	where string
+}
+
+func main() {
+	tbl := powerdrill.GenerateQueryLogs(300_000, 7)
+	store, err := powerdrill.Build(tbl, powerdrill.Options{
+		PartitionFields:  []string{"country", "table_name"},
+		MaxChunkRows:     5_000,
+		OptimizeElements: true,
+		StringDict:       powerdrill.StringDictTrie,
+		ResultCacheBytes: 64 << 20,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The charts a click refreshes: different group-bys, same restriction.
+	charts := []string{
+		`SELECT country, COUNT(*) AS v FROM data %s GROUP BY country ORDER BY v DESC LIMIT 10;`,
+		`SELECT date(timestamp) AS d, COUNT(*) AS v FROM data %s GROUP BY d ORDER BY d ASC LIMIT 10;`,
+		`SELECT user, COUNT(*) AS v FROM data %s GROUP BY user ORDER BY v DESC LIMIT 10;`,
+		`SELECT table_name, SUM(latency) AS v FROM data %s GROUP BY table_name ORDER BY v DESC LIMIT 10;`,
+		`SELECT country, AVG(latency) AS v FROM data %s GROUP BY country ORDER BY v DESC LIMIT 10;`,
+	}
+
+	// The user drills down: each click adds one conjunct.
+	session := []click{
+		{"initial view (unrestricted)", ``},
+		{"restrict to two countries", `WHERE country IN ("de", "ch")`},
+		{"... and one user", `WHERE country IN ("de", "ch") AND user IN ("user0003")`},
+		{"... and slow queries only", `WHERE country IN ("de", "ch") AND user IN ("user0003") AND latency > 1000`},
+	}
+
+	for i, c := range session {
+		var skipped, cached, scanned, total int
+		start := time.Now()
+		for _, chart := range charts {
+			q := fmt.Sprintf(chart, c.where)
+			res, err := store.Query(q)
+			if err != nil {
+				log.Fatalf("%s: %v", q, err)
+			}
+			skipped += res.Stats.ChunksSkipped
+			cached += res.Stats.ChunksCached
+			scanned += res.Stats.ChunksScanned
+			total += res.Stats.ChunksTotal
+		}
+		elapsed := time.Since(start)
+		fmt.Printf("click %d: %s\n", i+1, c.label)
+		fmt.Printf("  %d chart queries in %v\n", len(charts), elapsed.Round(time.Microsecond))
+		fmt.Printf("  chunks: %5.1f%% skipped, %5.1f%% cached, %5.1f%% scanned\n\n",
+			100*float64(skipped)/float64(total),
+			100*float64(cached)/float64(total),
+			100*float64(scanned)/float64(total))
+	}
+	fmt.Println("(the paper's production fleet skips 92.41% of records and caches 5.02%)")
+}

@@ -1,0 +1,67 @@
+// Quickstart: import a table into the PowerDrill column store and run the
+// paper's example query shapes against it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"powerdrill"
+)
+
+func main() {
+	// Synthesize the paper's evaluation dataset: PowerDrill query logs
+	// with timestamp, table_name, latency, country and user columns.
+	tbl := powerdrill.GenerateQueryLogs(200_000, 2012)
+
+	// Import with the paper's production settings: composite range
+	// partitioning over a natural key, minimal-width elements, trie
+	// dictionaries, and a result cache.
+	store, err := powerdrill.Build(tbl, powerdrill.Options{
+		PartitionFields:  []string{"country", "table_name"},
+		MaxChunkRows:     5_000,
+		OptimizeElements: true,
+		StringDict:       powerdrill.StringDictTrie,
+		ResultCacheBytes: 32 << 20,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("imported %d rows into %d chunks\n\n", store.NumRows(), store.NumChunks())
+
+	queries := []string{
+		// Query 1 of the paper: top countries.
+		`SELECT country, COUNT(*) AS c FROM data GROUP BY country ORDER BY c DESC LIMIT 5;`,
+		// Query 2: per-day counts and total latency, via a materialized
+		// virtual field date(timestamp).
+		`SELECT date(timestamp) AS d, COUNT(*), SUM(latency) FROM data GROUP BY d ORDER BY d ASC LIMIT 5;`,
+		// A drill-down: restrict to two countries, group by user.
+		`SELECT user, COUNT(*) AS c FROM data WHERE country IN ("de", "fr") GROUP BY user ORDER BY c DESC LIMIT 5;`,
+	}
+	for _, q := range queries {
+		fmt.Println(q)
+		res, err := store.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			for i, v := range row {
+				if i > 0 {
+					fmt.Print("\t")
+				}
+				fmt.Print(v)
+			}
+			fmt.Println()
+		}
+		fmt.Printf("-- chunks: %d skipped, %d cached, %d scanned\n\n",
+			res.Stats.ChunksSkipped, res.Stats.ChunksCached, res.Stats.ChunksScanned)
+	}
+
+	// The memory accounting behind the paper's tables.
+	m, err := store.Memory("table_name")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("table_name column footprint: elements %.2f MB, chunk-dicts %.2f MB, dict %.2f MB\n",
+		float64(m.Elements)/1e6, float64(m.ChunkDicts)/1e6, float64(m.GlobalDict)/1e6)
+}

@@ -1,0 +1,121 @@
+package backends
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+
+	"powerdrill/internal/expr"
+	"powerdrill/internal/table"
+	"powerdrill/internal/value"
+)
+
+// CSV is the text-file baseline: every query parses every field of every
+// row.
+type CSV struct {
+	path   string
+	schema Schema
+}
+
+// NewCSV opens an existing CSV file with the given schema (no header row).
+func NewCSV(path string, schema Schema) *CSV { return &CSV{path: path, schema: schema} }
+
+// WriteCSV writes a table as a headerless CSV file and returns its schema.
+func WriteCSV(tbl *table.Table, path string) (Schema, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return Schema{}, fmt.Errorf("backends: write csv: %w", err)
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	schema := Schema{}
+	for _, c := range tbl.Cols {
+		schema.Names = append(schema.Names, c.Name)
+		schema.Kinds = append(schema.Kinds, c.Kind)
+	}
+	record := make([]string, len(tbl.Cols))
+	for i := 0; i < tbl.NumRows(); i++ {
+		for j, c := range tbl.Cols {
+			record[j] = c.Value(i).String()
+		}
+		if err := w.Write(record); err != nil {
+			return Schema{}, err
+		}
+	}
+	w.Flush()
+	return schema, w.Error()
+}
+
+// Name implements Backend.
+func (c *CSV) Name() string { return "csv" }
+
+// Schema implements Backend.
+func (c *CSV) Schema() Schema { return c.schema }
+
+// DataBytes implements Backend: row formats stream the whole file no
+// matter which columns a query needs.
+func (c *CSV) DataBytes([]string) (int64, error) {
+	info, err := os.Stat(c.path)
+	if err != nil {
+		return 0, err
+	}
+	return info.Size(), nil
+}
+
+// Scan implements Backend.
+func (c *CSV) Scan([]string) (rowIter, error) {
+	f, err := os.Open(c.path)
+	if err != nil {
+		return nil, err
+	}
+	cr := &countingReader{r: f}
+	return &csvIter{f: f, cr: cr, r: csv.NewReader(cr), schema: c.schema, row: expr.MapRow{}}, nil
+}
+
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+type csvIter struct {
+	f      *os.File
+	cr     *countingReader
+	r      *csv.Reader
+	schema Schema
+	row    expr.MapRow
+}
+
+// Next implements rowIter.
+func (it *csvIter) Next() (expr.Row, error) {
+	rec, err := it.r.Read()
+	if err == io.EOF {
+		return nil, io.EOF
+	}
+	if err != nil {
+		return nil, fmt.Errorf("backends: csv read: %w", err)
+	}
+	if len(rec) != len(it.schema.Names) {
+		return nil, fmt.Errorf("backends: csv row has %d fields, schema %d", len(rec), len(it.schema.Names))
+	}
+	for i, name := range it.schema.Names {
+		v, err := value.Parse(it.schema.Kinds[i], rec[i])
+		if err != nil {
+			return nil, fmt.Errorf("backends: csv field %q: %w", name, err)
+		}
+		it.row[name] = v
+	}
+	return it.row, nil
+}
+
+// BytesRead implements rowIter.
+func (it *csvIter) BytesRead() int64 { return it.cr.n }
+
+// Close implements rowIter.
+func (it *csvIter) Close() error { return it.f.Close() }

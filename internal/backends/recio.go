@@ -1,0 +1,102 @@
+package backends
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"powerdrill/internal/expr"
+	"powerdrill/internal/recordio"
+	"powerdrill/internal/table"
+	"powerdrill/internal/value"
+)
+
+// RecordIO is the binary row-format baseline.
+type RecordIO struct {
+	path   string
+	schema Schema
+}
+
+// NewRecordIO opens an existing record-io file with the given schema.
+func NewRecordIO(path string, schema Schema) *RecordIO {
+	return &RecordIO{path: path, schema: schema}
+}
+
+// WriteRecordIO writes a table as a record-io file and returns its schema.
+func WriteRecordIO(tbl *table.Table, path string) (Schema, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return Schema{}, fmt.Errorf("backends: write recordio: %w", err)
+	}
+	defer f.Close()
+	schema := Schema{}
+	for _, c := range tbl.Cols {
+		schema.Names = append(schema.Names, c.Name)
+		schema.Kinds = append(schema.Kinds, c.Kind)
+	}
+	if err := recordio.WriteTable(f, tbl); err != nil {
+		return Schema{}, err
+	}
+	return schema, nil
+}
+
+// Name implements Backend.
+func (r *RecordIO) Name() string { return "rec-io" }
+
+// Schema implements Backend.
+func (r *RecordIO) Schema() Schema { return r.schema }
+
+// DataBytes implements Backend.
+func (r *RecordIO) DataBytes([]string) (int64, error) {
+	info, err := os.Stat(r.path)
+	if err != nil {
+		return 0, err
+	}
+	return info.Size(), nil
+}
+
+// Scan implements Backend.
+func (r *RecordIO) Scan([]string) (rowIter, error) {
+	f, err := os.Open(r.path)
+	if err != nil {
+		return nil, err
+	}
+	cr := &countingReader{r: f}
+	return &recIter{
+		f:      f,
+		cr:     cr,
+		r:      recordio.NewReader(cr, r.schema.Kinds),
+		schema: r.schema,
+		vals:   make([]value.Value, len(r.schema.Kinds)),
+		row:    expr.MapRow{},
+	}, nil
+}
+
+type recIter struct {
+	f      *os.File
+	cr     *countingReader
+	r      *recordio.Reader
+	schema Schema
+	vals   []value.Value
+	row    expr.MapRow
+}
+
+// Next implements rowIter.
+func (it *recIter) Next() (expr.Row, error) {
+	if err := it.r.Next(it.vals); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, err
+	}
+	for i, name := range it.schema.Names {
+		it.row[name] = it.vals[i]
+	}
+	return it.row, nil
+}
+
+// BytesRead implements rowIter.
+func (it *recIter) BytesRead() int64 { return it.cr.n }
+
+// Close implements rowIter.
+func (it *recIter) Close() error { return it.f.Close() }

@@ -1,0 +1,188 @@
+package bloom
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := NewWithEstimates(1000, 0.01)
+	for i := 0; i < 1000; i++ {
+		f.AddString(fmt.Sprintf("table_%d", i))
+	}
+	for i := 0; i < 1000; i++ {
+		if !f.TestString(fmt.Sprintf("table_%d", i)) {
+			t.Fatalf("false negative for table_%d", i)
+		}
+	}
+}
+
+func TestFalsePositiveRateRoughlyAsConfigured(t *testing.T) {
+	const n = 5000
+	f := NewWithEstimates(n, 0.01)
+	for i := 0; i < n; i++ {
+		f.AddString(fmt.Sprintf("present_%d", i))
+	}
+	fp := 0
+	const probes = 20000
+	for i := 0; i < probes; i++ {
+		if f.TestString(fmt.Sprintf("absent_%d", i)) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.05 {
+		t.Errorf("false positive rate %.4f way above configured 0.01", rate)
+	}
+	if est := f.EstimatedFalsePositiveRate(); est <= 0 || est > 0.05 {
+		t.Errorf("estimated fp rate %.4f out of range", est)
+	}
+}
+
+func TestUint64Keys(t *testing.T) {
+	f := NewWithEstimates(100, 0.01)
+	for i := uint64(0); i < 100; i++ {
+		f.AddUint64(i * 7919)
+	}
+	for i := uint64(0); i < 100; i++ {
+		if !f.TestUint64(i * 7919) {
+			t.Fatalf("false negative for %d", i*7919)
+		}
+	}
+}
+
+func TestByteAndStringKeysAgree(t *testing.T) {
+	f := NewWithEstimates(10, 0.01)
+	f.Add([]byte("chaussures"))
+	if !f.TestString("chaussures") {
+		t.Error("string probe missed byte-added key")
+	}
+	g := NewWithEstimates(10, 0.01)
+	g.AddString("voyages sncf")
+	if !g.Test([]byte("voyages sncf")) {
+		t.Error("byte probe missed string-added key")
+	}
+}
+
+func TestEmptyFilter(t *testing.T) {
+	f := NewWithEstimates(100, 0.01)
+	if f.TestString("anything") {
+		t.Error("empty filter claims membership")
+	}
+	if f.EstimatedFalsePositiveRate() != 0 {
+		t.Error("empty filter has nonzero fp estimate")
+	}
+}
+
+func TestNewPanicsOnBadParams(t *testing.T) {
+	for _, tc := range []struct{ m, k int }{{0, 1}, {64, 0}, {64, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", tc.m, tc.k)
+				}
+			}()
+			New(uint64(tc.m), tc.k)
+		}()
+	}
+}
+
+func TestNewWithEstimatesDefensiveDefaults(t *testing.T) {
+	// Degenerate inputs must still produce a usable filter.
+	for _, tc := range []struct {
+		n  int
+		fp float64
+	}{{0, 0.01}, {-5, 0.01}, {10, 0}, {10, 1.5}} {
+		f := NewWithEstimates(tc.n, tc.fp)
+		if f.Bits() == 0 || f.K() < 1 {
+			t.Errorf("NewWithEstimates(%d, %g) produced unusable filter", tc.n, tc.fp)
+		}
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	f := NewWithEstimates(500, 0.02)
+	for i := 0; i < 500; i++ {
+		f.AddString(fmt.Sprintf("key-%d", i))
+	}
+	g, err := Unmarshal(f.Marshal())
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if g.Bits() != f.Bits() || g.K() != f.K() || g.Count() != f.Count() {
+		t.Fatalf("round trip changed parameters: %d/%d/%d vs %d/%d/%d",
+			g.Bits(), g.K(), g.Count(), f.Bits(), f.K(), f.Count())
+	}
+	for i := 0; i < 500; i++ {
+		if !g.TestString(fmt.Sprintf("key-%d", i)) {
+			t.Fatalf("false negative after round trip: key-%d", i)
+		}
+	}
+}
+
+func TestUnmarshalRejectsCorruptInput(t *testing.T) {
+	if _, err := Unmarshal(nil); err == nil {
+		t.Error("Unmarshal(nil) succeeded")
+	}
+	if _, err := Unmarshal(make([]byte, 10)); err == nil {
+		t.Error("Unmarshal(short) succeeded")
+	}
+	f := New(128, 3)
+	raw := f.Marshal()
+	if _, err := Unmarshal(raw[:len(raw)-1]); err == nil {
+		t.Error("Unmarshal(truncated body) succeeded")
+	}
+}
+
+func TestQuickNoFalseNegativesProperty(t *testing.T) {
+	f := func(keys []string) bool {
+		fl := NewWithEstimates(len(keys)+1, 0.01)
+		for _, k := range keys {
+			fl.AddString(k)
+		}
+		for _, k := range keys {
+			if !fl.TestString(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemoryBytes(t *testing.T) {
+	f := New(1024, 4)
+	if got := f.MemoryBytes(); got != 1024/8 {
+		t.Errorf("MemoryBytes = %d, want %d", got, 1024/8)
+	}
+}
+
+func BenchmarkAddString(b *testing.B) {
+	f := NewWithEstimates(1<<20, 0.01)
+	keys := make([]string, 1024)
+	r := rand.New(rand.NewSource(1))
+	for i := range keys {
+		keys[i] = fmt.Sprintf("bench_table_%d_%d", i, r.Int63())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.AddString(keys[i%len(keys)])
+	}
+}
+
+func BenchmarkTestString(b *testing.B) {
+	f := NewWithEstimates(1<<20, 0.01)
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("bench_table_%d", i)
+		f.AddString(keys[i])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.TestString(keys[i%len(keys)])
+	}
+}

@@ -1,0 +1,301 @@
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// policies returns one fresh cache per implementation, all with the same
+// byte budget, so shared behaviours are tested uniformly.
+func policies(capacity int64) []Cache {
+	return []Cache{NewLRU(capacity), NewTwoQ(capacity), NewARC(capacity)}
+}
+
+func TestBasicPutGet(t *testing.T) {
+	for _, c := range policies(1000) {
+		t.Run(c.Name(), func(t *testing.T) {
+			c.Put("a", 1, 100)
+			c.Put("b", 2, 100)
+			if v, ok := c.Get("a"); !ok || v.(int) != 1 {
+				t.Errorf("Get(a) = %v, %v", v, ok)
+			}
+			if v, ok := c.Get("b"); !ok || v.(int) != 2 {
+				t.Errorf("Get(b) = %v, %v", v, ok)
+			}
+			if _, ok := c.Get("missing"); ok {
+				t.Error("Get(missing) hit")
+			}
+			if c.Len() != 2 || c.SizeBytes() != 200 {
+				t.Errorf("Len=%d Size=%d, want 2/200", c.Len(), c.SizeBytes())
+			}
+		})
+	}
+}
+
+func TestUpdateExistingKey(t *testing.T) {
+	for _, c := range policies(1000) {
+		t.Run(c.Name(), func(t *testing.T) {
+			c.Put("k", "old", 100)
+			c.Put("k", "new", 300)
+			if v, _ := c.Get("k"); v != "new" {
+				t.Errorf("value after update = %v", v)
+			}
+			if c.Len() != 1 || c.SizeBytes() != 300 {
+				t.Errorf("Len=%d Size=%d after update, want 1/300", c.Len(), c.SizeBytes())
+			}
+		})
+	}
+}
+
+func TestBudgetEnforced(t *testing.T) {
+	for _, c := range policies(500) {
+		t.Run(c.Name(), func(t *testing.T) {
+			for i := 0; i < 50; i++ {
+				c.Put(fmt.Sprintf("k%d", i), i, 100)
+				if c.SizeBytes() > 500 {
+					t.Fatalf("budget exceeded: %d bytes after insert %d", c.SizeBytes(), i)
+				}
+			}
+			if c.Stats().Evictions == 0 {
+				t.Error("no evictions despite overflow")
+			}
+		})
+	}
+}
+
+func TestOversizeEntryNotCached(t *testing.T) {
+	for _, c := range policies(100) {
+		t.Run(c.Name(), func(t *testing.T) {
+			c.Put("big", "x", 1000)
+			if _, ok := c.Get("big"); ok {
+				t.Error("oversize entry was cached")
+			}
+			// An oversize rewrite of an existing key must also drop it.
+			c.Put("k", 1, 50)
+			c.Put("k", 2, 1000)
+			if _, ok := c.Get("k"); ok {
+				t.Error("oversize rewrite left stale entry")
+			}
+		})
+	}
+}
+
+func TestRemove(t *testing.T) {
+	for _, c := range policies(1000) {
+		t.Run(c.Name(), func(t *testing.T) {
+			c.Put("a", 1, 10)
+			c.Remove("a")
+			if _, ok := c.Get("a"); ok {
+				t.Error("removed key still present")
+			}
+			c.Remove("never-there") // must not panic
+			if c.Len() != 0 || c.SizeBytes() != 0 {
+				t.Errorf("Len=%d Size=%d after removals", c.Len(), c.SizeBytes())
+			}
+		})
+	}
+}
+
+func TestLRUEvictsLeastRecent(t *testing.T) {
+	c := NewLRU(300)
+	c.Put("a", 1, 100)
+	c.Put("b", 2, 100)
+	c.Put("c", 3, 100)
+	c.Get("a") // refresh a; b becomes the victim
+	c.Put("d", 4, 100)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived, want it evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a evicted despite refresh")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	for _, c := range policies(1000) {
+		t.Run(c.Name(), func(t *testing.T) {
+			c.Put("a", 1, 10)
+			c.Get("a")
+			c.Get("a")
+			c.Get("nope")
+			s := c.Stats()
+			if s.Hits != 2 || s.Misses != 1 {
+				t.Errorf("stats = %+v, want 2 hits 1 miss", s)
+			}
+			if got := s.HitRate(); got < 0.66 || got > 0.67 {
+				t.Errorf("HitRate = %f", got)
+			}
+		})
+	}
+	if (Stats{}).HitRate() != 0 {
+		t.Error("zero Stats HitRate != 0")
+	}
+}
+
+// TestScanResistance is the behaviour the paper adopts 2Q/ARC for: a hot
+// working set accessed repeatedly must survive a one-time scan of many cold
+// keys. Plain LRU loses the entire working set; 2Q and ARC must retain a
+// decent fraction.
+func TestScanResistance(t *testing.T) {
+	const capacity = 100 * 10 // 100 entries of size 10
+	hot := make([]string, 50)
+	for i := range hot {
+		hot[i] = fmt.Sprintf("hot%d", i)
+	}
+	run := func(c Cache) float64 {
+		// Warm the working set with repeated accesses.
+		for pass := 0; pass < 5; pass++ {
+			for _, k := range hot {
+				if _, ok := c.Get(k); !ok {
+					c.Put(k, k, 10)
+				}
+			}
+		}
+		// One-time scan of 1000 cold keys.
+		for i := 0; i < 1000; i++ {
+			k := fmt.Sprintf("scan%d", i)
+			if _, ok := c.Get(k); !ok {
+				c.Put(k, k, 10)
+			}
+		}
+		// How much of the hot set survived?
+		survived := 0
+		for _, k := range hot {
+			if _, ok := c.Get(k); ok {
+				survived++
+			}
+		}
+		return float64(survived) / float64(len(hot))
+	}
+	lru := run(NewLRU(capacity))
+	twoq := run(NewTwoQ(capacity))
+	arc := run(NewARC(capacity))
+	if lru > 0.1 {
+		t.Logf("note: LRU unexpectedly retained %.0f%% of hot set", lru*100)
+	}
+	if twoq <= lru {
+		t.Errorf("2Q survival %.2f not better than LRU %.2f", twoq, lru)
+	}
+	if arc <= lru {
+		t.Errorf("ARC survival %.2f not better than LRU %.2f", arc, lru)
+	}
+}
+
+func TestTwoQPromotionOnSecondAccess(t *testing.T) {
+	c := NewTwoQ(1000)
+	c.Put("x", 1, 10)
+	c.Get("x") // promote to Am
+	// Flood probation; x must survive since it lives in Am now.
+	for i := 0; i < 200; i++ {
+		c.Put(fmt.Sprintf("flood%d", i), i, 10)
+	}
+	if _, ok := c.Get("x"); !ok {
+		t.Error("promoted entry evicted by probationary flood")
+	}
+}
+
+func TestTwoQGhostReadmission(t *testing.T) {
+	c := NewTwoQ(200)
+	c.Put("g", 1, 50)
+	// Evict g from probation.
+	for i := 0; i < 20; i++ {
+		c.Put(fmt.Sprintf("f%d", i), i, 50)
+	}
+	if _, ok := c.Get("g"); ok {
+		t.Fatal("g should have been evicted")
+	}
+	// Re-inserting a ghost goes straight to the hot queue.
+	c.Put("g", 2, 50)
+	for i := 0; i < 20; i++ {
+		c.Put(fmt.Sprintf("f2-%d", i), i, 50)
+	}
+	if _, ok := c.Get("g"); !ok {
+		t.Error("ghost readmission did not protect g")
+	}
+}
+
+func TestARCAdaptsP(t *testing.T) {
+	c := NewARC(200)
+	// Recency-heavy phase: ghost hits in B1 should grow p.
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("r%d", i%30)
+		if _, ok := c.Get(k); !ok {
+			c.Put(k, i, 20)
+		}
+	}
+	if c.Len() == 0 {
+		t.Fatal("ARC holds nothing after workload")
+	}
+	if c.SizeBytes() > 200 {
+		t.Fatalf("ARC exceeded budget: %d", c.SizeBytes())
+	}
+}
+
+func TestConstructorsPanicOnBadCapacity(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewLRU(0) },
+		func() { NewTwoQ(-1) },
+		func() { NewARC(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("constructor with bad capacity did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestRandomizedConsistency hammers each policy with a random workload and
+// checks the structural invariants after every operation.
+func TestRandomizedConsistency(t *testing.T) {
+	for _, c := range policies(1000) {
+		t.Run(c.Name(), func(t *testing.T) {
+			r := rand.New(rand.NewSource(42))
+			for op := 0; op < 5000; op++ {
+				k := fmt.Sprintf("k%d", r.Intn(200))
+				switch r.Intn(3) {
+				case 0:
+					c.Put(k, op, int64(10+r.Intn(90)))
+				case 1:
+					c.Get(k)
+				case 2:
+					c.Remove(k)
+				}
+				if c.SizeBytes() > 1000 {
+					t.Fatalf("op %d: budget exceeded (%d bytes)", op, c.SizeBytes())
+				}
+				if c.SizeBytes() < 0 || c.Len() < 0 {
+					t.Fatalf("op %d: negative accounting", op)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkGetHit(b *testing.B) {
+	for _, c := range policies(1 << 20) {
+		b.Run(c.Name(), func(b *testing.B) {
+			for i := 0; i < 100; i++ {
+				c.Put(fmt.Sprintf("k%d", i), i, 64)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Get("k50")
+			}
+		})
+	}
+}
+
+func BenchmarkPutChurn(b *testing.B) {
+	for _, c := range policies(64 * 1024) {
+		b.Run(c.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c.Put(fmt.Sprintf("k%d", i%4096), i, 64)
+			}
+		})
+	}
+}

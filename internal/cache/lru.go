@@ -1,0 +1,84 @@
+package cache
+
+import "fmt"
+
+// LRU is a least-recently-used cache with a byte budget.
+type LRU struct {
+	capacity int64
+	items    map[string]*entry
+	order    list
+	stats    Stats
+}
+
+// NewLRU creates an LRU cache holding at most capacity bytes.
+func NewLRU(capacity int64) *LRU {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("cache: invalid LRU capacity %d", capacity))
+	}
+	return &LRU{capacity: capacity, items: make(map[string]*entry)}
+}
+
+// Name implements Cache.
+func (c *LRU) Name() string { return "lru" }
+
+// Get implements Cache.
+func (c *LRU) Get(key string) (any, bool) {
+	e, ok := c.items[key]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	c.order.moveToFront(e)
+	c.stats.Hits++
+	return e.value, true
+}
+
+// Put implements Cache.
+func (c *LRU) Put(key string, value any, size int64) {
+	if size > c.capacity {
+		c.Remove(key)
+		return
+	}
+	if e, ok := c.items[key]; ok {
+		c.order.remove(e)
+		e.value, e.size = value, size
+		c.order.pushFront(e)
+	} else {
+		e = &entry{key: key, value: value, size: size}
+		c.items[key] = e
+		c.order.pushFront(e)
+	}
+	c.evictTo(c.capacity)
+}
+
+// Remove implements Cache.
+func (c *LRU) Remove(key string) {
+	if e, ok := c.items[key]; ok {
+		c.order.remove(e)
+		delete(c.items, key)
+	}
+}
+
+// evictTo drops least-recently-used entries until the budget fits.
+func (c *LRU) evictTo(budget int64) {
+	for c.order.bytes > budget {
+		victim := c.order.back()
+		if victim == nil {
+			return
+		}
+		c.order.remove(victim)
+		delete(c.items, victim.key)
+		c.stats.Evictions++
+	}
+}
+
+// Len implements Cache.
+func (c *LRU) Len() int { return len(c.items) }
+
+// SizeBytes implements Cache.
+func (c *LRU) SizeBytes() int64 { return c.order.bytes }
+
+// Stats implements Cache.
+func (c *LRU) Stats() Stats { return c.stats }
+
+var _ Cache = (*LRU)(nil)

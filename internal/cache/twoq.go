@@ -1,0 +1,145 @@
+package cache
+
+import "fmt"
+
+// TwoQ implements the 2Q eviction policy (Johnson and Shasha, VLDB 1994) in
+// its full version: a FIFO probationary queue A1in for first-time accesses,
+// a ghost queue A1out remembering recently evicted first-timers (keys only),
+// and a main LRU queue Am for keys proven hot by a second access. A one-time
+// scan streams through A1in without ever displacing the hot set in Am,
+// which is the property PowerDrill needs (Section 5).
+type TwoQ struct {
+	capacity int64
+	kin      int64 // byte budget for A1in (25% of capacity, per the paper)
+	kout     int   // entry budget for the ghost queue A1out (50% of entries seen)
+
+	items map[string]*entry // resident entries, in a1in or am
+	ghost map[string]bool   // keys in A1out (no values)
+
+	a1in       list
+	am         list
+	ghostOrder []string // FIFO order of ghost keys
+
+	stats Stats
+}
+
+// NewTwoQ creates a 2Q cache holding at most capacity bytes.
+func NewTwoQ(capacity int64) *TwoQ {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("cache: invalid 2Q capacity %d", capacity))
+	}
+	return &TwoQ{
+		capacity: capacity,
+		kin:      capacity / 4,
+		kout:     1024,
+		items:    make(map[string]*entry),
+		ghost:    make(map[string]bool),
+	}
+}
+
+// Name implements Cache.
+func (c *TwoQ) Name() string { return "2q" }
+
+// Get implements Cache.
+func (c *TwoQ) Get(key string) (any, bool) {
+	e, ok := c.items[key]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	// A second access promotes a probationary page to the hot queue; hits
+	// in Am refresh recency as in plain LRU.
+	if e.list == &c.a1in {
+		c.a1in.remove(e)
+		c.am.pushFront(e)
+	} else {
+		c.am.moveToFront(e)
+	}
+	c.stats.Hits++
+	return e.value, true
+}
+
+// Put implements Cache.
+func (c *TwoQ) Put(key string, value any, size int64) {
+	if size > c.capacity {
+		c.Remove(key)
+		return
+	}
+	if e, ok := c.items[key]; ok {
+		l := e.list
+		l.remove(e)
+		e.value, e.size = value, size
+		l.pushFront(e)
+		c.balance()
+		return
+	}
+	e := &entry{key: key, value: value, size: size}
+	if c.ghost[key] {
+		// Recently evicted from probation and referenced again: hot.
+		delete(c.ghost, key)
+		c.am.pushFront(e)
+	} else {
+		c.a1in.pushFront(e)
+	}
+	c.items[key] = e
+	c.balance()
+}
+
+// balance enforces the byte budgets, evicting from A1in first (into the
+// ghost queue) and then from Am.
+func (c *TwoQ) balance() {
+	for c.a1in.bytes+c.am.bytes > c.capacity {
+		if c.a1in.bytes > c.kin || c.am.n == 0 {
+			victim := c.a1in.back()
+			if victim == nil {
+				break
+			}
+			c.a1in.remove(victim)
+			delete(c.items, victim.key)
+			c.addGhost(victim.key)
+			c.stats.Evictions++
+			continue
+		}
+		victim := c.am.back()
+		if victim == nil {
+			break
+		}
+		c.am.remove(victim)
+		delete(c.items, victim.key)
+		c.stats.Evictions++
+	}
+}
+
+// addGhost remembers an evicted probationary key.
+func (c *TwoQ) addGhost(key string) {
+	if c.ghost[key] {
+		return
+	}
+	c.ghost[key] = true
+	c.ghostOrder = append(c.ghostOrder, key)
+	for len(c.ghostOrder) > c.kout {
+		old := c.ghostOrder[0]
+		c.ghostOrder = c.ghostOrder[1:]
+		delete(c.ghost, old)
+	}
+}
+
+// Remove implements Cache.
+func (c *TwoQ) Remove(key string) {
+	if e, ok := c.items[key]; ok {
+		e.list.remove(e)
+		delete(c.items, key)
+	}
+	delete(c.ghost, key)
+}
+
+// Len implements Cache.
+func (c *TwoQ) Len() int { return len(c.items) }
+
+// SizeBytes implements Cache.
+func (c *TwoQ) SizeBytes() int64 { return c.a1in.bytes + c.am.bytes }
+
+// Stats implements Cache.
+func (c *TwoQ) Stats() Stats { return c.stats }
+
+var _ Cache = (*TwoQ)(nil)

@@ -1,0 +1,311 @@
+// Package cluster implements the distributed execution of Section 4: the
+// data is sharded quasi-randomly across leaf servers (each shard then
+// partitioned into chunks independently), queries are rewritten into
+// multi-level aggregations over a computation tree, and every sub-query is
+// sent to two servers — a primary and a replica — with the first answer
+// winning, which hides stragglers and evictions on busy machines.
+//
+// Leaves are in-process by default (the unit tests and benchmarks run a
+// whole cluster in one binary); package rpc in this directory exposes the
+// same Leaf interface over net/rpc for multi-process deployments.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"powerdrill/internal/colstore"
+	"powerdrill/internal/exec"
+	"powerdrill/internal/sql"
+	"powerdrill/internal/table"
+)
+
+// Leaf answers partial queries for one shard.
+type Leaf interface {
+	// PartialQuery executes sql and returns the mergeable partial.
+	PartialQuery(sqlText string) (*exec.Partial, error)
+	// Name identifies the server in logs and stats.
+	Name() string
+}
+
+// LocalLeaf wraps an engine as a Leaf, with optional fault injection.
+type LocalLeaf struct {
+	name   string
+	engine *exec.Engine
+
+	mu sync.Mutex
+	// Straggle delays the next queries (simulating load/eviction).
+	straggle time.Duration
+	// fail makes the next queries error (simulating a dead machine).
+	fail bool
+}
+
+// NewLocalLeaf creates an in-process leaf server.
+func NewLocalLeaf(name string, engine *exec.Engine) *LocalLeaf {
+	return &LocalLeaf{name: name, engine: engine}
+}
+
+// Name implements Leaf.
+func (l *LocalLeaf) Name() string { return l.name }
+
+// SetStraggle makes subsequent queries take at least d.
+func (l *LocalLeaf) SetStraggle(d time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.straggle = d
+}
+
+// SetFail makes subsequent queries fail.
+func (l *LocalLeaf) SetFail(fail bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.fail = fail
+}
+
+// Engine exposes the underlying engine (for stats).
+func (l *LocalLeaf) Engine() *exec.Engine { return l.engine }
+
+// PartialQuery implements Leaf.
+func (l *LocalLeaf) PartialQuery(sqlText string) (*exec.Partial, error) {
+	l.mu.Lock()
+	straggle, fail := l.straggle, l.fail
+	l.mu.Unlock()
+	if straggle > 0 {
+		time.Sleep(straggle)
+	}
+	if fail {
+		return nil, fmt.Errorf("cluster: leaf %s unavailable", l.name)
+	}
+	stmt, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	return l.engine.RunPartial(stmt)
+}
+
+// Options configures a cluster.
+type Options struct {
+	// Shards is the number of data shards (default 8). The paper keeps
+	// 5–7 million rows per shard in production.
+	Shards int
+	// Fanout is the execution-tree fanout (default 8): how many children
+	// each inner node aggregates.
+	Fanout int
+	// Replicas per sub-query: 1 (no replication) or 2 (the paper's
+	// primary + replica scheme). Default 2.
+	Replicas int
+	// Store configures the per-shard column stores.
+	Store colstore.Options
+	// Engine configures the per-shard engines.
+	Engine exec.Options
+	// Seed drives shard placement.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = 8
+	}
+	if o.Fanout <= 1 {
+		o.Fanout = 8
+	}
+	if o.Replicas <= 0 {
+		o.Replicas = 2
+	}
+	if o.Replicas > 2 {
+		o.Replicas = 2
+	}
+	return o
+}
+
+// Cluster is a tree of aggregating nodes over replicated leaf servers.
+type Cluster struct {
+	opts Options
+	// shards[i] holds the replicas serving shard i (1 or 2 entries).
+	shards [][]Leaf
+	// leaves are the distinct local leaves (for fault injection); remote
+	// clusters leave this nil.
+	leaves []*LocalLeaf
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// Stats counts distributed execution events.
+type Stats struct {
+	Queries         int64
+	SubQueries      int64
+	ReplicaRaces    int64 // sub-queries issued to two servers
+	PrimaryFailures int64 // sub-queries saved by the replica
+}
+
+// NewLocal builds an in-process cluster: the table is sharded, each shard
+// imported into Replicas independent stores (a real deployment loads the
+// same shard files on two machines; here each replica builds its own store
+// so fault injection on one cannot corrupt the other).
+func NewLocal(tbl *table.Table, opts Options) (*Cluster, error) {
+	opts = opts.withDefaults()
+	c := &Cluster{opts: opts}
+	shards := tbl.Shard(opts.Shards)
+	for i, shardTbl := range shards {
+		var replicas []Leaf
+		for r := 0; r < opts.Replicas; r++ {
+			store, err := colstore.FromTable(shardTbl, opts.Store)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: shard %d replica %d: %w", i, r, err)
+			}
+			leaf := NewLocalLeaf(fmt.Sprintf("shard%d-r%d", i, r), exec.New(store, opts.Engine))
+			replicas = append(replicas, leaf)
+			c.leaves = append(c.leaves, leaf)
+		}
+		c.shards = append(c.shards, replicas)
+	}
+	return c, nil
+}
+
+// FromLeaves assembles a cluster from pre-built leaves (used by the RPC
+// client); leafSets[i] holds the replicas of shard i.
+func FromLeaves(leafSets [][]Leaf, opts Options) *Cluster {
+	opts = opts.withDefaults()
+	return &Cluster{opts: opts, shards: leafSets}
+}
+
+// Leaves returns the local leaves for fault injection in tests.
+func (c *Cluster) Leaves() []*LocalLeaf { return c.leaves }
+
+// Stats returns cumulative distributed-execution counters.
+func (c *Cluster) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Query runs a SQL query over the whole cluster: leaves compute partials
+// for their shards in parallel, inner tree levels merge Fanout children at
+// a time, and the root finalizes (AVG, ORDER BY, LIMIT).
+func (c *Cluster) Query(sqlText string) (*exec.Result, error) {
+	stmt, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	partials, err := c.scatter(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	merged, err := c.mergeTree(partials)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.stats.Queries++
+	c.mu.Unlock()
+	return exec.FinalizePartial(stmt, merged)
+}
+
+// scatter fans the sub-query out to every shard (each replicated).
+func (c *Cluster) scatter(sqlText string) ([]*exec.Partial, error) {
+	results := make([]*exec.Partial, len(c.shards))
+	errs := make([]error, len(c.shards))
+	var wg sync.WaitGroup
+	for i, replicas := range c.shards {
+		wg.Add(1)
+		go func(i int, replicas []Leaf) {
+			defer wg.Done()
+			part, err := c.askReplicas(sqlText, replicas)
+			results[i] = part
+			errs[i] = err
+		}(i, replicas)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("cluster: shard %d: %w", i, err)
+		}
+	}
+	return results, nil
+}
+
+// askReplicas sends the sub-query to the primary and (if configured) the
+// replica simultaneously; the first success wins. Both keep computing — the
+// paper always executes on both to keep their caches in sync — which the
+// goroutines naturally model: the loser finishes in the background.
+func (c *Cluster) askReplicas(sqlText string, replicas []Leaf) (*exec.Partial, error) {
+	c.mu.Lock()
+	c.stats.SubQueries++
+	if len(replicas) > 1 {
+		c.stats.ReplicaRaces++
+	}
+	c.mu.Unlock()
+
+	type answer struct {
+		part    *exec.Partial
+		err     error
+		replica int
+	}
+	ch := make(chan answer, len(replicas))
+	for r, leaf := range replicas {
+		go func(r int, leaf Leaf) {
+			part, err := leaf.PartialQuery(sqlText)
+			ch <- answer{part, err, r}
+		}(r, leaf)
+	}
+	var firstErr error
+	for range replicas {
+		a := <-ch
+		if a.err == nil {
+			if a.replica != 0 {
+				c.mu.Lock()
+				c.stats.PrimaryFailures++
+				c.mu.Unlock()
+			}
+			return a.part, nil
+		}
+		if firstErr == nil {
+			firstErr = a.err
+		}
+	}
+	return nil, firstErr
+}
+
+// mergeTree merges partials Fanout at a time, simulating the levels of the
+// computation tree (the rewrite SELECT…GROUP BY over inner
+// SELECT…GROUP BY results, applied recursively).
+func (c *Cluster) mergeTree(parts []*exec.Partial) (*exec.Partial, error) {
+	if len(parts) == 0 {
+		return &exec.Partial{}, nil
+	}
+	level := parts
+	for len(level) > 1 {
+		var next []*exec.Partial
+		for start := 0; start < len(level); start += c.opts.Fanout {
+			end := start + c.opts.Fanout
+			if end > len(level) {
+				end = len(level)
+			}
+			acc := level[start]
+			for _, p := range level[start+1 : end] {
+				if err := exec.MergePartials(acc, p); err != nil {
+					return nil, err
+				}
+			}
+			next = append(next, acc)
+		}
+		level = next
+	}
+	return level[0], nil
+}
+
+// InjectStragglers marks a random fraction of leaves as slow, for tail
+// latency experiments.
+func (c *Cluster) InjectStragglers(frac float64, delay time.Duration, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	for _, l := range c.leaves {
+		if r.Float64() < frac {
+			l.SetStraggle(delay)
+		} else {
+			l.SetStraggle(0)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+
+	"powerdrill/internal/exec"
+	"powerdrill/internal/sql"
+	"powerdrill/internal/value"
+)
+
+// The RPC layer lets leaf servers run as separate processes (cmd/pdserver)
+// while the coordinator keeps the exact same execution tree. Values cross
+// the wire as explicit tagged unions because value.Value's fields are
+// unexported by design.
+
+// WireValue is the gob-encodable form of value.Value.
+type WireValue struct {
+	Kind uint8
+	Str  string
+	Int  int64
+	Flt  float64
+}
+
+// toWire converts a value for transport.
+func toWire(v value.Value) WireValue {
+	w := WireValue{Kind: uint8(v.Kind())}
+	switch v.Kind() {
+	case value.KindString:
+		w.Str = v.Str()
+	case value.KindInt64:
+		w.Int = v.Int()
+	case value.KindFloat64:
+		w.Flt = v.Float()
+	}
+	return w
+}
+
+// fromWire converts a transported value back.
+func fromWire(w WireValue) value.Value {
+	switch value.Kind(w.Kind) {
+	case value.KindString:
+		return value.String(w.Str)
+	case value.KindInt64:
+		return value.Int64(w.Int)
+	case value.KindFloat64:
+		return value.Float64(w.Flt)
+	}
+	return value.Value{}
+}
+
+// WireCell mirrors exec.PartialCell.
+type WireCell struct {
+	Count    int64
+	SumI     int64
+	SumF     float64
+	SumIsInt bool
+	HasMin   bool
+	Min      WireValue
+	HasMax   bool
+	Max      WireValue
+	Sketch   []byte
+}
+
+// WireGroup mirrors exec.PartialGroup.
+type WireGroup struct {
+	Keys  []WireValue
+	Cells []WireCell
+}
+
+// WirePartial mirrors exec.Partial.
+type WirePartial struct {
+	Columns []string
+	Groups  []WireGroup
+	Stats   exec.QueryStats
+}
+
+// toWirePartial converts a partial for transport.
+func toWirePartial(p *exec.Partial) *WirePartial {
+	out := &WirePartial{Columns: p.Columns, Stats: p.Stats}
+	for _, g := range p.Groups {
+		wg := WireGroup{}
+		for _, k := range g.Keys {
+			wg.Keys = append(wg.Keys, toWire(k))
+		}
+		for _, c := range g.Cells {
+			wc := WireCell{
+				Count: c.Count, SumI: c.SumI, SumF: c.SumF, SumIsInt: c.SumIsInt,
+				Sketch: c.Sketch,
+			}
+			if c.Min.IsValid() {
+				wc.HasMin, wc.Min = true, toWire(c.Min)
+			}
+			if c.Max.IsValid() {
+				wc.HasMax, wc.Max = true, toWire(c.Max)
+			}
+			wg.Cells = append(wg.Cells, wc)
+		}
+		out.Groups = append(out.Groups, wg)
+	}
+	return out
+}
+
+// fromWirePartial converts a transported partial back.
+func fromWirePartial(w *WirePartial) *exec.Partial {
+	out := &exec.Partial{Columns: w.Columns, Stats: w.Stats}
+	for _, g := range w.Groups {
+		pg := exec.PartialGroup{}
+		for _, k := range g.Keys {
+			pg.Keys = append(pg.Keys, fromWire(k))
+		}
+		for _, c := range g.Cells {
+			pc := exec.PartialCell{
+				Count: c.Count, SumI: c.SumI, SumF: c.SumF, SumIsInt: c.SumIsInt,
+				Sketch: c.Sketch,
+			}
+			if c.HasMin {
+				pc.Min = fromWire(c.Min)
+			}
+			if c.HasMax {
+				pc.Max = fromWire(c.Max)
+			}
+			pg.Cells = append(pg.Cells, pc)
+		}
+		out.Groups = append(out.Groups, pg)
+	}
+	return out
+}
+
+// LeafService is the net/rpc server wrapper around an engine.
+type LeafService struct {
+	engine *exec.Engine
+}
+
+// QueryArgs is the RPC request.
+type QueryArgs struct {
+	SQL string
+}
+
+// NewLeafService wraps an engine for serving.
+func NewLeafService(engine *exec.Engine) *LeafService {
+	return &LeafService{engine: engine}
+}
+
+// PartialQuery is the RPC method: parse, run, ship the partial.
+func (s *LeafService) PartialQuery(args *QueryArgs, reply *WirePartial) error {
+	stmt, err := sql.Parse(args.SQL)
+	if err != nil {
+		return err
+	}
+	part, err := s.engine.RunPartial(stmt)
+	if err != nil {
+		return err
+	}
+	*reply = *toWirePartial(part)
+	return nil
+}
+
+// Serve registers the service and accepts connections on l until the
+// listener closes. It blocks; run it in a goroutine or a dedicated process.
+func Serve(l net.Listener, engine *exec.Engine) error {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Leaf", NewLeafService(engine)); err != nil {
+		return err
+	}
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go srv.ServeConn(conn)
+	}
+}
+
+// RemoteLeaf is a Leaf backed by a net/rpc connection.
+type RemoteLeaf struct {
+	name   string
+	client *rpc.Client
+}
+
+// Dial connects to a leaf server.
+func Dial(addr string) (*RemoteLeaf, error) {
+	client, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
+	}
+	return &RemoteLeaf{name: addr, client: client}, nil
+}
+
+// Name implements Leaf.
+func (r *RemoteLeaf) Name() string { return r.name }
+
+// PartialQuery implements Leaf.
+func (r *RemoteLeaf) PartialQuery(sqlText string) (*exec.Partial, error) {
+	var reply WirePartial
+	if err := r.client.Call("Leaf.PartialQuery", &QueryArgs{SQL: sqlText}, &reply); err != nil {
+		return nil, err
+	}
+	return fromWirePartial(&reply), nil
+}
+
+// Close releases the connection.
+func (r *RemoteLeaf) Close() error { return r.client.Close() }

@@ -1,0 +1,190 @@
+package colstore
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"powerdrill/internal/compress"
+	"powerdrill/internal/value"
+)
+
+// compressByName returns the zippy codec for tests.
+func compressByName(t testing.TB) (compress.Codec, error) {
+	t.Helper()
+	return compress.ByName("zippy")
+}
+
+func TestSaveOpenRoundTrip(t *testing.T) {
+	src := logs(3000)
+	for _, codec := range []string{"", "zippy", "lzoish"} {
+		for name, opts := range variants() {
+			t.Run(name+"/"+codecLabel(codec), func(t *testing.T) {
+				s, err := FromTable(src, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				dir := t.TempDir()
+				if err := Save(s, dir, codec); err != nil {
+					t.Fatal(err)
+				}
+				back, stats, err := Open(dir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if stats.BytesRead <= 0 || stats.Files != len(s.Columns())+1 {
+					t.Errorf("stats = %+v", stats)
+				}
+				if back.NumRows() != s.NumRows() || back.NumChunks() != s.NumChunks() {
+					t.Fatalf("shape changed: %d/%d vs %d/%d",
+						back.NumRows(), back.NumChunks(), s.NumRows(), s.NumChunks())
+				}
+				reconstruct(t, back, src)
+			})
+		}
+	}
+}
+
+func codecLabel(c string) string {
+	if c == "" {
+		return "raw"
+	}
+	return c
+}
+
+func TestOpenPreservesVirtualColumns(t *testing.T) {
+	s, err := FromTable(logs(500), Options{OptimizeElements: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]value.Value, s.NumRows())
+	for i := range vals {
+		vals[i] = value.Int64(int64(i % 7))
+	}
+	if _, err := s.AddVirtualColumn("vf", value.KindInt64, vals); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := Save(s, dir, "zippy"); err != nil {
+		t.Fatal(err)
+	}
+	back, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := back.Column("vf")
+	if col == nil || !col.Virtual {
+		t.Fatal("virtual column lost")
+	}
+}
+
+func TestCompressedFilesSmaller(t *testing.T) {
+	s, err := FromTable(logs(20_000), Options{
+		PartitionFields: []string{"country", "table_name"}, MaxChunkRows: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawDir, zipDir := t.TempDir(), t.TempDir()
+	if err := Save(s, rawDir, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(s, zipDir, "zippy"); err != nil {
+		t.Fatal(err)
+	}
+	if rs, zs := dirSize(t, rawDir), dirSize(t, zipDir); zs >= rs {
+		t.Errorf("compressed store %d >= raw %d", zs, rs)
+	}
+}
+
+func dirSize(t *testing.T, dir string) int64 {
+	t.Helper()
+	var total int64
+	err := filepath.Walk(dir, func(_ string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() {
+			total += info.Size()
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return total
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, _, err := Open(t.TempDir()); err == nil {
+		t.Error("Open(empty dir) succeeded")
+	}
+	// Corrupt manifest.
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "manifest.json"), []byte("{not json"), 0o644)
+	if _, _, err := Open(dir); err == nil {
+		t.Error("Open(corrupt manifest) succeeded")
+	}
+	// Valid manifest, missing column file.
+	dir2 := t.TempDir()
+	s, _ := FromTable(logs(100), Options{})
+	if err := Save(s, dir2, ""); err != nil {
+		t.Fatal(err)
+	}
+	os.Remove(filepath.Join(dir2, "col_0000.bin"))
+	if _, _, err := Open(dir2); err == nil {
+		t.Error("Open(missing column) succeeded")
+	}
+	// Truncated column file.
+	dir3 := t.TempDir()
+	if err := Save(s, dir3, ""); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir3, "col_0001.bin")
+	raw, _ := os.ReadFile(path)
+	os.WriteFile(path, raw[:len(raw)/2], 0o644)
+	if _, _, err := Open(dir3); err == nil {
+		t.Error("Open(truncated column) succeeded")
+	}
+}
+
+func TestSaveUnknownCodec(t *testing.T) {
+	s, _ := FromTable(logs(10), Options{})
+	if err := Save(s, t.TempDir(), "bogus"); err == nil {
+		t.Error("unknown codec accepted")
+	}
+}
+
+func BenchmarkSave(b *testing.B) {
+	s, err := FromTable(logs(50_000), Options{
+		PartitionFields: []string{"country", "table_name"}, MaxChunkRows: 5000,
+		OptimizeElements: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := b.TempDir()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Save(s, dir, "zippy"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOpen(b *testing.B) {
+	s, err := FromTable(logs(50_000), Options{
+		PartitionFields: []string{"country", "table_name"}, MaxChunkRows: 5000,
+		OptimizeElements: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := b.TempDir()
+	if err := Save(s, dir, "zippy"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Open(dir); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package colstore
+
+import (
+	"fmt"
+
+	"powerdrill/internal/cache"
+	"powerdrill/internal/compress"
+	"powerdrill/internal/enc"
+)
+
+// TwoLayer implements the hybrid of the end of Section 3: "two 'layers' of
+// data-structures held in-memory: uncompressed and compressed. Moving items
+// between these layers or finally evicting them entirely can be done, e.g.,
+// with the well-known LRU cache eviction heuristic."
+//
+// Items are a column's per-chunk element payloads. An access always
+// returns a usable (uncompressed) sequence; depending on where the item
+// currently lives it is free (uncompressed layer), costs a decompression
+// (compressed layer, "promotion"), or costs a simulated disk read
+// (evicted). Byte budgets bound each layer; overflowing the uncompressed
+// layer demotes items to the compressed one, overflowing that evicts them
+// entirely. The authoritative compressed bytes stand in for the on-disk
+// copy, so eviction never loses data — it only makes the next access
+// expensive, exactly the §3 trade.
+type TwoLayer struct {
+	codec compress.Codec
+
+	// disk is the authoritative compressed image (the "on-disk" copy).
+	disk map[layerKey]diskItem
+
+	// hot caches decoded sequences; warm caches compressed bytes.
+	hot  cache.Cache
+	warm cache.Cache
+
+	stats LayerStats
+}
+
+type layerKey struct {
+	column string
+	chunk  int
+}
+
+func (k layerKey) String() string { return fmt.Sprintf("%s/%d", k.column, k.chunk) }
+
+type diskItem struct {
+	width enc.Width
+	rows  int
+	comp  []byte
+}
+
+// LayerStats counts layer traffic.
+type LayerStats struct {
+	// HotHits served straight from the uncompressed layer.
+	HotHits int64
+	// Promotions decompressed an item from the compressed layer.
+	Promotions int64
+	// DiskLoads re-read an evicted item; DiskBytes are its compressed
+	// bytes (what a real system would stream).
+	DiskLoads int64
+	DiskBytes int64
+}
+
+// NewTwoLayer builds the layer manager over every column of the store.
+// hotBytes budgets the uncompressed layer, warmBytes the compressed one;
+// policy is "lru", "2q" or "arc" (2Q by default, per Section 5).
+func NewTwoLayer(s *Store, codecName string, hotBytes, warmBytes int64, policy string) (*TwoLayer, error) {
+	codec, err := compress.ByName(codecName)
+	if err != nil {
+		return nil, err
+	}
+	mk := func(budget int64) cache.Cache {
+		switch policy {
+		case "lru":
+			return cache.NewLRU(budget)
+		case "arc":
+			return cache.NewARC(budget)
+		default:
+			return cache.NewTwoQ(budget)
+		}
+	}
+	tl := &TwoLayer{
+		codec: codec,
+		disk:  make(map[layerKey]diskItem),
+		hot:   mk(hotBytes),
+		warm:  mk(warmBytes),
+	}
+	for _, name := range s.Columns() {
+		col := s.Column(name)
+		for ci, ch := range col.Chunks {
+			raw := ch.Elems.AppendBytes(nil)
+			tl.disk[layerKey{name, ci}] = diskItem{
+				width: ch.Elems.Width(),
+				rows:  ch.Elems.Len(),
+				comp:  codec.Compress(nil, raw),
+			}
+		}
+	}
+	return tl, nil
+}
+
+// Access returns the uncompressed element sequence for (column, chunk),
+// moving it through the layers as needed.
+func (tl *TwoLayer) Access(column string, chunk int) (enc.Sequence, error) {
+	k := layerKey{column, chunk}
+	if v, ok := tl.hot.Get(k.String()); ok {
+		tl.stats.HotHits++
+		return v.(enc.Sequence), nil
+	}
+	d, ok := tl.disk[k]
+	if !ok {
+		return nil, fmt.Errorf("colstore: no such layer item %s", k)
+	}
+	comp, warm := tl.warm.Get(k.String())
+	var compBytes []byte
+	if warm {
+		tl.stats.Promotions++
+		compBytes = comp.([]byte)
+	} else {
+		// Evicted: stream the compressed bytes back "from disk".
+		tl.stats.DiskLoads++
+		tl.stats.DiskBytes += int64(len(d.comp))
+		compBytes = d.comp
+		tl.warm.Put(k.String(), compBytes, int64(len(compBytes)))
+	}
+	raw, err := tl.codec.Decompress(nil, compBytes)
+	if err != nil {
+		return nil, fmt.Errorf("colstore: promoting %s: %w", k, err)
+	}
+	seq, err := enc.Decode(d.width, d.rows, raw)
+	if err != nil {
+		return nil, fmt.Errorf("colstore: promoting %s: %w", k, err)
+	}
+	tl.hot.Put(k.String(), seq, seq.MemoryBytes())
+	return seq, nil
+}
+
+// Stats returns cumulative layer counters.
+func (tl *TwoLayer) Stats() LayerStats { return tl.stats }
+
+// ResidentBytes reports the current in-memory footprint of both layers —
+// the number the hybrid exists to bound.
+func (tl *TwoLayer) ResidentBytes() (hot, warm int64) {
+	return tl.hot.SizeBytes(), tl.warm.SizeBytes()
+}
+
+// DiskBytes reports the total authoritative compressed size.
+func (tl *TwoLayer) DiskBytes() int64 {
+	var total int64
+	for _, d := range tl.disk {
+		total += int64(len(d.comp))
+	}
+	return total
+}

@@ -1,0 +1,170 @@
+package colstore
+
+import (
+	"testing"
+)
+
+func layeredStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := FromTable(logs(10_000), Options{
+		PartitionFields:  []string{"country", "table_name"},
+		MaxChunkRows:     1000,
+		OptimizeElements: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestTwoLayerRoundTrip(t *testing.T) {
+	s := layeredStore(t)
+	tl, err := NewTwoLayer(s, "zippy", 1<<30, 1<<30, "2q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every item accessed through the layers must decode to the same
+	// elements the store holds.
+	for _, name := range s.Columns() {
+		col := s.Column(name)
+		for ci, ch := range col.Chunks {
+			seq, err := tl.Access(name, ci)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", name, ci, err)
+			}
+			if seq.Len() != ch.Elems.Len() {
+				t.Fatalf("%s/%d: len %d, want %d", name, ci, seq.Len(), ch.Elems.Len())
+			}
+			for r := 0; r < seq.Len(); r += 97 { // sampled
+				if seq.At(r) != ch.Elems.At(r) {
+					t.Fatalf("%s/%d row %d: %d != %d", name, ci, r, seq.At(r), ch.Elems.At(r))
+				}
+			}
+		}
+	}
+}
+
+func TestTwoLayerStateTransitions(t *testing.T) {
+	s := layeredStore(t)
+	tl, err := NewTwoLayer(s, "zippy", 1<<30, 1<<30, "lru")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First access: disk load (nothing resident yet).
+	if _, err := tl.Access("country", 0); err != nil {
+		t.Fatal(err)
+	}
+	st := tl.Stats()
+	if st.DiskLoads != 1 || st.HotHits != 0 {
+		t.Fatalf("first access stats: %+v", st)
+	}
+	// Second access: hot hit, free.
+	if _, err := tl.Access("country", 0); err != nil {
+		t.Fatal(err)
+	}
+	st = tl.Stats()
+	if st.HotHits != 1 || st.DiskLoads != 1 {
+		t.Fatalf("second access stats: %+v", st)
+	}
+}
+
+func TestTwoLayerPromotionWithoutDisk(t *testing.T) {
+	s := layeredStore(t)
+	// Tiny hot budget: items fall back to the compressed layer quickly,
+	// but a large warm budget keeps them in memory — accesses must be
+	// promotions, not disk loads.
+	tl, err := NewTwoLayer(s, "zippy", 512, 1<<30, "lru")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := s.Columns()
+	for round := 0; round < 3; round++ {
+		for _, name := range cols {
+			if _, err := tl.Access(name, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := tl.Stats()
+	if st.Promotions == 0 {
+		t.Errorf("no promotions despite tiny hot layer: %+v", st)
+	}
+	// After the first round everything lives in the warm layer; later
+	// rounds must not touch disk.
+	if st.DiskLoads > int64(len(cols)) {
+		t.Errorf("disk loads %d exceed first-round loads %d", st.DiskLoads, len(cols))
+	}
+	hot, warm := tl.ResidentBytes()
+	if hot > 512 {
+		t.Errorf("hot layer over budget: %d", hot)
+	}
+	if warm <= 0 {
+		t.Error("warm layer empty")
+	}
+}
+
+func TestTwoLayerEviction(t *testing.T) {
+	s := layeredStore(t)
+	// Both layers tiny: repeated scans over many chunks must hit disk
+	// repeatedly — the cost of not having the memory (the §3 trade).
+	tl, err := NewTwoLayer(s, "zippy", 256, 256, "lru")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := s.NumChunks()
+	for round := 0; round < 2; round++ {
+		for ci := 0; ci < n; ci++ {
+			if _, err := tl.Access("latency", ci); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := tl.Stats()
+	if st.DiskLoads < int64(n) {
+		t.Errorf("expected ≥%d disk loads under tiny budgets, got %d", n, st.DiskLoads)
+	}
+	if st.DiskBytes <= 0 {
+		t.Error("no disk bytes accounted")
+	}
+}
+
+func TestTwoLayerMemoryVersusDisk(t *testing.T) {
+	s := layeredStore(t)
+	tl, err := NewTwoLayer(s, "zippy", 1<<30, 1<<30, "2q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Touch everything so both layers fill.
+	for _, name := range s.Columns() {
+		for ci := 0; ci < s.NumChunks(); ci++ {
+			if _, err := tl.Access(name, ci); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	hot, warm := tl.ResidentBytes()
+	if warm != tl.DiskBytes() {
+		t.Errorf("warm layer %d != authoritative compressed %d", warm, tl.DiskBytes())
+	}
+	if hot <= warm {
+		t.Errorf("uncompressed layer %d not larger than compressed %d", hot, warm)
+	}
+	t.Logf("hot=%d warm=%d (ratio %.1fx)", hot, warm, float64(hot)/float64(warm))
+}
+
+func TestTwoLayerErrors(t *testing.T) {
+	s := layeredStore(t)
+	if _, err := NewTwoLayer(s, "no-such-codec", 1024, 1024, "lru"); err == nil {
+		t.Error("unknown codec accepted")
+	}
+	tl, err := NewTwoLayer(s, "zippy", 1024, 1024, "arc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tl.Access("missing", 0); err == nil {
+		t.Error("missing column accepted")
+	}
+	if _, err := tl.Access("country", 999); err == nil {
+		t.Error("missing chunk accepted")
+	}
+}

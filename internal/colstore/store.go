@@ -1,0 +1,333 @@
+package colstore
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"powerdrill/internal/dict"
+	"powerdrill/internal/enc"
+	"powerdrill/internal/partition"
+	"powerdrill/internal/reorder"
+	"powerdrill/internal/table"
+	"powerdrill/internal/value"
+)
+
+// StringDictKind selects the global-dictionary implementation for string
+// columns, corresponding to the paper's optimization steps.
+type StringDictKind string
+
+// The available string dictionary implementations.
+const (
+	// StringDictArray is the canonical sorted array (Sections 2.3–2.5).
+	StringDictArray StringDictKind = "array"
+	// StringDictTrie is the hand-crafted 4-bit trie (Section 3).
+	StringDictTrie StringDictKind = "trie"
+	// StringDictSharded splits the dictionary into lazily loaded
+	// sub-dictionaries with Bloom filters (Section 5).
+	StringDictSharded StringDictKind = "sharded"
+)
+
+// Options configures the import pipeline (Section 2.2 and Section 3).
+type Options struct {
+	// PartitionFields is the ordered composite-range-partitioning key.
+	// Empty means a single chunk (the "Basic" layout of Section 2.5).
+	PartitionFields []string
+	// MaxChunkRows is the split threshold (default 50'000).
+	MaxChunkRows int
+	// OptimizeElements selects per-chunk minimal element widths
+	// (Section 3 "OptCols"); false stores 32-bit elements ("Basic").
+	OptimizeElements bool
+	// StringDict selects the string dictionary implementation
+	// (default StringDictArray).
+	StringDict StringDictKind
+	// Reorder sorts rows lexicographically by PartitionFields before
+	// partitioning (Section 3 "Reordering Rows").
+	Reorder bool
+	// ShardedDictSize overrides the sub-dictionary size for
+	// StringDictSharded (default 8192).
+	ShardedDictSize int
+	// LazyDicts keeps sharded dictionaries non-resident: sub-dictionaries
+	// load on first use and can be evicted, the Section 5 "when only few
+	// chunks are active there is no need to have the entire dictionary in
+	// memory". Only meaningful with StringDictSharded.
+	LazyDicts bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxChunkRows <= 0 {
+		o.MaxChunkRows = 50_000
+	}
+	if o.StringDict == "" {
+		o.StringDict = StringDictArray
+	}
+	return o
+}
+
+// Store is a dictionary-encoded, chunked table: the unit a single machine
+// serves (one shard of the distributed system).
+type Store struct {
+	Name string
+	// Bounds are the chunk row boundaries; chunk c covers rows
+	// [Bounds[c], Bounds[c+1]) in store order.
+	Bounds []int
+	// Opts records how the store was built.
+	Opts Options
+
+	columns map[string]*Column
+	order   []string
+}
+
+// NumRows returns the total number of rows.
+func (s *Store) NumRows() int { return s.Bounds[len(s.Bounds)-1] }
+
+// NumChunks returns the number of chunks.
+func (s *Store) NumChunks() int { return len(s.Bounds) - 1 }
+
+// ChunkRows returns the number of rows in chunk c.
+func (s *Store) ChunkRows(c int) int { return s.Bounds[c+1] - s.Bounds[c] }
+
+// Column returns the named column (physical or virtual), or nil.
+func (s *Store) Column(name string) *Column { return s.columns[name] }
+
+// Columns returns all column names in declaration order.
+func (s *Store) Columns() []string { return append([]string(nil), s.order...) }
+
+// AddColumn registers a column; it must match the store's chunk layout.
+func (s *Store) AddColumn(c *Column) error {
+	if _, dup := s.columns[c.Name]; dup {
+		return fmt.Errorf("colstore: duplicate column %q", c.Name)
+	}
+	if err := c.checkAligned(s.Bounds); err != nil {
+		return err
+	}
+	s.columns[c.Name] = c
+	s.order = append(s.order, c.Name)
+	return nil
+}
+
+// FromTable imports a raw table into a column store.
+func FromTable(tbl *table.Table, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if opts.Reorder && len(opts.PartitionFields) > 0 {
+		tbl = tbl.Permute(reorder.Lexicographic(tbl, opts.PartitionFields))
+	}
+	bounds := []int{0, tbl.NumRows()}
+	if len(opts.PartitionFields) > 0 {
+		res, err := partition.Partition(tbl, partition.Spec{
+			Fields:       opts.PartitionFields,
+			MaxChunkRows: opts.MaxChunkRows,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tbl = tbl.Permute(res.Perm)
+		bounds = res.Bounds
+	}
+	if tbl.NumRows() == 0 {
+		bounds = []int{0, 0}
+	}
+	s := &Store{
+		Name:    tbl.Name,
+		Bounds:  bounds,
+		Opts:    opts,
+		columns: make(map[string]*Column),
+	}
+	for _, col := range tbl.Cols {
+		built, err := s.buildColumn(col)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.AddColumn(built); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// buildColumn dictionary-encodes one raw column against the store layout.
+func (s *Store) buildColumn(col *table.Column) (*Column, error) {
+	switch col.Kind {
+	case value.KindString:
+		return s.buildStringColumn(col.Name, col.Strs, false)
+	case value.KindInt64:
+		return s.buildInt64Column(col.Name, col.Ints, false)
+	case value.KindFloat64:
+		return s.buildFloat64Column(col.Name, col.Floats, false)
+	}
+	return nil, fmt.Errorf("colstore: column %q has invalid kind", col.Name)
+}
+
+func (s *Store) buildStringColumn(name string, vals []string, virtual bool) (*Column, error) {
+	gids := make([]uint32, len(vals))
+	ranks := make(map[string]uint32, 1024)
+	for _, v := range vals {
+		if _, ok := ranks[v]; !ok {
+			ranks[v] = 0
+		}
+	}
+	sorted := make([]string, 0, len(ranks))
+	for v := range ranks {
+		sorted = append(sorted, v)
+	}
+	sort.Strings(sorted)
+	for i, v := range sorted {
+		ranks[v] = uint32(i)
+	}
+	for i, v := range vals {
+		gids[i] = ranks[v]
+	}
+	var d dict.Dict
+	switch s.Opts.StringDict {
+	case StringDictTrie:
+		d = dict.NewTrie(sorted)
+	case StringDictSharded:
+		d = dict.NewSharded(sorted, dict.ShardedOptions{ShardSize: s.Opts.ShardedDictSize, Retain: !s.Opts.LazyDicts})
+	default:
+		d = dict.NewStringArray(sorted)
+	}
+	return s.assemble(name, value.KindString, d, gids, virtual)
+}
+
+func (s *Store) buildInt64Column(name string, vals []int64, virtual bool) (*Column, error) {
+	seen := make(map[int64]uint32, 1024)
+	for _, v := range vals {
+		seen[v] = 0
+	}
+	sorted := make([]int64, 0, len(seen))
+	for v := range seen {
+		sorted = append(sorted, v)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i, v := range sorted {
+		seen[v] = uint32(i)
+	}
+	gids := make([]uint32, len(vals))
+	for i, v := range vals {
+		gids[i] = seen[v]
+	}
+	return s.assemble(name, value.KindInt64, dict.NewInt64s(sorted), gids, virtual)
+}
+
+func (s *Store) buildFloat64Column(name string, vals []float64, virtual bool) (*Column, error) {
+	seen := make(map[float64]uint32, 1024)
+	for _, v := range vals {
+		if math.IsNaN(v) {
+			return nil, fmt.Errorf("colstore: column %q contains NaN", name)
+		}
+		seen[v] = 0
+	}
+	sorted := make([]float64, 0, len(seen))
+	for v := range seen {
+		sorted = append(sorted, v)
+	}
+	sort.Float64s(sorted)
+	for i, v := range sorted {
+		seen[v] = uint32(i)
+	}
+	gids := make([]uint32, len(vals))
+	for i, v := range vals {
+		gids[i] = seen[v]
+	}
+	return s.assemble(name, value.KindFloat64, dict.NewFloat64s(sorted), gids, virtual)
+}
+
+// assemble cuts a column's per-row global-ids into chunks, builds the
+// chunk-dictionaries, and encodes the elements.
+func (s *Store) assemble(name string, kind value.Kind, d dict.Dict, gids []uint32, virtual bool) (*Column, error) {
+	if len(gids) != s.NumRows() {
+		return nil, fmt.Errorf("colstore: column %q has %d rows, store has %d", name, len(gids), s.NumRows())
+	}
+	col := &Column{Name: name, Kind: kind, Dict: d, Virtual: virtual}
+	for c := 0; c < s.NumChunks(); c++ {
+		part := gids[s.Bounds[c]:s.Bounds[c+1]]
+		// Chunk-dictionary: sorted distinct global-ids of the chunk.
+		distinct := make(map[uint32]struct{}, 64)
+		for _, g := range part {
+			distinct[g] = struct{}{}
+		}
+		cd := make([]uint32, 0, len(distinct))
+		for g := range distinct {
+			cd = append(cd, g)
+		}
+		sort.Slice(cd, func(i, j int) bool { return cd[i] < cd[j] })
+		// Chunk-ids are ranks within the chunk-dictionary.
+		rank := make(map[uint32]uint32, len(cd))
+		for i, g := range cd {
+			rank[g] = uint32(i)
+		}
+		elems := make([]uint32, len(part))
+		for i, g := range part {
+			elems[i] = rank[g]
+		}
+		var seq enc.Sequence
+		if s.Opts.OptimizeElements {
+			seq = enc.Encode(elems, len(cd))
+		} else {
+			seq = enc.EncodeFixed32(elems)
+		}
+		col.Chunks = append(col.Chunks, &Chunk{GlobalIDs: cd, Elems: seq})
+	}
+	return col, nil
+}
+
+// AddVirtualColumn materializes per-row values (computed by the expression
+// engine) as a first-class column in the store's own format — the
+// Section 5 "virtual fields" mechanism. The values slice must be in store
+// row order.
+func (s *Store) AddVirtualColumn(name string, kind value.Kind, vals []value.Value) (*Column, error) {
+	if _, dup := s.columns[name]; dup {
+		return nil, fmt.Errorf("colstore: virtual column %q already exists", name)
+	}
+	var (
+		col *Column
+		err error
+	)
+	switch kind {
+	case value.KindString:
+		raw := make([]string, len(vals))
+		for i, v := range vals {
+			raw[i] = v.Str()
+		}
+		col, err = s.buildStringColumn(name, raw, true)
+	case value.KindInt64:
+		raw := make([]int64, len(vals))
+		for i, v := range vals {
+			raw[i] = v.Int()
+		}
+		col, err = s.buildInt64Column(name, raw, true)
+	case value.KindFloat64:
+		raw := make([]float64, len(vals))
+		for i, v := range vals {
+			raw[i] = v.Float()
+		}
+		col, err = s.buildFloat64Column(name, raw, true)
+	default:
+		return nil, fmt.Errorf("colstore: virtual column %q has invalid kind", name)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := s.AddColumn(col); err != nil {
+		return nil, err
+	}
+	return col, nil
+}
+
+// MemoryFor sums the footprints of the named columns — the per-query
+// memory the paper's tables report ("this reflects only the columns
+// present in the individual queries").
+func (s *Store) MemoryFor(cols ...string) (MemoryBreakdown, error) {
+	var m MemoryBreakdown
+	for _, name := range cols {
+		c := s.columns[name]
+		if c == nil {
+			return m, fmt.Errorf("colstore: unknown column %q", name)
+		}
+		m.Add(c.Memory())
+	}
+	return m, nil
+}
+
+// floatBitsOf converts a float to its bit pattern (helper for column.go).
+func floatBitsOf(f float64) uint64 { return math.Float64bits(f) }

@@ -1,0 +1,106 @@
+// Package compress implements the generic byte compressors the paper layers
+// under its hand-crafted encodings (Section 3 "Generic Compression
+// Algorithm" and Section 5 "Other Compression Algorithms"):
+//
+//   - Zippy: a from-scratch implementation of the Snappy wire format, the
+//     algorithm Google used in the paper's experiments. Byte-oriented LZ77
+//     with no entropy coding; built for speed, not maximal ratio.
+//   - LZO-ish: an LZ77 variant with a smaller minimum match and tighter
+//     copy encoding, standing in for the "variant of LZO" the paper chose
+//     for production (slightly better ratio, fast decompression).
+//   - Deflate / HuffmanOnly: stdlib flate, standing in for the ZLIB
+//     variants of Section 5 (entropy coding buys 20–30% ratio at a large
+//     CPU cost).
+//   - RLE: plain run-length encoding, used by the row-reordering analysis
+//     of Section 3.
+//
+// All codecs implement Codec; Registry looks them up by name for the
+// benchmark harness.
+package compress
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Codec is a block compressor. Compress appends the compressed form of src
+// to dst (dst may be nil) and Decompress reverses it. Implementations are
+// deterministic and safe for concurrent use by multiple goroutines.
+type Codec interface {
+	// Name identifies the codec in benchmark tables.
+	Name() string
+	// Compress appends the compressed src to dst and returns it.
+	Compress(dst, src []byte) []byte
+	// Decompress appends the decompressed src to dst and returns it.
+	Decompress(dst, src []byte) ([]byte, error)
+}
+
+var registry = map[string]Codec{}
+
+// Register adds a codec to the global registry. It panics on duplicates,
+// which would indicate an initialization bug.
+func Register(c Codec) {
+	if _, dup := registry[c.Name()]; dup {
+		panic("compress: duplicate codec " + c.Name())
+	}
+	registry[c.Name()] = c
+}
+
+// ByName returns a registered codec.
+func ByName(name string) (Codec, error) {
+	c, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("compress: unknown codec %q", name)
+	}
+	return c, nil
+}
+
+// Names returns the registered codec names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Ratio returns len(src)/len(compressed); >1 means the codec saved space.
+func Ratio(c Codec, src []byte) float64 {
+	if len(src) == 0 {
+		return 1
+	}
+	out := c.Compress(nil, src)
+	if len(out) == 0 {
+		return 1
+	}
+	return float64(len(src)) / float64(len(out))
+}
+
+// varint helpers shared by the LZ codecs (little-endian base-128, the same
+// encoding encoding/binary uses, re-implemented locally to keep the hot
+// paths free of interface indirection).
+
+func putUvarint(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+func uvarint(src []byte) (uint64, int) {
+	var v uint64
+	var shift uint
+	for i, b := range src {
+		if i == 10 {
+			return 0, -1 // overflow
+		}
+		if b < 0x80 {
+			return v | uint64(b)<<shift, i + 1
+		}
+		v |= uint64(b&0x7f) << shift
+		shift += 7
+	}
+	return 0, 0 // truncated
+}

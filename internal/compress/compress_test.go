@@ -1,0 +1,300 @@
+package compress
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func allCodecs(t testing.TB) []Codec {
+	t.Helper()
+	var out []Codec
+	for _, name := range Names() {
+		c, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		out = append(out, c)
+	}
+	if len(out) < 5 {
+		t.Fatalf("expected ≥5 registered codecs, got %v", Names())
+	}
+	return out
+}
+
+// corpus builds inputs spanning the shapes the column store produces:
+// highly repetitive element arrays, sorted dictionary strings with shared
+// prefixes, and incompressible noise.
+func corpus() map[string][]byte {
+	r := rand.New(rand.NewSource(11))
+	random := make([]byte, 100_000)
+	r.Read(random)
+
+	repetitive := bytes.Repeat([]byte{0, 0, 1, 2, 0, 0, 0, 3}, 10_000)
+
+	var dict bytes.Buffer
+	for i := 0; i < 5000; i++ {
+		fmt.Fprintf(&dict, "logs.powerdrill.query_events_2011%02d%02d\x00", i%12+1, i%28+1)
+	}
+
+	runs := make([]byte, 0, 80_000)
+	for v := 0; v < 40; v++ {
+		runs = append(runs, bytes.Repeat([]byte{byte(v)}, 2000)...)
+	}
+
+	return map[string][]byte{
+		"empty":      {},
+		"single":     {42},
+		"short":      []byte("cat"),
+		"random":     random,
+		"repetitive": repetitive,
+		"dict":       dict.Bytes(),
+		"runs":       runs,
+		"allzero":    make([]byte, 70_000), // crosses the 64K zippy block boundary
+	}
+}
+
+func TestRoundTripAllCodecs(t *testing.T) {
+	for _, c := range allCodecs(t) {
+		for name, data := range corpus() {
+			t.Run(c.Name()+"/"+name, func(t *testing.T) {
+				comp := c.Compress(nil, data)
+				got, err := c.Decompress(nil, comp)
+				if err != nil {
+					t.Fatalf("Decompress: %v", err)
+				}
+				if !bytes.Equal(got, data) {
+					t.Fatalf("round trip mismatch: %d bytes in, %d out", len(data), len(got))
+				}
+			})
+		}
+	}
+}
+
+func TestRoundTripAppendsToDst(t *testing.T) {
+	for _, c := range allCodecs(t) {
+		prefix := []byte("prefix-")
+		data := []byte("the quick brown fox jumps over the quick brown fox")
+		comp := c.Compress([]byte("header"), data)
+		if !bytes.HasPrefix(comp, []byte("header")) {
+			t.Fatalf("%s: Compress did not append to dst", c.Name())
+		}
+		got, err := c.Decompress(prefix, comp[len("header"):])
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		if !bytes.Equal(got, append([]byte("prefix-"), data...)) {
+			t.Fatalf("%s: Decompress did not append to dst", c.Name())
+		}
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	for _, c := range allCodecs(t) {
+		c := c
+		f := func(data []byte) bool {
+			comp := c.Compress(nil, data)
+			got, err := c.Decompress(nil, comp)
+			return err == nil && bytes.Equal(got, data)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", c.Name(), err)
+		}
+	}
+}
+
+func TestQuickRoundTripStructured(t *testing.T) {
+	// Random byte slices rarely contain matches; synthesize match-heavy
+	// inputs from small alphabets and repeats to exercise the copy paths.
+	for _, c := range allCodecs(t) {
+		c := c
+		f := func(seed int64, n uint16) bool {
+			r := rand.New(rand.NewSource(seed))
+			data := make([]byte, 0, int(n)*4)
+			for len(data) < int(n)*4 {
+				switch r.Intn(3) {
+				case 0:
+					data = append(data, byte(r.Intn(4)))
+				case 1: // run
+					data = append(data, bytes.Repeat([]byte{byte(r.Intn(8))}, r.Intn(100)+1)...)
+				case 2: // repeat earlier content
+					if len(data) > 0 {
+						start := r.Intn(len(data))
+						end := start + r.Intn(len(data)-start) + 1
+						data = append(data, data[start:end]...)
+					}
+				}
+			}
+			comp := c.Compress(nil, data)
+			got, err := c.Decompress(nil, comp)
+			return err == nil && bytes.Equal(got, data)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+			t.Errorf("%s: %v", c.Name(), err)
+		}
+	}
+}
+
+func TestCorruptInputsDoNotPanic(t *testing.T) {
+	data := []byte(strings.Repeat("powerdrill column store ", 100))
+	r := rand.New(rand.NewSource(3))
+	for _, c := range allCodecs(t) {
+		comp := c.Compress(nil, data)
+		// Truncations.
+		for cut := 0; cut < len(comp); cut += 7 {
+			c.Decompress(nil, comp[:cut]) // must not panic; error is fine
+		}
+		// Random flips.
+		for trial := 0; trial < 200; trial++ {
+			mut := append([]byte(nil), comp...)
+			for flips := 0; flips < 3; flips++ {
+				mut[r.Intn(len(mut))] ^= byte(1 << r.Intn(8))
+			}
+			out, err := c.Decompress(nil, mut)
+			// Either an error, or (for undetectable flips) some output;
+			// both acceptable, panics are not.
+			_ = out
+			_ = err
+		}
+		if _, err := c.Decompress(nil, nil); err == nil && c.Name() != "zlib" && c.Name() != "huffman-only" {
+			t.Errorf("%s: empty input decoded without error", c.Name())
+		}
+	}
+}
+
+func TestCompressionRatiosOnColumnData(t *testing.T) {
+	data := corpus()
+	for _, name := range []string{"zippy", "lzoish", "zlib"} {
+		c, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := Ratio(c, data["runs"]); r < 20 {
+			t.Errorf("%s: ratio on runs = %.1f, want ≥20", name, r)
+		}
+		if r := Ratio(c, data["dict"]); r < 2 {
+			t.Errorf("%s: ratio on dict strings = %.1f, want ≥2", name, r)
+		}
+		if r := Ratio(c, data["random"]); r > 1.2 {
+			t.Errorf("%s: ratio on random = %.2f, should be ≈1", name, r)
+		}
+	}
+}
+
+// TestSection5Shape checks the qualitative relationships of the paper's
+// Section 5 comparison: entropy-coded zlib compresses at least as well as
+// the byte-oriented codecs, and the LZO-like variant is at least as good as
+// Zippy on dictionary-style data.
+func TestSection5Shape(t *testing.T) {
+	data := corpus()["dict"]
+	zippy, _ := ByName("zippy")
+	lzo, _ := ByName("lzoish")
+	zlib, _ := ByName("zlib")
+	rz, rl, rzl := Ratio(zippy, data), Ratio(lzo, data), Ratio(zlib, data)
+	t.Logf("ratios on dict data: zippy=%.2f lzoish=%.2f zlib=%.2f", rz, rl, rzl)
+	if rzl < rz {
+		t.Errorf("zlib ratio %.2f below zippy %.2f; entropy coding should win", rzl, rz)
+	}
+	if rl < rz*0.95 {
+		t.Errorf("lzoish ratio %.2f clearly below zippy %.2f", rl, rz)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	if _, err := ByName("no-such-codec"); err == nil {
+		t.Error("ByName(nonexistent) succeeded")
+	}
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("Names not sorted: %v", names)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register did not panic")
+		}
+	}()
+	Register(Zippy{})
+}
+
+func TestRatioEdgeCases(t *testing.T) {
+	z, _ := ByName("zippy")
+	if r := Ratio(z, nil); r != 1 {
+		t.Errorf("Ratio(empty) = %f", r)
+	}
+}
+
+func TestRuns(t *testing.T) {
+	for _, tc := range []struct {
+		in   []byte
+		want int
+	}{
+		{nil, 0},
+		{[]byte{1}, 1},
+		{[]byte{1, 1, 1}, 1},
+		{[]byte{0, 0, 0, 1, 1, 1}, 2},
+		{[]byte{1, 2, 3}, 3},
+	} {
+		if got := Runs(tc.in); got != tc.want {
+			t.Errorf("Runs(%v) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestUvarintRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		buf := putUvarint(nil, v)
+		got, n := uvarint(buf)
+		return n == len(buf) && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if _, n := uvarint(nil); n != 0 {
+		t.Error("uvarint(nil) should report truncation")
+	}
+	if _, n := uvarint(bytes.Repeat([]byte{0xff}, 11)); n >= 0 {
+		t.Error("uvarint overflow not detected")
+	}
+}
+
+func BenchmarkCompress(b *testing.B) {
+	data := corpus()
+	for _, c := range allCodecs(b) {
+		for _, input := range []string{"dict", "repetitive", "random"} {
+			src := data[input]
+			b.Run(c.Name()+"/"+input, func(b *testing.B) {
+				b.SetBytes(int64(len(src)))
+				var buf []byte
+				for i := 0; i < b.N; i++ {
+					buf = c.Compress(buf[:0], src)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkDecompress(b *testing.B) {
+	data := corpus()
+	for _, c := range allCodecs(b) {
+		for _, input := range []string{"dict", "repetitive"} {
+			src := data[input]
+			comp := c.Compress(nil, src)
+			b.Run(c.Name()+"/"+input, func(b *testing.B) {
+				b.SetBytes(int64(len(src)))
+				var buf []byte
+				var err error
+				for i := 0; i < b.N; i++ {
+					buf, err = c.Decompress(buf[:0], comp)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

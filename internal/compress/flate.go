@@ -1,0 +1,81 @@
+package compress
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Flate wraps stdlib DEFLATE at a fixed level. Two registered instances
+// reproduce the Section 5 comparison: "zlib" (LZ77 + Huffman, the slow,
+// high-ratio end) and "huffman-only" (entropy coding with no matching, the
+// configuration the paper tested ZLIB "without additional Huffman coding"
+// against).
+type Flate struct {
+	name  string
+	level int
+}
+
+// NewFlate creates a flate codec with the given display name and level.
+func NewFlate(name string, level int) *Flate { return &Flate{name: name, level: level} }
+
+// Name implements Codec.
+func (f *Flate) Name() string { return f.name }
+
+// writerPool amortizes flate's large per-writer state across calls.
+type pooledWriter struct {
+	w   *flate.Writer
+	buf bytes.Buffer
+}
+
+var writerPools sync.Map // level -> *sync.Pool
+
+func (f *Flate) pool() *sync.Pool {
+	if p, ok := writerPools.Load(f.level); ok {
+		return p.(*sync.Pool)
+	}
+	p := &sync.Pool{New: func() any {
+		pw := &pooledWriter{}
+		w, err := flate.NewWriter(&pw.buf, f.level)
+		if err != nil {
+			panic(fmt.Sprintf("compress: flate level %d: %v", f.level, err))
+		}
+		pw.w = w
+		return pw
+	}}
+	actual, _ := writerPools.LoadOrStore(f.level, p)
+	return actual.(*sync.Pool)
+}
+
+// Compress implements Codec.
+func (f *Flate) Compress(dst, src []byte) []byte {
+	pw := f.pool().Get().(*pooledWriter)
+	defer f.pool().Put(pw)
+	pw.buf.Reset()
+	pw.w.Reset(&pw.buf)
+	if _, err := pw.w.Write(src); err != nil {
+		panic("compress: flate write to bytes.Buffer failed: " + err.Error())
+	}
+	if err := pw.w.Close(); err != nil {
+		panic("compress: flate close failed: " + err.Error())
+	}
+	return append(dst, pw.buf.Bytes()...)
+}
+
+// Decompress implements Codec.
+func (f *Flate) Decompress(dst, src []byte) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(src))
+	defer r.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		return dst, fmt.Errorf("compress: flate decompress: %w", err)
+	}
+	return append(dst, out...), nil
+}
+
+func init() {
+	Register(NewFlate("zlib", flate.DefaultCompression))
+	Register(NewFlate("huffman-only", flate.HuffmanOnly))
+}

@@ -1,0 +1,274 @@
+package compress
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Zippy implements the Snappy block format from scratch: a preamble with
+// the uncompressed length as a uvarint, followed by a sequence of literal
+// and copy elements. Tags use the low two bits for the element type
+// (00 literal, 01 one-byte-offset copy, 10 two-byte-offset copy) — the
+// four-byte-offset copy (11) is emitted never but decoded for completeness.
+//
+// The compressor is the classic greedy matcher over a 16-bit hash table of
+// 4-byte sequences with the "skip acceleration" heuristic: the longer the
+// compressor goes without finding a match, the faster it skips ahead, so
+// incompressible inputs stay close to memcpy speed.
+type Zippy struct{}
+
+// Name implements Codec.
+func (Zippy) Name() string { return "zippy" }
+
+const (
+	zippyTagLiteral = 0x00
+	zippyTagCopy1   = 0x01
+	zippyTagCopy2   = 0x02
+	zippyTagCopy4   = 0x03
+
+	zippyMaxBlock = 65536 // compress input in 64K windows like snappy
+)
+
+func zippyHash(u uint32, shift uint) uint32 {
+	return (u * 0x1e35a7bd) >> shift
+}
+
+func load32(b []byte, i int) uint32 {
+	return binary.LittleEndian.Uint32(b[i:])
+}
+
+// emitLiteral appends a literal element for lit.
+func zippyEmitLiteral(dst, lit []byte) []byte {
+	n := len(lit) - 1
+	switch {
+	case n < 60:
+		dst = append(dst, byte(n)<<2|zippyTagLiteral)
+	case n < 1<<8:
+		dst = append(dst, 60<<2|zippyTagLiteral, byte(n))
+	case n < 1<<16:
+		dst = append(dst, 61<<2|zippyTagLiteral, byte(n), byte(n>>8))
+	case n < 1<<24:
+		dst = append(dst, 62<<2|zippyTagLiteral, byte(n), byte(n>>8), byte(n>>16))
+	default:
+		dst = append(dst, 63<<2|zippyTagLiteral, byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
+	}
+	return append(dst, lit...)
+}
+
+// emitCopy appends copy elements covering length bytes at the given offset.
+func zippyEmitCopy(dst []byte, offset, length int) []byte {
+	for length > 0 {
+		switch {
+		case length >= 12 || offset >= 2048:
+			n := length
+			if n > 64 {
+				n = 64
+			}
+			dst = append(dst, byte(n-1)<<2|zippyTagCopy2, byte(offset), byte(offset>>8))
+			length -= n
+		default:
+			// 1-byte-offset copy: length 4..11, offset < 2048.
+			n := length
+			if n > 11 {
+				n = 11
+			}
+			if n < 4 {
+				// Lengths below 4 cannot be encoded as copy1; fall back
+				// to copy2 which supports length 1..64.
+				dst = append(dst, byte(length-1)<<2|zippyTagCopy2, byte(offset), byte(offset>>8))
+				return dst
+			}
+			dst = append(dst, byte(offset>>8)<<5|byte(n-4)<<2|zippyTagCopy1, byte(offset))
+			length -= n
+		}
+	}
+	return dst
+}
+
+// Compress implements Codec.
+func (Zippy) Compress(dst, src []byte) []byte {
+	dst = putUvarint(dst, uint64(len(src)))
+	for len(src) > 0 {
+		block := src
+		if len(block) > zippyMaxBlock {
+			block = block[:zippyMaxBlock]
+		}
+		src = src[len(block):]
+		dst = zippyCompressBlock(dst, block)
+	}
+	return dst
+}
+
+// zippyCompressBlock compresses one ≤64K block.
+func zippyCompressBlock(dst, src []byte) []byte {
+	if len(src) < 4 {
+		if len(src) > 0 {
+			dst = zippyEmitLiteral(dst, src)
+		}
+		return dst
+	}
+	const maxTableBits = 14
+	shift := uint(32 - maxTableBits)
+	var table [1 << maxTableBits]uint16
+
+	s := 0
+	lit := 0 // start of pending literal run
+	limit := len(src) - 4
+
+	for s <= limit {
+		// Skip acceleration: after 32 misses, step 2, then 3, ...
+		nextS := s
+		skip := 32
+		var cand int
+		for {
+			s = nextS
+			nextS = s + skip>>5
+			skip++
+			if s > limit {
+				// Flush the tail as a literal.
+				if lit < len(src) {
+					dst = zippyEmitLiteral(dst, src[lit:])
+				}
+				return dst
+			}
+			h := zippyHash(load32(src, s), shift)
+			cand = int(table[h])
+			table[h] = uint16(s)
+			if cand < s && load32(src, cand) == load32(src, s) {
+				break
+			}
+		}
+		if s > lit {
+			dst = zippyEmitLiteral(dst, src[lit:s])
+		}
+		// Extend the match forward.
+		base := s
+		s += 4
+		m := cand + 4
+		for s < len(src) && src[s] == src[m] {
+			s++
+			m++
+		}
+		dst = zippyEmitCopy(dst, base-cand, s-base)
+		lit = s
+		if s <= limit {
+			h := zippyHash(load32(src, s-1), shift)
+			table[h] = uint16(s - 1)
+		}
+	}
+	if lit < len(src) {
+		dst = zippyEmitLiteral(dst, src[lit:])
+	}
+	return dst
+}
+
+var (
+	errZippyCorrupt   = errors.New("compress: corrupt zippy data")
+	errZippyTruncated = errors.New("compress: truncated zippy data")
+)
+
+// Decompress implements Codec.
+func (Zippy) Decompress(dst, src []byte) ([]byte, error) {
+	want, n := uvarint(src)
+	if n <= 0 {
+		return dst, errZippyTruncated
+	}
+	src = src[n:]
+	base := len(dst)
+	// Grow once; the preamble tells us the exact output size.
+	if cap(dst)-len(dst) < int(want) {
+		grown := make([]byte, len(dst), len(dst)+int(want))
+		copy(grown, dst)
+		dst = grown
+	}
+	for len(src) > 0 {
+		tag := src[0]
+		switch tag & 0x03 {
+		case zippyTagLiteral:
+			n := int(tag >> 2)
+			var extra int
+			switch {
+			case n < 60:
+				n++
+			case n == 60:
+				extra = 1
+			case n == 61:
+				extra = 2
+			case n == 62:
+				extra = 3
+			default:
+				extra = 4
+			}
+			if extra > 0 {
+				if len(src) < 1+extra {
+					return dst, errZippyTruncated
+				}
+				n = 0
+				for i := extra - 1; i >= 0; i-- {
+					n = n<<8 | int(src[1+i])
+				}
+				n++
+			}
+			if len(src) < 1+extra+n {
+				return dst, errZippyTruncated
+			}
+			dst = append(dst, src[1+extra:1+extra+n]...)
+			src = src[1+extra+n:]
+		case zippyTagCopy1:
+			if len(src) < 2 {
+				return dst, errZippyTruncated
+			}
+			length := 4 + int(tag>>2)&0x07
+			offset := int(tag&0xe0)<<3 | int(src[1])
+			src = src[2:]
+			var err error
+			dst, err = zippyCopy(dst, base, offset, length)
+			if err != nil {
+				return dst, err
+			}
+		case zippyTagCopy2:
+			if len(src) < 3 {
+				return dst, errZippyTruncated
+			}
+			length := 1 + int(tag>>2)
+			offset := int(src[1]) | int(src[2])<<8
+			src = src[3:]
+			var err error
+			dst, err = zippyCopy(dst, base, offset, length)
+			if err != nil {
+				return dst, err
+			}
+		default: // zippyTagCopy4
+			if len(src) < 5 {
+				return dst, errZippyTruncated
+			}
+			length := 1 + int(tag>>2)
+			offset := int(binary.LittleEndian.Uint32(src[1:]))
+			src = src[5:]
+			var err error
+			dst, err = zippyCopy(dst, base, offset, length)
+			if err != nil {
+				return dst, err
+			}
+		}
+	}
+	if got := len(dst) - base; got != int(want) {
+		return dst, fmt.Errorf("%w: got %d bytes, preamble says %d", errZippyCorrupt, got, want)
+	}
+	return dst, nil
+}
+
+// zippyCopy appends length bytes starting offset bytes back, handling
+// overlapping copies (the RLE-like case offset < length) byte by byte.
+func zippyCopy(dst []byte, base, offset, length int) ([]byte, error) {
+	if offset <= 0 || offset > len(dst)-base {
+		return dst, errZippyCorrupt
+	}
+	for i := 0; i < length; i++ {
+		dst = append(dst, dst[len(dst)-offset])
+	}
+	return dst, nil
+}
+
+func init() { Register(Zippy{}) }

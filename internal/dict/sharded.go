@@ -1,0 +1,300 @@
+package dict
+
+import (
+	"fmt"
+
+	"powerdrill/internal/bloom"
+	"powerdrill/internal/sketch"
+	"powerdrill/internal/value"
+)
+
+// Sharded implements the Section 5 dictionary split: the sorted value
+// space is cut into contiguous sub-dictionaries, only some of which need to
+// be resident for a given query. Each sub-dictionary carries a Bloom filter
+// so a point lookup for an absent value usually answers without loading
+// anything. A Loader materializes a sub-dictionary on first access; loads
+// are counted so the production simulation can charge them as disk reads.
+//
+// The global-id of a value is its shard's base rank plus its local rank, so
+// the contiguous split preserves the ids the chunk-dictionaries reference.
+type Sharded struct {
+	shards []shard
+	loader Loader
+	n      int
+	loads  int64
+	hot    *StringArray // optional always-resident shard of frequent values
+	hotIDs map[string]uint32
+}
+
+// Loader materializes the sorted strings of one sub-dictionary.
+type Loader func(shardIndex int) ([]string, error)
+
+type shard struct {
+	base     int    // rank of the first value
+	count    int    // number of values
+	first    string // smallest value (resident for routing)
+	last     string // largest value (resident for routing)
+	filter   *bloom.Filter
+	resident *StringArray // nil until loaded
+}
+
+// ShardedOptions configures NewSharded.
+type ShardedOptions struct {
+	// ShardSize is the number of values per sub-dictionary (default 8192).
+	ShardSize int
+	// BloomFP is the per-shard Bloom filter false-positive rate
+	// (default 0.01).
+	BloomFP float64
+	// Hot lists frequent values kept resident regardless of shard loads
+	// (the paper's "one of these representing the most frequent values").
+	Hot []string
+	// Retain keeps every shard resident after construction (no lazy
+	// loading); used when the store runs fully in memory.
+	Retain bool
+}
+
+// NewSharded builds a sharded dictionary over strictly sorted, distinct
+// strings. If opts.Retain is false the shard contents are dropped after
+// filters are built and reloaded on demand through the loader; the loader
+// defaults to an in-memory copy (tests and fully-resident stores) but can
+// be replaced with a file-backed one via SetLoader.
+func NewSharded(sorted []string, opts ShardedOptions) *Sharded {
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i-1] >= sorted[i] {
+			panic(fmt.Sprintf("dict: strings not strictly sorted at %d", i))
+		}
+	}
+	if opts.ShardSize <= 0 {
+		opts.ShardSize = 8192
+	}
+	if opts.BloomFP <= 0 || opts.BloomFP >= 1 {
+		opts.BloomFP = 0.01
+	}
+	d := &Sharded{n: len(sorted)}
+	for base := 0; base < len(sorted); base += opts.ShardSize {
+		end := base + opts.ShardSize
+		if end > len(sorted) {
+			end = len(sorted)
+		}
+		vals := sorted[base:end]
+		f := bloom.NewWithEstimates(len(vals), opts.BloomFP)
+		for _, s := range vals {
+			f.AddString(s)
+		}
+		sh := shard{base: base, count: len(vals), first: vals[0], last: vals[len(vals)-1], filter: f}
+		if opts.Retain {
+			sh.resident = NewStringArray(append([]string(nil), vals...))
+		}
+		d.shards = append(d.shards, sh)
+	}
+	// Default loader: a private copy of the input, standing in for a disk
+	// file in tests.
+	backing := append([]string(nil), sorted...)
+	size := opts.ShardSize
+	d.loader = func(i int) ([]string, error) {
+		base := i * size
+		end := base + size
+		if end > len(backing) {
+			end = len(backing)
+		}
+		if base < 0 || base >= len(backing) {
+			return nil, fmt.Errorf("dict: shard %d out of range", i)
+		}
+		return backing[base:end], nil
+	}
+	if len(opts.Hot) > 0 {
+		d.hotIDs = make(map[string]uint32, len(opts.Hot))
+		for _, s := range opts.Hot {
+			if id, ok := d.lookupSlow(s); ok {
+				d.hotIDs[s] = id
+			}
+		}
+	}
+	return d
+}
+
+// SetLoader replaces the shard loader (e.g. with a file-backed one).
+func (d *Sharded) SetLoader(l Loader) { d.loader = l }
+
+// Kind implements Dict.
+func (d *Sharded) Kind() value.Kind { return value.KindString }
+
+// Len implements Dict.
+func (d *Sharded) Len() int { return d.n }
+
+// Loads returns how many shard loads have happened (disk reads in the
+// production model).
+func (d *Sharded) Loads() int64 { return d.loads }
+
+// EvictAll drops all resident shards (simulating memory pressure).
+func (d *Sharded) EvictAll() {
+	for i := range d.shards {
+		d.shards[i].resident = nil
+	}
+}
+
+// shardFor routes a rank to its shard index.
+func (d *Sharded) shardFor(id uint32) int {
+	lo, hi := 0, len(d.shards)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if d.shards[mid].base <= int(id) {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// load makes shard i resident.
+func (d *Sharded) load(i int) (*StringArray, error) {
+	sh := &d.shards[i]
+	if sh.resident != nil {
+		return sh.resident, nil
+	}
+	vals, err := d.loader(i)
+	if err != nil {
+		return nil, err
+	}
+	if len(vals) != sh.count {
+		return nil, fmt.Errorf("dict: shard %d loaded %d values, want %d", i, len(vals), sh.count)
+	}
+	sh.resident = NewStringArray(append([]string(nil), vals...))
+	d.loads++
+	return sh.resident, nil
+}
+
+// StringAt returns the string with the given rank, loading its shard if
+// necessary.
+func (d *Sharded) StringAt(id uint32) string {
+	if int(id) >= d.n {
+		panic(fmt.Sprintf("dict: rank %d out of range [0,%d)", id, d.n))
+	}
+	i := d.shardFor(id)
+	sa, err := d.load(i)
+	if err != nil {
+		panic(fmt.Sprintf("dict: loading shard %d: %v", i, err))
+	}
+	return sa.StringAt(id - uint32(d.shards[i].base))
+}
+
+// Value implements Dict.
+func (d *Sharded) Value(id uint32) value.Value { return value.String(d.StringAt(id)) }
+
+// lookupSlow resolves a string to its rank, loading shards as needed but
+// honouring Bloom filters.
+func (d *Sharded) lookupSlow(s string) (uint32, bool) {
+	i, ok := d.routeString(s)
+	if !ok {
+		return 0, false
+	}
+	sh := &d.shards[i]
+	if !sh.filter.TestString(s) {
+		return 0, false // definitely absent, no load needed
+	}
+	sa, err := d.load(i)
+	if err != nil {
+		return 0, false
+	}
+	local, ok := sa.LookupString(s)
+	if !ok {
+		return 0, false // Bloom false positive
+	}
+	return uint32(sh.base) + local, true
+}
+
+// routeString finds the shard whose [first,last] range covers s.
+func (d *Sharded) routeString(s string) (int, bool) {
+	lo, hi := 0, len(d.shards)-1
+	if len(d.shards) == 0 || s < d.shards[0].first {
+		return 0, false
+	}
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if d.shards[mid].first <= s {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	if s > d.shards[lo].last {
+		return 0, false
+	}
+	return lo, true
+}
+
+// LookupString returns the rank of s, consulting the hot set and Bloom
+// filters before loading any shard.
+func (d *Sharded) LookupString(s string) (uint32, bool) {
+	if id, ok := d.hotIDs[s]; ok {
+		return id, true
+	}
+	return d.lookupSlow(s)
+}
+
+// Lookup implements Dict.
+func (d *Sharded) Lookup(v value.Value) (uint32, bool) {
+	if v.Kind() != value.KindString {
+		return 0, false
+	}
+	return d.LookupString(v.Str())
+}
+
+// FindGE implements Dict.
+func (d *Sharded) FindGE(v value.Value) uint32 {
+	if v.Kind() != value.KindString {
+		return findGEByProbe(d, v)
+	}
+	s := v.Str()
+	if len(d.shards) == 0 || s <= d.shards[0].first {
+		return 0
+	}
+	i, ok := d.routeString(s)
+	if !ok {
+		// s is beyond the last shard's range or before the first.
+		if s > d.shards[len(d.shards)-1].last {
+			return uint32(d.n)
+		}
+		return 0
+	}
+	sa, err := d.load(i)
+	if err != nil {
+		panic(fmt.Sprintf("dict: loading shard %d: %v", i, err))
+	}
+	return uint32(d.shards[i].base) + sa.FindGE(v)
+}
+
+// Hash implements Dict.
+func (d *Sharded) Hash(id uint32) uint64 { return sketch.HashString(d.StringAt(id)) }
+
+// MemoryBytes implements Dict: routing data, filters, and resident shards
+// only — the whole point of the split is that evicted shards cost nothing.
+func (d *Sharded) MemoryBytes() int64 {
+	var total int64
+	for i := range d.shards {
+		sh := &d.shards[i]
+		total += int64(len(sh.first) + len(sh.last) + 48)
+		total += sh.filter.MemoryBytes()
+		if sh.resident != nil {
+			total += sh.resident.MemoryBytes()
+		}
+	}
+	return total
+}
+
+// ResidentShards returns how many shards are currently loaded.
+func (d *Sharded) ResidentShards() int {
+	n := 0
+	for i := range d.shards {
+		if d.shards[i].resident != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Shards returns the total number of sub-dictionaries.
+func (d *Sharded) Shards() int { return len(d.shards) }
+
+var _ Dict = (*Sharded)(nil)

@@ -1,0 +1,152 @@
+package dict
+
+import (
+	"fmt"
+	"testing"
+
+	"powerdrill/internal/value"
+)
+
+func TestShardedLazyLoading(t *testing.T) {
+	vals := sortedStrings(1000)
+	d := NewSharded(vals, ShardedOptions{ShardSize: 100})
+	if d.Shards() != 10 {
+		t.Fatalf("Shards = %d, want 10", d.Shards())
+	}
+	if d.ResidentShards() != 0 {
+		t.Fatalf("fresh dict has %d resident shards", d.ResidentShards())
+	}
+	// A point lookup touches exactly one shard.
+	if _, ok := d.LookupString(vals[250]); !ok {
+		t.Fatal("lookup of present value failed")
+	}
+	if d.ResidentShards() != 1 || d.Loads() != 1 {
+		t.Errorf("after one lookup: %d resident, %d loads; want 1, 1", d.ResidentShards(), d.Loads())
+	}
+	// A lookup for an absent value in a covered range is usually answered
+	// by the Bloom filter without loading. Use a value sorting inside
+	// shard 5's range.
+	probe := vals[550] + "!"
+	before := d.Loads()
+	d.LookupString(probe)
+	// The Bloom filter may rarely false-positive; allow ≤1 extra load.
+	if d.Loads() > before+1 {
+		t.Errorf("absent lookup caused %d loads", d.Loads()-before)
+	}
+}
+
+func TestShardedEviction(t *testing.T) {
+	vals := sortedStrings(500)
+	d := NewSharded(vals, ShardedOptions{ShardSize: 50})
+	for i := 0; i < len(vals); i += 25 {
+		d.StringAt(uint32(i))
+	}
+	if d.ResidentShards() != 10 {
+		t.Fatalf("ResidentShards = %d, want 10", d.ResidentShards())
+	}
+	high := d.MemoryBytes()
+	d.EvictAll()
+	if d.ResidentShards() != 0 {
+		t.Error("EvictAll left resident shards")
+	}
+	if low := d.MemoryBytes(); low >= high {
+		t.Errorf("eviction did not shrink footprint: %d -> %d", high, low)
+	}
+	// Data is still reachable after eviction.
+	if got := d.StringAt(123); got != vals[123] {
+		t.Errorf("post-eviction StringAt = %q, want %q", got, vals[123])
+	}
+}
+
+func TestShardedRetain(t *testing.T) {
+	vals := sortedStrings(200)
+	d := NewSharded(vals, ShardedOptions{ShardSize: 64, Retain: true})
+	if d.ResidentShards() != d.Shards() {
+		t.Error("Retain did not keep shards resident")
+	}
+	for i, s := range vals {
+		if d.StringAt(uint32(i)) != s {
+			t.Fatalf("StringAt(%d) mismatch", i)
+		}
+	}
+	if d.Loads() != 0 {
+		t.Errorf("retained dict performed %d loads", d.Loads())
+	}
+}
+
+func TestShardedHotValues(t *testing.T) {
+	vals := sortedStrings(1000)
+	hot := []string{vals[17], vals[503], vals[999]}
+	d := NewSharded(vals, ShardedOptions{ShardSize: 100, Hot: hot})
+	d.EvictAll()
+	loadsBefore := d.Loads()
+	for _, s := range hot {
+		if _, ok := d.LookupString(s); !ok {
+			t.Errorf("hot value %q not found", s)
+		}
+	}
+	if d.Loads() != loadsBefore {
+		t.Errorf("hot lookups caused %d loads", d.Loads()-loadsBefore)
+	}
+}
+
+func TestShardedCustomLoader(t *testing.T) {
+	vals := sortedStrings(300)
+	d := NewSharded(vals, ShardedOptions{ShardSize: 100})
+	calls := 0
+	d.SetLoader(func(i int) ([]string, error) {
+		calls++
+		base := i * 100
+		end := base + 100
+		if end > len(vals) {
+			end = len(vals)
+		}
+		return vals[base:end], nil
+	})
+	d.StringAt(150)
+	if calls != 1 {
+		t.Errorf("custom loader called %d times, want 1", calls)
+	}
+	// Loader returning wrong shard size must surface as panic (corrupt store).
+	d.EvictAll()
+	d.SetLoader(func(i int) ([]string, error) { return vals[:3], nil })
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("mismatched loader did not panic")
+			}
+		}()
+		d.StringAt(150)
+	}()
+	// Loader returning an error must also panic with context.
+	d.EvictAll()
+	d.SetLoader(func(i int) ([]string, error) { return nil, fmt.Errorf("disk gone") })
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("failing loader did not panic")
+			}
+		}()
+		d.StringAt(150)
+	}()
+}
+
+func TestShardedFindGEBoundaries(t *testing.T) {
+	vals := sortedStrings(400)
+	arr := NewStringArray(vals)
+	d := NewSharded(vals, ShardedOptions{ShardSize: 64})
+	// Probes at and across shard boundaries.
+	probes := []string{vals[0], vals[63], vals[64], vals[65], vals[len(vals)-1], "", "\xff"}
+	for _, p := range probes {
+		if got, want := d.FindGE(value.String(p)), arr.FindGE(value.String(p)); got != want {
+			t.Errorf("FindGE(%q) = %d, want %d", p, got, want)
+		}
+	}
+}
+
+func TestShardedWrongKind(t *testing.T) {
+	d := NewSharded([]string{"a", "b"}, ShardedOptions{})
+	if _, ok := d.Lookup(value.Int64(1)); ok {
+		t.Error("Lookup of wrong kind succeeded")
+	}
+}

@@ -1,0 +1,165 @@
+package enc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitmapBasics(t *testing.T) {
+	b := NewBitmap(130) // crosses two word boundaries
+	if b.Len() != 130 || !b.None() || b.Count() != 0 {
+		t.Fatal("fresh bitmap not empty")
+	}
+	b.Set(0)
+	b.Set(64)
+	b.Set(129)
+	if b.Count() != 3 {
+		t.Errorf("Count = %d, want 3", b.Count())
+	}
+	for _, i := range []int{0, 64, 129} {
+		if !b.Get(i) {
+			t.Errorf("Get(%d) = false", i)
+		}
+	}
+	if b.Get(1) || b.Get(128) {
+		t.Error("unset bits report set")
+	}
+	b.Clear(64)
+	if b.Get(64) || b.Count() != 2 {
+		t.Error("Clear failed")
+	}
+}
+
+func TestBitmapSetAllNotTrim(t *testing.T) {
+	b := NewBitmap(70)
+	b.SetAll()
+	if !b.All() || b.Count() != 70 {
+		t.Errorf("SetAll: Count = %d, want 70", b.Count())
+	}
+	b.Not()
+	if !b.None() {
+		t.Errorf("Not after SetAll: Count = %d, want 0", b.Count())
+	}
+	b.Not()
+	if b.Count() != 70 {
+		t.Errorf("double Not: Count = %d, want 70 (tail bits leaked)", b.Count())
+	}
+}
+
+func TestBitmapBooleanOps(t *testing.T) {
+	a, b := NewBitmap(100), NewBitmap(100)
+	for i := 0; i < 100; i += 2 {
+		a.Set(i) // evens
+	}
+	for i := 0; i < 100; i += 3 {
+		b.Set(i) // multiples of 3
+	}
+	and := a.Clone()
+	and.And(b)
+	if and.Count() != 17 { // multiples of 6 in [0,100): 0,6,...,96
+		t.Errorf("And count = %d, want 17", and.Count())
+	}
+	or := a.Clone()
+	or.Or(b)
+	// |evens ∪ mult3| = 50 + 34 - 17
+	if or.Count() != 67 {
+		t.Errorf("Or count = %d, want 67", or.Count())
+	}
+	diff := a.Clone()
+	diff.AndNot(b)
+	if diff.Count() != 50-17 {
+		t.Errorf("AndNot count = %d, want 33", diff.Count())
+	}
+}
+
+func TestBitmapForEachOrder(t *testing.T) {
+	b := NewBitmap(200)
+	want := []int{3, 17, 63, 64, 65, 128, 199}
+	for _, i := range want {
+		b.Set(i)
+	}
+	var got []int
+	b.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %d rows, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("ForEach[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBitmapCloneIndependent(t *testing.T) {
+	a := NewBitmap(64)
+	a.Set(5)
+	c := a.Clone()
+	c.Set(6)
+	if a.Get(6) {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestBitmapQuickDeMorgan(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		const n = 256
+		a, b := NewBitmap(n), NewBitmap(n)
+		for _, x := range xs {
+			a.Set(int(x) % n)
+		}
+		for _, y := range ys {
+			b.Set(int(y) % n)
+		}
+		// ¬(a ∧ b) == ¬a ∨ ¬b
+		lhs := a.Clone()
+		lhs.And(b)
+		lhs.Not()
+		na, nb := a.Clone(), b.Clone()
+		na.Not()
+		nb.Not()
+		na.Or(nb)
+		for i := 0; i < n; i++ {
+			if lhs.Get(i) != na.Get(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitmapCountMatchesForEach(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		n := r.Intn(500) + 1
+		b := NewBitmap(n)
+		for i := 0; i < n; i++ {
+			if r.Intn(2) == 0 {
+				b.Set(i)
+			}
+		}
+		visited := 0
+		b.ForEach(func(int) { visited++ })
+		if visited != b.Count() {
+			t.Fatalf("n=%d: ForEach visited %d, Count %d", n, visited, b.Count())
+		}
+	}
+}
+
+func BenchmarkBitmapForEach(b *testing.B) {
+	m := NewBitmap(50_000)
+	r := rand.New(rand.NewSource(10))
+	for i := 0; i < 50_000; i++ {
+		if r.Intn(10) == 0 {
+			m.Set(i)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		m.ForEach(func(int) { n++ })
+	}
+}

@@ -1,0 +1,347 @@
+// Package enc implements the element encodings of the paper's Section 3
+// ("Optimize Encoding of Elements in Columns"). The elements of a chunk —
+// the sequence of chunk-ids that describes a column's values — are stored
+// in the narrowest width the chunk-dictionary cardinality allows:
+//
+//	1 distinct value          → 0 bits per element (constant)
+//	2 distinct values         → 1 bit  per element (bit-set)
+//	≤ 2^8 distinct values     → 1 byte per element
+//	≤ 2^16 distinct values    → 2 bytes per element
+//	otherwise                 → 4 bytes per element
+//
+// The Basic variant of Section 2.3 always uses 4 bytes; EncodeFixed32
+// produces it so the experiments can measure the difference.
+//
+// Sequences expose bulk operations (CountInto, Materialize) so the group-by
+// inner loop of Section 2.4 — counts[elements[row]]++ — runs as a tight,
+// type-specialized loop rather than through an interface call per row.
+package enc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
+
+// Width enumerates the storage widths.
+type Width uint8
+
+// The supported element widths.
+const (
+	Width0 Width = iota // constant chunk: no per-element storage
+	Width1              // bit-set
+	Width8
+	Width16
+	Width32
+)
+
+// String returns a short name used in experiment tables.
+func (w Width) String() string {
+	switch w {
+	case Width0:
+		return "const"
+	case Width1:
+		return "bit"
+	case Width8:
+		return "1B"
+	case Width16:
+		return "2B"
+	case Width32:
+		return "4B"
+	}
+	return fmt.Sprintf("Width(%d)", uint8(w))
+}
+
+// Sequence is a read-only sequence of chunk-ids.
+type Sequence interface {
+	// Len returns the number of elements (rows in the chunk).
+	Len() int
+	// At returns the i-th chunk-id. It panics on out-of-range i, as slice
+	// indexing would.
+	At(i int) uint32
+	// Width reports the storage width.
+	Width() Width
+	// MemoryBytes returns the in-memory footprint of the element storage.
+	MemoryBytes() int64
+	// CountInto increments counts[v] for every element v; counts must be
+	// sized to the chunk-dictionary cardinality. This is the group-by
+	// inner loop of Section 2.4.
+	CountInto(counts []int64)
+	// CountIntoMasked is CountInto restricted to rows with mask bit set.
+	CountIntoMasked(counts []int64, mask *Bitmap)
+	// Materialize appends all elements to dst and returns it.
+	Materialize(dst []uint32) []uint32
+	// AppendBytes appends the serialized element payload to dst; the
+	// inverse is Decode with the same width and length.
+	AppendBytes(dst []byte) []byte
+}
+
+// Encode stores values (chunk-ids in [0, cardinality)) at the narrowest
+// width. It panics if any value is out of range, which would indicate a
+// chunk-dictionary construction bug.
+func Encode(values []uint32, cardinality int) Sequence {
+	switch {
+	case cardinality <= 0:
+		if len(values) != 0 {
+			panic("enc: nonzero elements with zero cardinality")
+		}
+		return constSeq{n: 0, v: 0}
+	case cardinality == 1:
+		for _, v := range values {
+			if v != 0 {
+				panic(fmt.Sprintf("enc: value %d out of range for cardinality 1", v))
+			}
+		}
+		return constSeq{n: len(values), v: 0}
+	case cardinality == 2:
+		return newBitSeq(values)
+	case cardinality <= 1<<8:
+		s := make(byteSeq, len(values))
+		for i, v := range values {
+			checkRange(v, cardinality)
+			s[i] = uint8(v)
+		}
+		return s
+	case cardinality <= 1<<16:
+		s := make(wordSeq, len(values))
+		for i, v := range values {
+			checkRange(v, cardinality)
+			s[i] = uint16(v)
+		}
+		return s
+	default:
+		return EncodeFixed32(values)
+	}
+}
+
+// EncodeFixed32 stores values as plain 4-byte integers — the "Basic"
+// data-structures of Section 2.3, before the Section 3 optimizations.
+func EncodeFixed32(values []uint32) Sequence {
+	s := make(dwordSeq, len(values))
+	copy(s, values)
+	return s
+}
+
+func checkRange(v uint32, cardinality int) {
+	if int(v) >= cardinality {
+		panic(fmt.Sprintf("enc: value %d out of range for cardinality %d", v, cardinality))
+	}
+}
+
+// Decode reconstructs a sequence serialized by AppendBytes.
+func Decode(w Width, n int, data []byte) (Sequence, error) {
+	switch w {
+	case Width0:
+		if len(data) != 4 {
+			return nil, fmt.Errorf("enc: const payload is %d bytes, want 4", len(data))
+		}
+		return constSeq{n: n, v: binary.LittleEndian.Uint32(data)}, nil
+	case Width1:
+		words := (n + 63) / 64
+		if len(data) != words*8 {
+			return nil, fmt.Errorf("enc: bitset payload is %d bytes, want %d", len(data), words*8)
+		}
+		s := bitSeq{n: n, bits: make([]uint64, words)}
+		for i := range s.bits {
+			s.bits[i] = binary.LittleEndian.Uint64(data[i*8:])
+		}
+		return s, nil
+	case Width8:
+		if len(data) != n {
+			return nil, fmt.Errorf("enc: byte payload is %d bytes, want %d", len(data), n)
+		}
+		return byteSeq(append([]uint8(nil), data...)), nil
+	case Width16:
+		if len(data) != n*2 {
+			return nil, fmt.Errorf("enc: word payload is %d bytes, want %d", len(data), n*2)
+		}
+		s := make(wordSeq, n)
+		for i := range s {
+			s[i] = binary.LittleEndian.Uint16(data[i*2:])
+		}
+		return s, nil
+	case Width32:
+		if len(data) != n*4 {
+			return nil, fmt.Errorf("enc: dword payload is %d bytes, want %d", len(data), n*4)
+		}
+		s := make(dwordSeq, n)
+		for i := range s {
+			s[i] = binary.LittleEndian.Uint32(data[i*4:])
+		}
+		return s, nil
+	}
+	return nil, fmt.Errorf("enc: unknown width %d", w)
+}
+
+// constSeq: every element is the same value (cardinality 1).
+type constSeq struct {
+	n int
+	v uint32
+}
+
+func (s constSeq) Len() int           { return s.n }
+func (s constSeq) Width() Width       { return Width0 }
+func (s constSeq) MemoryBytes() int64 { return 8 } // n and v; O(1) per the paper
+func (s constSeq) At(i int) uint32 {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("enc: index %d out of range [0,%d)", i, s.n))
+	}
+	return s.v
+}
+func (s constSeq) CountInto(counts []int64) { counts[s.v] += int64(s.n) }
+func (s constSeq) CountIntoMasked(counts []int64, mask *Bitmap) {
+	counts[s.v] += int64(mask.Count())
+}
+func (s constSeq) Materialize(dst []uint32) []uint32 {
+	for i := 0; i < s.n; i++ {
+		dst = append(dst, s.v)
+	}
+	return dst
+}
+func (s constSeq) AppendBytes(dst []byte) []byte {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], s.v)
+	return append(dst, b[:]...)
+}
+
+// bitSeq: two distinct values, one bit per element (⌈n/8⌉ bytes).
+type bitSeq struct {
+	n    int
+	bits []uint64
+}
+
+func newBitSeq(values []uint32) Sequence {
+	s := bitSeq{n: len(values), bits: make([]uint64, (len(values)+63)/64)}
+	for i, v := range values {
+		switch v {
+		case 0:
+		case 1:
+			s.bits[i/64] |= 1 << (i % 64)
+		default:
+			panic(fmt.Sprintf("enc: value %d out of range for cardinality 2", v))
+		}
+	}
+	return s
+}
+
+func (s bitSeq) Len() int           { return s.n }
+func (s bitSeq) Width() Width       { return Width1 }
+func (s bitSeq) MemoryBytes() int64 { return int64(len(s.bits) * 8) }
+func (s bitSeq) At(i int) uint32 {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("enc: index %d out of range [0,%d)", i, s.n))
+	}
+	return uint32(s.bits[i/64] >> (i % 64) & 1)
+}
+func (s bitSeq) CountInto(counts []int64) {
+	ones := 0
+	for _, w := range s.bits {
+		ones += popcount(w)
+	}
+	counts[1] += int64(ones)
+	counts[0] += int64(s.n - ones)
+}
+func (s bitSeq) CountIntoMasked(counts []int64, mask *Bitmap) {
+	selected := 0
+	ones := 0
+	for i, w := range mask.words {
+		selected += popcount(w)
+		ones += popcount(w & s.bits[i])
+	}
+	counts[1] += int64(ones)
+	counts[0] += int64(selected - ones)
+}
+func (s bitSeq) Materialize(dst []uint32) []uint32 {
+	for i := 0; i < s.n; i++ {
+		dst = append(dst, uint32(s.bits[i/64]>>(i%64)&1))
+	}
+	return dst
+}
+func (s bitSeq) AppendBytes(dst []byte) []byte {
+	var b [8]byte
+	for _, w := range s.bits {
+		binary.LittleEndian.PutUint64(b[:], w)
+		dst = append(dst, b[:]...)
+	}
+	return dst
+}
+
+// byteSeq: up to 256 distinct values, one byte per element.
+type byteSeq []uint8
+
+func (s byteSeq) Len() int           { return len(s) }
+func (s byteSeq) Width() Width       { return Width8 }
+func (s byteSeq) MemoryBytes() int64 { return int64(len(s)) }
+func (s byteSeq) At(i int) uint32    { return uint32(s[i]) }
+func (s byteSeq) CountInto(counts []int64) {
+	for _, v := range s {
+		counts[v]++
+	}
+}
+func (s byteSeq) CountIntoMasked(counts []int64, mask *Bitmap) {
+	mask.ForEach(func(i int) { counts[s[i]]++ })
+}
+func (s byteSeq) Materialize(dst []uint32) []uint32 {
+	for _, v := range s {
+		dst = append(dst, uint32(v))
+	}
+	return dst
+}
+func (s byteSeq) AppendBytes(dst []byte) []byte { return append(dst, s...) }
+
+// wordSeq: up to 65536 distinct values, two bytes per element.
+type wordSeq []uint16
+
+func (s wordSeq) Len() int           { return len(s) }
+func (s wordSeq) Width() Width       { return Width16 }
+func (s wordSeq) MemoryBytes() int64 { return int64(len(s) * 2) }
+func (s wordSeq) At(i int) uint32    { return uint32(s[i]) }
+func (s wordSeq) CountInto(counts []int64) {
+	for _, v := range s {
+		counts[v]++
+	}
+}
+func (s wordSeq) CountIntoMasked(counts []int64, mask *Bitmap) {
+	mask.ForEach(func(i int) { counts[s[i]]++ })
+}
+func (s wordSeq) Materialize(dst []uint32) []uint32 {
+	for _, v := range s {
+		dst = append(dst, uint32(v))
+	}
+	return dst
+}
+func (s wordSeq) AppendBytes(dst []byte) []byte {
+	var b [2]byte
+	for _, v := range s {
+		binary.LittleEndian.PutUint16(b[:], v)
+		dst = append(dst, b[:]...)
+	}
+	return dst
+}
+
+// dwordSeq: plain 4-byte elements (the Basic layout).
+type dwordSeq []uint32
+
+func (s dwordSeq) Len() int           { return len(s) }
+func (s dwordSeq) Width() Width       { return Width32 }
+func (s dwordSeq) MemoryBytes() int64 { return int64(len(s) * 4) }
+func (s dwordSeq) At(i int) uint32    { return s[i] }
+func (s dwordSeq) CountInto(counts []int64) {
+	for _, v := range s {
+		counts[v]++
+	}
+}
+func (s dwordSeq) CountIntoMasked(counts []int64, mask *Bitmap) {
+	mask.ForEach(func(i int) { counts[s[i]]++ })
+}
+func (s dwordSeq) Materialize(dst []uint32) []uint32 { return append(dst, s...) }
+func (s dwordSeq) AppendBytes(dst []byte) []byte {
+	var b [4]byte
+	for _, v := range s {
+		binary.LittleEndian.PutUint32(b[:], v)
+		dst = append(dst, b[:]...)
+	}
+	return dst
+}
+
+func popcount(x uint64) int { return bits.OnesCount64(x) }

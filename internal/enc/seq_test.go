@@ -1,0 +1,292 @@
+package enc
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genValues produces n values drawn from [0, cardinality).
+func genValues(r *rand.Rand, n, cardinality int) []uint32 {
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = uint32(r.Intn(cardinality))
+	}
+	return out
+}
+
+func TestWidthSelection(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, tc := range []struct {
+		cardinality int
+		want        Width
+	}{
+		{1, Width0},
+		{2, Width1},
+		{3, Width8},
+		{256, Width8},
+		{257, Width16},
+		{65536, Width16},
+		{65537, Width32},
+	} {
+		vals := genValues(r, 200, tc.cardinality)
+		s := Encode(vals, tc.cardinality)
+		if s.Width() != tc.want {
+			t.Errorf("cardinality %d: width %v, want %v", tc.cardinality, s.Width(), tc.want)
+		}
+	}
+}
+
+func TestEncodePreservesValues(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, cardinality := range []int{1, 2, 5, 200, 300, 70000, 66000} {
+		vals := genValues(r, 500, cardinality)
+		s := Encode(vals, cardinality)
+		if s.Len() != len(vals) {
+			t.Fatalf("cardinality %d: Len %d, want %d", cardinality, s.Len(), len(vals))
+		}
+		for i, want := range vals {
+			if got := s.At(i); got != want {
+				t.Fatalf("cardinality %d: At(%d) = %d, want %d", cardinality, i, got, want)
+			}
+		}
+		if got := s.Materialize(nil); !reflect.DeepEqual(got, vals) {
+			t.Fatalf("cardinality %d: Materialize mismatch", cardinality)
+		}
+	}
+}
+
+func TestEncodeFixed32(t *testing.T) {
+	vals := []uint32{5, 0, 1 << 20, 7}
+	s := EncodeFixed32(vals)
+	if s.Width() != Width32 {
+		t.Errorf("Width = %v", s.Width())
+	}
+	if s.MemoryBytes() != int64(len(vals)*4) {
+		t.Errorf("MemoryBytes = %d", s.MemoryBytes())
+	}
+	for i, want := range vals {
+		if s.At(i) != want {
+			t.Errorf("At(%d) = %d, want %d", i, s.At(i), want)
+		}
+	}
+}
+
+func TestMemoryFootprints(t *testing.T) {
+	const n = 50_000 // rows per chunk, the paper's threshold scale
+	r := rand.New(rand.NewSource(3))
+	// Constant: O(1) regardless of n (the paper's "constant O(1) overhead").
+	if got := Encode(genValues(r, n, 1), 1).MemoryBytes(); got > 16 {
+		t.Errorf("const footprint %d bytes, want O(1)", got)
+	}
+	// Two values: ⌈n/8⌉ bytes.
+	if got := Encode(genValues(r, n, 2), 2).MemoryBytes(); got != int64((n+63)/64*8) {
+		t.Errorf("bitset footprint %d, want %d", got, (n+63)/64*8)
+	}
+	// 1, 2, 4 bytes per element.
+	if got := Encode(genValues(r, n, 100), 100).MemoryBytes(); got != n {
+		t.Errorf("byte footprint %d, want %d", got, n)
+	}
+	if got := Encode(genValues(r, n, 1000), 1000).MemoryBytes(); got != 2*n {
+		t.Errorf("word footprint %d, want %d", got, 2*n)
+	}
+	if got := Encode(genValues(r, n, 1<<17), 1<<17).MemoryBytes(); got != 4*n {
+		t.Errorf("dword footprint %d, want %d", got, 4*n)
+	}
+}
+
+func TestCountInto(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for _, cardinality := range []int{1, 2, 10, 300, 70000} {
+		vals := genValues(r, 1000, cardinality)
+		s := Encode(vals, cardinality)
+		counts := make([]int64, cardinality)
+		s.CountInto(counts)
+		want := make([]int64, cardinality)
+		for _, v := range vals {
+			want[v]++
+		}
+		if !reflect.DeepEqual(counts, want) {
+			t.Errorf("cardinality %d: CountInto mismatch", cardinality)
+		}
+	}
+}
+
+func TestCountIntoMasked(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for _, cardinality := range []int{1, 2, 10, 300, 70000} {
+		vals := genValues(r, 1000, cardinality)
+		s := Encode(vals, cardinality)
+		mask := NewBitmap(len(vals))
+		for i := range vals {
+			if r.Intn(3) == 0 {
+				mask.Set(i)
+			}
+		}
+		counts := make([]int64, cardinality)
+		s.CountIntoMasked(counts, mask)
+		want := make([]int64, cardinality)
+		for i, v := range vals {
+			if mask.Get(i) {
+				want[v]++
+			}
+		}
+		if !reflect.DeepEqual(counts, want) {
+			t.Errorf("cardinality %d: CountIntoMasked mismatch", cardinality)
+		}
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for _, cardinality := range []int{1, 2, 10, 300, 70000} {
+		vals := genValues(r, 777, cardinality) // odd length exercises bitset tail
+		s := Encode(vals, cardinality)
+		raw := s.AppendBytes(nil)
+		back, err := Decode(s.Width(), s.Len(), raw)
+		if err != nil {
+			t.Fatalf("Decode width %v: %v", s.Width(), err)
+		}
+		if !reflect.DeepEqual(back.Materialize(nil), vals) {
+			t.Errorf("cardinality %d: round trip mismatch", cardinality)
+		}
+	}
+}
+
+func TestDecodeRejectsBadPayloads(t *testing.T) {
+	if _, err := Decode(Width0, 5, []byte{1, 2}); err == nil {
+		t.Error("short const payload accepted")
+	}
+	if _, err := Decode(Width1, 100, make([]byte, 3)); err == nil {
+		t.Error("short bitset payload accepted")
+	}
+	if _, err := Decode(Width8, 10, make([]byte, 9)); err == nil {
+		t.Error("short byte payload accepted")
+	}
+	if _, err := Decode(Width16, 10, make([]byte, 19)); err == nil {
+		t.Error("short word payload accepted")
+	}
+	if _, err := Decode(Width32, 10, make([]byte, 39)); err == nil {
+		t.Error("short dword payload accepted")
+	}
+	if _, err := Decode(Width(9), 10, nil); err == nil {
+		t.Error("unknown width accepted")
+	}
+}
+
+func TestEncodePanicsOnOutOfRange(t *testing.T) {
+	for _, tc := range []struct {
+		vals        []uint32
+		cardinality int
+	}{
+		{[]uint32{1}, 1},
+		{[]uint32{2}, 2},
+		{[]uint32{300}, 256},
+		{[]uint32{70000}, 65536},
+		{[]uint32{0}, 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Encode(%v, %d) did not panic", tc.vals, tc.cardinality)
+				}
+			}()
+			Encode(tc.vals, tc.cardinality)
+		}()
+	}
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	s := Encode([]uint32{0, 0}, 1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("const At(5) did not panic")
+			}
+		}()
+		s.At(5)
+	}()
+	b := Encode([]uint32{0, 1}, 2)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("bitset At(-1) did not panic")
+			}
+		}()
+		b.At(-1)
+	}()
+}
+
+func TestQuickRoundTripAnyCardinality(t *testing.T) {
+	f := func(raw []uint16, card uint8) bool {
+		cardinality := int(card)%300 + 1
+		vals := make([]uint32, len(raw))
+		for i, v := range raw {
+			vals[i] = uint32(int(v) % cardinality)
+		}
+		s := Encode(vals, cardinality)
+		buf := s.AppendBytes(nil)
+		back, err := Decode(s.Width(), s.Len(), buf)
+		if err != nil {
+			return false
+		}
+		got := back.Materialize(nil)
+		if len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptySequences(t *testing.T) {
+	for _, cardinality := range []int{0, 1, 2, 10, 300, 70000} {
+		s := Encode(nil, cardinality)
+		if s.Len() != 0 {
+			t.Errorf("cardinality %d: empty Len = %d", cardinality, s.Len())
+		}
+		counts := make([]int64, cardinality+1)
+		s.CountInto(counts)
+		for _, c := range counts {
+			if c != 0 {
+				t.Errorf("cardinality %d: empty CountInto nonzero", cardinality)
+			}
+		}
+	}
+}
+
+func BenchmarkCountInto(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	const n = 50_000
+	for _, cardinality := range []int{2, 25, 1000, 100000} {
+		vals := genValues(r, n, cardinality)
+		s := Encode(vals, cardinality)
+		counts := make([]int64, cardinality)
+		b.Run(s.Width().String(), func(b *testing.B) {
+			b.SetBytes(int64(n))
+			for i := 0; i < b.N; i++ {
+				s.CountInto(counts)
+			}
+		})
+	}
+}
+
+func BenchmarkAt(b *testing.B) {
+	r := rand.New(rand.NewSource(8))
+	vals := genValues(r, 50_000, 1000)
+	s := Encode(vals, 1000)
+	b.ResetTimer()
+	var sink uint32
+	for i := 0; i < b.N; i++ {
+		sink += s.At(i % 50_000)
+	}
+	_ = sink
+}

@@ -1,0 +1,488 @@
+// Package exec is PowerDrill's query engine: it evaluates the SQL subset
+// over a colstore.Store using the mechanisms of Sections 2.4, 2.5 and 5 —
+// chunk skipping via chunk-dictionaries, dense counts-array group-by,
+// materialized virtual fields, per-chunk result caching for fully active
+// chunks, and approximate count distinct.
+package exec
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"powerdrill/internal/cache"
+	"powerdrill/internal/colstore"
+	"powerdrill/internal/expr"
+	"powerdrill/internal/sql"
+	"powerdrill/internal/value"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// ResultCacheBytes bounds the per-chunk result cache; 0 disables it.
+	ResultCacheBytes int64
+	// CachePolicy selects the eviction policy: "lru", "2q" (default) or
+	// "arc" — the Section 5 "Improved Cache Heuristics".
+	CachePolicy string
+	// SketchM is the m parameter of the count-distinct approximation
+	// (default 2048, the paper's "couple of thousand").
+	SketchM int
+	// ExactDistinct computes COUNT(DISTINCT x) exactly (for accuracy
+	// comparisons); costly for high-cardinality fields.
+	ExactDistinct bool
+	// DisableSkipping scans every chunk regardless of the restriction —
+	// the ablation that isolates Section 2.2's contribution.
+	DisableSkipping bool
+}
+
+// Engine executes queries against one store (one shard).
+type Engine struct {
+	store *colstore.Store
+	opts  Options
+
+	mu          sync.Mutex
+	resultCache cache.Cache
+
+	stats Stats
+}
+
+// Stats accumulates execution counters across queries — the quantities the
+// paper reports for production (Section 6).
+type Stats struct {
+	Queries       int64
+	ChunksTotal   int64
+	ChunksSkipped int64
+	ChunksCached  int64
+	ChunksScanned int64
+	RowsTotal     int64
+	RowsSkipped   int64
+	RowsCached    int64
+	RowsScanned   int64
+	// CellsCovered counts rows × accessed columns over the whole store —
+	// the paper's "cells" a hypothetical full scan would process.
+	CellsCovered int64
+	// CellsScanned counts rows × accessed columns actually scanned.
+	CellsScanned int64
+}
+
+// QueryStats are the per-query counters.
+type QueryStats struct {
+	ChunksTotal   int
+	ChunksSkipped int
+	ChunksCached  int
+	ChunksScanned int
+	RowsScanned   int64
+	RowsCached    int64
+	RowsSkipped   int64
+	CellsCovered  int64
+	CellsScanned  int64
+}
+
+// Result is a finished query result.
+type Result struct {
+	Columns []string
+	Rows    [][]value.Value
+	Stats   QueryStats
+}
+
+// New creates an engine over a store.
+func New(store *colstore.Store, opts Options) *Engine {
+	if opts.SketchM <= 0 {
+		opts.SketchM = 2048
+	}
+	e := &Engine{store: store, opts: opts}
+	if opts.ResultCacheBytes > 0 {
+		switch opts.CachePolicy {
+		case "lru":
+			e.resultCache = cache.NewLRU(opts.ResultCacheBytes)
+		case "arc":
+			e.resultCache = cache.NewARC(opts.ResultCacheBytes)
+		default:
+			e.resultCache = cache.NewTwoQ(opts.ResultCacheBytes)
+		}
+	}
+	return e
+}
+
+// Store returns the engine's store.
+func (e *Engine) Store() *colstore.Store { return e.store }
+
+// Stats returns the cumulative counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// CacheStats returns the result cache's counters; ok is false when the
+// cache is disabled.
+func (e *Engine) CacheStats() (cache.Stats, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.resultCache == nil {
+		return cache.Stats{}, false
+	}
+	return e.resultCache.Stats(), true
+}
+
+// Query parses and runs a SQL query.
+func (e *Engine) Query(src string) (*Result, error) {
+	stmt, err := sql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(stmt)
+}
+
+// Run executes a parsed statement.
+func (e *Engine) Run(stmt *sql.SelectStmt) (*Result, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	p, err := e.plan(stmt)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		res *Result
+		qs  QueryStats
+	)
+	if p.rowScan {
+		res, qs, err = e.executeRowScan(p)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		var partials map[uint32][]accCell
+		partials, qs, err = e.executeChunks(p)
+		if err != nil {
+			return nil, err
+		}
+		res, err = e.finalize(p, partials)
+		if err != nil {
+			return nil, err
+		}
+	}
+	res.Stats = qs
+	e.stats.Queries++
+	e.stats.ChunksTotal += int64(qs.ChunksTotal)
+	e.stats.ChunksSkipped += int64(qs.ChunksSkipped)
+	e.stats.ChunksCached += int64(qs.ChunksCached)
+	e.stats.ChunksScanned += int64(qs.ChunksScanned)
+	e.stats.RowsTotal += int64(e.store.NumRows())
+	e.stats.RowsScanned += qs.RowsScanned
+	e.stats.RowsCached += qs.RowsCached
+	e.stats.RowsSkipped += qs.RowsSkipped
+	e.stats.CellsCovered += qs.CellsCovered
+	e.stats.CellsScanned += qs.CellsScanned
+	return res, nil
+}
+
+// storeRow adapts a (chunk, row) position to the expr.Row interface.
+type storeRow struct {
+	e     *Engine
+	chunk int
+	row   int
+}
+
+// ColumnValue implements expr.Row.
+func (r *storeRow) ColumnValue(name string) value.Value {
+	col := r.e.store.Column(name)
+	if col == nil {
+		return value.Value{}
+	}
+	return col.ValueAt(r.chunk, r.row)
+}
+
+// evalPredRow, exprLiteral and exprColumns keep restrict.go free of direct
+// expr imports.
+func evalPredRow(e sql.Expr, row expr.Row) (bool, error) { return expr.EvalPred(e, row) }
+
+func exprLiteral(e sql.Expr) (value.Value, bool) { return expr.IsLiteral(e) }
+
+func exprColumns(e sql.Expr) []string { return expr.Columns(e) }
+
+// materializeOperand resolves an expression used as a restriction or
+// group-by operand to a column name, materializing a virtual field when it
+// is not a plain column reference (Section 5: expressions are computed once
+// and stored in the datastore; restrictions on them can then skip chunks).
+func (e *Engine) materializeOperand(x sql.Expr) (string, error) {
+	if id, ok := x.(*sql.Ident); ok {
+		if e.store.Column(id.Name) == nil {
+			return "", fmt.Errorf("exec: unknown column %q", id.Name)
+		}
+		return id.Name, nil
+	}
+	key := x.String()
+	if e.store.Column(key) != nil {
+		return key, nil // already materialized by an earlier query
+	}
+	kind, err := expr.InferKind(x, func(col string) (value.Kind, bool) {
+		c := e.store.Column(col)
+		if c == nil {
+			return value.KindInvalid, false
+		}
+		return c.Kind, true
+	})
+	if err != nil {
+		return "", err
+	}
+	vals := make([]value.Value, 0, e.store.NumRows())
+	row := &storeRow{e: e}
+	for ci := 0; ci < e.store.NumChunks(); ci++ {
+		row.chunk = ci
+		for r := 0; r < e.store.ChunkRows(ci); r++ {
+			row.row = r
+			v, err := expr.Eval(x, row)
+			if err != nil {
+				return "", err
+			}
+			vals = append(vals, v)
+		}
+	}
+	if _, err := e.store.AddVirtualColumn(key, kind, vals); err != nil {
+		return "", err
+	}
+	return key, nil
+}
+
+// aggFn enumerates aggregate functions.
+type aggFn uint8
+
+const (
+	aggCount aggFn = iota
+	aggSum
+	aggMin
+	aggMax
+	aggAvg
+	aggCountDistinct
+)
+
+// aggSpec is one aggregate in the select list.
+type aggSpec struct {
+	fn     aggFn
+	argCol string // "" for COUNT(*)
+}
+
+// signature identifies the aggregate for result caching.
+func (a aggSpec) signature() string {
+	return fmt.Sprintf("%d(%s)", a.fn, a.argCol)
+}
+
+// outItem maps a select item to its source: a group key or an aggregate.
+type outItem struct {
+	name     string // output column name (alias or canonical expr)
+	groupIdx int    // ≥0: index into group exprs
+	aggIdx   int    // ≥0: index into aggSpecs
+}
+
+// plan is a compiled query.
+type plan struct {
+	stmt      *sql.SelectStmt
+	where     *restriction // nil when no WHERE clause
+	groupCols []string     // materialized group-by columns (one per group expr)
+	groupKind []value.Kind
+	composite string // composite column when len(groupCols) > 1
+	aggs      []aggSpec
+	items     []outItem
+	rowScan   bool // no aggregates and no GROUP BY: plain projection
+	// accessCols are the physical/virtual columns the query touches (for
+	// cell accounting).
+	accessCols []string
+}
+
+// plan compiles a statement.
+func (e *Engine) plan(stmt *sql.SelectStmt) (*plan, error) {
+	if stmt.From == "" {
+		return nil, fmt.Errorf("exec: missing FROM")
+	}
+	p := &plan{stmt: stmt}
+	access := map[string]bool{}
+
+	// WHERE.
+	if stmt.Where != nil {
+		w, err := e.compileRestriction(stmt.Where)
+		if err != nil {
+			return nil, err
+		}
+		p.where = w
+		w.columnsOf(access)
+	}
+
+	// GROUP BY columns (materialized).
+	for _, g := range stmt.GroupBy {
+		name, err := e.resolveGroupExpr(stmt, g)
+		if err != nil {
+			return nil, err
+		}
+		col, err := e.materializeOperand(name)
+		if err != nil {
+			return nil, err
+		}
+		p.groupCols = append(p.groupCols, col)
+		p.groupKind = append(p.groupKind, e.store.Column(col).Kind)
+		access[col] = true
+	}
+
+	// Select items: group keys and aggregates.
+	hasAgg := false
+	for _, item := range stmt.Items {
+		if sql.HasAggregate(item.Expr) {
+			hasAgg = true
+		}
+	}
+	p.rowScan = !hasAgg && len(stmt.GroupBy) == 0
+	if p.rowScan && stmt.Having != nil {
+		return nil, fmt.Errorf("exec: HAVING requires GROUP BY or aggregates")
+	}
+
+	for _, item := range stmt.Items {
+		name := item.Alias
+		if name == "" {
+			name = item.Expr.String()
+		}
+		switch {
+		case p.rowScan:
+			col, err := e.materializeOperand(item.Expr)
+			if err != nil {
+				return nil, err
+			}
+			access[col] = true
+			p.items = append(p.items, outItem{name: name, groupIdx: -1, aggIdx: -1})
+			p.groupCols = append(p.groupCols, col) // reuse as projection list
+		case sql.HasAggregate(item.Expr):
+			call, ok := item.Expr.(*sql.Call)
+			if !ok {
+				return nil, fmt.Errorf("exec: aggregates must be top-level calls, got %s", item.Expr)
+			}
+			spec, err := e.compileAggregate(call)
+			if err != nil {
+				return nil, err
+			}
+			if spec.argCol != "" {
+				access[spec.argCol] = true
+			}
+			p.aggs = append(p.aggs, spec)
+			p.items = append(p.items, outItem{name: name, groupIdx: -1, aggIdx: len(p.aggs) - 1})
+		default:
+			// Must match a group expression.
+			gi, err := p.matchGroup(e, stmt, item.Expr)
+			if err != nil {
+				return nil, err
+			}
+			p.items = append(p.items, outItem{name: name, groupIdx: gi, aggIdx: -1})
+		}
+	}
+
+	// Multi-column group-by: combine into one composite expression,
+	// materialized as an additional virtual column (Section 2.5 footnote:
+	// "multiple group-by fields are combined into one expression which is
+	// materialized in the datastore").
+	if !p.rowScan && len(p.groupCols) > 1 {
+		p.composite = "composite(" + strings.Join(p.groupCols, "\x1f") + ")"
+		if e.store.Column(p.composite) == nil {
+			if err := e.materializeComposite(p.composite, p.groupCols); err != nil {
+				return nil, err
+			}
+		}
+		access[p.composite] = true
+	}
+
+	for col := range access {
+		p.accessCols = append(p.accessCols, col)
+	}
+	return p, nil
+}
+
+// resolveGroupExpr maps a GROUP BY expression, which may be an alias of a
+// select item, back to the underlying expression.
+func (e *Engine) resolveGroupExpr(stmt *sql.SelectStmt, g sql.Expr) (sql.Expr, error) {
+	if id, ok := g.(*sql.Ident); ok {
+		for _, item := range stmt.Items {
+			if item.Alias == id.Name && !sql.HasAggregate(item.Expr) {
+				return item.Expr, nil
+			}
+		}
+	}
+	return g, nil
+}
+
+// matchGroup finds which group expression a select item corresponds to.
+func (p *plan) matchGroup(e *Engine, stmt *sql.SelectStmt, x sql.Expr) (int, error) {
+	col, err := e.materializeOperand(x)
+	if err != nil {
+		return 0, err
+	}
+	for i, g := range p.groupCols {
+		if g == col {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("exec: %s is neither aggregated nor grouped", x)
+}
+
+// compileAggregate validates an aggregate call and materializes its
+// argument column.
+func (e *Engine) compileAggregate(call *sql.Call) (aggSpec, error) {
+	name := strings.ToLower(call.Name)
+	var fn aggFn
+	switch name {
+	case "count":
+		fn = aggCount
+		if call.Distinct {
+			fn = aggCountDistinct
+		}
+	case "sum":
+		fn = aggSum
+	case "min":
+		fn = aggMin
+	case "max":
+		fn = aggMax
+	case "avg":
+		fn = aggAvg
+	default:
+		return aggSpec{}, fmt.Errorf("exec: unknown aggregate %q", call.Name)
+	}
+	if call.Star {
+		if fn != aggCount {
+			return aggSpec{}, fmt.Errorf("exec: %s(*) is not supported", call.Name)
+		}
+		return aggSpec{fn: aggCount}, nil
+	}
+	if len(call.Args) != 1 {
+		return aggSpec{}, fmt.Errorf("exec: %s expects one argument", call.Name)
+	}
+	col, err := e.materializeOperand(call.Args[0])
+	if err != nil {
+		return aggSpec{}, err
+	}
+	kind := e.store.Column(col).Kind
+	if kind == value.KindString && (fn == aggSum || fn == aggAvg) {
+		return aggSpec{}, fmt.Errorf("exec: %s over string column %q", call.Name, col)
+	}
+	return aggSpec{fn: fn, argCol: col}, nil
+}
+
+// materializeComposite builds the combined group-by column: per row, the
+// group columns' global-ids joined into one string key. Using ids (not
+// values) keeps the composite compact and order-preserving per column.
+func (e *Engine) materializeComposite(name string, cols []string) error {
+	vals := make([]value.Value, 0, e.store.NumRows())
+	var b strings.Builder
+	for ci := 0; ci < e.store.NumChunks(); ci++ {
+		rows := e.store.ChunkRows(ci)
+		for r := 0; r < rows; r++ {
+			b.Reset()
+			for j, cn := range cols {
+				if j > 0 {
+					b.WriteByte(0x1f)
+				}
+				gid := e.store.Column(cn).GlobalIDAt(ci, r)
+				// Fixed-width hex keeps lexicographic order == id order.
+				fmt.Fprintf(&b, "%08x", gid)
+			}
+			vals = append(vals, value.String(b.String()))
+		}
+	}
+	_, err := e.store.AddVirtualColumn(name, value.KindString, vals)
+	return err
+}

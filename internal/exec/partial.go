@@ -1,0 +1,352 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"powerdrill/internal/sketch"
+	"powerdrill/internal/sql"
+	"powerdrill/internal/value"
+)
+
+// Partial is a mergeable aggregate result: what a leaf server returns and
+// what every level of the Section 4 execution tree re-aggregates. All
+// supported aggregates are associative — SUM, MIN, MAX, COUNT directly;
+// AVG decomposed into SUM and COUNT; COUNT DISTINCT as a mergeable KMV
+// sketch (the paper: exact count distinct cannot be multi-level aggregated,
+// "therefore, we use an approximative technique").
+//
+// Group keys are values, not global-ids: different shards have different
+// dictionaries, so ids are meaningless across machines.
+type Partial struct {
+	// Columns are the output column names (for assembling the final
+	// result at the root).
+	Columns []string
+	// Groups holds one entry per group key present on this server.
+	Groups []PartialGroup
+	// Stats carries the leaf's execution counters up the tree.
+	Stats QueryStats
+}
+
+// PartialGroup is one group's mergeable accumulators.
+type PartialGroup struct {
+	Keys  []value.Value
+	Cells []PartialCell
+}
+
+// PartialCell is one aggregate's mergeable state.
+type PartialCell struct {
+	Count int64
+	SumI  int64
+	SumF  float64
+	// SumIsInt records whether the summed column is integral, so the root
+	// can render SUM with the right kind.
+	SumIsInt bool
+	Min      value.Value
+	Max      value.Value
+	Sketch   []byte // marshaled KMV for COUNT DISTINCT
+}
+
+// RunPartial executes a statement but stops before finalization: no AVG
+// division, no ORDER BY, no LIMIT — those happen once, at the root.
+func (e *Engine) RunPartial(stmt *sql.SelectStmt) (*Partial, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.opts.ExactDistinct {
+		return nil, fmt.Errorf("exec: exact count distinct is not multi-level aggregatable (Section 4); use sketches")
+	}
+	p, err := e.plan(stmt)
+	if err != nil {
+		return nil, err
+	}
+	if p.rowScan {
+		return nil, fmt.Errorf("exec: row scans are not distributed; aggregate or group the query")
+	}
+	global, qs, err := e.executeChunks(p)
+	if err != nil {
+		return nil, err
+	}
+	out := &Partial{Stats: qs}
+	for _, it := range p.items {
+		out.Columns = append(out.Columns, it.name)
+	}
+	for gid, accs := range global {
+		keys, err := e.groupKeyValues(p, gid)
+		if err != nil {
+			return nil, err
+		}
+		pg := PartialGroup{Keys: keys}
+		for j := range p.aggs {
+			cell := PartialCell{
+				Count: accs[j].count,
+				SumI:  accs[j].sumI,
+				SumF:  accs[j].sumF,
+			}
+			if col := p.aggs[j].argCol; col != "" {
+				cell.SumIsInt = e.store.Column(col).Kind == value.KindInt64
+			}
+			if accs[j].hasMM {
+				col := e.store.Column(p.aggs[j].argCol)
+				cell.Min = col.Dict.Value(accs[j].minID)
+				cell.Max = col.Dict.Value(accs[j].maxID)
+			}
+			if accs[j].sketch != nil {
+				cell.Sketch = accs[j].sketch.Marshal()
+			}
+			pg.Cells = append(pg.Cells, cell)
+		}
+		out.Groups = append(out.Groups, pg)
+	}
+	e.stats.Queries++
+	e.stats.ChunksTotal += int64(qs.ChunksTotal)
+	e.stats.ChunksSkipped += int64(qs.ChunksSkipped)
+	e.stats.ChunksCached += int64(qs.ChunksCached)
+	e.stats.ChunksScanned += int64(qs.ChunksScanned)
+	e.stats.RowsTotal += int64(e.store.NumRows())
+	e.stats.RowsScanned += qs.RowsScanned
+	e.stats.RowsCached += qs.RowsCached
+	e.stats.RowsSkipped += qs.RowsSkipped
+	e.stats.CellsCovered += qs.CellsCovered
+	e.stats.CellsScanned += qs.CellsScanned
+	return out, nil
+}
+
+// keyString renders a group key for merge hashing.
+func keyString(keys []value.Value) string {
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteByte(byte(k.Kind()))
+		b.WriteString(k.String())
+		b.WriteByte(0x1f)
+	}
+	return b.String()
+}
+
+// MergePartials folds src into dst (same query shape). This is the
+// re-aggregation every inner node of the execution tree performs.
+func MergePartials(dst, src *Partial) error {
+	if dst == nil || src == nil {
+		return fmt.Errorf("exec: merging nil partials")
+	}
+	if len(dst.Columns) == 0 {
+		dst.Columns = src.Columns
+	}
+	if len(src.Columns) != len(dst.Columns) {
+		return fmt.Errorf("exec: merging partials with %d vs %d columns", len(src.Columns), len(dst.Columns))
+	}
+	index := make(map[string]int, len(dst.Groups))
+	for i, g := range dst.Groups {
+		index[keyString(g.Keys)] = i
+	}
+	for _, g := range src.Groups {
+		k := keyString(g.Keys)
+		di, ok := index[k]
+		if !ok {
+			dst.Groups = append(dst.Groups, g)
+			index[k] = len(dst.Groups) - 1
+			continue
+		}
+		d := &dst.Groups[di]
+		if len(d.Cells) != len(g.Cells) {
+			return fmt.Errorf("exec: merging groups with %d vs %d cells", len(d.Cells), len(g.Cells))
+		}
+		for j := range d.Cells {
+			if err := d.Cells[j].merge(&g.Cells[j]); err != nil {
+				return err
+			}
+		}
+	}
+	dst.Stats.ChunksTotal += src.Stats.ChunksTotal
+	dst.Stats.ChunksSkipped += src.Stats.ChunksSkipped
+	dst.Stats.ChunksCached += src.Stats.ChunksCached
+	dst.Stats.ChunksScanned += src.Stats.ChunksScanned
+	dst.Stats.RowsScanned += src.Stats.RowsScanned
+	dst.Stats.RowsCached += src.Stats.RowsCached
+	dst.Stats.RowsSkipped += src.Stats.RowsSkipped
+	dst.Stats.CellsCovered += src.Stats.CellsCovered
+	dst.Stats.CellsScanned += src.Stats.CellsScanned
+	return nil
+}
+
+func (c *PartialCell) merge(o *PartialCell) error {
+	c.Count += o.Count
+	c.SumI += o.SumI
+	c.SumF += o.SumF
+	c.SumIsInt = c.SumIsInt || o.SumIsInt
+	if o.Min.IsValid() && (!c.Min.IsValid() || o.Min.Compare(c.Min) < 0) {
+		c.Min = o.Min
+	}
+	if o.Max.IsValid() && (!c.Max.IsValid() || o.Max.Compare(c.Max) > 0) {
+		c.Max = o.Max
+	}
+	if len(o.Sketch) > 0 {
+		if len(c.Sketch) == 0 {
+			c.Sketch = append([]byte(nil), o.Sketch...)
+			return nil
+		}
+		a, err := sketch.UnmarshalKMV(c.Sketch)
+		if err != nil {
+			return fmt.Errorf("exec: merge sketch: %w", err)
+		}
+		b, err := sketch.UnmarshalKMV(o.Sketch)
+		if err != nil {
+			return fmt.Errorf("exec: merge sketch: %w", err)
+		}
+		a.Merge(b)
+		c.Sketch = a.Marshal()
+	}
+	return nil
+}
+
+// FinalizePartial turns a fully merged partial into the final result,
+// applying AVG division, sketch estimation, ORDER BY and LIMIT — the work
+// the root of the tree does (it also "executes any having statements" in
+// the paper; HAVING is outside this subset).
+func FinalizePartial(stmt *sql.SelectStmt, p *Partial) (*Result, error) {
+	res := &Result{Columns: p.Columns, Stats: p.Stats}
+	specs, keyIdx, err := partialItemSpecs(stmt)
+	if err != nil {
+		return nil, err
+	}
+	for _, g := range p.Groups {
+		row := make([]value.Value, len(stmt.Items))
+		ki := 0
+		for i := range stmt.Items {
+			if specs[i] == nil {
+				row[i] = g.Keys[keyIdx[ki]]
+				ki++
+				continue
+			}
+			cell := g.Cells[specs[i].cellIdx]
+			switch specs[i].fn {
+			case aggCount:
+				row[i] = value.Int64(cell.Count)
+			case aggSum:
+				if cell.SumIsInt {
+					row[i] = value.Int64(cell.SumI)
+				} else {
+					row[i] = value.Float64(cell.SumF)
+				}
+			case aggAvg:
+				if cell.Count == 0 {
+					row[i] = value.Float64(0)
+				} else {
+					total := cell.SumF
+					if cell.SumIsInt {
+						total = float64(cell.SumI)
+					}
+					row[i] = value.Float64(total / float64(cell.Count))
+				}
+			case aggMin:
+				row[i] = cell.Min
+			case aggMax:
+				row[i] = cell.Max
+			case aggCountDistinct:
+				if len(cell.Sketch) == 0 {
+					row[i] = value.Int64(0)
+				} else {
+					k, err := sketch.UnmarshalKMV(cell.Sketch)
+					if err != nil {
+						return nil, err
+					}
+					row[i] = value.Int64(k.Estimate())
+				}
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	// "The root executes any having statements" (Section 4).
+	if err := applyHaving(stmt, res); err != nil {
+		return nil, err
+	}
+	sortPartialRows(stmt, res)
+	return res, nil
+}
+
+// partialItemSpec describes how one select item draws from a partial.
+type partialItemSpec struct {
+	fn      aggFn
+	cellIdx int
+}
+
+// partialItemSpecs maps select items to (aggregate, cell index) or group
+// key position (nil spec).
+func partialItemSpecs(stmt *sql.SelectStmt) ([]*partialItemSpec, []int, error) {
+	var specs []*partialItemSpec
+	var keyIdx []int
+	cell := 0
+	key := 0
+	for _, item := range stmt.Items {
+		if !sql.HasAggregate(item.Expr) {
+			specs = append(specs, nil)
+			keyIdx = append(keyIdx, key)
+			key++
+			continue
+		}
+		call, ok := item.Expr.(*sql.Call)
+		if !ok {
+			return nil, nil, fmt.Errorf("exec: aggregates must be top-level calls, got %s", item.Expr)
+		}
+		var fn aggFn
+		switch strings.ToLower(call.Name) {
+		case "count":
+			fn = aggCount
+			if call.Distinct {
+				fn = aggCountDistinct
+			}
+		case "sum":
+			fn = aggSum
+		case "min":
+			fn = aggMin
+		case "max":
+			fn = aggMax
+		case "avg":
+			fn = aggAvg
+		default:
+			return nil, nil, fmt.Errorf("exec: unknown aggregate %q", call.Name)
+		}
+		specs = append(specs, &partialItemSpec{fn: fn, cellIdx: cell})
+		cell++
+	}
+	return specs, keyIdx, nil
+}
+
+// sortPartialRows applies ORDER BY and LIMIT at the root.
+func sortPartialRows(stmt *sql.SelectStmt, res *Result) {
+	if len(stmt.OrderBy) > 0 {
+		cols := map[string]int{}
+		for i, item := range stmt.Items {
+			if item.Alias != "" {
+				cols[item.Alias] = i
+			}
+			cols[item.Expr.String()] = i
+		}
+		type orderKey struct {
+			idx  int
+			desc bool
+		}
+		var keys []orderKey
+		for _, o := range stmt.OrderBy {
+			if idx, found := cols[o.Expr.String()]; found {
+				keys = append(keys, orderKey{idx, o.Desc})
+			}
+		}
+		sort.SliceStable(res.Rows, func(a, b int) bool {
+			for _, k := range keys {
+				c := res.Rows[a][k.idx].Compare(res.Rows[b][k.idx])
+				if c == 0 {
+					continue
+				}
+				if k.desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+	if stmt.Limit >= 0 && len(res.Rows) > stmt.Limit {
+		res.Rows = res.Rows[:stmt.Limit]
+	}
+}

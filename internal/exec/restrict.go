@@ -1,0 +1,490 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+
+	"powerdrill/internal/colstore"
+	"powerdrill/internal/enc"
+	"powerdrill/internal/sql"
+	"powerdrill/internal/value"
+)
+
+// The restriction machinery implements Section 2.4's "special treatment"
+// of AND, OR, NOT, IN, NOT IN, = and != (plus ordinary comparisons, which
+// sorted dictionaries turn into global-id ranges): a WHERE clause compiles
+// into a tree whose leaves are per-column global-id sets or ranges. The
+// tree is evaluated twice per chunk, first in three-valued logic against
+// the chunk-dictionaries alone — classifying the chunk as skippable, fully
+// active (cacheable) or partially active — and only for partially active
+// chunks a second time row-wise, producing a selection bitmap.
+
+// triState is the chunk classification lattice.
+type triState int8
+
+const (
+	activeNone triState = iota // no row can match: skip the chunk
+	activeSome                 // some rows may match: scan with a mask
+	activeAll                  // every row matches: fully active
+)
+
+func (t triState) String() string {
+	switch t {
+	case activeNone:
+		return "none"
+	case activeSome:
+		return "some"
+	default:
+		return "all"
+	}
+}
+
+// restriction is a compiled WHERE tree node.
+type restriction struct {
+	op       rOp
+	children []*restriction // for rAnd, rOr, rNot
+
+	col     string   // leaf column
+	gids    []uint32 // rInSet: sorted global-ids
+	lo, hi  uint32   // rRange: [lo, hi) of global-ids
+	rowExpr sql.Expr // rRowPred: arbitrary row-level fallback
+}
+
+type rOp uint8
+
+const (
+	rAnd rOp = iota
+	rOr
+	rNot
+	rInSet   // column value's global-id ∈ gids
+	rRange   // lo <= global-id < hi
+	rRowPred // evaluate expression per row (cannot skip)
+	rTrue    // matches everything (e.g. empty NOT IN list)
+)
+
+// compileRestriction translates a WHERE expression. Any sub-expression
+// whose left side is not a plain column is first materialized as a virtual
+// field by the engine (Section 5), after which it is a plain column again.
+func (e *Engine) compileRestriction(w sql.Expr) (*restriction, error) {
+	switch n := w.(type) {
+	case *sql.Binary:
+		switch n.Op {
+		case sql.OpAnd, sql.OpOr:
+			l, err := e.compileRestriction(n.L)
+			if err != nil {
+				return nil, err
+			}
+			r, err := e.compileRestriction(n.R)
+			if err != nil {
+				return nil, err
+			}
+			op := rAnd
+			if n.Op == sql.OpOr {
+				op = rOr
+			}
+			return &restriction{op: op, children: []*restriction{l, r}}, nil
+		case sql.OpEq, sql.OpNe, sql.OpLt, sql.OpLe, sql.OpGt, sql.OpGe:
+			return e.compileComparison(n)
+		default:
+			return nil, fmt.Errorf("exec: operator %s is not a predicate", n.Op)
+		}
+	case *sql.Not:
+		child, err := e.compileRestriction(n.X)
+		if err != nil {
+			return nil, err
+		}
+		return &restriction{op: rNot, children: []*restriction{child}}, nil
+	case *sql.In:
+		return e.compileIn(n)
+	}
+	return nil, fmt.Errorf("exec: expression %s is not a predicate", w)
+}
+
+// compileIn maps `X [NOT] IN (literals)` onto a global-id set.
+func (e *Engine) compileIn(n *sql.In) (*restriction, error) {
+	lits := make([]value.Value, 0, len(n.List))
+	for _, item := range n.List {
+		v, ok := exprLiteral(item)
+		if !ok {
+			// Non-literal member: row-level fallback.
+			return &restriction{op: rRowPred, rowExpr: n}, nil
+		}
+		lits = append(lits, v)
+	}
+	colName, err := e.materializeOperand(n.X)
+	if err != nil {
+		return nil, err
+	}
+	col := e.store.Column(colName)
+	gids := make([]uint32, 0, len(lits))
+	for _, v := range lits {
+		v, err := coerceToKind(v, col.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("exec: IN list for %q: %w", colName, err)
+		}
+		if !v.IsValid() {
+			continue // value cannot equal any column value (e.g. 1.5 vs int)
+		}
+		if id, ok := col.Dict.Lookup(v); ok {
+			gids = append(gids, id)
+		}
+	}
+	sortUint32s(gids)
+	leaf := &restriction{op: rInSet, col: colName, gids: gids}
+	if n.Negated {
+		return &restriction{op: rNot, children: []*restriction{leaf}}, nil
+	}
+	return leaf, nil
+}
+
+// compileComparison maps `col OP literal` (either side) onto a set or a
+// range leaf; anything else becomes a row predicate.
+func (e *Engine) compileComparison(n *sql.Binary) (*restriction, error) {
+	lhs, rhs := n.L, n.R
+	op := n.Op
+	if _, isLit := exprLiteral(lhs); isLit {
+		// Normalize to column-on-the-left, flipping the operator.
+		lhs, rhs = rhs, lhs
+		op = flipOp(op)
+	}
+	lit, ok := exprLiteral(rhs)
+	if !ok {
+		// Column-to-column or other complex comparison.
+		return &restriction{op: rRowPred, rowExpr: n}, nil
+	}
+	colName, err := e.materializeOperand(lhs)
+	if err != nil {
+		return nil, err
+	}
+	col := e.store.Column(colName)
+	d := col.Dict
+
+	switch op {
+	case sql.OpEq, sql.OpNe:
+		v, err := coerceToKind(lit, col.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("exec: comparing %q: %w", colName, err)
+		}
+		var gids []uint32
+		if v.IsValid() {
+			if id, found := d.Lookup(v); found {
+				gids = []uint32{id}
+			}
+		}
+		leaf := &restriction{op: rInSet, col: colName, gids: gids}
+		if op == sql.OpNe {
+			return &restriction{op: rNot, children: []*restriction{leaf}}, nil
+		}
+		return leaf, nil
+	}
+
+	lo, hi, err := rangeForComparison(d, col.Kind, op, lit)
+	if err != nil {
+		return nil, fmt.Errorf("exec: comparing %q: %w", colName, err)
+	}
+	return &restriction{op: rRange, col: colName, lo: lo, hi: hi}, nil
+}
+
+// rangeForComparison converts `col OP lit` into the half-open global-id
+// interval [lo, hi) that satisfies it. Sorted dictionaries make ordering
+// restrictions as cheap as IN restrictions.
+func rangeForComparison(d interface {
+	FindGE(value.Value) uint32
+	Lookup(value.Value) (uint32, bool)
+	Len() int
+}, kind value.Kind, op sql.BinaryOp, lit value.Value) (lo, hi uint32, err error) {
+	n := uint32(d.Len())
+	// Cross-kind numeric comparisons adjust the literal to the column
+	// kind, tightening the bound when the literal is fractional.
+	v, strict, errc := coerceBound(lit, kind, op)
+	if errc != nil {
+		return 0, 0, errc
+	}
+	ge := d.FindGE(v)
+	present := false
+	if _, found := d.Lookup(v); found {
+		present = true
+	}
+	switch op {
+	case sql.OpLt:
+		hi = ge
+		if present && !strict {
+			// v itself sorts at ge; excluded for <.
+		}
+		return 0, hi, nil
+	case sql.OpLe:
+		hi = ge
+		if present && !strict {
+			hi++
+		}
+		return 0, hi, nil
+	case sql.OpGt:
+		lo = ge
+		if present && !strict {
+			lo++
+		}
+		return lo, n, nil
+	case sql.OpGe:
+		return ge, n, nil
+	}
+	return 0, 0, fmt.Errorf("exec: operator %s is not a range", op)
+}
+
+// coerceBound adapts a literal to the column kind for range comparisons.
+// strict reports that the adjusted literal is already strictly inside the
+// bound (e.g. latency > 100.5 became latency >= 101).
+func coerceBound(lit value.Value, kind value.Kind, op sql.BinaryOp) (value.Value, bool, error) {
+	if lit.Kind() == kind {
+		return lit, false, nil
+	}
+	switch {
+	case kind == value.KindInt64 && lit.Kind() == value.KindFloat64:
+		f := lit.Float()
+		fl := math.Floor(f)
+		if f == fl {
+			return value.Int64(int64(fl)), false, nil
+		}
+		// Fractional bound: x > 100.5 ⇔ x >= 101; x < 100.5 ⇔ x <= 100.
+		switch op {
+		case sql.OpGt, sql.OpGe:
+			return value.Int64(int64(fl) + 1), true, nil
+		default:
+			return value.Int64(int64(fl) + 1), true, nil // x < 100.5 ⇔ x < 101
+		}
+	case kind == value.KindFloat64 && lit.Kind() == value.KindInt64:
+		return value.Float64(float64(lit.Int())), false, nil
+	}
+	return value.Value{}, false, fmt.Errorf("cannot compare %s column with %s literal", kind, lit.Kind())
+}
+
+// coerceToKind adapts an equality/IN literal to the column kind; an
+// invalid value means "can never match".
+func coerceToKind(v value.Value, kind value.Kind) (value.Value, error) {
+	if v.Kind() == kind {
+		return v, nil
+	}
+	switch {
+	case kind == value.KindInt64 && v.Kind() == value.KindFloat64:
+		f := v.Float()
+		if f == math.Floor(f) {
+			return value.Int64(int64(f)), nil
+		}
+		return value.Value{}, nil // fractional: never equal to an int
+	case kind == value.KindFloat64 && v.Kind() == value.KindInt64:
+		return value.Float64(float64(v.Int())), nil
+	}
+	return value.Value{}, fmt.Errorf("cannot compare %s column with %s literal", kind, v.Kind())
+}
+
+func flipOp(op sql.BinaryOp) sql.BinaryOp {
+	switch op {
+	case sql.OpLt:
+		return sql.OpGt
+	case sql.OpLe:
+		return sql.OpGe
+	case sql.OpGt:
+		return sql.OpLt
+	case sql.OpGe:
+		return sql.OpLe
+	}
+	return op // = and != are symmetric
+}
+
+// classify evaluates the tree against chunk ci's chunk-dictionaries only.
+func (r *restriction) classify(e *Engine, ci int) triState {
+	switch r.op {
+	case rAnd:
+		out := activeAll
+		for _, c := range r.children {
+			if s := c.classify(e, ci); s < out {
+				out = s
+			}
+			if out == activeNone {
+				break
+			}
+		}
+		return out
+	case rOr:
+		out := activeNone
+		for _, c := range r.children {
+			if s := c.classify(e, ci); s > out {
+				out = s
+			}
+			if out == activeAll {
+				break
+			}
+		}
+		return out
+	case rNot:
+		switch r.children[0].classify(e, ci) {
+		case activeNone:
+			return activeAll
+		case activeAll:
+			return activeNone
+		default:
+			return activeSome
+		}
+	case rInSet:
+		ch := e.store.Column(r.col).Chunks[ci]
+		if ch.Rows() == 0 || !ch.ContainsAny(r.gids) {
+			return activeNone
+		}
+		if ch.AllWithin(r.gids) {
+			return activeAll
+		}
+		return activeSome
+	case rRange:
+		ch := e.store.Column(r.col).Chunks[ci]
+		if ch.Rows() == 0 {
+			return activeNone
+		}
+		first, last := ch.GlobalIDs[0], ch.GlobalIDs[len(ch.GlobalIDs)-1]
+		if r.lo >= r.hi || last < r.lo || first >= r.hi {
+			return activeNone
+		}
+		if first >= r.lo && last < r.hi {
+			return activeAll
+		}
+		return activeSome
+	case rRowPred:
+		return activeSome
+	case rTrue:
+		return activeAll
+	}
+	return activeSome
+}
+
+// mask computes the row-selection bitmap of the tree for chunk ci.
+func (r *restriction) mask(e *Engine, ci int) (*enc.Bitmap, error) {
+	rows := e.store.ChunkRows(ci)
+	switch r.op {
+	case rAnd:
+		out, err := r.children[0].mask(e, ci)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range r.children[1:] {
+			m, err := c.mask(e, ci)
+			if err != nil {
+				return nil, err
+			}
+			out.And(m)
+		}
+		return out, nil
+	case rOr:
+		out, err := r.children[0].mask(e, ci)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range r.children[1:] {
+			m, err := c.mask(e, ci)
+			if err != nil {
+				return nil, err
+			}
+			out.Or(m)
+		}
+		return out, nil
+	case rNot:
+		m, err := r.children[0].mask(e, ci)
+		if err != nil {
+			return nil, err
+		}
+		m.Not()
+		return m, nil
+	case rInSet:
+		return maskFromChunkPred(e.store.Column(r.col).Chunks[ci], rows, func(gid uint32) bool {
+			return containsUint32(r.gids, gid)
+		}), nil
+	case rRange:
+		return maskFromChunkPred(e.store.Column(r.col).Chunks[ci], rows, func(gid uint32) bool {
+			return gid >= r.lo && gid < r.hi
+		}), nil
+	case rRowPred:
+		return e.rowPredMask(r.rowExpr, ci)
+	case rTrue:
+		m := enc.NewBitmap(rows)
+		m.SetAll()
+		return m, nil
+	}
+	return nil, fmt.Errorf("exec: cannot mask restriction op %d", r.op)
+}
+
+// maskFromChunkPred builds a row bitmap from a per-global-id predicate:
+// first decide each *distinct* value once against the chunk-dictionary,
+// then spread the verdicts over the rows through the elements. This is why
+// the double dictionary encoding makes restrictions cheap — the predicate
+// runs |chunk-dict| times, not |rows| times.
+func maskFromChunkPred(ch *colstore.Chunk, rows int, pred func(gid uint32) bool) *enc.Bitmap {
+	active := make([]bool, len(ch.GlobalIDs))
+	anyActive := false
+	for i, gid := range ch.GlobalIDs {
+		if pred(gid) {
+			active[i] = true
+			anyActive = true
+		}
+	}
+	m := enc.NewBitmap(rows)
+	if !anyActive {
+		return m
+	}
+	for r := 0; r < rows; r++ {
+		if active[ch.Elems.At(r)] {
+			m.Set(r)
+		}
+	}
+	return m
+}
+
+// rowPredMask evaluates an arbitrary predicate per row — the slow path.
+func (e *Engine) rowPredMask(pred sql.Expr, ci int) (*enc.Bitmap, error) {
+	rows := e.store.ChunkRows(ci)
+	m := enc.NewBitmap(rows)
+	row := &storeRow{e: e, chunk: ci}
+	for r := 0; r < rows; r++ {
+		row.row = r
+		ok, err := evalPredRow(pred, row)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			m.Set(r)
+		}
+	}
+	return m, nil
+}
+
+// columnsOf collects the column names a restriction tree touches.
+func (r *restriction) columnsOf(out map[string]bool) {
+	for _, c := range r.children {
+		c.columnsOf(out)
+	}
+	if r.col != "" {
+		out[r.col] = true
+	}
+	if r.rowExpr != nil {
+		for _, c := range exprColumns(r.rowExpr) {
+			out[c] = true
+		}
+	}
+}
+
+func sortUint32s(a []uint32) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j-1] > a[j]; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+}
+
+func containsUint32(sorted []uint32, x uint32) bool {
+	lo, hi := 0, len(sorted)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if sorted[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(sorted) && sorted[lo] == x
+}

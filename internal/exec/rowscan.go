@@ -1,0 +1,76 @@
+package exec
+
+import (
+	"powerdrill/internal/value"
+)
+
+// executeRowScan handles queries with neither aggregates nor GROUP BY:
+// a plain projection of the matching rows. Not the workload PowerDrill is
+// built for — the UI only issues group-bys — but useful for inspecting raw
+// rows, and it exercises the same skipping machinery.
+func (e *Engine) executeRowScan(p *plan) (*Result, QueryStats, error) {
+	var qs QueryStats
+	qs.ChunksTotal = e.store.NumChunks()
+	nCols := int64(len(p.accessCols))
+	qs.CellsCovered = int64(e.store.NumRows()) * nCols
+
+	res := &Result{}
+	for _, it := range p.items {
+		res.Columns = append(res.Columns, it.name)
+	}
+	// Without ORDER BY, stop as soon as LIMIT rows are collected.
+	canStopEarly := len(p.stmt.OrderBy) == 0 && p.stmt.Limit >= 0
+
+	for ci := 0; ci < e.store.NumChunks(); ci++ {
+		if canStopEarly && len(res.Rows) >= p.stmt.Limit {
+			break
+		}
+		rows := e.store.ChunkRows(ci)
+		state := activeAll
+		if p.where != nil {
+			if e.opts.DisableSkipping {
+				state = activeSome
+			} else {
+				state = p.where.classify(e, ci)
+			}
+		}
+		if state == activeNone {
+			qs.ChunksSkipped++
+			continue
+		}
+		emit := func(r int) {
+			row := make([]value.Value, len(p.groupCols))
+			for i, col := range p.groupCols {
+				row[i] = e.store.Column(col).ValueAt(ci, r)
+			}
+			res.Rows = append(res.Rows, row)
+		}
+		if state == activeAll {
+			for r := 0; r < rows; r++ {
+				if canStopEarly && len(res.Rows) >= p.stmt.Limit {
+					break
+				}
+				emit(r)
+			}
+		} else {
+			mask, err := p.where.mask(e, ci)
+			if err != nil {
+				return nil, qs, err
+			}
+			mask.ForEach(func(r int) {
+				if canStopEarly && len(res.Rows) >= p.stmt.Limit {
+					return
+				}
+				emit(r)
+			})
+		}
+		qs.ChunksScanned++
+		qs.RowsScanned += int64(rows)
+		qs.CellsScanned += int64(rows) * nCols
+	}
+
+	if err := e.orderAndLimit(p, res); err != nil {
+		return nil, qs, err
+	}
+	return res, qs, nil
+}

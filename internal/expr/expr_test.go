@@ -1,0 +1,286 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"powerdrill/internal/sql"
+	"powerdrill/internal/value"
+)
+
+// row returns a sample row for evaluation tests.
+func row() MapRow {
+	ts := time.Date(2011, 11, 24, 13, 45, 0, 0, time.UTC)
+	return MapRow{
+		"timestamp":  value.Timestamp(ts),
+		"country":    value.String("DE"),
+		"latency":    value.Int64(120),
+		"score":      value.Float64(2.5),
+		"table_name": value.String("logs.pd.q_20111124"),
+	}
+}
+
+// parseExpr extracts the WHERE expression from a wrapper query.
+func parsePred(t *testing.T, pred string) sql.Expr {
+	t.Helper()
+	stmt, err := sql.Parse("SELECT a FROM t WHERE " + pred)
+	if err != nil {
+		t.Fatalf("parse %q: %v", pred, err)
+	}
+	return stmt.Where
+}
+
+// parseValue extracts the first select item from a wrapper query.
+func parseValue(t *testing.T, e string) sql.Expr {
+	t.Helper()
+	stmt, err := sql.Parse("SELECT " + e + " FROM t")
+	if err != nil {
+		t.Fatalf("parse %q: %v", e, err)
+	}
+	return stmt.Items[0].Expr
+}
+
+func TestEvalLiteralsAndColumns(t *testing.T) {
+	r := row()
+	for _, tc := range []struct {
+		src  string
+		want value.Value
+	}{
+		{`country`, value.String("DE")},
+		{`latency`, value.Int64(120)},
+		{`score`, value.Float64(2.5)},
+		{`"lit"`, value.String("lit")},
+		{`42`, value.Int64(42)},
+		{`1.5`, value.Float64(1.5)},
+	} {
+		got, err := Eval(parseValue(t, tc.src), r)
+		if err != nil {
+			t.Errorf("%s: %v", tc.src, err)
+			continue
+		}
+		if !got.Equal(tc.want) {
+			t.Errorf("%s = %v, want %v", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestEvalScalarFunctions(t *testing.T) {
+	r := row()
+	for _, tc := range []struct {
+		src  string
+		want value.Value
+	}{
+		{`date(timestamp)`, value.String("2011-11-24")},
+		{`year(timestamp)`, value.Int64(2011)},
+		{`month(timestamp)`, value.Int64(11)},
+		{`day(timestamp)`, value.Int64(24)},
+		{`hour(timestamp)`, value.Int64(13)},
+		{`lower(country)`, value.String("de")},
+		{`upper(country)`, value.String("DE")},
+		{`length(table_name)`, value.Int64(18)},
+	} {
+		got, err := Eval(parseValue(t, tc.src), r)
+		if err != nil {
+			t.Errorf("%s: %v", tc.src, err)
+			continue
+		}
+		if !got.Equal(tc.want) {
+			t.Errorf("%s = %v, want %v", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestEvalArithmetic(t *testing.T) {
+	r := row()
+	for _, tc := range []struct {
+		src  string
+		want value.Value
+	}{
+		{`latency + 10`, value.Int64(130)},
+		{`latency - 20`, value.Int64(100)},
+		{`latency * 2`, value.Int64(240)},
+		{`latency / 2`, value.Float64(60)},
+		{`score * 2`, value.Float64(5)},
+		{`latency + score`, value.Float64(122.5)},
+		{`-latency`, value.Int64(-120)},
+	} {
+		got, err := Eval(parseValue(t, tc.src), r)
+		if err != nil {
+			t.Errorf("%s: %v", tc.src, err)
+			continue
+		}
+		if !got.Equal(tc.want) {
+			t.Errorf("%s = %v, want %v", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	r := row()
+	for _, src := range []string{
+		`nope`,
+		`country + 1`,
+		`latency / 0`,
+		`bogus(latency)`,
+		`date(country)`,
+		`lower(latency)`,
+	} {
+		if _, err := Eval(parseValue(t, src), r); err == nil {
+			t.Errorf("%s: expected error", src)
+		}
+	}
+}
+
+func TestEvalPred(t *testing.T) {
+	r := row()
+	for _, tc := range []struct {
+		src  string
+		want bool
+	}{
+		{`country = "DE"`, true},
+		{`country != "DE"`, false},
+		{`latency > 100`, true},
+		{`latency >= 120`, true},
+		{`latency < 120`, false},
+		{`latency <= 119`, false},
+		{`latency > 100.5`, true},
+		{`country IN ("FR", "DE")`, true},
+		{`country NOT IN ("FR", "DE")`, false},
+		{`country IN ("FR")`, false},
+		{`NOT country = "FR"`, true},
+		{`country = "DE" AND latency > 100`, true},
+		{`country = "FR" OR latency > 100`, true},
+		{`country = "FR" AND latency > 100`, false},
+		{`date(timestamp) = "2011-11-24"`, true},
+		{`date(timestamp) IN ("2011-11-24", "2011-11-25")`, true},
+	} {
+		got, err := EvalPred(parsePred(t, tc.src), r)
+		if err != nil {
+			t.Errorf("%s: %v", tc.src, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%s = %v, want %v", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestEvalPredErrors(t *testing.T) {
+	r := row()
+	for _, src := range []string{
+		`country = 5`,
+		`country > latency`,
+		`missing = 1`,
+		`latency IN ("x")`,
+	} {
+		if _, err := EvalPred(parsePred(t, src), r); err == nil {
+			t.Errorf("%s: expected error", src)
+		}
+	}
+	// A bare value expression is not a predicate.
+	if _, err := EvalPred(parseValue(t, `latency`), r); err == nil {
+		t.Error("bare column accepted as predicate")
+	}
+	if _, err := EvalPred(parseValue(t, `latency + 1`), r); err == nil {
+		t.Error("arithmetic accepted as predicate")
+	}
+}
+
+func TestInferKind(t *testing.T) {
+	resolve := func(c string) (value.Kind, bool) {
+		switch c {
+		case "country", "table_name":
+			return value.KindString, true
+		case "latency", "timestamp":
+			return value.KindInt64, true
+		case "score":
+			return value.KindFloat64, true
+		}
+		return value.KindInvalid, false
+	}
+	for _, tc := range []struct {
+		src  string
+		want value.Kind
+	}{
+		{`country`, value.KindString},
+		{`latency`, value.KindInt64},
+		{`score`, value.KindFloat64},
+		{`date(timestamp)`, value.KindString},
+		{`year(timestamp)`, value.KindInt64},
+		{`latency + 1`, value.KindInt64},
+		{`latency / 2`, value.KindFloat64},
+		{`latency + score`, value.KindFloat64},
+		{`length(country)`, value.KindInt64},
+		{`"x"`, value.KindString},
+		{`3.5`, value.KindFloat64},
+	} {
+		got, err := InferKind(parseValue(t, tc.src), resolve)
+		if err != nil {
+			t.Errorf("%s: %v", tc.src, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("InferKind(%s) = %v, want %v", tc.src, got, tc.want)
+		}
+	}
+	for _, src := range []string{`missing`, `country + 1`, `bogus(latency)`} {
+		if _, err := InferKind(parseValue(t, src), resolve); err == nil {
+			t.Errorf("InferKind(%s): expected error", src)
+		}
+	}
+}
+
+func TestColumns(t *testing.T) {
+	e := parsePred(t, `country IN ("a") AND date(timestamp) = "x" OR latency > score`)
+	got := Columns(e)
+	want := []string{"country", "timestamp", "latency", "score"}
+	if len(got) != len(want) {
+		t.Fatalf("Columns = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Columns[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if Columns(nil) != nil {
+		t.Error("Columns(nil) != nil")
+	}
+}
+
+func TestIsLiteral(t *testing.T) {
+	if v, ok := IsLiteral(parseValue(t, `"s"`)); !ok || v.Str() != "s" {
+		t.Error("string literal")
+	}
+	if v, ok := IsLiteral(parseValue(t, `5`)); !ok || v.Int() != 5 {
+		t.Error("int literal")
+	}
+	if v, ok := IsLiteral(parseValue(t, `5.5`)); !ok || v.Float() != 5.5 {
+		t.Error("float literal")
+	}
+	if _, ok := IsLiteral(parseValue(t, `latency`)); ok {
+		t.Error("column is not a literal")
+	}
+}
+
+func TestIsScalarFunc(t *testing.T) {
+	if !IsScalarFunc("date") || !IsScalarFunc("DATE") {
+		t.Error("date not recognized")
+	}
+	if IsScalarFunc("count") || IsScalarFunc("sum") {
+		t.Error("aggregates misclassified as scalar")
+	}
+}
+
+func TestCanonicalStringsShared(t *testing.T) {
+	// The same expression parsed from different whitespace must print
+	// identically — virtual-field keys depend on it.
+	a := parseValue(t, `date( timestamp )`)
+	b := parseValue(t, `date(timestamp)`)
+	if a.String() != b.String() {
+		t.Errorf("canonical forms differ: %q vs %q", a.String(), b.String())
+	}
+	if !strings.Contains(a.String(), "date(") {
+		t.Errorf("canonical form = %q", a.String())
+	}
+}

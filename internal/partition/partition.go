@@ -1,0 +1,231 @@
+// Package partition implements the paper's composite range partitioning
+// (Section 2.2): the user names an ordered set of fields — a "natural
+// primary key", typically 3–5 fields chosen by a domain expert — and the
+// data is split iteratively into chunks. The largest chunk is always split
+// next ("heaviest first"), by a balanced range split on the first named
+// field that still has at least two distinct values in that chunk.
+// Splitting stops when no chunk exceeds the row threshold (the paper uses
+// 50'000).
+//
+// The output is a permutation of the rows plus chunk boundaries, so the
+// column store can lay chunks out contiguously. Chunks are emitted in
+// lexicographic order of their field ranges, which keeps neighbouring
+// chunks similar — the property the Zippy and reordering experiments of
+// Section 3 build on.
+package partition
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"powerdrill/internal/table"
+	"powerdrill/internal/value"
+)
+
+// Spec configures a partitioning run.
+type Spec struct {
+	// Fields is the ordered list of split fields.
+	Fields []string
+	// MaxChunkRows is the splitting threshold (default 50'000, the
+	// paper's choice).
+	MaxChunkRows int
+}
+
+// Result describes the produced layout.
+type Result struct {
+	// Perm maps new row order to original row indices: chunk c covers
+	// Perm[Bounds[c]:Bounds[c+1]].
+	Perm []int
+	// Bounds has one entry per chunk boundary; len(Bounds) = chunks+1.
+	Bounds []int
+}
+
+// NumChunks returns the number of chunks.
+func (r *Result) NumChunks() int { return len(r.Bounds) - 1 }
+
+// chunk is a work item: a set of original row indices plus its recursion
+// identity for deterministic ordering.
+type chunk struct {
+	rows []int
+	seq  int // creation sequence, tie-breaker
+}
+
+// chunkHeap orders chunks by size descending ("heaviest first").
+type chunkHeap []*chunk
+
+func (h chunkHeap) Len() int { return len(h) }
+func (h chunkHeap) Less(i, j int) bool {
+	if len(h[i].rows) != len(h[j].rows) {
+		return len(h[i].rows) > len(h[j].rows)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h chunkHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *chunkHeap) Push(x any)   { *h = append(*h, x.(*chunk)) }
+func (h *chunkHeap) Pop() any {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	*h = old[:n-1]
+	return c
+}
+
+// Partition splits tbl according to spec.
+func Partition(tbl *table.Table, spec Spec) (*Result, error) {
+	if spec.MaxChunkRows <= 0 {
+		spec.MaxChunkRows = 50_000
+	}
+	cols := make([]*table.Column, len(spec.Fields))
+	for i, f := range spec.Fields {
+		c := tbl.Column(f)
+		if c == nil {
+			return nil, fmt.Errorf("partition: unknown field %q", f)
+		}
+		cols[i] = c
+	}
+	n := tbl.NumRows()
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	if n == 0 {
+		return &Result{Perm: all, Bounds: []int{0, 0}}, nil
+	}
+
+	h := &chunkHeap{{rows: all}}
+	heap.Init(h)
+	seq := 1
+	var done []*chunk
+
+	for h.Len() > 0 {
+		c := heap.Pop(h).(*chunk)
+		if len(c.rows) <= spec.MaxChunkRows {
+			done = append(done, c)
+			continue
+		}
+		left, right, ok := split(c.rows, cols)
+		if !ok {
+			// No field distinguishes these rows; the chunk stays larger
+			// than the threshold (all rows identical on the key).
+			done = append(done, c)
+			continue
+		}
+		heap.Push(h, &chunk{rows: left, seq: seq})
+		heap.Push(h, &chunk{rows: right, seq: seq + 1})
+		seq += 2
+	}
+
+	// Order chunks lexicographically by their minimal key tuple so the
+	// on-disk layout follows the field order.
+	sort.Slice(done, func(i, j int) bool {
+		return compareChunks(done[i], done[j], cols) < 0
+	})
+
+	res := &Result{Bounds: []int{0}}
+	for _, c := range done {
+		res.Perm = append(res.Perm, c.rows...)
+		res.Bounds = append(res.Bounds, len(res.Perm))
+	}
+	return res, nil
+}
+
+// split performs one balanced range split on the first field with at least
+// two distinct values among rows. It reports ok=false if every field is
+// constant on the chunk.
+func split(rows []int, cols []*table.Column) (left, right []int, ok bool) {
+	for _, col := range cols {
+		distinct := distinctValues(rows, col)
+		if len(distinct) < 2 {
+			continue
+		}
+		pivot := balancedPivot(rows, col, distinct)
+		for _, r := range rows {
+			if col.Value(r).Compare(pivot) < 0 {
+				left = append(left, r)
+			} else {
+				right = append(right, r)
+			}
+		}
+		return left, right, true
+	}
+	return nil, nil, false
+}
+
+// distinctValues returns the sorted distinct values of col over rows.
+func distinctValues(rows []int, col *table.Column) []value.Value {
+	seen := make(map[string]value.Value)
+	for _, r := range rows {
+		v := col.Value(r)
+		seen[v.String()+"\x00"+v.Kind().String()] = v
+		if len(seen) > 4096 {
+			break // enough resolution for a balanced split
+		}
+	}
+	out := make([]value.Value, 0, len(seen))
+	for _, v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// balancedPivot picks the distinct value v such that splitting into
+// {rows < v} and {rows >= v} is as even as possible, with both sides
+// guaranteed non-empty.
+func balancedPivot(rows []int, col *table.Column, distinct []value.Value) value.Value {
+	counts := make([]int, len(distinct))
+	for _, r := range rows {
+		v := col.Value(r)
+		i := sort.Search(len(distinct), func(i int) bool { return distinct[i].Compare(v) >= 0 })
+		if i < len(distinct) && distinct[i].Compare(v) == 0 {
+			counts[i]++
+		}
+	}
+	half := len(rows) / 2
+	acc := 0
+	best := 1
+	bestDiff := len(rows)
+	for i := 0; i < len(distinct)-1; i++ {
+		acc += counts[i]
+		diff := acc - half
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff < bestDiff {
+			bestDiff = diff
+			best = i + 1
+		}
+	}
+	return distinct[best]
+}
+
+// compareChunks orders two chunks by their minimal key tuples.
+func compareChunks(a, b *chunk, cols []*table.Column) int {
+	for _, col := range cols {
+		av := minValue(a.rows, col)
+		bv := minValue(b.rows, col)
+		if c := av.Compare(bv); c != 0 {
+			return c
+		}
+	}
+	// Equal minima (can happen when a later field split them): use the
+	// first row index for a stable, deterministic order.
+	switch {
+	case a.rows[0] < b.rows[0]:
+		return -1
+	case a.rows[0] > b.rows[0]:
+		return 1
+	}
+	return 0
+}
+
+func minValue(rows []int, col *table.Column) value.Value {
+	min := col.Value(rows[0])
+	for _, r := range rows[1:] {
+		if v := col.Value(r); v.Compare(min) < 0 {
+			min = v
+		}
+	}
+	return min
+}

@@ -1,0 +1,141 @@
+package prodsim
+
+import (
+	"testing"
+
+	"powerdrill/internal/colstore"
+)
+
+func smallConfig() Config {
+	return Config{
+		Rows:             20_000,
+		Servers:          2,
+		Sessions:         2,
+		ClicksPerSession: 5,
+		QueriesPerClick:  10,
+		Seed:             71,
+		Store: colstore.Options{
+			PartitionFields:  []string{"country", "table_name"},
+			MaxChunkRows:     500,
+			OptimizeElements: true,
+		},
+	}
+}
+
+func TestRunProducesConsistentReport(t *testing.T) {
+	rep, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Queries != 2*5*10 {
+		t.Errorf("Queries = %d, want 100", rep.Queries)
+	}
+	if rep.Clicks != 10 {
+		t.Errorf("Clicks = %d, want 10", rep.Clicks)
+	}
+	total := rep.SkippedPct + rep.CachedPct + rep.ScannedPct
+	if total < 99.9 || total > 100.1 {
+		t.Errorf("record split does not sum to 100%%: %.2f + %.2f + %.2f = %.2f",
+			rep.SkippedPct, rep.CachedPct, rep.ScannedPct, total)
+	}
+	if rep.NoDiskPct < 0 || rep.NoDiskPct > 100 {
+		t.Errorf("NoDiskPct = %.2f", rep.NoDiskPct)
+	}
+	if rep.AvgLatency <= 0 {
+		t.Error("AvgLatency not positive")
+	}
+	if rep.AvgCellsPerClick <= 0 {
+		t.Error("AvgCellsPerClick not positive")
+	}
+}
+
+// TestSection6Shape checks the qualitative production claims: the
+// drill-down workload skips the large majority of records, serves a
+// further slice from caches, and most queries touch no disk after warm-up.
+func TestSection6Shape(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Sessions = 3
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("skipped=%.2f%% cached=%.2f%% scanned=%.2f%% nodisk=%.1f%%",
+		rep.SkippedPct, rep.CachedPct, rep.ScannedPct, rep.NoDiskPct)
+	if rep.SkippedPct < 50 {
+		t.Errorf("skipped %.1f%%, want the majority (paper: 92.41%%)", rep.SkippedPct)
+	}
+	if rep.CachedPct <= 0 {
+		t.Errorf("cached %.2f%%, want > 0 (paper: 5.02%%)", rep.CachedPct)
+	}
+	if rep.ScannedPct > 30 {
+		t.Errorf("scanned %.1f%%, want a small minority (paper: 2.66%%)", rep.ScannedPct)
+	}
+	if rep.NoDiskPct < 50 {
+		t.Errorf("no-disk queries %.1f%%, want the majority (paper: >70%%)", rep.NoDiskPct)
+	}
+}
+
+// TestFigure5Shape: average latency must not decrease as more data is
+// loaded from disk (the Figure 5 monotonicity, up to noise — we check
+// first vs last populated bucket).
+func TestFigure5Shape(t *testing.T) {
+	cfg := smallConfig()
+	cfg.EvictProb = 0.4 // more cold loads to populate buckets
+	cfg.DiskMBps = 10   // slow disk accentuates the shape
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var withDisk []Bucket
+	for _, b := range rep.Buckets {
+		t.Logf("bucket log2MB=%d queries=%d avg=%v", b.Log2MB, b.Queries, b.AvgLatency)
+		if b.Log2MB >= 0 {
+			withDisk = append(withDisk, b)
+		}
+	}
+	if len(withDisk) == 0 {
+		t.Fatal("no disk buckets populated; eviction model broken")
+	}
+	if rep.AvgLatencyNoDisk <= 0 {
+		t.Fatal("no no-disk latency recorded")
+	}
+	last := withDisk[len(withDisk)-1]
+	if last.AvgLatency <= rep.AvgLatencyNoDisk {
+		t.Errorf("largest disk bucket (%v) not slower than memory-resident (%v)",
+			last.AvgLatency, rep.AvgLatencyNoDisk)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	a, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Latencies are wall-clock and differ; the data-dependent counters
+	// must not.
+	if a.SkippedPct != b.SkippedPct || a.CachedPct != b.CachedPct || a.TotalDiskBytes != b.TotalDiskBytes {
+		t.Errorf("runs diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestColumnBudgetForcesReloads(t *testing.T) {
+	generous := smallConfig()
+	rep1, err := Run(generous)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight := smallConfig()
+	tight.ColumnBudgetBytes = 64 << 10 // far below the column sizes
+	rep2, err := Run(tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.TotalDiskBytes <= rep1.TotalDiskBytes {
+		t.Errorf("tight budget loaded %d bytes, generous %d; expected more reloads",
+			rep2.TotalDiskBytes, rep1.TotalDiskBytes)
+	}
+}

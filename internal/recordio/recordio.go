@@ -1,0 +1,180 @@
+// Package recordio implements the row-wise binary baseline format of the
+// paper's experiments ("record-io: binary format based on protocol
+// buffers"). Each record is a length-prefixed message of tagged fields,
+// encoded protobuf-style: field number and wire type in a varint key,
+// varint integers, little-endian doubles, length-delimited strings. It is
+// deliberately a streaming, full-scan format: reading any field requires
+// reading every record.
+package recordio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"powerdrill/internal/table"
+	"powerdrill/internal/value"
+)
+
+// wire types, protobuf-compatible.
+const (
+	wireVarint = 0
+	wireI64    = 1
+	wireBytes  = 2
+)
+
+// Writer streams records of a fixed schema.
+type Writer struct {
+	w     *bufio.Writer
+	kinds []value.Kind
+	buf   []byte
+}
+
+// NewWriter creates a writer for records with the given field kinds.
+func NewWriter(w io.Writer, kinds []value.Kind) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16), kinds: append([]value.Kind(nil), kinds...)}
+}
+
+// Write appends one record; vals must match the schema.
+func (w *Writer) Write(vals []value.Value) error {
+	if len(vals) != len(w.kinds) {
+		return fmt.Errorf("recordio: record has %d fields, schema has %d", len(vals), len(w.kinds))
+	}
+	w.buf = w.buf[:0]
+	for i, v := range vals {
+		if v.Kind() != w.kinds[i] {
+			return fmt.Errorf("recordio: field %d is %s, schema says %s", i, v.Kind(), w.kinds[i])
+		}
+		switch v.Kind() {
+		case value.KindString:
+			w.buf = appendKey(w.buf, i+1, wireBytes)
+			s := v.Str()
+			w.buf = binary.AppendUvarint(w.buf, uint64(len(s)))
+			w.buf = append(w.buf, s...)
+		case value.KindInt64:
+			w.buf = appendKey(w.buf, i+1, wireVarint)
+			w.buf = binary.AppendUvarint(w.buf, zigzag(v.Int()))
+		case value.KindFloat64:
+			w.buf = appendKey(w.buf, i+1, wireI64)
+			w.buf = binary.LittleEndian.AppendUint64(w.buf, math.Float64bits(v.Float()))
+		}
+	}
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(w.buf)))
+	if _, err := w.w.Write(lenBuf[:n]); err != nil {
+		return err
+	}
+	_, err := w.w.Write(w.buf)
+	return err
+}
+
+// Flush flushes buffered records.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+func appendKey(dst []byte, field, wire int) []byte {
+	return binary.AppendUvarint(dst, uint64(field)<<3|uint64(wire))
+}
+
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Reader streams records back.
+type Reader struct {
+	r     *bufio.Reader
+	kinds []value.Kind
+	buf   []byte
+}
+
+// NewReader creates a reader expecting the given schema.
+func NewReader(r io.Reader, kinds []value.Kind) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, 1<<16), kinds: append([]value.Kind(nil), kinds...)}
+}
+
+// Next reads one record into vals (which must have schema length). It
+// returns io.EOF cleanly at end of stream.
+func (r *Reader) Next(vals []value.Value) error {
+	if len(vals) != len(r.kinds) {
+		return fmt.Errorf("recordio: destination has %d fields, schema has %d", len(vals), len(r.kinds))
+	}
+	size, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		if err == io.EOF {
+			return io.EOF
+		}
+		return fmt.Errorf("recordio: record length: %w", err)
+	}
+	if size > 1<<30 {
+		return fmt.Errorf("recordio: absurd record size %d", size)
+	}
+	if cap(r.buf) < int(size) {
+		r.buf = make([]byte, size)
+	}
+	r.buf = r.buf[:size]
+	if _, err := io.ReadFull(r.r, r.buf); err != nil {
+		return fmt.Errorf("recordio: record body: %w", err)
+	}
+	return r.decode(r.buf, vals)
+}
+
+func (r *Reader) decode(buf []byte, vals []value.Value) error {
+	seen := 0
+	for len(buf) > 0 {
+		key, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return fmt.Errorf("recordio: corrupt field key")
+		}
+		buf = buf[n:]
+		field := int(key >> 3)
+		wire := int(key & 7)
+		if field < 1 || field > len(r.kinds) {
+			return fmt.Errorf("recordio: field %d out of schema", field)
+		}
+		idx := field - 1
+		switch wire {
+		case wireVarint:
+			u, n := binary.Uvarint(buf)
+			if n <= 0 {
+				return fmt.Errorf("recordio: corrupt varint field %d", field)
+			}
+			buf = buf[n:]
+			vals[idx] = value.Int64(unzigzag(u))
+		case wireI64:
+			if len(buf) < 8 {
+				return fmt.Errorf("recordio: corrupt double field %d", field)
+			}
+			vals[idx] = value.Float64(math.Float64frombits(binary.LittleEndian.Uint64(buf)))
+			buf = buf[8:]
+		case wireBytes:
+			l, n := binary.Uvarint(buf)
+			if n <= 0 || uint64(len(buf)-n) < l {
+				return fmt.Errorf("recordio: corrupt bytes field %d", field)
+			}
+			vals[idx] = value.String(string(buf[n : n+int(l)]))
+			buf = buf[n+int(l):]
+		default:
+			return fmt.Errorf("recordio: unknown wire type %d", wire)
+		}
+		seen++
+	}
+	if seen != len(r.kinds) {
+		return fmt.Errorf("recordio: record has %d fields, schema has %d", seen, len(r.kinds))
+	}
+	return nil
+}
+
+// WriteTable streams an entire table.
+func WriteTable(w io.Writer, tbl *table.Table) error {
+	kinds := make([]value.Kind, len(tbl.Cols))
+	for i, c := range tbl.Cols {
+		kinds[i] = c.Kind
+	}
+	rw := NewWriter(w, kinds)
+	for i := 0; i < tbl.NumRows(); i++ {
+		if err := rw.Write(tbl.Row(i)); err != nil {
+			return err
+		}
+	}
+	return rw.Flush()
+}

@@ -1,0 +1,144 @@
+package recordio
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"powerdrill/internal/value"
+	"powerdrill/internal/workload"
+)
+
+var kinds = []value.Kind{value.KindString, value.KindInt64, value.KindFloat64}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, kinds)
+	rows := [][]value.Value{
+		{value.String("ebay"), value.Int64(-42), value.Float64(2.5)},
+		{value.String(""), value.Int64(0), value.Float64(0)},
+		{value.String("cheap flights"), value.Int64(1 << 60), value.Float64(-1e300)},
+	}
+	for _, r := range rows {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf, kinds)
+	got := make([]value.Value, len(kinds))
+	for i, want := range rows {
+		if err := r.Next(got); err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+		for j := range want {
+			if !got[j].Equal(want[j]) {
+				t.Errorf("row %d field %d: %v != %v", i, j, got[j], want[j])
+			}
+		}
+	}
+	if err := r.Next(got); err != io.EOF {
+		t.Errorf("expected EOF, got %v", err)
+	}
+}
+
+func TestWriteErrors(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, kinds)
+	if err := w.Write([]value.Value{value.String("x")}); err == nil {
+		t.Error("short record accepted")
+	}
+	if err := w.Write([]value.Value{value.Int64(1), value.Int64(2), value.Float64(3)}); err == nil {
+		t.Error("kind mismatch accepted")
+	}
+}
+
+func TestReaderErrors(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte{0x05, 0x01}), kinds) // truncated body
+	vals := make([]value.Value, len(kinds))
+	if err := r.Next(vals); err == nil || err == io.EOF {
+		t.Errorf("truncated record: %v", err)
+	}
+	// Wrong destination size.
+	r2 := NewReader(bytes.NewReader(nil), kinds)
+	if err := r2.Next(make([]value.Value, 1)); err == nil {
+		t.Error("wrong destination accepted")
+	}
+	// Record with a field missing.
+	var buf bytes.Buffer
+	w := NewWriter(&buf, []value.Kind{value.KindInt64})
+	if err := w.Write([]value.Value{value.Int64(7)}); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	r3 := NewReader(bytes.NewReader(buf.Bytes()), kinds) // expects 3 fields
+	if err := r3.Next(vals); err == nil {
+		t.Error("missing fields accepted")
+	}
+}
+
+func TestQuickRoundTripValues(t *testing.T) {
+	f := func(s string, i int64, fl float64) bool {
+		if fl != fl { // skip NaN, which never compares equal
+			return true
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf, kinds)
+		if err := w.Write([]value.Value{value.String(s), value.Int64(i), value.Float64(fl)}); err != nil {
+			return false
+		}
+		w.Flush()
+		r := NewReader(&buf, kinds)
+		got := make([]value.Value, 3)
+		if err := r.Next(got); err != nil {
+			return false
+		}
+		return got[0].Str() == s && got[1].Int() == i && got[2].Float() == fl
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	tbl := workload.QueryLogs(workload.LogsSpec{Rows: 500, Seed: 1})
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, tbl); err != nil {
+		t.Fatal(err)
+	}
+	tkinds := make([]value.Kind, len(tbl.Cols))
+	for i, c := range tbl.Cols {
+		tkinds[i] = c.Kind
+	}
+	r := NewReader(&buf, tkinds)
+	vals := make([]value.Value, len(tkinds))
+	n := 0
+	for {
+		err := r.Next(vals)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, c := range tbl.Cols {
+			if !vals[j].Equal(c.Value(n)) {
+				t.Fatalf("row %d col %d mismatch", n, j)
+			}
+		}
+		n++
+	}
+	if n != 500 {
+		t.Errorf("read %d rows, want 500", n)
+	}
+}
+
+func TestZigzag(t *testing.T) {
+	f := func(v int64) bool { return unzigzag(zigzag(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,170 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokString
+	tokNumber
+	tokOp // = != < <= > >= + - * /
+	tokLParen
+	tokRParen
+	tokComma
+	tokSemi
+)
+
+// keywords are case-insensitive reserved words.
+var keywords = map[string]bool{
+	"select": true, "from": true, "where": true, "group": true, "by": true,
+	"having": true, "order": true, "limit": true, "and": true, "or": true,
+	"not": true, "in": true, "as": true, "asc": true, "desc": true,
+	"distinct": true,
+}
+
+// token is one lexical token; text is lower-cased for keywords.
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lexer tokenizes a query string.
+type lexer struct {
+	src string
+	pos int
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c == '(':
+		l.pos++
+		return token{tokLParen, "(", start}, nil
+	case c == ')':
+		l.pos++
+		return token{tokRParen, ")", start}, nil
+	case c == ',':
+		l.pos++
+		return token{tokComma, ",", start}, nil
+	case c == ';':
+		l.pos++
+		return token{tokSemi, ";", start}, nil
+	case c == '\'' || c == '"':
+		return l.lexString(c)
+	case c >= '0' && c <= '9':
+		return l.lexNumber()
+	case c == '!':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.pos += 2
+			return token{tokOp, "!=", start}, nil
+		}
+		return token{}, fmt.Errorf("sql: unexpected '!' at %d", start)
+	case c == '<':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.pos += 2
+			return token{tokOp, "<=", start}, nil
+		}
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '>' {
+			l.pos += 2
+			return token{tokOp, "!=", start}, nil
+		}
+		l.pos++
+		return token{tokOp, "<", start}, nil
+	case c == '>':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.pos += 2
+			return token{tokOp, ">=", start}, nil
+		}
+		l.pos++
+		return token{tokOp, ">", start}, nil
+	case c == '=' || c == '+' || c == '-' || c == '*' || c == '/':
+		l.pos++
+		return token{tokOp, string(c), start}, nil
+	case isIdentStart(c):
+		return l.lexIdent()
+	}
+	return token{}, fmt.Errorf("sql: unexpected character %q at %d", c, start)
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9') || c == '.'
+}
+
+// lexIdent scans an identifier or keyword. Dots are part of identifiers
+// (table names like logs.powerdrill.queries).
+func (l *lexer) lexIdent() (token, error) {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	if keywords[strings.ToLower(text)] {
+		return token{tokKeyword, strings.ToLower(text), start}, nil
+	}
+	return token{tokIdent, text, start}, nil
+}
+
+// lexNumber scans an integer or float literal.
+func (l *lexer) lexNumber() (token, error) {
+	start := l.pos
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '.' && !seenDot {
+			seenDot = true
+			l.pos++
+			continue
+		}
+		if c < '0' || c > '9' {
+			break
+		}
+		l.pos++
+	}
+	return token{tokNumber, l.src[start:l.pos], start}, nil
+}
+
+// lexString scans a quoted literal; backslash escapes the quote.
+func (l *lexer) lexString(quote byte) (token, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case '\\':
+			if l.pos+1 >= len(l.src) {
+				return token{}, fmt.Errorf("sql: unterminated escape at %d", l.pos)
+			}
+			b.WriteByte(l.src[l.pos+1])
+			l.pos += 2
+		case quote:
+			l.pos++
+			return token{tokString, b.String(), start}, nil
+		default:
+			b.WriteByte(c)
+			l.pos++
+		}
+	}
+	return token{}, fmt.Errorf("sql: unterminated string starting at %d", start)
+}

@@ -1,0 +1,482 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses a single SELECT statement.
+func Parse(src string) (*SelectStmt, error) {
+	p := &parser{lex: &lexer{src: src}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokSemi {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if p.tok.kind != tokEOF {
+		return nil, fmt.Errorf("sql: trailing input at %d: %q", p.tok.pos, p.tok.text)
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	lex *lexer
+	tok token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+// expectKeyword consumes the given keyword or fails.
+func (p *parser) expectKeyword(kw string) error {
+	if p.tok.kind != tokKeyword || p.tok.text != kw {
+		return fmt.Errorf("sql: expected %s at %d, got %q", strings.ToUpper(kw), p.tok.pos, p.tok.text)
+	}
+	return p.advance()
+}
+
+// atKeyword reports whether the current token is the given keyword.
+func (p *parser) atKeyword(kw string) bool {
+	return p.tok.kind == tokKeyword && p.tok.text == kw
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{Limit: -1}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if p.tok.kind != tokComma {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokIdent {
+		return nil, fmt.Errorf("sql: expected table name at %d", p.tok.pos)
+	}
+	stmt.From = p.tok.text
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.atKeyword("where") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = w
+	}
+	if p.atKeyword("group") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			g, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, g)
+			if p.tok.kind != tokComma {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if p.atKeyword("having") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		h, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Having = h
+	}
+	if p.atKeyword("order") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.atKeyword("desc") {
+				item.Desc = true
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			} else if p.atKeyword("asc") {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if p.tok.kind != tokComma {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if p.atKeyword("limit") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokNumber {
+			return nil, fmt.Errorf("sql: expected LIMIT count at %d", p.tok.pos)
+		}
+		n, err := strconv.Atoi(p.tok.text)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("sql: invalid LIMIT %q", p.tok.text)
+		}
+		stmt.Limit = n
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.atKeyword("as") {
+		if err := p.advance(); err != nil {
+			return SelectItem{}, err
+		}
+		if p.tok.kind != tokIdent {
+			return SelectItem{}, fmt.Errorf("sql: expected alias at %d", p.tok.pos)
+		}
+		item.Alias = p.tok.text
+		if err := p.advance(); err != nil {
+			return SelectItem{}, err
+		}
+	} else if p.tok.kind == tokIdent {
+		// Bare alias: `COUNT(*) c`.
+		item.Alias = p.tok.text
+		if err := p.advance(); err != nil {
+			return SelectItem{}, err
+		}
+	}
+	return item, nil
+}
+
+// parseExpr parses with precedence OR < AND < NOT < comparison/IN <
+// additive < multiplicative < unary.
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("or") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: OpOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("and") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: OpAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.atKeyword("not") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Not{X: x}, nil
+	}
+	return p.parseComparison()
+}
+
+var cmpOps = map[string]BinaryOp{
+	"=": OpEq, "!=": OpNe, "<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe,
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokOp {
+		if op, ok := cmpOps[p.tok.text]; ok {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return &Binary{Op: op, L: l, R: r}, nil
+		}
+	}
+	negated := false
+	if p.atKeyword("not") {
+		// Must be NOT IN here.
+		save := *p.lex
+		saveTok := p.tok
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if !p.atKeyword("in") {
+			*p.lex = save
+			p.tok = saveTok
+			return l, nil
+		}
+		negated = true
+	}
+	if p.atKeyword("in") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokLParen {
+			return nil, fmt.Errorf("sql: expected ( after IN at %d", p.tok.pos)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		var list []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if p.tok.kind == tokComma {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			break
+		}
+		if p.tok.kind != tokRParen {
+			return nil, fmt.Errorf("sql: expected ) closing IN list at %d", p.tok.pos)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &In{X: l, List: list, Negated: negated}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokOp && (p.tok.text == "+" || p.tok.text == "-") {
+		op := OpAdd
+		if p.tok.text == "-" {
+			op = OpSub
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokOp && (p.tok.text == "*" || p.tok.text == "/") {
+		op := OpMul
+		if p.tok.text == "/" {
+			op = OpDiv
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.tok.kind == tokOp && p.tok.text == "-" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		switch lit := x.(type) {
+		case *IntLit:
+			return &IntLit{Val: -lit.Val}, nil
+		case *FloatLit:
+			return &FloatLit{Val: -lit.Val}, nil
+		}
+		return &Binary{Op: OpSub, L: &IntLit{Val: 0}, R: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	switch p.tok.kind {
+	case tokNumber:
+		text := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if strings.Contains(text, ".") {
+			f, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sql: invalid float %q", text)
+			}
+			return &FloatLit{Val: f}, nil
+		}
+		n, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sql: invalid integer %q", text)
+		}
+		return &IntLit{Val: n}, nil
+	case tokString:
+		s := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &StringLit{Val: s}, nil
+	case tokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokRParen {
+			return nil, fmt.Errorf("sql: expected ) at %d", p.tok.pos)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokIdent:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokLParen {
+			return &Ident{Name: name}, nil
+		}
+		// Function call.
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		call := &Call{Name: strings.ToLower(name)}
+		if p.tok.kind == tokOp && p.tok.text == "*" {
+			call.Star = true
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		} else if p.tok.kind != tokRParen {
+			if p.atKeyword("distinct") {
+				call.Distinct = true
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+			for {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+				if p.tok.kind != tokComma {
+					break
+				}
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if p.tok.kind != tokRParen {
+			return nil, fmt.Errorf("sql: expected ) closing call at %d", p.tok.pos)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return call, nil
+	}
+	return nil, fmt.Errorf("sql: unexpected token %q at %d", p.tok.text, p.tok.pos)
+}

@@ -1,0 +1,307 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *SelectStmt {
+	t.Helper()
+	stmt, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return stmt
+}
+
+func TestParsePaperQuery1(t *testing.T) {
+	stmt := mustParse(t, `SELECT country, COUNT(*) as c FROM data GROUP BY country ORDER BY c DESC LIMIT 10;`)
+	if len(stmt.Items) != 2 || stmt.From != "data" {
+		t.Fatalf("stmt = %+v", stmt)
+	}
+	if stmt.Items[1].Alias != "c" {
+		t.Errorf("alias = %q", stmt.Items[1].Alias)
+	}
+	call, ok := stmt.Items[1].Expr.(*Call)
+	if !ok || !call.Star || call.Name != "count" || !call.IsAggregate() {
+		t.Errorf("COUNT(*) parsed as %#v", stmt.Items[1].Expr)
+	}
+	if len(stmt.GroupBy) != 1 || stmt.GroupBy[0].String() != "country" {
+		t.Errorf("GroupBy = %v", stmt.GroupBy)
+	}
+	if len(stmt.OrderBy) != 1 || !stmt.OrderBy[0].Desc {
+		t.Errorf("OrderBy = %+v", stmt.OrderBy)
+	}
+	if stmt.Limit != 10 {
+		t.Errorf("Limit = %d", stmt.Limit)
+	}
+}
+
+func TestParsePaperQuery2(t *testing.T) {
+	stmt := mustParse(t, `SELECT date(timestamp) as date, COUNT(*), SUM(latency) FROM data GROUP BY date ORDER BY date ASC LIMIT 10;`)
+	if len(stmt.Items) != 3 {
+		t.Fatalf("items = %d", len(stmt.Items))
+	}
+	call, ok := stmt.Items[0].Expr.(*Call)
+	if !ok || call.Name != "date" || call.IsAggregate() {
+		t.Errorf("date(timestamp) parsed as %#v", stmt.Items[0].Expr)
+	}
+	if stmt.OrderBy[0].Desc {
+		t.Error("ASC parsed as DESC")
+	}
+}
+
+func TestParseWhereIn(t *testing.T) {
+	stmt := mustParse(t, `SELECT search_string, COUNT(*) as c FROM data
+		WHERE search_string IN ("la redoute", "voyages sncf")
+		GROUP BY search_string ORDER BY c DESC LIMIT 10;`)
+	in, ok := stmt.Where.(*In)
+	if !ok || in.Negated || len(in.List) != 2 {
+		t.Fatalf("Where = %#v", stmt.Where)
+	}
+	if in.List[0].(*StringLit).Val != "la redoute" {
+		t.Errorf("first IN value = %v", in.List[0])
+	}
+}
+
+func TestParseSpecialOperators(t *testing.T) {
+	stmt := mustParse(t, `SELECT COUNT(*) FROM data WHERE
+		country IN ("de") AND NOT user = "u1" OR table_name NOT IN ("a", "b") AND latency != 5`)
+	or, ok := stmt.Where.(*Binary)
+	if !ok || or.Op != OpOr {
+		t.Fatalf("top op = %#v", stmt.Where)
+	}
+	// Left: AND(country IN, NOT(=))
+	land := or.L.(*Binary)
+	if land.Op != OpAnd {
+		t.Fatal("left not AND")
+	}
+	if _, ok := land.R.(*Not); !ok {
+		t.Fatalf("NOT parse = %#v", land.R)
+	}
+	rand := or.R.(*Binary)
+	in := rand.L.(*In)
+	if !in.Negated {
+		t.Error("NOT IN lost negation")
+	}
+	ne := rand.R.(*Binary)
+	if ne.Op != OpNe {
+		t.Errorf("!= parsed as %v", ne.Op)
+	}
+}
+
+func TestParseArithmeticPrecedence(t *testing.T) {
+	stmt := mustParse(t, `SELECT a + b * c - d / 2 FROM t`)
+	// ((a + (b*c)) - (d/2))
+	sub := stmt.Items[0].Expr.(*Binary)
+	if sub.Op != OpSub {
+		t.Fatalf("top = %v", sub.Op)
+	}
+	add := sub.L.(*Binary)
+	if add.Op != OpAdd {
+		t.Fatalf("left = %v", add.Op)
+	}
+	if add.R.(*Binary).Op != OpMul || sub.R.(*Binary).Op != OpDiv {
+		t.Error("precedence wrong")
+	}
+}
+
+func TestParseComparisons(t *testing.T) {
+	for _, tc := range []struct {
+		src string
+		op  BinaryOp
+	}{
+		{"a = 1", OpEq}, {"a != 1", OpNe}, {"a <> 1", OpNe},
+		{"a < 1", OpLt}, {"a <= 1", OpLe}, {"a > 1", OpGt}, {"a >= 1", OpGe},
+	} {
+		stmt := mustParse(t, "SELECT a FROM t WHERE "+tc.src)
+		b, ok := stmt.Where.(*Binary)
+		if !ok || b.Op != tc.op {
+			t.Errorf("%q parsed op %v, want %v", tc.src, b.Op, tc.op)
+		}
+	}
+}
+
+func TestParseStarProjection(t *testing.T) {
+	// `SELECT *` is not part of the subset — the engine is a group-by
+	// engine — but COUNT(*) must work, and a bare * projection should be
+	// rejected cleanly rather than panic.
+	if _, err := Parse("SELECT * FROM t WHERE a = 1"); err == nil {
+		t.Skip("bare * accepted (tolerated)")
+	}
+}
+
+func TestParseNegativeNumbers(t *testing.T) {
+	stmt := mustParse(t, `SELECT a FROM t WHERE a = -5 AND b = -2.5`)
+	and := stmt.Where.(*Binary)
+	if and.L.(*Binary).R.(*IntLit).Val != -5 {
+		t.Error("negative int literal")
+	}
+	if and.R.(*Binary).R.(*FloatLit).Val != -2.5 {
+		t.Error("negative float literal")
+	}
+}
+
+func TestParseCountDistinct(t *testing.T) {
+	stmt := mustParse(t, `SELECT country, COUNT(DISTINCT table_name) FROM data GROUP BY country`)
+	call := stmt.Items[1].Expr.(*Call)
+	if !call.Distinct || call.Name != "count" || len(call.Args) != 1 {
+		t.Errorf("COUNT(DISTINCT) = %#v", call)
+	}
+}
+
+func TestParseBareAlias(t *testing.T) {
+	stmt := mustParse(t, `SELECT COUNT(*) c FROM data GROUP BY country`)
+	if stmt.Items[0].Alias != "c" {
+		t.Errorf("bare alias = %q", stmt.Items[0].Alias)
+	}
+}
+
+func TestParseSingleQuotes(t *testing.T) {
+	stmt := mustParse(t, `SELECT a FROM t WHERE d IN ('2012-02-29', '2012-03-01')`)
+	in := stmt.Where.(*In)
+	if in.List[0].(*StringLit).Val != "2012-02-29" {
+		t.Error("single-quoted literal")
+	}
+}
+
+func TestParseEscapes(t *testing.T) {
+	stmt := mustParse(t, `SELECT a FROM t WHERE s = "he said \"hi\""`)
+	eq := stmt.Where.(*Binary)
+	if eq.R.(*StringLit).Val != `he said "hi"` {
+		t.Errorf("escaped literal = %q", eq.R.(*StringLit).Val)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"",
+		"SELEC a FROM t",
+		"SELECT FROM t",
+		"SELECT a",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t GROUP country",
+		"SELECT a FROM t LIMIT x",
+		"SELECT a FROM t LIMIT -1",
+		"SELECT a FROM t WHERE a IN 5",
+		"SELECT a FROM t WHERE a IN (1",
+		"SELECT a FROM t WHERE a = 'unterminated",
+		"SELECT a FROM t; SELECT b FROM t",
+		"SELECT f(a FROM t",
+		"SELECT a FROM t WHERE !",
+		"SELECT a FROM t WHERE a ! 1",
+		"SELECT (a FROM t",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestRoundTripThroughString(t *testing.T) {
+	queries := []string{
+		`SELECT country, COUNT(*) as c FROM data GROUP BY country ORDER BY c DESC LIMIT 10;`,
+		`SELECT date(timestamp) as d, SUM(latency) FROM data WHERE country IN ("de", "fr") AND NOT user = "x" GROUP BY d ORDER BY d ASC;`,
+		`SELECT a + b * 2 FROM t WHERE x NOT IN (1, 2, 3) OR y >= 1.5;`,
+		`SELECT COUNT(DISTINCT table_name) FROM data;`,
+	}
+	for _, q := range queries {
+		first := mustParse(t, q)
+		second := mustParse(t, first.String())
+		if first.String() != second.String() {
+			t.Errorf("round trip diverged:\n  %s\n  %s", first.String(), second.String())
+		}
+	}
+}
+
+func TestHasAggregate(t *testing.T) {
+	stmt := mustParse(t, `SELECT country, COUNT(*) + 1, date(timestamp) FROM data`)
+	if HasAggregate(stmt.Items[0].Expr) {
+		t.Error("plain column flagged as aggregate")
+	}
+	if !HasAggregate(stmt.Items[1].Expr) {
+		t.Error("COUNT(*)+1 not flagged")
+	}
+	if HasAggregate(stmt.Items[2].Expr) {
+		t.Error("date() flagged as aggregate")
+	}
+}
+
+func TestSplitConjuncts(t *testing.T) {
+	stmt := mustParse(t, `SELECT a FROM t WHERE a = 1 AND b IN (2) AND (c = 3 OR d = 4)`)
+	parts := SplitConjuncts(stmt.Where)
+	if len(parts) != 3 {
+		t.Fatalf("got %d conjuncts", len(parts))
+	}
+	if !strings.Contains(parts[2].String(), "OR") {
+		t.Error("OR conjunct mangled")
+	}
+	if got := SplitConjuncts(nil); got != nil {
+		t.Error("SplitConjuncts(nil) != nil")
+	}
+}
+
+func TestParseKeywordCaseInsensitive(t *testing.T) {
+	stmt := mustParse(t, `select country from data where country in ("de") group by country order by country desc limit 5`)
+	if stmt.Limit != 5 || stmt.Where == nil {
+		t.Error("lower-case keywords not handled")
+	}
+}
+
+func TestParseHaving(t *testing.T) {
+	stmt := mustParse(t, `SELECT country, COUNT(*) AS c FROM data GROUP BY country HAVING c > 5 AND country != "zz" ORDER BY c DESC LIMIT 3;`)
+	if stmt.Having == nil {
+		t.Fatal("HAVING not parsed")
+	}
+	and, ok := stmt.Having.(*Binary)
+	if !ok || and.Op != OpAnd {
+		t.Fatalf("Having = %#v", stmt.Having)
+	}
+	// Canonical printing round-trips.
+	again := mustParse(t, stmt.String())
+	if again.Having == nil || again.String() != stmt.String() {
+		t.Error("HAVING lost in round trip")
+	}
+	// HAVING before ORDER BY enforced by grammar.
+	if _, err := Parse(`SELECT a FROM t GROUP BY a ORDER BY a HAVING a > 1`); err == nil {
+		t.Error("HAVING after ORDER BY accepted")
+	}
+}
+
+// TestParserNeverPanics feeds the parser mutated fragments of valid
+// queries: any outcome is fine except a panic.
+func TestParserNeverPanics(t *testing.T) {
+	seeds := []string{
+		`SELECT country, COUNT(*) as c FROM data WHERE a IN ("x", 'y') GROUP BY country HAVING c > 1 ORDER BY c DESC LIMIT 10;`,
+		`SELECT a + b * (c - 2.5) FROM t WHERE NOT x != 1 AND y NOT IN (1,2);`,
+	}
+	mutate := func(s string, i int) string {
+		switch i % 5 {
+		case 0:
+			return s[:len(s)*(i%7)/7]
+		case 1:
+			return s + s[:i%len(s)]
+		case 2:
+			b := []byte(s)
+			b[i%len(b)] = byte(i)
+			return string(b)
+		case 3:
+			return s[i%len(s):]
+		default:
+			b := []byte(s)
+			b[i%len(b)], b[(i*3)%len(b)] = b[(i*3)%len(b)], b[i%len(b)]
+			return string(b)
+		}
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("parser panicked: %v", r)
+		}
+	}()
+	for _, seed := range seeds {
+		for i := 1; i < 500; i++ {
+			Parse(mutate(seed, i))
+		}
+	}
+}

@@ -1,0 +1,216 @@
+// Package table holds raw, row-ordered tables in memory: the input of the
+// import pipeline (partitioning, reordering, column-store construction) and
+// of the row-wise baseline backends. Columns are typed slices; the nested
+// relational model of the paper is out of scope (its experiments use flat
+// records, see "Notation and Simplifying Assumptions").
+package table
+
+import (
+	"fmt"
+
+	"powerdrill/internal/value"
+)
+
+// Column is one typed column of a raw table. Exactly one of the payload
+// slices is populated, matching Kind.
+type Column struct {
+	Name   string
+	Kind   value.Kind
+	Strs   []string
+	Ints   []int64
+	Floats []float64
+}
+
+// Len returns the number of values in the column.
+func (c *Column) Len() int {
+	switch c.Kind {
+	case value.KindString:
+		return len(c.Strs)
+	case value.KindInt64:
+		return len(c.Ints)
+	case value.KindFloat64:
+		return len(c.Floats)
+	}
+	return 0
+}
+
+// Value returns the value at row i.
+func (c *Column) Value(i int) value.Value {
+	switch c.Kind {
+	case value.KindString:
+		return value.String(c.Strs[i])
+	case value.KindInt64:
+		return value.Int64(c.Ints[i])
+	case value.KindFloat64:
+		return value.Float64(c.Floats[i])
+	}
+	panic("table: column with invalid kind")
+}
+
+// Table is a named set of equally long columns.
+type Table struct {
+	Name string
+	Cols []*Column
+}
+
+// New creates an empty table.
+func New(name string) *Table { return &Table{Name: name} }
+
+// AddStringColumn appends a string column; vals must match the current row
+// count if other columns exist.
+func (t *Table) AddStringColumn(name string, vals []string) *Table {
+	t.addColumn(&Column{Name: name, Kind: value.KindString, Strs: vals})
+	return t
+}
+
+// AddInt64Column appends an int64 column.
+func (t *Table) AddInt64Column(name string, vals []int64) *Table {
+	t.addColumn(&Column{Name: name, Kind: value.KindInt64, Ints: vals})
+	return t
+}
+
+// AddFloat64Column appends a float64 column.
+func (t *Table) AddFloat64Column(name string, vals []float64) *Table {
+	t.addColumn(&Column{Name: name, Kind: value.KindFloat64, Floats: vals})
+	return t
+}
+
+func (t *Table) addColumn(c *Column) {
+	if len(t.Cols) > 0 && c.Len() != t.NumRows() {
+		panic(fmt.Sprintf("table: column %q has %d rows, table has %d", c.Name, c.Len(), t.NumRows()))
+	}
+	for _, existing := range t.Cols {
+		if existing.Name == c.Name {
+			panic(fmt.Sprintf("table: duplicate column %q", c.Name))
+		}
+	}
+	t.Cols = append(t.Cols, c)
+}
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int {
+	if len(t.Cols) == 0 {
+		return 0
+	}
+	return t.Cols[0].Len()
+}
+
+// Column returns the named column, or nil.
+func (t *Table) Column(name string) *Column {
+	for _, c := range t.Cols {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// ColumnNames returns the column names in declaration order.
+func (t *Table) ColumnNames() []string {
+	out := make([]string, len(t.Cols))
+	for i, c := range t.Cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Permute returns a new table with rows reordered so that new row i holds
+// old row perm[i]. It panics if perm is not a permutation of the row
+// indices — reordering must never silently drop or duplicate rows.
+func (t *Table) Permute(perm []int) *Table {
+	n := t.NumRows()
+	if len(perm) != n {
+		panic(fmt.Sprintf("table: permutation has %d entries for %d rows", len(perm), n))
+	}
+	seen := make([]bool, n)
+	for _, p := range perm {
+		if p < 0 || p >= n || seen[p] {
+			panic("table: invalid permutation")
+		}
+		seen[p] = true
+	}
+	out := New(t.Name)
+	for _, c := range t.Cols {
+		switch c.Kind {
+		case value.KindString:
+			vals := make([]string, n)
+			for i, p := range perm {
+				vals[i] = c.Strs[p]
+			}
+			out.AddStringColumn(c.Name, vals)
+		case value.KindInt64:
+			vals := make([]int64, n)
+			for i, p := range perm {
+				vals[i] = c.Ints[p]
+			}
+			out.AddInt64Column(c.Name, vals)
+		case value.KindFloat64:
+			vals := make([]float64, n)
+			for i, p := range perm {
+				vals[i] = c.Floats[p]
+			}
+			out.AddFloat64Column(c.Name, vals)
+		}
+	}
+	return out
+}
+
+// Select returns a new table holding the given rows (in the given order),
+// used for sharding. Indices may repeat; callers that need a permutation
+// use Permute.
+func (t *Table) Select(rows []int) *Table {
+	out := New(t.Name)
+	for _, c := range t.Cols {
+		switch c.Kind {
+		case value.KindString:
+			vals := make([]string, len(rows))
+			for i, p := range rows {
+				vals[i] = c.Strs[p]
+			}
+			out.AddStringColumn(c.Name, vals)
+		case value.KindInt64:
+			vals := make([]int64, len(rows))
+			for i, p := range rows {
+				vals[i] = c.Ints[p]
+			}
+			out.AddInt64Column(c.Name, vals)
+		case value.KindFloat64:
+			vals := make([]float64, len(rows))
+			for i, p := range rows {
+				vals[i] = c.Floats[p]
+			}
+			out.AddFloat64Column(c.Name, vals)
+		}
+	}
+	return out
+}
+
+// Shard splits the table into n shards by striping rows quasi-randomly
+// (row i goes to shard determined by a multiplicative hash of i). This is
+// the Section 4 layout: sharding first for load balance, partitioning into
+// chunks afterwards per shard.
+func (t *Table) Shard(n int) []*Table {
+	if n <= 0 {
+		panic(fmt.Sprintf("table: invalid shard count %d", n))
+	}
+	rowSets := make([][]int, n)
+	for i := 0; i < t.NumRows(); i++ {
+		s := int((uint64(i) * 0x9e3779b97f4a7c15) >> 33 % uint64(n))
+		rowSets[s] = append(rowSets[s], i)
+	}
+	out := make([]*Table, n)
+	for i, rows := range rowSets {
+		out[i] = t.Select(rows)
+		out[i].Name = fmt.Sprintf("%s.shard%d", t.Name, i)
+	}
+	return out
+}
+
+// Row materializes row i as values (for baselines and tests).
+func (t *Table) Row(i int) []value.Value {
+	out := make([]value.Value, len(t.Cols))
+	for j, c := range t.Cols {
+		out[j] = c.Value(i)
+	}
+	return out
+}

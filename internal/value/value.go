@@ -1,0 +1,193 @@
+// Package value defines the scalar value model shared by the column store,
+// the expression engine, and the baseline backends.
+//
+// PowerDrill columns hold one of three kinds of scalars: strings, signed
+// 64-bit integers (which also represent timestamps as microseconds since the
+// Unix epoch), and 64-bit floats. A Value is a small tagged union; columns
+// and dictionaries store raw typed data and only materialize Values at API
+// boundaries (query results, literals in WHERE clauses).
+package value
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+)
+
+// Kind identifies the scalar type of a Value or a column.
+type Kind uint8
+
+// The supported scalar kinds.
+const (
+	KindInvalid Kind = iota
+	KindString
+	KindInt64 // also carries timestamps (micros since epoch)
+	KindFloat64
+)
+
+// String returns the lower-case name of the kind as used in schemas.
+func (k Kind) String() string {
+	switch k {
+	case KindString:
+		return "string"
+	case KindInt64:
+		return "int64"
+	case KindFloat64:
+		return "float64"
+	default:
+		return "invalid"
+	}
+}
+
+// ParseKind converts a schema type name into a Kind.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "string":
+		return KindString, nil
+	case "int64", "int", "timestamp":
+		return KindInt64, nil
+	case "float64", "float", "double":
+		return KindFloat64, nil
+	}
+	return KindInvalid, fmt.Errorf("value: unknown kind %q", s)
+}
+
+// Value is a scalar of one of the supported kinds. The zero Value is
+// invalid; use the constructors below.
+type Value struct {
+	kind Kind
+	str  string
+	num  int64
+	flt  float64
+}
+
+// String constructs a string Value.
+func String(s string) Value { return Value{kind: KindString, str: s} }
+
+// Int64 constructs an integer Value.
+func Int64(v int64) Value { return Value{kind: KindInt64, num: v} }
+
+// Float64 constructs a float Value.
+func Float64(v float64) Value { return Value{kind: KindFloat64, flt: v} }
+
+// Timestamp constructs an integer Value holding t as Unix microseconds.
+func Timestamp(t time.Time) Value { return Int64(t.UnixMicro()) }
+
+// Kind reports the kind of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsValid reports whether v holds a value of a known kind.
+func (v Value) IsValid() bool { return v.kind != KindInvalid }
+
+// Str returns the string payload. It panics if v is not a string.
+func (v Value) Str() string {
+	if v.kind != KindString {
+		panic("value: Str on " + v.kind.String())
+	}
+	return v.str
+}
+
+// Int returns the integer payload. It panics if v is not an int64.
+func (v Value) Int() int64 {
+	if v.kind != KindInt64 {
+		panic("value: Int on " + v.kind.String())
+	}
+	return v.num
+}
+
+// Float returns the float payload. It panics if v is not a float64.
+func (v Value) Float() float64 {
+	if v.kind != KindFloat64 {
+		panic("value: Float on " + v.kind.String())
+	}
+	return v.flt
+}
+
+// AsFloat converts any numeric Value to float64 (ints widen losslessly for
+// |v| < 2^53). It panics on strings.
+func (v Value) AsFloat() float64 {
+	switch v.kind {
+	case KindInt64:
+		return float64(v.num)
+	case KindFloat64:
+		return v.flt
+	}
+	panic("value: AsFloat on " + v.kind.String())
+}
+
+// Time interprets an integer Value as Unix microseconds.
+func (v Value) Time() time.Time { return time.UnixMicro(v.Int()).UTC() }
+
+// Compare orders two values of the same kind: -1, 0 or +1. Values of
+// different kinds compare by kind so heterogeneous sorts are total.
+func (v Value) Compare(o Value) int {
+	if v.kind != o.kind {
+		if v.kind < o.kind {
+			return -1
+		}
+		return 1
+	}
+	switch v.kind {
+	case KindString:
+		switch {
+		case v.str < o.str:
+			return -1
+		case v.str > o.str:
+			return 1
+		}
+	case KindInt64:
+		switch {
+		case v.num < o.num:
+			return -1
+		case v.num > o.num:
+			return 1
+		}
+	case KindFloat64:
+		switch {
+		case v.flt < o.flt:
+			return -1
+		case v.flt > o.flt:
+			return 1
+		}
+	}
+	return 0
+}
+
+// Equal reports whether two values have the same kind and payload.
+func (v Value) Equal(o Value) bool { return v.Compare(o) == 0 }
+
+// String renders the value the way query results print it: strings
+// verbatim, timestamps are not special-cased (callers format via Time).
+func (v Value) String() string {
+	switch v.kind {
+	case KindString:
+		return v.str
+	case KindInt64:
+		return strconv.FormatInt(v.num, 10)
+	case KindFloat64:
+		return strconv.FormatFloat(v.flt, 'g', -1, 64)
+	}
+	return "<invalid>"
+}
+
+// Parse converts a textual field into a Value of the given kind; it is the
+// inverse of String for the supported kinds and is used by the CSV backend.
+func Parse(kind Kind, s string) (Value, error) {
+	switch kind {
+	case KindString:
+		return String(s), nil
+	case KindInt64:
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("value: parse int64 %q: %w", s, err)
+		}
+		return Int64(n), nil
+	case KindFloat64:
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("value: parse float64 %q: %w", s, err)
+		}
+		return Float64(f), nil
+	}
+	return Value{}, fmt.Errorf("value: parse of invalid kind")
+}

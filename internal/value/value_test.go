@@ -1,0 +1,187 @@
+package value
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindString:  "string",
+		KindInt64:   "int64",
+		KindFloat64: "float64",
+		KindInvalid: "invalid",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Kind
+	}{
+		{"string", KindString},
+		{"int64", KindInt64},
+		{"int", KindInt64},
+		{"timestamp", KindInt64},
+		{"float64", KindFloat64},
+		{"float", KindFloat64},
+		{"double", KindFloat64},
+	} {
+		got, err := ParseKind(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseKind(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := ParseKind("blob"); err == nil {
+		t.Error("ParseKind(blob) succeeded, want error")
+	}
+}
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	s := String("ebay")
+	if s.Kind() != KindString || s.Str() != "ebay" {
+		t.Errorf("String: got %v %q", s.Kind(), s.Str())
+	}
+	i := Int64(-42)
+	if i.Kind() != KindInt64 || i.Int() != -42 {
+		t.Errorf("Int64: got %v %d", i.Kind(), i.Int())
+	}
+	f := Float64(2.5)
+	if f.Kind() != KindFloat64 || f.Float() != 2.5 {
+		t.Errorf("Float64: got %v %g", f.Kind(), f.Float())
+	}
+	if !s.IsValid() || (Value{}).IsValid() {
+		t.Error("IsValid misclassifies")
+	}
+}
+
+func TestAccessorPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Str on int", func() { Int64(1).Str() })
+	mustPanic("Int on string", func() { String("x").Int() })
+	mustPanic("Float on int", func() { Int64(1).Float() })
+	mustPanic("AsFloat on string", func() { String("x").AsFloat() })
+}
+
+func TestAsFloat(t *testing.T) {
+	if got := Int64(7).AsFloat(); got != 7.0 {
+		t.Errorf("Int64(7).AsFloat() = %g", got)
+	}
+	if got := Float64(1.5).AsFloat(); got != 1.5 {
+		t.Errorf("Float64(1.5).AsFloat() = %g", got)
+	}
+}
+
+func TestTimestampRoundTrip(t *testing.T) {
+	now := time.Date(2011, 12, 31, 23, 59, 59, 123456000, time.UTC)
+	v := Timestamp(now)
+	if !v.Time().Equal(now) {
+		t.Errorf("Timestamp round trip: got %v, want %v", v.Time(), now)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	for _, tc := range []struct {
+		a, b Value
+		want int
+	}{
+		{String("a"), String("b"), -1},
+		{String("b"), String("a"), 1},
+		{String("a"), String("a"), 0},
+		{Int64(1), Int64(2), -1},
+		{Int64(2), Int64(1), 1},
+		{Int64(5), Int64(5), 0},
+		{Float64(1.5), Float64(2.5), -1},
+		{Float64(2.5), Float64(2.5), 0},
+		{String("z"), Int64(0), -1}, // kinds order: string < int64
+		{Float64(0), Int64(0), 1},   // int64 < float64
+	} {
+		if got := tc.a.Compare(tc.b); got != tc.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		return Int64(a).Compare(Int64(b)) == -Int64(b).Compare(Int64(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a, b string) bool {
+		return String(a).Compare(String(b)) == -String(b).Compare(String(a))
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	for _, tc := range []struct {
+		v    Value
+		want string
+	}{
+		{String("cheap flights"), "cheap flights"},
+		{Int64(-7), "-7"},
+		{Float64(0.5), "0.5"},
+		{Value{}, "<invalid>"},
+	} {
+		if got := tc.v.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	f := func(n int64) bool {
+		v, err := Parse(KindInt64, Int64(n).String())
+		return err == nil && v.Int() == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(s string) bool {
+		v, err := Parse(KindString, s)
+		return err == nil && v.Str() == s
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+	if _, err := Parse(KindInt64, "not-a-number"); err == nil {
+		t.Error("Parse(int64, junk) succeeded")
+	}
+	if _, err := Parse(KindFloat64, "x"); err == nil {
+		t.Error("Parse(float64, junk) succeeded")
+	}
+	if _, err := Parse(KindInvalid, "x"); err == nil {
+		t.Error("Parse(invalid) succeeded")
+	}
+	v, err := Parse(KindFloat64, "2.25")
+	if err != nil || v.Float() != 2.25 {
+		t.Errorf("Parse(float64, 2.25) = %v, %v", v, err)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !String("a").Equal(String("a")) {
+		t.Error("equal strings not Equal")
+	}
+	if String("a").Equal(Int64(0)) {
+		t.Error("different kinds Equal")
+	}
+}

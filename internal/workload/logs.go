@@ -1,0 +1,174 @@
+// Package workload generates the datasets and query streams of the paper's
+// evaluation. The paper uses PowerDrill's own query logs — 5 million rows
+// with the fields timestamp, table_name, latency and country — as "realistic
+// input data"; this package synthesizes a table with the same schema and the
+// same cardinality profile (Section 2.5):
+//
+//   - country: 25 distinct values, heavily skewed (office locations);
+//   - table_name: "several 100K" distinct values with long shared prefixes
+//     and date suffixes ("for which table-names usually include the date");
+//   - timestamp: mostly increasing over the log period (the "implicit
+//     clustering" Moerkotte's aggregates rely on);
+//   - latency: a long-tailed distribution with many distinct values.
+//
+// It also generates the drill-down query sessions of the production
+// workload (Section 6): conjunctions of IN restrictions that users build by
+// clicking, 20 group-by queries per click.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"powerdrill/internal/table"
+)
+
+// LogsSpec configures the synthetic query-log table.
+type LogsSpec struct {
+	// Rows is the number of rows to generate (the paper uses 5M).
+	Rows int
+	// Seed makes generation deterministic.
+	Seed int64
+	// Countries is the number of distinct countries (default 25).
+	Countries int
+	// TableNames is the number of distinct table names (default Rows/25,
+	// matching "several 100K" at 5M rows).
+	TableNames int
+	// Days is the time span of the log (default 365).
+	Days int
+	// Users is the number of distinct user names (default Rows/5000+1).
+	Users int
+}
+
+func (s *LogsSpec) withDefaults() LogsSpec {
+	out := *s
+	if out.Rows <= 0 {
+		out.Rows = 100_000
+	}
+	if out.Countries <= 0 {
+		out.Countries = 25
+	}
+	if out.TableNames <= 0 {
+		out.TableNames = out.Rows / 25
+		if out.TableNames < 100 {
+			out.TableNames = 100
+		}
+	}
+	if out.Days <= 0 {
+		out.Days = 365
+	}
+	if out.Users <= 0 {
+		out.Users = out.Rows/5000 + 1
+	}
+	return out
+}
+
+// countryPool is the fixed universe of office countries.
+var countryPool = []string{
+	"us", "de", "gb", "jp", "fr", "ch", "ie", "in", "br", "au",
+	"ca", "nl", "se", "es", "it", "pl", "ru", "kr", "cn", "sg",
+	"dk", "fi", "no", "be", "at",
+}
+
+// datasetFamilies are prefixes for generated table names; long shared
+// prefixes are what the trie dictionary exploits.
+var datasetFamilies = []string{
+	"logs.powerdrill.query_events_",
+	"logs.powerdrill.ui_actions_",
+	"logs.websearch.sessions_daily_",
+	"logs.websearch.click_through_",
+	"ads.revenue.critical_alerts_",
+	"ads.revenue.by_customer_daily_",
+	"spam.analysis.candidate_hosts_",
+	"production.monitoring.rollouts_",
+	"customer.requests.queue_state_",
+	"bigtable.exports.usage_stats_",
+}
+
+// epoch2011 is 2011-01-01T00:00:00Z in Unix microseconds; the paper's
+// production numbers cover the last three months of 2011.
+const epoch2011 = 1293840000 * 1_000_000
+
+const microsPerDay = 24 * 3600 * 1_000_000
+
+// QueryLogs generates the synthetic PowerDrill query-log table.
+func QueryLogs(spec LogsSpec) *table.Table {
+	s := spec.withDefaults()
+	r := rand.New(rand.NewSource(s.Seed))
+
+	// Build the table-name pool: family prefix + date + shard suffix.
+	names := make([]string, s.TableNames)
+	for i := range names {
+		fam := datasetFamilies[r.Intn(len(datasetFamilies))]
+		day := r.Intn(s.Days)
+		names[i] = fmt.Sprintf("%s2011%02d%02d.%05d", fam, day/30%12+1, day%28+1, i)
+	}
+	// Zipf-ish popularity for names and users: rank k drawn ∝ 1/(k+1).
+	nameZipf := rand.NewZipf(r, 1.2, 1, uint64(len(names)-1))
+
+	users := make([]string, s.Users)
+	for i := range users {
+		users[i] = fmt.Sprintf("user%04d", i)
+	}
+	userZipf := rand.NewZipf(r, 1.3, 1, uint64(len(users)-1))
+
+	countries := countryPool[:s.Countries]
+	// Skewed country distribution: a few offices issue most queries.
+	countryWeights := make([]float64, len(countries))
+	total := 0.0
+	for i := range countryWeights {
+		countryWeights[i] = 1.0 / float64(i+1)
+		total += countryWeights[i]
+	}
+
+	ts := make([]int64, s.Rows)
+	tn := make([]string, s.Rows)
+	lat := make([]int64, s.Rows)
+	co := make([]string, s.Rows)
+	us := make([]string, s.Rows)
+
+	for i := 0; i < s.Rows; i++ {
+		// Timestamps increase row over row with jitter: logs are appended
+		// over time, giving the "implicit clustering" of dates.
+		day := i * s.Days / s.Rows
+		ts[i] = epoch2011 + int64(day)*microsPerDay + int64(r.Int63n(microsPerDay))
+		tn[i] = names[nameZipf.Uint64()]
+		// Long-tailed latency in milliseconds: most queries fast, some
+		// crossing into minutes.
+		base := r.ExpFloat64() * 900
+		if r.Intn(50) == 0 {
+			base *= 20
+		}
+		lat[i] = int64(base) + 5
+		// Weighted country pick.
+		x := r.Float64() * total
+		idx := 0
+		for x > countryWeights[idx] {
+			x -= countryWeights[idx]
+			idx++
+		}
+		co[i] = countries[idx]
+		us[i] = users[userZipf.Uint64()]
+	}
+
+	t := table.New("query_logs")
+	t.AddInt64Column("timestamp", ts)
+	t.AddStringColumn("table_name", tn)
+	t.AddInt64Column("latency", lat)
+	t.AddStringColumn("country", co)
+	t.AddStringColumn("user", us)
+	return t
+}
+
+// PaperQueries returns the three SQL queries of the basic experiments
+// (Section 2.5), verbatim up to whitespace.
+func PaperQueries() []string {
+	return []string{
+		// Query 1: top 10 countries.
+		`SELECT country, COUNT(*) as c FROM data GROUP BY country ORDER BY c DESC LIMIT 10;`,
+		// Query 2: number of queries and overall latency per day.
+		`SELECT date(timestamp) as date, COUNT(*), SUM(latency) FROM data GROUP BY date ORDER BY date ASC LIMIT 10;`,
+		// Query 3: top 10 table names.
+		`SELECT table_name, COUNT(*) as c FROM data GROUP BY table_name ORDER BY c DESC LIMIT 10;`,
+	}
+}

@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"powerdrill/internal/table"
+)
+
+// SessionSpec configures a synthetic drill-down UI session.
+type SessionSpec struct {
+	// Seed makes the session deterministic.
+	Seed int64
+	// Clicks is the number of mouse clicks (restriction changes).
+	Clicks int
+	// QueriesPerClick is the number of charts the UI refreshes per click
+	// (the paper: "a user triggers about 20 SQL queries with a single
+	// mouse click").
+	QueriesPerClick int
+}
+
+func (s *SessionSpec) withDefaults() SessionSpec {
+	out := *s
+	if out.Clicks <= 0 {
+		out.Clicks = 10
+	}
+	if out.QueriesPerClick <= 0 {
+		out.QueriesPerClick = 20
+	}
+	return out
+}
+
+// Click is one mouse click: the queries the UI issues for it.
+type Click struct {
+	// Queries holds the SQL text of each chart refresh.
+	Queries []string
+	// Restriction is the WHERE clause shared by the click's queries
+	// (empty for the initial unrestricted view).
+	Restriction string
+}
+
+// groupable lists the fields charts group by, with the aggregate used.
+var chartSpecs = []struct{ field, agg string }{
+	{"country", "COUNT(*)"},
+	{"table_name", "COUNT(*)"},
+	{"user", "COUNT(*)"},
+	{"date(timestamp)", "COUNT(*)"},
+	{"country", "SUM(latency)"},
+	{"date(timestamp)", "SUM(latency)"},
+	{"user", "SUM(latency)"},
+	{"country", "AVG(latency)"},
+	{"table_name", "MAX(latency)"},
+	{"date(timestamp)", "MIN(latency)"},
+}
+
+// DrillDownSession synthesizes a user session over tbl: each click narrows
+// the restriction by one more conjunct (country, then user, then
+// table-name prefix picked from real data), exactly the "conjunctions of IN
+// statements" interaction pattern the paper's skipping relies on.
+func DrillDownSession(tbl *table.Table, spec SessionSpec) []Click {
+	s := spec.withDefaults()
+	r := rand.New(rand.NewSource(s.Seed))
+
+	countryCol := tbl.Column("country")
+	userCol := tbl.Column("user")
+	nameCol := tbl.Column("table_name")
+	n := tbl.NumRows()
+
+	sample := func(col []string, k int) []string {
+		seen := map[string]bool{}
+		var out []string
+		for attempts := 0; len(out) < k && attempts < 20*k; attempts++ {
+			v := col[r.Intn(n)]
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+
+	var conjuncts []string
+	clicks := make([]Click, 0, s.Clicks)
+	for c := 0; c < s.Clicks; c++ {
+		// Every click past the first narrows the restriction.
+		switch c % 4 {
+		case 1:
+			conjuncts = append(conjuncts, inList("country", sample(countryCol.Strs, 1+r.Intn(2))))
+		case 2:
+			conjuncts = append(conjuncts, inList("user", sample(userCol.Strs, 1)))
+		case 3:
+			conjuncts = append(conjuncts, inList("table_name", sample(nameCol.Strs, 1+r.Intn(3))))
+		case 0:
+			if c > 0 {
+				// Occasionally the user resets and starts a new drill.
+				conjuncts = nil
+			}
+		}
+		where := strings.Join(conjuncts, " AND ")
+		click := Click{Restriction: where}
+		for q := 0; q < s.QueriesPerClick; q++ {
+			spec := chartSpecs[q%len(chartSpecs)]
+			var b strings.Builder
+			fmt.Fprintf(&b, "SELECT %s, %s AS v FROM data", spec.field, spec.agg)
+			if where != "" {
+				fmt.Fprintf(&b, " WHERE %s", where)
+			}
+			fmt.Fprintf(&b, " GROUP BY %s ORDER BY v DESC LIMIT 10;", spec.field)
+			click.Queries = append(click.Queries, b.String())
+		}
+		clicks = append(clicks, click)
+	}
+	return clicks
+}
+
+// inList renders `field IN ("a", "b")`.
+func inList(field string, vals []string) string {
+	quoted := make([]string, len(vals))
+	for i, v := range vals {
+		quoted[i] = `"` + v + `"`
+	}
+	return fmt.Sprintf("%s IN (%s)", field, strings.Join(quoted, ", "))
+}

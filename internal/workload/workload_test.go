@@ -1,0 +1,163 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQueryLogsShape(t *testing.T) {
+	tbl := QueryLogs(LogsSpec{Rows: 50_000, Seed: 1})
+	if tbl.NumRows() != 50_000 {
+		t.Fatalf("NumRows = %d", tbl.NumRows())
+	}
+	for _, name := range []string{"timestamp", "table_name", "latency", "country", "user"} {
+		if tbl.Column(name) == nil {
+			t.Fatalf("missing column %q", name)
+		}
+	}
+
+	distinct := func(vals []string) int {
+		set := map[string]bool{}
+		for _, v := range vals {
+			set[v] = true
+		}
+		return len(set)
+	}
+	// country: few distinct values (≤25), the paper's low-cardinality case.
+	if d := distinct(tbl.Column("country").Strs); d < 5 || d > 25 {
+		t.Errorf("country distinct = %d, want 5..25", d)
+	}
+	// table_name: high cardinality, the paper's hard case.
+	if d := distinct(tbl.Column("table_name").Strs); d < 500 {
+		t.Errorf("table_name distinct = %d, want ≥500", d)
+	}
+	// latency: many distinct numeric values.
+	lat := tbl.Column("latency").Ints
+	latSet := map[int64]bool{}
+	for _, v := range lat {
+		latSet[v] = true
+		if v < 0 {
+			t.Fatalf("negative latency %d", v)
+		}
+	}
+	if len(latSet) < 100 {
+		t.Errorf("latency distinct = %d, want ≥100", len(latSet))
+	}
+}
+
+func TestQueryLogsTimestampsMostlyIncreasing(t *testing.T) {
+	tbl := QueryLogs(LogsSpec{Rows: 10_000, Seed: 2, Days: 100})
+	ts := tbl.Column("timestamp").Ints
+	// Day buckets must be non-decreasing — the "implicit clustering".
+	for i := 1; i < len(ts); i++ {
+		dayPrev := (ts[i-1] - epoch2011) / microsPerDay
+		dayCur := (ts[i] - epoch2011) / microsPerDay
+		if dayCur < dayPrev-1 {
+			t.Fatalf("timestamps jump backwards at row %d: day %d -> %d", i, dayPrev, dayCur)
+		}
+	}
+}
+
+func TestQueryLogsDeterministic(t *testing.T) {
+	a := QueryLogs(LogsSpec{Rows: 1000, Seed: 7})
+	b := QueryLogs(LogsSpec{Rows: 1000, Seed: 7})
+	for i := 0; i < 1000; i++ {
+		if a.Column("table_name").Strs[i] != b.Column("table_name").Strs[i] {
+			t.Fatal("same seed produced different data")
+		}
+	}
+	c := QueryLogs(LogsSpec{Rows: 1000, Seed: 8})
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Column("table_name").Strs[i] == c.Column("table_name").Strs[i] {
+			same++
+		}
+	}
+	if same == 1000 {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestQueryLogsCountrySkew(t *testing.T) {
+	tbl := QueryLogs(LogsSpec{Rows: 50_000, Seed: 3})
+	counts := map[string]int{}
+	for _, c := range tbl.Column("country").Strs {
+		counts[c]++
+	}
+	// The top country should dominate the tail, as office traffic does.
+	if counts["us"] < counts["at"]*2 {
+		t.Errorf("country distribution not skewed: us=%d at=%d", counts["us"], counts["at"])
+	}
+}
+
+func TestPaperQueries(t *testing.T) {
+	qs := PaperQueries()
+	if len(qs) != 3 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	if !strings.Contains(qs[0], "country") || !strings.Contains(qs[1], "date(timestamp)") ||
+		!strings.Contains(qs[2], "table_name") {
+		t.Error("paper queries do not match Section 2.5")
+	}
+}
+
+func TestDrillDownSession(t *testing.T) {
+	tbl := QueryLogs(LogsSpec{Rows: 20_000, Seed: 4})
+	clicks := DrillDownSession(tbl, SessionSpec{Seed: 5, Clicks: 8, QueriesPerClick: 20})
+	if len(clicks) != 8 {
+		t.Fatalf("got %d clicks", len(clicks))
+	}
+	for i, c := range clicks {
+		if len(c.Queries) != 20 {
+			t.Fatalf("click %d has %d queries", i, len(c.Queries))
+		}
+		for _, q := range c.Queries {
+			if !strings.HasPrefix(q, "SELECT ") || !strings.Contains(q, " GROUP BY ") {
+				t.Fatalf("malformed query: %s", q)
+			}
+			if c.Restriction != "" && !strings.Contains(q, " WHERE ") {
+				t.Fatalf("restricted click lost WHERE: %s", q)
+			}
+		}
+	}
+	// Drilling must actually add restrictions as the session proceeds.
+	var restricted int
+	for _, c := range clicks {
+		if c.Restriction != "" {
+			restricted++
+		}
+	}
+	if restricted < 4 {
+		t.Errorf("only %d/8 clicks restricted", restricted)
+	}
+	// Restrictions are conjunctions of IN lists, the paper's pattern.
+	for _, c := range clicks {
+		if c.Restriction == "" {
+			continue
+		}
+		for _, part := range strings.Split(c.Restriction, " AND ") {
+			if !strings.Contains(part, " IN (") {
+				t.Fatalf("conjunct %q is not an IN restriction", part)
+			}
+		}
+	}
+}
+
+func TestDrillDownDeterministic(t *testing.T) {
+	tbl := QueryLogs(LogsSpec{Rows: 5000, Seed: 6})
+	a := DrillDownSession(tbl, SessionSpec{Seed: 9, Clicks: 4})
+	b := DrillDownSession(tbl, SessionSpec{Seed: 9, Clicks: 4})
+	for i := range a {
+		for j := range a[i].Queries {
+			if a[i].Queries[j] != b[i].Queries[j] {
+				t.Fatal("same seed produced different sessions")
+			}
+		}
+	}
+}
+
+func BenchmarkQueryLogs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		QueryLogs(LogsSpec{Rows: 100_000, Seed: int64(i)})
+	}
+}

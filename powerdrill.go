@@ -1,0 +1,214 @@
+// Package powerdrill is a from-scratch Go implementation of the
+// column-store described in "Processing a Trillion Cells per Mouse Click"
+// (Hall, Bachmann, Büssow, Gănceanu, Nunkesser — PVLDB 5(11), 2012): the
+// engine behind Google's PowerDrill.
+//
+// The package offers the full pipeline the paper describes:
+//
+//   - import raw tables with composite range partitioning (Section 2.2)
+//     into the doubly dictionary-encoded column layout (Section 2.3);
+//   - the Section 3 optimizations: minimal-width element encodings,
+//     4-bit-trie global dictionaries, generic compression, row reordering;
+//   - a SQL-subset engine with chunk skipping, dense counts-array
+//     group-by, materialized virtual fields, per-chunk result caching and
+//     approximate count distinct (Sections 2.4, 2.5, 5);
+//   - distributed execution over sharded replicas with multi-level
+//     aggregation (Section 4).
+//
+// Quick start:
+//
+//	tbl := powerdrill.GenerateQueryLogs(100_000, 42)
+//	store, err := powerdrill.Build(tbl, powerdrill.Options{
+//		PartitionFields: []string{"country", "table_name"},
+//	})
+//	res, err := store.Query(`SELECT country, COUNT(*) AS c FROM data
+//	                         GROUP BY country ORDER BY c DESC LIMIT 10;`)
+package powerdrill
+
+import (
+	"powerdrill/internal/colstore"
+	"powerdrill/internal/exec"
+	"powerdrill/internal/table"
+	"powerdrill/internal/value"
+	"powerdrill/internal/workload"
+)
+
+// Value is a scalar query value (string, int64 or float64).
+type Value = value.Value
+
+// Kind identifies a Value's type.
+type Kind = value.Kind
+
+// The scalar kinds.
+const (
+	KindString  = value.KindString
+	KindInt64   = value.KindInt64
+	KindFloat64 = value.KindFloat64
+)
+
+// Constructors for literals used with the API.
+var (
+	// String wraps a string as a Value.
+	String = value.String
+	// Int64 wraps an int64 as a Value.
+	Int64 = value.Int64
+	// Float64 wraps a float64 as a Value.
+	Float64 = value.Float64
+)
+
+// Table is a raw, row-ordered table prior to import.
+type Table = table.Table
+
+// NewTable creates an empty raw table; add columns with AddStringColumn,
+// AddInt64Column and AddFloat64Column.
+func NewTable(name string) *Table { return table.New(name) }
+
+// GenerateQueryLogs synthesizes the paper's evaluation dataset: PowerDrill
+// query logs with timestamp, table_name, latency, country and user columns
+// (Section 2.5's cardinality profile).
+func GenerateQueryLogs(rows int, seed int64) *Table {
+	return workload.QueryLogs(workload.LogsSpec{Rows: rows, Seed: seed})
+}
+
+// StringDictKind selects the string dictionary implementation.
+type StringDictKind = colstore.StringDictKind
+
+// The dictionary implementations (paper Section 2.3, 3 and 5).
+const (
+	StringDictArray   = colstore.StringDictArray
+	StringDictTrie    = colstore.StringDictTrie
+	StringDictSharded = colstore.StringDictSharded
+)
+
+// Options configures the import pipeline. The zero value is the paper's
+// "Basic" layout: one chunk, 32-bit elements, sorted-array dictionaries.
+type Options struct {
+	// PartitionFields is the composite range partitioning key, in order —
+	// a "natural primary key" of 3–5 fields. Empty disables partitioning.
+	PartitionFields []string
+	// MaxChunkRows is the chunk split threshold (default 50'000).
+	MaxChunkRows int
+	// OptimizeElements stores chunk elements at minimal widths.
+	OptimizeElements bool
+	// StringDict selects the global-dictionary implementation for string
+	// columns.
+	StringDict StringDictKind
+	// Reorder sorts rows by PartitionFields before chunking, improving
+	// compression (Section 3).
+	Reorder bool
+
+	// ResultCacheBytes bounds the per-chunk result cache (0 disables).
+	ResultCacheBytes int64
+	// CachePolicy is "lru", "2q" (default) or "arc".
+	CachePolicy string
+	// SketchM tunes approximate COUNT DISTINCT (default 2048).
+	SketchM int
+	// ExactDistinct computes COUNT DISTINCT exactly (single node only).
+	ExactDistinct bool
+}
+
+func (o Options) storeOptions() colstore.Options {
+	return colstore.Options{
+		PartitionFields:  o.PartitionFields,
+		MaxChunkRows:     o.MaxChunkRows,
+		OptimizeElements: o.OptimizeElements,
+		StringDict:       o.StringDict,
+		Reorder:          o.Reorder,
+	}
+}
+
+func (o Options) engineOptions() exec.Options {
+	return exec.Options{
+		ResultCacheBytes: o.ResultCacheBytes,
+		CachePolicy:      o.CachePolicy,
+		SketchM:          o.SketchM,
+		ExactDistinct:    o.ExactDistinct,
+	}
+}
+
+// Store is an imported, queryable column store (one shard's worth of
+// data; see Cluster for the distributed setup).
+type Store struct {
+	store  *colstore.Store
+	engine *exec.Engine
+	opts   Options
+}
+
+// Build imports a raw table.
+func Build(tbl *Table, opts Options) (*Store, error) {
+	cs, err := colstore.FromTable(tbl, opts.storeOptions())
+	if err != nil {
+		return nil, err
+	}
+	return &Store{store: cs, engine: exec.New(cs, opts.engineOptions()), opts: opts}, nil
+}
+
+// Result is a query result: column names and rows of values.
+type Result struct {
+	Columns []string
+	Rows    [][]Value
+	// Stats reports what the query touched.
+	Stats QueryStats
+}
+
+// QueryStats are per-query execution counters (chunks skipped, cached,
+// scanned; rows and cells).
+type QueryStats = exec.QueryStats
+
+// Query parses and executes a SQL query:
+//
+//	SELECT expr [AS alias], ... FROM t [WHERE pred]
+//	[GROUP BY expr, ...] [ORDER BY expr [ASC|DESC], ...] [LIMIT n]
+//
+// with AND/OR/NOT/IN/NOT IN/=/!=/</<=/>/>=, the scalar functions date,
+// year, month, day, hour, lower, upper, length, and the aggregates
+// COUNT(*), COUNT(x), COUNT(DISTINCT x), SUM, MIN, MAX, AVG.
+func (s *Store) Query(sqlText string) (*Result, error) {
+	res, err := s.engine.Query(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Columns: res.Columns, Rows: res.Rows, Stats: res.Stats}, nil
+}
+
+// NumRows returns the number of imported rows.
+func (s *Store) NumRows() int { return s.store.NumRows() }
+
+// NumChunks returns the number of chunks the partitioning produced.
+func (s *Store) NumChunks() int { return s.store.NumChunks() }
+
+// Columns lists the store's columns, including materialized virtual
+// fields.
+func (s *Store) Columns() []string { return s.store.Columns() }
+
+// MemoryBreakdown itemizes a column set's footprint by layer.
+type MemoryBreakdown = colstore.MemoryBreakdown
+
+// Memory reports the exact in-memory footprint of the named columns — the
+// quantity the paper's experiment tables report per query.
+func (s *Store) Memory(cols ...string) (MemoryBreakdown, error) {
+	return s.store.MemoryFor(cols...)
+}
+
+// EngineStats returns cumulative execution counters across all queries.
+func (s *Store) EngineStats() exec.Stats { return s.engine.Stats() }
+
+// Save persists the store to a directory; codec may be "" (raw), "zippy",
+// "lzoish" or "zlib".
+func (s *Store) Save(dir, codec string) error {
+	return colstore.Save(s.store, dir, codec)
+}
+
+// Open loads a store persisted with Save. It reports the bytes read, the
+// quantity the paper's Figure 5 charges as disk load.
+func Open(dir string, opts Options) (*Store, int64, error) {
+	cs, stats, err := colstore.Open(dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	return &Store{store: cs, engine: exec.New(cs, opts.engineOptions()), opts: opts}, stats.BytesRead, nil
+}
+
+// internalStore exposes the underlying store to sibling files (cluster,
+// bench) without widening the public API.
+func (s *Store) internalStore() *colstore.Store { return s.store }

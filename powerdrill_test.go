@@ -1,0 +1,153 @@
+package powerdrill
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	tbl := GenerateQueryLogs(5000, 42)
+	store, err := Build(tbl, Options{
+		PartitionFields:  []string{"country", "table_name"},
+		MaxChunkRows:     500,
+		OptimizeElements: true,
+		StringDict:       StringDictTrie,
+		ResultCacheBytes: 8 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.NumRows() != 5000 || store.NumChunks() < 2 {
+		t.Fatalf("rows=%d chunks=%d", store.NumRows(), store.NumChunks())
+	}
+	res, err := store.Query(`SELECT country, COUNT(*) AS c FROM data GROUP BY country ORDER BY c DESC LIMIT 10;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 || len(res.Columns) != 2 {
+		t.Fatalf("result = %+v", res)
+	}
+	var total int64
+	full, err := store.Query(`SELECT country, COUNT(*) AS c FROM data GROUP BY country;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range full.Rows {
+		total += row[1].Int()
+	}
+	if total != 5000 {
+		t.Errorf("counts sum to %d, want 5000", total)
+	}
+}
+
+func TestPublicAPIDrillDownStats(t *testing.T) {
+	tbl := GenerateQueryLogs(10_000, 7)
+	store, err := Build(tbl, Options{
+		PartitionFields:  []string{"country", "table_name"},
+		MaxChunkRows:     500,
+		OptimizeElements: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := store.Query(`SELECT user, COUNT(*) AS c FROM data WHERE country IN ("at") GROUP BY user ORDER BY c DESC LIMIT 10;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ChunksSkipped == 0 {
+		t.Error("drill-down query skipped nothing")
+	}
+}
+
+func TestPublicAPIMemoryAndPersistence(t *testing.T) {
+	tbl := GenerateQueryLogs(3000, 1)
+	store, err := Build(tbl, Options{OptimizeElements: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := store.Memory("country")
+	if err != nil || m.Total() <= 0 {
+		t.Fatalf("Memory = %+v, %v", m, err)
+	}
+	dir := t.TempDir()
+	if err := store.Save(dir, "zippy"); err != nil {
+		t.Fatal(err)
+	}
+	back, bytesRead, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytesRead <= 0 {
+		t.Error("Open reported no bytes read")
+	}
+	a, err := store.Query(`SELECT country, COUNT(*) FROM data GROUP BY country ORDER BY country ASC;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := back.Query(`SELECT country, COUNT(*) FROM data GROUP BY country ORDER BY country ASC;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != len(b.Rows) {
+		t.Fatal("persisted store answers differently")
+	}
+	for i := range a.Rows {
+		if !a.Rows[i][0].Equal(b.Rows[i][0]) || !a.Rows[i][1].Equal(b.Rows[i][1]) {
+			t.Fatal("persisted store row mismatch")
+		}
+	}
+}
+
+func TestPublicAPICluster(t *testing.T) {
+	tbl := GenerateQueryLogs(8000, 3)
+	c, err := NewCluster(tbl, ClusterOptions{
+		Shards:   4,
+		Replicas: 2,
+		Store: Options{
+			PartitionFields:  []string{"country", "table_name"},
+			MaxChunkRows:     500,
+			OptimizeElements: true,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Query(`SELECT country, COUNT(*) AS c, AVG(latency) FROM data GROUP BY country ORDER BY c DESC LIMIT 5;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("empty distributed result")
+	}
+	if st := c.Stats(); st.Queries != 1 || st.SubQueries != 4 {
+		t.Errorf("cluster stats = %+v", st)
+	}
+	c.InjectStragglers(0.5, 50*time.Millisecond, 1)
+	start := time.Now()
+	if _, err := c.Query(`SELECT country, COUNT(*) FROM data GROUP BY country;`); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("straggler query took %v", elapsed)
+	}
+}
+
+func TestPublicAPIBuildFromScratch(t *testing.T) {
+	tbl := NewTable("sales")
+	tbl.AddStringColumn("region", []string{"eu", "us", "eu", "apac"})
+	tbl.AddInt64Column("amount", []int64{10, 20, 30, 40})
+	tbl.AddFloat64Column("rate", []float64{0.1, 0.2, 0.3, 0.4})
+	store, err := Build(tbl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := store.Query(`SELECT region, SUM(amount) AS s FROM sales GROUP BY region ORDER BY s DESC, region ASC;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// eu and apac tie at 40; the region tiebreak puts apac first.
+	if len(res.Rows) != 3 || res.Rows[0][0].Str() != "apac" || res.Rows[0][1].Int() != 40 ||
+		res.Rows[1][0].Str() != "eu" || res.Rows[2][1].Int() != 20 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
