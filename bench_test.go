@@ -7,6 +7,7 @@ package powerdrill
 import (
 	"fmt"
 	"path/filepath"
+	"runtime"
 	"testing"
 	"time"
 
@@ -518,5 +519,64 @@ func BenchmarkClick(b *testing.B) {
 	}
 	if elapsed > 0 {
 		b.ReportMetric(float64(cells)/elapsed.Seconds(), "cells/s")
+	}
+}
+
+// BenchmarkParallelScan measures the parallel chunk-execution pipeline on a
+// Table-1-style workload: the same queries over the same chunked store at
+// Parallelism 1 (the sequential engine) and at all cores. No result cache,
+// so every iteration scans every chunk — the quantity being measured is the
+// fan-out of classify/mask/aggregate itself. Setup asserts both engines
+// return identical results before any timing.
+func BenchmarkParallelScan(b *testing.B) {
+	tbl := dataset(b)
+	store, err := colstore.FromTable(tbl, colstore.Options{
+		PartitionFields:  []string{"country", "table_name"},
+		MaxChunkRows:     2000,
+		OptimizeElements: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := []string{
+		`SELECT country, COUNT(*) as c FROM data GROUP BY country ORDER BY c DESC LIMIT 10;`,
+		`SELECT table_name, COUNT(*) as c, SUM(latency) as s FROM data GROUP BY table_name ORDER BY c DESC LIMIT 10;`,
+		`SELECT country, COUNT(DISTINCT user) as u FROM data WHERE latency > 20 GROUP BY country ORDER BY u DESC LIMIT 10;`,
+	}
+	fingerprint := func(e *exec.Engine) string {
+		var out string
+		for _, q := range queries {
+			res, err := e.Query(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, row := range res.Rows {
+				for _, v := range row {
+					out += v.String() + "|"
+				}
+				out += "\n"
+			}
+		}
+		return out
+	}
+	seqFP := fingerprint(exec.New(store, exec.Options{Parallelism: 1}))
+	settings := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		settings = append(settings, n)
+	}
+	for _, par := range settings {
+		engine := exec.New(store, exec.Options{Parallelism: par})
+		if fp := fingerprint(engine); fp != seqFP {
+			b.Fatalf("parallelism=%d returns different results than sequential", par)
+		}
+		b.Run(fmt.Sprintf("parallelism=%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, q := range queries {
+					if _, err := engine.Query(q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
 	}
 }

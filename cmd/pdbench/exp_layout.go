@@ -109,7 +109,7 @@ func runTable1(cfg config) error {
 	if err != nil {
 		return err
 	}
-	basic := exec.New(basicStore, exec.Options{})
+	basic := exec.New(basicStore, exec.Options{Parallelism: cfg.parallelism})
 	// The paper materializes date(timestamp) before timing Query 2
 	// (footnote 4); issue it once so the virtual field exists.
 	if _, err := basic.Query(query2); err != nil {

@@ -97,7 +97,7 @@ func runClick(cfg config) error {
 			MaxChunkRows:     chunk,
 			OptimizeElements: true,
 		},
-		Engine: exec.Options{ResultCacheBytes: 64 << 20},
+		Engine: exec.Options{ResultCacheBytes: 64 << 20, Parallelism: cfg.parallelism},
 	})
 	if err != nil {
 		return err
@@ -330,7 +330,7 @@ func runGroupBy(cfg config) error {
 	if err != nil {
 		return err
 	}
-	engine := exec.New(store, exec.Options{})
+	engine := exec.New(store, exec.Options{Parallelism: cfg.parallelism})
 	row("field", "counts-array", "hash-table", "speedup")
 	for _, field := range []string{"country", "table_name"} {
 		q := fmt.Sprintf(`SELECT %s, COUNT(*) as c FROM data GROUP BY %s ORDER BY c DESC LIMIT 10;`, field, field)
@@ -393,7 +393,7 @@ func runSkipping(cfg config) error {
 		if err != nil {
 			return nil, err
 		}
-		return exec.New(s, exec.Options{DisableSkipping: disable}), nil
+		return exec.New(s, exec.Options{DisableSkipping: disable, Parallelism: cfg.parallelism}), nil
 	}
 	on, err := mk(false)
 	if err != nil {
@@ -468,7 +468,7 @@ func runPartitionOrder(cfg config) error {
 		if err != nil {
 			return err
 		}
-		engine := exec.New(s, exec.Options{ResultCacheBytes: 32 << 20})
+		engine := exec.New(s, exec.Options{ResultCacheBytes: 32 << 20, Parallelism: cfg.parallelism})
 		for _, click := range clicks {
 			for _, q := range click.Queries {
 				if _, err := engine.Query(q); err != nil {

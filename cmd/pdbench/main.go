@@ -55,9 +55,10 @@ var experiments = []struct {
 
 // config carries the shared experiment parameters.
 type config struct {
-	rows int
-	reps int
-	seed int64
+	rows        int
+	reps        int
+	seed        int64
+	parallelism int
 }
 
 func main() {
@@ -65,9 +66,10 @@ func main() {
 	rows := flag.Int("rows", 1_000_000, "dataset rows (paper: 5'000'000)")
 	reps := flag.Int("reps", 3, "repetitions per latency measurement (paper: 5)")
 	seed := flag.Int64("seed", 2012, "generator seed")
+	parallelism := flag.Int("parallelism", 0, "chunk-scan workers per query (0 = all cores, 1 = sequential)")
 	flag.Parse()
 
-	cfg := config{rows: *rows, reps: *reps, seed: *seed}
+	cfg := config{rows: *rows, reps: *reps, seed: *seed, parallelism: *parallelism}
 
 	if *exp == "list" {
 		for _, e := range experiments {

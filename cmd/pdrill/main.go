@@ -55,7 +55,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: pdrill <generate|import|query|info> [flags]
   generate -rows N -seed S -out FILE.csv
   import   -csv FILE -schema name:kind,...  -store DIR [-partition f1,f2] [-chunk N] [-codec zippy] [-trie] [-reorder]
-  query    -store DIR -q SQL   (or -q - to read queries from stdin)
+  query    -store DIR -q SQL [-parallelism N]   (or -q - to read queries from stdin)
   info     -store DIR`)
 }
 
@@ -192,11 +192,15 @@ func runQuery(args []string) error {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
 	storeDir := fs.String("store", "", "store directory")
 	q := fs.String("q", "", "SQL query, or '-' to read one query per line from stdin")
+	parallelism := fs.Int("parallelism", 0, "chunk-scan workers per query (0 = all cores, 1 = sequential)")
 	fs.Parse(args)
 	if *storeDir == "" || *q == "" {
 		return fmt.Errorf("query needs -store and -q")
 	}
-	store, bytesRead, err := powerdrill.Open(*storeDir, powerdrill.Options{ResultCacheBytes: 64 << 20})
+	store, bytesRead, err := powerdrill.Open(*storeDir, powerdrill.Options{
+		ResultCacheBytes: 64 << 20,
+		Parallelism:      *parallelism,
+	})
 	if err != nil {
 		return err
 	}

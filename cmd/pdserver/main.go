@@ -22,12 +22,16 @@ func main() {
 	storeDir := flag.String("store", "", "persisted store directory (one shard)")
 	listen := flag.String("listen", ":7070", "listen address")
 	cacheBytes := flag.Int64("cache", 64<<20, "result cache bytes")
+	parallelism := flag.Int("parallelism", 0, "chunk-scan workers per query (0 = all cores, 1 = sequential)")
 	flag.Parse()
 	if *storeDir == "" {
 		fmt.Fprintln(os.Stderr, "pdserver: -store is required")
 		os.Exit(2)
 	}
-	store, bytesRead, err := powerdrill.Open(*storeDir, powerdrill.Options{ResultCacheBytes: *cacheBytes})
+	store, bytesRead, err := powerdrill.Open(*storeDir, powerdrill.Options{
+		ResultCacheBytes: *cacheBytes,
+		Parallelism:      *parallelism,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pdserver: %v\n", err)
 		os.Exit(1)

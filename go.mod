@@ -1,0 +1,3 @@
+module powerdrill
+
+go 1.22

@@ -70,8 +70,8 @@ func Save(s *Store, dir, codecName string) error {
 			Reorder:          s.Opts.Reorder,
 		},
 	}
-	for i, name := range s.order {
-		col := s.columns[name]
+	for i, name := range s.Columns() {
+		col := s.Column(name)
 		file := fmt.Sprintf("col_%04d.bin", i)
 		raw := encodeColumn(col)
 		if codec != nil {

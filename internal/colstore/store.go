@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"powerdrill/internal/dict"
 	"powerdrill/internal/enc"
@@ -66,6 +67,14 @@ func (o Options) withDefaults() Options {
 
 // Store is a dictionary-encoded, chunked table: the unit a single machine
 // serves (one shard of the distributed system).
+//
+// Concurrency: a Store is safe for concurrent readers. Column data
+// (chunk-dictionaries, element sequences, global dictionaries) is immutable
+// after construction, so chunk scans never need a lock. The only mutation a
+// live store sees is AddVirtualColumn — the Section 5 materialization of an
+// expression during query planning — which registers a fully built, and
+// from then on immutable, column; mu guards just that registry so column
+// lookups stay safe while another query materializes.
 type Store struct {
 	Name string
 	// Bounds are the chunk row boundaries; chunk c covers rows
@@ -74,6 +83,7 @@ type Store struct {
 	// Opts records how the store was built.
 	Opts Options
 
+	mu      sync.RWMutex
 	columns map[string]*Column
 	order   []string
 }
@@ -88,18 +98,29 @@ func (s *Store) NumChunks() int { return len(s.Bounds) - 1 }
 func (s *Store) ChunkRows(c int) int { return s.Bounds[c+1] - s.Bounds[c] }
 
 // Column returns the named column (physical or virtual), or nil.
-func (s *Store) Column(name string) *Column { return s.columns[name] }
+func (s *Store) Column(name string) *Column {
+	s.mu.RLock()
+	c := s.columns[name]
+	s.mu.RUnlock()
+	return c
+}
 
 // Columns returns all column names in declaration order.
-func (s *Store) Columns() []string { return append([]string(nil), s.order...) }
+func (s *Store) Columns() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]string(nil), s.order...)
+}
 
 // AddColumn registers a column; it must match the store's chunk layout.
 func (s *Store) AddColumn(c *Column) error {
-	if _, dup := s.columns[c.Name]; dup {
-		return fmt.Errorf("colstore: duplicate column %q", c.Name)
-	}
 	if err := c.checkAligned(s.Bounds); err != nil {
 		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.columns[c.Name]; dup {
+		return fmt.Errorf("colstore: duplicate column %q", c.Name)
 	}
 	s.columns[c.Name] = c
 	s.order = append(s.order, c.Name)
@@ -274,9 +295,10 @@ func (s *Store) assemble(name string, kind value.Kind, d dict.Dict, gids []uint3
 // AddVirtualColumn materializes per-row values (computed by the expression
 // engine) as a first-class column in the store's own format — the
 // Section 5 "virtual fields" mechanism. The values slice must be in store
-// row order.
+// row order. Callers racing on the same name must serialize externally
+// (the engine's plan lock does); the registry itself is mutation-safe.
 func (s *Store) AddVirtualColumn(name string, kind value.Kind, vals []value.Value) (*Column, error) {
-	if _, dup := s.columns[name]; dup {
+	if s.Column(name) != nil {
 		return nil, fmt.Errorf("colstore: virtual column %q already exists", name)
 	}
 	var (
@@ -320,7 +342,7 @@ func (s *Store) AddVirtualColumn(name string, kind value.Kind, vals []value.Valu
 func (s *Store) MemoryFor(cols ...string) (MemoryBreakdown, error) {
 	var m MemoryBreakdown
 	for _, name := range cols {
-		c := s.columns[name]
+		c := s.Column(name)
 		if c == nil {
 			return m, fmt.Errorf("colstore: unknown column %q", name)
 		}

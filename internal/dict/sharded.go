@@ -2,6 +2,8 @@ package dict
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"powerdrill/internal/bloom"
 	"powerdrill/internal/sketch"
@@ -17,11 +19,17 @@ import (
 //
 // The global-id of a value is its shard's base rank plus its local rank, so
 // the contiguous split preserves the ids the chunk-dictionaries reference.
+//
+// Unlike the other dictionaries (which are immutable after construction),
+// Sharded mutates on reads: a lookup can page a sub-dictionary in. mu makes
+// those loads safe under the engine's parallel chunk workers; the routing
+// data, filters, and each resident StringArray stay immutable.
 type Sharded struct {
+	mu     sync.RWMutex // guards shards[i].resident and EvictAll
 	shards []shard
 	loader Loader
 	n      int
-	loads  int64
+	loads  atomic.Int64
 	hot    *StringArray // optional always-resident shard of frequent values
 	hotIDs map[string]uint32
 }
@@ -124,10 +132,12 @@ func (d *Sharded) Len() int { return d.n }
 
 // Loads returns how many shard loads have happened (disk reads in the
 // production model).
-func (d *Sharded) Loads() int64 { return d.loads }
+func (d *Sharded) Loads() int64 { return d.loads.Load() }
 
 // EvictAll drops all resident shards (simulating memory pressure).
 func (d *Sharded) EvictAll() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	for i := range d.shards {
 		d.shards[i].resident = nil
 	}
@@ -149,8 +159,16 @@ func (d *Sharded) shardFor(id uint32) int {
 
 // load makes shard i resident.
 func (d *Sharded) load(i int) (*StringArray, error) {
+	d.mu.RLock()
+	sa := d.shards[i].resident
+	d.mu.RUnlock()
+	if sa != nil {
+		return sa, nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	sh := &d.shards[i]
-	if sh.resident != nil {
+	if sh.resident != nil { // lost the load race: another worker paged it in
 		return sh.resident, nil
 	}
 	vals, err := d.loader(i)
@@ -161,7 +179,7 @@ func (d *Sharded) load(i int) (*StringArray, error) {
 		return nil, fmt.Errorf("dict: shard %d loaded %d values, want %d", i, len(vals), sh.count)
 	}
 	sh.resident = NewStringArray(append([]string(nil), vals...))
-	d.loads++
+	d.loads.Add(1)
 	return sh.resident, nil
 }
 
@@ -271,6 +289,8 @@ func (d *Sharded) Hash(id uint32) uint64 { return sketch.HashString(d.StringAt(i
 // MemoryBytes implements Dict: routing data, filters, and resident shards
 // only — the whole point of the split is that evicted shards cost nothing.
 func (d *Sharded) MemoryBytes() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	var total int64
 	for i := range d.shards {
 		sh := &d.shards[i]
@@ -285,6 +305,8 @@ func (d *Sharded) MemoryBytes() int64 {
 
 // ResidentShards returns how many shards are currently loaded.
 func (d *Sharded) ResidentShards() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	n := 0
 	for i := range d.shards {
 		if d.shards[i].resident != nil {

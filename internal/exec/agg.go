@@ -87,10 +87,19 @@ func (p *partial) sizeBytes() int64 {
 	return s
 }
 
-// executeChunks classifies every chunk and aggregates the active ones.
+// executeChunks classifies every chunk and aggregates the active ones,
+// fanning the per-chunk work (classify, mask, aggregate, cache probe) out
+// over the engine's parallelism. Workers produce one *partial per active
+// chunk (the same unit the result cache stores and the execution tree
+// ships); the partials then merge into the global group map in ascending
+// chunk order on the calling goroutine. Merging in chunk order — not in
+// the racy order workers finish — is what makes the result bit-for-bit
+// identical to the sequential engine's even for float SUM/AVG, where
+// addition order changes the last ULPs.
 func (e *Engine) executeChunks(p *plan) (map[uint32][]accCell, QueryStats, error) {
 	var qs QueryStats
-	qs.ChunksTotal = e.store.NumChunks()
+	nChunks := e.store.NumChunks()
+	qs.ChunksTotal = nChunks
 	nCols := int64(len(p.accessCols))
 	qs.CellsCovered = int64(e.store.NumRows()) * nCols
 
@@ -98,66 +107,93 @@ func (e *Engine) executeChunks(p *plan) (map[uint32][]accCell, QueryStats, error
 		return nil, qs, fmt.Errorf("exec: internal: row scans do not aggregate")
 	}
 
-	global := make(map[uint32][]accCell)
-	for ci := 0; ci < e.store.NumChunks(); ci++ {
-		rows := e.store.ChunkRows(ci)
-		state := activeAll
-		if p.where != nil {
-			if e.opts.DisableSkipping {
-				state = activeSome
-			} else {
-				state = p.where.classify(e, ci)
-			}
+	workers := e.chunkWorkers(nChunks)
+	parts := make([]*partial, nChunks) // nil entries are skipped chunks
+	wqs := make([]QueryStats, workers)
+	err := forEachChunk(nChunks, workers, nil, func(w, ci int) error {
+		part, err := e.scanChunk(p, ci, nCols, &wqs[w])
+		if err != nil {
+			return err
 		}
-		switch state {
-		case activeNone:
-			qs.ChunksSkipped++
-			qs.RowsSkipped += int64(rows)
-			continue
-		case activeAll:
-			if e.resultCache != nil {
-				key := cacheKey(ci, p)
-				if v, ok := e.resultCache.Get(key); ok {
-					e.mergePartial(global, v.(*partial), p)
-					qs.ChunksCached++
-					qs.RowsCached += int64(rows)
-					continue
-				}
-				part, err := e.aggregateChunk(p, ci, nil)
-				if err != nil {
-					return nil, qs, err
-				}
-				e.resultCache.Put(key, part, part.sizeBytes())
-				e.mergePartial(global, part, p)
-				qs.ChunksScanned++
-				qs.RowsScanned += int64(rows)
-				qs.CellsScanned += int64(rows) * nCols
-				continue
+		parts[ci] = part
+		return nil
+	})
+	if err != nil {
+		return nil, qs, err
+	}
+	global := make(map[uint32][]accCell)
+	for _, part := range parts {
+		if part != nil {
+			// Cached partials are shared between queries and workers;
+			// mergePartial copies out of them, never aliasing.
+			e.mergePartial(global, part, p)
+		}
+	}
+	for w := 0; w < workers; w++ {
+		qs.add(wqs[w])
+	}
+	return global, qs, nil
+}
+
+// scanChunk classifies one chunk and returns its partial contribution (nil
+// for skipped chunks) — the unit of work one parallel worker claims at a
+// time.
+func (e *Engine) scanChunk(p *plan, ci int, nCols int64, qs *QueryStats) (*partial, error) {
+	rows := e.store.ChunkRows(ci)
+	state := activeAll
+	if p.where != nil {
+		if e.opts.DisableSkipping {
+			state = activeSome
+		} else {
+			state = p.where.classify(e, ci)
+		}
+	}
+	switch state {
+	case activeNone:
+		qs.ChunksSkipped++
+		qs.RowsSkipped += int64(rows)
+		return nil, nil
+	case activeAll:
+		if e.resultCache != nil {
+			key := cacheKey(ci, p)
+			if v, ok := e.resultCache.Get(key); ok {
+				qs.ChunksCached++
+				qs.RowsCached += int64(rows)
+				return v.(*partial), nil
 			}
 			part, err := e.aggregateChunk(p, ci, nil)
 			if err != nil {
-				return nil, qs, err
+				return nil, err
 			}
-			e.mergePartial(global, part, p)
+			e.resultCache.Put(key, part, part.sizeBytes())
 			qs.ChunksScanned++
 			qs.RowsScanned += int64(rows)
 			qs.CellsScanned += int64(rows) * nCols
-		case activeSome:
-			mask, err := p.where.mask(e, ci)
-			if err != nil {
-				return nil, qs, err
-			}
-			part, err := e.aggregateChunk(p, ci, mask)
-			if err != nil {
-				return nil, qs, err
-			}
-			e.mergePartial(global, part, p)
-			qs.ChunksScanned++
-			qs.RowsScanned += int64(rows)
-			qs.CellsScanned += int64(rows) * nCols
+			return part, nil
 		}
+		part, err := e.aggregateChunk(p, ci, nil)
+		if err != nil {
+			return nil, err
+		}
+		qs.ChunksScanned++
+		qs.RowsScanned += int64(rows)
+		qs.CellsScanned += int64(rows) * nCols
+		return part, nil
+	case activeSome:
+		mask, err := p.where.mask(e, ci)
+		if err != nil {
+			return nil, err
+		}
+		part, err := e.aggregateChunk(p, ci, mask)
+		if err != nil {
+			return nil, err
+		}
+		qs.ChunksScanned++
+		qs.RowsScanned += int64(rows)
+		qs.CellsScanned += int64(rows) * nCols
+		return part, nil
 	}
-	return global, qs, nil
+	return nil, nil
 }
 
 // cacheKey identifies a fully-active chunk's partial result.

@@ -3,6 +3,35 @@
 // chunk skipping via chunk-dictionaries, dense counts-array group-by,
 // materialized virtual fields, per-chunk result caching for fully active
 // chunks, and approximate count distinct.
+//
+// # Concurrency model
+//
+// The engine is safe for concurrent Query/Run/RunPartial calls, and a single
+// query fans its chunk work out over Options.Parallelism workers — the
+// in-process analogue of the paper's Section 4 execution tree, where every
+// leaf scans its chunks independently and partial aggregates merge upward.
+//
+// The invariants that make this work:
+//
+//   - Store data is immutable after load. Chunk-dictionaries, element
+//     sequences and global dictionaries are never written once built, so the
+//     scan phase (classify → mask → aggregate) takes no locks at all. The
+//     two exceptions hide their own synchronization: the lazily-loaded
+//     sharded dictionary (dict.Sharded) and the colstore column registry,
+//     which grows when a virtual field materializes.
+//   - Planning is serialized by planMu. The plan phase is the only writer
+//     (it may materialize virtual columns into the store); serializing it
+//     keeps "check column exists → materialize → register" atomic without
+//     slowing the scan phase, which runs outside the lock.
+//   - Chunks are independent units of work. Workers claim chunk indices from
+//     a shared counter and produce one partial per chunk plus per-worker
+//     QueryStats; partials then merge in ascending chunk order on the
+//     calling goroutine, so results — including order-sensitive float
+//     sums — are bit-for-bit identical to the sequential engine's.
+//   - Shared mutable state is wrapped, not sprinkled with locks: the result
+//     cache is behind cache.Synchronized (its eviction policies mutate on
+//     Get), and the engine's cumulative Stats accumulate under statsMu once
+//     per query, from the already-merged per-query counters.
 package exec
 
 import (
@@ -33,17 +62,28 @@ type Options struct {
 	// DisableSkipping scans every chunk regardless of the restriction —
 	// the ablation that isolates Section 2.2's contribution.
 	DisableSkipping bool
+	// Parallelism is the number of workers a single query fans its chunk
+	// scans out over; 0 (the default) means runtime.GOMAXPROCS(0), and 1
+	// recovers the fully sequential engine.
+	Parallelism int
 }
 
-// Engine executes queries against one store (one shard).
+// Engine executes queries against one store (one shard). See the package
+// comment for the concurrency model.
 type Engine struct {
 	store *colstore.Store
 	opts  Options
 
-	mu          sync.Mutex
+	// planMu serializes query planning — the only phase that may mutate the
+	// store (materializing virtual columns). Execution runs outside it.
+	planMu sync.Mutex
+
+	// resultCache is internally synchronized (cache.Synchronized); workers
+	// and concurrent queries share it directly.
 	resultCache cache.Cache
 
-	stats Stats
+	statsMu sync.Mutex
+	stats   Stats
 }
 
 // Stats accumulates execution counters across queries — the quantities the
@@ -92,14 +132,16 @@ func New(store *colstore.Store, opts Options) *Engine {
 	}
 	e := &Engine{store: store, opts: opts}
 	if opts.ResultCacheBytes > 0 {
+		var inner cache.Cache
 		switch opts.CachePolicy {
 		case "lru":
-			e.resultCache = cache.NewLRU(opts.ResultCacheBytes)
+			inner = cache.NewLRU(opts.ResultCacheBytes)
 		case "arc":
-			e.resultCache = cache.NewARC(opts.ResultCacheBytes)
+			inner = cache.NewARC(opts.ResultCacheBytes)
 		default:
-			e.resultCache = cache.NewTwoQ(opts.ResultCacheBytes)
+			inner = cache.NewTwoQ(opts.ResultCacheBytes)
 		}
+		e.resultCache = cache.NewSynchronized(inner)
 	}
 	return e
 }
@@ -109,16 +151,14 @@ func (e *Engine) Store() *colstore.Store { return e.store }
 
 // Stats returns the cumulative counters.
 func (e *Engine) Stats() Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
 	return e.stats
 }
 
 // CacheStats returns the result cache's counters; ok is false when the
 // cache is disabled.
 func (e *Engine) CacheStats() (cache.Stats, bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	if e.resultCache == nil {
 		return cache.Stats{}, false
 	}
@@ -134,11 +174,13 @@ func (e *Engine) Query(src string) (*Result, error) {
 	return e.Run(stmt)
 }
 
-// Run executes a parsed statement.
+// Run executes a parsed statement. Planning serializes on planMu; the scan
+// phase runs lock-free over the immutable store, fanned out over
+// Options.Parallelism workers.
 func (e *Engine) Run(stmt *sql.SelectStmt) (*Result, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.planMu.Lock()
 	p, err := e.plan(stmt)
+	e.planMu.Unlock()
 	if err != nil {
 		return nil, err
 	}
@@ -163,6 +205,14 @@ func (e *Engine) Run(stmt *sql.SelectStmt) (*Result, error) {
 		}
 	}
 	res.Stats = qs
+	e.recordStats(qs)
+	return res, nil
+}
+
+// recordStats folds one query's merged counters into the cumulative stats.
+func (e *Engine) recordStats(qs QueryStats) {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
 	e.stats.Queries++
 	e.stats.ChunksTotal += int64(qs.ChunksTotal)
 	e.stats.ChunksSkipped += int64(qs.ChunksSkipped)
@@ -174,19 +224,29 @@ func (e *Engine) Run(stmt *sql.SelectStmt) (*Result, error) {
 	e.stats.RowsSkipped += qs.RowsSkipped
 	e.stats.CellsCovered += qs.CellsCovered
 	e.stats.CellsScanned += qs.CellsScanned
-	return res, nil
 }
 
-// storeRow adapts a (chunk, row) position to the expr.Row interface.
+// storeRow adapts a (chunk, row) position to the expr.Row interface. It is
+// confined to one goroutine; cols caches name resolution so per-row
+// evaluation skips the store's registry lock.
 type storeRow struct {
 	e     *Engine
 	chunk int
 	row   int
+	cols  map[string]*colstore.Column
+}
+
+func newStoreRow(e *Engine, chunk int) *storeRow {
+	return &storeRow{e: e, chunk: chunk, cols: make(map[string]*colstore.Column, 4)}
 }
 
 // ColumnValue implements expr.Row.
 func (r *storeRow) ColumnValue(name string) value.Value {
-	col := r.e.store.Column(name)
+	col, ok := r.cols[name]
+	if !ok {
+		col = r.e.store.Column(name)
+		r.cols[name] = col
+	}
 	if col == nil {
 		return value.Value{}
 	}
@@ -226,18 +286,26 @@ func (e *Engine) materializeOperand(x sql.Expr) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	vals := make([]value.Value, 0, e.store.NumRows())
-	row := &storeRow{e: e}
-	for ci := 0; ci < e.store.NumChunks(); ci++ {
-		row.chunk = ci
-		for r := 0; r < e.store.ChunkRows(ci); r++ {
+	// Chunk-parallel evaluation: each worker fills its chunk's slice of
+	// vals (disjoint regions, so no locks). The per-row interface dispatch
+	// of expr.Eval makes this the costliest part of materialization.
+	vals := make([]value.Value, e.store.NumRows())
+	err = forEachChunk(e.store.NumChunks(), e.parallelism(), nil, func(_, ci int) error {
+		row := newStoreRow(e, ci)
+		base := e.store.Bounds[ci]
+		rows := e.store.ChunkRows(ci)
+		for r := 0; r < rows; r++ {
 			row.row = r
 			v, err := expr.Eval(x, row)
 			if err != nil {
-				return "", err
+				return err
 			}
-			vals = append(vals, v)
+			vals[base+r] = v
 		}
+		return nil
+	})
+	if err != nil {
+		return "", err
 	}
 	if _, err := e.store.AddVirtualColumn(key, kind, vals); err != nil {
 		return "", err
@@ -466,23 +534,41 @@ func (e *Engine) compileAggregate(call *sql.Call) (aggSpec, error) {
 // group columns' global-ids joined into one string key. Using ids (not
 // values) keeps the composite compact and order-preserving per column.
 func (e *Engine) materializeComposite(name string, cols []string) error {
-	vals := make([]value.Value, 0, e.store.NumRows())
-	var b strings.Builder
-	for ci := 0; ci < e.store.NumChunks(); ci++ {
-		rows := e.store.ChunkRows(ci)
-		for r := 0; r < rows; r++ {
-			b.Reset()
-			for j, cn := range cols {
-				if j > 0 {
-					b.WriteByte(0x1f)
-				}
-				gid := e.store.Column(cn).GlobalIDAt(ci, r)
-				// Fixed-width hex keeps lexicographic order == id order.
-				fmt.Fprintf(&b, "%08x", gid)
-			}
-			vals = append(vals, value.String(b.String()))
-		}
+	colRefs := make([]*colstore.Column, len(cols))
+	for i, cn := range cols {
+		colRefs[i] = e.store.Column(cn)
 	}
-	_, err := e.store.AddVirtualColumn(name, value.KindString, vals)
+	vals := make([]value.Value, e.store.NumRows())
+	err := forEachChunk(e.store.NumChunks(), e.parallelism(), nil, func(_, ci int) error {
+		base := e.store.Bounds[ci]
+		rows := e.store.ChunkRows(ci)
+		buf := make([]byte, 0, 9*len(cols))
+		for r := 0; r < rows; r++ {
+			buf = buf[:0]
+			for j, c := range colRefs {
+				if j > 0 {
+					buf = append(buf, 0x1f)
+				}
+				buf = appendHex32(buf, c.GlobalIDAt(ci, r))
+			}
+			vals[base+r] = value.String(string(buf))
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	_, err = e.store.AddVirtualColumn(name, value.KindString, vals)
 	return err
+}
+
+// appendHex32 appends v as exactly 8 lowercase hex digits. Fixed width keeps
+// lexicographic order == id order; hand-rolled because a fmt.Fprintf("%08x")
+// per row per group column dominated multi-column group-by planning.
+func appendHex32(dst []byte, v uint32) []byte {
+	const digits = "0123456789abcdef"
+	for shift := 28; shift >= 0; shift -= 4 {
+		dst = append(dst, digits[(v>>uint(shift))&0xf])
+	}
+	return dst
 }

@@ -1,0 +1,111 @@
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelism resolves the effective worker count for one query.
+func (e *Engine) parallelism() int {
+	if e.opts.Parallelism > 0 {
+		return e.opts.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// chunkWorkers clamps the worker count to [1, nChunks] — the single source
+// for both the number of goroutines forEachChunk spawns and the length of
+// the callers' per-worker state slices, which must agree so worker indices
+// stay in range.
+func (e *Engine) chunkWorkers(nChunks int) int {
+	w := e.parallelism()
+	if w > nChunks {
+		w = nChunks
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// forEachChunk runs fn(worker, chunk) for every chunk index in [0, n),
+// fanning out over up to `workers` goroutines. Chunks are claimed in
+// ascending order from a shared counter rather than striped statically, so
+// cheap chunks (skipped or cached) don't leave a worker idle while another
+// grinds through a run of expensive ones. worker is a stable index in
+// [0, workers) identifying the claiming goroutine, letting callers give each
+// worker private accumulator state without locks.
+//
+// The first error stops all workers from claiming further chunks and is
+// returned; chunks already being scanned finish first. A non-nil quit is
+// polled before each claim; once it returns true no further chunks are
+// claimed (row scans use this to stop after collecting LIMIT rows).
+//
+// workers <= 1 degenerates to the sequential loop on the caller's
+// goroutine — the Parallelism: 1 engine spawns nothing.
+func forEachChunk(n, workers int, quit func() bool, fn func(worker, chunk int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for ci := 0; ci < n; ci++ {
+			if quit != nil && quit() {
+				return nil
+			}
+			if err := fn(0, ci); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+		errMu  sync.Mutex
+		first  error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				if failed.Load() || (quit != nil && quit()) {
+					return
+				}
+				ci := int(next.Add(1)) - 1
+				if ci >= n {
+					return
+				}
+				if err := fn(w, ci); err != nil {
+					errMu.Lock()
+					if first == nil {
+						first = err
+					}
+					errMu.Unlock()
+					failed.Store(true)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return first
+}
+
+// add folds another query's (or worker's) counters into qs.
+func (qs *QueryStats) add(o QueryStats) {
+	qs.ChunksTotal += o.ChunksTotal
+	qs.ChunksSkipped += o.ChunksSkipped
+	qs.ChunksCached += o.ChunksCached
+	qs.ChunksScanned += o.ChunksScanned
+	qs.RowsScanned += o.RowsScanned
+	qs.RowsCached += o.RowsCached
+	qs.RowsSkipped += o.RowsSkipped
+	qs.CellsCovered += o.CellsCovered
+	qs.CellsScanned += o.CellsScanned
+}

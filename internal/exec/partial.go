@@ -51,12 +51,12 @@ type PartialCell struct {
 // RunPartial executes a statement but stops before finalization: no AVG
 // division, no ORDER BY, no LIMIT — those happen once, at the root.
 func (e *Engine) RunPartial(stmt *sql.SelectStmt) (*Partial, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	if e.opts.ExactDistinct {
 		return nil, fmt.Errorf("exec: exact count distinct is not multi-level aggregatable (Section 4); use sketches")
 	}
+	e.planMu.Lock()
 	p, err := e.plan(stmt)
+	e.planMu.Unlock()
 	if err != nil {
 		return nil, err
 	}
@@ -98,17 +98,7 @@ func (e *Engine) RunPartial(stmt *sql.SelectStmt) (*Partial, error) {
 		}
 		out.Groups = append(out.Groups, pg)
 	}
-	e.stats.Queries++
-	e.stats.ChunksTotal += int64(qs.ChunksTotal)
-	e.stats.ChunksSkipped += int64(qs.ChunksSkipped)
-	e.stats.ChunksCached += int64(qs.ChunksCached)
-	e.stats.ChunksScanned += int64(qs.ChunksScanned)
-	e.stats.RowsTotal += int64(e.store.NumRows())
-	e.stats.RowsScanned += qs.RowsScanned
-	e.stats.RowsCached += qs.RowsCached
-	e.stats.RowsSkipped += qs.RowsSkipped
-	e.stats.CellsCovered += qs.CellsCovered
-	e.stats.CellsScanned += qs.CellsScanned
+	e.recordStats(qs)
 	return out, nil
 }
 

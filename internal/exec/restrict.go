@@ -439,7 +439,7 @@ func maskFromChunkPred(ch *colstore.Chunk, rows int, pred func(gid uint32) bool)
 func (e *Engine) rowPredMask(pred sql.Expr, ci int) (*enc.Bitmap, error) {
 	rows := e.store.ChunkRows(ci)
 	m := enc.NewBitmap(rows)
-	row := &storeRow{e: e, chunk: ci}
+	row := newStoreRow(e, ci)
 	for r := 0; r < rows; r++ {
 		row.row = r
 		ok, err := evalPredRow(pred, row)

@@ -1,6 +1,9 @@
 package exec
 
 import (
+	"sync/atomic"
+
+	"powerdrill/internal/colstore"
 	"powerdrill/internal/value"
 )
 
@@ -8,9 +11,18 @@ import (
 // a plain projection of the matching rows. Not the workload PowerDrill is
 // built for — the UI only issues group-bys — but useful for inspecting raw
 // rows, and it exercises the same skipping machinery.
+//
+// Chunks are scanned in parallel into per-chunk row buffers and
+// concatenated in chunk order, so the output rows are exactly the
+// sequential engine's. Without ORDER BY, a LIMIT stops workers from
+// claiming further chunks once enough rows have been collected; already
+// claimed chunks finish (the truncation below restores the exact sequential
+// prefix), so under an early stop the scan counters may report slightly
+// more work than the sequential engine would.
 func (e *Engine) executeRowScan(p *plan) (*Result, QueryStats, error) {
 	var qs QueryStats
-	qs.ChunksTotal = e.store.NumChunks()
+	nChunks := e.store.NumChunks()
+	qs.ChunksTotal = nChunks
 	nCols := int64(len(p.accessCols))
 	qs.CellsCovered = int64(e.store.NumRows()) * nCols
 
@@ -18,13 +30,26 @@ func (e *Engine) executeRowScan(p *plan) (*Result, QueryStats, error) {
 	for _, it := range p.items {
 		res.Columns = append(res.Columns, it.name)
 	}
-	// Without ORDER BY, stop as soon as LIMIT rows are collected.
+	// Without ORDER BY, stop claiming chunks once LIMIT rows are collected.
 	canStopEarly := len(p.stmt.OrderBy) == 0 && p.stmt.Limit >= 0
 
-	for ci := 0; ci < e.store.NumChunks(); ci++ {
-		if canStopEarly && len(res.Rows) >= p.stmt.Limit {
-			break
-		}
+	workers := e.chunkWorkers(nChunks)
+
+	cols := make([]*colstore.Column, len(p.groupCols))
+	for i, cn := range p.groupCols {
+		cols[i] = e.store.Column(cn)
+	}
+
+	chunkRows := make([][][]value.Value, nChunks)
+	wqs := make([]QueryStats, workers)
+	var collected atomic.Int64
+	var quit func() bool
+	if canStopEarly {
+		limit := int64(p.stmt.Limit)
+		quit = func() bool { return collected.Load() >= limit }
+	}
+
+	err := forEachChunk(nChunks, workers, quit, func(w, ci int) error {
 		rows := e.store.ChunkRows(ci)
 		state := activeAll
 		if p.where != nil {
@@ -35,38 +60,53 @@ func (e *Engine) executeRowScan(p *plan) (*Result, QueryStats, error) {
 			}
 		}
 		if state == activeNone {
-			qs.ChunksSkipped++
-			continue
+			wqs[w].ChunksSkipped++
+			return nil
 		}
+		// Under an early-stop LIMIT, one chunk never contributes more than
+		// LIMIT rows to the final prefix, so cap the per-chunk buffer —
+		// `SELECT ... LIMIT 1` must not materialize a whole chunk.
+		maxOut := rows
+		if canStopEarly && p.stmt.Limit < maxOut {
+			maxOut = p.stmt.Limit
+		}
+		var out [][]value.Value
 		emit := func(r int) {
-			row := make([]value.Value, len(p.groupCols))
-			for i, col := range p.groupCols {
-				row[i] = e.store.Column(col).ValueAt(ci, r)
+			if len(out) >= maxOut {
+				return
 			}
-			res.Rows = append(res.Rows, row)
+			row := make([]value.Value, len(cols))
+			for i, col := range cols {
+				row[i] = col.ValueAt(ci, r)
+			}
+			out = append(out, row)
 		}
 		if state == activeAll {
-			for r := 0; r < rows; r++ {
-				if canStopEarly && len(res.Rows) >= p.stmt.Limit {
-					break
-				}
+			for r := 0; r < rows && len(out) < maxOut; r++ {
 				emit(r)
 			}
 		} else {
 			mask, err := p.where.mask(e, ci)
 			if err != nil {
-				return nil, qs, err
+				return err
 			}
-			mask.ForEach(func(r int) {
-				if canStopEarly && len(res.Rows) >= p.stmt.Limit {
-					return
-				}
-				emit(r)
-			})
+			mask.ForEach(emit)
 		}
-		qs.ChunksScanned++
-		qs.RowsScanned += int64(rows)
-		qs.CellsScanned += int64(rows) * nCols
+		chunkRows[ci] = out
+		collected.Add(int64(len(out)))
+		wqs[w].ChunksScanned++
+		wqs[w].RowsScanned += int64(rows)
+		wqs[w].CellsScanned += int64(rows) * nCols
+		return nil
+	})
+	if err != nil {
+		return nil, qs, err
+	}
+	for _, out := range chunkRows {
+		res.Rows = append(res.Rows, out...)
+	}
+	for w := 0; w < workers; w++ {
+		qs.add(wqs[w])
 	}
 
 	if err := e.orderAndLimit(p, res); err != nil {

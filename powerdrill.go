@@ -105,6 +105,9 @@ type Options struct {
 	SketchM int
 	// ExactDistinct computes COUNT DISTINCT exactly (single node only).
 	ExactDistinct bool
+	// Parallelism is the number of workers one query fans its chunk scans
+	// out over; 0 uses all cores (runtime.GOMAXPROCS), 1 is sequential.
+	Parallelism int
 }
 
 func (o Options) storeOptions() colstore.Options {
@@ -123,6 +126,7 @@ func (o Options) engineOptions() exec.Options {
 		CachePolicy:      o.CachePolicy,
 		SketchM:          o.SketchM,
 		ExactDistinct:    o.ExactDistinct,
+		Parallelism:      o.Parallelism,
 	}
 }
 
