@@ -5,7 +5,7 @@ import (
 	"time"
 
 	"powerdrill/internal/cluster"
-	"powerdrill/internal/exec"
+	"powerdrill/internal/memmgr"
 )
 
 // ClusterOptions configures distributed execution (paper, Section 4).
@@ -28,6 +28,9 @@ type ClusterOptions struct {
 // multi-level aggregation tree.
 type Cluster struct {
 	inner *cluster.Cluster
+	// mgr is the shared memory manager of clusters assembled with
+	// OpenCluster; nil otherwise.
+	mgr *memmgr.Manager
 }
 
 // NewCluster shards a raw table and builds an in-process cluster.
@@ -44,6 +47,38 @@ func NewCluster(tbl *Table, opts ClusterOptions) (*Cluster, error) {
 		return nil, err
 	}
 	return &Cluster{inner: c}, nil
+}
+
+// OpenCluster assembles an in-process cluster from shard directories
+// persisted with Store.Save, opening every shard lazily: column data loads
+// on first touch and all shards share one memory budget
+// (opts.Store.MemoryBudgetBytes, 0 = unlimited) and one admission gate —
+// the whole process stays within a single resident-byte and worker budget
+// however many shards it serves. Replicas open the same directory and
+// share resident columns.
+func OpenCluster(shardDirs []string, opts ClusterOptions) (*Cluster, error) {
+	if err := validateMemoryPolicy(opts.Store.MemoryPolicy); err != nil {
+		return nil, err
+	}
+	mgr := memmgr.New(opts.Store.MemoryBudgetBytes, opts.Store.MemoryPolicy)
+	c, err := cluster.OpenShards(shardDirs, cluster.Options{
+		Fanout:   opts.Fanout,
+		Replicas: opts.Replicas,
+		Engine:   opts.Store.engineOptions(),
+	}, mgr)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{inner: c, mgr: mgr}, nil
+}
+
+// MemStats reports the shared memory manager's accounting for clusters
+// assembled with OpenCluster; ok is false otherwise.
+func (c *Cluster) MemStats() (MemoryStats, bool) {
+	if c.mgr == nil {
+		return MemoryStats{}, false
+	}
+	return c.mgr.Stats(), true
 }
 
 // ConnectCluster assembles a cluster from remote leaf servers started with
@@ -92,7 +127,9 @@ func (c *Cluster) InjectStragglers(frac float64, delay time.Duration, seed int64
 }
 
 // ServeShard serves a store as a leaf server on the listener; it blocks.
-// Pair with ConnectCluster.
+// Pair with ConnectCluster. The store's own engine answers the RPCs, so
+// local queries, remote partials, and the /statz counters all share one
+// result cache and one set of statistics.
 func ServeShard(l net.Listener, s *Store) error {
-	return cluster.Serve(l, exec.New(s.internalStore(), s.opts.engineOptions()))
+	return cluster.Serve(l, s.engine)
 }

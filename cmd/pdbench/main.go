@@ -18,6 +18,7 @@
 //	pdbench -exp groupby             # ablation: counts-array vs hash
 //	pdbench -exp skipping            # ablation: Section 2.2 on/off
 //	pdbench -exp partitionorder      # ablation: field-order sensitivity
+//	pdbench -exp coldstart           # Section 5 byte-budgeted lazy loading
 //
 // Absolute numbers depend on the host; the relationships (who wins, by
 // what factor, where curves bend) are the reproduction target. See
@@ -51,14 +52,16 @@ var experiments = []struct {
 	{"skipping", "Ablation: chunk skipping on/off", runSkipping},
 	{"partitionorder", "Ablation: partition field order sensitivity", runPartitionOrder},
 	{"layers", "Ablation: two-layer (uncompressed/compressed) hybrid", runLayers},
+	{"coldstart", "Section 5: byte-budgeted lazy loading, cold vs warm", runColdStart},
 }
 
 // config carries the shared experiment parameters.
 type config struct {
-	rows        int
-	reps        int
-	seed        int64
-	parallelism int
+	rows         int
+	reps         int
+	seed         int64
+	parallelism  int
+	memoryBudget int64
 }
 
 func main() {
@@ -67,9 +70,10 @@ func main() {
 	reps := flag.Int("reps", 3, "repetitions per latency measurement (paper: 5)")
 	seed := flag.Int64("seed", 2012, "generator seed")
 	parallelism := flag.Int("parallelism", 0, "chunk-scan workers per query (0 = all cores, 1 = sequential)")
+	memoryBudget := flag.Int64("memory-budget", 0, "resident column byte budget for the coldstart experiment (0 = sweep fractions)")
 	flag.Parse()
 
-	cfg := config{rows: *rows, reps: *reps, seed: *seed, parallelism: *parallelism}
+	cfg := config{rows: *rows, reps: *reps, seed: *seed, parallelism: *parallelism, memoryBudget: *memoryBudget}
 
 	if *exp == "list" {
 		for _, e := range experiments {

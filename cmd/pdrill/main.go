@@ -55,7 +55,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: pdrill <generate|import|query|info> [flags]
   generate -rows N -seed S -out FILE.csv
   import   -csv FILE -schema name:kind,...  -store DIR [-partition f1,f2] [-chunk N] [-codec zippy] [-trie] [-reorder]
-  query    -store DIR -q SQL [-parallelism N]   (or -q - to read queries from stdin)
+  query    -store DIR -q SQL [-parallelism N] [-memory-budget BYTES] [-memory-policy lru|2q|arc]
+           (-q - reads queries from stdin)
   info     -store DIR`)
 }
 
@@ -193,18 +194,22 @@ func runQuery(args []string) error {
 	storeDir := fs.String("store", "", "store directory")
 	q := fs.String("q", "", "SQL query, or '-' to read one query per line from stdin")
 	parallelism := fs.Int("parallelism", 0, "chunk-scan workers per query (0 = all cores, 1 = sequential)")
+	memBudget := fs.Int64("memory-budget", 0, "resident column byte budget (0 = unlimited, columns still load lazily)")
+	memPolicy := fs.String("memory-policy", "2q", "column eviction policy: lru, 2q or arc")
 	fs.Parse(args)
 	if *storeDir == "" || *q == "" {
 		return fmt.Errorf("query needs -store and -q")
 	}
 	store, bytesRead, err := powerdrill.Open(*storeDir, powerdrill.Options{
-		ResultCacheBytes: 64 << 20,
-		Parallelism:      *parallelism,
+		ResultCacheBytes:  64 << 20,
+		Parallelism:       *parallelism,
+		MemoryBudgetBytes: *memBudget,
+		MemoryPolicy:      *memPolicy,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("opened store: %d rows, %d chunks (%0.1f MB read)\n",
+	fmt.Printf("opened store lazily: %d rows, %d chunks (%0.2f MB manifest; columns load on demand)\n",
 		store.NumRows(), store.NumChunks(), float64(bytesRead)/1e6)
 	runOne := func(sqlText string) error {
 		start := time.Now()
@@ -214,11 +219,27 @@ func runQuery(args []string) error {
 		}
 		elapsed := time.Since(start)
 		printResult(res)
-		fmt.Printf("-- %d rows in %v; chunks: %d skipped, %d cached, %d scanned\n\n",
+		warmth := "warm"
+		if res.Stats.ColdLoads > 0 {
+			warmth = fmt.Sprintf("cold: %d columns, %.2f MB from disk",
+				res.Stats.ColdLoads, float64(res.Stats.DiskBytesRead)/1e6)
+		}
+		fmt.Printf("-- %d rows in %v; chunks: %d skipped, %d cached, %d scanned; %s\n\n",
 			len(res.Rows), elapsed.Round(time.Microsecond),
-			res.Stats.ChunksSkipped, res.Stats.ChunksCached, res.Stats.ChunksScanned)
+			res.Stats.ChunksSkipped, res.Stats.ChunksCached, res.Stats.ChunksScanned, warmth)
 		return nil
 	}
+	defer func() {
+		if ms, ok := store.MemStats(); ok {
+			budget := "unlimited"
+			if ms.BudgetBytes > 0 {
+				budget = fmt.Sprintf("%.2f MB", float64(ms.BudgetBytes)/1e6)
+			}
+			fmt.Printf("memory: %.2f MB resident (budget %s, policy %s); %d cold loads, %d evictions, %.0f%% column hit rate\n",
+				float64(ms.ResidentBytes)/1e6, budget, ms.Policy,
+				ms.ColdLoads, ms.Evictions, 100*ms.HitRate())
+		}
+	}()
 	if *q != "-" {
 		return runOne(*q)
 	}
@@ -254,11 +275,11 @@ func runInfo(args []string) error {
 	if *storeDir == "" {
 		return fmt.Errorf("info needs -store")
 	}
-	store, bytesRead, err := powerdrill.Open(*storeDir, powerdrill.Options{})
+	store, _, err := powerdrill.Open(*storeDir, powerdrill.Options{})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("store: %d rows, %d chunks, %.1f MB on disk\n", store.NumRows(), store.NumChunks(), float64(bytesRead)/1e6)
+	fmt.Printf("store: %d rows, %d chunks\n", store.NumRows(), store.NumChunks())
 	fmt.Println("columns:")
 	for _, cn := range store.Columns() {
 		m, err := store.Memory(cn)
@@ -267,6 +288,9 @@ func runInfo(args []string) error {
 		}
 		fmt.Printf("  %-24s elements %8.2f MB  chunk-dicts %8.2f MB  dict %8.2f MB\n",
 			cn, float64(m.Elements)/1e6, float64(m.ChunkDicts)/1e6, float64(m.GlobalDict)/1e6)
+	}
+	if ms, ok := store.MemStats(); ok {
+		fmt.Printf("on disk: %.2f MB across %d column files\n", float64(ms.DiskBytesRead)/1e6, ms.ColdLoads)
 	}
 	return nil
 }

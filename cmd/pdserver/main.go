@@ -4,9 +4,15 @@
 // built with powerdrill.ConnectCluster fans queries out to a fleet of
 // pdserver processes and re-aggregates through the execution tree.
 //
+// The store opens lazily: columns load from disk on first touch, governed
+// by -memory-budget, so a leaf can serve far more data than fits in RAM
+// (the paper's Section 5). The optional -statz address exposes a JSON
+// observability endpoint with resident bytes, budget, evictions and cache
+// hit rates.
+//
 // Usage:
 //
-//	pdserver -store ./shard0 -listen :7070
+//	pdserver -store ./shard0 -listen :7070 -memory-budget 268435456 -statz :8080
 package main
 
 import (
@@ -23,14 +29,19 @@ func main() {
 	listen := flag.String("listen", ":7070", "listen address")
 	cacheBytes := flag.Int64("cache", 64<<20, "result cache bytes")
 	parallelism := flag.Int("parallelism", 0, "chunk-scan workers per query (0 = all cores, 1 = sequential)")
+	memBudget := flag.Int64("memory-budget", 0, "resident column byte budget (0 = unlimited, columns still load lazily)")
+	memPolicy := flag.String("memory-policy", "2q", "column eviction policy: lru, 2q or arc")
+	statz := flag.String("statz", "", "HTTP address for the /statz JSON endpoint (disabled when empty)")
 	flag.Parse()
 	if *storeDir == "" {
 		fmt.Fprintln(os.Stderr, "pdserver: -store is required")
 		os.Exit(2)
 	}
-	store, bytesRead, err := powerdrill.Open(*storeDir, powerdrill.Options{
-		ResultCacheBytes: *cacheBytes,
-		Parallelism:      *parallelism,
+	store, _, err := powerdrill.Open(*storeDir, powerdrill.Options{
+		ResultCacheBytes:  *cacheBytes,
+		Parallelism:       *parallelism,
+		MemoryBudgetBytes: *memBudget,
+		MemoryPolicy:      *memPolicy,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pdserver: %v\n", err)
@@ -41,8 +52,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pdserver: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("pdserver: serving %d rows (%d chunks, %.1f MB loaded) on %s\n",
-		store.NumRows(), store.NumChunks(), float64(bytesRead)/1e6, l.Addr())
+	budget := "unlimited"
+	if *memBudget > 0 {
+		budget = fmt.Sprintf("%.1f MB", float64(*memBudget)/1e6)
+	}
+	fmt.Printf("pdserver: serving %d rows (%d chunks, lazy columns, memory budget %s) on %s\n",
+		store.NumRows(), store.NumChunks(), budget, l.Addr())
+	if *statz != "" {
+		go func() {
+			if err := serveStatz(*statz, store); err != nil {
+				fmt.Fprintf(os.Stderr, "pdserver: statz: %v\n", err)
+			}
+		}()
+		fmt.Printf("pdserver: /statz on %s\n", *statz)
+	}
 	if err := powerdrill.ServeShard(l, store); err != nil {
 		fmt.Fprintf(os.Stderr, "pdserver: %v\n", err)
 		os.Exit(1)

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"powerdrill"
+)
+
+func TestStatzHandler(t *testing.T) {
+	tbl := powerdrill.GenerateQueryLogs(2000, 1)
+	built, err := powerdrill.Build(tbl, powerdrill.Options{
+		PartitionFields:  []string{"country", "table_name"},
+		MaxChunkRows:     500,
+		OptimizeElements: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := built.Save(dir, "zippy"); err != nil {
+		t.Fatal(err)
+	}
+	store, _, err := powerdrill.Open(dir, powerdrill.Options{
+		ResultCacheBytes:  1 << 20,
+		MemoryBudgetBytes: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Query(`SELECT country, COUNT(*) AS c FROM data GROUP BY country ORDER BY c DESC LIMIT 5;`); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := httptest.NewRecorder()
+	statzHandler(store).ServeHTTP(rec, httptest.NewRequest("GET", "/statz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var p statzPayload
+	if err := json.Unmarshal(rec.Body.Bytes(), &p); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rec.Body.String())
+	}
+	if p.Rows != 2000 {
+		t.Fatalf("rows = %d", p.Rows)
+	}
+	if p.Engine.Queries != 1 {
+		t.Fatalf("engine queries = %d", p.Engine.Queries)
+	}
+	if p.Memory == nil {
+		t.Fatal("memory section missing for a lazily opened store")
+	}
+	if p.Memory.BudgetBytes != 1<<20 || p.Memory.ColdLoads == 0 || p.Memory.Policy != "2q" {
+		t.Fatalf("memory section = %+v", p.Memory)
+	}
+	if p.ResultCache == nil {
+		t.Fatal("result cache section missing")
+	}
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"powerdrill"
+)
+
+// statzPayload is the JSON shape of the /statz observability endpoint:
+// memory-manager accounting, cumulative engine counters, and result-cache
+// hit rates for one leaf server.
+type statzPayload struct {
+	Rows   int `json:"rows"`
+	Chunks int `json:"chunks"`
+
+	Memory *memorySection `json:"memory,omitempty"`
+
+	Engine engineSection `json:"engine"`
+
+	ResultCache *cacheSection `json:"result_cache,omitempty"`
+}
+
+type memorySection struct {
+	BudgetBytes     int64   `json:"budget_bytes"`
+	ResidentBytes   int64   `json:"resident_bytes"`
+	PinnedBytes     int64   `json:"pinned_bytes"`
+	ResidentColumns int     `json:"resident_columns"`
+	ColdLoads       int64   `json:"cold_loads"`
+	ColdBytesLoaded int64   `json:"cold_bytes_loaded"`
+	DiskBytesRead   int64   `json:"disk_bytes_read"`
+	Evictions       int64   `json:"evictions"`
+	EvictedBytes    int64   `json:"evicted_bytes"`
+	HitRate         float64 `json:"hit_rate"`
+	Policy          string  `json:"policy"`
+}
+
+type engineSection struct {
+	Queries         int64 `json:"queries"`
+	ChunksSkipped   int64 `json:"chunks_skipped"`
+	ChunksCached    int64 `json:"chunks_cached"`
+	ChunksScanned   int64 `json:"chunks_scanned"`
+	CellsScanned    int64 `json:"cells_scanned"`
+	ColdLoads       int64 `json:"cold_loads"`
+	ColdBytesLoaded int64 `json:"cold_bytes_loaded"`
+	DiskBytesRead   int64 `json:"disk_bytes_read"`
+}
+
+type cacheSection struct {
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Evictions int64   `json:"evictions"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+// statzHandler serves the leaf's runtime counters as JSON.
+func statzHandler(store *powerdrill.Store) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		es := store.EngineStats()
+		p := statzPayload{
+			Rows:   store.NumRows(),
+			Chunks: store.NumChunks(),
+			Engine: engineSection{
+				Queries:         es.Queries,
+				ChunksSkipped:   es.ChunksSkipped,
+				ChunksCached:    es.ChunksCached,
+				ChunksScanned:   es.ChunksScanned,
+				CellsScanned:    es.CellsScanned,
+				ColdLoads:       es.ColdLoads,
+				ColdBytesLoaded: es.ColdBytesLoaded,
+				DiskBytesRead:   es.DiskBytesRead,
+			},
+		}
+		if ms, ok := store.MemStats(); ok {
+			p.Memory = &memorySection{
+				BudgetBytes:     ms.BudgetBytes,
+				ResidentBytes:   ms.ResidentBytes,
+				PinnedBytes:     ms.PinnedBytes,
+				ResidentColumns: ms.ResidentItems,
+				ColdLoads:       ms.ColdLoads,
+				ColdBytesLoaded: ms.ColdBytesLoaded,
+				DiskBytesRead:   ms.DiskBytesRead,
+				Evictions:       ms.Evictions,
+				EvictedBytes:    ms.EvictedBytes,
+				HitRate:         ms.HitRate(),
+				Policy:          ms.Policy,
+			}
+		}
+		if cs, ok := store.ResultCacheStats(); ok {
+			p.ResultCache = &cacheSection{
+				Hits:      cs.Hits,
+				Misses:    cs.Misses,
+				Evictions: cs.Evictions,
+				HitRate:   cs.HitRate(),
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(&p)
+	})
+}
+
+// serveStatz starts the observability HTTP listener on addr.
+func serveStatz(addr string, store *powerdrill.Store) error {
+	mux := http.NewServeMux()
+	mux.Handle("/statz", statzHandler(store))
+	return http.ListenAndServe(addr, mux)
+}

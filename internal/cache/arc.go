@@ -19,7 +19,8 @@ type ARC struct {
 	b2o    []string
 	t1, t2 list
 
-	stats Stats
+	stats   Stats
+	onEvict func(key string, value any, size int64)
 }
 
 // NewARC creates an adaptive cache holding at most capacity bytes.
@@ -37,6 +38,19 @@ func NewARC(capacity int64) *ARC {
 
 // Name implements Cache.
 func (c *ARC) Name() string { return "arc" }
+
+// SetCapacity implements Resizer.
+func (c *ARC) SetCapacity(capacity int64) {
+	c.capacity = capacity
+	if c.p > capacity {
+		c.p = maxInt64(capacity, 0)
+	}
+	c.replace(false)
+	c.trimGhosts()
+}
+
+// OnEvict implements EvictionNotifier.
+func (c *ARC) OnEvict(fn func(key string, value any, size int64)) { c.onEvict = fn }
 
 // Get implements Cache.
 func (c *ARC) Get(key string) (any, bool) {
@@ -112,6 +126,9 @@ func (c *ARC) replace(preferT2 bool) {
 		}
 		delete(c.items, victim.key)
 		c.stats.Evictions++
+		if c.onEvict != nil {
+			c.onEvict(victim.key, victim.value, victim.size)
+		}
 	}
 }
 

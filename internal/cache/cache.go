@@ -29,6 +29,24 @@ type Cache interface {
 	Name() string
 }
 
+// Resizer is implemented by policies whose byte capacity can change after
+// construction. Shrinking evicts immediately; capacities <= 0 evict
+// everything and admit nothing until the capacity grows again. The memory
+// manager (internal/memmgr) uses this to shrink the evictable tier while
+// columns are pinned by in-flight scans.
+type Resizer interface {
+	SetCapacity(capacity int64)
+}
+
+// EvictionNotifier is implemented by policies that can report budget
+// evictions. The callback fires synchronously inside the mutating call
+// (Put, Get or SetCapacity) for every entry the policy displaces to satisfy
+// its byte budget — not for explicit Remove calls — so callers can keep
+// external accounting (e.g. resident-byte gauges) exact.
+type EvictionNotifier interface {
+	OnEvict(fn func(key string, value any, size int64))
+}
+
 // Stats holds cumulative cache counters.
 type Stats struct {
 	Hits      int64

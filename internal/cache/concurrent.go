@@ -72,4 +72,25 @@ func (s *Synchronized) Name() string {
 	return s.inner.Name()
 }
 
+// SetCapacity implements Resizer when the wrapped policy does; it is a
+// no-op otherwise.
+func (s *Synchronized) SetCapacity(capacity int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok := s.inner.(Resizer); ok {
+		r.SetCapacity(capacity)
+	}
+}
+
+// OnEvict implements EvictionNotifier when the wrapped policy does; the
+// callback runs with the Synchronized mutex held, so it must not call back
+// into the cache.
+func (s *Synchronized) OnEvict(fn func(key string, value any, size int64)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n, ok := s.inner.(EvictionNotifier); ok {
+		n.OnEvict(fn)
+	}
+}
+
 var _ Cache = (*Synchronized)(nil)

@@ -8,6 +8,7 @@ type LRU struct {
 	items    map[string]*entry
 	order    list
 	stats    Stats
+	onEvict  func(key string, value any, size int64)
 }
 
 // NewLRU creates an LRU cache holding at most capacity bytes.
@@ -20,6 +21,15 @@ func NewLRU(capacity int64) *LRU {
 
 // Name implements Cache.
 func (c *LRU) Name() string { return "lru" }
+
+// SetCapacity implements Resizer.
+func (c *LRU) SetCapacity(capacity int64) {
+	c.capacity = capacity
+	c.evictTo(capacity)
+}
+
+// OnEvict implements EvictionNotifier.
+func (c *LRU) OnEvict(fn func(key string, value any, size int64)) { c.onEvict = fn }
 
 // Get implements Cache.
 func (c *LRU) Get(key string) (any, bool) {
@@ -69,6 +79,9 @@ func (c *LRU) evictTo(budget int64) {
 		c.order.remove(victim)
 		delete(c.items, victim.key)
 		c.stats.Evictions++
+		if c.onEvict != nil {
+			c.onEvict(victim.key, victim.value, victim.size)
+		}
 	}
 }
 

@@ -20,7 +20,8 @@ type TwoQ struct {
 	am         list
 	ghostOrder []string // FIFO order of ghost keys
 
-	stats Stats
+	stats   Stats
+	onEvict func(key string, value any, size int64)
 }
 
 // NewTwoQ creates a 2Q cache holding at most capacity bytes.
@@ -39,6 +40,16 @@ func NewTwoQ(capacity int64) *TwoQ {
 
 // Name implements Cache.
 func (c *TwoQ) Name() string { return "2q" }
+
+// SetCapacity implements Resizer.
+func (c *TwoQ) SetCapacity(capacity int64) {
+	c.capacity = capacity
+	c.kin = capacity / 4
+	c.balance()
+}
+
+// OnEvict implements EvictionNotifier.
+func (c *TwoQ) OnEvict(fn func(key string, value any, size int64)) { c.onEvict = fn }
 
 // Get implements Cache.
 func (c *TwoQ) Get(key string) (any, bool) {
@@ -98,6 +109,9 @@ func (c *TwoQ) balance() {
 			delete(c.items, victim.key)
 			c.addGhost(victim.key)
 			c.stats.Evictions++
+			if c.onEvict != nil {
+				c.onEvict(victim.key, victim.value, victim.size)
+			}
 			continue
 		}
 		victim := c.am.back()
@@ -107,6 +121,9 @@ func (c *TwoQ) balance() {
 		c.am.remove(victim)
 		delete(c.items, victim.key)
 		c.stats.Evictions++
+		if c.onEvict != nil {
+			c.onEvict(victim.key, victim.value, victim.size)
+		}
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 
 	"powerdrill/internal/colstore"
 	"powerdrill/internal/exec"
+	"powerdrill/internal/memmgr"
 	"powerdrill/internal/sql"
 	"powerdrill/internal/table"
 )
@@ -117,6 +118,12 @@ func (o Options) withDefaults() Options {
 	if o.Replicas > 2 {
 		o.Replicas = 2
 	}
+	if o.Engine.Gate == nil {
+		// One admission gate for every leaf engine in the process: a query
+		// fanning out to all shards (× replicas) shares one worker budget
+		// instead of each leaf spawning its own full complement.
+		o.Engine.Gate = exec.NewGate(o.Engine.Parallelism)
+	}
 	return o
 }
 
@@ -155,6 +162,37 @@ func NewLocal(tbl *table.Table, opts Options) (*Cluster, error) {
 			store, err := colstore.FromTable(shardTbl, opts.Store)
 			if err != nil {
 				return nil, fmt.Errorf("cluster: shard %d replica %d: %w", i, r, err)
+			}
+			leaf := NewLocalLeaf(fmt.Sprintf("shard%d-r%d", i, r), exec.New(store, opts.Engine))
+			replicas = append(replicas, leaf)
+			c.leaves = append(c.leaves, leaf)
+		}
+		c.shards = append(c.shards, replicas)
+	}
+	return c, nil
+}
+
+// OpenShards assembles an in-process cluster from persisted shard
+// directories, opening every shard lazily: no column data is read until a
+// query touches it, and all leaves share one memory manager — so the whole
+// cluster's resident column bytes respect a single budget (mgr may be nil
+// for lazy loading without a budget). Replicas of a shard open the same
+// directory and therefore share resident columns, which is exactly what
+// the paper's primary+replica scheme wants: the replica answers from the
+// same bytes.
+func OpenShards(dirs []string, opts Options, mgr *memmgr.Manager) (*Cluster, error) {
+	opts.Shards = len(dirs)
+	opts = opts.withDefaults()
+	if mgr == nil {
+		mgr = memmgr.New(0, "")
+	}
+	c := &Cluster{opts: opts}
+	for i, dir := range dirs {
+		var replicas []Leaf
+		for r := 0; r < opts.Replicas; r++ {
+			store, _, err := colstore.OpenLazy(dir, mgr)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: open shard %d replica %d: %w", i, r, err)
 			}
 			leaf := NewLocalLeaf(fmt.Sprintf("shard%d-r%d", i, r), exec.New(store, opts.Engine))
 			replicas = append(replicas, leaf)

@@ -71,9 +71,18 @@ func Save(s *Store, dir, codecName string) error {
 		},
 	}
 	for i, name := range s.Columns() {
-		col := s.Column(name)
+		// Pin one column at a time so saving a lazily opened store surfaces
+		// load errors (Column would swallow them into nil) and stays within
+		// about one column of the memory budget.
+		ps := s.NewPinSet()
+		col, err := ps.Column(name)
+		if err != nil {
+			ps.Release()
+			return fmt.Errorf("colstore: save column %q: %w", name, err)
+		}
 		file := fmt.Sprintf("col_%04d.bin", i)
 		raw := encodeColumn(col)
+		ps.Release()
 		if codec != nil {
 			raw = codec.Compress(nil, raw)
 		}
@@ -144,30 +153,26 @@ type DiskStats struct {
 	Files     int
 }
 
-// Open loads a persisted store. The string-dictionary implementation is
-// taken from the manifest options.
-func Open(dir string) (*Store, *DiskStats, error) {
-	stats := &DiskStats{}
+// readManifest loads and validates a persisted store's manifest.
+func readManifest(dir string) (*manifest, int64, error) {
 	blob, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
 	if err != nil {
-		return nil, nil, fmt.Errorf("colstore: open: %w", err)
+		return nil, 0, fmt.Errorf("colstore: open: %w", err)
 	}
-	stats.BytesRead += int64(len(blob))
-	stats.Files++
 	var m manifest
 	if err := json.Unmarshal(blob, &m); err != nil {
-		return nil, nil, fmt.Errorf("colstore: open manifest: %w", err)
+		return nil, 0, fmt.Errorf("colstore: open manifest: %w", err)
 	}
 	if len(m.Bounds) < 2 {
-		return nil, nil, errors.New("colstore: manifest has no chunk bounds")
+		return nil, 0, errors.New("colstore: manifest has no chunk bounds")
 	}
-	var codec compress.Codec
-	if m.Codec != "" {
-		if codec, err = compress.ByName(m.Codec); err != nil {
-			return nil, nil, err
-		}
-	}
-	s := &Store{
+	return &m, int64(len(blob)), nil
+}
+
+// storeShell builds an empty Store carrying the manifest's layout and
+// options but no column data.
+func storeShell(m *manifest) *Store {
+	return &Store{
 		Name:   m.Name,
 		Bounds: m.Bounds,
 		Opts: Options{
@@ -179,6 +184,26 @@ func Open(dir string) (*Store, *DiskStats, error) {
 		}.withDefaults(),
 		columns: make(map[string]*Column),
 	}
+}
+
+// Open loads a persisted store fully into memory. The string-dictionary
+// implementation is taken from the manifest options. For a lazily loaded,
+// budget-managed store see OpenLazy.
+func Open(dir string) (*Store, *DiskStats, error) {
+	stats := &DiskStats{}
+	m, manifestBytes, err := readManifest(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.BytesRead += manifestBytes
+	stats.Files++
+	var codec compress.Codec
+	if m.Codec != "" {
+		if codec, err = compress.ByName(m.Codec); err != nil {
+			return nil, nil, err
+		}
+	}
+	s := storeShell(m)
 	for _, mc := range m.Columns {
 		raw, err := os.ReadFile(filepath.Join(dir, mc.File))
 		if err != nil {
@@ -209,11 +234,31 @@ func Open(dir string) (*Store, *DiskStats, error) {
 // decodeColumn parses the output of encodeColumn.
 func decodeColumn(name string, kind value.Kind, virtual bool, raw []byte, sd StringDictKind) (*Column, error) {
 	r := &byteReader{buf: raw}
+	d, err := decodeDict(r, kind, sd)
+	if err != nil {
+		return nil, err
+	}
+	nChunks, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	col := &Column{Name: name, Kind: kind, Dict: d, Virtual: virtual}
+	for c := uint64(0); c < nChunks; c++ {
+		ch, err := decodeChunk(r)
+		if err != nil {
+			return nil, err
+		}
+		col.Chunks = append(col.Chunks, ch)
+	}
+	return col, nil
+}
+
+// decodeDict parses the dictionary header encodeColumn writes.
+func decodeDict(r *byteReader, kind value.Kind, sd StringDictKind) (dict.Dict, error) {
 	n, err := r.uvarint()
 	if err != nil {
 		return nil, err
 	}
-	var d dict.Dict
 	switch kind {
 	case value.KindString:
 		vals := make([]string, n)
@@ -230,11 +275,11 @@ func decodeColumn(name string, kind value.Kind, virtual bool, raw []byte, sd Str
 		}
 		switch sd {
 		case StringDictTrie:
-			d = dict.NewTrie(vals)
+			return dict.NewTrie(vals), nil
 		case StringDictSharded:
-			d = dict.NewSharded(vals, dict.ShardedOptions{Retain: true})
+			return dict.NewSharded(vals, dict.ShardedOptions{Retain: true}), nil
 		default:
-			d = dict.NewStringArray(vals)
+			return dict.NewStringArray(vals), nil
 		}
 	case value.KindInt64:
 		vals := make([]int64, n)
@@ -245,7 +290,7 @@ func decodeColumn(name string, kind value.Kind, virtual bool, raw []byte, sd Str
 			}
 			vals[i] = int64(v)
 		}
-		d = dict.NewInt64s(vals)
+		return dict.NewInt64s(vals), nil
 	case value.KindFloat64:
 		vals := make([]float64, n)
 		for i := range vals {
@@ -255,57 +300,80 @@ func decodeColumn(name string, kind value.Kind, virtual bool, raw []byte, sd Str
 			}
 			vals[i] = floatFromBits(v)
 		}
-		d = dict.NewFloat64s(vals)
-	default:
-		return nil, fmt.Errorf("invalid kind %v", kind)
+		return dict.NewFloat64s(vals), nil
 	}
-	nChunks, err := r.uvarint()
+	return nil, fmt.Errorf("invalid kind %v", kind)
+}
+
+// decodeChunk parses one chunk record written by encodeColumn.
+func decodeChunk(r *byteReader) (*Chunk, error) {
+	card, err := r.uvarint()
 	if err != nil {
 		return nil, err
 	}
-	col := &Column{Name: name, Kind: kind, Dict: d, Virtual: virtual}
-	for c := uint64(0); c < nChunks; c++ {
-		card, err := r.uvarint()
+	gids := make([]uint32, card)
+	prev := uint64(0)
+	for i := range gids {
+		delta, err := r.uvarint()
 		if err != nil {
 			return nil, err
 		}
-		gids := make([]uint32, card)
-		prev := uint64(0)
-		for i := range gids {
-			delta, err := r.uvarint()
-			if err != nil {
-				return nil, err
-			}
-			if i == 0 {
-				prev = delta
-			} else {
-				prev += delta
-			}
-			gids[i] = uint32(prev)
+		if i == 0 {
+			prev = delta
+		} else {
+			prev += delta
 		}
-		widthByte, err := r.take(1)
-		if err != nil {
-			return nil, err
-		}
-		rows, err := r.uvarint()
-		if err != nil {
-			return nil, err
-		}
-		plen, err := r.uvarint()
-		if err != nil {
-			return nil, err
-		}
-		payload, err := r.take(int(plen))
-		if err != nil {
-			return nil, err
-		}
-		seq, err := enc.Decode(enc.Width(widthByte[0]), int(rows), payload)
-		if err != nil {
-			return nil, err
-		}
-		col.Chunks = append(col.Chunks, &Chunk{GlobalIDs: gids, Elems: seq})
+		gids[i] = uint32(prev)
 	}
-	return col, nil
+	widthByte, err := r.take(1)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	plen, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	payload, err := r.take(int(plen))
+	if err != nil {
+		return nil, err
+	}
+	seq, err := enc.Decode(enc.Width(widthByte[0]), int(rows), payload)
+	if err != nil {
+		return nil, err
+	}
+	return &Chunk{GlobalIDs: gids, Elems: seq}, nil
+}
+
+// skipChunk advances r past one chunk record without building its slices —
+// the "length-prefixed so a reader could skip them" promise of the format.
+// The chunk-dictionary deltas are varints without a byte-length prefix, so
+// skipping still walks them, but allocates nothing.
+func skipChunk(r *byteReader) error {
+	card, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < card; i++ {
+		if _, err := r.uvarint(); err != nil {
+			return err
+		}
+	}
+	if _, err := r.take(1); err != nil { // width byte
+		return err
+	}
+	if _, err := r.uvarint(); err != nil { // rows
+		return err
+	}
+	plen, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	_, err = r.take(int(plen))
+	return err
 }
 
 // byteReader is a bounds-checked cursor over a byte slice.

@@ -1,0 +1,325 @@
+package colstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"powerdrill/internal/compress"
+	"powerdrill/internal/memmgr"
+	"powerdrill/internal/value"
+)
+
+// This file implements the Section 5 "only a fraction of the data needs to
+// reside in RAM" machinery: a Reader that decodes a single column (or a
+// single chunk) from the persisted format, a lazily loaded Store whose
+// physical columns are materialized on first touch through a
+// memmgr.Manager, and the PinSet queries use to keep the columns they are
+// scanning resident while cold data gets evicted around them.
+
+// ColumnMeta describes a persisted column without loading its data.
+type ColumnMeta struct {
+	Name    string
+	Kind    value.Kind
+	Virtual bool
+}
+
+// Reader decodes individual columns and chunks from a store persisted with
+// Save. It keeps no column data itself — every Load call goes back to the
+// files — so it is the natural Provider behind a budget-managed store.
+type Reader struct {
+	dir  string
+	m    *manifest
+	sd   StringDictKind
+	cols map[string]manifestCol
+}
+
+// NewReader opens the manifest in dir. manifestBytes reports the bytes
+// read, the quantity Figure 5's latency model charges.
+func NewReader(dir string) (r *Reader, manifestBytes int64, err error) {
+	m, n, err := readManifest(dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	r = &Reader{
+		dir:  dir,
+		m:    m,
+		sd:   StringDictKind(m.Opts.StringDict),
+		cols: make(map[string]manifestCol, len(m.Columns)),
+	}
+	if r.sd == "" {
+		r.sd = StringDictArray
+	}
+	for _, mc := range m.Columns {
+		r.cols[mc.Name] = mc
+	}
+	return r, n, nil
+}
+
+// Columns lists the persisted columns in manifest order.
+func (r *Reader) Columns() []ColumnMeta {
+	out := make([]ColumnMeta, 0, len(r.m.Columns))
+	for _, mc := range r.m.Columns {
+		kind, err := value.ParseKind(mc.Kind)
+		if err != nil {
+			kind = value.KindInvalid
+		}
+		out = append(out, ColumnMeta{Name: mc.Name, Kind: kind, Virtual: mc.Virtual})
+	}
+	return out
+}
+
+// Bounds returns the store's chunk row boundaries.
+func (r *Reader) Bounds() []int { return r.m.Bounds }
+
+// rawColumn reads and decompresses one column file.
+func (r *Reader) rawColumn(name string) (raw []byte, diskBytes int64, kind value.Kind, virtual bool, err error) {
+	mc, ok := r.cols[name]
+	if !ok {
+		return nil, 0, value.KindInvalid, false, fmt.Errorf("colstore: unknown column %q", name)
+	}
+	kind, err = value.ParseKind(mc.Kind)
+	if err != nil {
+		return nil, 0, value.KindInvalid, false, fmt.Errorf("colstore: column %q: %w", name, err)
+	}
+	raw, err = os.ReadFile(filepath.Join(r.dir, mc.File))
+	if err != nil {
+		return nil, 0, value.KindInvalid, false, fmt.Errorf("colstore: load column %q: %w", name, err)
+	}
+	diskBytes = int64(len(raw))
+	if r.m.Codec != "" {
+		codec, cerr := compress.ByName(r.m.Codec)
+		if cerr != nil {
+			return nil, 0, value.KindInvalid, false, cerr
+		}
+		if raw, err = codec.Decompress(nil, raw); err != nil {
+			return nil, 0, value.KindInvalid, false, fmt.Errorf("colstore: decompress column %q: %w", name, err)
+		}
+	}
+	return raw, diskBytes, kind, mc.Virtual, nil
+}
+
+// LoadColumn decodes the named column in full. diskBytes is the on-disk
+// (compressed) size actually read.
+func (r *Reader) LoadColumn(name string) (*Column, int64, error) {
+	raw, diskBytes, kind, virtual, err := r.rawColumn(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	col, err := decodeColumn(name, kind, virtual, raw, r.sd)
+	if err != nil {
+		return nil, 0, fmt.Errorf("colstore: column %q: %w", name, err)
+	}
+	return col, diskBytes, nil
+}
+
+// LoadColumnChunk decodes a single chunk of the named column, skipping the
+// dictionary payload and the other chunks' data (when the store is
+// compressed as a whole the file is still read and decompressed, but only
+// the requested chunk is materialized). It exists for finer-than-column
+// residency experiments; the memory manager currently evicts at column
+// granularity.
+func (r *Reader) LoadColumnChunk(name string, chunk int) (*Chunk, int64, error) {
+	raw, diskBytes, kind, _, err := r.rawColumn(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	br := &byteReader{buf: raw}
+	if err := skipDict(br, kind); err != nil {
+		return nil, 0, fmt.Errorf("colstore: column %q: %w", name, err)
+	}
+	nChunks, err := br.uvarint()
+	if err != nil {
+		return nil, 0, fmt.Errorf("colstore: column %q: %w", name, err)
+	}
+	if chunk < 0 || uint64(chunk) >= nChunks {
+		return nil, 0, fmt.Errorf("colstore: column %q has %d chunks, want %d", name, nChunks, chunk)
+	}
+	for c := 0; c < chunk; c++ {
+		if err := skipChunk(br); err != nil {
+			return nil, 0, fmt.Errorf("colstore: column %q: %w", name, err)
+		}
+	}
+	ch, err := decodeChunk(br)
+	if err != nil {
+		return nil, 0, fmt.Errorf("colstore: column %q chunk %d: %w", name, chunk, err)
+	}
+	return ch, diskBytes, nil
+}
+
+// skipDict advances past the dictionary header without building it.
+func skipDict(r *byteReader, kind value.Kind) error {
+	n, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	switch kind {
+	case value.KindString:
+		for i := uint64(0); i < n; i++ {
+			l, err := r.uvarint()
+			if err != nil {
+				return err
+			}
+			if _, err := r.take(int(l)); err != nil {
+				return err
+			}
+		}
+	case value.KindInt64, value.KindFloat64:
+		if _, err := r.take(int(n) * 8); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("invalid kind %v", kind)
+	}
+	return nil
+}
+
+// lazySource wires a Store to its on-disk provider and memory manager.
+type lazySource struct {
+	reader *Reader
+	mgr    *memmgr.Manager
+	// ns namespaces this store's keys inside the (possibly shared) manager.
+	// Replicas opened from the same directory share entries by design: the
+	// data is immutable and identical.
+	ns string
+}
+
+func (l *lazySource) key(col string) string { return l.ns + "\x00" + col }
+
+// OpenLazy opens a persisted store without loading any column data: only
+// the manifest is read. Physical columns materialize on first touch through
+// mgr (which enforces the byte budget and evicts cold columns); virtual
+// columns materialized later by the engine stay resident — they cannot be
+// reloaded from disk. mgr may be shared across stores (e.g. all shards of a
+// leaf process share one budget).
+func OpenLazy(dir string, mgr *memmgr.Manager) (*Store, *DiskStats, error) {
+	if mgr == nil {
+		mgr = memmgr.New(0, "")
+	}
+	r, manifestBytes, err := NewReader(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats := &DiskStats{BytesRead: manifestBytes, Files: 1}
+	s := storeShell(r.m)
+	ns := filepath.Clean(dir)
+	if abs, err := filepath.Abs(ns); err == nil {
+		ns = abs
+	}
+	s.lazy = &lazySource{reader: r, mgr: mgr, ns: ns}
+	s.metas = make(map[string]ColumnMeta, len(r.m.Columns))
+	for _, meta := range r.Columns() {
+		if meta.Kind == value.KindInvalid {
+			return nil, nil, fmt.Errorf("colstore: column %q has invalid kind", meta.Name)
+		}
+		s.metas[meta.Name] = meta
+		s.order = append(s.order, meta.Name)
+	}
+	return s, stats, nil
+}
+
+// MemManager returns the manager enforcing the store's byte budget, or nil
+// for fully resident stores.
+func (s *Store) MemManager() *memmgr.Manager {
+	if s.lazy == nil {
+		return nil
+	}
+	return s.lazy.mgr
+}
+
+// acquire pins the named physical column in the memory manager, loading it
+// from disk when cold. Callers must Release the returned key when done.
+func (s *Store) acquire(name string) (col *Column, key string, cold bool, diskBytes int64, err error) {
+	meta, ok := s.metas[name]
+	if !ok {
+		return nil, "", false, 0, fmt.Errorf("colstore: unknown column %q", name)
+	}
+	key = s.lazy.key(name)
+	v, cold, err := s.lazy.mgr.Acquire(key, func() (any, int64, int64, error) {
+		c, disk, err := s.lazy.reader.LoadColumn(meta.Name)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		if err := c.checkAligned(s.Bounds); err != nil {
+			return nil, 0, 0, err
+		}
+		return &loadedColumn{col: c, diskBytes: disk}, c.Memory().Total(), disk, nil
+	})
+	if err != nil {
+		return nil, "", false, 0, err
+	}
+	lc := v.(*loadedColumn)
+	return lc.col, key, cold, lc.diskBytes, nil
+}
+
+// loadedColumn is the unit the memory manager holds for a store.
+type loadedColumn struct {
+	col       *Column
+	diskBytes int64
+}
+
+// PinSet keeps the columns one query touches resident for the query's
+// lifetime: the engine pins every column from first touch (during planning)
+// through the parallel chunk scan and final dictionary lookups, then
+// releases them all at once. Cold-load counters accumulate per set, giving
+// per-query attribution of what had to come from disk.
+//
+// On a fully resident store a PinSet degrades to plain column lookups.
+type PinSet struct {
+	s    *Store
+	held map[string]heldPin // column name -> pin
+	// ColdLoads counts columns this set loaded from disk.
+	ColdLoads int
+	// ColdBytesLoaded sums the resident bytes of those cold loads.
+	ColdBytesLoaded int64
+	// DiskBytesRead sums their on-disk (compressed) bytes.
+	DiskBytesRead int64
+}
+
+// heldPin records one pinned column.
+type heldPin struct {
+	key string
+	col *Column
+}
+
+// NewPinSet creates an empty pin set for the store.
+func (s *Store) NewPinSet() *PinSet { return &PinSet{s: s} }
+
+// Column returns the named column, pinning it on first use (one pin per
+// set, however often it is asked for). Virtual and fully resident columns
+// need no pin and pass straight through. Unknown columns are an error.
+func (p *PinSet) Column(name string) (*Column, error) {
+	if c := p.s.residentColumn(name); c != nil {
+		return c, nil
+	}
+	if p.s.lazy == nil {
+		return nil, fmt.Errorf("colstore: unknown column %q", name)
+	}
+	if h, ok := p.held[name]; ok {
+		return h.col, nil
+	}
+	col, key, cold, disk, err := p.s.acquire(name)
+	if err != nil {
+		return nil, err
+	}
+	if p.held == nil {
+		p.held = make(map[string]heldPin, 8)
+	}
+	p.held[name] = heldPin{key: key, col: col}
+	if cold {
+		p.ColdLoads++
+		p.ColdBytesLoaded += col.Memory().Total()
+		p.DiskBytesRead += disk
+	}
+	return col, nil
+}
+
+// Release drops every pin the set holds. Safe to call more than once.
+func (p *PinSet) Release() {
+	if p.s.lazy != nil {
+		for _, h := range p.held {
+			p.s.lazy.mgr.Release(h.key)
+		}
+	}
+	p.held = nil
+}

@@ -86,6 +86,12 @@ type Store struct {
 	mu      sync.RWMutex
 	columns map[string]*Column
 	order   []string
+
+	// Lazy stores (OpenLazy) keep only metadata here; physical column data
+	// lives in the memory manager and loads on demand. Both fields are
+	// immutable after OpenLazy, so reads need no lock.
+	lazy  *lazySource
+	metas map[string]ColumnMeta
 }
 
 // NumRows returns the total number of rows.
@@ -98,11 +104,57 @@ func (s *Store) NumChunks() int { return len(s.Bounds) - 1 }
 func (s *Store) ChunkRows(c int) int { return s.Bounds[c+1] - s.Bounds[c] }
 
 // Column returns the named column (physical or virtual), or nil.
+//
+// On a lazy store this loads a cold physical column from disk and leaves it
+// unpinned (evictable). Queries must not rely on this path for scan-phase
+// access: the engine pins its columns through a PinSet first, so Column
+// hits resident data. Load failures surface as nil here; use PinSet.Column
+// for an error-carrying lookup.
 func (s *Store) Column(name string) *Column {
+	if c := s.residentColumn(name); c != nil {
+		return c
+	}
+	if s.lazy == nil {
+		return nil
+	}
+	if _, ok := s.metas[name]; !ok {
+		return nil
+	}
+	col, key, _, _, err := s.acquire(name)
+	if err != nil {
+		return nil
+	}
+	s.lazy.mgr.Release(key)
+	return col
+}
+
+// residentColumn looks the name up in the in-memory registry only.
+func (s *Store) residentColumn(name string) *Column {
 	s.mu.RLock()
 	c := s.columns[name]
 	s.mu.RUnlock()
 	return c
+}
+
+// HasColumn reports whether the store knows the column (resident, virtual
+// or lazily loadable) without loading any data.
+func (s *Store) HasColumn(name string) bool {
+	if s.residentColumn(name) != nil {
+		return true
+	}
+	_, ok := s.metas[name]
+	return ok
+}
+
+// ColumnMeta returns the column's metadata without loading its data.
+func (s *Store) ColumnMeta(name string) (ColumnMeta, bool) {
+	if m, ok := s.metas[name]; ok {
+		return m, true
+	}
+	if c := s.residentColumn(name); c != nil {
+		return ColumnMeta{Name: c.Name, Kind: c.Kind, Virtual: c.Virtual}, true
+	}
+	return ColumnMeta{}, false
 }
 
 // Columns returns all column names in declaration order.
@@ -116,6 +168,9 @@ func (s *Store) Columns() []string {
 func (s *Store) AddColumn(c *Column) error {
 	if err := c.checkAligned(s.Bounds); err != nil {
 		return err
+	}
+	if _, dup := s.metas[c.Name]; dup {
+		return fmt.Errorf("colstore: duplicate column %q", c.Name)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -342,11 +397,16 @@ func (s *Store) AddVirtualColumn(name string, kind value.Kind, vals []value.Valu
 func (s *Store) MemoryFor(cols ...string) (MemoryBreakdown, error) {
 	var m MemoryBreakdown
 	for _, name := range cols {
-		c := s.Column(name)
-		if c == nil {
-			return m, fmt.Errorf("colstore: unknown column %q", name)
+		// One pin at a time: surfaces lazy-load errors and keeps a budgeted
+		// store near its budget while measuring.
+		ps := s.NewPinSet()
+		c, err := ps.Column(name)
+		if err != nil {
+			ps.Release()
+			return m, err
 		}
 		m.Add(c.Memory())
+		ps.Release()
 	}
 	return m, nil
 }

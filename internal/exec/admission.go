@@ -1,0 +1,85 @@
+package exec
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Gate is the cross-query admission controller: a weighted semaphore over
+// scan workers. Each query asks for as many workers as its chunk fan-out
+// wants; under contention it is granted fewer (at least one), so N
+// concurrent queries share the machine smoothly instead of spawning
+// N × GOMAXPROCS goroutines and thrashing the scheduler. One Gate may be
+// shared across engines — a cluster leaf process gives all its shard
+// engines the same gate, making the budget truly engine-level.
+//
+// Granting is work-conserving and partial: an arriving query takes
+// min(want, free) tokens as soon as at least one is free, rather than
+// waiting for its full request. Worker counts never affect results (chunk
+// partials merge in chunk order regardless of who computed them), so
+// admission shrinks only parallelism, never changes answers.
+type Gate struct {
+	mu       sync.Mutex
+	notFull  *sync.Cond
+	capacity int
+	free     int
+}
+
+// NewGate creates a gate admitting at most capacity concurrent workers.
+// capacity <= 0 uses runtime.GOMAXPROCS(0).
+func NewGate(capacity int) *Gate {
+	if capacity <= 0 {
+		capacity = runtime.GOMAXPROCS(0)
+	}
+	g := &Gate{capacity: capacity, free: capacity}
+	g.notFull = sync.NewCond(&g.mu)
+	return g
+}
+
+// Capacity returns the total worker budget.
+func (g *Gate) Capacity() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.capacity
+}
+
+// InUse returns the number of currently granted workers.
+func (g *Gate) InUse() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.capacity - g.free
+}
+
+// AcquireUpTo blocks until at least one worker token is free, then takes
+// min(want, free) tokens and returns how many it took. want < 1 is treated
+// as 1.
+func (g *Gate) AcquireUpTo(want int) int {
+	if want < 1 {
+		want = 1
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for g.free == 0 {
+		g.notFull.Wait()
+	}
+	n := want
+	if n > g.free {
+		n = g.free
+	}
+	g.free -= n
+	return n
+}
+
+// Release returns n tokens taken by AcquireUpTo.
+func (g *Gate) Release(n int) {
+	if n <= 0 {
+		return
+	}
+	g.mu.Lock()
+	g.free += n
+	if g.free > g.capacity {
+		g.free = g.capacity
+	}
+	g.mu.Unlock()
+	g.notFull.Broadcast()
+}

@@ -107,7 +107,11 @@ func (e *Engine) executeChunks(p *plan) (map[uint32][]accCell, QueryStats, error
 		return nil, qs, fmt.Errorf("exec: internal: row scans do not aggregate")
 	}
 
-	workers := e.chunkWorkers(nChunks)
+	// Admission control: take up to the wanted worker count from the shared
+	// gate; under concurrent-query pressure the grant shrinks (never below
+	// one), so total scan goroutines stay bounded by the gate's capacity.
+	workers := e.gate.AcquireUpTo(e.chunkWorkers(nChunks))
+	defer e.gate.Release(workers)
 	parts := make([]*partial, nChunks) // nil entries are skipped chunks
 	wqs := make([]QueryStats, workers)
 	err := forEachChunk(nChunks, workers, nil, func(w, ci int) error {
@@ -180,7 +184,7 @@ func (e *Engine) scanChunk(p *plan, ci int, nCols int64, qs *QueryStats) (*parti
 		qs.CellsScanned += int64(rows) * nCols
 		return part, nil
 	case activeSome:
-		mask, err := p.where.mask(e, ci)
+		mask, err := p.where.mask(e, p, ci)
 		if err != nil {
 			return nil, err
 		}
@@ -250,7 +254,7 @@ func (e *Engine) aggregateChunk(p *plan, ci int, mask *enc.Bitmap) (*partial, er
 		card = 1
 		groupGIDs = []uint32{0}
 	} else {
-		gch := e.store.Column(gcol).Chunks[ci]
+		gch := p.col(e, gcol).Chunks[ci]
 		card = gch.Cardinality()
 		groupGIDs = gch.GlobalIDs
 		gelems = gch.Elems.Materialize(make([]uint32, 0, rows))
@@ -269,7 +273,7 @@ func (e *Engine) aggregateChunk(p *plan, ci int, mask *enc.Bitmap) (*partial, er
 		if spec.argCol == "" {
 			continue
 		}
-		acol := e.store.Column(spec.argCol)
+		acol := p.col(e, spec.argCol)
 		ach := acol.Chunks[ci]
 		argGIDs[j] = ach.GlobalIDs
 		argElems[j] = ach.Elems.Materialize(make([]uint32, 0, rows))
@@ -353,7 +357,7 @@ func (e *Engine) aggregateChunk(p *plan, ci int, mask *enc.Bitmap) (*partial, er
 	// counts[elements[row]]++ loop (20 ms for 5M rows in the paper).
 	if mask == nil && na == 1 && p.aggs[0].fn == aggCount && gcol != "" {
 		counts := make([]int64, card)
-		e.store.Column(gcol).Chunks[ci].Elems.CountInto(counts)
+		p.col(e, gcol).Chunks[ci].Elems.CountInto(counts)
 		for g := 0; g < card; g++ {
 			accs[g].count = counts[g]
 		}
@@ -440,7 +444,7 @@ func (e *Engine) finalize(p *plan, global map[uint32][]accCell) (*Result, error)
 		row := make([]value.Value, len(p.items))
 		for i, it := range p.items {
 			if it.aggIdx >= 0 {
-				v, err := e.aggValue(p.aggs[it.aggIdx], &accs[it.aggIdx])
+				v, err := e.aggValue(p, p.aggs[it.aggIdx], &accs[it.aggIdx])
 				if err != nil {
 					return nil, err
 				}
@@ -536,7 +540,7 @@ func (e *Engine) orderAndLimitWithGIDs(p *plan, res *Result, gids []uint32) erro
 func (e *Engine) groupKeyValues(p *plan, gid uint32) ([]value.Value, error) {
 	switch {
 	case p.composite != "":
-		key := e.store.Column(p.composite).Dict.Value(gid).Str()
+		key := p.col(e, p.composite).Dict.Value(gid).Str()
 		parts := strings.Split(key, "\x1f")
 		if len(parts) != len(p.groupCols) {
 			return nil, fmt.Errorf("exec: corrupt composite key %q", key)
@@ -547,22 +551,22 @@ func (e *Engine) groupKeyValues(p *plan, gid uint32) ([]value.Value, error) {
 			if err != nil {
 				return nil, fmt.Errorf("exec: corrupt composite key %q: %w", key, err)
 			}
-			out[i] = e.store.Column(p.groupCols[i]).Dict.Value(uint32(sub))
+			out[i] = p.col(e, p.groupCols[i]).Dict.Value(uint32(sub))
 		}
 		return out, nil
 	case len(p.groupCols) == 1:
-		return []value.Value{e.store.Column(p.groupCols[0]).Dict.Value(gid)}, nil
+		return []value.Value{p.col(e, p.groupCols[0]).Dict.Value(gid)}, nil
 	}
 	return nil, nil
 }
 
 // aggValue renders one aggregate's final value.
-func (e *Engine) aggValue(spec aggSpec, cell *accCell) (value.Value, error) {
+func (e *Engine) aggValue(p *plan, spec aggSpec, cell *accCell) (value.Value, error) {
 	switch spec.fn {
 	case aggCount:
 		return value.Int64(cell.count), nil
 	case aggSum:
-		if spec.argCol != "" && e.store.Column(spec.argCol).Kind == value.KindInt64 {
+		if spec.argCol != "" && p.col(e, spec.argCol).Kind == value.KindInt64 {
 			return value.Int64(cell.sumI), nil
 		}
 		return value.Float64(cell.sumF), nil
@@ -571,7 +575,7 @@ func (e *Engine) aggValue(spec aggSpec, cell *accCell) (value.Value, error) {
 			return value.Float64(0), nil
 		}
 		total := cell.sumF
-		if e.store.Column(spec.argCol).Kind == value.KindInt64 {
+		if p.col(e, spec.argCol).Kind == value.KindInt64 {
 			total = float64(cell.sumI)
 		}
 		return value.Float64(total / float64(cell.count)), nil
@@ -579,12 +583,12 @@ func (e *Engine) aggValue(spec aggSpec, cell *accCell) (value.Value, error) {
 		if !cell.hasMM {
 			return value.Value{}, fmt.Errorf("exec: MIN over empty group")
 		}
-		return e.store.Column(spec.argCol).Dict.Value(cell.minID), nil
+		return p.col(e, spec.argCol).Dict.Value(cell.minID), nil
 	case aggMax:
 		if !cell.hasMM {
 			return value.Value{}, fmt.Errorf("exec: MAX over empty group")
 		}
-		return e.store.Column(spec.argCol).Dict.Value(cell.maxID), nil
+		return p.col(e, spec.argCol).Dict.Value(cell.maxID), nil
 	case aggCountDistinct:
 		if e.opts.ExactDistinct {
 			return value.Int64(int64(len(cell.exact))), nil

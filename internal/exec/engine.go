@@ -66,6 +66,12 @@ type Options struct {
 	// scans out over; 0 (the default) means runtime.GOMAXPROCS(0), and 1
 	// recovers the fully sequential engine.
 	Parallelism int
+	// Gate is the cross-query admission controller: concurrent queries
+	// share its worker budget instead of each spawning Parallelism
+	// goroutines. nil gives the engine its own gate sized to Parallelism;
+	// pass one Gate to several engines (cluster leaves) to share a
+	// process-wide budget.
+	Gate *Gate
 }
 
 // Engine executes queries against one store (one shard). See the package
@@ -81,6 +87,9 @@ type Engine struct {
 	// resultCache is internally synchronized (cache.Synchronized); workers
 	// and concurrent queries share it directly.
 	resultCache cache.Cache
+
+	// gate admits scan workers across concurrent queries (see Gate).
+	gate *Gate
 
 	statsMu sync.Mutex
 	stats   Stats
@@ -103,6 +112,14 @@ type Stats struct {
 	CellsCovered int64
 	// CellsScanned counts rows × accessed columns actually scanned.
 	CellsScanned int64
+	// ColdLoads counts columns loaded from disk because they were not
+	// resident when a query touched them (lazy stores only).
+	ColdLoads int64
+	// ColdBytesLoaded sums the resident bytes of those cold loads.
+	ColdBytesLoaded int64
+	// DiskBytesRead sums their on-disk (compressed) bytes — the quantity
+	// Figure 5's latency model charges.
+	DiskBytesRead int64
 }
 
 // QueryStats are the per-query counters.
@@ -116,6 +133,14 @@ type QueryStats struct {
 	RowsSkipped   int64
 	CellsCovered  int64
 	CellsScanned  int64
+	// ColdLoads counts columns this query had to load from disk (zero on a
+	// warm repeat — the Section 5 "only a fraction of the data needs to be
+	// in memory" accounting).
+	ColdLoads int
+	// ColdBytesLoaded sums the resident bytes of those cold loads.
+	ColdBytesLoaded int64
+	// DiskBytesRead sums their on-disk (compressed) bytes.
+	DiskBytesRead int64
 }
 
 // Result is a finished query result.
@@ -142,6 +167,10 @@ func New(store *colstore.Store, opts Options) *Engine {
 			inner = cache.NewTwoQ(opts.ResultCacheBytes)
 		}
 		e.resultCache = cache.NewSynchronized(inner)
+	}
+	e.gate = opts.Gate
+	if e.gate == nil {
+		e.gate = NewGate(e.parallelism())
 	}
 	return e
 }
@@ -175,11 +204,18 @@ func (e *Engine) Query(src string) (*Result, error) {
 }
 
 // Run executes a parsed statement. Planning serializes on planMu; the scan
-// phase runs lock-free over the immutable store, fanned out over
-// Options.Parallelism workers.
+// phase runs lock-free over the immutable store, fanned out over the
+// workers the admission gate grants.
+//
+// On lazy stores every column the query touches is pinned from first touch
+// (during planning) through the final dictionary lookups, so the scan never
+// races an eviction; the pins drop when the result is assembled.
 func (e *Engine) Run(stmt *sql.SelectStmt) (*Result, error) {
+	ps := e.store.NewPinSet()
+	defer ps.Release()
+	e.prefetchColumns(stmt, ps)
 	e.planMu.Lock()
-	p, err := e.plan(stmt)
+	p, err := e.plan(stmt, ps)
 	e.planMu.Unlock()
 	if err != nil {
 		return nil, err
@@ -204,6 +240,9 @@ func (e *Engine) Run(stmt *sql.SelectStmt) (*Result, error) {
 			return nil, err
 		}
 	}
+	qs.ColdLoads = ps.ColdLoads
+	qs.ColdBytesLoaded = ps.ColdBytesLoaded
+	qs.DiskBytesRead = ps.DiskBytesRead
 	res.Stats = qs
 	e.recordStats(qs)
 	return res, nil
@@ -224,27 +263,73 @@ func (e *Engine) recordStats(qs QueryStats) {
 	e.stats.RowsSkipped += qs.RowsSkipped
 	e.stats.CellsCovered += qs.CellsCovered
 	e.stats.CellsScanned += qs.CellsScanned
+	e.stats.ColdLoads += int64(qs.ColdLoads)
+	e.stats.ColdBytesLoaded += qs.ColdBytesLoaded
+	e.stats.DiskBytesRead += qs.DiskBytesRead
+}
+
+// prefetchColumns pins every plain column the statement mentions BEFORE
+// planning takes planMu: cold loads are the slow part of a first-touch
+// query on a lazy store, and doing them here lets concurrent queries load
+// disjoint columns in parallel instead of serializing their disk reads
+// behind the plan lock (memmgr deduplicates concurrent loads of the same
+// column). Planning then finds everything warm. Unknown names are skipped —
+// they either name a not-yet-materialized virtual column or fail later
+// with a proper error.
+func (e *Engine) prefetchColumns(stmt *sql.SelectStmt, ps *colstore.PinSet) {
+	pin := func(x sql.Expr) {
+		if x == nil {
+			return
+		}
+		// A previously materialized virtual column is registered under the
+		// expression's canonical string; those are registry-resident, so
+		// only the plain source columns need loading.
+		for _, name := range exprColumns(x) {
+			if e.store.HasColumn(name) {
+				_, _ = ps.Column(name)
+			}
+		}
+	}
+	for _, item := range stmt.Items {
+		pin(item.Expr)
+	}
+	pin(stmt.Where)
+	for _, g := range stmt.GroupBy {
+		pin(g)
+	}
+	for _, o := range stmt.OrderBy {
+		pin(o.Expr)
+	}
+	pin(stmt.Having)
 }
 
 // storeRow adapts a (chunk, row) position to the expr.Row interface. It is
 // confined to one goroutine; cols caches name resolution so per-row
-// evaluation skips the store's registry lock.
+// evaluation skips the store's registry lock. When a plan is supplied, its
+// pre-resolved column pointers are preferred (no memory-manager traffic on
+// lazy stores).
 type storeRow struct {
 	e     *Engine
+	p     *plan
 	chunk int
 	row   int
 	cols  map[string]*colstore.Column
 }
 
-func newStoreRow(e *Engine, chunk int) *storeRow {
-	return &storeRow{e: e, chunk: chunk, cols: make(map[string]*colstore.Column, 4)}
+func newStoreRow(e *Engine, p *plan, chunk int) *storeRow {
+	return &storeRow{e: e, p: p, chunk: chunk, cols: make(map[string]*colstore.Column, 4)}
 }
 
 // ColumnValue implements expr.Row.
 func (r *storeRow) ColumnValue(name string) value.Value {
 	col, ok := r.cols[name]
 	if !ok {
-		col = r.e.store.Column(name)
+		if r.p != nil {
+			col = r.p.cols[name]
+		}
+		if col == nil {
+			col = r.e.store.Column(name)
+		}
 		r.cols[name] = col
 	}
 	if col == nil {
@@ -265,19 +350,38 @@ func exprColumns(e sql.Expr) []string { return expr.Columns(e) }
 // group-by operand to a column name, materializing a virtual field when it
 // is not a plain column reference (Section 5: expressions are computed once
 // and stored in the datastore; restrictions on them can then skip chunks).
-func (e *Engine) materializeOperand(x sql.Expr) (string, error) {
+// Columns it resolves are pinned into ps, and the source columns of a fresh
+// materialization are pinned for the duration of its chunk-parallel scan.
+func (e *Engine) materializeOperand(x sql.Expr, ps *colstore.PinSet) (string, error) {
 	if id, ok := x.(*sql.Ident); ok {
-		if e.store.Column(id.Name) == nil {
+		if !e.store.HasColumn(id.Name) {
 			return "", fmt.Errorf("exec: unknown column %q", id.Name)
+		}
+		if _, err := ps.Column(id.Name); err != nil {
+			return "", err
 		}
 		return id.Name, nil
 	}
 	key := x.String()
-	if e.store.Column(key) != nil {
-		return key, nil // already materialized by an earlier query
+	if e.store.HasColumn(key) {
+		// Already materialized by an earlier query.
+		if _, err := ps.Column(key); err != nil {
+			return "", err
+		}
+		return key, nil
+	}
+	// Pin the expression's source columns: the materialization scan below
+	// reads them row by row, and pinning keeps those reads resident on lazy
+	// stores. The resolved pointers also seed each worker's row cache so
+	// the per-chunk loop never goes back through the memory manager.
+	srcCols := make(map[string]*colstore.Column, 4)
+	for _, name := range exprColumns(x) {
+		if c, cerr := ps.Column(name); cerr == nil {
+			srcCols[name] = c
+		}
 	}
 	kind, err := expr.InferKind(x, func(col string) (value.Kind, bool) {
-		c := e.store.Column(col)
+		c := srcCols[col]
 		if c == nil {
 			return value.KindInvalid, false
 		}
@@ -288,10 +392,17 @@ func (e *Engine) materializeOperand(x sql.Expr) (string, error) {
 	}
 	// Chunk-parallel evaluation: each worker fills its chunk's slice of
 	// vals (disjoint regions, so no locks). The per-row interface dispatch
-	// of expr.Eval makes this the costliest part of materialization.
+	// of expr.Eval makes this the costliest part of materialization. The
+	// fan-out goes through the admission gate like every other chunk
+	// sweep, so a burst of first-touch queries cannot multiply worker
+	// goroutines past the shared budget.
+	workers := e.gate.AcquireUpTo(e.parallelism())
 	vals := make([]value.Value, e.store.NumRows())
-	err = forEachChunk(e.store.NumChunks(), e.parallelism(), nil, func(_, ci int) error {
-		row := newStoreRow(e, ci)
+	err = forEachChunk(e.store.NumChunks(), workers, nil, func(_, ci int) error {
+		row := newStoreRow(e, nil, ci)
+		for k, v := range srcCols {
+			row.cols[k] = v
+		}
 		base := e.store.Bounds[ci]
 		rows := e.store.ChunkRows(ci)
 		for r := 0; r < rows; r++ {
@@ -304,6 +415,7 @@ func (e *Engine) materializeOperand(x sql.Expr) (string, error) {
 		}
 		return nil
 	})
+	e.gate.Release(workers)
 	if err != nil {
 		return "", err
 	}
@@ -356,10 +468,25 @@ type plan struct {
 	// accessCols are the physical/virtual columns the query touches (for
 	// cell accounting).
 	accessCols []string
+	// cols maps every accessed column to its resolved (pinned) pointer, so
+	// the scan and finalize phases never go back through the store registry
+	// or the memory manager. Read-only after planning.
+	cols map[string]*colstore.Column
 }
 
-// plan compiles a statement.
-func (e *Engine) plan(stmt *sql.SelectStmt) (*plan, error) {
+// col returns the plan's resolved pointer for an accessed column, falling
+// back to the store for names outside the access set.
+func (p *plan) col(e *Engine, name string) *colstore.Column {
+	if c := p.cols[name]; c != nil {
+		return c
+	}
+	return e.store.Column(name)
+}
+
+// plan compiles a statement. Every column the query touches is pinned into
+// ps as it is resolved, so on lazy stores the scan phase only ever sees
+// resident data.
+func (e *Engine) plan(stmt *sql.SelectStmt, ps *colstore.PinSet) (*plan, error) {
 	if stmt.From == "" {
 		return nil, fmt.Errorf("exec: missing FROM")
 	}
@@ -368,7 +495,7 @@ func (e *Engine) plan(stmt *sql.SelectStmt) (*plan, error) {
 
 	// WHERE.
 	if stmt.Where != nil {
-		w, err := e.compileRestriction(stmt.Where)
+		w, err := e.compileRestriction(stmt.Where, ps)
 		if err != nil {
 			return nil, err
 		}
@@ -382,12 +509,16 @@ func (e *Engine) plan(stmt *sql.SelectStmt) (*plan, error) {
 		if err != nil {
 			return nil, err
 		}
-		col, err := e.materializeOperand(name)
+		col, err := e.materializeOperand(name, ps)
+		if err != nil {
+			return nil, err
+		}
+		gc, err := ps.Column(col)
 		if err != nil {
 			return nil, err
 		}
 		p.groupCols = append(p.groupCols, col)
-		p.groupKind = append(p.groupKind, e.store.Column(col).Kind)
+		p.groupKind = append(p.groupKind, gc.Kind)
 		access[col] = true
 	}
 
@@ -410,7 +541,7 @@ func (e *Engine) plan(stmt *sql.SelectStmt) (*plan, error) {
 		}
 		switch {
 		case p.rowScan:
-			col, err := e.materializeOperand(item.Expr)
+			col, err := e.materializeOperand(item.Expr, ps)
 			if err != nil {
 				return nil, err
 			}
@@ -422,7 +553,7 @@ func (e *Engine) plan(stmt *sql.SelectStmt) (*plan, error) {
 			if !ok {
 				return nil, fmt.Errorf("exec: aggregates must be top-level calls, got %s", item.Expr)
 			}
-			spec, err := e.compileAggregate(call)
+			spec, err := e.compileAggregate(call, ps)
 			if err != nil {
 				return nil, err
 			}
@@ -433,7 +564,7 @@ func (e *Engine) plan(stmt *sql.SelectStmt) (*plan, error) {
 			p.items = append(p.items, outItem{name: name, groupIdx: -1, aggIdx: len(p.aggs) - 1})
 		default:
 			// Must match a group expression.
-			gi, err := p.matchGroup(e, stmt, item.Expr)
+			gi, err := p.matchGroup(e, stmt, item.Expr, ps)
 			if err != nil {
 				return nil, err
 			}
@@ -447,16 +578,29 @@ func (e *Engine) plan(stmt *sql.SelectStmt) (*plan, error) {
 	// materialized in the datastore").
 	if !p.rowScan && len(p.groupCols) > 1 {
 		p.composite = "composite(" + strings.Join(p.groupCols, "\x1f") + ")"
-		if e.store.Column(p.composite) == nil {
-			if err := e.materializeComposite(p.composite, p.groupCols); err != nil {
+		if !e.store.HasColumn(p.composite) {
+			if err := e.materializeComposite(p.composite, p.groupCols, ps); err != nil {
 				return nil, err
 			}
 		}
 		access[p.composite] = true
 	}
 
+	p.cols = make(map[string]*colstore.Column, len(access))
 	for col := range access {
 		p.accessCols = append(p.accessCols, col)
+		// Pin everything the scan will touch and record the resolved
+		// pointers. Most columns are already held (pinning is idempotent
+		// per set); this sweep catches stragglers such as columns
+		// referenced only inside row-level predicates. Unknown names are
+		// left to fail at evaluation time, as before.
+		if e.store.HasColumn(col) {
+			c, err := ps.Column(col)
+			if err != nil {
+				return nil, err
+			}
+			p.cols[col] = c
+		}
 	}
 	return p, nil
 }
@@ -475,8 +619,8 @@ func (e *Engine) resolveGroupExpr(stmt *sql.SelectStmt, g sql.Expr) (sql.Expr, e
 }
 
 // matchGroup finds which group expression a select item corresponds to.
-func (p *plan) matchGroup(e *Engine, stmt *sql.SelectStmt, x sql.Expr) (int, error) {
-	col, err := e.materializeOperand(x)
+func (p *plan) matchGroup(e *Engine, stmt *sql.SelectStmt, x sql.Expr, ps *colstore.PinSet) (int, error) {
+	col, err := e.materializeOperand(x, ps)
 	if err != nil {
 		return 0, err
 	}
@@ -490,7 +634,7 @@ func (p *plan) matchGroup(e *Engine, stmt *sql.SelectStmt, x sql.Expr) (int, err
 
 // compileAggregate validates an aggregate call and materializes its
 // argument column.
-func (e *Engine) compileAggregate(call *sql.Call) (aggSpec, error) {
+func (e *Engine) compileAggregate(call *sql.Call, ps *colstore.PinSet) (aggSpec, error) {
 	name := strings.ToLower(call.Name)
 	var fn aggFn
 	switch name {
@@ -519,11 +663,15 @@ func (e *Engine) compileAggregate(call *sql.Call) (aggSpec, error) {
 	if len(call.Args) != 1 {
 		return aggSpec{}, fmt.Errorf("exec: %s expects one argument", call.Name)
 	}
-	col, err := e.materializeOperand(call.Args[0])
+	col, err := e.materializeOperand(call.Args[0], ps)
 	if err != nil {
 		return aggSpec{}, err
 	}
-	kind := e.store.Column(col).Kind
+	argCol, err := ps.Column(col)
+	if err != nil {
+		return aggSpec{}, err
+	}
+	kind := argCol.Kind
 	if kind == value.KindString && (fn == aggSum || fn == aggAvg) {
 		return aggSpec{}, fmt.Errorf("exec: %s over string column %q", call.Name, col)
 	}
@@ -533,13 +681,20 @@ func (e *Engine) compileAggregate(call *sql.Call) (aggSpec, error) {
 // materializeComposite builds the combined group-by column: per row, the
 // group columns' global-ids joined into one string key. Using ids (not
 // values) keeps the composite compact and order-preserving per column.
-func (e *Engine) materializeComposite(name string, cols []string) error {
+func (e *Engine) materializeComposite(name string, cols []string, ps *colstore.PinSet) error {
 	colRefs := make([]*colstore.Column, len(cols))
 	for i, cn := range cols {
-		colRefs[i] = e.store.Column(cn)
+		c, err := ps.Column(cn)
+		if err != nil {
+			return err
+		}
+		colRefs[i] = c
 	}
+	// Gated fan-out, like materializeOperand.
+	workers := e.gate.AcquireUpTo(e.parallelism())
+	defer e.gate.Release(workers)
 	vals := make([]value.Value, e.store.NumRows())
-	err := forEachChunk(e.store.NumChunks(), e.parallelism(), nil, func(_, ci int) error {
+	err := forEachChunk(e.store.NumChunks(), workers, nil, func(_, ci int) error {
 		base := e.store.Bounds[ci]
 		rows := e.store.ChunkRows(ci)
 		buf := make([]byte, 0, 9*len(cols))

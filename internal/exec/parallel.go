@@ -108,4 +108,7 @@ func (qs *QueryStats) add(o QueryStats) {
 	qs.RowsSkipped += o.RowsSkipped
 	qs.CellsCovered += o.CellsCovered
 	qs.CellsScanned += o.CellsScanned
+	qs.ColdLoads += o.ColdLoads
+	qs.ColdBytesLoaded += o.ColdBytesLoaded
+	qs.DiskBytesRead += o.DiskBytesRead
 }

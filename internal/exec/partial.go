@@ -54,8 +54,11 @@ func (e *Engine) RunPartial(stmt *sql.SelectStmt) (*Partial, error) {
 	if e.opts.ExactDistinct {
 		return nil, fmt.Errorf("exec: exact count distinct is not multi-level aggregatable (Section 4); use sketches")
 	}
+	ps := e.store.NewPinSet()
+	defer ps.Release()
+	e.prefetchColumns(stmt, ps)
 	e.planMu.Lock()
-	p, err := e.plan(stmt)
+	p, err := e.plan(stmt, ps)
 	e.planMu.Unlock()
 	if err != nil {
 		return nil, err
@@ -67,6 +70,9 @@ func (e *Engine) RunPartial(stmt *sql.SelectStmt) (*Partial, error) {
 	if err != nil {
 		return nil, err
 	}
+	qs.ColdLoads = ps.ColdLoads
+	qs.ColdBytesLoaded = ps.ColdBytesLoaded
+	qs.DiskBytesRead = ps.DiskBytesRead
 	out := &Partial{Stats: qs}
 	for _, it := range p.items {
 		out.Columns = append(out.Columns, it.name)
@@ -84,10 +90,10 @@ func (e *Engine) RunPartial(stmt *sql.SelectStmt) (*Partial, error) {
 				SumF:  accs[j].sumF,
 			}
 			if col := p.aggs[j].argCol; col != "" {
-				cell.SumIsInt = e.store.Column(col).Kind == value.KindInt64
+				cell.SumIsInt = p.col(e, col).Kind == value.KindInt64
 			}
 			if accs[j].hasMM {
-				col := e.store.Column(p.aggs[j].argCol)
+				col := p.col(e, p.aggs[j].argCol)
 				cell.Min = col.Dict.Value(accs[j].minID)
 				cell.Max = col.Dict.Value(accs[j].maxID)
 			}
@@ -156,6 +162,9 @@ func MergePartials(dst, src *Partial) error {
 	dst.Stats.RowsSkipped += src.Stats.RowsSkipped
 	dst.Stats.CellsCovered += src.Stats.CellsCovered
 	dst.Stats.CellsScanned += src.Stats.CellsScanned
+	dst.Stats.ColdLoads += src.Stats.ColdLoads
+	dst.Stats.ColdBytesLoaded += src.Stats.ColdBytesLoaded
+	dst.Stats.DiskBytesRead += src.Stats.DiskBytesRead
 	return nil
 }
 

@@ -44,10 +44,11 @@ type restriction struct {
 	op       rOp
 	children []*restriction // for rAnd, rOr, rNot
 
-	col     string   // leaf column
-	gids    []uint32 // rInSet: sorted global-ids
-	lo, hi  uint32   // rRange: [lo, hi) of global-ids
-	rowExpr sql.Expr // rRowPred: arbitrary row-level fallback
+	col     string           // leaf column
+	colRef  *colstore.Column // resolved (pinned) pointer for col
+	gids    []uint32         // rInSet: sorted global-ids
+	lo, hi  uint32           // rRange: [lo, hi) of global-ids
+	rowExpr sql.Expr         // rRowPred: arbitrary row-level fallback
 }
 
 type rOp uint8
@@ -65,16 +66,18 @@ const (
 // compileRestriction translates a WHERE expression. Any sub-expression
 // whose left side is not a plain column is first materialized as a virtual
 // field by the engine (Section 5), after which it is a plain column again.
-func (e *Engine) compileRestriction(w sql.Expr) (*restriction, error) {
+// Leaf columns are pinned into ps: the compile-time dictionary lookups and
+// the scan both need them resident.
+func (e *Engine) compileRestriction(w sql.Expr, ps *colstore.PinSet) (*restriction, error) {
 	switch n := w.(type) {
 	case *sql.Binary:
 		switch n.Op {
 		case sql.OpAnd, sql.OpOr:
-			l, err := e.compileRestriction(n.L)
+			l, err := e.compileRestriction(n.L, ps)
 			if err != nil {
 				return nil, err
 			}
-			r, err := e.compileRestriction(n.R)
+			r, err := e.compileRestriction(n.R, ps)
 			if err != nil {
 				return nil, err
 			}
@@ -84,24 +87,24 @@ func (e *Engine) compileRestriction(w sql.Expr) (*restriction, error) {
 			}
 			return &restriction{op: op, children: []*restriction{l, r}}, nil
 		case sql.OpEq, sql.OpNe, sql.OpLt, sql.OpLe, sql.OpGt, sql.OpGe:
-			return e.compileComparison(n)
+			return e.compileComparison(n, ps)
 		default:
 			return nil, fmt.Errorf("exec: operator %s is not a predicate", n.Op)
 		}
 	case *sql.Not:
-		child, err := e.compileRestriction(n.X)
+		child, err := e.compileRestriction(n.X, ps)
 		if err != nil {
 			return nil, err
 		}
 		return &restriction{op: rNot, children: []*restriction{child}}, nil
 	case *sql.In:
-		return e.compileIn(n)
+		return e.compileIn(n, ps)
 	}
 	return nil, fmt.Errorf("exec: expression %s is not a predicate", w)
 }
 
 // compileIn maps `X [NOT] IN (literals)` onto a global-id set.
-func (e *Engine) compileIn(n *sql.In) (*restriction, error) {
+func (e *Engine) compileIn(n *sql.In, ps *colstore.PinSet) (*restriction, error) {
 	lits := make([]value.Value, 0, len(n.List))
 	for _, item := range n.List {
 		v, ok := exprLiteral(item)
@@ -111,11 +114,14 @@ func (e *Engine) compileIn(n *sql.In) (*restriction, error) {
 		}
 		lits = append(lits, v)
 	}
-	colName, err := e.materializeOperand(n.X)
+	colName, err := e.materializeOperand(n.X, ps)
 	if err != nil {
 		return nil, err
 	}
-	col := e.store.Column(colName)
+	col, err := ps.Column(colName)
+	if err != nil {
+		return nil, err
+	}
 	gids := make([]uint32, 0, len(lits))
 	for _, v := range lits {
 		v, err := coerceToKind(v, col.Kind)
@@ -130,7 +136,7 @@ func (e *Engine) compileIn(n *sql.In) (*restriction, error) {
 		}
 	}
 	sortUint32s(gids)
-	leaf := &restriction{op: rInSet, col: colName, gids: gids}
+	leaf := &restriction{op: rInSet, col: colName, colRef: col, gids: gids}
 	if n.Negated {
 		return &restriction{op: rNot, children: []*restriction{leaf}}, nil
 	}
@@ -139,7 +145,7 @@ func (e *Engine) compileIn(n *sql.In) (*restriction, error) {
 
 // compileComparison maps `col OP literal` (either side) onto a set or a
 // range leaf; anything else becomes a row predicate.
-func (e *Engine) compileComparison(n *sql.Binary) (*restriction, error) {
+func (e *Engine) compileComparison(n *sql.Binary, ps *colstore.PinSet) (*restriction, error) {
 	lhs, rhs := n.L, n.R
 	op := n.Op
 	if _, isLit := exprLiteral(lhs); isLit {
@@ -152,11 +158,14 @@ func (e *Engine) compileComparison(n *sql.Binary) (*restriction, error) {
 		// Column-to-column or other complex comparison.
 		return &restriction{op: rRowPred, rowExpr: n}, nil
 	}
-	colName, err := e.materializeOperand(lhs)
+	colName, err := e.materializeOperand(lhs, ps)
 	if err != nil {
 		return nil, err
 	}
-	col := e.store.Column(colName)
+	col, err := ps.Column(colName)
+	if err != nil {
+		return nil, err
+	}
 	d := col.Dict
 
 	switch op {
@@ -171,7 +180,7 @@ func (e *Engine) compileComparison(n *sql.Binary) (*restriction, error) {
 				gids = []uint32{id}
 			}
 		}
-		leaf := &restriction{op: rInSet, col: colName, gids: gids}
+		leaf := &restriction{op: rInSet, col: colName, colRef: col, gids: gids}
 		if op == sql.OpNe {
 			return &restriction{op: rNot, children: []*restriction{leaf}}, nil
 		}
@@ -182,7 +191,7 @@ func (e *Engine) compileComparison(n *sql.Binary) (*restriction, error) {
 	if err != nil {
 		return nil, fmt.Errorf("exec: comparing %q: %w", colName, err)
 	}
-	return &restriction{op: rRange, col: colName, lo: lo, hi: hi}, nil
+	return &restriction{op: rRange, col: colName, colRef: col, lo: lo, hi: hi}, nil
 }
 
 // rangeForComparison converts `col OP lit` into the half-open global-id
@@ -325,7 +334,7 @@ func (r *restriction) classify(e *Engine, ci int) triState {
 			return activeSome
 		}
 	case rInSet:
-		ch := e.store.Column(r.col).Chunks[ci]
+		ch := r.colRef.Chunks[ci]
 		if ch.Rows() == 0 || !ch.ContainsAny(r.gids) {
 			return activeNone
 		}
@@ -334,7 +343,7 @@ func (r *restriction) classify(e *Engine, ci int) triState {
 		}
 		return activeSome
 	case rRange:
-		ch := e.store.Column(r.col).Chunks[ci]
+		ch := r.colRef.Chunks[ci]
 		if ch.Rows() == 0 {
 			return activeNone
 		}
@@ -354,17 +363,19 @@ func (r *restriction) classify(e *Engine, ci int) triState {
 	return activeSome
 }
 
-// mask computes the row-selection bitmap of the tree for chunk ci.
-func (r *restriction) mask(e *Engine, ci int) (*enc.Bitmap, error) {
+// mask computes the row-selection bitmap of the tree for chunk ci. p (the
+// compiled plan, nil in tests) supplies pre-resolved pinned column
+// pointers to the row-predicate fallback.
+func (r *restriction) mask(e *Engine, p *plan, ci int) (*enc.Bitmap, error) {
 	rows := e.store.ChunkRows(ci)
 	switch r.op {
 	case rAnd:
-		out, err := r.children[0].mask(e, ci)
+		out, err := r.children[0].mask(e, p, ci)
 		if err != nil {
 			return nil, err
 		}
 		for _, c := range r.children[1:] {
-			m, err := c.mask(e, ci)
+			m, err := c.mask(e, p, ci)
 			if err != nil {
 				return nil, err
 			}
@@ -372,12 +383,12 @@ func (r *restriction) mask(e *Engine, ci int) (*enc.Bitmap, error) {
 		}
 		return out, nil
 	case rOr:
-		out, err := r.children[0].mask(e, ci)
+		out, err := r.children[0].mask(e, p, ci)
 		if err != nil {
 			return nil, err
 		}
 		for _, c := range r.children[1:] {
-			m, err := c.mask(e, ci)
+			m, err := c.mask(e, p, ci)
 			if err != nil {
 				return nil, err
 			}
@@ -385,22 +396,22 @@ func (r *restriction) mask(e *Engine, ci int) (*enc.Bitmap, error) {
 		}
 		return out, nil
 	case rNot:
-		m, err := r.children[0].mask(e, ci)
+		m, err := r.children[0].mask(e, p, ci)
 		if err != nil {
 			return nil, err
 		}
 		m.Not()
 		return m, nil
 	case rInSet:
-		return maskFromChunkPred(e.store.Column(r.col).Chunks[ci], rows, func(gid uint32) bool {
+		return maskFromChunkPred(r.colRef.Chunks[ci], rows, func(gid uint32) bool {
 			return containsUint32(r.gids, gid)
 		}), nil
 	case rRange:
-		return maskFromChunkPred(e.store.Column(r.col).Chunks[ci], rows, func(gid uint32) bool {
+		return maskFromChunkPred(r.colRef.Chunks[ci], rows, func(gid uint32) bool {
 			return gid >= r.lo && gid < r.hi
 		}), nil
 	case rRowPred:
-		return e.rowPredMask(r.rowExpr, ci)
+		return e.rowPredMask(r.rowExpr, p, ci)
 	case rTrue:
 		m := enc.NewBitmap(rows)
 		m.SetAll()
@@ -436,10 +447,10 @@ func maskFromChunkPred(ch *colstore.Chunk, rows int, pred func(gid uint32) bool)
 }
 
 // rowPredMask evaluates an arbitrary predicate per row — the slow path.
-func (e *Engine) rowPredMask(pred sql.Expr, ci int) (*enc.Bitmap, error) {
+func (e *Engine) rowPredMask(pred sql.Expr, p *plan, ci int) (*enc.Bitmap, error) {
 	rows := e.store.ChunkRows(ci)
 	m := enc.NewBitmap(rows)
-	row := newStoreRow(e, ci)
+	row := newStoreRow(e, p, ci)
 	for r := 0; r < rows; r++ {
 		row.row = r
 		ok, err := evalPredRow(pred, row)

@@ -46,13 +46,13 @@ func TestClassifyConsistentWithMask(t *testing.T) {
 		if err != nil {
 			t.Fatalf("parse %q: %v", p, err)
 		}
-		r, err := e.compileRestriction(stmt.Where)
+		r, err := e.compileRestriction(stmt.Where, e.store.NewPinSet())
 		if err != nil {
 			t.Fatalf("compile %q: %v", p, err)
 		}
 		for ci := 0; ci < e.store.NumChunks(); ci++ {
 			state := r.classify(e, ci)
-			mask, err := r.mask(e, ci)
+			mask, err := r.mask(e, nil, ci)
 			if err != nil {
 				t.Fatalf("mask %q chunk %d: %v", p, ci, err)
 			}
@@ -109,13 +109,13 @@ func TestClassifyRandomTrees(t *testing.T) {
 		if err != nil {
 			t.Fatalf("parse %q: %v", p, err)
 		}
-		rt, err := e.compileRestriction(stmt.Where)
+		rt, err := e.compileRestriction(stmt.Where, e.store.NewPinSet())
 		if err != nil {
 			t.Fatalf("compile %q: %v", p, err)
 		}
 		for ci := 0; ci < e.store.NumChunks(); ci++ {
 			state := rt.classify(e, ci)
-			mask, err := rt.mask(e, ci)
+			mask, err := rt.mask(e, nil, ci)
 			if err != nil {
 				t.Fatal(err)
 			}

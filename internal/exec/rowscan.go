@@ -33,11 +33,14 @@ func (e *Engine) executeRowScan(p *plan) (*Result, QueryStats, error) {
 	// Without ORDER BY, stop claiming chunks once LIMIT rows are collected.
 	canStopEarly := len(p.stmt.OrderBy) == 0 && p.stmt.Limit >= 0
 
-	workers := e.chunkWorkers(nChunks)
+	// Admission control: share the engine's worker budget with concurrent
+	// queries (see executeChunks).
+	workers := e.gate.AcquireUpTo(e.chunkWorkers(nChunks))
+	defer e.gate.Release(workers)
 
 	cols := make([]*colstore.Column, len(p.groupCols))
 	for i, cn := range p.groupCols {
-		cols[i] = e.store.Column(cn)
+		cols[i] = p.col(e, cn)
 	}
 
 	chunkRows := make([][][]value.Value, nChunks)
@@ -86,7 +89,7 @@ func (e *Engine) executeRowScan(p *plan) (*Result, QueryStats, error) {
 				emit(r)
 			}
 		} else {
-			mask, err := p.where.mask(e, ci)
+			mask, err := p.where.mask(e, p, ci)
 			if err != nil {
 				return err
 			}

@@ -1,0 +1,299 @@
+// Package memmgr is PowerDrill's byte-budgeted memory manager: the
+// Section 5 mechanism that lets one machine "serve" far more data than fits
+// in RAM. Column data loads lazily from the persisted format on first
+// touch, in-flight scans pin what they are using, and when the budget is
+// exceeded cold columns are evicted through one of the internal/cache
+// replacement policies (2Q by default — scan-resistant, so a one-time full
+// scan cannot flush the interactive working set).
+//
+// The manager tracks two tiers:
+//
+//   - pinned entries: acquired by at least one in-flight query. Never
+//     evicted; their bytes shrink the evictable tier's capacity instead.
+//   - unpinned resident entries: held by the replacement policy, evicted
+//     whenever pinnedBytes + policyBytes would exceed the budget.
+//
+// An entry a query releases re-enters the policy; an entry larger than the
+// remaining capacity is dropped immediately (still counted as an
+// eviction). Pinned bytes may transiently exceed the budget — a query that
+// needs N columns at once must hold all N — which is the "± one working
+// set" slack the accounting documents; steady-state residency is always
+// within the budget.
+//
+// Loads are deduplicated: concurrent Acquire calls for the same key share a
+// single load (the waiters count as hits, the loader as the cold load).
+// Values are immutable after load, so eviction followed by reload is
+// bit-for-bit deterministic.
+package memmgr
+
+import (
+	"math"
+	"sync"
+
+	"powerdrill/internal/cache"
+)
+
+// LoadFunc produces the value for a key on a cold miss. It reports the
+// value's resident (in-memory) size and how many bytes were read from disk
+// to build it — the quantity the paper's Figure 5 charges.
+type LoadFunc func() (value any, residentBytes, diskBytes int64, err error)
+
+// item is the managed unit: the value plus its sizes.
+type item struct {
+	value    any
+	size     int64
+	diskSize int64
+}
+
+// pinEntry is a resident entry held by at least one in-flight query.
+type pinEntry struct {
+	it   *item
+	pins int
+	// hot records that the entry has been accessed more than once, so that
+	// on release it is restored to the policy's frequency tier (Am/T2)
+	// rather than re-entering probation — without this, the pin/release
+	// cycle would demote every entry to first-timer status and the 2Q/ARC
+	// scan resistance would never engage.
+	hot bool
+}
+
+// inflight deduplicates concurrent loads of one key.
+type inflight struct {
+	done chan struct{}
+	err  error
+}
+
+// Stats is a snapshot of the manager's accounting.
+type Stats struct {
+	// BudgetBytes is the configured budget (0 = unlimited).
+	BudgetBytes int64
+	// ResidentBytes is pinned + evictable resident bytes.
+	ResidentBytes int64
+	// PinnedBytes is the portion held by in-flight queries.
+	PinnedBytes int64
+	// ResidentItems counts resident entries across both tiers.
+	ResidentItems int
+	// Hits counts Acquire calls served from resident data.
+	Hits int64
+	// ColdLoads counts Acquire calls that had to load from disk.
+	ColdLoads int64
+	// ColdBytesLoaded sums the resident bytes of cold loads.
+	ColdBytesLoaded int64
+	// DiskBytesRead sums the disk bytes of cold loads.
+	DiskBytesRead int64
+	// Evictions counts entries displaced to satisfy the budget.
+	Evictions int64
+	// EvictedBytes sums the resident bytes of evicted entries.
+	EvictedBytes int64
+	// Policy names the replacement policy ("lru", "2q", "arc").
+	Policy string
+}
+
+// HitRate returns Hits / (Hits + ColdLoads), or 0 before any access.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.ColdLoads
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Manager is the global byte-budget memory manager. One Manager may be
+// shared by many stores (e.g. every shard of a cluster leaf process);
+// callers namespace their keys. All methods are safe for concurrent use.
+type Manager struct {
+	mu sync.Mutex
+
+	budget int64 // 0 = unlimited
+	policy cache.Cache
+	// pinned holds entries with pins > 0; they are not in the policy.
+	pinned      map[string]*pinEntry
+	pinnedBytes int64
+	loading     map[string]*inflight
+
+	hits, coldLoads         int64
+	coldBytes, diskBytes    int64
+	evictions, evictedBytes int64
+}
+
+// unlimitedCapacity stands in for "no budget" so the policies never evict.
+const unlimitedCapacity = math.MaxInt64 / 4
+
+// New creates a manager with the given byte budget (0 or negative =
+// unlimited: columns still load lazily and are tracked, but nothing is ever
+// evicted). policyName selects the replacement policy for unpinned
+// residents: "lru", "arc", or "2q" (the default for any other value).
+func New(budgetBytes int64, policyName string) *Manager {
+	if budgetBytes < 0 {
+		budgetBytes = 0
+	}
+	capacity := budgetBytes
+	if capacity == 0 {
+		capacity = unlimitedCapacity
+	}
+	var policy cache.Cache
+	switch policyName {
+	case "lru":
+		policy = cache.NewLRU(capacity)
+	case "arc":
+		policy = cache.NewARC(capacity)
+	default:
+		policy = cache.NewTwoQ(capacity)
+	}
+	m := &Manager{
+		budget:  budgetBytes,
+		policy:  policy,
+		pinned:  make(map[string]*pinEntry),
+		loading: make(map[string]*inflight),
+	}
+	// The callback runs inside policy calls, which only happen under m.mu.
+	policy.(cache.EvictionNotifier).OnEvict(func(_ string, _ any, size int64) {
+		m.evictions++
+		m.evictedBytes += size
+	})
+	return m
+}
+
+// Budget returns the configured budget in bytes (0 = unlimited).
+func (m *Manager) Budget() int64 { return m.budget }
+
+// evictableCapacity is the byte budget left for unpinned residents.
+// Requires m.mu.
+func (m *Manager) evictableCapacity() int64 {
+	if m.budget == 0 {
+		return unlimitedCapacity
+	}
+	c := m.budget - m.pinnedBytes
+	if c < 0 {
+		c = 0
+	}
+	return c
+}
+
+// syncCapacity pushes the current evictable capacity into the policy,
+// evicting as needed. Requires m.mu.
+func (m *Manager) syncCapacity() {
+	m.policy.(cache.Resizer).SetCapacity(m.evictableCapacity())
+}
+
+// Acquire returns the value for key, pinning it until Release. On a cold
+// miss the value is produced by load (deduplicated across concurrent
+// callers); cold reports whether this call performed the load. Pinned
+// entries are never evicted.
+func (m *Manager) Acquire(key string, load LoadFunc) (value any, cold bool, err error) {
+	m.mu.Lock()
+	for {
+		// Already pinned by another query: share the pin. The second access
+		// proves the entry hot.
+		if p, ok := m.pinned[key]; ok {
+			p.pins++
+			p.hot = true
+			m.hits++
+			m.mu.Unlock()
+			return p.it.value, false, nil
+		}
+		// Resident but unpinned: move from the policy to the pinned tier.
+		// The Get itself is this entry's second-or-later access, so it is
+		// hot by the 2Q/ARC definition.
+		if v, ok := m.policy.Get(key); ok {
+			it := v.(*item)
+			m.policy.Remove(key)
+			m.pinned[key] = &pinEntry{it: it, pins: 1, hot: true}
+			m.pinnedBytes += it.size
+			m.syncCapacity()
+			m.hits++
+			m.mu.Unlock()
+			return it.value, false, nil
+		}
+		// A load is already in flight: wait for it, then retry.
+		if fl, ok := m.loading[key]; ok {
+			m.mu.Unlock()
+			<-fl.done
+			if fl.err != nil {
+				return nil, false, fl.err
+			}
+			m.mu.Lock()
+			continue
+		}
+		break
+	}
+	// Cold miss: this caller performs the load.
+	fl := &inflight{done: make(chan struct{})}
+	m.loading[key] = fl
+	m.mu.Unlock()
+
+	v, size, disk, err := load()
+
+	m.mu.Lock()
+	delete(m.loading, key)
+	if err != nil {
+		fl.err = err
+		close(fl.done)
+		m.mu.Unlock()
+		return nil, false, err
+	}
+	it := &item{value: v, size: size, diskSize: disk}
+	m.pinned[key] = &pinEntry{it: it, pins: 1}
+	m.pinnedBytes += size
+	m.coldLoads++
+	m.coldBytes += size
+	m.diskBytes += disk
+	m.syncCapacity()
+	close(fl.done)
+	m.mu.Unlock()
+	return v, true, nil
+}
+
+// Release drops one pin on key. When the last pin goes, the entry re-enters
+// the replacement policy (or is evicted immediately if it no longer fits
+// the remaining budget). Release of an unknown key is a no-op.
+func (m *Manager) Release(key string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.pinned[key]
+	if !ok {
+		return
+	}
+	p.pins--
+	if p.pins > 0 {
+		return
+	}
+	delete(m.pinned, key)
+	m.pinnedBytes -= p.it.size
+	m.syncCapacity()
+	if p.it.size > m.evictableCapacity() {
+		// Will never fit the evictable tier: drop now. The policies would
+		// silently refuse oversized entries; counting here keeps the
+		// eviction accounting exact.
+		m.evictions++
+		m.evictedBytes += p.it.size
+		return
+	}
+	m.policy.Put(key, p.it, p.it.size)
+	if p.hot {
+		// Restore frequency-tier status: the Put re-entered probation
+		// (Acquire removed the entry and its ghost), so replay one access
+		// to promote it back to Am/T2. Policy-internal hit counters move,
+		// but the manager reports its own counters, not the policy's.
+		m.policy.Get(key)
+	}
+}
+
+// Stats returns a snapshot of the manager's accounting.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{
+		BudgetBytes:     m.budget,
+		ResidentBytes:   m.pinnedBytes + m.policy.SizeBytes(),
+		PinnedBytes:     m.pinnedBytes,
+		ResidentItems:   len(m.pinned) + m.policy.Len(),
+		Hits:            m.hits,
+		ColdLoads:       m.coldLoads,
+		ColdBytesLoaded: m.coldBytes,
+		DiskBytesRead:   m.diskBytes,
+		Evictions:       m.evictions,
+		EvictedBytes:    m.evictedBytes,
+		Policy:          m.policy.Name(),
+	}
+}

@@ -26,8 +26,12 @@
 package powerdrill
 
 import (
+	"fmt"
+
+	"powerdrill/internal/cache"
 	"powerdrill/internal/colstore"
 	"powerdrill/internal/exec"
+	"powerdrill/internal/memmgr"
 	"powerdrill/internal/table"
 	"powerdrill/internal/value"
 	"powerdrill/internal/workload"
@@ -107,7 +111,21 @@ type Options struct {
 	ExactDistinct bool
 	// Parallelism is the number of workers one query fans its chunk scans
 	// out over; 0 uses all cores (runtime.GOMAXPROCS), 1 is sequential.
+	// Concurrent queries share this worker budget through an admission
+	// gate, so N queries degrade smoothly instead of spawning
+	// N × Parallelism goroutines.
 	Parallelism int
+
+	// MemoryBudgetBytes bounds the resident bytes of disk-backed columns
+	// for stores opened with Open: columns load lazily on first touch and
+	// cold columns are evicted when the budget is exceeded (the paper's
+	// Section 5 — only a fraction of the data needs to reside in RAM).
+	// 0 means unlimited: columns still load lazily but nothing is evicted.
+	// Ignored by Build, whose store is fully resident by construction.
+	MemoryBudgetBytes int64
+	// MemoryPolicy selects the column eviction policy for Open: "lru",
+	// "2q" (default) or "arc".
+	MemoryPolicy string
 }
 
 func (o Options) storeOptions() colstore.Options {
@@ -203,15 +221,55 @@ func (s *Store) Save(dir, codec string) error {
 	return colstore.Save(s.store, dir, codec)
 }
 
-// Open loads a store persisted with Save. It reports the bytes read, the
-// quantity the paper's Figure 5 charges as disk load.
+// MemoryStats is a snapshot of the memory manager's accounting: budget,
+// resident/pinned bytes, cold loads, evictions, hit rate.
+type MemoryStats = memmgr.Stats
+
+// CacheStats holds the result cache's hit/miss/eviction counters.
+type CacheStats = cache.Stats
+
+// Open loads a store persisted with Save lazily: only the manifest is read
+// up front (the returned byte count), and columns materialize from disk on
+// first touch, governed by Options.MemoryBudgetBytes. A store opened this
+// way answers every query bit-for-bit identically to a fully resident one;
+// per-query cold-load counts appear in Result.Stats, cumulative disk bytes
+// in EngineStats — the quantity the paper's Figure 5 charges as disk load.
 func Open(dir string, opts Options) (*Store, int64, error) {
-	cs, stats, err := colstore.Open(dir)
+	if err := validateMemoryPolicy(opts.MemoryPolicy); err != nil {
+		return nil, 0, err
+	}
+	mgr := memmgr.New(opts.MemoryBudgetBytes, opts.MemoryPolicy)
+	cs, stats, err := colstore.OpenLazy(dir, mgr)
 	if err != nil {
 		return nil, 0, err
 	}
 	return &Store{store: cs, engine: exec.New(cs, opts.engineOptions()), opts: opts}, stats.BytesRead, nil
 }
+
+// validateMemoryPolicy rejects unknown policy names instead of silently
+// falling back to the default, so a typo in a config cannot quietly run the
+// wrong eviction policy.
+func validateMemoryPolicy(p string) error {
+	switch p {
+	case "", "lru", "2q", "arc":
+		return nil
+	}
+	return fmt.Errorf("powerdrill: unknown memory policy %q (want lru, 2q or arc)", p)
+}
+
+// MemStats reports the memory manager's accounting; ok is false for stores
+// built in memory (Build), which have no manager.
+func (s *Store) MemStats() (MemoryStats, bool) {
+	mgr := s.store.MemManager()
+	if mgr == nil {
+		return MemoryStats{}, false
+	}
+	return mgr.Stats(), true
+}
+
+// ResultCacheStats returns the per-chunk result cache's counters; ok is
+// false when the cache is disabled.
+func (s *Store) ResultCacheStats() (CacheStats, bool) { return s.engine.CacheStats() }
 
 // internalStore exposes the underlying store to sibling files (cluster,
 // bench) without widening the public API.

@@ -151,3 +151,167 @@ func TestPublicAPIBuildFromScratch(t *testing.T) {
 		t.Fatalf("rows = %v", res.Rows)
 	}
 }
+
+// TestMemoryBudgetedOpenAcceptance is the PR's acceptance criterion: a
+// store opened with MemoryBudgetBytes at ~25% of its resident footprint
+// answers the full query-log workload bit-for-bit identically to an
+// unbudgeted store, stays under the budget (± the pinned working set) per
+// the manager's accounting, and shows cold loads on first touch but zero
+// on a warm repeat.
+func TestMemoryBudgetedOpenAcceptance(t *testing.T) {
+	tbl := GenerateQueryLogs(6000, 2012)
+	built, err := Build(tbl, Options{
+		PartitionFields:  []string{"country", "table_name"},
+		MaxChunkRows:     500,
+		OptimizeElements: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := built.Save(dir, "zippy"); err != nil {
+		t.Fatal(err)
+	}
+	footprint, err := built.Memory(built.Columns()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := footprint.Total() / 4
+
+	budgeted, _, err := Open(dir, Options{MemoryBudgetBytes: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unbudgeted, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	queries := []string{
+		`SELECT country, COUNT(*) AS c FROM data GROUP BY country ORDER BY c DESC LIMIT 10;`,
+		`SELECT table_name, COUNT(*) AS c FROM data GROUP BY table_name ORDER BY c DESC, table_name ASC LIMIT 10;`,
+		`SELECT user, SUM(latency) AS s FROM data GROUP BY user ORDER BY s DESC, user ASC LIMIT 10;`,
+		`SELECT date(timestamp), COUNT(*) AS c FROM data GROUP BY date(timestamp) ORDER BY date(timestamp) ASC LIMIT 14;`,
+		`SELECT country, table_name, SUM(latency) AS s FROM data WHERE latency > 200 GROUP BY country, table_name ORDER BY s DESC, country ASC, table_name ASC LIMIT 15;`,
+		`SELECT table_name, MAX(latency) AS m FROM data WHERE country IN ("US", "JP") GROUP BY table_name ORDER BY m DESC, table_name ASC LIMIT 10;`,
+	}
+	sawCold := false
+	for pass := 0; pass < 2; pass++ {
+		for _, q := range queries {
+			want, err := unbudgeted.Query(q)
+			if err != nil {
+				t.Fatalf("unbudgeted %s: %v", q, err)
+			}
+			got, err := budgeted.Query(q)
+			if err != nil {
+				t.Fatalf("budgeted %s: %v", q, err)
+			}
+			if len(want.Rows) != len(got.Rows) {
+				t.Fatalf("%s: %d vs %d rows", q, len(want.Rows), len(got.Rows))
+			}
+			for i := range want.Rows {
+				for j := range want.Rows[i] {
+					if !want.Rows[i][j].Equal(got.Rows[i][j]) {
+						t.Fatalf("%s: row %d col %d: %v != %v", q, i, j, want.Rows[i][j], got.Rows[i][j])
+					}
+				}
+			}
+			if got.Stats.ColdLoads > 0 {
+				sawCold = true
+			}
+			st, ok := budgeted.MemStats()
+			if !ok {
+				t.Fatal("budgeted store has no MemStats")
+			}
+			if st.ResidentBytes-st.PinnedBytes > budget {
+				t.Fatalf("evictable resident %d exceeds budget %d", st.ResidentBytes-st.PinnedBytes, budget)
+			}
+		}
+	}
+	if !sawCold {
+		t.Fatal("no cold loads under a 25% budget")
+	}
+	st, _ := budgeted.MemStats()
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions under a 25%% budget: %+v", st)
+	}
+
+	// Cold on first touch, zero cold on a warm repeat (unbudgeted store
+	// retains everything it loaded).
+	warmQ := queries[0]
+	repeat, err := unbudgeted.Query(warmQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repeat.Stats.ColdLoads != 0 {
+		t.Fatalf("warm repeat reported %d cold loads", repeat.Stats.ColdLoads)
+	}
+	if ms, ok := unbudgeted.MemStats(); !ok || ms.ColdLoads == 0 || ms.Evictions != 0 {
+		t.Fatalf("unbudgeted MemStats = %+v, ok=%v", ms, ok)
+	}
+}
+
+// TestOpenClusterLazyShards persists shards and reassembles them into a
+// lazily loaded cluster sharing one memory budget, checking answers against
+// a single resident store over the same data.
+func TestOpenClusterLazyShards(t *testing.T) {
+	tbl := GenerateQueryLogs(6000, 9)
+	whole, err := Build(tbl, Options{
+		PartitionFields:  []string{"country", "table_name"},
+		MaxChunkRows:     500,
+		OptimizeElements: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dirs []string
+	for i, shard := range tbl.Shard(3) {
+		s, err := Build(shard, Options{
+			PartitionFields:  []string{"country", "table_name"},
+			MaxChunkRows:     500,
+			OptimizeElements: true,
+		})
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		dir := t.TempDir()
+		if err := s.Save(dir, "zippy"); err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		dirs = append(dirs, dir)
+	}
+	c, err := OpenCluster(dirs, ClusterOptions{
+		Replicas: 2,
+		Store:    Options{MemoryBudgetBytes: 1 << 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{
+		`SELECT country, COUNT(*) AS c FROM data GROUP BY country ORDER BY c DESC, country ASC LIMIT 10;`,
+		`SELECT table_name, SUM(latency) AS s FROM data GROUP BY table_name ORDER BY s DESC, table_name ASC LIMIT 10;`,
+	} {
+		want, err := whole.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want.Rows) != len(got.Rows) {
+			t.Fatalf("%s: %d vs %d rows", q, len(want.Rows), len(got.Rows))
+		}
+		for i := range want.Rows {
+			for j := range want.Rows[i] {
+				if !want.Rows[i][j].Equal(got.Rows[i][j]) {
+					t.Fatalf("%s: row %d col %d: %v != %v", q, i, j, want.Rows[i][j], got.Rows[i][j])
+				}
+			}
+		}
+	}
+	st, ok := c.MemStats()
+	if !ok || st.ColdLoads == 0 {
+		t.Fatalf("cluster MemStats = %+v, ok=%v", st, ok)
+	}
+}
