@@ -19,6 +19,7 @@
 //	pdbench -exp skipping            # ablation: Section 2.2 on/off
 //	pdbench -exp partitionorder      # ablation: field-order sensitivity
 //	pdbench -exp coldstart           # Section 5 byte-budgeted lazy loading
+//	pdbench -exp chunkres            # chunk-granular residency vs selectivity
 //
 // Absolute numbers depend on the host; the relationships (who wins, by
 // what factor, where curves bend) are the reproduction target. See
@@ -53,6 +54,7 @@ var experiments = []struct {
 	{"partitionorder", "Ablation: partition field order sensitivity", runPartitionOrder},
 	{"layers", "Ablation: two-layer (uncompressed/compressed) hybrid", runLayers},
 	{"coldstart", "Section 5: byte-budgeted lazy loading, cold vs warm", runColdStart},
+	{"chunkres", "Section 5: chunk-granular residency vs restriction selectivity", runChunkRes},
 }
 
 // config carries the shared experiment parameters.

@@ -221,11 +221,13 @@ func runQuery(args []string) error {
 		printResult(res)
 		warmth := "warm"
 		if res.Stats.ColdLoads > 0 {
-			warmth = fmt.Sprintf("cold: %d columns, %.2f MB from disk",
-				res.Stats.ColdLoads, float64(res.Stats.DiskBytesRead)/1e6)
+			warmth = fmt.Sprintf("cold: %d columns (%d chunks, %d dicts), %.2f MB from disk",
+				res.Stats.ColdLoads, res.Stats.ColdChunkLoads, res.Stats.ColdDictLoads,
+				float64(res.Stats.DiskBytesRead)/1e6)
 		}
-		fmt.Printf("-- %d rows in %v; chunks: %d skipped, %d cached, %d scanned; %s\n\n",
+		fmt.Printf("-- %d rows in %v; chunks: %d/%d active, %d skipped, %d cached, %d scanned; %s\n\n",
 			len(res.Rows), elapsed.Round(time.Microsecond),
+			res.Stats.ActiveChunks, res.Stats.ChunksTotal,
 			res.Stats.ChunksSkipped, res.Stats.ChunksCached, res.Stats.ChunksScanned, warmth)
 		return nil
 	}
@@ -235,8 +237,8 @@ func runQuery(args []string) error {
 			if ms.BudgetBytes > 0 {
 				budget = fmt.Sprintf("%.2f MB", float64(ms.BudgetBytes)/1e6)
 			}
-			fmt.Printf("memory: %.2f MB resident (budget %s, policy %s); %d cold loads, %d evictions, %.0f%% column hit rate\n",
-				float64(ms.ResidentBytes)/1e6, budget, ms.Policy,
+			fmt.Printf("memory: %.2f MB resident in %d entries (budget %s, policy %s); %d cold loads, %d evictions, %.0f%% hit rate\n",
+				float64(ms.ResidentBytes)/1e6, ms.ResidentItems, budget, ms.Policy,
 				ms.ColdLoads, ms.Evictions, 100*ms.HitRate())
 		}
 	}()

@@ -51,6 +51,13 @@ func TestStatzHandler(t *testing.T) {
 	if p.Engine.Queries != 1 {
 		t.Fatalf("engine queries = %d", p.Engine.Queries)
 	}
+	if p.Engine.ActiveChunks == 0 {
+		t.Fatalf("engine active chunks = %d", p.Engine.ActiveChunks)
+	}
+	if p.Engine.ColdChunkLoads == 0 || p.Engine.ColdDictLoads == 0 {
+		t.Fatalf("chunk-granular cold counters = %d/%d",
+			p.Engine.ColdChunkLoads, p.Engine.ColdDictLoads)
+	}
 	if p.Memory == nil {
 		t.Fatal("memory section missing for a lazily opened store")
 	}

@@ -22,10 +22,13 @@ type statzPayload struct {
 }
 
 type memorySection struct {
-	BudgetBytes     int64   `json:"budget_bytes"`
-	ResidentBytes   int64   `json:"resident_bytes"`
-	PinnedBytes     int64   `json:"pinned_bytes"`
-	ResidentColumns int     `json:"resident_columns"`
+	BudgetBytes   int64 `json:"budget_bytes"`
+	ResidentBytes int64 `json:"resident_bytes"`
+	PinnedBytes   int64 `json:"pinned_bytes"`
+	// ResidentItems counts resident manager entries. On a chunk-granular
+	// store an entry is one (column, chunk) pair or one dictionary; on
+	// stores saved before the chunk layout, one whole column.
+	ResidentItems   int     `json:"resident_items"`
 	ColdLoads       int64   `json:"cold_loads"`
 	ColdBytesLoaded int64   `json:"cold_bytes_loaded"`
 	DiskBytesRead   int64   `json:"disk_bytes_read"`
@@ -36,12 +39,19 @@ type memorySection struct {
 }
 
 type engineSection struct {
-	Queries         int64 `json:"queries"`
-	ChunksSkipped   int64 `json:"chunks_skipped"`
-	ChunksCached    int64 `json:"chunks_cached"`
-	ChunksScanned   int64 `json:"chunks_scanned"`
-	CellsScanned    int64 `json:"cells_scanned"`
+	Queries       int64 `json:"queries"`
+	ChunksSkipped int64 `json:"chunks_skipped"`
+	ChunksCached  int64 `json:"chunks_cached"`
+	ChunksScanned int64 `json:"chunks_scanned"`
+	CellsScanned  int64 `json:"cells_scanned"`
+	// ActiveChunks/SkippedChunks split every query's chunks by the
+	// pre-scan residency analysis: only active chunks are ever loaded
+	// (and charged to the budget) on a chunk-granular store.
+	ActiveChunks    int64 `json:"active_chunks"`
+	SkippedChunks   int64 `json:"skipped_chunks"`
 	ColdLoads       int64 `json:"cold_loads"`
+	ColdChunkLoads  int64 `json:"cold_chunk_loads"`
+	ColdDictLoads   int64 `json:"cold_dict_loads"`
 	ColdBytesLoaded int64 `json:"cold_bytes_loaded"`
 	DiskBytesRead   int64 `json:"disk_bytes_read"`
 }
@@ -66,7 +76,11 @@ func statzHandler(store *powerdrill.Store) http.Handler {
 				ChunksCached:    es.ChunksCached,
 				ChunksScanned:   es.ChunksScanned,
 				CellsScanned:    es.CellsScanned,
+				ActiveChunks:    es.ActiveChunks,
+				SkippedChunks:   es.SkippedChunks,
 				ColdLoads:       es.ColdLoads,
+				ColdChunkLoads:  es.ColdChunkLoads,
+				ColdDictLoads:   es.ColdDictLoads,
 				ColdBytesLoaded: es.ColdBytesLoaded,
 				DiskBytesRead:   es.DiskBytesRead,
 			},
@@ -76,7 +90,7 @@ func statzHandler(store *powerdrill.Store) http.Handler {
 				BudgetBytes:     ms.BudgetBytes,
 				ResidentBytes:   ms.ResidentBytes,
 				PinnedBytes:     ms.PinnedBytes,
-				ResidentColumns: ms.ResidentItems,
+				ResidentItems:   ms.ResidentItems,
 				ColdLoads:       ms.ColdLoads,
 				ColdBytesLoaded: ms.ColdBytesLoaded,
 				DiskBytesRead:   ms.DiskBytesRead,

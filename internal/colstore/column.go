@@ -1,18 +1,7 @@
-// Package colstore implements the paper's core contribution: the
-// partitioned, doubly dictionary-encoded column layout of Section 2.3.
-//
-// Every column stores its values in two indirections:
-//
-//	value = globalDict[ chunkDict[ elements[row] ] ]
-//
-// The global-dictionary holds the sorted distinct values of the whole
-// column; per chunk, a chunk-dictionary maps the global-ids occurring in
-// that chunk to dense chunk-ids (assigned in ascending global-id order);
-// the elements are the per-row chunk-ids. The layout gives cheap chunk
-// skipping (probe the chunk-dictionaries), small footprints (elements come
-// from a small dense range, see package enc), and a group-by inner loop
-// that is a dense counts-array increment (Section 2.4).
 package colstore
+
+// This file holds the in-memory column and chunk types of the doubly
+// dictionary-encoded layout; see doc.go for the package overview.
 
 import (
 	"fmt"

@@ -1,0 +1,50 @@
+// Package colstore implements the paper's core contribution: the
+// partitioned, doubly dictionary-encoded column layout of Section 2.3,
+// its on-disk format, and the Section 5 machinery that keeps only the
+// active fraction of it in RAM.
+//
+// # Layout
+//
+// Every column stores its values in two indirections:
+//
+//	value = globalDict[ chunkDict[ elements[row] ] ]
+//
+// The global-dictionary holds the sorted distinct values of the whole
+// column; per chunk, a chunk-dictionary maps the global-ids occurring in
+// that chunk to dense chunk-ids (assigned in ascending global-id order);
+// the elements are the per-row chunk-ids. The layout gives cheap chunk
+// skipping (probe the chunk-dictionaries), small footprints (elements come
+// from a small dense range, see package enc), and a group-by inner loop
+// that is a dense counts-array increment (Section 2.4).
+//
+// # Persistence
+//
+// Save writes a manifest.json plus one binary file per column:
+// dictionary header first, then length-prefixed chunk records. The
+// manifest also records, per column, the dictionary's byte length and
+// each chunk's global-id span and byte range (see manifestChunk) — enough
+// metadata to decide which chunks a restriction can match, and to load
+// any single dictionary or chunk, without touching the rest of the file.
+//
+// # Lazy stores and the Reader
+//
+// Open loads a store eagerly; OpenLazy reads only the manifest and
+// materializes data on demand through a memmgr.Manager. The residency
+// unit is the (column, chunk) pair plus one entry per global dictionary;
+// stores saved before the manifest carried the chunk layout fall back to
+// whole-column entries (Store.ChunkGranular distinguishes them). Reader
+// is the stateless decoding layer underneath: LoadColumn, LoadColumnDict
+// and LoadColumnChunk each go straight to the files.
+//
+// # The PinSet-first contract
+//
+// Query execution must access lazy columns through a PinSet: it pins
+// every dictionary and chunk the query touches from first touch until
+// Release, carries load errors, and counts per-query cold loads. The
+// convenience accessor Store.Column cannot report why a load failed (it
+// returns nil; Store.ColumnErr surfaces the error) and leaves data
+// unpinned — it exists for resident stores, tooling and tests. Engine
+// code resolves columns during planning via PinSet and caches the
+// pointers in the plan, so the scan hot path never takes the manager's
+// mutex.
+package colstore

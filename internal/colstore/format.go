@@ -34,6 +34,24 @@ type manifestCol struct {
 	Kind    string `json:"kind"`
 	Virtual bool   `json:"virtual,omitempty"`
 	File    string `json:"file"`
+	// DictLen is the byte length of the dictionary header at the start of
+	// the (uncompressed) column stream; 0 on manifests written before
+	// chunk-granular residency, which fall back to whole-column loads.
+	DictLen int64 `json:"dict_len,omitempty"`
+	// Chunks is the per-chunk layout: value span for restriction pruning
+	// and the byte range of each chunk record, so a single chunk can be
+	// loaded without touching the rest of the column.
+	Chunks []manifestChunk `json:"chunks,omitempty"`
+}
+
+// manifestChunk records one chunk's residency metadata: the global-id span
+// of its chunk-dictionary (Min > Max marks an empty chunk) and the byte
+// range [Off, Off+Len) of its record in the uncompressed column stream.
+type manifestChunk struct {
+	Min uint32 `json:"min"`
+	Max uint32 `json:"max"`
+	Off int64  `json:"off"`
+	Len int64  `json:"len"`
 }
 
 type manifestOpts struct {
@@ -81,7 +99,7 @@ func Save(s *Store, dir, codecName string) error {
 			return fmt.Errorf("colstore: save column %q: %w", name, err)
 		}
 		file := fmt.Sprintf("col_%04d.bin", i)
-		raw := encodeColumn(col)
+		raw, dictLen, chunkMetas := encodeColumn(col)
 		ps.Release()
 		if codec != nil {
 			raw = codec.Compress(nil, raw)
@@ -91,6 +109,7 @@ func Save(s *Store, dir, codecName string) error {
 		}
 		m.Columns = append(m.Columns, manifestCol{
 			Name: name, Kind: col.Kind.String(), Virtual: col.Virtual, File: file,
+			DictLen: dictLen, Chunks: chunkMetas,
 		})
 	}
 	blob, err := json.MarshalIndent(&m, "", "  ")
@@ -103,8 +122,11 @@ func Save(s *Store, dir, codecName string) error {
 	return nil
 }
 
-// encodeColumn renders a column's dictionary and chunks.
-func encodeColumn(col *Column) []byte {
+// encodeColumn renders a column's dictionary and chunks. Alongside the raw
+// stream it reports the layout the manifest records for chunk-granular
+// loads: the dictionary's byte length and each chunk's value span and byte
+// range within the stream.
+func encodeColumn(col *Column) (raw []byte, dictLen int64, chunkMetas []manifestChunk) {
 	var out []byte
 	// Dictionary: count then kind-specific payload.
 	out = appendUvarint(out, uint64(col.Dict.Len()))
@@ -124,9 +146,17 @@ func encodeColumn(col *Column) []byte {
 			out = appendLE64(out, floatBitsOf(col.Dict.Value(uint32(i)).Float()))
 		}
 	}
+	dictLen = int64(len(out))
 	// Chunks.
 	out = appendUvarint(out, uint64(len(col.Chunks)))
 	for _, ch := range col.Chunks {
+		meta := manifestChunk{Off: int64(len(out))}
+		if len(ch.GlobalIDs) > 0 {
+			meta.Min = ch.GlobalIDs[0]
+			meta.Max = ch.GlobalIDs[len(ch.GlobalIDs)-1]
+		} else {
+			meta.Min, meta.Max = 1, 0 // Min > Max: empty chunk
+		}
 		out = appendUvarint(out, uint64(len(ch.GlobalIDs)))
 		prev := uint32(0)
 		for i, g := range ch.GlobalIDs {
@@ -142,8 +172,10 @@ func encodeColumn(col *Column) []byte {
 		payload := ch.Elems.AppendBytes(nil)
 		out = appendUvarint(out, uint64(len(payload)))
 		out = append(out, payload...)
+		meta.Len = int64(len(out)) - meta.Off
+		chunkMetas = append(chunkMetas, meta)
 	}
-	return out
+	return out, dictLen, chunkMetas
 }
 
 // DiskStats reports how many bytes Open read, the quantity Figure 5's

@@ -4,18 +4,26 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 
 	"powerdrill/internal/compress"
+	"powerdrill/internal/dict"
 	"powerdrill/internal/memmgr"
 	"powerdrill/internal/value"
 )
 
 // This file implements the Section 5 "only a fraction of the data needs to
-// reside in RAM" machinery: a Reader that decodes a single column (or a
-// single chunk) from the persisted format, a lazily loaded Store whose
-// physical columns are materialized on first touch through a
-// memmgr.Manager, and the PinSet queries use to keep the columns they are
-// scanning resident while cold data gets evicted around them.
+// reside in RAM" machinery: a Reader that decodes a single column, a single
+// dictionary or a single chunk from the persisted format, a lazily loaded
+// Store whose data is materialized on first touch through a memmgr.Manager,
+// and the PinSet queries use to keep exactly the pieces they are scanning
+// resident while cold data gets evicted around them.
+//
+// The unit of residency is the (column, chunk) pair plus one entry per
+// global dictionary: a restricted query that scans k of n chunks pins the
+// dictionaries of its columns and the k active chunks of each, nothing
+// else. Stores saved before the manifest carried a chunk layout fall back
+// to whole-column residency (see Store.ChunkGranular).
 
 // ColumnMeta describes a persisted column without loading its data.
 type ColumnMeta struct {
@@ -24,9 +32,31 @@ type ColumnMeta struct {
 	Virtual bool
 }
 
-// Reader decodes individual columns and chunks from a store persisted with
-// Save. It keeps no column data itself — every Load call goes back to the
-// files — so it is the natural Provider behind a budget-managed store.
+// ChunkSpan is the residency metadata of one chunk of one column: the
+// bounds of the global-ids occurring in it. Because global dictionaries are
+// sorted, the span bounds the chunk's values, which lets the engine decide
+// from the manifest alone whether a restriction can match the chunk —
+// before loading any chunk data. MinGID > MaxGID marks an empty chunk.
+type ChunkSpan struct {
+	MinGID uint32
+	MaxGID uint32
+}
+
+// Empty reports whether the chunk holds no values.
+func (sp ChunkSpan) Empty() bool { return sp.MinGID > sp.MaxGID }
+
+// spanOf summarizes a built chunk.
+func spanOf(ch *Chunk) ChunkSpan {
+	if len(ch.GlobalIDs) == 0 {
+		return ChunkSpan{MinGID: 1, MaxGID: 0}
+	}
+	return ChunkSpan{MinGID: ch.GlobalIDs[0], MaxGID: ch.GlobalIDs[len(ch.GlobalIDs)-1]}
+}
+
+// Reader decodes individual columns, dictionaries and chunks from a store
+// persisted with Save. It keeps no column data itself — every Load call
+// goes back to the files — so it is the natural provider behind a
+// budget-managed store.
 type Reader struct {
 	dir  string
 	m    *manifest
@@ -72,6 +102,14 @@ func (r *Reader) Columns() []ColumnMeta {
 // Bounds returns the store's chunk row boundaries.
 func (r *Reader) Bounds() []int { return r.m.Bounds }
 
+// hasLayout reports whether a manifest entry carries the chunk-granular
+// layout (dictionary length plus per-chunk spans and byte ranges).
+// Manifests written before this layout existed lack it and are served at
+// whole-column granularity.
+func (r *Reader) hasLayout(mc manifestCol) bool {
+	return mc.DictLen > 0 && len(mc.Chunks) == len(r.m.Bounds)-1
+}
+
 // rawColumn reads and decompresses one column file.
 func (r *Reader) rawColumn(name string) (raw []byte, diskBytes int64, kind value.Kind, virtual bool, err error) {
 	mc, ok := r.cols[name]
@@ -99,6 +137,20 @@ func (r *Reader) rawColumn(name string) (raw []byte, diskBytes int64, kind value
 	return raw, diskBytes, kind, mc.Virtual, nil
 }
 
+// readFileRange reads exactly [off, off+n) of a file.
+func readFileRange(path string, off, n int64) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, n)
+	if _, err := f.ReadAt(buf, off); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
 // LoadColumn decodes the named column in full. diskBytes is the on-disk
 // (compressed) size actually read.
 func (r *Reader) LoadColumn(name string) (*Column, int64, error) {
@@ -113,13 +165,78 @@ func (r *Reader) LoadColumn(name string) (*Column, int64, error) {
 	return col, diskBytes, nil
 }
 
-// LoadColumnChunk decodes a single chunk of the named column, skipping the
-// dictionary payload and the other chunks' data (when the store is
-// compressed as a whole the file is still read and decompressed, but only
-// the requested chunk is materialized). It exists for finer-than-column
-// residency experiments; the memory manager currently evicts at column
-// granularity.
+// LoadColumnDict decodes only the named column's global dictionary. On an
+// uncompressed store with a chunk layout just the dictionary's byte range
+// is read from disk; otherwise the whole file is read (and decompressed)
+// but only the dictionary is materialized.
+func (r *Reader) LoadColumnDict(name string) (dict.Dict, int64, error) {
+	mc, ok := r.cols[name]
+	if !ok {
+		return nil, 0, fmt.Errorf("colstore: unknown column %q", name)
+	}
+	kind, err := value.ParseKind(mc.Kind)
+	if err != nil {
+		return nil, 0, fmt.Errorf("colstore: column %q: %w", name, err)
+	}
+	if r.m.Codec == "" && r.hasLayout(mc) {
+		raw, err := readFileRange(filepath.Join(r.dir, mc.File), 0, mc.DictLen)
+		if err != nil {
+			return nil, 0, fmt.Errorf("colstore: load dictionary of %q: %w", name, err)
+		}
+		d, err := decodeDict(&byteReader{buf: raw}, kind, r.sd)
+		if err != nil {
+			return nil, 0, fmt.Errorf("colstore: column %q: %w", name, err)
+		}
+		return d, mc.DictLen, nil
+	}
+	raw, diskBytes, kind, _, err := r.rawColumn(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	d, err := decodeDict(&byteReader{buf: raw}, kind, r.sd)
+	if err != nil {
+		return nil, 0, fmt.Errorf("colstore: column %q: %w", name, err)
+	}
+	return d, diskBytes, nil
+}
+
+// LoadColumnChunk decodes a single chunk of the named column. With a chunk
+// layout in the manifest the chunk's byte range is read directly (on an
+// uncompressed store nothing else is touched; a store compressed as a
+// whole still reads and decompresses the file, but only the requested
+// chunk is materialized). Without a layout the reader walks the stream,
+// skipping the dictionary and the preceding chunks.
 func (r *Reader) LoadColumnChunk(name string, chunk int) (*Chunk, int64, error) {
+	mc, ok := r.cols[name]
+	if ok && r.hasLayout(mc) {
+		if chunk < 0 || chunk >= len(mc.Chunks) {
+			return nil, 0, fmt.Errorf("colstore: column %q has %d chunks, want %d", name, len(mc.Chunks), chunk)
+		}
+		meta := mc.Chunks[chunk]
+		if r.m.Codec == "" {
+			raw, err := readFileRange(filepath.Join(r.dir, mc.File), meta.Off, meta.Len)
+			if err != nil {
+				return nil, 0, fmt.Errorf("colstore: load column %q chunk %d: %w", name, chunk, err)
+			}
+			ch, err := decodeChunk(&byteReader{buf: raw})
+			if err != nil {
+				return nil, 0, fmt.Errorf("colstore: column %q chunk %d: %w", name, chunk, err)
+			}
+			return ch, meta.Len, nil
+		}
+		raw, diskBytes, _, _, err := r.rawColumn(name)
+		if err != nil {
+			return nil, 0, err
+		}
+		if meta.Off+meta.Len > int64(len(raw)) {
+			return nil, 0, fmt.Errorf("colstore: column %q chunk %d: %w", name, chunk, errTruncated)
+		}
+		ch, err := decodeChunk(&byteReader{buf: raw[meta.Off : meta.Off+meta.Len]})
+		if err != nil {
+			return nil, 0, fmt.Errorf("colstore: column %q chunk %d: %w", name, chunk, err)
+		}
+		return ch, diskBytes, nil
+	}
 	raw, diskBytes, kind, _, err := r.rawColumn(name)
 	if err != nil {
 		return nil, 0, err
@@ -182,16 +299,36 @@ type lazySource struct {
 	// Replicas opened from the same directory share entries by design: the
 	// data is immutable and identical.
 	ns string
+	// spans holds each laid-out column's per-chunk value spans, straight
+	// from the manifest — the metadata restriction pruning runs on.
+	spans map[string][]ChunkSpan
+	// chunked is true when every persisted column carries a chunk layout,
+	// enabling (column, chunk) residency. Immutable after OpenLazy.
+	chunked bool
 }
 
 func (l *lazySource) key(col string) string { return l.ns + "\x00" + col }
 
+// dictKey and chunkKey name the chunk-granular residency units inside the
+// manager: one entry per global dictionary, one per (column, chunk) pair.
+func (l *lazySource) dictKey(col string) string { return l.ns + "\x00" + col + "#dict" }
+
+func (l *lazySource) chunkKey(col string, ci int) string {
+	return l.ns + "\x00" + col + "#" + strconv.Itoa(ci)
+}
+
 // OpenLazy opens a persisted store without loading any column data: only
-// the manifest is read. Physical columns materialize on first touch through
-// mgr (which enforces the byte budget and evicts cold columns); virtual
+// the manifest is read. Data materializes on first touch through mgr
+// (which enforces the byte budget and evicts cold entries); virtual
 // columns materialized later by the engine stay resident — they cannot be
-// reloaded from disk. mgr may be shared across stores (e.g. all shards of a
-// leaf process share one budget).
+// reloaded from disk. mgr may be shared across stores (e.g. all shards of
+// a leaf process share one budget).
+//
+// When the manifest carries a chunk layout (any store saved by this
+// version), residency is chunk-granular: the manager tracks one entry per
+// global dictionary and one per (column, chunk) pair, so a restricted
+// query pins only the chunks it scans. Older manifests fall back to
+// whole-column entries.
 func OpenLazy(dir string, mgr *memmgr.Manager) (*Store, *DiskStats, error) {
 	if mgr == nil {
 		mgr = memmgr.New(0, "")
@@ -206,7 +343,8 @@ func OpenLazy(dir string, mgr *memmgr.Manager) (*Store, *DiskStats, error) {
 	if abs, err := filepath.Abs(ns); err == nil {
 		ns = abs
 	}
-	s.lazy = &lazySource{reader: r, mgr: mgr, ns: ns}
+	src := &lazySource{reader: r, mgr: mgr, ns: ns, spans: make(map[string][]ChunkSpan), chunked: true}
+	s.lazy = src
 	s.metas = make(map[string]ColumnMeta, len(r.m.Columns))
 	for _, meta := range r.Columns() {
 		if meta.Kind == value.KindInvalid {
@@ -214,6 +352,16 @@ func OpenLazy(dir string, mgr *memmgr.Manager) (*Store, *DiskStats, error) {
 		}
 		s.metas[meta.Name] = meta
 		s.order = append(s.order, meta.Name)
+		mc := r.cols[meta.Name]
+		if !r.hasLayout(mc) {
+			src.chunked = false
+			continue
+		}
+		spans := make([]ChunkSpan, len(mc.Chunks))
+		for i, cm := range mc.Chunks {
+			spans[i] = ChunkSpan{MinGID: cm.Min, MaxGID: cm.Max}
+		}
+		src.spans[meta.Name] = spans
 	}
 	return s, stats, nil
 }
@@ -227,8 +375,35 @@ func (s *Store) MemManager() *memmgr.Manager {
 	return s.lazy.mgr
 }
 
-// acquire pins the named physical column in the memory manager, loading it
-// from disk when cold. Callers must Release the returned key when done.
+// ChunkGranular reports whether the store's residency unit is the
+// (column, chunk) pair. False for fully resident stores and for lazy
+// stores whose manifest predates the chunk layout (those load and evict
+// whole columns).
+func (s *Store) ChunkGranular() bool { return s.lazy != nil && s.lazy.chunked }
+
+// ChunkSpans returns the per-chunk global-id spans of the named column,
+// without loading any chunk data: from the manifest on a lazy store, from
+// the chunk-dictionaries on a resident one. ok is false when the column is
+// unknown or (on a lazy store) has no layout.
+func (s *Store) ChunkSpans(name string) ([]ChunkSpan, bool) {
+	if c := s.residentColumn(name); c != nil {
+		out := make([]ChunkSpan, len(c.Chunks))
+		for i, ch := range c.Chunks {
+			out[i] = spanOf(ch)
+		}
+		return out, true
+	}
+	if s.lazy != nil {
+		sp, ok := s.lazy.spans[name]
+		return sp, ok
+	}
+	return nil, false
+}
+
+// acquire pins the named physical column in the memory manager as one
+// whole-column entry, loading it from disk when cold — the residency unit
+// of stores without a chunk layout. Callers must Release the returned key
+// when done.
 func (s *Store) acquire(name string) (col *Column, key string, cold bool, diskBytes int64, err error) {
 	meta, ok := s.metas[name]
 	if !ok {
@@ -252,73 +427,282 @@ func (s *Store) acquire(name string) (col *Column, key string, cold bool, diskBy
 	return lc.col, key, cold, lc.diskBytes, nil
 }
 
-// loadedColumn is the unit the memory manager holds for a store.
+// acquireDict pins the named column's global dictionary.
+func (s *Store) acquireDict(name string) (d dict.Dict, key string, cold bool, size, diskBytes int64, err error) {
+	key = s.lazy.dictKey(name)
+	v, cold, err := s.lazy.mgr.Acquire(key, func() (any, int64, int64, error) {
+		dd, disk, err := s.lazy.reader.LoadColumnDict(name)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		return &loadedDict{d: dd, size: dd.MemoryBytes(), diskBytes: disk}, dd.MemoryBytes(), disk, nil
+	})
+	if err != nil {
+		return nil, "", false, 0, 0, err
+	}
+	ld := v.(*loadedDict)
+	return ld.d, key, cold, ld.size, ld.diskBytes, nil
+}
+
+// acquireChunk pins one chunk of the named column.
+func (s *Store) acquireChunk(name string, ci int) (ch *Chunk, key string, cold bool, size, diskBytes int64, err error) {
+	key = s.lazy.chunkKey(name, ci)
+	v, cold, err := s.lazy.mgr.Acquire(key, func() (any, int64, int64, error) {
+		c, disk, err := s.lazy.reader.LoadColumnChunk(name, ci)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		if want := s.ChunkRows(ci); c.Rows() != want {
+			return nil, 0, 0, fmt.Errorf("colstore: column %q chunk %d has %d rows, want %d", name, ci, c.Rows(), want)
+		}
+		size := c.MemoryElements() + c.MemoryChunkDict()
+		return &loadedChunk{ch: c, size: size, diskBytes: disk}, size, disk, nil
+	})
+	if err != nil {
+		return nil, "", false, 0, 0, err
+	}
+	lc := v.(*loadedChunk)
+	return lc.ch, key, cold, lc.size, lc.diskBytes, nil
+}
+
+// loadedColumn is the whole-column unit the memory manager holds for
+// stores without a chunk layout.
 type loadedColumn struct {
 	col       *Column
 	diskBytes int64
 }
 
-// PinSet keeps the columns one query touches resident for the query's
-// lifetime: the engine pins every column from first touch (during planning)
-// through the parallel chunk scan and final dictionary lookups, then
-// releases them all at once. Cold-load counters accumulate per set, giving
-// per-query attribution of what had to come from disk.
+// loadedDict and loadedChunk are the chunk-granular residency units.
+type loadedDict struct {
+	d         dict.Dict
+	size      int64
+	diskBytes int64
+}
+
+type loadedChunk struct {
+	ch        *Chunk
+	size      int64
+	diskBytes int64
+}
+
+// PinSet keeps the pieces one query touches resident for the query's
+// lifetime: the engine pins every dictionary and chunk it needs from first
+// touch (during planning) through the parallel chunk scan and final
+// dictionary lookups, then releases them all at once. Cold-load counters
+// accumulate per set, giving per-query attribution of what had to come
+// from disk.
 //
-// On a fully resident store a PinSet degrades to plain column lookups.
+// On a chunk-granular store a column is represented by a query-private
+// *Column view whose Chunks slice is filled only at the pinned indices;
+// positions the residency analysis pruned stay nil and must not be
+// touched. The view pointer is stable across calls within one set, so
+// compiled plans can cache it. On a fully resident store a PinSet degrades
+// to plain column lookups.
+//
+// This is the error-carrying access path: prefer it over Store.Column,
+// which swallows load errors (see the PinSet-first contract there).
 type PinSet struct {
 	s    *Store
-	held map[string]heldPin // column name -> pin
-	// ColdLoads counts columns this set loaded from disk.
+	held map[string]*heldPin // column name -> pins
+	// ColdLoads counts columns for which this set loaded anything from
+	// disk (a column with five cold chunks counts once — the
+	// column-granularity number comparable across store generations).
 	ColdLoads int
-	// ColdBytesLoaded sums the resident bytes of those cold loads.
+	// ColdChunkLoads counts individual (column, chunk) entries this set
+	// cold-loaded; zero on stores without a chunk layout.
+	ColdChunkLoads int
+	// ColdDictLoads counts global dictionaries this set cold-loaded; zero
+	// on stores without a chunk layout.
+	ColdDictLoads int
+	// ColdBytesLoaded sums the resident bytes of all cold loads.
 	ColdBytesLoaded int64
 	// DiskBytesRead sums their on-disk (compressed) bytes.
 	DiskBytesRead int64
 }
 
-// heldPin records one pinned column.
+// heldPin records the pins held for one column.
 type heldPin struct {
-	key string
-	col *Column
+	view *Column
+	keys []string
+	// chunks flags which chunk indices are pinned (chunk-granular only).
+	chunks []bool
+	dict   bool
+	// full marks a legacy whole-column pin.
+	full bool
+	// cold marks the column as already counted in ColdLoads.
+	cold bool
 }
 
 // NewPinSet creates an empty pin set for the store.
 func (s *Store) NewPinSet() *PinSet { return &PinSet{s: s} }
 
-// Column returns the named column, pinning it on first use (one pin per
-// set, however often it is asked for). Virtual and fully resident columns
-// need no pin and pass straight through. Unknown columns are an error.
-func (p *PinSet) Column(name string) (*Column, error) {
-	if c := p.s.residentColumn(name); c != nil {
-		return c, nil
+// coldColumn folds one cold entry's sizes into the set's counters.
+func (p *PinSet) coldColumn(h *heldPin, size, disk int64) {
+	if !h.cold {
+		h.cold = true
+		p.ColdLoads++
 	}
-	if p.s.lazy == nil {
+	p.ColdBytesLoaded += size
+	p.DiskBytesRead += disk
+}
+
+// ensure returns (creating if needed) the held record for a chunk-granular
+// column.
+func (p *PinSet) ensure(name string) (*heldPin, error) {
+	if h, ok := p.held[name]; ok {
+		return h, nil
+	}
+	meta, ok := p.s.metas[name]
+	if !ok {
 		return nil, fmt.Errorf("colstore: unknown column %q", name)
 	}
+	h := &heldPin{
+		view: &Column{
+			Name:    meta.Name,
+			Kind:    meta.Kind,
+			Virtual: meta.Virtual,
+			Chunks:  make([]*Chunk, p.s.NumChunks()),
+		},
+		chunks: make([]bool, p.s.NumChunks()),
+	}
+	if p.held == nil {
+		p.held = make(map[string]*heldPin, 8)
+	}
+	p.held[name] = h
+	return h, nil
+}
+
+// ensureDict pins the column's global dictionary into the view.
+func (p *PinSet) ensureDict(h *heldPin) error {
+	if h.dict {
+		return nil
+	}
+	d, key, cold, size, disk, err := p.s.acquireDict(h.view.Name)
+	if err != nil {
+		return err
+	}
+	h.view.Dict = d
+	h.dict = true
+	h.keys = append(h.keys, key)
+	if cold {
+		p.ColdDictLoads++
+		p.coldColumn(h, size, disk)
+	}
+	return nil
+}
+
+// ensureChunk pins one chunk into the view.
+func (p *PinSet) ensureChunk(h *heldPin, ci int) error {
+	if h.chunks[ci] {
+		return nil
+	}
+	ch, key, cold, size, disk, err := p.s.acquireChunk(h.view.Name, ci)
+	if err != nil {
+		return err
+	}
+	h.view.Chunks[ci] = ch
+	h.chunks[ci] = true
+	h.keys = append(h.keys, key)
+	if cold {
+		p.ColdChunkLoads++
+		p.coldColumn(h, size, disk)
+	}
+	return nil
+}
+
+// legacyColumn pins a whole column as a single manager entry — the path
+// for stores whose manifest has no chunk layout.
+func (p *PinSet) legacyColumn(name string) (*Column, error) {
 	if h, ok := p.held[name]; ok {
-		return h.col, nil
+		return h.view, nil
 	}
 	col, key, cold, disk, err := p.s.acquire(name)
 	if err != nil {
 		return nil, err
 	}
 	if p.held == nil {
-		p.held = make(map[string]heldPin, 8)
+		p.held = make(map[string]*heldPin, 8)
 	}
-	p.held[name] = heldPin{key: key, col: col}
+	h := &heldPin{view: col, keys: []string{key}, full: true}
+	p.held[name] = h
 	if cold {
-		p.ColdLoads++
-		p.ColdBytesLoaded += col.Memory().Total()
-		p.DiskBytesRead += disk
+		p.coldColumn(h, col.Memory().Total(), disk)
 	}
 	return col, nil
+}
+
+// Column returns the named column fully pinned: dictionary plus every
+// chunk. Virtual and fully resident columns need no pin and pass straight
+// through. Unknown columns are an error. Use ColumnChunks when the query
+// will only scan a subset of the chunks.
+func (p *PinSet) Column(name string) (*Column, error) {
+	return p.ColumnChunks(name, nil)
+}
+
+// ColumnDict returns a view of the named column with only its global
+// dictionary pinned — enough to look up restriction literals and decode
+// group keys, but with no chunk data. On resident and legacy stores it
+// degrades to a full column.
+func (p *PinSet) ColumnDict(name string) (*Column, error) {
+	if c := p.s.residentColumn(name); c != nil {
+		return c, nil
+	}
+	if p.s.lazy == nil {
+		return nil, fmt.Errorf("colstore: unknown column %q", name)
+	}
+	if !p.s.lazy.chunked {
+		return p.legacyColumn(name)
+	}
+	h, err := p.ensure(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.ensureDict(h); err != nil {
+		return nil, err
+	}
+	return h.view, nil
+}
+
+// ColumnChunks returns the named column with its dictionary and the chunks
+// flagged in active pinned (nil active = every chunk). Chunks outside the
+// active set stay nil in the returned view; callers must not touch them.
+// Pinning is monotonic per set: asking again with a wider set fills the
+// missing chunks, and already pinned ones are never double-counted.
+func (p *PinSet) ColumnChunks(name string, active []bool) (*Column, error) {
+	if c := p.s.residentColumn(name); c != nil {
+		return c, nil
+	}
+	if p.s.lazy == nil {
+		return nil, fmt.Errorf("colstore: unknown column %q", name)
+	}
+	if !p.s.lazy.chunked {
+		return p.legacyColumn(name)
+	}
+	h, err := p.ensure(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.ensureDict(h); err != nil {
+		return nil, err
+	}
+	for ci := range h.chunks {
+		if active != nil && !active[ci] {
+			continue
+		}
+		if err := p.ensureChunk(h, ci); err != nil {
+			return nil, err
+		}
+	}
+	return h.view, nil
 }
 
 // Release drops every pin the set holds. Safe to call more than once.
 func (p *PinSet) Release() {
 	if p.s.lazy != nil {
 		for _, h := range p.held {
-			p.s.lazy.mgr.Release(h.key)
+			for _, key := range h.keys {
+				p.s.lazy.mgr.Release(key)
+			}
 		}
 	}
 	p.held = nil

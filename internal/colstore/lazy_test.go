@@ -1,6 +1,9 @@
 package colstore
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -270,5 +273,187 @@ func TestLazyConcurrentReaders(t *testing.T) {
 	wg.Wait()
 	if st := mgr.Stats(); st.PinnedBytes != 0 {
 		t.Fatalf("pinned %d after concurrent churn", st.PinnedBytes)
+	}
+}
+
+// TestLoadColumnDict checks the dictionary-only load path against the
+// fully decoded column, raw (byte-range read) and compressed (full read,
+// dictionary-only materialization).
+func TestLoadColumnDict(t *testing.T) {
+	for _, codec := range []string{"", "zippy"} {
+		name := codec
+		if name == "" {
+			name = "raw"
+		}
+		t.Run(name, func(t *testing.T) {
+			_, dir := buildSavedStore(t, 2000, codec)
+			eager, _, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, _, err := NewReader(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, name := range eager.Columns() {
+				want := eager.Column(name).Dict
+				d, disk, err := r.LoadColumnDict(name)
+				if err != nil {
+					t.Fatalf("column %q: %v", name, err)
+				}
+				if disk <= 0 {
+					t.Fatalf("column %q: no disk bytes charged", name)
+				}
+				if d.Len() != want.Len() {
+					t.Fatalf("column %q: dict len %d, want %d", name, d.Len(), want.Len())
+				}
+				for i := 0; i < d.Len(); i++ {
+					if !d.Value(uint32(i)).Equal(want.Value(uint32(i))) {
+						t.Fatalf("column %q dict entry %d mismatch", name, i)
+					}
+				}
+			}
+			if _, _, err := r.LoadColumnDict("nope"); err == nil {
+				t.Fatal("unknown column should error")
+			}
+		})
+	}
+}
+
+// TestChunkSpansMatchChunks checks that the spans the manifest records are
+// exactly the first/last global-ids of each chunk-dictionary.
+func TestChunkSpansMatchChunks(t *testing.T) {
+	_, dir := buildSavedStore(t, 2000, "")
+	eager, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy, _, err := OpenLazy(dir, memmgr.New(0, "2q"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lazy.ChunkGranular() {
+		t.Fatal("fresh store is not chunk-granular")
+	}
+	for _, name := range eager.Columns() {
+		want, ok := eager.ChunkSpans(name) // computed from resident chunks
+		if !ok {
+			t.Fatalf("no spans on resident store for %q", name)
+		}
+		got, ok := lazy.ChunkSpans(name) // read from the manifest
+		if !ok {
+			t.Fatalf("no spans on lazy store for %q", name)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("column %q: %d spans, want %d", name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("column %q chunk %d: span %+v, want %+v", name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// stripChunkLayout rewrites a saved manifest without dict_len/chunks —
+// simulating a store saved before chunk-granular residency existed.
+func stripChunkLayout(t *testing.T, dir string) {
+	t.Helper()
+	path := filepath.Join(dir, "manifest.json")
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(blob, &m); err != nil {
+		t.Fatal(err)
+	}
+	cols, ok := m["columns"].([]any)
+	if !ok {
+		t.Fatal("manifest has no columns")
+	}
+	for _, c := range cols {
+		mc := c.(map[string]any)
+		delete(mc, "dict_len")
+		delete(mc, "chunks")
+	}
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLegacyManifestFallsBackToColumns opens a store whose manifest lacks
+// the chunk layout: residency degrades to whole columns, chunk walks still
+// decode correctly, and queries through a PinSet behave like before.
+func TestLegacyManifestFallsBackToColumns(t *testing.T) {
+	built, dir := buildSavedStore(t, 2000, "zippy")
+	stripChunkLayout(t, dir)
+	mgr := memmgr.New(0, "2q")
+	lazy, _, err := OpenLazy(dir, mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lazy.ChunkGranular() {
+		t.Fatal("layout-less manifest must not be chunk-granular")
+	}
+	if _, ok := lazy.ChunkSpans("country"); ok {
+		t.Fatal("layout-less manifest must have no spans")
+	}
+	// Whole-column pins: one cold load per column, no chunk/dict entries.
+	// (Must run before anything else loads the column.)
+	ps := lazy.NewPinSet()
+	if _, err := ps.Column("country"); err != nil {
+		t.Fatal(err)
+	}
+	if ps.ColdLoads != 1 || ps.ColdChunkLoads != 0 || ps.ColdDictLoads != 0 {
+		t.Fatalf("legacy pin counters = %d/%d/%d", ps.ColdLoads, ps.ColdChunkLoads, ps.ColdDictLoads)
+	}
+	ps.Release()
+	assertColumnsEqual(t, built, lazy)
+	// The walk-based single-chunk path still works without a layout.
+	r, _, err := NewReader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := built.Column("country")
+	ch, disk, err := r.LoadColumnChunk("country", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disk <= 0 || ch.Rows() != want.Chunks[1].Rows() {
+		t.Fatalf("legacy chunk walk: disk=%d rows=%d", disk, ch.Rows())
+	}
+}
+
+// TestColumnErrSurfacesLoadFailures pins the bugfix: Store.Column swallows
+// lazy-load errors into nil, ColumnErr surfaces them.
+func TestColumnErrSurfacesLoadFailures(t *testing.T) {
+	_, dir := buildSavedStore(t, 1000, "")
+	lazy, _, err := OpenLazy(dir, memmgr.New(0, "2q"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Destroy a column file behind the store's back.
+	matches, err := filepath.Glob(filepath.Join(dir, "col_*.bin"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no column files: %v", err)
+	}
+	for _, m := range matches {
+		if err := os.Remove(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c := lazy.Column("country"); c != nil {
+		t.Fatal("Column returned a column from deleted files")
+	}
+	if _, err := lazy.ColumnErr("country"); err == nil {
+		t.Fatal("ColumnErr swallowed the load failure")
+	}
+	if _, err := lazy.ColumnErr("missing"); err == nil {
+		t.Fatal("ColumnErr accepted an unknown column")
 	}
 }

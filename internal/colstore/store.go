@@ -105,27 +105,37 @@ func (s *Store) ChunkRows(c int) int { return s.Bounds[c+1] - s.Bounds[c] }
 
 // Column returns the named column (physical or virtual), or nil.
 //
-// On a lazy store this loads a cold physical column from disk and leaves it
-// unpinned (evictable). Queries must not rely on this path for scan-phase
-// access: the engine pins its columns through a PinSet first, so Column
-// hits resident data. Load failures surface as nil here; use PinSet.Column
-// for an error-carrying lookup.
+// On a lazy store this loads a cold physical column from disk in full and
+// leaves it unpinned (evictable) — it cannot report *why* a load failed,
+// only nil. This is the PinSet-first contract: query execution must go
+// through a PinSet (or ColumnErr), which pins what it touches and carries
+// the error; Column is a convenience for resident stores, tooling and
+// tests, and engine code only reaches it on fallback paths that are
+// already pinned.
 func (s *Store) Column(name string) *Column {
-	if c := s.residentColumn(name); c != nil {
-		return c
-	}
-	if s.lazy == nil {
-		return nil
-	}
-	if _, ok := s.metas[name]; !ok {
-		return nil
-	}
-	col, key, _, _, err := s.acquire(name)
+	c, err := s.ColumnErr(name)
 	if err != nil {
 		return nil
 	}
-	s.lazy.mgr.Release(key)
-	return col
+	return c
+}
+
+// ColumnErr is Column with the load error surfaced: on a lazy store a cold
+// column is loaded in full (dictionary plus every chunk), left unpinned,
+// and any disk or decode failure is returned instead of being swallowed
+// into nil. The returned column stays valid even if the manager later
+// evicts its entries — the data is immutable and the caller's reference
+// keeps it alive; eviction only frees the budget.
+func (s *Store) ColumnErr(name string) (*Column, error) {
+	if c := s.residentColumn(name); c != nil {
+		return c, nil
+	}
+	if s.lazy == nil {
+		return nil, fmt.Errorf("colstore: unknown column %q", name)
+	}
+	ps := s.NewPinSet()
+	defer ps.Release()
+	return ps.Column(name)
 }
 
 // residentColumn looks the name up in the in-memory registry only.
@@ -353,7 +363,9 @@ func (s *Store) assemble(name string, kind value.Kind, d dict.Dict, gids []uint3
 // row order. Callers racing on the same name must serialize externally
 // (the engine's plan lock does); the registry itself is mutation-safe.
 func (s *Store) AddVirtualColumn(name string, kind value.Kind, vals []value.Value) (*Column, error) {
-	if s.Column(name) != nil {
+	if s.HasColumn(name) {
+		// Metadata-only check: on a lazy store, Column(name) here would
+		// cold-load the whole column just to prove it exists.
 		return nil, fmt.Errorf("colstore: virtual column %q already exists", name)
 	}
 	var (

@@ -102,6 +102,11 @@ func (e *Engine) executeChunks(p *plan) (map[uint32][]accCell, QueryStats, error
 	qs.ChunksTotal = nChunks
 	nCols := int64(len(p.accessCols))
 	qs.CellsCovered = int64(e.store.NumRows()) * nCols
+	qs.ActiveChunks = nChunks
+	if p.active != nil {
+		qs.ActiveChunks = p.activeCount
+		qs.SkippedChunks = nChunks - p.activeCount
+	}
 
 	if p.rowScan {
 		return nil, qs, fmt.Errorf("exec: internal: row scans do not aggregate")
@@ -144,6 +149,14 @@ func (e *Engine) executeChunks(p *plan) (map[uint32][]accCell, QueryStats, error
 // time.
 func (e *Engine) scanChunk(p *plan, ci int, nCols int64, qs *QueryStats) (*partial, error) {
 	rows := e.store.ChunkRows(ci)
+	if p.active != nil && !p.active[ci] {
+		// Pruned by the residency analysis: on a chunk-granular store this
+		// chunk's data was never loaded, so don't touch it — the plan's
+		// column views have nil entries here.
+		qs.ChunksSkipped++
+		qs.RowsSkipped += int64(rows)
+		return nil, nil
+	}
 	state := activeAll
 	if p.where != nil {
 		if e.opts.DisableSkipping {

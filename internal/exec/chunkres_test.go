@@ -1,0 +1,300 @@
+package exec
+
+import (
+	"sync"
+	"testing"
+
+	"powerdrill/internal/colstore"
+	"powerdrill/internal/memmgr"
+	"powerdrill/internal/sql"
+	"powerdrill/internal/value"
+	"powerdrill/internal/workload"
+)
+
+// savedReorderedStore persists a store partitioned AND row-reordered on
+// country/table_name, so chunks cover contiguous value runs and the
+// manifest spans prune exactly. codec "" keeps per-chunk disk reads exact.
+func savedReorderedStore(t *testing.T, rows int, codec string) string {
+	t.Helper()
+	tbl := workload.QueryLogs(workload.LogsSpec{Rows: rows, Seed: 23})
+	s, err := colstore.FromTable(tbl, colstore.Options{
+		PartitionFields:  []string{"country", "table_name"},
+		MaxChunkRows:     500,
+		OptimizeElements: true,
+		Reorder:          true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := colstore.Save(s, dir, codec); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// chunksContaining counts the chunks of a column that actually contain the
+// value — the ground truth k for "a restriction selecting k of n chunks".
+func chunksContaining(t *testing.T, s *colstore.Store, column, val string) int {
+	t.Helper()
+	col, err := s.ColumnErr(column)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gid, ok := col.Dict.Lookup(value.String(val))
+	if !ok {
+		t.Fatalf("value %q not in %q dictionary", val, column)
+	}
+	k := 0
+	for _, ch := range col.Chunks {
+		if _, found := ch.ChunkID(gid); found {
+			k++
+		}
+	}
+	return k
+}
+
+// TestChunkGranularExactColdLoads is the acceptance test of chunk-granular
+// residency: a restricted query whose restriction selects k of n chunks
+// must cold-load exactly the k active chunks of each column it touches
+// (plus one dictionary per column), under a tight budget, with results
+// bit-for-bit identical to an unbudgeted fully resident store.
+func TestChunkGranularExactColdLoads(t *testing.T) {
+	dir := savedReorderedStore(t, 6000, "")
+	eagerStore, _, err := colstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	footprint := residentFootprint(t, eagerStore)
+	k := chunksContaining(t, eagerStore, "country", "de")
+	n := eagerStore.NumChunks()
+	if k == 0 || k == n {
+		t.Fatalf("degenerate test data: %d of %d chunks contain de", k, n)
+	}
+
+	mgr := memmgr.New(footprint/4, "2q") // tight: ~25% of the store
+	lazyStore, _, err := colstore.OpenLazy(dir, mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lazyStore.ChunkGranular() {
+		t.Fatal("freshly saved store is not chunk-granular")
+	}
+	eager := New(eagerStore, Options{Parallelism: 2})
+	lazy := New(lazyStore, Options{Parallelism: 2})
+
+	// One restriction column, one group column: the query touches exactly
+	// two columns, so the k active chunks cost 2k chunk loads + 2 dicts.
+	q := `SELECT table_name, COUNT(*) AS c FROM data WHERE country = "de" GROUP BY table_name ORDER BY c DESC, table_name ASC;`
+	want, err := eager.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := lazy.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, q, want, got)
+
+	st := got.Stats
+	if st.ActiveChunks != k {
+		t.Fatalf("residency marked %d chunks active, %d contain de", st.ActiveChunks, k)
+	}
+	if st.SkippedChunks != n-k {
+		t.Fatalf("residency skipped %d chunks, want %d", st.SkippedChunks, n-k)
+	}
+	if st.ColdChunkLoads != 2*k {
+		t.Fatalf("cold chunk loads = %d, want exactly 2k = %d (k=%d of %d chunks)",
+			st.ColdChunkLoads, 2*k, k, n)
+	}
+	if st.ColdDictLoads != 2 {
+		t.Fatalf("cold dict loads = %d, want 2 (country + table_name)", st.ColdDictLoads)
+	}
+	if st.ColdLoads != 2 {
+		t.Fatalf("cold columns = %d, want 2", st.ColdLoads)
+	}
+
+	// Warm repeat: nothing else may load.
+	warm, err := lazy.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, q, want, warm)
+	if warm.Stats.ColdChunkLoads != 0 || warm.Stats.ColdDictLoads != 0 || warm.Stats.ColdLoads != 0 {
+		t.Fatalf("warm repeat cold-loaded: %+v", warm.Stats)
+	}
+
+	// The manager held exactly the active working set: 2 dicts + 2k chunks.
+	ms := mgr.Stats()
+	if ms.ColdLoads != int64(2*k+2) {
+		t.Fatalf("manager cold loads = %d, want %d", ms.ColdLoads, 2*k+2)
+	}
+	if ms.ResidentItems != 2*k+2 {
+		t.Fatalf("resident items = %d, want %d", ms.ResidentItems, 2*k+2)
+	}
+}
+
+// TestChunkGranularEvictReloadDeterministic drives the full workload zoo
+// through a chunk-granular store under a budget small enough to force
+// chunk evictions mid-workload, twice, and checks every answer bit-for-bit
+// against the fully resident engine.
+func TestChunkGranularEvictReloadDeterministic(t *testing.T) {
+	for _, codec := range []string{"", "zippy"} {
+		name := codec
+		if name == "" {
+			name = "raw"
+		}
+		t.Run(name, func(t *testing.T) {
+			dir := savedReorderedStore(t, 4000, codec)
+			eagerStore, _, err := colstore.Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			budget := residentFootprint(t, eagerStore) / 5
+			mgr := memmgr.New(budget, "2q")
+			lazyStore, _, err := colstore.OpenLazy(dir, mgr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eager := New(eagerStore, Options{Parallelism: 2})
+			lazy := New(lazyStore, Options{Parallelism: 2})
+			for pass := 0; pass < 2; pass++ {
+				for _, q := range coldStartQueries {
+					want, err := eager.Query(q)
+					if err != nil {
+						t.Fatalf("eager %s: %v", q, err)
+					}
+					got, err := lazy.Query(q)
+					if err != nil {
+						t.Fatalf("lazy %s: %v", q, err)
+					}
+					assertSameResult(t, q, want, got)
+					st := mgr.Stats()
+					if over := st.ResidentBytes - st.PinnedBytes; over > budget {
+						t.Fatalf("evictable resident %d exceeds budget %d", over, budget)
+					}
+				}
+			}
+			if st := mgr.Stats(); st.Evictions == 0 {
+				t.Fatalf("no chunk evictions under a 20%% budget: %+v", st)
+			}
+			if st := lazy.Stats(); st.ColdChunkLoads == 0 || st.SkippedChunks == 0 {
+				t.Fatalf("chunk counters did not engage: %+v", st)
+			}
+		})
+	}
+}
+
+// TestChunkGranularConcurrentRestricted hammers a tightly budgeted
+// chunk-granular store with concurrent restricted queries over different
+// chunk subsets (forcing per-chunk eviction/reload races) and checks every
+// answer against the resident engine. Run with -race.
+func TestChunkGranularConcurrentRestricted(t *testing.T) {
+	dir := savedReorderedStore(t, 4000, "")
+	eagerStore, _, err := colstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := residentFootprint(t, eagerStore) / 5
+	mgr := memmgr.New(budget, "arc")
+	lazyStore, _, err := colstore.OpenLazy(dir, mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eager := New(eagerStore, Options{Parallelism: 2})
+	lazy := New(lazyStore, Options{Parallelism: 2})
+
+	queries := []string{
+		`SELECT table_name, COUNT(*) AS c FROM data WHERE country = "de" GROUP BY table_name ORDER BY c DESC, table_name ASC;`,
+		`SELECT table_name, COUNT(*) AS c FROM data WHERE country = "us" GROUP BY table_name ORDER BY c DESC, table_name ASC;`,
+		`SELECT user, SUM(latency) AS s FROM data WHERE country IN ("ch", "jp") GROUP BY user ORDER BY s DESC, user ASC LIMIT 10;`,
+		`SELECT country, AVG(latency) AS a FROM data WHERE latency > 500 GROUP BY country ORDER BY a DESC, country ASC;`,
+		`SELECT country, COUNT(*) AS c FROM data GROUP BY country ORDER BY c DESC, country ASC;`,
+	}
+	want := make(map[string]*Result, len(queries))
+	for _, q := range queries {
+		r, err := eager.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[q] = r
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 4*len(queries); i++ {
+				q := queries[(w+i)%len(queries)]
+				got, err := lazy.Query(q)
+				if err != nil {
+					t.Errorf("worker %d: %s: %v", w, q, err)
+					return
+				}
+				assertSameResult(t, q, want[q], got)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st := mgr.Stats(); st.PinnedBytes != 0 {
+		t.Fatalf("pinned bytes %d after all queries finished", st.PinnedBytes)
+	}
+}
+
+// TestResidencySoundness checks the safety property of the span-based
+// analysis against the precise chunk-dictionary classification: any chunk
+// the analysis prunes must also be pruned by classify — over the operator
+// zoo of restrict_test on a fully resident store.
+func TestResidencySoundness(t *testing.T) {
+	tbl := logs(3000)
+	e := buildEngine(t, tbl, chunkedOpts(), Options{})
+	preds := []string{
+		`country IN ("de")`,
+		`country IN ("de", "fr", "zz")`,
+		`country NOT IN ("us")`,
+		`country = "ch"`,
+		`country != "ch"`,
+		`NOT country = "ch"`,
+		`latency > 500`,
+		`latency <= 100`,
+		`latency < -5`,
+		`latency > 100 AND latency < 2000`,
+		`country IN ("de") AND latency > 500`,
+		`country IN ("de") OR country IN ("fr")`,
+		`NOT (country IN ("de") OR latency > 100)`,
+		`country = "de" AND NOT latency <= 50 OR user IN ("user0001")`,
+		`latency = 105`,
+		`latency > 100.5`,
+		`country IN ("zz")`,
+		`latency = latency`, // row predicate: analysis must not prune
+	}
+	for _, pred := range preds {
+		stmt, err := sql.Parse(`SELECT country, COUNT(*) FROM data WHERE ` + pred + ` GROUP BY country;`)
+		if err != nil {
+			t.Fatalf("parse %q: %v", pred, err)
+		}
+		ps := e.store.NewPinSet()
+		rsd := e.analyzeResidency(stmt, ps)
+		r, err := e.compileRestriction(stmt.Where, ps, nil)
+		if err != nil {
+			t.Fatalf("compile %q: %v", pred, err)
+		}
+		active := rsd.activeSet()
+		count := 0
+		for ci := 0; ci < e.store.NumChunks(); ci++ {
+			residencyActive := active == nil || active[ci]
+			if residencyActive {
+				count++
+			}
+			if !residencyActive && r.classify(e, ci) != activeNone {
+				t.Fatalf("%q chunk %d: pruned by residency but classify says %v",
+					pred, ci, r.classify(e, ci))
+			}
+		}
+		if count != rsd.count {
+			t.Fatalf("%q: residency count %d, active flags sum %d", pred, rsd.count, count)
+		}
+		ps.Release()
+	}
+}

@@ -1,38 +1,7 @@
-// Package exec is PowerDrill's query engine: it evaluates the SQL subset
-// over a colstore.Store using the mechanisms of Sections 2.4, 2.5 and 5 —
-// chunk skipping via chunk-dictionaries, dense counts-array group-by,
-// materialized virtual fields, per-chunk result caching for fully active
-// chunks, and approximate count distinct.
-//
-// # Concurrency model
-//
-// The engine is safe for concurrent Query/Run/RunPartial calls, and a single
-// query fans its chunk work out over Options.Parallelism workers — the
-// in-process analogue of the paper's Section 4 execution tree, where every
-// leaf scans its chunks independently and partial aggregates merge upward.
-//
-// The invariants that make this work:
-//
-//   - Store data is immutable after load. Chunk-dictionaries, element
-//     sequences and global dictionaries are never written once built, so the
-//     scan phase (classify → mask → aggregate) takes no locks at all. The
-//     two exceptions hide their own synchronization: the lazily-loaded
-//     sharded dictionary (dict.Sharded) and the colstore column registry,
-//     which grows when a virtual field materializes.
-//   - Planning is serialized by planMu. The plan phase is the only writer
-//     (it may materialize virtual columns into the store); serializing it
-//     keeps "check column exists → materialize → register" atomic without
-//     slowing the scan phase, which runs outside the lock.
-//   - Chunks are independent units of work. Workers claim chunk indices from
-//     a shared counter and produce one partial per chunk plus per-worker
-//     QueryStats; partials then merge in ascending chunk order on the
-//     calling goroutine, so results — including order-sensitive float
-//     sums — are bit-for-bit identical to the sequential engine's.
-//   - Shared mutable state is wrapped, not sprinkled with locks: the result
-//     cache is behind cache.Synchronized (its eviction policies mutate on
-//     Get), and the engine's cumulative Stats accumulate under statsMu once
-//     per query, from the already-merged per-query counters.
 package exec
+
+// This file holds the Engine, its options and statistics, and the query
+// planner; see doc.go for the package overview and query lifecycle.
 
 import (
 	"fmt"
@@ -112,9 +81,21 @@ type Stats struct {
 	CellsCovered int64
 	// CellsScanned counts rows × accessed columns actually scanned.
 	CellsScanned int64
+	// ActiveChunks counts chunks the pre-scan residency analysis marked
+	// possibly active (all chunks when nothing could be pruned).
+	ActiveChunks int64
+	// SkippedChunks counts chunks the residency analysis pruned before any
+	// of their data was loaded — on a lazy store these never touch disk.
+	SkippedChunks int64
 	// ColdLoads counts columns loaded from disk because they were not
 	// resident when a query touched them (lazy stores only).
 	ColdLoads int64
+	// ColdChunkLoads counts individual (column, chunk) entries loaded from
+	// disk (chunk-granular lazy stores only).
+	ColdChunkLoads int64
+	// ColdDictLoads counts global dictionaries loaded from disk
+	// (chunk-granular lazy stores only).
+	ColdDictLoads int64
 	// ColdBytesLoaded sums the resident bytes of those cold loads.
 	ColdBytesLoaded int64
 	// DiskBytesRead sums their on-disk (compressed) bytes — the quantity
@@ -133,10 +114,27 @@ type QueryStats struct {
 	RowsSkipped   int64
 	CellsCovered  int64
 	CellsScanned  int64
+	// ActiveChunks counts chunks the pre-scan residency analysis marked
+	// possibly active for this query (ChunksTotal when nothing could be
+	// pruned); only these are loaded — and charged to the memory budget —
+	// on a chunk-granular lazy store.
+	ActiveChunks int
+	// SkippedChunks counts chunks the residency analysis pruned from
+	// manifest spans alone, before any of their data was loaded. They are
+	// also included in ChunksSkipped, which additionally counts chunks the
+	// precise per-chunk-dictionary classification skipped.
+	SkippedChunks int
 	// ColdLoads counts columns this query had to load from disk (zero on a
 	// warm repeat — the Section 5 "only a fraction of the data needs to be
-	// in memory" accounting).
+	// in memory" accounting). A column counts once however many of its
+	// chunks came from disk.
 	ColdLoads int
+	// ColdChunkLoads counts the individual (column, chunk) entries this
+	// query cold-loaded (chunk-granular lazy stores only).
+	ColdChunkLoads int
+	// ColdDictLoads counts the global dictionaries this query cold-loaded
+	// (chunk-granular lazy stores only).
+	ColdDictLoads int
 	// ColdBytesLoaded sums the resident bytes of those cold loads.
 	ColdBytesLoaded int64
 	// DiskBytesRead sums their on-disk (compressed) bytes.
@@ -207,15 +205,18 @@ func (e *Engine) Query(src string) (*Result, error) {
 // phase runs lock-free over the immutable store, fanned out over the
 // workers the admission gate grants.
 //
-// On lazy stores every column the query touches is pinned from first touch
+// On lazy stores everything the query touches is pinned from first touch
 // (during planning) through the final dictionary lookups, so the scan never
-// races an eviction; the pins drop when the result is assembled.
+// races an eviction; the pins drop when the result is assembled. On
+// chunk-granular stores the residency analysis runs first, so only the
+// chunks the restriction can possibly match are ever loaded or pinned.
 func (e *Engine) Run(stmt *sql.SelectStmt) (*Result, error) {
 	ps := e.store.NewPinSet()
 	defer ps.Release()
-	e.prefetchColumns(stmt, ps)
+	rsd := e.analyzeResidency(stmt, ps)
+	e.prefetchColumns(stmt, ps, rsd.activeSet())
 	e.planMu.Lock()
-	p, err := e.plan(stmt, ps)
+	p, err := e.plan(stmt, ps, rsd)
 	e.planMu.Unlock()
 	if err != nil {
 		return nil, err
@@ -241,6 +242,8 @@ func (e *Engine) Run(stmt *sql.SelectStmt) (*Result, error) {
 		}
 	}
 	qs.ColdLoads = ps.ColdLoads
+	qs.ColdChunkLoads = ps.ColdChunkLoads
+	qs.ColdDictLoads = ps.ColdDictLoads
 	qs.ColdBytesLoaded = ps.ColdBytesLoaded
 	qs.DiskBytesRead = ps.DiskBytesRead
 	res.Stats = qs
@@ -263,44 +266,135 @@ func (e *Engine) recordStats(qs QueryStats) {
 	e.stats.RowsSkipped += qs.RowsSkipped
 	e.stats.CellsCovered += qs.CellsCovered
 	e.stats.CellsScanned += qs.CellsScanned
+	e.stats.ActiveChunks += int64(qs.ActiveChunks)
+	e.stats.SkippedChunks += int64(qs.SkippedChunks)
 	e.stats.ColdLoads += int64(qs.ColdLoads)
+	e.stats.ColdChunkLoads += int64(qs.ColdChunkLoads)
+	e.stats.ColdDictLoads += int64(qs.ColdDictLoads)
 	e.stats.ColdBytesLoaded += qs.ColdBytesLoaded
 	e.stats.DiskBytesRead += qs.DiskBytesRead
 }
 
-// prefetchColumns pins every plain column the statement mentions BEFORE
-// planning takes planMu: cold loads are the slow part of a first-touch
-// query on a lazy store, and doing them here lets concurrent queries load
-// disjoint columns in parallel instead of serializing their disk reads
-// behind the plan lock (memmgr deduplicates concurrent loads of the same
-// column). Planning then finds everything warm. Unknown names are skipped —
-// they either name a not-yet-materialized virtual column or fail later
-// with a proper error.
-func (e *Engine) prefetchColumns(stmt *sql.SelectStmt, ps *colstore.PinSet) {
-	pin := func(x sql.Expr) {
+// prefetchColumns pins what the statement will touch BEFORE planning takes
+// planMu: cold loads are the slow part of a first-touch query on a lazy
+// store, and doing them here lets concurrent queries load disjoint data in
+// parallel instead of serializing their disk reads behind the plan lock
+// (memmgr deduplicates concurrent loads of the same entry). Planning then
+// finds everything warm. Unknown names are skipped — they either name a
+// not-yet-materialized virtual column or fail later with a proper error.
+//
+// active is the residency analysis verdict: plain columns are pinned at
+// chunk granularity, loading only the chunks the restriction can match.
+// The one exception is the source columns of an expression that still
+// needs materializing — materialization scans every row, so those are
+// prefetched in full.
+func (e *Engine) prefetchColumns(stmt *sql.SelectStmt, ps *colstore.PinSet, active []bool) {
+	// pinOperand warms one operand-level expression: the unit
+	// materializeOperand will resolve during planning.
+	pinOperand := func(x sql.Expr) {
 		if x == nil {
 			return
 		}
-		// A previously materialized virtual column is registered under the
-		// expression's canonical string; those are registry-resident, so
-		// only the plain source columns need loading.
+		if id, ok := x.(*sql.Ident); ok {
+			if e.store.HasColumn(id.Name) {
+				_, _ = ps.ColumnChunks(id.Name, active)
+			}
+			return
+		}
+		if e.store.HasColumn(x.String()) {
+			// Already materialized: registry-resident, nothing to load.
+			return
+		}
+		// Fresh materialization ahead: it will read every row of the
+		// sources, so pin them in full.
 		for _, name := range exprColumns(x) {
 			if e.store.HasColumn(name) {
 				_, _ = ps.Column(name)
 			}
 		}
 	}
-	for _, item := range stmt.Items {
-		pin(item.Expr)
+	// pinRowPred warms a predicate that will be evaluated row by row: its
+	// columns are only ever read inside active chunks.
+	pinRowPred := func(x sql.Expr) {
+		for _, name := range exprColumns(x) {
+			if e.store.HasColumn(name) {
+				_, _ = ps.ColumnChunks(name, active)
+			}
+		}
 	}
-	pin(stmt.Where)
+	// pinPredicate walks a WHERE tree down to its comparison/IN operands.
+	var pinPredicate func(x sql.Expr)
+	pinPredicate = func(x sql.Expr) {
+		switch n := x.(type) {
+		case nil:
+			return
+		case *sql.Binary:
+			switch n.Op {
+			case sql.OpAnd, sql.OpOr:
+				pinPredicate(n.L)
+				pinPredicate(n.R)
+				return
+			default:
+				// Only a column-vs-literal comparison materializes its
+				// non-literal side; anything else compiles to a row
+				// predicate and needs active chunks only.
+				_, lLit := exprLiteral(n.L)
+				_, rLit := exprLiteral(n.R)
+				if lLit == rLit {
+					pinRowPred(x)
+					return
+				}
+				if !lLit {
+					pinOperand(n.L)
+				}
+				if !rLit {
+					pinOperand(n.R)
+				}
+				return
+			}
+		case *sql.Not:
+			pinPredicate(n.X)
+			return
+		case *sql.In:
+			// A non-literal list member turns the whole IN into a row
+			// predicate; only an all-literal list materializes n.X.
+			for _, item := range n.List {
+				if _, ok := exprLiteral(item); !ok {
+					pinRowPred(x)
+					return
+				}
+			}
+			pinOperand(n.X)
+			return
+		}
+		pinRowPred(x)
+	}
+	for _, item := range stmt.Items {
+		x := item.Expr
+		if call, ok := x.(*sql.Call); ok && sql.HasAggregate(x) {
+			for _, arg := range call.Args {
+				pinOperand(arg)
+			}
+			continue
+		}
+		pinOperand(x)
+	}
+	pinPredicate(stmt.Where)
 	for _, g := range stmt.GroupBy {
-		pin(g)
+		if resolved, err := e.resolveGroupExpr(stmt, g); err == nil {
+			pinOperand(resolved)
+		}
 	}
 	for _, o := range stmt.OrderBy {
-		pin(o.Expr)
+		pinOperand(o.Expr)
 	}
-	pin(stmt.Having)
+	if stmt.Having != nil {
+		for _, name := range exprColumns(stmt.Having) {
+			if e.store.HasColumn(name) {
+				_, _ = ps.ColumnChunks(name, active)
+			}
+		}
+	}
 }
 
 // storeRow adapts a (chunk, row) position to the expr.Row interface. It is
@@ -350,14 +444,16 @@ func exprColumns(e sql.Expr) []string { return expr.Columns(e) }
 // group-by operand to a column name, materializing a virtual field when it
 // is not a plain column reference (Section 5: expressions are computed once
 // and stored in the datastore; restrictions on them can then skip chunks).
-// Columns it resolves are pinned into ps, and the source columns of a fresh
-// materialization are pinned for the duration of its chunk-parallel scan.
-func (e *Engine) materializeOperand(x sql.Expr, ps *colstore.PinSet) (string, error) {
+// Columns it resolves are pinned into ps at the residency analysis's chunk
+// granularity (active; nil = all chunks), and the source columns of a
+// fresh materialization are pinned in full for the duration of its
+// chunk-parallel, every-row scan.
+func (e *Engine) materializeOperand(x sql.Expr, ps *colstore.PinSet, active []bool) (string, error) {
 	if id, ok := x.(*sql.Ident); ok {
 		if !e.store.HasColumn(id.Name) {
 			return "", fmt.Errorf("exec: unknown column %q", id.Name)
 		}
-		if _, err := ps.Column(id.Name); err != nil {
+		if _, err := ps.ColumnChunks(id.Name, active); err != nil {
 			return "", err
 		}
 		return id.Name, nil
@@ -365,7 +461,7 @@ func (e *Engine) materializeOperand(x sql.Expr, ps *colstore.PinSet) (string, er
 	key := x.String()
 	if e.store.HasColumn(key) {
 		// Already materialized by an earlier query.
-		if _, err := ps.Column(key); err != nil {
+		if _, err := ps.ColumnChunks(key, active); err != nil {
 			return "", err
 		}
 		return key, nil
@@ -470,8 +566,16 @@ type plan struct {
 	accessCols []string
 	// cols maps every accessed column to its resolved (pinned) pointer, so
 	// the scan and finalize phases never go back through the store registry
-	// or the memory manager. Read-only after planning.
+	// or the memory manager. On a chunk-granular store these are
+	// query-private views whose Chunks are populated only at active
+	// indices. Read-only after planning.
 	cols map[string]*colstore.Column
+	// active flags the chunks the residency analysis kept (nil = all);
+	// the scan skips pruned chunks without touching their data, which on a
+	// chunk-granular store was never loaded in the first place.
+	active []bool
+	// activeCount is the number of active chunks.
+	activeCount int
 }
 
 // col returns the plan's resolved pointer for an accessed column, falling
@@ -483,19 +587,19 @@ func (p *plan) col(e *Engine, name string) *colstore.Column {
 	return e.store.Column(name)
 }
 
-// plan compiles a statement. Every column the query touches is pinned into
-// ps as it is resolved, so on lazy stores the scan phase only ever sees
-// resident data.
-func (e *Engine) plan(stmt *sql.SelectStmt, ps *colstore.PinSet) (*plan, error) {
+// plan compiles a statement. Everything the query touches is pinned into
+// ps as it is resolved — at the chunk granularity rsd allows — so on lazy
+// stores the scan phase only ever sees resident data.
+func (e *Engine) plan(stmt *sql.SelectStmt, ps *colstore.PinSet, rsd *residency) (*plan, error) {
 	if stmt.From == "" {
 		return nil, fmt.Errorf("exec: missing FROM")
 	}
-	p := &plan{stmt: stmt}
+	p := &plan{stmt: stmt, active: rsd.activeSet(), activeCount: rsd.count}
 	access := map[string]bool{}
 
 	// WHERE.
 	if stmt.Where != nil {
-		w, err := e.compileRestriction(stmt.Where, ps)
+		w, err := e.compileRestriction(stmt.Where, ps, p.active)
 		if err != nil {
 			return nil, err
 		}
@@ -509,11 +613,11 @@ func (e *Engine) plan(stmt *sql.SelectStmt, ps *colstore.PinSet) (*plan, error) 
 		if err != nil {
 			return nil, err
 		}
-		col, err := e.materializeOperand(name, ps)
+		col, err := e.materializeOperand(name, ps, p.active)
 		if err != nil {
 			return nil, err
 		}
-		gc, err := ps.Column(col)
+		gc, err := ps.ColumnChunks(col, p.active)
 		if err != nil {
 			return nil, err
 		}
@@ -541,7 +645,7 @@ func (e *Engine) plan(stmt *sql.SelectStmt, ps *colstore.PinSet) (*plan, error) 
 		}
 		switch {
 		case p.rowScan:
-			col, err := e.materializeOperand(item.Expr, ps)
+			col, err := e.materializeOperand(item.Expr, ps, p.active)
 			if err != nil {
 				return nil, err
 			}
@@ -553,7 +657,7 @@ func (e *Engine) plan(stmt *sql.SelectStmt, ps *colstore.PinSet) (*plan, error) 
 			if !ok {
 				return nil, fmt.Errorf("exec: aggregates must be top-level calls, got %s", item.Expr)
 			}
-			spec, err := e.compileAggregate(call, ps)
+			spec, err := e.compileAggregate(call, ps, p.active)
 			if err != nil {
 				return nil, err
 			}
@@ -595,7 +699,7 @@ func (e *Engine) plan(stmt *sql.SelectStmt, ps *colstore.PinSet) (*plan, error) 
 		// referenced only inside row-level predicates. Unknown names are
 		// left to fail at evaluation time, as before.
 		if e.store.HasColumn(col) {
-			c, err := ps.Column(col)
+			c, err := ps.ColumnChunks(col, p.active)
 			if err != nil {
 				return nil, err
 			}
@@ -620,7 +724,7 @@ func (e *Engine) resolveGroupExpr(stmt *sql.SelectStmt, g sql.Expr) (sql.Expr, e
 
 // matchGroup finds which group expression a select item corresponds to.
 func (p *plan) matchGroup(e *Engine, stmt *sql.SelectStmt, x sql.Expr, ps *colstore.PinSet) (int, error) {
-	col, err := e.materializeOperand(x, ps)
+	col, err := e.materializeOperand(x, ps, p.active)
 	if err != nil {
 		return 0, err
 	}
@@ -634,7 +738,7 @@ func (p *plan) matchGroup(e *Engine, stmt *sql.SelectStmt, x sql.Expr, ps *colst
 
 // compileAggregate validates an aggregate call and materializes its
 // argument column.
-func (e *Engine) compileAggregate(call *sql.Call, ps *colstore.PinSet) (aggSpec, error) {
+func (e *Engine) compileAggregate(call *sql.Call, ps *colstore.PinSet, active []bool) (aggSpec, error) {
 	name := strings.ToLower(call.Name)
 	var fn aggFn
 	switch name {
@@ -663,11 +767,11 @@ func (e *Engine) compileAggregate(call *sql.Call, ps *colstore.PinSet) (aggSpec,
 	if len(call.Args) != 1 {
 		return aggSpec{}, fmt.Errorf("exec: %s expects one argument", call.Name)
 	}
-	col, err := e.materializeOperand(call.Args[0], ps)
+	col, err := e.materializeOperand(call.Args[0], ps, active)
 	if err != nil {
 		return aggSpec{}, err
 	}
-	argCol, err := ps.Column(col)
+	argCol, err := ps.ColumnChunks(col, active)
 	if err != nil {
 		return aggSpec{}, err
 	}

@@ -108,7 +108,11 @@ func (qs *QueryStats) add(o QueryStats) {
 	qs.RowsSkipped += o.RowsSkipped
 	qs.CellsCovered += o.CellsCovered
 	qs.CellsScanned += o.CellsScanned
+	qs.ActiveChunks += o.ActiveChunks
+	qs.SkippedChunks += o.SkippedChunks
 	qs.ColdLoads += o.ColdLoads
+	qs.ColdChunkLoads += o.ColdChunkLoads
+	qs.ColdDictLoads += o.ColdDictLoads
 	qs.ColdBytesLoaded += o.ColdBytesLoaded
 	qs.DiskBytesRead += o.DiskBytesRead
 }

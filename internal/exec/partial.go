@@ -56,9 +56,10 @@ func (e *Engine) RunPartial(stmt *sql.SelectStmt) (*Partial, error) {
 	}
 	ps := e.store.NewPinSet()
 	defer ps.Release()
-	e.prefetchColumns(stmt, ps)
+	rsd := e.analyzeResidency(stmt, ps)
+	e.prefetchColumns(stmt, ps, rsd.activeSet())
 	e.planMu.Lock()
-	p, err := e.plan(stmt, ps)
+	p, err := e.plan(stmt, ps, rsd)
 	e.planMu.Unlock()
 	if err != nil {
 		return nil, err
@@ -71,6 +72,8 @@ func (e *Engine) RunPartial(stmt *sql.SelectStmt) (*Partial, error) {
 		return nil, err
 	}
 	qs.ColdLoads = ps.ColdLoads
+	qs.ColdChunkLoads = ps.ColdChunkLoads
+	qs.ColdDictLoads = ps.ColdDictLoads
 	qs.ColdBytesLoaded = ps.ColdBytesLoaded
 	qs.DiskBytesRead = ps.DiskBytesRead
 	out := &Partial{Stats: qs}
@@ -162,7 +165,11 @@ func MergePartials(dst, src *Partial) error {
 	dst.Stats.RowsSkipped += src.Stats.RowsSkipped
 	dst.Stats.CellsCovered += src.Stats.CellsCovered
 	dst.Stats.CellsScanned += src.Stats.CellsScanned
+	dst.Stats.ActiveChunks += src.Stats.ActiveChunks
+	dst.Stats.SkippedChunks += src.Stats.SkippedChunks
 	dst.Stats.ColdLoads += src.Stats.ColdLoads
+	dst.Stats.ColdChunkLoads += src.Stats.ColdChunkLoads
+	dst.Stats.ColdDictLoads += src.Stats.ColdDictLoads
 	dst.Stats.ColdBytesLoaded += src.Stats.ColdBytesLoaded
 	dst.Stats.DiskBytesRead += src.Stats.DiskBytesRead
 	return nil

@@ -1,0 +1,263 @@
+package exec
+
+import (
+	"sort"
+
+	"powerdrill/internal/colstore"
+	"powerdrill/internal/sql"
+	"powerdrill/internal/value"
+)
+
+// This file computes the active-chunk set of a statement BEFORE any chunk
+// data is loaded — the piece that makes the memory budget scale with
+// restriction selectivity (paper Section 5: composite range partitioning
+// makes most chunks provably inactive for a restricted query, so only the
+// active ones need RAM). The analysis runs on metadata alone: global
+// dictionaries (to map literals to global-ids) and the per-chunk value
+// spans recorded in the manifest (colstore.ChunkSpan). It is deliberately
+// conservative — a chunk is pruned only when the spans PROVE no row can
+// match — so the precise per-chunk classification in scanChunk, which sees
+// the real chunk-dictionaries, still runs on whatever survives.
+//
+// The analysis happens before prefetch and outside planMu: it pins only
+// dictionaries (cheap), and its verdict tells prefetchColumns which chunks
+// to pin, so a restricted query never loads — and never charges the byte
+// budget for — chunks it cannot scan.
+
+// residency is the result of the pre-scan active-chunk analysis.
+type residency struct {
+	// active flags the chunks the statement may touch; nil when the
+	// analysis could not prune anything (no WHERE clause, skipping
+	// disabled, or no usable spans), meaning every chunk is active.
+	active []bool
+	// count is the number of active chunks (NumChunks when active is nil).
+	count int
+}
+
+// activeSet returns the active flags (nil = all chunks).
+func (r *residency) activeSet() []bool {
+	if r == nil {
+		return nil
+	}
+	return r.active
+}
+
+// analyzeResidency classifies every chunk against the statement's WHERE
+// clause using spans only. Dictionaries it needs are pinned into ps. The
+// analysis never fails: anything it cannot decide (row predicates,
+// unmaterialized expressions, span-less columns, type mismatches) is
+// treated as "may match", and real errors surface later in plan with
+// proper context.
+func (e *Engine) analyzeResidency(stmt *sql.SelectStmt, ps *colstore.PinSet) *residency {
+	n := e.store.NumChunks()
+	all := &residency{count: n}
+	if stmt.Where == nil || e.opts.DisableSkipping {
+		return all
+	}
+	node := e.compileSpanTree(stmt.Where, ps)
+	if node == unknownSpan {
+		return all
+	}
+	active := make([]bool, n)
+	count := 0
+	for ci := 0; ci < n; ci++ {
+		if node.classify(ci) != activeNone {
+			active[ci] = true
+			count++
+		}
+	}
+	return &residency{active: active, count: count}
+}
+
+// spanNode is a conservative, metadata-only compilation of a WHERE tree:
+// leaves carry restriction global-id sets or ranges plus the column's
+// per-chunk spans; anything the analysis cannot prove becomes unknownSpan,
+// which classifies every chunk as possibly active.
+type spanNode struct {
+	op       rOp // rAnd, rOr, rNot, rInSet, rRange, rRowPred (= unknown)
+	children []*spanNode
+	spans    []colstore.ChunkSpan
+	gids     []uint32 // rInSet: sorted global-ids
+	lo, hi   uint32   // rRange: [lo, hi)
+}
+
+// unknownSpan is the "cannot decide, assume active" sentinel leaf.
+var unknownSpan = &spanNode{op: rRowPred}
+
+// compileSpanTree mirrors compileRestriction, but materializes nothing and
+// loads no chunk data.
+func (e *Engine) compileSpanTree(w sql.Expr, ps *colstore.PinSet) *spanNode {
+	switch n := w.(type) {
+	case *sql.Binary:
+		switch n.Op {
+		case sql.OpAnd, sql.OpOr:
+			l := e.compileSpanTree(n.L, ps)
+			r := e.compileSpanTree(n.R, ps)
+			op := rAnd
+			if n.Op == sql.OpOr {
+				op = rOr
+			}
+			return &spanNode{op: op, children: []*spanNode{l, r}}
+		case sql.OpEq, sql.OpNe, sql.OpLt, sql.OpLe, sql.OpGt, sql.OpGe:
+			return e.spanComparison(n, ps)
+		}
+		return unknownSpan
+	case *sql.Not:
+		return &spanNode{op: rNot, children: []*spanNode{e.compileSpanTree(n.X, ps)}}
+	case *sql.In:
+		return e.spanIn(n, ps)
+	}
+	return unknownSpan
+}
+
+// spanLeafColumn resolves a restriction operand to a dictionary and chunk
+// spans, when that is possible without loading chunks or materializing
+// expressions: a plain column, or an expression an earlier query already
+// materialized (registered under its canonical string).
+func (e *Engine) spanLeafColumn(x sql.Expr, ps *colstore.PinSet) (*colstore.Column, []colstore.ChunkSpan, bool) {
+	name := ""
+	if id, ok := x.(*sql.Ident); ok {
+		name = id.Name
+	} else if key := x.String(); e.store.HasColumn(key) {
+		name = key
+	} else {
+		return nil, nil, false
+	}
+	spans, ok := e.store.ChunkSpans(name)
+	if !ok {
+		return nil, nil, false
+	}
+	col, err := ps.ColumnDict(name)
+	if err != nil {
+		// Plan will hit (and report) the same load error; stay conservative.
+		return nil, nil, false
+	}
+	return col, spans, true
+}
+
+// spanComparison maps `col OP literal` onto a set or range leaf over spans.
+func (e *Engine) spanComparison(n *sql.Binary, ps *colstore.PinSet) *spanNode {
+	lhs, rhs := n.L, n.R
+	op := n.Op
+	if _, isLit := exprLiteral(lhs); isLit {
+		lhs, rhs = rhs, lhs
+		op = flipOp(op)
+	}
+	lit, ok := exprLiteral(rhs)
+	if !ok {
+		return unknownSpan
+	}
+	col, spans, ok := e.spanLeafColumn(lhs, ps)
+	if !ok {
+		return unknownSpan
+	}
+	switch op {
+	case sql.OpEq, sql.OpNe:
+		gids, err := eqGIDs(col, lit)
+		if err != nil {
+			return unknownSpan
+		}
+		leaf := &spanNode{op: rInSet, spans: spans, gids: gids}
+		if op == sql.OpNe {
+			return &spanNode{op: rNot, children: []*spanNode{leaf}}
+		}
+		return leaf
+	}
+	lo, hi, err := rangeForComparison(col.Dict, col.Kind, op, lit)
+	if err != nil {
+		return unknownSpan
+	}
+	return &spanNode{op: rRange, spans: spans, lo: lo, hi: hi}
+}
+
+// spanIn maps `X [NOT] IN (literals)` onto a set leaf over spans.
+func (e *Engine) spanIn(n *sql.In, ps *colstore.PinSet) *spanNode {
+	lits := make([]value.Value, 0, len(n.List))
+	for _, item := range n.List {
+		lit, ok := exprLiteral(item)
+		if !ok {
+			return unknownSpan
+		}
+		lits = append(lits, lit)
+	}
+	col, spans, ok := e.spanLeafColumn(n.X, ps)
+	if !ok {
+		return unknownSpan
+	}
+	gids, err := inGIDs(col, lits)
+	if err != nil {
+		return unknownSpan
+	}
+	leaf := &spanNode{op: rInSet, spans: spans, gids: gids}
+	if n.Negated {
+		return &spanNode{op: rNot, children: []*spanNode{leaf}}
+	}
+	return leaf
+}
+
+// classify evaluates the tree against chunk ci's spans — the same
+// three-valued lattice as restriction.classify, but over [min, max]
+// summaries instead of full chunk-dictionaries. Sound by construction:
+// whenever this returns activeNone, the precise classification would too.
+func (n *spanNode) classify(ci int) triState {
+	switch n.op {
+	case rAnd:
+		out := activeAll
+		for _, c := range n.children {
+			if s := c.classify(ci); s < out {
+				out = s
+			}
+			if out == activeNone {
+				break
+			}
+		}
+		return out
+	case rOr:
+		out := activeNone
+		for _, c := range n.children {
+			if s := c.classify(ci); s > out {
+				out = s
+			}
+			if out == activeAll {
+				break
+			}
+		}
+		return out
+	case rNot:
+		switch n.children[0].classify(ci) {
+		case activeNone:
+			return activeAll
+		case activeAll:
+			return activeNone
+		default:
+			return activeSome
+		}
+	case rInSet:
+		sp := n.spans[ci]
+		if sp.Empty() || !anyGIDInSpan(n.gids, sp) {
+			return activeNone
+		}
+		if sp.MinGID == sp.MaxGID {
+			// Single distinct value, proven to be in the set.
+			return activeAll
+		}
+		return activeSome
+	case rRange:
+		sp := n.spans[ci]
+		if sp.Empty() || n.lo >= n.hi || sp.MaxGID < n.lo || sp.MinGID >= n.hi {
+			return activeNone
+		}
+		if sp.MinGID >= n.lo && sp.MaxGID < n.hi {
+			return activeAll
+		}
+		return activeSome
+	}
+	return activeSome
+}
+
+// anyGIDInSpan reports whether any of the sorted global-ids falls inside
+// the span.
+func anyGIDInSpan(sorted []uint32, sp colstore.ChunkSpan) bool {
+	i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= sp.MinGID })
+	return i < len(sorted) && sorted[i] <= sp.MaxGID
+}

@@ -66,18 +66,19 @@ const (
 // compileRestriction translates a WHERE expression. Any sub-expression
 // whose left side is not a plain column is first materialized as a virtual
 // field by the engine (Section 5), after which it is a plain column again.
-// Leaf columns are pinned into ps: the compile-time dictionary lookups and
-// the scan both need them resident.
-func (e *Engine) compileRestriction(w sql.Expr, ps *colstore.PinSet) (*restriction, error) {
+// Leaf columns are pinned into ps at the residency analysis's chunk
+// granularity (active; nil = all chunks): the compile-time dictionary
+// lookups need the dictionary, and the scan touches only active chunks.
+func (e *Engine) compileRestriction(w sql.Expr, ps *colstore.PinSet, active []bool) (*restriction, error) {
 	switch n := w.(type) {
 	case *sql.Binary:
 		switch n.Op {
 		case sql.OpAnd, sql.OpOr:
-			l, err := e.compileRestriction(n.L, ps)
+			l, err := e.compileRestriction(n.L, ps, active)
 			if err != nil {
 				return nil, err
 			}
-			r, err := e.compileRestriction(n.R, ps)
+			r, err := e.compileRestriction(n.R, ps, active)
 			if err != nil {
 				return nil, err
 			}
@@ -87,46 +88,31 @@ func (e *Engine) compileRestriction(w sql.Expr, ps *colstore.PinSet) (*restricti
 			}
 			return &restriction{op: op, children: []*restriction{l, r}}, nil
 		case sql.OpEq, sql.OpNe, sql.OpLt, sql.OpLe, sql.OpGt, sql.OpGe:
-			return e.compileComparison(n, ps)
+			return e.compileComparison(n, ps, active)
 		default:
 			return nil, fmt.Errorf("exec: operator %s is not a predicate", n.Op)
 		}
 	case *sql.Not:
-		child, err := e.compileRestriction(n.X, ps)
+		child, err := e.compileRestriction(n.X, ps, active)
 		if err != nil {
 			return nil, err
 		}
 		return &restriction{op: rNot, children: []*restriction{child}}, nil
 	case *sql.In:
-		return e.compileIn(n, ps)
+		return e.compileIn(n, ps, active)
 	}
 	return nil, fmt.Errorf("exec: expression %s is not a predicate", w)
 }
 
-// compileIn maps `X [NOT] IN (literals)` onto a global-id set.
-func (e *Engine) compileIn(n *sql.In, ps *colstore.PinSet) (*restriction, error) {
-	lits := make([]value.Value, 0, len(n.List))
-	for _, item := range n.List {
-		v, ok := exprLiteral(item)
-		if !ok {
-			// Non-literal member: row-level fallback.
-			return &restriction{op: rRowPred, rowExpr: n}, nil
-		}
-		lits = append(lits, v)
-	}
-	colName, err := e.materializeOperand(n.X, ps)
-	if err != nil {
-		return nil, err
-	}
-	col, err := ps.Column(colName)
-	if err != nil {
-		return nil, err
-	}
+// inGIDs maps `col IN (lits)` onto the sorted global-id set that
+// satisfies it. Shared by the restriction compiler and the residency
+// analysis so the two can never drift apart on literal coercion.
+func inGIDs(col *colstore.Column, lits []value.Value) ([]uint32, error) {
 	gids := make([]uint32, 0, len(lits))
-	for _, v := range lits {
-		v, err := coerceToKind(v, col.Kind)
+	for _, lit := range lits {
+		v, err := coerceToKind(lit, col.Kind)
 		if err != nil {
-			return nil, fmt.Errorf("exec: IN list for %q: %w", colName, err)
+			return nil, err
 		}
 		if !v.IsValid() {
 			continue // value cannot equal any column value (e.g. 1.5 vs int)
@@ -136,6 +122,47 @@ func (e *Engine) compileIn(n *sql.In, ps *colstore.PinSet) (*restriction, error)
 		}
 	}
 	sortUint32s(gids)
+	return gids, nil
+}
+
+// eqGIDs maps `col = lit` onto its global-id set (empty when the literal
+// cannot match any column value). Shared like inGIDs.
+func eqGIDs(col *colstore.Column, lit value.Value) ([]uint32, error) {
+	v, err := coerceToKind(lit, col.Kind)
+	if err != nil {
+		return nil, err
+	}
+	if v.IsValid() {
+		if id, found := col.Dict.Lookup(v); found {
+			return []uint32{id}, nil
+		}
+	}
+	return nil, nil
+}
+
+// compileIn maps `X [NOT] IN (literals)` onto a global-id set.
+func (e *Engine) compileIn(n *sql.In, ps *colstore.PinSet, active []bool) (*restriction, error) {
+	lits := make([]value.Value, 0, len(n.List))
+	for _, item := range n.List {
+		v, ok := exprLiteral(item)
+		if !ok {
+			// Non-literal member: row-level fallback.
+			return &restriction{op: rRowPred, rowExpr: n}, nil
+		}
+		lits = append(lits, v)
+	}
+	colName, err := e.materializeOperand(n.X, ps, active)
+	if err != nil {
+		return nil, err
+	}
+	col, err := ps.ColumnChunks(colName, active)
+	if err != nil {
+		return nil, err
+	}
+	gids, err := inGIDs(col, lits)
+	if err != nil {
+		return nil, fmt.Errorf("exec: IN list for %q: %w", colName, err)
+	}
 	leaf := &restriction{op: rInSet, col: colName, colRef: col, gids: gids}
 	if n.Negated {
 		return &restriction{op: rNot, children: []*restriction{leaf}}, nil
@@ -145,7 +172,7 @@ func (e *Engine) compileIn(n *sql.In, ps *colstore.PinSet) (*restriction, error)
 
 // compileComparison maps `col OP literal` (either side) onto a set or a
 // range leaf; anything else becomes a row predicate.
-func (e *Engine) compileComparison(n *sql.Binary, ps *colstore.PinSet) (*restriction, error) {
+func (e *Engine) compileComparison(n *sql.Binary, ps *colstore.PinSet, active []bool) (*restriction, error) {
 	lhs, rhs := n.L, n.R
 	op := n.Op
 	if _, isLit := exprLiteral(lhs); isLit {
@@ -158,11 +185,11 @@ func (e *Engine) compileComparison(n *sql.Binary, ps *colstore.PinSet) (*restric
 		// Column-to-column or other complex comparison.
 		return &restriction{op: rRowPred, rowExpr: n}, nil
 	}
-	colName, err := e.materializeOperand(lhs, ps)
+	colName, err := e.materializeOperand(lhs, ps, active)
 	if err != nil {
 		return nil, err
 	}
-	col, err := ps.Column(colName)
+	col, err := ps.ColumnChunks(colName, active)
 	if err != nil {
 		return nil, err
 	}
@@ -170,15 +197,9 @@ func (e *Engine) compileComparison(n *sql.Binary, ps *colstore.PinSet) (*restric
 
 	switch op {
 	case sql.OpEq, sql.OpNe:
-		v, err := coerceToKind(lit, col.Kind)
+		gids, err := eqGIDs(col, lit)
 		if err != nil {
 			return nil, fmt.Errorf("exec: comparing %q: %w", colName, err)
-		}
-		var gids []uint32
-		if v.IsValid() {
-			if id, found := d.Lookup(v); found {
-				gids = []uint32{id}
-			}
 		}
 		leaf := &restriction{op: rInSet, col: colName, colRef: col, gids: gids}
 		if op == sql.OpNe {

@@ -46,7 +46,7 @@ func TestClassifyConsistentWithMask(t *testing.T) {
 		if err != nil {
 			t.Fatalf("parse %q: %v", p, err)
 		}
-		r, err := e.compileRestriction(stmt.Where, e.store.NewPinSet())
+		r, err := e.compileRestriction(stmt.Where, e.store.NewPinSet(), nil)
 		if err != nil {
 			t.Fatalf("compile %q: %v", p, err)
 		}
@@ -109,7 +109,7 @@ func TestClassifyRandomTrees(t *testing.T) {
 		if err != nil {
 			t.Fatalf("parse %q: %v", p, err)
 		}
-		rt, err := e.compileRestriction(stmt.Where, e.store.NewPinSet())
+		rt, err := e.compileRestriction(stmt.Where, e.store.NewPinSet(), nil)
 		if err != nil {
 			t.Fatalf("compile %q: %v", p, err)
 		}

@@ -25,6 +25,11 @@ func (e *Engine) executeRowScan(p *plan) (*Result, QueryStats, error) {
 	qs.ChunksTotal = nChunks
 	nCols := int64(len(p.accessCols))
 	qs.CellsCovered = int64(e.store.NumRows()) * nCols
+	qs.ActiveChunks = nChunks
+	if p.active != nil {
+		qs.ActiveChunks = p.activeCount
+		qs.SkippedChunks = nChunks - p.activeCount
+	}
 
 	res := &Result{}
 	for _, it := range p.items {
@@ -53,6 +58,11 @@ func (e *Engine) executeRowScan(p *plan) (*Result, QueryStats, error) {
 	}
 
 	err := forEachChunk(nChunks, workers, quit, func(w, ci int) error {
+		if p.active != nil && !p.active[ci] {
+			// Pruned by the residency analysis: never loaded, don't touch.
+			wqs[w].ChunksSkipped++
+			return nil
+		}
 		rows := e.store.ChunkRows(ci)
 		state := activeAll
 		if p.where != nil {

@@ -1,0 +1,53 @@
+// Package memmgr is PowerDrill's byte-budgeted memory manager: the
+// Section 5 mechanism that lets one machine "serve" far more data than fits
+// in RAM. Data loads lazily from the persisted format on first touch,
+// in-flight scans pin what they are using, and when the budget is exceeded
+// cold entries are evicted through one of the internal/cache replacement
+// policies (2Q by default — scan-resistant, so a one-time full scan cannot
+// flush the interactive working set).
+//
+// The manager is deliberately key-agnostic: callers decide what an entry
+// is. colstore uses one entry per (column, chunk) pair plus one per global
+// dictionary on chunk-granular stores (keys "<dir>\x00<column>#<chunk>"
+// and "<dir>\x00<column>#dict"), and one entry per whole column on stores
+// saved before the manifest carried a chunk layout ("<dir>\x00<column>").
+// Namespacing by absolute store directory means replicas opened from the
+// same path share residency. One Manager may be shared by many stores —
+// every shard of a cluster leaf process, for example — to enforce a single
+// process-wide budget.
+//
+// # The pin/evict contract
+//
+//   - Acquire(key, load) returns the entry's value and pins it. A pinned
+//     entry is NEVER evicted, whatever the budget; its bytes instead
+//     shrink the capacity available to unpinned residents. Pins are
+//     counted: two queries pinning one entry share it, and it stays until
+//     both have released.
+//   - Release(key) drops one pin. When the last pin goes, the entry
+//     re-enters the replacement policy — still resident, now evictable.
+//     An entry larger than the remaining evictable capacity is dropped
+//     immediately (still counted as an eviction).
+//   - Cold loads are deduplicated: concurrent Acquire calls for one key
+//     share a single load; the waiters count as hits, the loader as the
+//     cold load. A failed load is returned to every waiter and leaves no
+//     entry behind, so the next Acquire retries.
+//   - Values must be immutable after load. That is what makes eviction
+//     followed by reload bit-for-bit deterministic, and what lets scans
+//     read entries without any lock. A caller that kept a pointer past
+//     Release may keep using it safely — eviction only frees the
+//     manager's accounting, the Go heap data lives while referenced.
+//
+// # Budget semantics
+//
+// The budget bounds pinnedBytes + policyBytes. Pinned bytes may
+// transiently exceed the budget — a query that needs N chunks at once must
+// hold all N — which is the "± one working set" slack the accounting
+// documents; steady-state (unpinned) residency is always within the
+// budget. Budget 0 means unlimited: entries still load lazily and are
+// tracked, but nothing is ever evicted.
+//
+// Hotness survives the pin/release cycle: an entry that was accessed more
+// than once is restored to the policy's frequency tier (2Q's Am, ARC's T2)
+// on release rather than re-entering probation, so scan resistance
+// actually engages for the interactive working set.
+package memmgr

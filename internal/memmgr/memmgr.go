@@ -1,30 +1,12 @@
-// Package memmgr is PowerDrill's byte-budgeted memory manager: the
-// Section 5 mechanism that lets one machine "serve" far more data than fits
-// in RAM. Column data loads lazily from the persisted format on first
-// touch, in-flight scans pin what they are using, and when the budget is
-// exceeded cold columns are evicted through one of the internal/cache
-// replacement policies (2Q by default — scan-resistant, so a one-time full
-// scan cannot flush the interactive working set).
-//
-// The manager tracks two tiers:
+package memmgr
+
+// The manager tracks two tiers (see doc.go for the full pin/evict
+// contract):
 //
 //   - pinned entries: acquired by at least one in-flight query. Never
 //     evicted; their bytes shrink the evictable tier's capacity instead.
 //   - unpinned resident entries: held by the replacement policy, evicted
 //     whenever pinnedBytes + policyBytes would exceed the budget.
-//
-// An entry a query releases re-enters the policy; an entry larger than the
-// remaining capacity is dropped immediately (still counted as an
-// eviction). Pinned bytes may transiently exceed the budget — a query that
-// needs N columns at once must hold all N — which is the "± one working
-// set" slack the accounting documents; steady-state residency is always
-// within the budget.
-//
-// Loads are deduplicated: concurrent Acquire calls for the same key share a
-// single load (the waiters count as hits, the loader as the cold load).
-// Values are immutable after load, so eviction followed by reload is
-// bit-for-bit deterministic.
-package memmgr
 
 import (
 	"math"

@@ -1,0 +1,104 @@
+// Command mdcheck is the repository's markdown link checker: it walks the
+// given files and directories, extracts inline links from every .md file,
+// and fails when a relative link points at a file (or file#anchor) that
+// does not exist. External links (http/https/mailto) are not fetched —
+// CI must not depend on the network — only resolved locally when relative.
+//
+// Usage:
+//
+//	go run ./internal/tools/mdcheck README.md ROADMAP.md docs examples
+//
+// It exists so the docs CI job can gate on rotten links without pulling
+// in any dependency: the repo has none, and this keeps it that way.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links [text](target). Reference-style
+// links and autolinks are out of scope — the repo does not use them.
+var linkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: mdcheck <file.md|dir>...")
+		os.Exit(2)
+	}
+	var files []string
+	for _, arg := range os.Args[1:] {
+		info, err := os.Stat(arg)
+		if err != nil {
+			fail("stat %s: %v", arg, err)
+		}
+		if !info.IsDir() {
+			files = append(files, arg)
+			continue
+		}
+		err = filepath.WalkDir(arg, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(path, ".md") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			fail("walk %s: %v", arg, err)
+		}
+	}
+	broken := 0
+	for _, f := range files {
+		for _, problem := range checkFile(f) {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", f, problem)
+			broken++
+		}
+	}
+	if broken > 0 {
+		fail("%d broken link(s)", broken)
+	}
+	fmt.Printf("mdcheck: %d file(s) clean\n", len(files))
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mdcheck: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// checkFile returns one message per broken link in the file.
+func checkFile(path string) []string {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return []string{err.Error()}
+	}
+	var problems []string
+	for _, m := range linkRe.FindAllStringSubmatch(string(blob), -1) {
+		target := m[1]
+		switch {
+		case strings.HasPrefix(target, "http://"),
+			strings.HasPrefix(target, "https://"),
+			strings.HasPrefix(target, "mailto:"):
+			continue // external: not fetched
+		case strings.HasPrefix(target, "#"):
+			continue // same-file anchor: headings change too often to pin
+		}
+		// Strip an anchor; the file part must exist.
+		file := target
+		if i := strings.IndexByte(file, '#'); i >= 0 {
+			file = file[:i]
+		}
+		if file == "" {
+			continue
+		}
+		resolved := filepath.Join(filepath.Dir(path), filepath.FromSlash(file))
+		if _, err := os.Stat(resolved); err != nil {
+			problems = append(problems, fmt.Sprintf("broken link %q -> %s", target, resolved))
+		}
+	}
+	return problems
+}

@@ -116,14 +116,17 @@ type Options struct {
 	// N × Parallelism goroutines.
 	Parallelism int
 
-	// MemoryBudgetBytes bounds the resident bytes of disk-backed columns
-	// for stores opened with Open: columns load lazily on first touch and
-	// cold columns are evicted when the budget is exceeded (the paper's
-	// Section 5 — only a fraction of the data needs to reside in RAM).
-	// 0 means unlimited: columns still load lazily but nothing is evicted.
+	// MemoryBudgetBytes bounds the resident bytes of disk-backed data for
+	// stores opened with Open: dictionaries and chunks load lazily on
+	// first touch and cold entries are evicted when the budget is
+	// exceeded (the paper's Section 5 — only a fraction of the data needs
+	// to reside in RAM). Residency is (column, chunk)-granular, so a
+	// restricted query is only charged for the chunks its WHERE clause
+	// can match; see docs/memory.md for budget semantics and tuning.
+	// 0 means unlimited: data still loads lazily but nothing is evicted.
 	// Ignored by Build, whose store is fully resident by construction.
 	MemoryBudgetBytes int64
-	// MemoryPolicy selects the column eviction policy for Open: "lru",
+	// MemoryPolicy selects the eviction policy for Open: "lru",
 	// "2q" (default) or "arc".
 	MemoryPolicy string
 }
@@ -229,11 +232,16 @@ type MemoryStats = memmgr.Stats
 type CacheStats = cache.Stats
 
 // Open loads a store persisted with Save lazily: only the manifest is read
-// up front (the returned byte count), and columns materialize from disk on
-// first touch, governed by Options.MemoryBudgetBytes. A store opened this
-// way answers every query bit-for-bit identically to a fully resident one;
-// per-query cold-load counts appear in Result.Stats, cumulative disk bytes
-// in EngineStats — the quantity the paper's Figure 5 charges as disk load.
+// up front (the returned byte count), and dictionaries and chunks
+// materialize from disk on first touch, governed by
+// Options.MemoryBudgetBytes. A restricted query loads only the chunks its
+// WHERE clause can match (decided from manifest metadata before any chunk
+// is read), so the budget a store needs scales with restriction
+// selectivity. A store opened this way answers every query bit-for-bit
+// identically to a fully resident one; per-query residency and cold-load
+// counters appear in Result.Stats (ActiveChunks, ColdChunkLoads, ...),
+// cumulative disk bytes in EngineStats — the quantity the paper's
+// Figure 5 charges as disk load.
 func Open(dir string, opts Options) (*Store, int64, error) {
 	if err := validateMemoryPolicy(opts.MemoryPolicy); err != nil {
 		return nil, 0, err
