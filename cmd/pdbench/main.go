@@ -20,6 +20,7 @@
 //	pdbench -exp partitionorder      # ablation: field-order sensitivity
 //	pdbench -exp coldstart           # Section 5 byte-budgeted lazy loading
 //	pdbench -exp chunkres            # chunk-granular residency vs selectivity
+//	pdbench -exp coldio              # per-chunk compression + coalesced cold reads
 //
 // Absolute numbers depend on the host; the relationships (who wins, by
 // what factor, where curves bend) are the reproduction target. See
@@ -55,6 +56,7 @@ var experiments = []struct {
 	{"layers", "Ablation: two-layer (uncompressed/compressed) hybrid", runLayers},
 	{"coldstart", "Section 5: byte-budgeted lazy loading, cold vs warm", runColdStart},
 	{"chunkres", "Section 5: chunk-granular residency vs restriction selectivity", runChunkRes},
+	{"coldio", "Cold I/O: per-chunk compression, coalesced runs, cache-aware skips", runColdIO},
 }
 
 // config carries the shared experiment parameters.

@@ -221,9 +221,12 @@ func runQuery(args []string) error {
 		printResult(res)
 		warmth := "warm"
 		if res.Stats.ColdLoads > 0 {
-			warmth = fmt.Sprintf("cold: %d columns (%d chunks, %d dicts), %.2f MB from disk",
+			warmth = fmt.Sprintf("cold: %d columns (%d chunks, %d dicts), %.2f MB from disk in %d runs",
 				res.Stats.ColdLoads, res.Stats.ColdChunkLoads, res.Stats.ColdDictLoads,
-				float64(res.Stats.DiskBytesRead)/1e6)
+				float64(res.Stats.DiskBytesRead)/1e6, res.Stats.ReadRuns)
+		}
+		if res.Stats.CacheSkippedChunks > 0 {
+			warmth += fmt.Sprintf("; %d chunks answered from result cache unloaded", res.Stats.CacheSkippedChunks)
 		}
 		fmt.Printf("-- %d rows in %v; chunks: %d/%d active, %d skipped, %d cached, %d scanned; %s\n\n",
 			len(res.Rows), elapsed.Round(time.Microsecond),

@@ -54,6 +54,14 @@ type engineSection struct {
 	ColdDictLoads   int64 `json:"cold_dict_loads"`
 	ColdBytesLoaded int64 `json:"cold_bytes_loaded"`
 	DiskBytesRead   int64 `json:"disk_bytes_read"`
+	// CacheSkippedChunks counts chunks answered from the result cache by
+	// the cache-aware residency pass — never pinned, loaded, or charged to
+	// the memory budget.
+	CacheSkippedChunks int64 `json:"cache_skipped_chunks"`
+	// ReadRuns/CoalescedReads describe cold-read batching: contiguous cold
+	// chunks are served by one ReadAt per run instead of one per chunk.
+	ReadRuns       int64 `json:"read_runs"`
+	CoalescedReads int64 `json:"coalesced_reads"`
 }
 
 type cacheSection struct {
@@ -71,18 +79,21 @@ func statzHandler(store *powerdrill.Store) http.Handler {
 			Rows:   store.NumRows(),
 			Chunks: store.NumChunks(),
 			Engine: engineSection{
-				Queries:         es.Queries,
-				ChunksSkipped:   es.ChunksSkipped,
-				ChunksCached:    es.ChunksCached,
-				ChunksScanned:   es.ChunksScanned,
-				CellsScanned:    es.CellsScanned,
-				ActiveChunks:    es.ActiveChunks,
-				SkippedChunks:   es.SkippedChunks,
-				ColdLoads:       es.ColdLoads,
-				ColdChunkLoads:  es.ColdChunkLoads,
-				ColdDictLoads:   es.ColdDictLoads,
-				ColdBytesLoaded: es.ColdBytesLoaded,
-				DiskBytesRead:   es.DiskBytesRead,
+				Queries:            es.Queries,
+				ChunksSkipped:      es.ChunksSkipped,
+				ChunksCached:       es.ChunksCached,
+				ChunksScanned:      es.ChunksScanned,
+				CellsScanned:       es.CellsScanned,
+				ActiveChunks:       es.ActiveChunks,
+				SkippedChunks:      es.SkippedChunks,
+				ColdLoads:          es.ColdLoads,
+				ColdChunkLoads:     es.ColdChunkLoads,
+				ColdDictLoads:      es.ColdDictLoads,
+				ColdBytesLoaded:    es.ColdBytesLoaded,
+				DiskBytesRead:      es.DiskBytesRead,
+				CacheSkippedChunks: es.CacheSkippedChunks,
+				ReadRuns:           es.ReadRuns,
+				CoalescedReads:     es.CoalescedReads,
 			},
 		}
 		if ms, ok := store.MemStats(); ok {

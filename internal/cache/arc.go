@@ -52,6 +52,12 @@ func (c *ARC) SetCapacity(capacity int64) {
 // OnEvict implements EvictionNotifier.
 func (c *ARC) OnEvict(fn func(key string, value any, size int64)) { c.onEvict = fn }
 
+// Contains implements Cache: a peek with no recency or counter effects.
+func (c *ARC) Contains(key string) bool {
+	_, ok := c.items[key]
+	return ok
+}
+
 // Get implements Cache.
 func (c *ARC) Get(key string) (any, bool) {
 	e, ok := c.items[key]

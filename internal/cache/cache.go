@@ -14,6 +14,11 @@ package cache
 type Cache interface {
 	// Get returns the cached value and whether it was present.
 	Get(key string) (any, bool)
+	// Contains reports whether the key is resident without touching the
+	// policy's recency state or hit/miss counters — a pure peek, so callers
+	// (e.g. the memory manager's prefetch planner) can ask "would Get hit?"
+	// without distorting the eviction order.
+	Contains(key string) bool
 	// Put inserts or refreshes a value of the given size in bytes.
 	// Entries larger than the capacity are not cached.
 	Put(key string, value any, size int64)

@@ -23,6 +23,13 @@ func NewSynchronized(inner Cache) *Synchronized {
 	return &Synchronized{inner: inner}
 }
 
+// Contains implements Cache.
+func (s *Synchronized) Contains(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.Contains(key)
+}
+
 // Get implements Cache.
 func (s *Synchronized) Get(key string) (any, bool) {
 	s.mu.Lock()

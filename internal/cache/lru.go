@@ -31,6 +31,12 @@ func (c *LRU) SetCapacity(capacity int64) {
 // OnEvict implements EvictionNotifier.
 func (c *LRU) OnEvict(fn func(key string, value any, size int64)) { c.onEvict = fn }
 
+// Contains implements Cache: a peek with no recency or counter effects.
+func (c *LRU) Contains(key string) bool {
+	_, ok := c.items[key]
+	return ok
+}
+
 // Get implements Cache.
 func (c *LRU) Get(key string) (any, bool) {
 	e, ok := c.items[key]

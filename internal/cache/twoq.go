@@ -51,6 +51,12 @@ func (c *TwoQ) SetCapacity(capacity int64) {
 // OnEvict implements EvictionNotifier.
 func (c *TwoQ) OnEvict(fn func(key string, value any, size int64)) { c.onEvict = fn }
 
+// Contains implements Cache: a peek with no recency or counter effects.
+func (c *TwoQ) Contains(key string) bool {
+	_, ok := c.items[key]
+	return ok
+}
+
 // Get implements Cache.
 func (c *TwoQ) Get(key string) (any, bool) {
 	e, ok := c.items[key]

@@ -1,0 +1,262 @@
+package colstore
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"powerdrill/internal/compress"
+	"powerdrill/internal/memmgr"
+)
+
+// TestPerChunkCompressedRoundTrip pins the v3 format: for every registered
+// codec, a per-record-compressed save must open bit-for-bit identically —
+// eagerly and lazily — and single-chunk/single-dictionary loads must read
+// exactly the compressed record's byte range, nothing more.
+func TestPerChunkCompressedRoundTrip(t *testing.T) {
+	for _, codec := range compress.Names() {
+		t.Run(codec, func(t *testing.T) {
+			built, dir := buildSavedStore(t, 3000, codec)
+			eager, _, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertColumnsEqual(t, built, eager)
+			lazy, _, err := OpenLazy(dir, memmgr.New(0, "2q"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !lazy.ChunkGranular() {
+				t.Fatal("per-chunk-compressed store is not chunk-granular")
+			}
+			assertColumnsEqual(t, built, lazy)
+
+			r, _, err := NewReader(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, name := range built.Columns() {
+				want := built.Column(name)
+				dlen, ok := r.DictFileLen(name)
+				if !ok || dlen <= 0 {
+					t.Fatalf("column %q: no exact dictionary range (ok=%v len=%d)", name, ok, dlen)
+				}
+				if _, disk, err := r.LoadColumnDict(name); err != nil || disk != dlen {
+					t.Fatalf("column %q: dict load disk=%d want %d (err=%v)", name, disk, dlen, err)
+				}
+				for ci := range want.Chunks {
+					off, n, ok := r.ChunkFileRange(name, ci)
+					if !ok || n <= 0 || off < dlen {
+						t.Fatalf("column %q chunk %d: bad range ok=%v off=%d n=%d", name, ci, ok, off, n)
+					}
+					ch, disk, err := r.LoadColumnChunk(name, ci)
+					if err != nil {
+						t.Fatalf("column %q chunk %d: %v", name, ci, err)
+					}
+					if disk != n {
+						t.Fatalf("column %q chunk %d: charged %d disk bytes, exact range is %d", name, ci, disk, n)
+					}
+					wch := want.Chunks[ci]
+					if ch.Rows() != wch.Rows() || ch.Cardinality() != wch.Cardinality() {
+						t.Fatalf("column %q chunk %d shape mismatch", name, ci)
+					}
+					for rIdx := 0; rIdx < wch.Rows(); rIdx++ {
+						if ch.Elems.At(rIdx) != wch.Elems.At(rIdx) {
+							t.Fatalf("column %q chunk %d elem %d mismatch", name, ci, rIdx)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPerChunkCompressedSmallerThanFile checks the point of exact reads:
+// one chunk's charged bytes must be a strict subset of the column file.
+func TestPerChunkCompressedSmallerThanFile(t *testing.T) {
+	_, dir := buildSavedStore(t, 4000, "zippy")
+	r, _, err := NewReader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(filepath.Join(dir, "col_0000.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := r.Columns()[0].Name
+	_, disk, err := r.LoadColumnChunk(name, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disk <= 0 || disk >= fi.Size() {
+		t.Fatalf("chunk 0 charged %d bytes of a %d byte file; want a strict subrange", disk, fi.Size())
+	}
+}
+
+// TestLegacyV2WholeColumnMemoized pins the legacy-compressed fix: a store
+// with whole-column codec framing still pays one full read+decompress for
+// the first cold piece of a column, but later chunk loads of the same
+// column come from the Reader's memoized stream and charge no disk bytes.
+func TestLegacyV2WholeColumnMemoized(t *testing.T) {
+	built, dir := buildLegacyStore(t, 3000, "zippy")
+	lazy, _, err := OpenLazy(dir, memmgr.New(0, "2q"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lazy.ChunkGranular() {
+		t.Fatal("v2 store with a chunk layout should be chunk-granular")
+	}
+	assertColumnsEqual(t, built, lazy)
+
+	r, _, err := NewReader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := built.Columns()[0]
+	if _, _, ok := r.ChunkFileRange(name, 0); ok {
+		t.Fatal("whole-column codec must not advertise exact chunk ranges")
+	}
+	fi, err := os.Stat(filepath.Join(dir, "col_0000.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, disk0, err := r.LoadColumnChunk(name, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disk0 != fi.Size() {
+		t.Fatalf("first chunk load charged %d bytes, want whole file %d", disk0, fi.Size())
+	}
+	for ci := 1; ci < built.NumChunks(); ci++ {
+		_, disk, err := r.LoadColumnChunk(name, ci)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if disk != 0 {
+			t.Fatalf("chunk %d charged %d bytes despite the memoized stream", ci, disk)
+		}
+	}
+	io := r.IOStats()
+	if io.DecompressCalls != 1 {
+		t.Fatalf("decompress calls = %d, want 1 (memoized)", io.DecompressCalls)
+	}
+}
+
+// TestReadChunkRuns checks run coalescing: contiguous chunks collapse into
+// one read, a gap splits the runs, and the records decode identically to
+// individual loads.
+func TestReadChunkRuns(t *testing.T) {
+	for _, codec := range []string{"", "zippy"} {
+		name := codec
+		if name == "" {
+			name = "raw"
+		}
+		t.Run(name, func(t *testing.T) {
+			built, dir := buildSavedStore(t, 4000, codec)
+			r, _, err := NewReader(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			col := built.Columns()[0]
+			want := built.Column(col)
+			n := built.NumChunks()
+			if n < 4 {
+				t.Fatalf("need at least 4 chunks, have %d", n)
+			}
+			all := make([]int, n)
+			for i := range all {
+				all[i] = i
+			}
+			recs, runs, coalesced, ok, err := r.ReadChunkRuns(col, all)
+			if err != nil || !ok {
+				t.Fatalf("ReadChunkRuns: ok=%v err=%v", ok, err)
+			}
+			if runs != 1 {
+				t.Fatalf("contiguous chunks read in %d runs, want 1", runs)
+			}
+			if coalesced != n-1 {
+				t.Fatalf("coalesced = %d, want %d reads saved", coalesced, n-1)
+			}
+			for ci, rec := range recs {
+				ch, err := r.DecodeChunkRecord(col, ci, rec)
+				if err != nil {
+					t.Fatalf("chunk %d: %v", ci, err)
+				}
+				wch := want.Chunks[ci]
+				for rIdx := 0; rIdx < wch.Rows(); rIdx++ {
+					if ch.Elems.At(rIdx) != wch.Elems.At(rIdx) {
+						t.Fatalf("chunk %d elem %d mismatch", ci, rIdx)
+					}
+				}
+			}
+			// A hole splits the run.
+			_, runs, coalesced, ok, err = r.ReadChunkRuns(col, []int{0, 1, 3})
+			if err != nil || !ok {
+				t.Fatalf("ReadChunkRuns with gap: ok=%v err=%v", ok, err)
+			}
+			if runs != 2 {
+				t.Fatalf("gapped set read in %d runs, want 2", runs)
+			}
+			if coalesced != 1 {
+				t.Fatalf("gapped set saved %d reads, want 1 (the 0-1 pair)", coalesced)
+			}
+		})
+	}
+}
+
+// TestUnknownCodecFailsOpen pins the failure mode of a manifest naming a
+// codec this binary does not register (a store from a newer build): the
+// open must error, not the first cold load.
+func TestUnknownCodecFailsOpen(t *testing.T) {
+	_, dir := buildSavedStore(t, 1000, "zippy")
+	path := filepath.Join(dir, "manifest.json")
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(blob, &m); err != nil {
+		t.Fatal(err)
+	}
+	m["codec"] = "from-the-future"
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := NewReader(dir); err == nil {
+		t.Fatal("NewReader accepted an unknown codec")
+	}
+	if _, _, err := OpenLazy(dir, memmgr.New(0, "2q")); err == nil {
+		t.Fatal("OpenLazy accepted an unknown codec")
+	}
+}
+
+// TestReaderCloseReopens checks that Close only releases resources: loads
+// after Close re-open files and still succeed.
+func TestReaderCloseReopens(t *testing.T) {
+	built, dir := buildSavedStore(t, 2000, "zippy")
+	r, _, err := NewReader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := built.Columns()[0]
+	if _, _, err := r.LoadColumnChunk(name, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.LoadColumnChunk(name, 1); err != nil {
+		t.Fatalf("load after Close: %v", err)
+	}
+	if io := r.IOStats(); io.FileOpens < 2 {
+		t.Fatalf("expected a re-open after Close, got %d opens", io.FileOpens)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -25,6 +25,11 @@
 // each chunk's global-id span and byte range (see manifestChunk) — enough
 // metadata to decide which chunks a restriction can match, and to load
 // any single dictionary or chunk, without touching the rest of the file.
+// With a codec, every record is compressed individually and its
+// compressed byte range recorded too (manifest v3), so the exact-read
+// property holds under compression; SaveLegacyV2 keeps the old
+// whole-column framing for baselines and compatibility tests. See
+// docs/format.md for the full layout and compatibility matrix.
 //
 // # Lazy stores and the Reader
 //
@@ -33,8 +38,11 @@
 // unit is the (column, chunk) pair plus one entry per global dictionary;
 // stores saved before the manifest carried the chunk layout fall back to
 // whole-column entries (Store.ChunkGranular distinguishes them). Reader
-// is the stateless decoding layer underneath: LoadColumn, LoadColumnDict
-// and LoadColumnChunk each go straight to the files.
+// is the decoding layer underneath: LoadColumn, LoadColumnDict and
+// LoadColumnChunk go to the files through a bounded handle cache,
+// ReadChunkRuns serves contiguous cold chunks with one read per byte run,
+// and legacy whole-column-codec streams are decompressed once and
+// memoized (bounded, freed by Close). IOStats counts the physical work.
 //
 // # The PinSet-first contract
 //

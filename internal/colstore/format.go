@@ -15,16 +15,37 @@ import (
 )
 
 // The on-disk format: a manifest.json plus one binary file per column.
-// Column files are optionally compressed as a whole with a registered
-// codec; chunks inside are length-prefixed so a reader could skip them.
 // The format exists for two reasons: cold-start experiments (Figure 5
 // charges disk loads by these exact byte counts) and the pdrill CLI.
+//
+// Three manifest generations coexist (see docs/format.md for the full
+// layout and compatibility matrix):
+//
+//   - v1 (no chunk layout): the column file is one stream, optionally
+//     compressed as a whole; residency degrades to whole columns.
+//   - v2 (chunk layout, whole-column codec): the manifest records each
+//     chunk's byte range in the *uncompressed* stream. Uncompressed stores
+//     serve exact per-chunk reads; compressed stores must still read and
+//     decompress the whole file per cold load.
+//   - v3 (per-record compression): with a codec, Save compresses the
+//     dictionary record and every chunk record individually and records
+//     each record's compressed byte range ([COff, COff+CLen)) in the file,
+//     so a cold chunk is one exact ReadAt plus one single-record
+//     decompress — cold I/O scales with restriction selectivity under
+//     compression exactly like it does for raw stores.
+
+// formatVersion is the manifest generation this package writes.
+const formatVersion = 3
 
 // manifest is the JSON header of a persisted store.
 type manifest struct {
-	Name    string        `json:"name"`
-	Bounds  []int         `json:"bounds"`
-	Codec   string        `json:"codec,omitempty"`
+	Name   string `json:"name"`
+	Bounds []int  `json:"bounds"`
+	Codec  string `json:"codec,omitempty"`
+	// Format is the manifest generation; absent (0) on stores written
+	// before per-record compression. Codec framing: with Format >= 3 a
+	// codec applies per record, otherwise to the whole column file.
+	Format  int           `json:"format,omitempty"`
 	Columns []manifestCol `json:"columns"`
 	Opts    manifestOpts  `json:"options"`
 }
@@ -38,6 +59,10 @@ type manifestCol struct {
 	// the (uncompressed) column stream; 0 on manifests written before
 	// chunk-granular residency, which fall back to whole-column loads.
 	DictLen int64 `json:"dict_len,omitempty"`
+	// DictCLen is the compressed byte length of the head record (dictionary
+	// plus chunk-count varint) at the start of the column file; only set by
+	// per-record-compressed (v3) saves.
+	DictCLen int64 `json:"dict_clen,omitempty"`
 	// Chunks is the per-chunk layout: value span for restriction pruning
 	// and the byte range of each chunk record, so a single chunk can be
 	// loaded without touching the rest of the column.
@@ -47,11 +72,16 @@ type manifestCol struct {
 // manifestChunk records one chunk's residency metadata: the global-id span
 // of its chunk-dictionary (Min > Max marks an empty chunk) and the byte
 // range [Off, Off+Len) of its record in the uncompressed column stream.
+// On per-record-compressed (v3) stores, [COff, COff+CLen) is additionally
+// the compressed record's byte range in the column file — the exact range
+// a cold load reads.
 type manifestChunk struct {
-	Min uint32 `json:"min"`
-	Max uint32 `json:"max"`
-	Off int64  `json:"off"`
-	Len int64  `json:"len"`
+	Min  uint32 `json:"min"`
+	Max  uint32 `json:"max"`
+	Off  int64  `json:"off"`
+	Len  int64  `json:"len"`
+	COff int64  `json:"coff,omitempty"`
+	CLen int64  `json:"clen,omitempty"`
 }
 
 type manifestOpts struct {
@@ -63,8 +93,24 @@ type manifestOpts struct {
 }
 
 // Save persists the store into dir (created if needed). codecName may be
-// empty for uncompressed files or any registered codec.
+// empty for uncompressed files or any registered codec. Compressed stores
+// are written with per-record (v3) framing: the dictionary and every chunk
+// are compressed individually so cold loads read exact byte ranges.
 func Save(s *Store, dir, codecName string) error {
+	return save(s, dir, codecName, formatVersion)
+}
+
+// SaveLegacyV2 persists the store with the pre-v3 whole-column codec
+// framing: the chunk layout is recorded, but a codec (if any) compresses
+// the column file as one stream, so a cold chunk load must read and
+// decompress the whole file. Kept as the baseline for the cold-I/O
+// benchmarks and the cross-version compatibility tests; new code should
+// use Save.
+func SaveLegacyV2(s *Store, dir, codecName string) error {
+	return save(s, dir, codecName, 0)
+}
+
+func save(s *Store, dir, codecName string, format int) error {
 	var codec compress.Codec
 	if codecName != "" {
 		var err error
@@ -80,6 +126,7 @@ func Save(s *Store, dir, codecName string) error {
 		Name:   s.Name,
 		Bounds: s.Bounds,
 		Codec:  codecName,
+		Format: format,
 		Opts: manifestOpts{
 			PartitionFields:  s.Opts.PartitionFields,
 			MaxChunkRows:     s.Opts.MaxChunkRows,
@@ -101,16 +148,21 @@ func Save(s *Store, dir, codecName string) error {
 		file := fmt.Sprintf("col_%04d.bin", i)
 		raw, dictLen, chunkMetas := encodeColumn(col)
 		ps.Release()
+		mc := manifestCol{
+			Name: name, Kind: col.Kind.String(), Virtual: col.Virtual, File: file,
+			DictLen: dictLen, Chunks: chunkMetas,
+		}
 		if codec != nil {
-			raw = codec.Compress(nil, raw)
+			if format >= 3 {
+				raw, mc = compressRecords(codec, raw, mc)
+			} else {
+				raw = codec.Compress(nil, raw)
+			}
 		}
 		if err := os.WriteFile(filepath.Join(dir, file), raw, 0o644); err != nil {
 			return fmt.Errorf("colstore: save column %q: %w", name, err)
 		}
-		m.Columns = append(m.Columns, manifestCol{
-			Name: name, Kind: col.Kind.String(), Virtual: col.Virtual, File: file,
-			DictLen: dictLen, Chunks: chunkMetas,
-		})
+		m.Columns = append(m.Columns, mc)
 	}
 	blob, err := json.MarshalIndent(&m, "", "  ")
 	if err != nil {
@@ -120,6 +172,60 @@ func Save(s *Store, dir, codecName string) error {
 		return fmt.Errorf("colstore: save manifest: %w", err)
 	}
 	return nil
+}
+
+// compressRecords rewrites one column's raw stream with per-record (v3)
+// codec framing: a head record (dictionary plus chunk-count varint, the
+// bytes before the first chunk) followed by one record per chunk, each
+// compressed independently. The returned manifest entry carries the
+// compressed byte range of every record.
+func compressRecords(codec compress.Codec, raw []byte, mc manifestCol) ([]byte, manifestCol) {
+	headLen := int64(len(raw))
+	if len(mc.Chunks) > 0 {
+		headLen = mc.Chunks[0].Off
+	}
+	out := codec.Compress(nil, raw[:headLen])
+	mc.DictCLen = int64(len(out))
+	for i := range mc.Chunks {
+		ch := &mc.Chunks[i]
+		rec := codec.Compress(nil, raw[ch.Off:ch.Off+ch.Len])
+		ch.COff = int64(len(out))
+		ch.CLen = int64(len(rec))
+		out = append(out, rec...)
+	}
+	return out, mc
+}
+
+// perChunkCompressed reports whether a column file uses the v3 per-record
+// codec framing (compressed records at exact byte ranges).
+func (m *manifest) perChunkCompressed(mc manifestCol) bool {
+	return m.Codec != "" && m.Format >= 3 && mc.DictCLen > 0
+}
+
+// decompressColumnFile rebuilds a v3 column's uncompressed stream from its
+// per-record-compressed file contents.
+func decompressColumnFile(codec compress.Codec, mc manifestCol, data []byte) ([]byte, error) {
+	if mc.DictCLen > int64(len(data)) {
+		return nil, errTruncated
+	}
+	raw, err := codec.Decompress(nil, data[:mc.DictCLen])
+	if err != nil {
+		return nil, err
+	}
+	for i := range mc.Chunks {
+		ch := mc.Chunks[i]
+		if ch.COff+ch.CLen > int64(len(data)) || int64(len(raw)) != ch.Off {
+			return nil, errTruncated
+		}
+		raw, err = codec.Decompress(raw, data[ch.COff:ch.COff+ch.CLen])
+		if err != nil {
+			return nil, err
+		}
+		if int64(len(raw)) != ch.Off+ch.Len {
+			return nil, errTruncated
+		}
+	}
+	return raw, nil
 }
 
 // encodeColumn renders a column's dictionary and chunks. Alongside the raw
@@ -244,7 +350,12 @@ func Open(dir string) (*Store, *DiskStats, error) {
 		stats.BytesRead += int64(len(raw))
 		stats.Files++
 		if codec != nil {
-			if raw, err = codec.Decompress(nil, raw); err != nil {
+			if m.perChunkCompressed(mc) {
+				raw, err = decompressColumnFile(codec, mc, raw)
+			} else {
+				raw, err = codec.Decompress(nil, raw)
+			}
+			if err != nil {
 				return nil, nil, fmt.Errorf("colstore: decompress column %q: %w", mc.Name, err)
 			}
 		}

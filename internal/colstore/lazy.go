@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"sync"
 
 	"powerdrill/internal/compress"
 	"powerdrill/internal/dict"
@@ -56,12 +57,26 @@ func spanOf(ch *Chunk) ChunkSpan {
 // Reader decodes individual columns, dictionaries and chunks from a store
 // persisted with Save. It keeps no column data itself — every Load call
 // goes back to the files — so it is the natural provider behind a
-// budget-managed store.
+// budget-managed store. What it does keep is cold-I/O plumbing (see
+// readerio.go): a bounded cache of open file handles, a bounded memo of
+// decompressed streams for legacy whole-column-codec stores, and physical
+// I/O counters. All methods are safe for concurrent use.
 type Reader struct {
 	dir  string
 	m    *manifest
 	sd   StringDictKind
 	cols map[string]manifestCol
+
+	mu      sync.Mutex
+	files   map[string]*openFile
+	fileLRU []string
+	// rawCache memoizes decompressed whole-column streams for stores whose
+	// codec frames the entire file (legacy v1/v2): without it, every cold
+	// chunk of such a store would decompress the full column again.
+	rawCache map[string][]byte
+	rawOrder []string
+	rawBytes int64
+	stats    IOStats
 }
 
 // NewReader opens the manifest in dir. manifestBytes reports the bytes
@@ -70,6 +85,14 @@ func NewReader(dir string) (r *Reader, manifestBytes int64, err error) {
 	m, n, err := readManifest(dir)
 	if err != nil {
 		return nil, 0, err
+	}
+	if m.Codec != "" {
+		// Validate up front so every later load can resolve the codec
+		// infallibly (mustCodec): an unknown codec — a store written by a
+		// newer build, say — must fail the open, not the first cold query.
+		if _, err := compress.ByName(m.Codec); err != nil {
+			return nil, 0, fmt.Errorf("colstore: open %s: %w", dir, err)
+		}
 	}
 	r = &Reader{
 		dir:  dir,
@@ -110,7 +133,12 @@ func (r *Reader) hasLayout(mc manifestCol) bool {
 	return mc.DictLen > 0 && len(mc.Chunks) == len(r.m.Bounds)-1
 }
 
-// rawColumn reads and decompresses one column file.
+// rawColumn reads and decompresses one column file into its uncompressed
+// stream. On compressed stores the decompressed stream is memoized in the
+// Reader (bounded; see readerio.go), so repeated whole-column reads —
+// notably cold chunk loads on legacy whole-column-codec stores — pay the
+// read and decompress once, not once per chunk. diskBytes reports the
+// bytes actually read from disk by this call: zero on a memo hit.
 func (r *Reader) rawColumn(name string) (raw []byte, diskBytes int64, kind value.Kind, virtual bool, err error) {
 	mc, ok := r.cols[name]
 	if !ok {
@@ -120,35 +148,33 @@ func (r *Reader) rawColumn(name string) (raw []byte, diskBytes int64, kind value
 	if err != nil {
 		return nil, 0, value.KindInvalid, false, fmt.Errorf("colstore: column %q: %w", name, err)
 	}
+	if r.m.Codec != "" {
+		if cached, ok := r.cachedStream(name); ok {
+			return cached, 0, kind, mc.Virtual, nil
+		}
+	}
 	raw, err = os.ReadFile(filepath.Join(r.dir, mc.File))
 	if err != nil {
 		return nil, 0, value.KindInvalid, false, fmt.Errorf("colstore: load column %q: %w", name, err)
 	}
 	diskBytes = int64(len(raw))
+	r.mu.Lock()
+	r.stats.ReadCalls++
+	r.stats.BytesRead += diskBytes
+	r.mu.Unlock()
 	if r.m.Codec != "" {
-		codec, cerr := compress.ByName(r.m.Codec)
-		if cerr != nil {
-			return nil, 0, value.KindInvalid, false, cerr
+		codec := mustCodec(r.m.Codec)
+		if r.m.perChunkCompressed(mc) {
+			raw, err = r.decompressColumnFile(codec, mc, raw)
+		} else {
+			raw, err = r.decompress(codec, nil, raw)
 		}
-		if raw, err = codec.Decompress(nil, raw); err != nil {
+		if err != nil {
 			return nil, 0, value.KindInvalid, false, fmt.Errorf("colstore: decompress column %q: %w", name, err)
 		}
+		r.memoizeStream(name, raw)
 	}
 	return raw, diskBytes, kind, mc.Virtual, nil
-}
-
-// readFileRange reads exactly [off, off+n) of a file.
-func readFileRange(path string, off, n int64) ([]byte, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	buf := make([]byte, n)
-	if _, err := f.ReadAt(buf, off); err != nil {
-		return nil, err
-	}
-	return buf, nil
 }
 
 // LoadColumn decodes the named column in full. diskBytes is the on-disk
@@ -165,10 +191,11 @@ func (r *Reader) LoadColumn(name string) (*Column, int64, error) {
 	return col, diskBytes, nil
 }
 
-// LoadColumnDict decodes only the named column's global dictionary. On an
-// uncompressed store with a chunk layout just the dictionary's byte range
-// is read from disk; otherwise the whole file is read (and decompressed)
-// but only the dictionary is materialized.
+// LoadColumnDict decodes only the named column's global dictionary. With a
+// chunk layout just the dictionary record's byte range is read from disk —
+// raw on uncompressed stores, one compressed record (decompressed alone)
+// on per-record-compressed ones. Legacy whole-column codecs read the whole
+// file (memoized in the Reader) but materialize only the dictionary.
 func (r *Reader) LoadColumnDict(name string) (dict.Dict, int64, error) {
 	mc, ok := r.cols[name]
 	if !ok {
@@ -178,16 +205,21 @@ func (r *Reader) LoadColumnDict(name string) (dict.Dict, int64, error) {
 	if err != nil {
 		return nil, 0, fmt.Errorf("colstore: column %q: %w", name, err)
 	}
-	if r.m.Codec == "" && r.hasLayout(mc) {
-		raw, err := readFileRange(filepath.Join(r.dir, mc.File), 0, mc.DictLen)
+	if n, exact := r.DictFileLen(name); exact {
+		raw, err := r.readRange(mc.File, 0, n)
 		if err != nil {
 			return nil, 0, fmt.Errorf("colstore: load dictionary of %q: %w", name, err)
+		}
+		if r.m.perChunkCompressed(mc) {
+			if raw, err = r.decompress(mustCodec(r.m.Codec), nil, raw); err != nil {
+				return nil, 0, fmt.Errorf("colstore: load dictionary of %q: %w", name, err)
+			}
 		}
 		d, err := decodeDict(&byteReader{buf: raw}, kind, r.sd)
 		if err != nil {
 			return nil, 0, fmt.Errorf("colstore: column %q: %w", name, err)
 		}
-		return d, mc.DictLen, nil
+		return d, n, nil
 	}
 	raw, diskBytes, kind, _, err := r.rawColumn(name)
 	if err != nil {
@@ -200,12 +232,14 @@ func (r *Reader) LoadColumnDict(name string) (dict.Dict, int64, error) {
 	return d, diskBytes, nil
 }
 
-// LoadColumnChunk decodes a single chunk of the named column. With a chunk
-// layout in the manifest the chunk's byte range is read directly (on an
-// uncompressed store nothing else is touched; a store compressed as a
-// whole still reads and decompresses the file, but only the requested
-// chunk is materialized). Without a layout the reader walks the stream,
-// skipping the dictionary and the preceding chunks.
+// LoadColumnChunk decodes a single chunk of the named column. When the
+// layout supports exact reads (uncompressed with a chunk layout, or
+// per-record-compressed v3) only the chunk record's byte range is read —
+// and on v3 stores only that record is decompressed. A legacy store
+// compressed as a whole still reads and decompresses the file (memoized in
+// the Reader), materializing only the requested chunk. Without a layout
+// the reader walks the stream, skipping the dictionary and the preceding
+// chunks.
 func (r *Reader) LoadColumnChunk(name string, chunk int) (*Chunk, int64, error) {
 	mc, ok := r.cols[name]
 	if ok && r.hasLayout(mc) {
@@ -213,16 +247,16 @@ func (r *Reader) LoadColumnChunk(name string, chunk int) (*Chunk, int64, error) 
 			return nil, 0, fmt.Errorf("colstore: column %q has %d chunks, want %d", name, len(mc.Chunks), chunk)
 		}
 		meta := mc.Chunks[chunk]
-		if r.m.Codec == "" {
-			raw, err := readFileRange(filepath.Join(r.dir, mc.File), meta.Off, meta.Len)
+		if off, n, exact := r.ChunkFileRange(name, chunk); exact {
+			rec, err := r.readRange(mc.File, off, n)
 			if err != nil {
 				return nil, 0, fmt.Errorf("colstore: load column %q chunk %d: %w", name, chunk, err)
 			}
-			ch, err := decodeChunk(&byteReader{buf: raw})
+			ch, err := r.DecodeChunkRecord(name, chunk, rec)
 			if err != nil {
-				return nil, 0, fmt.Errorf("colstore: column %q chunk %d: %w", name, chunk, err)
+				return nil, 0, err
 			}
-			return ch, meta.Len, nil
+			return ch, n, nil
 		}
 		raw, diskBytes, _, _, err := r.rawColumn(name)
 		if err != nil {
@@ -375,6 +409,26 @@ func (s *Store) MemManager() *memmgr.Manager {
 	return s.lazy.mgr
 }
 
+// IOStats reports the lazy store's physical I/O counters (file opens, read
+// calls, decompression time); ok is false for fully resident stores.
+func (s *Store) IOStats() (IOStats, bool) {
+	if s.lazy == nil {
+		return IOStats{}, false
+	}
+	return s.lazy.reader.IOStats(), true
+}
+
+// Close releases the resources a lazy store holds outside the memory
+// budget: cached column-file handles and memoized decompressed streams.
+// The store stays usable (files re-open on demand); a no-op for fully
+// resident stores.
+func (s *Store) Close() error {
+	if s.lazy == nil {
+		return nil
+	}
+	return s.lazy.reader.Close()
+}
+
 // ChunkGranular reports whether the store's residency unit is the
 // (column, chunk) pair. False for fully resident stores and for lazy
 // stores whose manifest predates the chunk layout (those load and evict
@@ -444,11 +498,25 @@ func (s *Store) acquireDict(name string) (d dict.Dict, key string, cold bool, si
 	return ld.d, key, cold, ld.size, ld.diskBytes, nil
 }
 
-// acquireChunk pins one chunk of the named column.
-func (s *Store) acquireChunk(name string, ci int) (ch *Chunk, key string, cold bool, size, diskBytes int64, err error) {
+// acquireChunk pins one chunk of the named column. rec, when non-nil, is
+// the chunk's file record pre-read by a coalesced run (see ColumnChunks);
+// the load then decodes without touching the disk again. The record bytes
+// are only consumed if this call actually performs the load — when another
+// query won the race, the resident chunk is shared and rec is dropped.
+func (s *Store) acquireChunk(name string, ci int, rec []byte) (ch *Chunk, key string, cold bool, size, diskBytes int64, err error) {
 	key = s.lazy.chunkKey(name, ci)
 	v, cold, err := s.lazy.mgr.Acquire(key, func() (any, int64, int64, error) {
-		c, disk, err := s.lazy.reader.LoadColumnChunk(name, ci)
+		var (
+			c    *Chunk
+			disk int64
+			err  error
+		)
+		if rec != nil {
+			c, err = s.lazy.reader.DecodeChunkRecord(name, ci, rec)
+			disk = int64(len(rec))
+		} else {
+			c, disk, err = s.lazy.reader.LoadColumnChunk(name, ci)
+		}
 		if err != nil {
 			return nil, 0, 0, err
 		}
@@ -518,6 +586,13 @@ type PinSet struct {
 	ColdBytesLoaded int64
 	// DiskBytesRead sums their on-disk (compressed) bytes.
 	DiskBytesRead int64
+	// ReadRuns counts the coalesced byte-run reads the set's cold chunk
+	// prefetches issued (one ReadAt per run; zero on stores without exact
+	// chunk reads).
+	ReadRuns int
+	// CoalescedReads counts the reads run coalescing saved: a run of m
+	// contiguous cold chunks is one read instead of m, saving m−1.
+	CoalescedReads int
 }
 
 // heldPin records the pins held for one column.
@@ -527,8 +602,6 @@ type heldPin struct {
 	// chunks flags which chunk indices are pinned (chunk-granular only).
 	chunks []bool
 	dict   bool
-	// full marks a legacy whole-column pin.
-	full bool
 	// cold marks the column as already counted in ColdLoads.
 	cold bool
 }
@@ -591,12 +664,13 @@ func (p *PinSet) ensureDict(h *heldPin) error {
 	return nil
 }
 
-// ensureChunk pins one chunk into the view.
-func (p *PinSet) ensureChunk(h *heldPin, ci int) error {
+// ensureChunk pins one chunk into the view. rec optionally carries the
+// chunk's pre-read file record from a coalesced run.
+func (p *PinSet) ensureChunk(h *heldPin, ci int, rec []byte) error {
 	if h.chunks[ci] {
 		return nil
 	}
-	ch, key, cold, size, disk, err := p.s.acquireChunk(h.view.Name, ci)
+	ch, key, cold, size, disk, err := p.s.acquireChunk(h.view.Name, ci, rec)
 	if err != nil {
 		return err
 	}
@@ -623,7 +697,7 @@ func (p *PinSet) legacyColumn(name string) (*Column, error) {
 	if p.held == nil {
 		p.held = make(map[string]*heldPin, 8)
 	}
-	h := &heldPin{view: col, keys: []string{key}, full: true}
+	h := &heldPin{view: col, keys: []string{key}}
 	p.held[name] = h
 	if cold {
 		p.coldColumn(h, col.Memory().Total(), disk)
@@ -668,6 +742,13 @@ func (p *PinSet) ColumnDict(name string) (*Column, error) {
 // active set stay nil in the returned view; callers must not touch them.
 // Pinning is monotonic per set: asking again with a wider set fills the
 // missing chunks, and already pinned ones are never double-counted.
+//
+// Cold chunks are prefetched in coalesced runs when the store's layout
+// supports exact reads: the not-yet-resident subset of the wanted chunks
+// is sorted into contiguous byte runs and each run is served by one ReadAt
+// instead of one read per chunk (ReadRuns/CoalescedReads count the
+// effect). A chunk another query loads between the residency peek and the
+// pin is shared as usual — its pre-read bytes are simply dropped.
 func (p *PinSet) ColumnChunks(name string, active []bool) (*Column, error) {
 	if c := p.s.residentColumn(name); c != nil {
 		return c, nil
@@ -685,11 +766,69 @@ func (p *PinSet) ColumnChunks(name string, active []bool) (*Column, error) {
 	if err := p.ensureDict(h); err != nil {
 		return nil, err
 	}
+	// Which wanted chunks are cold? Those are worth batching into runs.
+	var cold []int
+	for ci := range h.chunks {
+		if (active != nil && !active[ci]) || h.chunks[ci] {
+			continue
+		}
+		if !p.s.lazy.mgr.Resident(p.s.lazy.chunkKey(name, ci)) {
+			cold = append(cold, ci)
+		}
+	}
+	// Batched cold prefetch: read runs and pin their chunks one bounded
+	// batch at a time, so the transient raw-record buffers never exceed
+	// maxPrefetchBatchBytes regardless of how much of the column is cold
+	// (the decoded chunks themselves are pinned and budget-accounted as
+	// usual). A batch boundary can split a contiguous run — one extra
+	// read, bounded memory.
+	reader := p.s.lazy.reader
+	var batch []int
+	var batchBytes int64
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		recs, runs, coalesced, exact, err := reader.ReadChunkRuns(name, batch)
+		if err != nil {
+			return err
+		}
+		if exact {
+			p.ReadRuns += runs
+			p.CoalescedReads += coalesced
+		}
+		for _, ci := range batch {
+			if err := p.ensureChunk(h, ci, recs[ci]); err != nil {
+				return err
+			}
+		}
+		batch = batch[:0]
+		batchBytes = 0
+		return nil
+	}
+	for _, ci := range cold {
+		n := int64(0)
+		if _, rn, ok := reader.ChunkFileRange(name, ci); ok {
+			n = rn
+		}
+		if len(batch) > 0 && batchBytes+n > maxPrefetchBatchBytes {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		}
+		batch = append(batch, ci)
+		batchBytes += n
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	// Pin everything wanted; cold chunks are already held, warm ones (and
+	// any loaded by another query since the peek) share the resident entry.
 	for ci := range h.chunks {
 		if active != nil && !active[ci] {
 			continue
 		}
-		if err := p.ensureChunk(h, ci); err != nil {
+		if err := p.ensureChunk(h, ci, nil); err != nil {
 			return nil, err
 		}
 	}

@@ -355,8 +355,10 @@ func TestChunkSpansMatchChunks(t *testing.T) {
 	}
 }
 
-// stripChunkLayout rewrites a saved manifest without dict_len/chunks —
-// simulating a store saved before chunk-granular residency existed.
+// stripChunkLayout rewrites a saved manifest without format/dict_len/
+// chunks — simulating a store saved before chunk-granular residency
+// existed. The column files must use whole-column codec framing
+// (SaveLegacyV2) for the result to be a faithful v1 store.
 func stripChunkLayout(t *testing.T, dir string) {
 	t.Helper()
 	path := filepath.Join(dir, "manifest.json")
@@ -368,6 +370,7 @@ func stripChunkLayout(t *testing.T, dir string) {
 	if err := json.Unmarshal(blob, &m); err != nil {
 		t.Fatal(err)
 	}
+	delete(m, "format")
 	cols, ok := m["columns"].([]any)
 	if !ok {
 		t.Fatal("manifest has no columns")
@@ -375,6 +378,7 @@ func stripChunkLayout(t *testing.T, dir string) {
 	for _, c := range cols {
 		mc := c.(map[string]any)
 		delete(mc, "dict_len")
+		delete(mc, "dict_clen")
 		delete(mc, "chunks")
 	}
 	out, err := json.Marshal(m)
@@ -386,11 +390,31 @@ func stripChunkLayout(t *testing.T, dir string) {
 	}
 }
 
+// buildLegacyStore persists a store with the pre-v3 whole-column codec
+// framing.
+func buildLegacyStore(t *testing.T, rows int, codec string) (*Store, string) {
+	t.Helper()
+	tbl := workload.QueryLogs(workload.LogsSpec{Rows: rows, Seed: 7})
+	s, err := FromTable(tbl, Options{
+		PartitionFields:  []string{"country", "table_name"},
+		MaxChunkRows:     500,
+		OptimizeElements: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := SaveLegacyV2(s, dir, codec); err != nil {
+		t.Fatal(err)
+	}
+	return s, dir
+}
+
 // TestLegacyManifestFallsBackToColumns opens a store whose manifest lacks
 // the chunk layout: residency degrades to whole columns, chunk walks still
 // decode correctly, and queries through a PinSet behave like before.
 func TestLegacyManifestFallsBackToColumns(t *testing.T) {
-	built, dir := buildSavedStore(t, 2000, "zippy")
+	built, dir := buildLegacyStore(t, 2000, "zippy")
 	stripChunkLayout(t, dir)
 	mgr := memmgr.New(0, "2q")
 	lazy, _, err := OpenLazy(dir, mgr)

@@ -1,0 +1,384 @@
+package colstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"powerdrill/internal/compress"
+)
+
+// This file is the Reader's cold-I/O machinery: a bounded per-column file
+// handle cache (cold loads stop re-opening the column file), coalesced run
+// reads (adjacent cold chunks become one ReadAt), a bounded memo of
+// decompressed whole-column streams (legacy compressed stores stop paying
+// one full decompress per cold chunk), and the IOStats the benchmarks
+// report. All of it sits under Reader.mu; the actual ReadAt calls run
+// outside the lock (handles are reference-counted so an eviction never
+// closes a file mid-read).
+
+const (
+	// maxOpenFiles bounds the Reader's file handle cache.
+	maxOpenFiles = 32
+	// maxRawCacheBytes bounds the decompressed-stream memo for legacy
+	// (whole-column codec) stores.
+	maxRawCacheBytes = 64 << 20
+	// maxPrefetchBatchBytes bounds the raw record bytes a coalesced
+	// prefetch holds in flight (PinSet.ColumnChunks): the byte budget
+	// governs decoded residency, so the undecoded staging area must stay
+	// small and constant too.
+	maxPrefetchBatchBytes = 8 << 20
+)
+
+// IOStats counts the Reader's physical I/O and decompression work —
+// the cost drivers of the cold path that the byte counters alone
+// (DiskBytesRead) cannot separate.
+type IOStats struct {
+	// FileOpens counts os.Open calls (cache misses in the handle cache).
+	FileOpens int64
+	// ReadCalls counts ReadAt/ReadFile calls issued.
+	ReadCalls int64
+	// BytesRead sums the bytes those calls returned.
+	BytesRead int64
+	// DecompressCalls counts codec record/stream decompressions.
+	DecompressCalls int64
+	// DecompressNanos sums the wall time spent inside the codec.
+	DecompressNanos int64
+}
+
+// openFile is a reference-counted cached handle. Eviction marks the handle
+// doomed; the file closes when the last in-flight read releases it.
+type openFile struct {
+	f      *os.File
+	refs   int
+	doomed bool
+}
+
+// acquireFile returns a cached (or freshly opened) handle for the named
+// column file. The caller must call the returned release exactly once;
+// reads run outside the lock, and the reference count keeps an evicted
+// handle open until its last in-flight read finishes.
+func (r *Reader) acquireFile(file string) (*os.File, func(), error) {
+	r.mu.Lock()
+	of, ok := r.files[file]
+	if ok {
+		r.touchFileLocked(file)
+	} else {
+		f, err := os.Open(filepath.Join(r.dir, file))
+		if err != nil {
+			r.mu.Unlock()
+			return nil, nil, err
+		}
+		r.stats.FileOpens++
+		of = &openFile{f: f}
+		if r.files == nil {
+			r.files = make(map[string]*openFile, 8)
+		}
+		r.files[file] = of
+		r.fileLRU = append(r.fileLRU, file)
+		r.evictFilesLocked()
+	}
+	of.refs++
+	f := of.f
+	r.mu.Unlock()
+	release := func() {
+		r.mu.Lock()
+		of.refs--
+		doClose := of.doomed && of.refs == 0
+		r.mu.Unlock()
+		if doClose {
+			_ = of.f.Close()
+		}
+	}
+	return f, release, nil
+}
+
+// touchFileLocked moves file to the back (most recent) of the LRU order.
+func (r *Reader) touchFileLocked(file string) {
+	for i, name := range r.fileLRU {
+		if name == file {
+			r.fileLRU = append(append(r.fileLRU[:i:i], r.fileLRU[i+1:]...), file)
+			return
+		}
+	}
+}
+
+// evictFilesLocked enforces maxOpenFiles, closing (or dooming, when still
+// referenced) the least recently used handles.
+func (r *Reader) evictFilesLocked() {
+	for len(r.files) > maxOpenFiles && len(r.fileLRU) > 0 {
+		victim := r.fileLRU[0]
+		r.fileLRU = r.fileLRU[1:]
+		of, ok := r.files[victim]
+		if !ok {
+			continue
+		}
+		delete(r.files, victim)
+		if of.refs > 0 {
+			of.doomed = true
+			continue
+		}
+		_ = of.f.Close()
+	}
+}
+
+// readRange reads exactly [off, off+n) of a column file through the handle
+// cache.
+func (r *Reader) readRange(file string, off, n int64) ([]byte, error) {
+	f, release, err := r.acquireFile(file)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	buf := make([]byte, n)
+	if _, err := f.ReadAt(buf, off); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.stats.ReadCalls++
+	r.stats.BytesRead += n
+	r.mu.Unlock()
+	return buf, nil
+}
+
+// decompress wraps codec.Decompress with the IOStats timing counters.
+func (r *Reader) decompress(codec compress.Codec, dst, src []byte) ([]byte, error) {
+	start := time.Now()
+	out, err := codec.Decompress(dst, src)
+	elapsed := time.Since(start)
+	r.mu.Lock()
+	r.stats.DecompressCalls++
+	r.stats.DecompressNanos += int64(elapsed)
+	r.mu.Unlock()
+	return out, err
+}
+
+// decompressColumnFile is the package-level helper with the Reader's
+// timing counters applied (one timed span covering all records).
+func (r *Reader) decompressColumnFile(codec compress.Codec, mc manifestCol, data []byte) ([]byte, error) {
+	start := time.Now()
+	raw, err := decompressColumnFile(codec, mc, data)
+	elapsed := time.Since(start)
+	r.mu.Lock()
+	r.stats.DecompressCalls += int64(len(mc.Chunks)) + 1
+	r.stats.DecompressNanos += int64(elapsed)
+	r.mu.Unlock()
+	return raw, err
+}
+
+// IOStats returns a snapshot of the Reader's physical I/O counters.
+func (r *Reader) IOStats() IOStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// Close releases the Reader's cached file handles and decompressed-stream
+// memo. The Reader stays usable afterwards (subsequent loads re-open
+// files); Close only frees resources.
+func (r *Reader) Close() error {
+	r.mu.Lock()
+	var toClose []*os.File
+	for _, of := range r.files {
+		// refs/doomed are guarded by r.mu: a handle still held by an
+		// in-flight read is doomed here and closed by its release.
+		if of.refs > 0 {
+			of.doomed = true
+			continue
+		}
+		toClose = append(toClose, of.f)
+	}
+	r.files = nil
+	r.fileLRU = nil
+	r.rawCache = nil
+	r.rawOrder = nil
+	r.rawBytes = 0
+	r.mu.Unlock()
+	for _, f := range toClose {
+		_ = f.Close()
+	}
+	return nil
+}
+
+// cachedStream returns the memoized decompressed stream for a legacy
+// compressed column, if present.
+func (r *Reader) cachedStream(name string) ([]byte, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	raw, ok := r.rawCache[name]
+	if ok {
+		r.touchRawLocked(name)
+	}
+	return raw, ok
+}
+
+// memoizeStream stores a legacy column's decompressed stream, bounded by
+// maxRawCacheBytes (least recently used streams are dropped first).
+func (r *Reader) memoizeStream(name string, raw []byte) {
+	if int64(len(raw)) > maxRawCacheBytes {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.rawCache[name]; ok {
+		r.touchRawLocked(name)
+		return
+	}
+	if r.rawCache == nil {
+		r.rawCache = make(map[string][]byte, 8)
+	}
+	r.rawCache[name] = raw
+	r.rawOrder = append(r.rawOrder, name)
+	r.rawBytes += int64(len(raw))
+	for r.rawBytes > maxRawCacheBytes && len(r.rawOrder) > 0 {
+		victim := r.rawOrder[0]
+		r.rawOrder = r.rawOrder[1:]
+		if b, ok := r.rawCache[victim]; ok {
+			r.rawBytes -= int64(len(b))
+			delete(r.rawCache, victim)
+		}
+	}
+}
+
+// touchRawLocked moves name to the back of the raw-memo LRU order.
+func (r *Reader) touchRawLocked(name string) {
+	for i, n := range r.rawOrder {
+		if n == name {
+			r.rawOrder = append(append(r.rawOrder[:i:i], r.rawOrder[i+1:]...), name)
+			return
+		}
+	}
+}
+
+// exactChunkReads reports whether the column's chunk records live at exact
+// byte ranges in the file: an uncompressed store with a chunk layout, or a
+// per-record-compressed (v3) store. Only then can cold loads be served by
+// ReadAt without touching the rest of the column.
+func (r *Reader) exactChunkReads(mc manifestCol) bool {
+	if !r.hasLayout(mc) {
+		return false
+	}
+	return r.m.Codec == "" || r.m.perChunkCompressed(mc)
+}
+
+// ChunkFileRange returns the byte range of chunk ci's record in the column
+// file — compressed bytes on a v3 store, raw bytes on an uncompressed one.
+// ok is false when the layout cannot serve exact reads (legacy manifests,
+// whole-column codecs) or the chunk index is out of range.
+func (r *Reader) ChunkFileRange(name string, ci int) (off, n int64, ok bool) {
+	mc, found := r.cols[name]
+	if !found || !r.exactChunkReads(mc) || ci < 0 || ci >= len(mc.Chunks) {
+		return 0, 0, false
+	}
+	meta := mc.Chunks[ci]
+	if r.m.perChunkCompressed(mc) {
+		return meta.COff, meta.CLen, true
+	}
+	return meta.Off, meta.Len, true
+}
+
+// DictFileLen returns the byte length of the head record (dictionary) read
+// by an exact dictionary load, and whether exact dictionary reads apply.
+func (r *Reader) DictFileLen(name string) (int64, bool) {
+	mc, found := r.cols[name]
+	if !found || !r.hasLayout(mc) {
+		return 0, false
+	}
+	if r.m.perChunkCompressed(mc) {
+		return mc.DictCLen, true
+	}
+	if r.m.Codec != "" {
+		return 0, false
+	}
+	return mc.DictLen, true
+}
+
+// DecodeChunkRecord decodes one chunk from its file-level record bytes (as
+// delimited by ChunkFileRange): a compressed record on v3 stores, the raw
+// record otherwise.
+func (r *Reader) DecodeChunkRecord(name string, ci int, rec []byte) (*Chunk, error) {
+	mc, ok := r.cols[name]
+	if !ok {
+		return nil, fmt.Errorf("colstore: unknown column %q", name)
+	}
+	if ci < 0 || ci >= len(mc.Chunks) {
+		return nil, fmt.Errorf("colstore: column %q has %d chunks, want %d", name, len(mc.Chunks), ci)
+	}
+	raw := rec
+	if r.m.perChunkCompressed(mc) {
+		var err error
+		raw, err = r.decompress(mustCodec(r.m.Codec), nil, rec)
+		if err != nil {
+			return nil, fmt.Errorf("colstore: column %q chunk %d: %w", name, ci, err)
+		}
+		if int64(len(raw)) != mc.Chunks[ci].Len {
+			return nil, fmt.Errorf("colstore: column %q chunk %d: %w", name, ci, errTruncated)
+		}
+	}
+	ch, err := decodeChunk(&byteReader{buf: raw})
+	if err != nil {
+		return nil, fmt.Errorf("colstore: column %q chunk %d: %w", name, ci, err)
+	}
+	return ch, nil
+}
+
+// mustCodec resolves a codec name that the manifest already validated; an
+// unknown name at this point is an initialization bug.
+func mustCodec(name string) compress.Codec {
+	c, err := compress.ByName(name)
+	if err != nil {
+		panic("colstore: " + err.Error())
+	}
+	return c
+}
+
+// byteRun is one contiguous byte range covering consecutive chunk records.
+type byteRun struct {
+	off, n int64
+	chunks []int
+}
+
+// ReadChunkRuns reads the records of the given chunks, coalescing records
+// that are adjacent in the file into single ReadAt calls. It returns the
+// per-chunk record bytes (pass each to DecodeChunkRecord), the number of
+// read runs issued, and the number of reads coalescing saved (a run of m
+// chunks is one read instead of m, saving m−1). ok is false when the
+// column cannot serve exact reads — callers fall back to per-chunk loads.
+func (r *Reader) ReadChunkRuns(name string, chunks []int) (recs map[int][]byte, runs, coalesced int, ok bool, err error) {
+	mc, found := r.cols[name]
+	if !found || !r.exactChunkReads(mc) || len(chunks) == 0 {
+		return nil, 0, 0, false, nil
+	}
+	sorted := append([]int(nil), chunks...)
+	sort.Ints(sorted)
+	var plan []byteRun
+	for _, ci := range sorted {
+		off, n, rok := r.ChunkFileRange(name, ci)
+		if !rok {
+			return nil, 0, 0, false, fmt.Errorf("colstore: column %q has no range for chunk %d", name, ci)
+		}
+		if last := len(plan) - 1; last >= 0 && plan[last].off+plan[last].n == off {
+			plan[last].n += n
+			plan[last].chunks = append(plan[last].chunks, ci)
+			continue
+		}
+		plan = append(plan, byteRun{off: off, n: n, chunks: []int{ci}})
+	}
+	recs = make(map[int][]byte, len(sorted))
+	for _, run := range plan {
+		buf, err := r.readRange(mc.File, run.off, run.n)
+		if err != nil {
+			return nil, 0, 0, false, fmt.Errorf("colstore: load column %q chunks %v: %w", name, run.chunks, err)
+		}
+		pos := int64(0)
+		for _, ci := range run.chunks {
+			_, n, _ := r.ChunkFileRange(name, ci)
+			recs[ci] = buf[pos : pos+n : pos+n]
+			pos += n
+		}
+		coalesced += len(run.chunks) - 1
+	}
+	return recs, len(plan), coalesced, true, nil
+}

@@ -157,6 +157,16 @@ func (e *Engine) scanChunk(p *plan, ci int, nCols int64, qs *QueryStats) (*parti
 		qs.RowsSkipped += int64(rows)
 		return nil, nil
 	}
+	if part, ok := p.cachedParts[ci]; ok {
+		// Answered by the cache-aware residency pass: the chunk is fully
+		// active and its partial came from the result cache before anything
+		// was pinned, so — like a residency-pruned chunk — its data was
+		// never loaded and must not be touched.
+		qs.ChunksCached++
+		qs.CacheSkippedChunks++
+		qs.RowsCached += int64(rows)
+		return part, nil
+	}
 	state := activeAll
 	if p.where != nil {
 		if e.opts.DisableSkipping {
@@ -213,15 +223,12 @@ func (e *Engine) scanChunk(p *plan, ci int, nCols int64, qs *QueryStats) (*parti
 	return nil, nil
 }
 
-// cacheKey identifies a fully-active chunk's partial result.
+// cacheKey identifies a fully-active chunk's partial result. The
+// chunk-independent part (p.cacheSig) is derived once per plan; the
+// cache-aware residency pass probes the same keys before planning via a
+// syntactic prediction of the signature (see cacheres.go).
 func cacheKey(ci int, p *plan) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%d|%s|", ci, p.groupColumn())
-	for _, a := range p.aggs {
-		b.WriteString(a.signature())
-		b.WriteByte('|')
-	}
-	return b.String()
+	return cacheKeyAt(ci, p.cacheSig)
 }
 
 // groupColumn returns the single column the engine groups by: the lone

@@ -5,7 +5,6 @@ package exec
 
 import (
 	"fmt"
-	"strings"
 	"sync"
 
 	"powerdrill/internal/cache"
@@ -101,6 +100,16 @@ type Stats struct {
 	// DiskBytesRead sums their on-disk (compressed) bytes — the quantity
 	// Figure 5's latency model charges.
 	DiskBytesRead int64
+	// CacheSkippedChunks counts chunks the cache-aware residency pass
+	// answered straight from the result cache — never pinned, loaded, or
+	// charged to the byte budget.
+	CacheSkippedChunks int64
+	// ReadRuns counts the coalesced byte-run reads cold chunk prefetches
+	// issued (one ReadAt per run).
+	ReadRuns int64
+	// CoalescedReads counts the reads run coalescing saved (a run of m
+	// contiguous cold chunks is one read, saving m−1).
+	CoalescedReads int64
 }
 
 // QueryStats are the per-query counters.
@@ -139,6 +148,17 @@ type QueryStats struct {
 	ColdBytesLoaded int64
 	// DiskBytesRead sums their on-disk (compressed) bytes.
 	DiskBytesRead int64
+	// CacheSkippedChunks counts chunks answered by the cache-aware
+	// residency pass from the result cache alone: they are in ChunksCached
+	// too, but additionally were never pinned or loaded.
+	CacheSkippedChunks int
+	// ReadRuns counts the coalesced byte-run reads this query's cold chunk
+	// prefetches issued (one ReadAt per run; zero on stores without exact
+	// chunk reads).
+	ReadRuns int
+	// CoalescedReads counts the reads this query's run coalescing saved
+	// (a run of m contiguous cold chunks is one read, saving m−1).
+	CoalescedReads int
 }
 
 // Result is a finished query result.
@@ -214,7 +234,8 @@ func (e *Engine) Run(stmt *sql.SelectStmt) (*Result, error) {
 	ps := e.store.NewPinSet()
 	defer ps.Release()
 	rsd := e.analyzeResidency(stmt, ps)
-	e.prefetchColumns(stmt, ps, rsd.activeSet())
+	e.cacheResidency(stmt, rsd)
+	e.prefetchColumns(stmt, ps, rsd.pinSet())
 	e.planMu.Lock()
 	p, err := e.plan(stmt, ps, rsd)
 	e.planMu.Unlock()
@@ -246,6 +267,8 @@ func (e *Engine) Run(stmt *sql.SelectStmt) (*Result, error) {
 	qs.ColdDictLoads = ps.ColdDictLoads
 	qs.ColdBytesLoaded = ps.ColdBytesLoaded
 	qs.DiskBytesRead = ps.DiskBytesRead
+	qs.ReadRuns = ps.ReadRuns
+	qs.CoalescedReads = ps.CoalescedReads
 	res.Stats = qs
 	e.recordStats(qs)
 	return res, nil
@@ -273,6 +296,9 @@ func (e *Engine) recordStats(qs QueryStats) {
 	e.stats.ColdDictLoads += int64(qs.ColdDictLoads)
 	e.stats.ColdBytesLoaded += qs.ColdBytesLoaded
 	e.stats.DiskBytesRead += qs.DiskBytesRead
+	e.stats.CacheSkippedChunks += int64(qs.CacheSkippedChunks)
+	e.stats.ReadRuns += int64(qs.ReadRuns)
+	e.stats.CoalescedReads += int64(qs.CoalescedReads)
 }
 
 // prefetchColumns pins what the statement will touch BEFORE planning takes
@@ -576,6 +602,26 @@ type plan struct {
 	active []bool
 	// activeCount is the number of active chunks.
 	activeCount int
+	// pinActive is the subset of active the query actually pins: chunks
+	// answered by the cache-aware residency pass are active but never
+	// pinned. nil = same as active.
+	pinActive []bool
+	// cachedParts holds the result-cache partials the cache-aware pass
+	// retrieved, by chunk index; the scan returns them without touching
+	// (never-loaded) chunk data. Read-only during execution.
+	cachedParts map[int]*partial
+	// cacheSig is the chunk-independent part of the result-cache key,
+	// derived from the compiled plan.
+	cacheSig string
+}
+
+// pins returns the flags of the chunks planning must pin (nil = all
+// active).
+func (p *plan) pins() []bool {
+	if p.pinActive != nil {
+		return p.pinActive
+	}
+	return p.active
 }
 
 // col returns the plan's resolved pointer for an accessed column, falling
@@ -594,12 +640,18 @@ func (e *Engine) plan(stmt *sql.SelectStmt, ps *colstore.PinSet, rsd *residency)
 	if stmt.From == "" {
 		return nil, fmt.Errorf("exec: missing FROM")
 	}
-	p := &plan{stmt: stmt, active: rsd.activeSet(), activeCount: rsd.count}
+	p := &plan{
+		stmt:        stmt,
+		active:      rsd.activeSet(),
+		activeCount: rsd.count,
+		pinActive:   rsd.pinActive,
+		cachedParts: rsd.cached,
+	}
 	access := map[string]bool{}
 
 	// WHERE.
 	if stmt.Where != nil {
-		w, err := e.compileRestriction(stmt.Where, ps, p.active)
+		w, err := e.compileRestriction(stmt.Where, ps, p.pins())
 		if err != nil {
 			return nil, err
 		}
@@ -613,11 +665,11 @@ func (e *Engine) plan(stmt *sql.SelectStmt, ps *colstore.PinSet, rsd *residency)
 		if err != nil {
 			return nil, err
 		}
-		col, err := e.materializeOperand(name, ps, p.active)
+		col, err := e.materializeOperand(name, ps, p.pins())
 		if err != nil {
 			return nil, err
 		}
-		gc, err := ps.ColumnChunks(col, p.active)
+		gc, err := ps.ColumnChunks(col, p.pins())
 		if err != nil {
 			return nil, err
 		}
@@ -645,7 +697,7 @@ func (e *Engine) plan(stmt *sql.SelectStmt, ps *colstore.PinSet, rsd *residency)
 		}
 		switch {
 		case p.rowScan:
-			col, err := e.materializeOperand(item.Expr, ps, p.active)
+			col, err := e.materializeOperand(item.Expr, ps, p.pins())
 			if err != nil {
 				return nil, err
 			}
@@ -657,7 +709,7 @@ func (e *Engine) plan(stmt *sql.SelectStmt, ps *colstore.PinSet, rsd *residency)
 			if !ok {
 				return nil, fmt.Errorf("exec: aggregates must be top-level calls, got %s", item.Expr)
 			}
-			spec, err := e.compileAggregate(call, ps, p.active)
+			spec, err := e.compileAggregate(call, ps, p.pins())
 			if err != nil {
 				return nil, err
 			}
@@ -681,13 +733,24 @@ func (e *Engine) plan(stmt *sql.SelectStmt, ps *colstore.PinSet, rsd *residency)
 	// "multiple group-by fields are combined into one expression which is
 	// materialized in the datastore").
 	if !p.rowScan && len(p.groupCols) > 1 {
-		p.composite = "composite(" + strings.Join(p.groupCols, "\x1f") + ")"
+		p.composite = compositeName(p.groupCols)
 		if !e.store.HasColumn(p.composite) {
 			if err := e.materializeComposite(p.composite, p.groupCols, ps); err != nil {
 				return nil, err
 			}
 		}
 		access[p.composite] = true
+	}
+
+	// The compiled cache signature. The cache-aware residency pass probed
+	// the result cache under a syntactic prediction of this value before
+	// planning; if the prediction missed (it mirrors the naming rules
+	// above, so it should not), drop the cached partials and re-widen the
+	// pin set — the sweep below then pins the previously skipped chunks.
+	p.cacheSig = cacheSigOf(p.groupColumn(), p.aggs)
+	if len(p.cachedParts) > 0 && p.cacheSig != rsd.sig {
+		p.cachedParts = nil
+		p.pinActive = nil
 	}
 
 	p.cols = make(map[string]*colstore.Column, len(access))
@@ -699,7 +762,7 @@ func (e *Engine) plan(stmt *sql.SelectStmt, ps *colstore.PinSet, rsd *residency)
 		// referenced only inside row-level predicates. Unknown names are
 		// left to fail at evaluation time, as before.
 		if e.store.HasColumn(col) {
-			c, err := ps.ColumnChunks(col, p.active)
+			c, err := ps.ColumnChunks(col, p.pins())
 			if err != nil {
 				return nil, err
 			}
@@ -724,7 +787,7 @@ func (e *Engine) resolveGroupExpr(stmt *sql.SelectStmt, g sql.Expr) (sql.Expr, e
 
 // matchGroup finds which group expression a select item corresponds to.
 func (p *plan) matchGroup(e *Engine, stmt *sql.SelectStmt, x sql.Expr, ps *colstore.PinSet) (int, error) {
-	col, err := e.materializeOperand(x, ps, p.active)
+	col, err := e.materializeOperand(x, ps, p.pins())
 	if err != nil {
 		return 0, err
 	}
@@ -739,23 +802,8 @@ func (p *plan) matchGroup(e *Engine, stmt *sql.SelectStmt, x sql.Expr, ps *colst
 // compileAggregate validates an aggregate call and materializes its
 // argument column.
 func (e *Engine) compileAggregate(call *sql.Call, ps *colstore.PinSet, active []bool) (aggSpec, error) {
-	name := strings.ToLower(call.Name)
-	var fn aggFn
-	switch name {
-	case "count":
-		fn = aggCount
-		if call.Distinct {
-			fn = aggCountDistinct
-		}
-	case "sum":
-		fn = aggSum
-	case "min":
-		fn = aggMin
-	case "max":
-		fn = aggMax
-	case "avg":
-		fn = aggAvg
-	default:
+	fn, ok := aggFnFor(call.Name, call.Distinct)
+	if !ok {
 		return aggSpec{}, fmt.Errorf("exec: unknown aggregate %q", call.Name)
 	}
 	if call.Star {

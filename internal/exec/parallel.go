@@ -115,4 +115,7 @@ func (qs *QueryStats) add(o QueryStats) {
 	qs.ColdDictLoads += o.ColdDictLoads
 	qs.ColdBytesLoaded += o.ColdBytesLoaded
 	qs.DiskBytesRead += o.DiskBytesRead
+	qs.CacheSkippedChunks += o.CacheSkippedChunks
+	qs.ReadRuns += o.ReadRuns
+	qs.CoalescedReads += o.CoalescedReads
 }

@@ -57,7 +57,8 @@ func (e *Engine) RunPartial(stmt *sql.SelectStmt) (*Partial, error) {
 	ps := e.store.NewPinSet()
 	defer ps.Release()
 	rsd := e.analyzeResidency(stmt, ps)
-	e.prefetchColumns(stmt, ps, rsd.activeSet())
+	e.cacheResidency(stmt, rsd)
+	e.prefetchColumns(stmt, ps, rsd.pinSet())
 	e.planMu.Lock()
 	p, err := e.plan(stmt, ps, rsd)
 	e.planMu.Unlock()
@@ -76,6 +77,8 @@ func (e *Engine) RunPartial(stmt *sql.SelectStmt) (*Partial, error) {
 	qs.ColdDictLoads = ps.ColdDictLoads
 	qs.ColdBytesLoaded = ps.ColdBytesLoaded
 	qs.DiskBytesRead = ps.DiskBytesRead
+	qs.ReadRuns = ps.ReadRuns
+	qs.CoalescedReads = ps.CoalescedReads
 	out := &Partial{Stats: qs}
 	for _, it := range p.items {
 		out.Columns = append(out.Columns, it.name)
@@ -172,6 +175,9 @@ func MergePartials(dst, src *Partial) error {
 	dst.Stats.ColdDictLoads += src.Stats.ColdDictLoads
 	dst.Stats.ColdBytesLoaded += src.Stats.ColdBytesLoaded
 	dst.Stats.DiskBytesRead += src.Stats.DiskBytesRead
+	dst.Stats.CacheSkippedChunks += src.Stats.CacheSkippedChunks
+	dst.Stats.ReadRuns += src.Stats.ReadRuns
+	dst.Stats.CoalescedReads += src.Stats.CoalescedReads
 	return nil
 }
 

@@ -32,12 +32,40 @@ type residency struct {
 	active []bool
 	// count is the number of active chunks (NumChunks when active is nil).
 	count int
+	// full flags chunks the spans PROVE fully active (every row matches):
+	// exactly the chunks whose partials the result cache can hold. nil when
+	// the analysis cannot prove fullness for any chunk (unknown spans,
+	// skipping disabled). With no WHERE clause every chunk is full.
+	full []bool
+	// cached maps chunk index -> the result-cache partial the cache-aware
+	// pass retrieved for it (see cacheResidency); those chunks are answered
+	// without being pinned or loaded. The pointers are held here so a cache
+	// eviction between analysis and scan cannot strand the query.
+	cached map[int]*partial
+	// pinActive is active minus the cached chunks — what prefetch and plan
+	// actually pin. nil means "same as active".
+	pinActive []bool
+	// sig is the predicted cache-key signature the cached entries were
+	// probed under; plan verifies it against the compiled query.
+	sig string
 }
 
 // activeSet returns the active flags (nil = all chunks).
 func (r *residency) activeSet() []bool {
 	if r == nil {
 		return nil
+	}
+	return r.active
+}
+
+// pinSet returns the flags of the chunks that must actually be pinned:
+// the active set minus chunks already answered by the result cache.
+func (r *residency) pinSet() []bool {
+	if r == nil {
+		return nil
+	}
+	if r.pinActive != nil {
+		return r.pinActive
 	}
 	return r.active
 }
@@ -51,7 +79,17 @@ func (r *residency) activeSet() []bool {
 func (e *Engine) analyzeResidency(stmt *sql.SelectStmt, ps *colstore.PinSet) *residency {
 	n := e.store.NumChunks()
 	all := &residency{count: n}
-	if stmt.Where == nil || e.opts.DisableSkipping {
+	if e.opts.DisableSkipping {
+		return all
+	}
+	if stmt.Where == nil {
+		// Everything is trivially fully active — the cache-aware pass can
+		// still skip chunks whose partials are cached.
+		full := make([]bool, n)
+		for ci := range full {
+			full[ci] = true
+		}
+		all.full = full
 		return all
 	}
 	node := e.compileSpanTree(stmt.Where, ps)
@@ -59,14 +97,27 @@ func (e *Engine) analyzeResidency(stmt *sql.SelectStmt, ps *colstore.PinSet) *re
 		return all
 	}
 	active := make([]bool, n)
-	count := 0
+	full := make([]bool, n)
+	count, fullCount := 0, 0
 	for ci := 0; ci < n; ci++ {
-		if node.classify(ci) != activeNone {
+		switch node.classify(ci) {
+		case activeAll:
+			// Span-proven fully active: the precise per-chunk-dictionary
+			// classification is sound w.r.t. this (TestResidencySoundness),
+			// so the chunk's cached partial, if any, answers it exactly.
+			active[ci] = true
+			full[ci] = true
+			count++
+			fullCount++
+		case activeSome:
 			active[ci] = true
 			count++
 		}
 	}
-	return &residency{active: active, count: count}
+	if fullCount == 0 {
+		full = nil
+	}
+	return &residency{active: active, count: count, full: full}
 }
 
 // spanNode is a conservative, metadata-only compilation of a WHERE tree:

@@ -226,6 +226,20 @@ func (m *Manager) Acquire(key string, load LoadFunc) (value any, cold bool, err 
 	return v, true, nil
 }
 
+// Resident reports whether key is resident (pinned or held by the policy)
+// without loading, pinning, promoting, or counting a hit — the peek the
+// coalesced-prefetch planner uses to decide which chunks need disk reads.
+// The answer is advisory: another goroutine may load or evict the entry
+// immediately after.
+func (m *Manager) Resident(key string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.pinned[key]; ok {
+		return true
+	}
+	return m.policy.Contains(key)
+}
+
 // Release drops one pin on key. When the last pin goes, the entry re-enters
 // the replacement policy (or is evicted immediately if it no longer fits
 // the remaining budget). Release of an unknown key is a no-op.

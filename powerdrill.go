@@ -219,10 +219,25 @@ func (s *Store) Memory(cols ...string) (MemoryBreakdown, error) {
 func (s *Store) EngineStats() exec.Stats { return s.engine.Stats() }
 
 // Save persists the store to a directory; codec may be "" (raw), "zippy",
-// "lzoish" or "zlib".
+// "lzoish" or "zlib". Compressed stores are written with per-chunk codec
+// framing (manifest v3, see docs/format.md), so a lazily opened store
+// cold-reads exact byte ranges even under compression.
 func (s *Store) Save(dir, codec string) error {
 	return colstore.Save(s.store, dir, codec)
 }
+
+// IOStats counts a lazily opened store's physical I/O: file opens, read
+// calls, bytes read, and time spent decompressing records.
+type IOStats = colstore.IOStats
+
+// IOStats reports the store's physical I/O counters; ok is false for
+// stores built in memory, which never touch disk.
+func (s *Store) IOStats() (IOStats, bool) { return s.store.IOStats() }
+
+// Close releases the file handles and decompression memos a lazily opened
+// store caches outside the memory budget. The store stays usable; a no-op
+// for in-memory stores.
+func (s *Store) Close() error { return s.store.Close() }
 
 // MemoryStats is a snapshot of the memory manager's accounting: budget,
 // resident/pinned bytes, cold loads, evictions, hit rate.
