@@ -204,7 +204,11 @@ func runSteps(cfg config) error {
 			res.elements[i] = m.Elements + m.ChunkDicts
 			var comp int64
 			for _, cn := range q.cols {
-				comp += store.Column(cn).Compressed(zippy).Total()
+				col, err := store.ColumnErr(cn)
+				if err != nil {
+					return err
+				}
+				comp += col.Compressed(zippy).Total()
 			}
 			res.zipped[i] = comp
 		}
@@ -215,8 +219,16 @@ func runSteps(cfg config) error {
 			if err != nil {
 				return err
 			}
-			arrDict := arrStore.Column("table_name").Dict
-			trieDict := store.Column("table_name").Dict
+			arrCol, err := arrStore.ColumnErr("table_name")
+			if err != nil {
+				return err
+			}
+			trieCol, err := store.ColumnErr("table_name")
+			if err != nil {
+				return err
+			}
+			arrDict := arrCol.Dict
+			trieDict := trieCol.Dict
 			fmt.Printf("trie dictionary (table_name): sorted array %s MB -> trie %s MB (%.1fx)\n\n",
 				mb(arrDict.MemoryBytes()), mb(trieDict.MemoryBytes()),
 				float64(arrDict.MemoryBytes())/float64(trieDict.MemoryBytes()))
@@ -271,19 +283,29 @@ func runReorder(cfg config) error {
 	if err != nil {
 		return err
 	}
-	compressedElems := func(s *colstore.Store, cols []string) int64 {
+	compressedElems := func(s *colstore.Store, cols []string) (int64, error) {
 		var total int64
 		for _, cn := range cols {
-			cb := s.Column(cn).Compressed(zippy)
+			col, err := s.ColumnErr(cn)
+			if err != nil {
+				return 0, err
+			}
+			cb := col.Compressed(zippy)
 			total += cb.Elements + cb.ChunkDicts
 		}
-		return total
+		return total, nil
 	}
 	fmt.Println("compressed elements + chunk-dicts in MB (factor = before/after)")
 	row("", "before", "after", "factor")
 	for _, q := range paperQueries {
-		before := compressedElems(noReorder, q.cols)
-		after := compressedElems(reordered, q.cols)
+		before, err := compressedElems(noReorder, q.cols)
+		if err != nil {
+			return err
+		}
+		after, err := compressedElems(reordered, q.cols)
+		if err != nil {
+			return err
+		}
 		row(q.name, mb(before), mb(after), fmt.Sprintf("%.2fx", float64(before)/float64(after)))
 	}
 

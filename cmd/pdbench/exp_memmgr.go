@@ -40,7 +40,11 @@ func runColdStart(cfg config) error {
 	}
 	var footprint int64
 	for _, name := range store.Columns() {
-		footprint += store.Column(name).Memory().Total()
+		col, err := store.ColumnErr(name)
+		if err != nil {
+			return err
+		}
+		footprint += col.Memory().Total()
 	}
 	clicks := workload.DrillDownSession(tbl, workload.SessionSpec{Seed: cfg.seed, Clicks: 4, QueriesPerClick: 10})
 

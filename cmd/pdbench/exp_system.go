@@ -177,7 +177,10 @@ func runCodecs(cfg config) error {
 	}
 	// Assemble a representative payload: table_name elements + dictionary.
 	var payload []byte
-	col := store.Column("table_name")
+	col, err := store.ColumnErr("table_name")
+	if err != nil {
+		return err
+	}
 	for _, ch := range col.Chunks {
 		payload = ch.Elems.AppendBytes(payload)
 	}

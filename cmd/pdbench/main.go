@@ -21,6 +21,7 @@
 //	pdbench -exp coldstart           # Section 5 byte-budgeted lazy loading
 //	pdbench -exp chunkres            # chunk-granular residency vs selectivity
 //	pdbench -exp coldio              # per-chunk compression + coalesced cold reads
+//	pdbench -exp virtcol             # budget-aware (persisted) virtual columns
 //
 // Absolute numbers depend on the host; the relationships (who wins, by
 // what factor, where curves bend) are the reproduction target. See
@@ -57,6 +58,7 @@ var experiments = []struct {
 	{"coldstart", "Section 5: byte-budgeted lazy loading, cold vs warm", runColdStart},
 	{"chunkres", "Section 5: chunk-granular residency vs restriction selectivity", runChunkRes},
 	{"coldio", "Cold I/O: per-chunk compression, coalesced runs, cache-aware skips", runColdIO},
+	{"virtcol", "Budget-aware virtual columns: sidecar persistence, eviction, span pruning", runVirtCol},
 }
 
 // config carries the shared experiment parameters.

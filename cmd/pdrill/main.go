@@ -240,8 +240,12 @@ func runQuery(args []string) error {
 			if ms.BudgetBytes > 0 {
 				budget = fmt.Sprintf("%.2f MB", float64(ms.BudgetBytes)/1e6)
 			}
-			fmt.Printf("memory: %.2f MB resident in %d entries (budget %s, policy %s); %d cold loads, %d evictions, %.0f%% hit rate\n",
-				float64(ms.ResidentBytes)/1e6, ms.ResidentItems, budget, ms.Policy,
+			virtual := ""
+			if ms.VirtualBytes > 0 {
+				virtual = fmt.Sprintf(", %.2f MB virtual columns", float64(ms.VirtualBytes)/1e6)
+			}
+			fmt.Printf("memory: %.2f MB resident in %d entries (budget %s, policy %s%s); %d cold loads, %d evictions, %.0f%% hit rate\n",
+				float64(ms.ResidentBytes)/1e6, ms.ResidentItems, budget, ms.Policy, virtual,
 				ms.ColdLoads, ms.Evictions, 100*ms.HitRate())
 		}
 	}()

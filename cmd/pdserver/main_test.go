@@ -32,6 +32,11 @@ func TestStatzHandler(t *testing.T) {
 	if _, err := store.Query(`SELECT country, COUNT(*) AS c FROM data GROUP BY country ORDER BY c DESC LIMIT 5;`); err != nil {
 		t.Fatal(err)
 	}
+	// Materialize a virtual field so the virtual_bytes gauge has something
+	// to report (persisted into the store's sidecar and budgeted).
+	if _, err := store.Query(`SELECT date(timestamp) AS d, COUNT(*) AS c FROM data GROUP BY d ORDER BY d ASC LIMIT 5;`); err != nil {
+		t.Fatal(err)
+	}
 
 	rec := httptest.NewRecorder()
 	statzHandler(store).ServeHTTP(rec, httptest.NewRequest("GET", "/statz", nil))
@@ -48,7 +53,7 @@ func TestStatzHandler(t *testing.T) {
 	if p.Rows != 2000 {
 		t.Fatalf("rows = %d", p.Rows)
 	}
-	if p.Engine.Queries != 1 {
+	if p.Engine.Queries != 2 {
 		t.Fatalf("engine queries = %d", p.Engine.Queries)
 	}
 	if p.Engine.ActiveChunks == 0 {
@@ -63,6 +68,9 @@ func TestStatzHandler(t *testing.T) {
 	}
 	if p.Memory.BudgetBytes != 1<<20 || p.Memory.ColdLoads == 0 || p.Memory.Policy != "2q" {
 		t.Fatalf("memory section = %+v", p.Memory)
+	}
+	if p.Memory.VirtualBytes == 0 {
+		t.Fatalf("virtual_bytes = 0 after materializing a virtual field: %+v", p.Memory)
 	}
 	if p.ResultCache == nil {
 		t.Fatal("result cache section missing")

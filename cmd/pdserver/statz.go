@@ -28,7 +28,11 @@ type memorySection struct {
 	// ResidentItems counts resident manager entries. On a chunk-granular
 	// store an entry is one (column, chunk) pair or one dictionary; on
 	// stores saved before the chunk layout, one whole column.
-	ResidentItems   int     `json:"resident_items"`
+	ResidentItems int `json:"resident_items"`
+	// VirtualBytes is the portion of ResidentBytes held by materialized
+	// virtual columns — budgeted sidecar-backed entries plus any
+	// unevictable in-registry fallbacks.
+	VirtualBytes    int64   `json:"virtual_bytes"`
 	ColdLoads       int64   `json:"cold_loads"`
 	ColdBytesLoaded int64   `json:"cold_bytes_loaded"`
 	DiskBytesRead   int64   `json:"disk_bytes_read"`
@@ -102,6 +106,7 @@ func statzHandler(store *powerdrill.Store) http.Handler {
 				ResidentBytes:   ms.ResidentBytes,
 				PinnedBytes:     ms.PinnedBytes,
 				ResidentItems:   ms.ResidentItems,
+				VirtualBytes:    ms.VirtualBytes,
 				ColdLoads:       ms.ColdLoads,
 				ColdBytesLoaded: ms.ColdBytesLoaded,
 				DiskBytesRead:   ms.DiskBytesRead,

@@ -94,10 +94,13 @@ func TestPerChunkCompressedSmallerThanFile(t *testing.T) {
 	}
 }
 
-// TestLegacyV2WholeColumnMemoized pins the legacy-compressed fix: a store
-// with whole-column codec framing still pays one full read+decompress for
-// the first cold piece of a column, but later chunk loads of the same
-// column come from the Reader's memoized stream and charge no disk bytes.
+// TestLegacyV2WholeColumnMemoized pins the legacy-compressed behavior: a
+// store with whole-column codec framing pays one full read+decompress for
+// the first cold piece of a column (later loads come from the Reader's
+// memoized stream), while every chunk load — first or memoized — is
+// *charged* its exact record share of the file. Before the attribution
+// fix, the first load was charged the whole file and later loads 0, so
+// per-query DiskBytesRead depended on arrival order.
 func TestLegacyV2WholeColumnMemoized(t *testing.T) {
 	built, dir := buildLegacyStore(t, 3000, "zippy")
 	lazy, _, err := OpenLazy(dir, memmgr.New(0, "2q"))
@@ -117,29 +120,54 @@ func TestLegacyV2WholeColumnMemoized(t *testing.T) {
 	if _, _, ok := r.ChunkFileRange(name, 0); ok {
 		t.Fatal("whole-column codec must not advertise exact chunk ranges")
 	}
-	fi, err := os.Stat(filepath.Join(dir, "col_0000.bin"))
+	mc, ok := r.colMeta(name)
+	if !ok {
+		t.Fatalf("no manifest entry for %q", name)
+	}
+	fi, err := os.Stat(filepath.Join(dir, mc.File))
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, disk0, err := r.LoadColumnChunk(name, 0)
-	if err != nil {
-		t.Fatal(err)
+	stream := streamLen(mc)
+	share := func(recLen int64) int64 {
+		s := int64(float64(fi.Size()) * float64(recLen) / float64(stream))
+		if s < 1 {
+			s = 1
+		}
+		return s
 	}
-	if disk0 != fi.Size() {
-		t.Fatalf("first chunk load charged %d bytes, want whole file %d", disk0, fi.Size())
-	}
-	for ci := 1; ci < built.NumChunks(); ci++ {
+	var charged int64
+	for ci := 0; ci < built.NumChunks(); ci++ {
 		_, disk, err := r.LoadColumnChunk(name, ci)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if disk != 0 {
-			t.Fatalf("chunk %d charged %d bytes despite the memoized stream", ci, disk)
+		if want := share(mc.Chunks[ci].Len); disk != want {
+			t.Fatalf("chunk %d charged %d bytes, want its record share %d", ci, disk, want)
 		}
+		if disk <= 0 || disk >= fi.Size() {
+			t.Fatalf("chunk %d charged %d bytes of a %d byte file; want a strict nonzero subrange", ci, disk, fi.Size())
+		}
+		charged += disk
+	}
+	if _, disk, err := r.LoadColumnDict(name); err != nil {
+		t.Fatal(err)
+	} else if want := share(mc.DictLen); disk != want {
+		t.Fatalf("dictionary charged %d bytes, want its record share %d", disk, want)
+	} else {
+		charged += disk
+	}
+	// The shares are proportional, so loading everything is charged about
+	// one file (never more than file + one rounding unit per record).
+	if slack := int64(built.NumChunks() + 1); charged > fi.Size()+slack || charged < fi.Size()/2 {
+		t.Fatalf("all records charged %d bytes of a %d byte file", charged, fi.Size())
 	}
 	io := r.IOStats()
 	if io.DecompressCalls != 1 {
 		t.Fatalf("decompress calls = %d, want 1 (memoized)", io.DecompressCalls)
+	}
+	if io.ReadCalls != 1 || io.BytesRead != fi.Size() {
+		t.Fatalf("physical IO = %d reads / %d bytes, want exactly one whole-file read (%d bytes)", io.ReadCalls, io.BytesRead, fi.Size())
 	}
 }
 

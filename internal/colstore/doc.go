@@ -44,6 +44,19 @@
 // and legacy whole-column-codec streams are decompressed once and
 // memoized (bounded, freed by Close). IOStats counts the physical work.
 //
+// # Virtual columns
+//
+// Expressions materialized at query time (AddVirtualColumn) are built in
+// the store's own format. On a chunk-granular lazy store,
+// AddVirtualColumnPinned additionally persists the column into the
+// virtual/ sidecar next to the store — same framing, codec and per-chunk
+// spans as the parent's columns — and registers its pieces with the
+// memory manager, so materializations are budgeted, evictable, reloadable
+// and span-prunable exactly like physical data, and survive a reopen.
+// When persistence is impossible (resident stores, legacy layouts,
+// read-only directories) or disabled, the column falls back to the
+// always-resident registry; UnevictableVirtualBytes reports those bytes.
+//
 // # The PinSet-first contract
 //
 // Query execution must access lazy columns through a PinSet: it pins

@@ -85,7 +85,10 @@ func NewTwoLayer(s *Store, codecName string, hotBytes, warmBytes int64, policy s
 		warm:  mk(warmBytes),
 	}
 	for _, name := range s.Columns() {
-		col := s.Column(name)
+		col, err := s.ColumnErr(name)
+		if err != nil {
+			return nil, err
+		}
 		for ci, ch := range col.Chunks {
 			raw := ch.Elems.AppendBytes(nil)
 			tl.disk[layerKey{name, ci}] = diskItem{

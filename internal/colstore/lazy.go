@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"powerdrill/internal/compress"
 	"powerdrill/internal/dict"
@@ -62,14 +63,24 @@ func spanOf(ch *Chunk) ChunkSpan {
 // decompressed streams for legacy whole-column-codec stores, and physical
 // I/O counters. All methods are safe for concurrent use.
 type Reader struct {
-	dir  string
-	m    *manifest
-	sd   StringDictKind
-	cols map[string]manifestCol
+	dir string
+	m   *manifest
+	sd  StringDictKind
+
+	// colsMu guards cols: immutable for physical columns, but persisted
+	// virtual columns register new entries at query time (registerVirtual)
+	// while other queries load concurrently.
+	colsMu sync.RWMutex
+	cols   map[string]manifestCol
 
 	mu      sync.Mutex
 	files   map[string]*openFile
 	fileLRU []string
+	// fileSizes memoizes each column file's on-disk byte size after its
+	// first whole-file read — the denominator-independent input to the
+	// exact per-record disk attribution of legacy whole-column-codec loads
+	// (recordShare). Sizes are immutable, so entries are never invalidated.
+	fileSizes map[string]int64
 	// rawCache memoizes decompressed whole-column streams for stores whose
 	// codec frames the entire file (legacy v1/v2): without it, every cold
 	// chunk of such a store would decompress the full column again.
@@ -109,6 +120,23 @@ func NewReader(dir string) (r *Reader, manifestBytes int64, err error) {
 	return r, n, nil
 }
 
+// colMeta looks up a column's manifest entry. Reads take the lock because
+// persisted virtual columns register entries while loads are in flight.
+func (r *Reader) colMeta(name string) (manifestCol, bool) {
+	r.colsMu.RLock()
+	mc, ok := r.cols[name]
+	r.colsMu.RUnlock()
+	return mc, ok
+}
+
+// registerVirtual publishes a sidecar column's manifest entry so the
+// Reader serves its loads exactly like a physical column's.
+func (r *Reader) registerVirtual(mc manifestCol) {
+	r.colsMu.Lock()
+	r.cols[mc.Name] = mc
+	r.colsMu.Unlock()
+}
+
 // Columns lists the persisted columns in manifest order.
 func (r *Reader) Columns() []ColumnMeta {
 	out := make([]ColumnMeta, 0, len(r.m.Columns))
@@ -140,7 +168,7 @@ func (r *Reader) hasLayout(mc manifestCol) bool {
 // read and decompress once, not once per chunk. diskBytes reports the
 // bytes actually read from disk by this call: zero on a memo hit.
 func (r *Reader) rawColumn(name string) (raw []byte, diskBytes int64, kind value.Kind, virtual bool, err error) {
-	mc, ok := r.cols[name]
+	mc, ok := r.colMeta(name)
 	if !ok {
 		return nil, 0, value.KindInvalid, false, fmt.Errorf("colstore: unknown column %q", name)
 	}
@@ -161,6 +189,10 @@ func (r *Reader) rawColumn(name string) (raw []byte, diskBytes int64, kind value
 	r.mu.Lock()
 	r.stats.ReadCalls++
 	r.stats.BytesRead += diskBytes
+	if r.fileSizes == nil {
+		r.fileSizes = make(map[string]int64, 8)
+	}
+	r.fileSizes[mc.File] = diskBytes
 	r.mu.Unlock()
 	if r.m.Codec != "" {
 		codec := mustCodec(r.m.Codec)
@@ -195,9 +227,12 @@ func (r *Reader) LoadColumn(name string) (*Column, int64, error) {
 // chunk layout just the dictionary record's byte range is read from disk —
 // raw on uncompressed stores, one compressed record (decompressed alone)
 // on per-record-compressed ones. Legacy whole-column codecs read the whole
-// file (memoized in the Reader) but materialize only the dictionary.
+// file (memoized in the Reader) but materialize only the dictionary, and
+// the reported disk bytes are the dictionary record's share of the file
+// (see recordShare), not whichever of zero or the whole file the memo
+// happened to serve.
 func (r *Reader) LoadColumnDict(name string) (dict.Dict, int64, error) {
-	mc, ok := r.cols[name]
+	mc, ok := r.colMeta(name)
 	if !ok {
 		return nil, 0, fmt.Errorf("colstore: unknown column %q", name)
 	}
@@ -229,6 +264,12 @@ func (r *Reader) LoadColumnDict(name string) (dict.Dict, int64, error) {
 	if err != nil {
 		return nil, 0, fmt.Errorf("colstore: column %q: %w", name, err)
 	}
+	if r.hasLayout(mc) {
+		// Whole-column codec with a layout: attribute the dictionary
+		// record's exact share of the file rather than the full read (or a
+		// memo-hit zero).
+		diskBytes = r.recordShare(mc, mc.DictLen)
+	}
 	return d, diskBytes, nil
 }
 
@@ -237,11 +278,12 @@ func (r *Reader) LoadColumnDict(name string) (dict.Dict, int64, error) {
 // per-record-compressed v3) only the chunk record's byte range is read —
 // and on v3 stores only that record is decompressed. A legacy store
 // compressed as a whole still reads and decompresses the file (memoized in
-// the Reader), materializing only the requested chunk. Without a layout
-// the reader walks the stream, skipping the dictionary and the preceding
-// chunks.
+// the Reader), materializing only the requested chunk and charging the
+// chunk record's share of the file (recordShare) as its disk bytes.
+// Without a layout the reader walks the stream, skipping the dictionary
+// and the preceding chunks.
 func (r *Reader) LoadColumnChunk(name string, chunk int) (*Chunk, int64, error) {
-	mc, ok := r.cols[name]
+	mc, ok := r.colMeta(name)
 	if ok && r.hasLayout(mc) {
 		if chunk < 0 || chunk >= len(mc.Chunks) {
 			return nil, 0, fmt.Errorf("colstore: column %q has %d chunks, want %d", name, len(mc.Chunks), chunk)
@@ -258,7 +300,7 @@ func (r *Reader) LoadColumnChunk(name string, chunk int) (*Chunk, int64, error) 
 			}
 			return ch, n, nil
 		}
-		raw, diskBytes, _, _, err := r.rawColumn(name)
+		raw, _, _, _, err := r.rawColumn(name)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -269,7 +311,11 @@ func (r *Reader) LoadColumnChunk(name string, chunk int) (*Chunk, int64, error) 
 		if err != nil {
 			return nil, 0, fmt.Errorf("colstore: column %q chunk %d: %w", name, chunk, err)
 		}
-		return ch, diskBytes, nil
+		// Whole-column codec: the read (or memo hit) touched the whole
+		// file, but this load is *for* one record — charge its exact share
+		// so per-query DiskBytesRead does not depend on which query
+		// happened to populate the memo.
+		return ch, r.recordShare(mc, meta.Len), nil
 	}
 	raw, diskBytes, kind, _, err := r.rawColumn(name)
 	if err != nil {
@@ -333,12 +379,24 @@ type lazySource struct {
 	// Replicas opened from the same directory share entries by design: the
 	// data is immutable and identical.
 	ns string
-	// spans holds each laid-out column's per-chunk value spans, straight
-	// from the manifest — the metadata restriction pruning runs on.
-	spans map[string][]ChunkSpan
 	// chunked is true when every persisted column carries a chunk layout,
 	// enabling (column, chunk) residency. Immutable after OpenLazy.
 	chunked bool
+
+	// mu guards spans and sidecar: both immutable for physical columns but
+	// extended at query time when a virtual column is persisted.
+	mu sync.RWMutex
+	// spans holds each laid-out column's per-chunk value spans, straight
+	// from the manifest (or the virtual sidecar) — the metadata restriction
+	// pruning runs on.
+	spans map[string][]ChunkSpan
+	// sidecar mirrors the virtual/ sidecar manifest's column list.
+	sidecar []manifestCol
+
+	// persistMu serializes sidecar writes for this store.
+	persistMu sync.Mutex
+	// noPersist disables sidecar persistence (DisableVirtualPersist).
+	noPersist atomic.Bool
 }
 
 func (l *lazySource) key(col string) string { return l.ns + "\x00" + col }
@@ -352,11 +410,12 @@ func (l *lazySource) chunkKey(col string, ci int) string {
 }
 
 // OpenLazy opens a persisted store without loading any column data: only
-// the manifest is read. Data materializes on first touch through mgr
-// (which enforces the byte budget and evicts cold entries); virtual
-// columns materialized later by the engine stay resident — they cannot be
-// reloaded from disk. mgr may be shared across stores (e.g. all shards of
-// a leaf process share one budget).
+// the manifest (and the virtual sidecar's manifest, if one exists) is
+// read. Data materializes on first touch through mgr (which enforces the
+// byte budget and evicts cold entries); virtual columns the engine
+// materializes later are persisted into the sidecar and budgeted the same
+// way (AddVirtualColumnPinned). mgr may be shared across stores (e.g. all
+// shards of a leaf process share one budget).
 //
 // When the manifest carries a chunk layout (any store saved by this
 // version), residency is chunk-granular: the manager tracks one entry per
@@ -397,7 +456,25 @@ func OpenLazy(dir string, mgr *memmgr.Manager) (*Store, *DiskStats, error) {
 		}
 		src.spans[meta.Name] = spans
 	}
+	if src.chunked {
+		// Virtual columns persisted by earlier sessions: register them so
+		// this session serves them as ordinary budgeted columns instead of
+		// re-materializing the expressions.
+		if err := s.loadSidecar(dir); err != nil {
+			return nil, nil, err
+		}
+	}
 	return s, stats, nil
+}
+
+// DisableVirtualPersist turns off sidecar persistence for this store:
+// virtual columns materialized from then on live in the in-memory registry
+// (unevictable, outside the budget), as they did before sidecar support.
+// A no-op on fully resident stores.
+func (s *Store) DisableVirtualPersist() {
+	if s.lazy != nil {
+		s.lazy.noPersist.Store(true)
+	}
 }
 
 // MemManager returns the manager enforcing the store's byte budget, or nil
@@ -448,7 +525,9 @@ func (s *Store) ChunkSpans(name string) ([]ChunkSpan, bool) {
 		return out, true
 	}
 	if s.lazy != nil {
+		s.lazy.mu.RLock()
 		sp, ok := s.lazy.spans[name]
+		s.lazy.mu.RUnlock()
 		return sp, ok
 	}
 	return nil, false
@@ -459,12 +538,12 @@ func (s *Store) ChunkSpans(name string) ([]ChunkSpan, bool) {
 // of stores without a chunk layout. Callers must Release the returned key
 // when done.
 func (s *Store) acquire(name string) (col *Column, key string, cold bool, diskBytes int64, err error) {
-	meta, ok := s.metas[name]
+	meta, ok := s.meta(name)
 	if !ok {
 		return nil, "", false, 0, fmt.Errorf("colstore: unknown column %q", name)
 	}
 	key = s.lazy.key(name)
-	v, cold, err := s.lazy.mgr.Acquire(key, func() (any, int64, int64, error) {
+	v, cold, err := s.acquireFn(meta.Virtual)(key, func() (any, int64, int64, error) {
 		c, disk, err := s.lazy.reader.LoadColumn(meta.Name)
 		if err != nil {
 			return nil, 0, 0, err
@@ -481,10 +560,26 @@ func (s *Store) acquire(name string) (col *Column, key string, cold bool, diskBy
 	return lc.col, key, cold, lc.diskBytes, nil
 }
 
+// acquireFn selects the manager entry point: virtual-column entries are
+// tagged so their resident bytes show up in Stats.VirtualBytes.
+func (s *Store) acquireFn(virtual bool) func(string, memmgr.LoadFunc) (any, bool, error) {
+	if virtual {
+		return s.lazy.mgr.AcquireVirtual
+	}
+	return s.lazy.mgr.Acquire
+}
+
+// isVirtual reports whether the named column is a materialized virtual
+// field, from metadata alone.
+func (s *Store) isVirtual(name string) bool {
+	m, ok := s.meta(name)
+	return ok && m.Virtual
+}
+
 // acquireDict pins the named column's global dictionary.
 func (s *Store) acquireDict(name string) (d dict.Dict, key string, cold bool, size, diskBytes int64, err error) {
 	key = s.lazy.dictKey(name)
-	v, cold, err := s.lazy.mgr.Acquire(key, func() (any, int64, int64, error) {
+	v, cold, err := s.acquireFn(s.isVirtual(name))(key, func() (any, int64, int64, error) {
 		dd, disk, err := s.lazy.reader.LoadColumnDict(name)
 		if err != nil {
 			return nil, 0, 0, err
@@ -505,7 +600,7 @@ func (s *Store) acquireDict(name string) (d dict.Dict, key string, cold bool, si
 // query won the race, the resident chunk is shared and rec is dropped.
 func (s *Store) acquireChunk(name string, ci int, rec []byte) (ch *Chunk, key string, cold bool, size, diskBytes int64, err error) {
 	key = s.lazy.chunkKey(name, ci)
-	v, cold, err := s.lazy.mgr.Acquire(key, func() (any, int64, int64, error) {
+	v, cold, err := s.acquireFn(s.isVirtual(name))(key, func() (any, int64, int64, error) {
 		var (
 			c    *Chunk
 			disk int64
@@ -625,7 +720,7 @@ func (p *PinSet) ensure(name string) (*heldPin, error) {
 	if h, ok := p.held[name]; ok {
 		return h, nil
 	}
-	meta, ok := p.s.metas[name]
+	meta, ok := p.s.meta(name)
 	if !ok {
 		return nil, fmt.Errorf("colstore: unknown column %q", name)
 	}
@@ -706,9 +801,10 @@ func (p *PinSet) legacyColumn(name string) (*Column, error) {
 }
 
 // Column returns the named column fully pinned: dictionary plus every
-// chunk. Virtual and fully resident columns need no pin and pass straight
-// through. Unknown columns are an error. Use ColumnChunks when the query
-// will only scan a subset of the chunks.
+// chunk. Registry-resident columns (fully resident stores, unpersisted
+// virtual columns) need no pin and pass straight through; persisted
+// virtual columns pin like physical ones. Unknown columns are an error.
+// Use ColumnChunks when the query will only scan a subset of the chunks.
 func (p *PinSet) Column(name string) (*Column, error) {
 	return p.ColumnChunks(name, nil)
 }

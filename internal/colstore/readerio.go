@@ -268,7 +268,7 @@ func (r *Reader) exactChunkReads(mc manifestCol) bool {
 // ok is false when the layout cannot serve exact reads (legacy manifests,
 // whole-column codecs) or the chunk index is out of range.
 func (r *Reader) ChunkFileRange(name string, ci int) (off, n int64, ok bool) {
-	mc, found := r.cols[name]
+	mc, found := r.colMeta(name)
 	if !found || !r.exactChunkReads(mc) || ci < 0 || ci >= len(mc.Chunks) {
 		return 0, 0, false
 	}
@@ -282,7 +282,7 @@ func (r *Reader) ChunkFileRange(name string, ci int) (off, n int64, ok bool) {
 // DictFileLen returns the byte length of the head record (dictionary) read
 // by an exact dictionary load, and whether exact dictionary reads apply.
 func (r *Reader) DictFileLen(name string) (int64, bool) {
-	mc, found := r.cols[name]
+	mc, found := r.colMeta(name)
 	if !found || !r.hasLayout(mc) {
 		return 0, false
 	}
@@ -299,7 +299,7 @@ func (r *Reader) DictFileLen(name string) (int64, bool) {
 // delimited by ChunkFileRange): a compressed record on v3 stores, the raw
 // record otherwise.
 func (r *Reader) DecodeChunkRecord(name string, ci int, rec []byte) (*Chunk, error) {
-	mc, ok := r.cols[name]
+	mc, ok := r.colMeta(name)
 	if !ok {
 		return nil, fmt.Errorf("colstore: unknown column %q", name)
 	}
@@ -322,6 +322,44 @@ func (r *Reader) DecodeChunkRecord(name string, ci int, rec []byte) (*Chunk, err
 		return nil, fmt.Errorf("colstore: column %q chunk %d: %w", name, ci, err)
 	}
 	return ch, nil
+}
+
+// streamLen is the byte length of a laid-out column's uncompressed stream
+// (the last chunk record's end); 0 without a layout.
+func streamLen(mc manifestCol) int64 {
+	if len(mc.Chunks) == 0 {
+		return 0
+	}
+	last := mc.Chunks[len(mc.Chunks)-1]
+	return last.Off + last.Len
+}
+
+// recordShare attributes a whole-column-codec load to one record: the
+// record's proportional share of the column file's on-disk bytes
+// (fileBytes × recLen ⁄ streamLen, at least 1 for a non-empty record).
+// Before this, the first load to touch such a column was charged the whole
+// file and every later (memoized) load charged 0 — per-query DiskBytesRead
+// depended on which query happened to arrive first. The share is computed
+// from manifest metadata plus the file size memoized on first read, so it
+// is deterministic per record; physical reads are still counted exactly in
+// IOStats.BytesRead.
+func (r *Reader) recordShare(mc manifestCol, recLen int64) int64 {
+	stream := streamLen(mc)
+	if stream <= 0 || recLen <= 0 {
+		return 0
+	}
+	r.mu.Lock()
+	fileSize := r.fileSizes[mc.File]
+	r.mu.Unlock()
+	if fileSize <= 0 {
+		// Unknown file size (no read has happened, so no charge to split).
+		return 0
+	}
+	share := int64(float64(fileSize) * float64(recLen) / float64(stream))
+	if share < 1 {
+		share = 1
+	}
+	return share
 }
 
 // mustCodec resolves a codec name that the manifest already validated; an
@@ -347,7 +385,7 @@ type byteRun struct {
 // chunks is one read instead of m, saving m−1). ok is false when the
 // column cannot serve exact reads — callers fall back to per-chunk loads.
 func (r *Reader) ReadChunkRuns(name string, chunks []int) (recs map[int][]byte, runs, coalesced int, ok bool, err error) {
-	mc, found := r.cols[name]
+	mc, found := r.colMeta(name)
 	if !found || !r.exactChunkReads(mc) || len(chunks) == 0 {
 		return nil, 0, 0, false, nil
 	}

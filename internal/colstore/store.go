@@ -83,13 +83,16 @@ type Store struct {
 	// Opts records how the store was built.
 	Opts Options
 
+	// mu guards columns, order and metas. metas used to be immutable after
+	// OpenLazy, but persisted virtual columns register new metadata at
+	// query time, so metadata reads go through meta()/HasColumn.
 	mu      sync.RWMutex
 	columns map[string]*Column
 	order   []string
 
 	// Lazy stores (OpenLazy) keep only metadata here; physical column data
-	// lives in the memory manager and loads on demand. Both fields are
-	// immutable after OpenLazy, so reads need no lock.
+	// lives in the memory manager and loads on demand. lazy itself is
+	// immutable after OpenLazy (its mutable fields carry their own lock).
 	lazy  *lazySource
 	metas map[string]ColumnMeta
 }
@@ -146,19 +149,27 @@ func (s *Store) residentColumn(name string) *Column {
 	return c
 }
 
+// meta looks up a column's lazy-load metadata under the registry lock.
+func (s *Store) meta(name string) (ColumnMeta, bool) {
+	s.mu.RLock()
+	m, ok := s.metas[name]
+	s.mu.RUnlock()
+	return m, ok
+}
+
 // HasColumn reports whether the store knows the column (resident, virtual
 // or lazily loadable) without loading any data.
 func (s *Store) HasColumn(name string) bool {
 	if s.residentColumn(name) != nil {
 		return true
 	}
-	_, ok := s.metas[name]
+	_, ok := s.meta(name)
 	return ok
 }
 
 // ColumnMeta returns the column's metadata without loading its data.
 func (s *Store) ColumnMeta(name string) (ColumnMeta, bool) {
-	if m, ok := s.metas[name]; ok {
+	if m, ok := s.meta(name); ok {
 		return m, true
 	}
 	if c := s.residentColumn(name); c != nil {
@@ -179,11 +190,11 @@ func (s *Store) AddColumn(c *Column) error {
 	if err := c.checkAligned(s.Bounds); err != nil {
 		return err
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, dup := s.metas[c.Name]; dup {
 		return fmt.Errorf("colstore: duplicate column %q", c.Name)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, dup := s.columns[c.Name]; dup {
 		return fmt.Errorf("colstore: duplicate column %q", c.Name)
 	}
@@ -357,43 +368,49 @@ func (s *Store) assemble(name string, kind value.Kind, d dict.Dict, gids []uint3
 	return col, nil
 }
 
-// AddVirtualColumn materializes per-row values (computed by the expression
-// engine) as a first-class column in the store's own format — the
-// Section 5 "virtual fields" mechanism. The values slice must be in store
-// row order. Callers racing on the same name must serialize externally
-// (the engine's plan lock does); the registry itself is mutation-safe.
-func (s *Store) AddVirtualColumn(name string, kind value.Kind, vals []value.Value) (*Column, error) {
-	if s.HasColumn(name) {
-		// Metadata-only check: on a lazy store, Column(name) here would
-		// cold-load the whole column just to prove it exists.
-		return nil, fmt.Errorf("colstore: virtual column %q already exists", name)
-	}
-	var (
-		col *Column
-		err error
-	)
+// buildVirtual dictionary-encodes materialized per-row values into a
+// virtual column aligned with the store's chunk layout.
+func (s *Store) buildVirtual(name string, kind value.Kind, vals []value.Value) (*Column, error) {
 	switch kind {
 	case value.KindString:
 		raw := make([]string, len(vals))
 		for i, v := range vals {
 			raw[i] = v.Str()
 		}
-		col, err = s.buildStringColumn(name, raw, true)
+		return s.buildStringColumn(name, raw, true)
 	case value.KindInt64:
 		raw := make([]int64, len(vals))
 		for i, v := range vals {
 			raw[i] = v.Int()
 		}
-		col, err = s.buildInt64Column(name, raw, true)
+		return s.buildInt64Column(name, raw, true)
 	case value.KindFloat64:
 		raw := make([]float64, len(vals))
 		for i, v := range vals {
 			raw[i] = v.Float()
 		}
-		col, err = s.buildFloat64Column(name, raw, true)
-	default:
-		return nil, fmt.Errorf("colstore: virtual column %q has invalid kind", name)
+		return s.buildFloat64Column(name, raw, true)
 	}
+	return nil, fmt.Errorf("colstore: virtual column %q has invalid kind", name)
+}
+
+// AddVirtualColumn materializes per-row values (computed by the expression
+// engine) as a first-class column in the store's own format — the
+// Section 5 "virtual fields" mechanism. The values slice must be in store
+// row order. Callers racing on the same name must serialize externally
+// (the engine's plan lock does); the registry itself is mutation-safe.
+//
+// The column lives in the in-memory registry: always resident, never
+// evicted, outside any byte budget. On a budget-managed store prefer
+// AddVirtualColumnPinned, which persists the materialization next to the
+// store so it can be evicted and reloaded like physical data.
+func (s *Store) AddVirtualColumn(name string, kind value.Kind, vals []value.Value) (*Column, error) {
+	if s.HasColumn(name) {
+		// Metadata-only check: on a lazy store, Column(name) here would
+		// cold-load the whole column just to prove it exists.
+		return nil, fmt.Errorf("colstore: virtual column %q already exists", name)
+	}
+	col, err := s.buildVirtual(name, kind, vals)
 	if err != nil {
 		return nil, err
 	}
@@ -401,6 +418,78 @@ func (s *Store) AddVirtualColumn(name string, kind value.Kind, vals []value.Valu
 		return nil, err
 	}
 	return col, nil
+}
+
+// AddVirtualColumnPinned materializes per-row values like AddVirtualColumn
+// and, on a chunk-granular lazy store, persists the new column into the
+// store's virtual/ sidecar (see docs/format.md) so it becomes an ordinary
+// citizen of the memory subsystem: its global dictionary and chunks are
+// registered with the memory manager — charged to the byte budget (cold
+// unpinned entries are evicted to make room), evictable once unpinned, and
+// reloadable from the sidecar — and pinned into ps for the calling query
+// like any physical column. The sidecar also records the column's
+// per-chunk value spans, so later restrictions on the expression prune
+// chunks from metadata alone.
+//
+// On fully resident stores, legacy stores without a chunk layout, stores
+// with persistence disabled (DisableVirtualPersist), or when the sidecar
+// cannot be written (read-only store directory), it falls back to
+// AddVirtualColumn's in-registry residency: correct, but unevictable and
+// outside the budget (reported by UnevictableVirtualBytes).
+func (s *Store) AddVirtualColumnPinned(ps *PinSet, name string, kind value.Kind, vals []value.Value) (*Column, error) {
+	if s.lazy == nil || !s.lazy.chunked || s.lazy.noPersist.Load() {
+		return s.AddVirtualColumn(name, kind, vals)
+	}
+	if s.HasColumn(name) {
+		// Already materialized (possibly by a racing engine): adopt it.
+		return ps.Column(name)
+	}
+	col, err := s.buildVirtual(name, kind, vals)
+	if err != nil {
+		return nil, err
+	}
+	s.lazy.persistMu.Lock()
+	if s.HasColumn(name) {
+		// Another engine sharing this store won the materialization race
+		// (each engine's plan lock only serializes itself): adopt the
+		// winner's registered column instead of failing the losing query.
+		s.lazy.persistMu.Unlock()
+		return ps.Column(name)
+	}
+	mc, err := s.persistVirtualLocked(col)
+	if err != nil {
+		s.lazy.persistMu.Unlock()
+		// The sidecar could not be written (typically a read-only store
+		// directory): keep the query working with in-registry residency.
+		if aerr := s.AddColumn(col); aerr != nil {
+			return nil, aerr
+		}
+		return col, nil
+	}
+	err = s.registerSidecarColumn(mc)
+	s.lazy.persistMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return ps.adoptVirtual(col)
+}
+
+// UnevictableVirtualBytes sums the resident footprint of virtual columns
+// living in the in-memory registry — materializations that could not join
+// the byte budget (fully resident stores, legacy stores without a chunk
+// layout, unwritable store directories, DisableVirtualPersist). Budgeted
+// virtual columns are accounted by the memory manager instead
+// (memmgr.Stats.VirtualBytes).
+func (s *Store) UnevictableVirtualBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var total int64
+	for _, c := range s.columns {
+		if c.Virtual {
+			total += c.Memory().Total()
+		}
+	}
+	return total
 }
 
 // MemoryFor sums the footprints of the named columns — the per-query

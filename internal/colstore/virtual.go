@@ -1,0 +1,252 @@
+package colstore
+
+// Sidecar persistence for materialized virtual columns (paper Section 5
+// "virtual fields"). Expressions the engine materializes at query time used
+// to live only in the store's in-memory registry: always resident, never
+// evictable, invisible to the byte budget. On a chunk-granular lazy store
+// they are instead written into a `virtual/` sidecar directory next to the
+// store — one column file per materialization plus a sidecar manifest —
+// using the exact framing of the store's own columns (same codec, same
+// format generation, per-chunk value spans and byte ranges). From then on
+// a virtual column is indistinguishable from a physical one to the memory
+// subsystem: loaded on demand, pinned per query, evicted under budget
+// pressure, reloaded from disk, and pruned by restriction spans.
+//
+// Reopening the store re-reads the sidecar, so a drill-down session's
+// materializations survive process restarts: the next session pays a cold
+// load, not a re-materialization scan.
+//
+// Concurrency: one store serializes persists on lazySource.persistMu (the
+// engine's plan lock already serializes materialization per engine; a
+// materialization race between engines sharing one Store is resolved by
+// adopting the winner's column). Two *processes* (or two Stores opened
+// separately on the same directory) may race on the sidecar manifest; the
+// manifest write is atomic (temp file + rename) and column files are
+// claimed exclusively (O_EXCL, never overwritten), so the store stays
+// readable and live readers' recorded byte ranges stay valid — the losing
+// writer's column is at worst absent after a reopen and gets
+// re-materialized, never corrupted.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+
+	"powerdrill/internal/value"
+)
+
+const (
+	// virtualSubdir is the sidecar directory inside a persisted store.
+	virtualSubdir = "virtual"
+	// virtualManifestName is the sidecar manifest inside virtualSubdir.
+	virtualManifestName = "manifest.json"
+)
+
+// virtualSidecar is the JSON header of the virtual/ sidecar. Format and
+// Codec mirror the parent manifest: sidecar column files use exactly the
+// record framing of the store's own columns, so every Reader code path
+// (exact byte-range reads, per-record decompression, legacy stream
+// memoization) applies unchanged.
+type virtualSidecar struct {
+	Format  int           `json:"format,omitempty"`
+	Codec   string        `json:"codec,omitempty"`
+	Columns []manifestCol `json:"columns"`
+}
+
+// readVirtualSidecar loads dir's sidecar manifest; a missing sidecar is
+// not an error (nil, nil), and neither is an unreadable sidecar *path*
+// (e.g. a stray file where the directory should be — persisting into it
+// will fail and fall back, but the store itself must open).
+func readVirtualSidecar(dir string) (*virtualSidecar, error) {
+	blob, err := os.ReadFile(filepath.Join(dir, virtualSubdir, virtualManifestName))
+	if errors.Is(err, os.ErrNotExist) || errors.Is(err, syscall.ENOTDIR) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("colstore: open virtual sidecar: %w", err)
+	}
+	var vm virtualSidecar
+	if err := json.Unmarshal(blob, &vm); err != nil {
+		return nil, fmt.Errorf("colstore: open virtual sidecar: %w", err)
+	}
+	return &vm, nil
+}
+
+// persistVirtualLocked writes one freshly built virtual column into the
+// store's virtual/ sidecar: the column file in the parent store's framing,
+// then the sidecar manifest (atomically, temp + rename). The caller holds
+// lazySource.persistMu.
+func (s *Store) persistVirtualLocked(col *Column) (manifestCol, error) {
+	src := s.lazy
+	r := src.reader
+	raw, dictLen, chunkMetas := encodeColumn(col)
+	mc := manifestCol{
+		Name: col.Name, Kind: col.Kind.String(), Virtual: true,
+		DictLen: dictLen, Chunks: chunkMetas,
+	}
+	if r.m.Codec != "" {
+		codec := mustCodec(r.m.Codec)
+		if r.m.Format >= formatVersion {
+			raw, mc = compressRecords(codec, raw, mc)
+		} else {
+			// Legacy whole-column framing: keep the sidecar readable by the
+			// same code paths as the parent's columns.
+			raw = codec.Compress(nil, raw)
+		}
+	}
+	if err := os.MkdirAll(filepath.Join(r.dir, virtualSubdir), 0o755); err != nil {
+		return mc, fmt.Errorf("colstore: persist virtual column %q: %w", col.Name, err)
+	}
+	// Claim a column file exclusively (O_EXCL): another Store or process
+	// persisting into the same directory can never overwrite bytes a live
+	// Reader has already recorded ranges for — the race costs at worst a
+	// lost manifest entry, never corrupt data.
+	src.mu.RLock()
+	seq := len(src.sidecar)
+	src.mu.RUnlock()
+	for {
+		mc.File = filepath.Join(virtualSubdir, fmt.Sprintf("vcol_%04d.bin", seq))
+		f, err := os.OpenFile(filepath.Join(r.dir, mc.File), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if os.IsExist(err) {
+			seq++
+			continue
+		}
+		if err != nil {
+			return mc, fmt.Errorf("colstore: persist virtual column %q: %w", col.Name, err)
+		}
+		_, werr := f.Write(raw)
+		cerr := f.Close()
+		if werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return mc, fmt.Errorf("colstore: persist virtual column %q: %w", col.Name, werr)
+		}
+		break
+	}
+	src.mu.RLock()
+	cols := append(append([]manifestCol(nil), src.sidecar...), mc)
+	src.mu.RUnlock()
+	blob, err := json.MarshalIndent(&virtualSidecar{Format: r.m.Format, Codec: r.m.Codec, Columns: cols}, "", "  ")
+	if err != nil {
+		return mc, fmt.Errorf("colstore: persist virtual column %q: %w", col.Name, err)
+	}
+	path := filepath.Join(r.dir, virtualSubdir, virtualManifestName)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return mc, fmt.Errorf("colstore: persist virtual column %q: %w", col.Name, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return mc, fmt.Errorf("colstore: persist virtual column %q: %w", col.Name, err)
+	}
+	src.mu.Lock()
+	src.sidecar = cols
+	src.mu.Unlock()
+	return mc, nil
+}
+
+// registerSidecarColumn publishes a sidecar column's metadata so the store
+// serves it exactly like a physical column: lazy-load metadata in the
+// registry, per-chunk spans for restriction pruning, and the manifest
+// entry in the Reader for cold loads. Used both when a materialization is
+// persisted and when OpenLazy finds an existing sidecar.
+func (s *Store) registerSidecarColumn(mc manifestCol) error {
+	kind, err := value.ParseKind(mc.Kind)
+	if err != nil {
+		return fmt.Errorf("colstore: virtual column %q: %w", mc.Name, err)
+	}
+	src := s.lazy
+	if !src.reader.hasLayout(mc) {
+		return fmt.Errorf("colstore: virtual column %q has no chunk layout", mc.Name)
+	}
+	s.mu.Lock()
+	if _, dup := s.metas[mc.Name]; dup {
+		s.mu.Unlock()
+		return fmt.Errorf("colstore: duplicate column %q", mc.Name)
+	}
+	if _, dup := s.columns[mc.Name]; dup {
+		s.mu.Unlock()
+		return fmt.Errorf("colstore: duplicate column %q", mc.Name)
+	}
+	s.metas[mc.Name] = ColumnMeta{Name: mc.Name, Kind: kind, Virtual: true}
+	s.order = append(s.order, mc.Name)
+	s.mu.Unlock()
+	spans := make([]ChunkSpan, len(mc.Chunks))
+	for i, cm := range mc.Chunks {
+		spans[i] = ChunkSpan{MinGID: cm.Min, MaxGID: cm.Max}
+	}
+	src.mu.Lock()
+	src.spans[mc.Name] = spans
+	src.mu.Unlock()
+	src.reader.registerVirtual(mc)
+	return nil
+}
+
+// loadSidecar reads and registers dir's virtual sidecar during OpenLazy.
+// The sidecar is best-effort by contract ("lose a column, never corrupt
+// one"), so staleness never fails the open: a framing mismatch (the store
+// was re-saved in place with a different codec) ignores the sidecar
+// entirely, and an entry that no longer registers — typically a column an
+// in-place Save promoted into the main manifest — is skipped and dropped
+// from the kept list, re-materializing (or serving from the main
+// manifest) instead.
+func (s *Store) loadSidecar(dir string) error {
+	src := s.lazy
+	vm, err := readVirtualSidecar(dir)
+	if err != nil || vm == nil {
+		return err
+	}
+	if vm.Codec != src.reader.m.Codec || vm.Format != src.reader.m.Format {
+		return nil
+	}
+	kept := make([]manifestCol, 0, len(vm.Columns))
+	for _, mc := range vm.Columns {
+		if err := s.registerSidecarColumn(mc); err != nil {
+			continue
+		}
+		kept = append(kept, mc)
+	}
+	src.mu.Lock()
+	src.sidecar = kept
+	src.mu.Unlock()
+	return nil
+}
+
+// adoptVirtual registers a freshly materialized, already persisted virtual
+// column's pieces as pinned entries of the memory manager: no cold-load
+// counters and no disk charge (the data was just built in memory), but the
+// bytes go through the byte budget like any load — cold unpinned entries
+// are evicted to make room. The returned column is the resident view:
+// data-identical to col, possibly shared with a concurrent materializer
+// that raced through another store on the same directory. The pins drop
+// with the set's Release, after which the entries are evictable and reload
+// from the sidecar.
+func (p *PinSet) adoptVirtual(col *Column) (*Column, error) {
+	name := col.Name
+	if h, ok := p.held[name]; ok {
+		return h.view, nil
+	}
+	src := p.s.lazy
+	h := &heldPin{view: col, chunks: make([]bool, p.s.NumChunks()), dict: true}
+	dictKey := src.dictKey(name)
+	dictSize := col.Dict.MemoryBytes()
+	ld := src.mgr.Insert(dictKey, &loadedDict{d: col.Dict, size: dictSize}, dictSize, true).(*loadedDict)
+	col.Dict = ld.d
+	h.keys = append(h.keys, dictKey)
+	for ci, ch := range col.Chunks {
+		key := src.chunkKey(name, ci)
+		size := ch.MemoryElements() + ch.MemoryChunkDict()
+		lc := src.mgr.Insert(key, &loadedChunk{ch: ch, size: size}, size, true).(*loadedChunk)
+		col.Chunks[ci] = lc.ch
+		h.chunks[ci] = true
+		h.keys = append(h.keys, key)
+	}
+	if p.held == nil {
+		p.held = make(map[string]*heldPin, 8)
+	}
+	p.held[name] = h
+	return col, nil
+}

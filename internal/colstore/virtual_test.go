@@ -1,0 +1,411 @@
+package colstore
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"powerdrill/internal/memmgr"
+	"powerdrill/internal/value"
+)
+
+// materializeSuffix builds the per-row values of a toy expression over the
+// country column — a stand-in for what the engine's expression evaluator
+// produces — and persists them through AddVirtualColumnPinned.
+func materializeSuffix(t *testing.T, s *Store, name, suffix string) *Column {
+	t.Helper()
+	src, err := s.ColumnErr("country")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]value.Value, 0, s.NumRows())
+	for ci := 0; ci < s.NumChunks(); ci++ {
+		for r := 0; r < s.ChunkRows(ci); r++ {
+			vals = append(vals, value.String(src.ValueAt(ci, r).Str()+suffix))
+		}
+	}
+	ps := s.NewPinSet()
+	defer ps.Release()
+	col, err := s.AddVirtualColumnPinned(ps, name, value.KindString, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return col
+}
+
+func materializeUpper(t *testing.T, s *Store, name string) *Column {
+	t.Helper()
+	return materializeSuffix(t, s, name, "!")
+}
+
+// sidecarManifest reads the virtual sidecar's manifest of dir.
+func sidecarManifest(t *testing.T, dir string) *virtualSidecar {
+	t.Helper()
+	blob, err := os.ReadFile(filepath.Join(dir, virtualSubdir, virtualManifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vm virtualSidecar
+	if err := json.Unmarshal(blob, &vm); err != nil {
+		t.Fatal(err)
+	}
+	return &vm
+}
+
+// TestVirtualSidecarPersistReopen pins the tentpole round trip: a virtual
+// column materialized on a lazy store is persisted into the virtual/
+// sidecar, survives a fresh OpenLazy, and serves bit-for-bit identical
+// values from disk — including its per-chunk spans for restriction
+// pruning.
+func TestVirtualSidecarPersistReopen(t *testing.T) {
+	for _, codec := range []string{"", "zippy"} {
+		name := codec
+		if name == "" {
+			name = "raw"
+		}
+		t.Run(name, func(t *testing.T) {
+			_, dir := buildSavedStore(t, 3000, codec)
+			lazy, _, err := OpenLazy(dir, memmgr.New(0, "2q"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			built := materializeUpper(t, lazy, "upper(country)")
+			if lazy.residentColumn("upper(country)") != nil {
+				t.Fatal("persisted virtual column must not live in the registry")
+			}
+			meta, ok := lazy.ColumnMeta("upper(country)")
+			if !ok || !meta.Virtual {
+				t.Fatalf("virtual column metadata missing or not virtual: %+v ok=%v", meta, ok)
+			}
+			vm := sidecarManifest(t, dir)
+			if len(vm.Columns) != 1 || vm.Columns[0].Name != "upper(country)" {
+				t.Fatalf("sidecar manifest = %+v", vm.Columns)
+			}
+
+			// A fresh open must see the column without re-materializing.
+			reopened, _, err := OpenLazy(dir, memmgr.New(0, "2q"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reopened.HasColumn("upper(country)") {
+				t.Fatal("reopened store lost the persisted virtual column")
+			}
+			if _, ok := reopened.ChunkSpans("upper(country)"); !ok {
+				t.Fatal("reopened store has no spans for the virtual column")
+			}
+			got, err := reopened.ColumnErr("upper(country)")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Kind != built.Kind || !got.Virtual {
+				t.Fatalf("reloaded column kind/virtual mismatch: %v %v", got.Kind, got.Virtual)
+			}
+			for ci := range built.Chunks {
+				for r := 0; r < built.Chunks[ci].Rows(); r++ {
+					if !built.ValueAt(ci, r).Equal(got.ValueAt(ci, r)) {
+						t.Fatalf("chunk %d row %d: %v != %v", ci, r, built.ValueAt(ci, r), got.ValueAt(ci, r))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestVirtualSidecarExactColdReads checks that a persisted virtual column
+// on a per-record-compressed store serves single-chunk cold loads by exact
+// byte range, like any physical column: one pinned chunk is charged
+// exactly its compressed record plus the dictionary record.
+func TestVirtualSidecarExactColdReads(t *testing.T) {
+	_, dir := buildSavedStore(t, 3000, "zippy")
+	warm, _, err := OpenLazy(dir, memmgr.New(0, "2q"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	materializeUpper(t, warm, "upper(country)")
+
+	vm := sidecarManifest(t, dir)
+	mc := vm.Columns[0]
+	if mc.DictCLen == 0 || mc.Chunks[0].CLen == 0 {
+		t.Fatalf("sidecar not per-record compressed: %+v", mc)
+	}
+	cold, _, err := OpenLazy(dir, memmgr.New(0, "2q"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := cold.NewPinSet()
+	defer ps.Release()
+	active := make([]bool, cold.NumChunks())
+	active[0] = true
+	if _, err := ps.ColumnChunks("upper(country)", active); err != nil {
+		t.Fatal(err)
+	}
+	want := mc.DictCLen + mc.Chunks[0].CLen
+	if ps.DiskBytesRead != want {
+		t.Fatalf("one virtual chunk + dict charged %d bytes, want exact records %d", ps.DiskBytesRead, want)
+	}
+	if ps.ColdChunkLoads != 1 || ps.ColdDictLoads != 1 {
+		t.Fatalf("cold loads = %d chunks / %d dicts, want 1/1", ps.ColdChunkLoads, ps.ColdDictLoads)
+	}
+}
+
+// TestVirtualSidecarLegacyFraming pins sidecar persistence on a legacy
+// v2 whole-column-codec parent: the sidecar mirrors the parent's framing
+// and the column reloads identically.
+func TestVirtualSidecarLegacyFraming(t *testing.T) {
+	_, dir := buildLegacyStore(t, 3000, "zippy")
+	lazy, _, err := OpenLazy(dir, memmgr.New(0, "2q"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	built := materializeUpper(t, lazy, "upper(country)")
+	vm := sidecarManifest(t, dir)
+	if vm.Format >= formatVersion || vm.Columns[0].DictCLen != 0 {
+		t.Fatalf("legacy parent must produce legacy-framed sidecar, got format %d %+v", vm.Format, vm.Columns[0])
+	}
+	reopened, _, err := OpenLazy(dir, memmgr.New(0, "2q"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := reopened.ColumnErr("upper(country)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci := range built.Chunks {
+		for r := 0; r < built.Chunks[ci].Rows(); r++ {
+			if !built.ValueAt(ci, r).Equal(got.ValueAt(ci, r)) {
+				t.Fatalf("chunk %d row %d mismatch", ci, r)
+			}
+		}
+	}
+}
+
+// TestVirtualPersistFallback: when the sidecar cannot be created (here a
+// plain file squats on the virtual/ path), materialization falls back to
+// in-registry residency — unevictable, but correct and visible in
+// UnevictableVirtualBytes.
+func TestVirtualPersistFallback(t *testing.T) {
+	_, dir := buildSavedStore(t, 2000, "zippy")
+	if err := os.WriteFile(filepath.Join(dir, virtualSubdir), []byte("squat"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lazy, _, err := OpenLazy(dir, memmgr.New(0, "2q"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := materializeUpper(t, lazy, "upper(country)")
+	if lazy.residentColumn("upper(country)") == nil {
+		t.Fatal("fallback materialization should live in the registry")
+	}
+	if got := lazy.UnevictableVirtualBytes(); got != col.Memory().Total() {
+		t.Fatalf("UnevictableVirtualBytes = %d, want %d", got, col.Memory().Total())
+	}
+	if ms := lazy.MemManager().Stats(); ms.VirtualBytes != 0 {
+		t.Fatalf("manager should hold no virtual bytes on fallback, got %d", ms.VirtualBytes)
+	}
+}
+
+// TestVirtualPersistDisabled: DisableVirtualPersist forces the registry
+// path even on a writable chunk-granular store.
+func TestVirtualPersistDisabled(t *testing.T) {
+	_, dir := buildSavedStore(t, 2000, "zippy")
+	lazy, _, err := OpenLazy(dir, memmgr.New(0, "2q"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy.DisableVirtualPersist()
+	materializeUpper(t, lazy, "upper(country)")
+	if lazy.residentColumn("upper(country)") == nil {
+		t.Fatal("disabled persistence should fall back to the registry")
+	}
+	if _, err := os.Stat(filepath.Join(dir, virtualSubdir)); !os.IsNotExist(err) {
+		t.Fatalf("no sidecar should be written, stat err = %v", err)
+	}
+	if lazy.UnevictableVirtualBytes() == 0 {
+		t.Fatal("registry virtual bytes should be visible")
+	}
+}
+
+// TestVirtualEvictReload forces the persisted virtual column out of a tiny
+// budget and checks the reloaded bytes decode to the same values — the
+// "evictable and reloadable" half of the acceptance criterion at the
+// colstore level.
+func TestVirtualEvictReload(t *testing.T) {
+	_, dir := buildSavedStore(t, 3000, "zippy")
+	mgr := memmgr.New(1, "2q") // 1 byte: everything evicts the moment it unpins
+	lazy, _, err := OpenLazy(dir, mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	built := materializeUpper(t, lazy, "upper(country)")
+	st := mgr.Stats()
+	if st.ResidentBytes > 1 {
+		t.Fatalf("resident %d bytes after release under a 1-byte budget", st.ResidentBytes)
+	}
+	if st.VirtualBytes != 0 {
+		t.Fatalf("virtual gauge %d after everything evicted", st.VirtualBytes)
+	}
+	got, err := lazy.ColumnErr("upper(country)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci := range built.Chunks {
+		for r := 0; r < built.Chunks[ci].Rows(); r++ {
+			if !built.ValueAt(ci, r).Equal(got.ValueAt(ci, r)) {
+				t.Fatalf("chunk %d row %d differs after evict+reload", ci, r)
+			}
+		}
+	}
+}
+
+// TestVirtualGaugeOnReload: a virtual column reloaded from the sidecar by
+// a fresh store (not the one that materialized it) is still tagged in the
+// manager's VirtualBytes gauge — virtual-ness comes from the sidecar
+// metadata, not from the materializing session.
+func TestVirtualGaugeOnReload(t *testing.T) {
+	_, dir := buildSavedStore(t, 3000, "zippy")
+	lazy, _, err := OpenLazy(dir, memmgr.New(0, "2q"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	materializeUpper(t, lazy, "upper(country)")
+	reopened, _, err := OpenLazy(dir, memmgr.New(0, "2q"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reopened.ColumnErr("upper(country)"); err != nil {
+		t.Fatal(err)
+	}
+	if st := reopened.MemManager().Stats(); st.VirtualBytes == 0 {
+		t.Fatal("reloaded virtual column not tagged in VirtualBytes")
+	}
+}
+
+// TestVirtualSidecarCrossStoreNoOverwrite: two Stores on one directory
+// (replicas) materialize different expressions. Column files are claimed
+// O_EXCL, so the second persist must not overwrite bytes the first
+// store's Reader already recorded ranges for — after eviction, the first
+// store reloads its own column intact even though the sidecar manifest is
+// last-writer-wins.
+func TestVirtualSidecarCrossStoreNoOverwrite(t *testing.T) {
+	_, dir := buildSavedStore(t, 3000, "zippy")
+	// Separate managers: 1-byte budgets so everything evicts on release
+	// and reloads go back to the files.
+	a, _, err := OpenLazy(dir, memmgr.New(1, "2q"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := OpenLazy(dir, memmgr.New(1, "2q"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	builtA := materializeSuffix(t, a, "upper(country)", "A")
+	materializeSuffix(t, b, "lower(country)", "B") // b never saw a's column
+	// Both persists claimed distinct files despite both starting at seq 0.
+	if _, err := os.Stat(filepath.Join(dir, virtualSubdir, "vcol_0000.bin")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, virtualSubdir, "vcol_0001.bin")); err != nil {
+		t.Fatalf("second store should have claimed a fresh file: %v", err)
+	}
+	// a's column reloads bit-for-bit from its unclobbered file.
+	got, err := a.ColumnErr("upper(country)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci := range builtA.Chunks {
+		for r := 0; r < builtA.Chunks[ci].Rows(); r++ {
+			if !builtA.ValueAt(ci, r).Equal(got.ValueAt(ci, r)) {
+				t.Fatalf("chunk %d row %d clobbered by the racing persist", ci, r)
+			}
+		}
+	}
+	// A reopen sees the last-written manifest (b's) — lose, never corrupt.
+	reopened, _, err := OpenLazy(dir, memmgr.New(0, "2q"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reopened.HasColumn("lower(country)") {
+		t.Fatal("reopen lost the last writer's column too")
+	}
+}
+
+// TestVirtualSidecarSurvivesInPlaceSave: Save-ing a store with persisted
+// virtual columns back into its own directory promotes them into the main
+// manifest but leaves the (now stale) sidecar behind; the next OpenLazy
+// must skip the duplicate sidecar entries instead of failing the open.
+func TestVirtualSidecarSurvivesInPlaceSave(t *testing.T) {
+	_, dir := buildSavedStore(t, 2000, "zippy")
+	lazy, _, err := OpenLazy(dir, memmgr.New(0, "2q"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	built := materializeUpper(t, lazy, "upper(country)")
+	if err := Save(lazy, dir, "zippy"); err != nil {
+		t.Fatal(err)
+	}
+	reopened, _, err := OpenLazy(dir, memmgr.New(0, "2q"))
+	if err != nil {
+		t.Fatalf("reopen after in-place save: %v", err)
+	}
+	meta, ok := reopened.ColumnMeta("upper(country)")
+	if !ok || !meta.Virtual {
+		t.Fatalf("promoted virtual column missing: %+v ok=%v", meta, ok)
+	}
+	got, err := reopened.ColumnErr("upper(country)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !built.ValueAt(0, 0).Equal(got.ValueAt(0, 0)) {
+		t.Fatal("promoted column serves different values")
+	}
+}
+
+// TestVirtualMaterializeRaceAdopts: a second AddVirtualColumnPinned of the
+// same name (two engines racing on one store) adopts the existing column
+// instead of failing the losing query.
+func TestVirtualMaterializeRaceAdopts(t *testing.T) {
+	_, dir := buildSavedStore(t, 2000, "zippy")
+	lazy, _, err := OpenLazy(dir, memmgr.New(0, "2q"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	built := materializeUpper(t, lazy, "upper(country)")
+	vals := make([]value.Value, 0, lazy.NumRows())
+	for ci := 0; ci < lazy.NumChunks(); ci++ {
+		for r := 0; r < lazy.ChunkRows(ci); r++ {
+			vals = append(vals, built.ValueAt(ci, r))
+		}
+	}
+	ps := lazy.NewPinSet()
+	defer ps.Release()
+	got, err := lazy.AddVirtualColumnPinned(ps, "upper(country)", value.KindString, vals)
+	if err != nil {
+		t.Fatalf("losing materializer should adopt, got %v", err)
+	}
+	if !got.ValueAt(0, 0).Equal(built.ValueAt(0, 0)) {
+		t.Fatal("adopted column serves different values")
+	}
+}
+
+// TestVirtualReuseAfterClose: Store.Close drops file handles and memos;
+// the persisted virtual column must still load afterwards.
+func TestVirtualReuseAfterClose(t *testing.T) {
+	_, dir := buildSavedStore(t, 2000, "zippy")
+	mgr := memmgr.New(1, "2q")
+	lazy, _, err := OpenLazy(dir, mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	built := materializeUpper(t, lazy, "upper(country)")
+	if err := lazy.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := lazy.ColumnErr("upper(country)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !built.ValueAt(0, 0).Equal(got.ValueAt(0, 0)) {
+		t.Fatal("value mismatch after Close")
+	}
+}

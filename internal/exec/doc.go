@@ -54,7 +54,9 @@
 //     the scan phase (classify → mask → aggregate) takes no locks at all.
 //     The two exceptions hide their own synchronization: the lazily
 //     loaded sharded dictionary (dict.Sharded) and the colstore column
-//     registry, which grows when a virtual field materializes.
+//     registry/metadata, which grow when a virtual field materializes
+//     (on lazy stores the materialization is persisted into the store's
+//     sidecar and budgeted via the memory manager).
 //   - Planning is serialized by planMu, keeping "check column exists →
 //     materialize → register" atomic without slowing the scan phase.
 //   - Chunks are independent units of work. Workers claim chunk indices

@@ -327,8 +327,12 @@ func (e *Engine) prefetchColumns(stmt *sql.SelectStmt, ps *colstore.PinSet, acti
 			}
 			return
 		}
-		if e.store.HasColumn(x.String()) {
-			// Already materialized: registry-resident, nothing to load.
+		if key := x.String(); e.store.HasColumn(key) {
+			// Already materialized. A registry-resident column needs no pin
+			// (pass-through); one persisted in the virtual sidecar cold-loads
+			// like any physical column, so warm its active chunks here,
+			// outside the plan lock.
+			_, _ = ps.ColumnChunks(key, active)
 			return
 		}
 		// Fresh materialization ahead: it will read every row of the
@@ -541,7 +545,11 @@ func (e *Engine) materializeOperand(x sql.Expr, ps *colstore.PinSet, active []bo
 	if err != nil {
 		return "", err
 	}
-	if _, err := e.store.AddVirtualColumn(key, kind, vals); err != nil {
+	// On a chunk-granular lazy store the materialization is persisted into
+	// the store's virtual sidecar and its pieces enter the memory budget
+	// (evicting cold chunks to make room), pinned into ps like any physical
+	// column; resident stores keep the in-registry path.
+	if _, err := e.store.AddVirtualColumnPinned(ps, key, kind, vals); err != nil {
 		return "", err
 	}
 	return key, nil
@@ -865,7 +873,7 @@ func (e *Engine) materializeComposite(name string, cols []string, ps *colstore.P
 	if err != nil {
 		return err
 	}
-	_, err = e.store.AddVirtualColumn(name, value.KindString, vals)
+	_, err = e.store.AddVirtualColumnPinned(ps, name, value.KindString, vals)
 	return err
 }
 

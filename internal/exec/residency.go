@@ -164,7 +164,11 @@ func (e *Engine) compileSpanTree(w sql.Expr, ps *colstore.PinSet) *spanNode {
 // spanLeafColumn resolves a restriction operand to a dictionary and chunk
 // spans, when that is possible without loading chunks or materializing
 // expressions: a plain column, or an expression an earlier query already
-// materialized (registered under its canonical string).
+// materialized (registered under its canonical string). Persisted virtual
+// columns record their spans in the store's sidecar manifest, so a
+// restriction on a materialized expression prunes chunks even after the
+// column was evicted — or in a later process that merely reopened the
+// store — instead of being treated as all-active.
 func (e *Engine) spanLeafColumn(x sql.Expr, ps *colstore.PinSet) (*colstore.Column, []colstore.ChunkSpan, bool) {
 	name := ""
 	if id, ok := x.(*sql.Ident); ok {

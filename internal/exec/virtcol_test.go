@@ -1,0 +1,203 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"powerdrill/internal/colstore"
+	"powerdrill/internal/memmgr"
+)
+
+// virtcolQueries is an expression-heavy drill-down slice: a virtual
+// group-by field, a multi-column group-by (composite virtual column), and
+// a restriction on a virtual field — everything that triggers
+// materialization.
+func virtcolQueries() []string {
+	return []string{
+		`SELECT date(timestamp) AS d, COUNT(*) AS c FROM data GROUP BY d ORDER BY d ASC;`,
+		`SELECT country, table_name, COUNT(*) AS c FROM data GROUP BY country, table_name ORDER BY c DESC, country ASC, table_name ASC LIMIT 20;`,
+		`SELECT table_name, SUM(latency) AS s FROM data WHERE upper(country) = "DE" GROUP BY table_name ORDER BY s DESC, table_name ASC LIMIT 10;`,
+	}
+}
+
+// TestVirtualColumnBudgetedBitIdentical is the PR's acceptance test: a
+// session that materializes virtual columns under a 25% budget must (1)
+// answer bit-for-bit like the resident store across repeated passes —
+// virtual chunks evicted in between reload from the sidecar, not from a
+// re-materialization — (2) keep every materialization inside the budget
+// (no unevictable registry bytes; steady-state resident ≤ budget), and
+// (3) prune chunks via the persisted virtual column's spans
+// (SkippedChunks > 0 on the restricted repeat).
+func TestVirtualColumnBudgetedBitIdentical(t *testing.T) {
+	dir := savedReorderedStore(t, 4000, "zippy")
+	eagerStore, _, err := colstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eager := New(eagerStore, Options{Parallelism: 2})
+	budget := residentFootprint(t, eagerStore) / 4
+	mgr := memmgr.New(budget, "2q")
+	lazyStore, _, err := colstore.OpenLazy(dir, mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy := New(lazyStore, Options{Parallelism: 2})
+
+	var restrictedRepeat QueryStats
+	for pass := 0; pass < 3; pass++ {
+		for _, q := range virtcolQueries() {
+			want, err := eager.Query(q)
+			if err != nil {
+				t.Fatalf("eager %s: %v", q, err)
+			}
+			got, err := lazy.Query(q)
+			if err != nil {
+				t.Fatalf("lazy pass %d %s: %v", pass, q, err)
+			}
+			assertSameResult(t, fmt.Sprintf("pass %d %s", pass, q), want, got)
+			if pass > 0 && got.Stats.SkippedChunks > 0 {
+				restrictedRepeat = got.Stats
+			}
+		}
+	}
+	// Everything materialized joined the budget: nothing fell back to the
+	// unevictable registry...
+	if unmanaged := lazyStore.UnevictableVirtualBytes(); unmanaged != 0 {
+		t.Fatalf("unevictable virtual bytes = %d, want 0 (all budgeted)", unmanaged)
+	}
+	for _, name := range []string{"date(timestamp)", "upper(country)"} {
+		if !lazyStore.HasColumn(name) {
+			t.Fatalf("virtual column %q not registered", name)
+		}
+	}
+	// ...and steady-state residency respects the budget.
+	if st := mgr.Stats(); st.ResidentBytes > budget {
+		t.Fatalf("resident %d bytes > budget %d after queries finished", st.ResidentBytes, budget)
+	}
+	// The restriction on the persisted virtual column pruned from spans.
+	if restrictedRepeat.SkippedChunks == 0 {
+		t.Fatal("no repeat query pruned chunks via virtual-column spans")
+	}
+}
+
+// TestVirtualSpanPruningAcrossReopen: a later session that merely reopens
+// the store sees the previous session's materializations — no
+// re-materialization scan — and prunes chunks from the sidecar's spans on
+// its very first restricted query.
+func TestVirtualSpanPruningAcrossReopen(t *testing.T) {
+	dir := savedReorderedStore(t, 4000, "zippy")
+	first, _, err := colstore.OpenLazy(dir, memmgr.New(0, "2q"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := `SELECT table_name, COUNT(*) AS c FROM data WHERE upper(country) = "DE" GROUP BY table_name ORDER BY c DESC, table_name ASC LIMIT 10;`
+	want, err := New(first, Options{Parallelism: 2}).Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, _, err := colstore.OpenLazy(dir, memmgr.New(0, "2q"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reopened.HasColumn("upper(country)") {
+		t.Fatal("reopened store does not know the persisted virtual column")
+	}
+	got, err := New(reopened, Options{Parallelism: 2}).Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, q, want, got)
+	if got.Stats.SkippedChunks == 0 {
+		t.Fatalf("first query after reopen pruned nothing: %+v", got.Stats)
+	}
+	if got.Stats.ActiveChunks == got.Stats.ChunksTotal {
+		t.Fatalf("residency analysis treated the virtual restriction as all-active: %+v", got.Stats)
+	}
+}
+
+// TestVirtualColumnConcurrentBudgeted hammers a tightly budgeted store
+// with concurrent expression queries: materialization, sidecar persistence,
+// eviction and reload racing across goroutines must stay bit-for-bit
+// correct. Run with -race.
+func TestVirtualColumnConcurrentBudgeted(t *testing.T) {
+	dir := savedReorderedStore(t, 3000, "zippy")
+	eagerStore, _, err := colstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eager := New(eagerStore, Options{Parallelism: 2})
+	queries := virtcolQueries()
+	wants := make([]*Result, len(queries))
+	for i, q := range queries {
+		if wants[i], err = eager.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	budget := residentFootprint(t, eagerStore) / 4
+	lazyStore, _, err := colstore.OpenLazy(dir, memmgr.New(budget, "arc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy := New(lazyStore, Options{Parallelism: 2})
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 3; rep++ {
+				i := (g + rep) % len(queries)
+				got, err := lazy.Query(queries[i])
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d rep %d: %w", g, rep, err)
+					return
+				}
+				if len(got.Rows) != len(wants[i].Rows) {
+					errs <- fmt.Errorf("goroutine %d rep %d: %d vs %d rows", g, rep, len(got.Rows), len(wants[i].Rows))
+					return
+				}
+				for r := range got.Rows {
+					for c := range got.Rows[r] {
+						if !got.Rows[r][c].Equal(wants[i].Rows[r][c]) {
+							errs <- fmt.Errorf("goroutine %d rep %d row %d col %d: %v != %v",
+								g, rep, r, c, got.Rows[r][c], wants[i].Rows[r][c])
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestVirtualColumnReuseAfterClose: Store.Close between queries must not
+// strand persisted virtual columns — handles reopen on demand.
+func TestVirtualColumnReuseAfterClose(t *testing.T) {
+	dir := savedReorderedStore(t, 3000, "zippy")
+	mgr := memmgr.New(1, "2q") // evict everything on release: every query reloads
+	lazyStore, _, err := colstore.OpenLazy(dir, mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy := New(lazyStore, Options{Parallelism: 2})
+	q := virtcolQueries()[0]
+	want, err := lazy.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lazyStore.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := lazy.Query(q)
+	if err != nil {
+		t.Fatalf("query after Close: %v", err)
+	}
+	assertSameResult(t, q, want, got)
+}

@@ -25,6 +25,11 @@ type item struct {
 	value    any
 	size     int64
 	diskSize int64
+	// virtual marks entries backing materialized virtual columns; their
+	// resident bytes are additionally reported as Stats.VirtualBytes so
+	// operators can see how much of the budget drill-down materializations
+	// occupy.
+	virtual bool
 }
 
 // pinEntry is a resident entry held by at least one in-flight query.
@@ -55,6 +60,9 @@ type Stats struct {
 	PinnedBytes int64
 	// ResidentItems counts resident entries across both tiers.
 	ResidentItems int
+	// VirtualBytes is the portion of ResidentBytes held by materialized
+	// virtual columns (entries acquired or inserted with virtual = true).
+	VirtualBytes int64
 	// Hits counts Acquire calls served from resident data.
 	Hits int64
 	// ColdLoads counts Acquire calls that had to load from disk.
@@ -96,6 +104,10 @@ type Manager struct {
 	hits, coldLoads         int64
 	coldBytes, diskBytes    int64
 	evictions, evictedBytes int64
+	// virtualBytes tracks the resident bytes of virtual-column entries
+	// across both tiers (grows when one becomes resident, shrinks when one
+	// leaves residency via eviction or an oversized drop).
+	virtualBytes int64
 }
 
 // unlimitedCapacity stands in for "no budget" so the policies never evict.
@@ -129,9 +141,12 @@ func New(budgetBytes int64, policyName string) *Manager {
 		loading: make(map[string]*inflight),
 	}
 	// The callback runs inside policy calls, which only happen under m.mu.
-	policy.(cache.EvictionNotifier).OnEvict(func(_ string, _ any, size int64) {
+	policy.(cache.EvictionNotifier).OnEvict(func(_ string, v any, size int64) {
 		m.evictions++
 		m.evictedBytes += size
+		if it, ok := v.(*item); ok && it.virtual {
+			m.virtualBytes -= size
+		}
 	})
 	return m
 }
@@ -163,6 +178,19 @@ func (m *Manager) syncCapacity() {
 // callers); cold reports whether this call performed the load. Pinned
 // entries are never evicted.
 func (m *Manager) Acquire(key string, load LoadFunc) (value any, cold bool, err error) {
+	return m.acquire(key, false, load)
+}
+
+// AcquireVirtual is Acquire for entries backing materialized virtual
+// columns: identical semantics, but the entry's resident bytes are
+// additionally tracked in Stats.VirtualBytes. A key's virtual-ness is a
+// property of the column it belongs to and must be consistent across
+// callers.
+func (m *Manager) AcquireVirtual(key string, load LoadFunc) (value any, cold bool, err error) {
+	return m.acquire(key, true, load)
+}
+
+func (m *Manager) acquire(key string, virtual bool, load LoadFunc) (value any, cold bool, err error) {
 	m.mu.Lock()
 	for {
 		// Already pinned by another query: share the pin. The second access
@@ -214,16 +242,53 @@ func (m *Manager) Acquire(key string, load LoadFunc) (value any, cold bool, err 
 		m.mu.Unlock()
 		return nil, false, err
 	}
-	it := &item{value: v, size: size, diskSize: disk}
+	it := &item{value: v, size: size, diskSize: disk, virtual: virtual}
 	m.pinned[key] = &pinEntry{it: it, pins: 1}
 	m.pinnedBytes += size
 	m.coldLoads++
 	m.coldBytes += size
 	m.diskBytes += disk
+	if virtual {
+		m.virtualBytes += size
+	}
 	m.syncCapacity()
 	close(fl.done)
 	m.mu.Unlock()
 	return v, true, nil
+}
+
+// Insert registers an already built value as a resident, pinned entry —
+// the path a freshly materialized virtual column takes: the data exists in
+// memory before the manager ever sees it, so there is no LoadFunc, no cold
+// counter and no disk charge, but the bytes still enter the budget
+// (syncCapacity evicts cold unpinned entries to make room). The returned
+// value is the resident one: when another store sharing the manager
+// already inserted or loaded the key, that entry is pinned and returned
+// instead and v is dropped. Callers must Release the key like any Acquire.
+func (m *Manager) Insert(key string, v any, size int64, virtual bool) any {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if p, ok := m.pinned[key]; ok {
+		p.pins++
+		p.hot = true
+		return p.it.value
+	}
+	if got, ok := m.policy.Get(key); ok {
+		it := got.(*item)
+		m.policy.Remove(key)
+		m.pinned[key] = &pinEntry{it: it, pins: 1, hot: true}
+		m.pinnedBytes += it.size
+		m.syncCapacity()
+		return it.value
+	}
+	it := &item{value: v, size: size, virtual: virtual}
+	m.pinned[key] = &pinEntry{it: it, pins: 1}
+	m.pinnedBytes += size
+	if virtual {
+		m.virtualBytes += size
+	}
+	m.syncCapacity()
+	return v
 }
 
 // Resident reports whether key is resident (pinned or held by the policy)
@@ -263,6 +328,9 @@ func (m *Manager) Release(key string) {
 		// eviction accounting exact.
 		m.evictions++
 		m.evictedBytes += p.it.size
+		if p.it.virtual {
+			m.virtualBytes -= p.it.size
+		}
 		return
 	}
 	m.policy.Put(key, p.it, p.it.size)
@@ -284,6 +352,7 @@ func (m *Manager) Stats() Stats {
 		ResidentBytes:   m.pinnedBytes + m.policy.SizeBytes(),
 		PinnedBytes:     m.pinnedBytes,
 		ResidentItems:   len(m.pinned) + m.policy.Len(),
+		VirtualBytes:    m.virtualBytes,
 		Hits:            m.hits,
 		ColdLoads:       m.coldLoads,
 		ColdBytesLoaded: m.coldBytes,

@@ -167,7 +167,10 @@ func Run(cfg Config) (*Report, error) {
 			colMemBytes:  map[string]int64{},
 		}
 		for _, cn := range store.Columns() {
-			col := store.Column(cn)
+			col, err := store.ColumnErr(cn)
+			if err != nil {
+				return nil, fmt.Errorf("prodsim: shard %d: %w", i, err)
+			}
 			srv.colDiskBytes[cn] = col.Compressed(codec).Total()
 			srv.colMemBytes[cn] = col.Memory().Total()
 			srv.colNames = append(srv.colNames, cn)

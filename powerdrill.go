@@ -129,6 +129,15 @@ type Options struct {
 	// MemoryPolicy selects the eviction policy for Open: "lru",
 	// "2q" (default) or "arc".
 	MemoryPolicy string
+	// DisableVirtualPersist keeps virtual columns (expressions materialized
+	// at query time) out of the store's on-disk sidecar. By default a store
+	// opened with Open persists each materialization next to the store so
+	// it joins the memory budget — evictable, reloadable, and span-prunable
+	// like physical data — and is still there after a reopen. With this set
+	// (or when the store directory is not writable) materializations fall
+	// back to in-memory registry residency: correct, but unevictable and
+	// outside the budget, reported by MemoryStats.VirtualBytes.
+	DisableVirtualPersist bool
 }
 
 func (o Options) storeOptions() colstore.Options {
@@ -266,6 +275,9 @@ func Open(dir string, opts Options) (*Store, int64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	if opts.DisableVirtualPersist {
+		cs.DisableVirtualPersist()
+	}
 	return &Store{store: cs, engine: exec.New(cs, opts.engineOptions()), opts: opts}, stats.BytesRead, nil
 }
 
@@ -281,13 +293,34 @@ func validateMemoryPolicy(p string) error {
 }
 
 // MemStats reports the memory manager's accounting; ok is false for stores
-// built in memory (Build), which have no manager.
+// built in memory (Build), which have no manager. Virtual columns that
+// could not join the budget (persistence disabled or impossible) are
+// folded in: their bytes count toward both VirtualBytes and ResidentBytes,
+// so the gauge covers every byte the engine holds.
 func (s *Store) MemStats() (MemoryStats, bool) {
 	mgr := s.store.MemManager()
 	if mgr == nil {
 		return MemoryStats{}, false
 	}
-	return mgr.Stats(), true
+	ms := mgr.Stats()
+	if unmanaged := s.store.UnevictableVirtualBytes(); unmanaged > 0 {
+		ms.VirtualBytes += unmanaged
+		ms.ResidentBytes += unmanaged
+	}
+	return ms, true
+}
+
+// VirtualBytes reports the resident footprint of materialized virtual
+// columns — budgeted sidecar-backed ones (via the memory manager) plus
+// unevictable in-registry ones. Works for both built and lazily opened
+// stores; before sidecar persistence these bytes were invisible to every
+// stat.
+func (s *Store) VirtualBytes() int64 {
+	total := s.store.UnevictableVirtualBytes()
+	if mgr := s.store.MemManager(); mgr != nil {
+		total += mgr.Stats().VirtualBytes
+	}
+	return total
 }
 
 // ResultCacheStats returns the per-chunk result cache's counters; ok is
