@@ -1,6 +1,7 @@
 package powerdrill
 
 import (
+	"context"
 	"net"
 	"time"
 
@@ -22,6 +23,45 @@ type ClusterOptions struct {
 	Store Options
 	// Seed drives shard placement.
 	Seed int64
+
+	// Deadline bounds each query's wall clock (0 = none). When shards
+	// cannot answer in time the cluster serves a partial answer with
+	// Result.Coverage < 1 instead of hanging.
+	Deadline time.Duration
+	// HedgeMultiplier scales the per-shard moving latency estimate into
+	// the straggler threshold after which the replica is also asked
+	// (default 3; shards with no estimate yet hedge immediately).
+	HedgeMultiplier float64
+	// HedgeMinDelay clamps the hedge delay from below (default 1ms).
+	HedgeMinDelay time.Duration
+	// MaxRetries re-dispatches per sub-query beyond the first pass over
+	// the replicas (default 2; negative disables).
+	MaxRetries int
+	// BreakerThreshold consecutive failures open a leaf's circuit breaker
+	// (default 3; negative disables); BreakerCooldown (default 1s) is how
+	// long an open breaker waits before a half-open probe.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// MinCoverage rejects answers covering less than this fraction of
+	// rows (default 0 = serve any partial answer; 1 = all shards or
+	// error).
+	MinCoverage float64
+}
+
+func (o ClusterOptions) clusterOptions() cluster.Options {
+	return cluster.Options{
+		Shards:           o.Shards,
+		Fanout:           o.Fanout,
+		Replicas:         o.Replicas,
+		Seed:             o.Seed,
+		Deadline:         o.Deadline,
+		HedgeMultiplier:  o.HedgeMultiplier,
+		HedgeMinDelay:    o.HedgeMinDelay,
+		MaxRetries:       o.MaxRetries,
+		BreakerThreshold: o.BreakerThreshold,
+		BreakerCooldown:  o.BreakerCooldown,
+		MinCoverage:      o.MinCoverage,
+	}
 }
 
 // Cluster executes queries over sharded, replicated leaf servers through a
@@ -35,14 +75,10 @@ type Cluster struct {
 
 // NewCluster shards a raw table and builds an in-process cluster.
 func NewCluster(tbl *Table, opts ClusterOptions) (*Cluster, error) {
-	c, err := cluster.NewLocal(tbl, cluster.Options{
-		Shards:   opts.Shards,
-		Fanout:   opts.Fanout,
-		Replicas: opts.Replicas,
-		Store:    opts.Store.storeOptions(),
-		Engine:   opts.Store.engineOptions(),
-		Seed:     opts.Seed,
-	})
+	copts := opts.clusterOptions()
+	copts.Store = opts.Store.storeOptions()
+	copts.Engine = opts.Store.engineOptions()
+	c, err := cluster.NewLocal(tbl, copts)
 	if err != nil {
 		return nil, err
 	}
@@ -61,11 +97,9 @@ func OpenCluster(shardDirs []string, opts ClusterOptions) (*Cluster, error) {
 		return nil, err
 	}
 	mgr := memmgr.New(opts.Store.MemoryBudgetBytes, opts.Store.MemoryPolicy)
-	c, err := cluster.OpenShards(shardDirs, cluster.Options{
-		Fanout:   opts.Fanout,
-		Replicas: opts.Replicas,
-		Engine:   opts.Store.engineOptions(),
-	}, mgr)
+	copts := opts.clusterOptions()
+	copts.Engine = opts.Store.engineOptions()
+	c, err := cluster.OpenShards(shardDirs, copts, mgr)
 	if err != nil {
 		return nil, err
 	}
@@ -83,42 +117,53 @@ func (c *Cluster) MemStats() (MemoryStats, bool) {
 
 // ConnectCluster assembles a cluster from remote leaf servers started with
 // ServeShard (cmd/pdserver); addrSets[i] lists the addresses of shard i's
-// replicas.
+// replicas. Servers that are down at assembly are not fatal: their leaves
+// are dialed lazily on first use, the cluster serves (partial) answers
+// without them, and they join automatically once reachable.
 func ConnectCluster(addrSets [][]string, opts ClusterOptions) (*Cluster, error) {
 	var leafSets [][]cluster.Leaf
 	for _, addrs := range addrSets {
 		var replicas []cluster.Leaf
 		for _, a := range addrs {
-			leaf, err := cluster.Dial(a)
-			if err != nil {
-				return nil, err
-			}
-			replicas = append(replicas, leaf)
+			replicas = append(replicas, cluster.NewRemoteLeaf(a))
 		}
 		leafSets = append(leafSets, replicas)
 	}
-	return &Cluster{inner: cluster.FromLeaves(leafSets, cluster.Options{
-		Shards:   len(addrSets),
-		Fanout:   opts.Fanout,
-		Replicas: opts.Replicas,
-	})}, nil
+	copts := opts.clusterOptions()
+	copts.Shards = len(addrSets)
+	return &Cluster{inner: cluster.FromLeaves(leafSets, copts)}, nil
 }
 
 // Query runs a SQL query across the cluster: leaves aggregate their
 // shards, inner levels merge, the root finalizes ORDER BY and LIMIT.
+// When shards are unreachable within the deadline the answer is partial:
+// Result.Coverage reports the fraction of rows it spans.
 func (c *Cluster) Query(sqlText string) (*Result, error) {
-	res, err := c.inner.Query(sqlText)
+	return c.QueryContext(context.Background(), sqlText)
+}
+
+// QueryContext is Query under a caller-supplied context (deadline or
+// cancellation); ClusterOptions.Deadline still applies when set.
+func (c *Cluster) QueryContext(ctx context.Context, sqlText string) (*Result, error) {
+	res, err := c.inner.QueryContext(ctx, sqlText)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Columns: res.Columns, Rows: res.Rows, Stats: res.Stats}, nil
+	return &Result{Columns: res.Columns, Rows: res.Rows, Stats: res.Stats, Coverage: res.Coverage}, nil
 }
 
 // ClusterStats counts distributed execution events.
 type ClusterStats = cluster.Stats
 
+// LeafHealth is one leaf server's health as seen by the coordinator.
+type LeafHealth = cluster.LeafHealth
+
 // Stats returns cumulative distributed-execution counters.
 func (c *Cluster) Stats() ClusterStats { return c.inner.Stats() }
+
+// Health reports every leaf's circuit-breaker state and failure counts,
+// in shard-then-replica order.
+func (c *Cluster) Health() []LeafHealth { return c.inner.Health() }
 
 // InjectStragglers marks a random fraction of leaf servers as slow by
 // delay, for tail-latency experiments; replicas hide them.

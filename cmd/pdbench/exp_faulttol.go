@@ -1,0 +1,155 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"powerdrill/internal/cluster"
+	"powerdrill/internal/colstore"
+	"powerdrill/internal/workload"
+)
+
+// runFaultTol exercises the serving tree's fault tolerance (Section 4 on a
+// busy shared fleet): tiered hedging against stragglers, retries and
+// coverage under injected failure rates, and graceful degradation when a
+// whole shard dies.
+func runFaultTol(cfg config) error {
+	tbl := workload.QueryLogs(workload.LogsSpec{Rows: cfg.rows, Seed: cfg.seed})
+	chunk := cfg.rows / 100
+	if chunk < 1000 {
+		chunk = 1000
+	}
+	storeOpts := colstore.Options{
+		PartitionFields:  []string{"country", "table_name"},
+		MaxChunkRows:     chunk,
+		OptimizeElements: true,
+	}
+	q := `SELECT country, COUNT(*) as c, SUM(latency) FROM data GROUP BY country ORDER BY c DESC LIMIT 10;`
+	const shards = 8
+	mkCluster := func(opts cluster.Options) (*cluster.Cluster, time.Duration, error) {
+		opts.Shards = shards
+		opts.Replicas = 2
+		opts.Store = storeOpts
+		c, err := cluster.NewLocal(tbl, opts)
+		if err != nil {
+			return nil, 0, err
+		}
+		// Warm up: establish per-shard latency estimates and measure the
+		// healthy baseline.
+		start := time.Now()
+		if _, err := c.Query(q); err != nil {
+			return nil, 0, err
+		}
+		return c, time.Since(start), nil
+	}
+
+	// --- Hedge-threshold sweep under stragglers -------------------------
+	// 30% of shards get a straggling primary at 10x the healthy latency
+	// (at least 100ms); the replica is clean. Hedged re-dispatch should
+	// keep p99 well under the straggle delay; multiplier 1000 effectively
+	// disables hedging and shows the undefended tail.
+	fmt.Println("tiered hedging: 30% of shards straggle their primary at 10x base latency")
+	fmt.Println()
+	row("hedge mult", "straggle", "p50", "p99", "hedges", "coverage")
+	const n = 30
+	for _, mult := range []float64{1000, 4, 2} {
+		c, base, err := mkCluster(cluster.Options{HedgeMultiplier: mult})
+		if err != nil {
+			return err
+		}
+		straggle := 10 * base
+		if straggle < 100*time.Millisecond {
+			straggle = 100 * time.Millisecond
+		}
+		// Straggle the primaries of shards 0-1-2 (30% of 8, rounded down
+		// to a deterministic set).
+		for i, leaf := range c.Leaves() {
+			if i%2 == 0 && i/2 < 3 {
+				leaf.SetStraggle(straggle)
+			}
+		}
+		lats := make([]time.Duration, 0, n)
+		minCov := 1.0
+		for i := 0; i < n; i++ {
+			start := time.Now()
+			res, err := c.Query(q)
+			if err != nil {
+				return err
+			}
+			lats = append(lats, time.Since(start))
+			if res.Coverage < minCov {
+				minCov = res.Coverage
+			}
+		}
+		sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+		label := fmt.Sprintf("%.0fx", mult)
+		if mult >= 1000 {
+			label = "off"
+		}
+		row(label, straggle.Round(time.Millisecond).String(),
+			lats[n/2].Round(time.Millisecond).String(),
+			lats[n*99/100].Round(time.Millisecond).String(),
+			fmt.Sprint(c.Stats().Hedges),
+			fmt.Sprintf("%.3f", minCov))
+	}
+	fmt.Println("\n(hedging off: p99 eats the full straggle; tiered hedging re-dispatches")
+	fmt.Println(" after a few multiples of the moving latency estimate and hides the tail)")
+
+	// --- Failure-rate sweep ---------------------------------------------
+	// Every leaf fails each sub-query independently with probability p;
+	// retries and replica failover absorb most of it, coverage reports
+	// what was lost. A deadline bounds the worst case.
+	fmt.Println("\ninjected failures: every leaf fails each call with probability p")
+	fmt.Println()
+	row("error rate", "full answers", "min coverage", "retries", "missing")
+	for _, p := range []float64{0, 0.1, 0.3} {
+		c, _, err := mkCluster(cluster.Options{Deadline: 5 * time.Second})
+		if err != nil {
+			return err
+		}
+		for i, leaf := range c.Leaves() {
+			leaf.Inject().SetErrorRate(p, cfg.seed+int64(i))
+		}
+		full := 0
+		minCov := 1.0
+		for i := 0; i < n; i++ {
+			res, err := c.Query(q)
+			if err != nil {
+				return err
+			}
+			if res.Coverage == 1 {
+				full++
+			}
+			if res.Coverage < minCov {
+				minCov = res.Coverage
+			}
+		}
+		st := c.Stats()
+		row(fmt.Sprintf("%.0f%%", 100*p),
+			fmt.Sprintf("%d/%d", full, n),
+			fmt.Sprintf("%.3f", minCov),
+			fmt.Sprint(st.Retries),
+			fmt.Sprint(st.ShardsMissing))
+	}
+
+	// --- Dead shard: graceful degradation -------------------------------
+	c, _, err := mkCluster(cluster.Options{Deadline: 5 * time.Second})
+	if err != nil {
+		return err
+	}
+	c.Leaves()[0].SetFail(true)
+	c.Leaves()[1].SetFail(true)
+	res, err := c.Query(q)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ndead shard (both replicas): answer served with coverage %.3f, %d of %d shards missing\n",
+		res.Coverage, res.Stats.ShardsMissing, shards)
+	st := c.Stats()
+	fmt.Printf("stats: %d sub-queries, %d hedges, %d retries, %d partial answers, %d breaker opens\n",
+		st.SubQueries, st.Hedges, st.Retries, st.PartialAnswers, st.BreakerOpens)
+	fmt.Println("\n(paper: the UI shows the fraction of data an answer covers; the serving")
+	fmt.Println(" tree degrades to partial answers instead of failing the mouse click)")
+	return nil
+}

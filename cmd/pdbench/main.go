@@ -15,6 +15,7 @@
 //	pdbench -exp codecs              # Section 5 compressor comparison
 //	pdbench -exp caches              # Section 5 eviction policies
 //	pdbench -exp distributed         # Section 4 tree + replicas
+//	pdbench -exp faulttol            # Section 4 hedging, breakers, coverage
 //	pdbench -exp groupby             # ablation: counts-array vs hash
 //	pdbench -exp skipping            # ablation: Section 2.2 on/off
 //	pdbench -exp partitionorder      # ablation: field-order sensitivity
@@ -51,6 +52,7 @@ var experiments = []struct {
 	{"codecs", "Section 5: compression algorithm comparison", runCodecs},
 	{"caches", "Section 5: cache eviction policies", runCaches},
 	{"distributed", "Section 4: execution tree, replicas, stragglers", runDistributed},
+	{"faulttol", "Section 4: deadlines, hedged re-dispatch, breakers, coverage", runFaultTol},
 	{"groupby", "Ablation: counts-array vs hash-table group-by", runGroupBy},
 	{"skipping", "Ablation: chunk skipping on/off", runSkipping},
 	{"partitionorder", "Ablation: partition field order sensitivity", runPartitionOrder},

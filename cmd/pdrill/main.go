@@ -57,6 +57,8 @@ func usage() {
   import   -csv FILE -schema name:kind,...  -store DIR [-partition f1,f2] [-chunk N] [-codec zippy] [-trie] [-reorder]
   query    -store DIR -q SQL [-parallelism N] [-memory-budget BYTES] [-memory-policy lru|2q|arc]
            (-q - reads queries from stdin)
+           -shards DIR1,DIR2,... replaces -store with an in-process cluster
+           (replicated, hedged, health-tracked); [-replicas N] [-deadline D]
   info     -store DIR`)
 }
 
@@ -192,13 +194,28 @@ func loadCSV(path string, names []string, kinds []value.Kind) (*powerdrill.Table
 func runQuery(args []string) error {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
 	storeDir := fs.String("store", "", "store directory")
+	shards := fs.String("shards", "", "comma-separated shard store directories: query an in-process cluster instead of one store")
 	q := fs.String("q", "", "SQL query, or '-' to read one query per line from stdin")
 	parallelism := fs.Int("parallelism", 0, "chunk-scan workers per query (0 = all cores, 1 = sequential)")
 	memBudget := fs.Int64("memory-budget", 0, "resident column byte budget (0 = unlimited, columns still load lazily)")
 	memPolicy := fs.String("memory-policy", "2q", "column eviction policy: lru, 2q or arc")
+	replicas := fs.Int("replicas", 2, "replicas per shard with -shards")
+	deadline := fs.Duration("deadline", 10*time.Second, "per-query deadline with -shards (0 = none)")
 	fs.Parse(args)
-	if *storeDir == "" || *q == "" {
-		return fmt.Errorf("query needs -store and -q")
+	if *q == "" || (*storeDir == "" && *shards == "") {
+		return fmt.Errorf("query needs -q and one of -store or -shards")
+	}
+	if *shards != "" {
+		return runClusterQuery(strings.Split(*shards, ","), *q, powerdrill.ClusterOptions{
+			Replicas: *replicas,
+			Deadline: *deadline,
+			Store: powerdrill.Options{
+				ResultCacheBytes:  64 << 20,
+				Parallelism:       *parallelism,
+				MemoryBudgetBytes: *memBudget,
+				MemoryPolicy:      *memPolicy,
+			},
+		})
 	}
 	store, bytesRead, err := powerdrill.Open(*storeDir, powerdrill.Options{
 		ResultCacheBytes:  64 << 20,
@@ -251,6 +268,69 @@ func runQuery(args []string) error {
 	}()
 	if *q != "-" {
 		return runOne(*q)
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "--") {
+			continue
+		}
+		if err := runOne(line); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		}
+	}
+	return sc.Err()
+}
+
+// runClusterQuery answers queries from an in-process cluster over the
+// shard directories: replicated leaves, hedged dispatch, per-leaf health,
+// and partial answers with coverage reported when shards are missing.
+func runClusterQuery(dirs []string, q string, opts powerdrill.ClusterOptions) error {
+	c, err := powerdrill.OpenCluster(dirs, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("opened cluster: %d shards x %d replicas (deadline %v)\n",
+		len(dirs), opts.Replicas, opts.Deadline)
+	runOne := func(sqlText string) error {
+		start := time.Now()
+		res, err := c.Query(sqlText)
+		if err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		printResult(res)
+		coverage := ""
+		if res.Coverage < 1 {
+			coverage = fmt.Sprintf("; PARTIAL ANSWER: %.1f%% of rows covered, %d shards missing",
+				100*res.Coverage, res.Stats.ShardsMissing)
+		}
+		fmt.Printf("-- %d rows in %v%s\n\n", len(res.Rows), elapsed.Round(time.Microsecond), coverage)
+		return nil
+	}
+	defer func() {
+		st := c.Stats()
+		fmt.Printf("cluster: %d queries, %d sub-queries, %d hedges, %d retries, %d replica races, %d primary failures\n",
+			st.Queries, st.SubQueries, st.Hedges, st.Retries, st.ReplicaRaces, st.PrimaryFailures)
+		if st.PartialAnswers > 0 || st.DeadlineExpired > 0 || st.BreakerOpens > 0 {
+			fmt.Printf("cluster: %d partial answers, %d shards missed, %d deadline expiries, %d breaker opens, %d breaker skips\n",
+				st.PartialAnswers, st.ShardsMissing, st.DeadlineExpired, st.BreakerOpens, st.BreakerSkips)
+		}
+		open := 0
+		for _, h := range c.Health() {
+			if h.Breaker == "open" || h.Breaker == "half-open" {
+				open++
+				fmt.Printf("cluster: leaf %s (shard %d replica %d) %s: %s\n",
+					h.Name, h.Shard, h.Replica, h.Breaker, h.LastError)
+			}
+		}
+		if open == 0 {
+			fmt.Printf("cluster: all %d leaves healthy\n", len(c.Health()))
+		}
+	}()
+	if q != "-" {
+		return runOne(q)
 	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)

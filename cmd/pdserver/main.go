@@ -10,9 +10,15 @@
 // observability endpoint with resident bytes, budget, evictions and cache
 // hit rates.
 //
+// With -shards it instead runs as a coordinator: the listed shard
+// directories are opened as an in-process cluster (replicated, hedged,
+// health-tracked — see docs/cluster.md) and queries are answered over
+// HTTP (/query) with per-leaf health on /statz.
+//
 // Usage:
 //
 //	pdserver -store ./shard0 -listen :7070 -memory-budget 268435456 -statz :8080
+//	pdserver -shards ./shard0,./shard1 -statz :8080 -deadline 10s
 package main
 
 import (
@@ -20,21 +26,40 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"strings"
+	"time"
 
 	"powerdrill"
 )
 
 func main() {
 	storeDir := flag.String("store", "", "persisted store directory (one shard)")
+	shards := flag.String("shards", "", "comma-separated shard directories: run as a coordinator over an in-process cluster instead of one leaf")
 	listen := flag.String("listen", ":7070", "listen address")
 	cacheBytes := flag.Int64("cache", 64<<20, "result cache bytes")
 	parallelism := flag.Int("parallelism", 0, "chunk-scan workers per query (0 = all cores, 1 = sequential)")
 	memBudget := flag.Int64("memory-budget", 0, "resident column byte budget (0 = unlimited, columns still load lazily)")
 	memPolicy := flag.String("memory-policy", "2q", "column eviction policy: lru, 2q or arc")
-	statz := flag.String("statz", "", "HTTP address for the /statz JSON endpoint (disabled when empty)")
+	statz := flag.String("statz", "", "HTTP address for the /statz JSON endpoint (disabled when empty; required with -shards)")
+	replicas := flag.Int("replicas", 2, "replicas per shard in coordinator mode")
+	deadline := flag.Duration("deadline", 10*time.Second, "per-query deadline in coordinator mode (0 = none)")
 	flag.Parse()
+	if *shards != "" {
+		if err := runCoordinator(strings.Split(*shards, ","), *statz, coordinatorOptions{
+			replicas:    *replicas,
+			deadline:    *deadline,
+			cacheBytes:  *cacheBytes,
+			parallelism: *parallelism,
+			memBudget:   *memBudget,
+			memPolicy:   *memPolicy,
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "pdserver: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *storeDir == "" {
-		fmt.Fprintln(os.Stderr, "pdserver: -store is required")
+		fmt.Fprintln(os.Stderr, "pdserver: -store or -shards is required")
 		os.Exit(2)
 	}
 	store, _, err := powerdrill.Open(*storeDir, powerdrill.Options{
@@ -70,4 +95,37 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pdserver: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+type coordinatorOptions struct {
+	replicas    int
+	deadline    time.Duration
+	cacheBytes  int64
+	parallelism int
+	memBudget   int64
+	memPolicy   string
+}
+
+// runCoordinator opens the shard directories as an in-process cluster and
+// serves /query and /statz (cluster health included) on the statz address.
+func runCoordinator(dirs []string, statzAddr string, o coordinatorOptions) error {
+	if statzAddr == "" {
+		return fmt.Errorf("coordinator mode needs -statz (it serves /query and /statz over HTTP)")
+	}
+	c, err := powerdrill.OpenCluster(dirs, powerdrill.ClusterOptions{
+		Replicas: o.replicas,
+		Deadline: o.deadline,
+		Store: powerdrill.Options{
+			ResultCacheBytes:  o.cacheBytes,
+			Parallelism:       o.parallelism,
+			MemoryBudgetBytes: o.memBudget,
+			MemoryPolicy:      o.memPolicy,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pdserver: coordinating %d shards x %d replicas (deadline %v); /query and /statz on %s\n",
+		len(dirs), o.replicas, o.deadline, statzAddr)
+	return serveCoordinatorStatz(statzAddr, c)
 }

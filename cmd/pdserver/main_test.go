@@ -3,7 +3,10 @@ package main
 import (
 	"encoding/json"
 	"net/http/httptest"
+	"net/url"
+	"strings"
 	"testing"
+	"time"
 
 	"powerdrill"
 )
@@ -74,5 +77,108 @@ func TestStatzHandler(t *testing.T) {
 	}
 	if p.ResultCache == nil {
 		t.Fatal("result cache section missing")
+	}
+	if p.Cluster != nil {
+		t.Fatal("cluster section present on a single leaf")
+	}
+}
+
+// TestCoordinatorStatzHandler: coordinator-mode /statz must expose the
+// fan-out counters, coverage accounting and per-leaf breaker health, and
+// /query must report coverage.
+func TestCoordinatorStatzHandler(t *testing.T) {
+	// Persist two shards of the same synthetic table.
+	tbl := powerdrill.GenerateQueryLogs(2000, 7)
+	var dirs []string
+	for i, shard := range tbl.Shard(2) {
+		built, err := powerdrill.Build(shard, powerdrill.Options{
+			PartitionFields:  []string{"country", "table_name"},
+			MaxChunkRows:     500,
+			OptimizeElements: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := t.TempDir()
+		if err := built.Save(dir, "zippy"); err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		dirs = append(dirs, dir)
+	}
+	c, err := powerdrill.OpenCluster(dirs, powerdrill.ClusterOptions{
+		Replicas: 2,
+		Deadline: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec := httptest.NewRecorder()
+	q := `SELECT country, COUNT(*) AS c FROM data GROUP BY country ORDER BY c DESC LIMIT 5;`
+	queryHandler(c).ServeHTTP(rec, httptest.NewRequest("GET", "/query?q="+url.QueryEscape(q), nil))
+	if rec.Code != 200 {
+		t.Fatalf("query status %d: %s", rec.Code, rec.Body.String())
+	}
+	var qr queryResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &qr); err != nil {
+		t.Fatalf("bad query JSON: %v", err)
+	}
+	if qr.Coverage != 1 || qr.ShardsMissing != 0 {
+		t.Fatalf("healthy coverage = %v, missing = %d", qr.Coverage, qr.ShardsMissing)
+	}
+	if len(qr.Rows) == 0 || len(qr.Columns) != 2 {
+		t.Fatalf("query response = %+v", qr)
+	}
+
+	// A hand-typed curl leaves the trailing SQL ';' unescaped; net/url
+	// drops the whole q pair then. The handler must still find the query.
+	rec = httptest.NewRecorder()
+	raw := "/query?q=" + strings.ReplaceAll(q, " ", "+")
+	queryHandler(c).ServeHTTP(rec, httptest.NewRequest("GET", raw, nil))
+	if rec.Code != 200 {
+		t.Fatalf("raw-semicolon query status %d: %s", rec.Code, rec.Body.String())
+	}
+	var qr2 queryResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &qr2); err != nil {
+		t.Fatalf("bad raw-semicolon query JSON: %v", err)
+	}
+	if len(qr2.Rows) != len(qr.Rows) {
+		t.Fatalf("raw-semicolon query rows = %d, want %d", len(qr2.Rows), len(qr.Rows))
+	}
+
+	rec = httptest.NewRecorder()
+	coordinatorStatzHandler(c).ServeHTTP(rec, httptest.NewRequest("GET", "/statz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("statz status %d", rec.Code)
+	}
+	var p statzPayload
+	if err := json.Unmarshal(rec.Body.Bytes(), &p); err != nil {
+		t.Fatalf("bad statz JSON: %v\n%s", err, rec.Body.String())
+	}
+	cl := p.Cluster
+	if cl == nil {
+		t.Fatal("cluster section missing in coordinator mode")
+	}
+	if cl.Queries != 2 || cl.SubQueries != 4 {
+		t.Fatalf("cluster counters = %+v", cl)
+	}
+	if cl.ShardsMissing != 0 || cl.PartialAnswers != 0 {
+		t.Fatalf("coverage counters nonzero on a healthy cluster: %+v", cl)
+	}
+	if len(cl.Leaves) != 4 {
+		t.Fatalf("leaves = %d, want 4 (2 shards x 2 replicas)", len(cl.Leaves))
+	}
+	var successes int64
+	for _, leaf := range cl.Leaves {
+		if leaf.Breaker != "closed" {
+			t.Errorf("leaf %s breaker = %q, want closed", leaf.Name, leaf.Breaker)
+		}
+		successes += leaf.Successes
+	}
+	if successes == 0 {
+		t.Error("no leaf successes recorded after a query")
+	}
+	if p.Memory == nil {
+		t.Fatal("memory section missing for a coordinator over lazily opened shards")
 	}
 }

@@ -3,6 +3,8 @@ package main
 import (
 	"encoding/json"
 	"net/http"
+	"net/url"
+	"strings"
 
 	"powerdrill"
 )
@@ -19,6 +21,73 @@ type statzPayload struct {
 	Engine engineSection `json:"engine"`
 
 	ResultCache *cacheSection `json:"result_cache,omitempty"`
+
+	// Cluster is present in coordinator mode (-shards): fan-out counters
+	// plus per-leaf health.
+	Cluster *clusterSection `json:"cluster,omitempty"`
+}
+
+// clusterSection mirrors powerdrill.ClusterStats plus per-leaf health —
+// the coordinator's view of the serving tree.
+type clusterSection struct {
+	Queries         int64 `json:"queries"`
+	SubQueries      int64 `json:"sub_queries"`
+	ReplicaRaces    int64 `json:"replica_races"`
+	PrimaryFailures int64 `json:"primary_failures"`
+	Hedges          int64 `json:"hedges"`
+	Retries         int64 `json:"retries"`
+	DeadlineExpired int64 `json:"deadline_expired"`
+	ShardsMissing   int64 `json:"shards_missing"`
+	PartialAnswers  int64 `json:"partial_answers"`
+	BreakerOpens    int64 `json:"breaker_opens"`
+	BreakerSkips    int64 `json:"breaker_skips"`
+
+	Leaves []leafHealthSection `json:"leaves"`
+}
+
+type leafHealthSection struct {
+	Name    string `json:"name"`
+	Shard   int    `json:"shard"`
+	Replica int    `json:"replica"`
+	// Breaker is "closed", "open", "half-open" or "disabled".
+	Breaker             string `json:"breaker"`
+	ConsecutiveFailures int    `json:"consecutive_failures"`
+	Successes           int64  `json:"successes"`
+	Failures            int64  `json:"failures"`
+	BreakerOpens        int64  `json:"breaker_opens"`
+	LastError           string `json:"last_error,omitempty"`
+}
+
+// clusterStatz snapshots a coordinator's stats and leaf health.
+func clusterStatz(c *powerdrill.Cluster) *clusterSection {
+	st := c.Stats()
+	s := &clusterSection{
+		Queries:         st.Queries,
+		SubQueries:      st.SubQueries,
+		ReplicaRaces:    st.ReplicaRaces,
+		PrimaryFailures: st.PrimaryFailures,
+		Hedges:          st.Hedges,
+		Retries:         st.Retries,
+		DeadlineExpired: st.DeadlineExpired,
+		ShardsMissing:   st.ShardsMissing,
+		PartialAnswers:  st.PartialAnswers,
+		BreakerOpens:    st.BreakerOpens,
+		BreakerSkips:    st.BreakerSkips,
+	}
+	for _, h := range c.Health() {
+		s.Leaves = append(s.Leaves, leafHealthSection{
+			Name:                h.Name,
+			Shard:               h.Shard,
+			Replica:             h.Replica,
+			Breaker:             h.Breaker,
+			ConsecutiveFailures: h.ConsecutiveFailures,
+			Successes:           h.Successes,
+			Failures:            h.Failures,
+			BreakerOpens:        h.BreakerOpens,
+			LastError:           h.LastError,
+		})
+	}
+	return s
 }
 
 type memorySection struct {
@@ -135,5 +204,91 @@ func statzHandler(store *powerdrill.Store) http.Handler {
 func serveStatz(addr string, store *powerdrill.Store) error {
 	mux := http.NewServeMux()
 	mux.Handle("/statz", statzHandler(store))
+	return http.ListenAndServe(addr, mux)
+}
+
+// coordinatorStatzHandler serves the coordinator's runtime counters:
+// cluster fan-out stats, per-leaf breaker health, and the shared memory
+// manager's accounting.
+func coordinatorStatzHandler(c *powerdrill.Cluster) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		p := statzPayload{Cluster: clusterStatz(c)}
+		if ms, ok := c.MemStats(); ok {
+			p.Memory = &memorySection{
+				BudgetBytes:     ms.BudgetBytes,
+				ResidentBytes:   ms.ResidentBytes,
+				PinnedBytes:     ms.PinnedBytes,
+				ResidentItems:   ms.ResidentItems,
+				VirtualBytes:    ms.VirtualBytes,
+				ColdLoads:       ms.ColdLoads,
+				ColdBytesLoaded: ms.ColdBytesLoaded,
+				DiskBytesRead:   ms.DiskBytesRead,
+				Evictions:       ms.Evictions,
+				EvictedBytes:    ms.EvictedBytes,
+				HitRate:         ms.HitRate(),
+				Policy:          ms.Policy,
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(&p)
+	})
+}
+
+// queryResponse is the JSON shape of the coordinator's /query endpoint.
+type queryResponse struct {
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	// Coverage is the fraction of rows the answer spans; < 1 marks a
+	// partial answer served because shards were unreachable.
+	Coverage      float64 `json:"coverage"`
+	ShardsMissing int     `json:"shards_missing"`
+}
+
+// queryHandler answers GET /query?q=SQL against the cluster.
+func queryHandler(c *powerdrill.Cluster) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query().Get("q")
+		if q == "" {
+			// net/url rejects a literal ';' anywhere in the query string,
+			// silently dropping the pair that contains it — and SQL ends in
+			// one. Retry with semicolons escaped so a hand-typed curl works.
+			if vs, err := url.ParseQuery(strings.ReplaceAll(r.URL.RawQuery, ";", "%3B")); err == nil {
+				q = vs.Get("q")
+			}
+		}
+		if q == "" {
+			http.Error(w, "missing q parameter", http.StatusBadRequest)
+			return
+		}
+		res, err := c.QueryContext(r.Context(), q)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		resp := queryResponse{
+			Columns:       res.Columns,
+			Coverage:      res.Coverage,
+			ShardsMissing: res.Stats.ShardsMissing,
+			Rows:          make([][]string, 0, len(res.Rows)),
+		}
+		for _, row := range res.Rows {
+			cells := make([]string, len(row))
+			for i, v := range row {
+				cells[i] = v.String()
+			}
+			resp.Rows = append(resp.Rows, cells)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(&resp)
+	})
+}
+
+// serveCoordinatorStatz starts the coordinator observability listener.
+func serveCoordinatorStatz(addr string, c *powerdrill.Cluster) error {
+	mux := http.NewServeMux()
+	mux.Handle("/statz", coordinatorStatzHandler(c))
+	mux.Handle("/query", queryHandler(c))
 	return http.ListenAndServe(addr, mux)
 }

@@ -1,8 +1,11 @@
 // Distributed runs the paper's Section 4 setup in one process: the data is
 // sharded quasi-randomly over leaf servers, each shard partitioned into
-// chunks, every sub-query raced between a primary and a replica, and the
-// group-by re-aggregated through a computation tree. The example then
-// injects stragglers and shows the replica scheme hiding them.
+// chunks, every sub-query dispatched to a primary and — after a straggler
+// threshold, or immediately on error — its replica, and the group-by
+// re-aggregated through a computation tree. The example injects
+// stragglers and shows hedged dispatch hiding them, then runs under a
+// deadline to show the partial-answer coverage accounting
+// (see docs/cluster.md).
 package main
 
 import (
@@ -19,6 +22,7 @@ func main() {
 		Shards:   8,
 		Fanout:   4,
 		Replicas: 2,
+		Deadline: 5 * time.Second,
 		Store: powerdrill.Options{
 			PartitionFields:  []string{"country", "table_name"},
 			MaxChunkRows:     5_000,
@@ -40,7 +44,12 @@ func main() {
 			log.Fatal(err)
 		}
 		elapsed := time.Since(start)
-		fmt.Printf("%s: %d result rows in %v\n", label, len(res.Rows), elapsed.Round(time.Millisecond))
+		coverage := ""
+		if res.Coverage < 1 {
+			coverage = fmt.Sprintf(" (PARTIAL: %.1f%% of rows, %d shards missing)",
+				100*res.Coverage, res.Stats.ShardsMissing)
+		}
+		fmt.Printf("%s: %d result rows in %v%s\n", label, len(res.Rows), elapsed.Round(time.Millisecond), coverage)
 		for _, row := range res.Rows[:3] {
 			fmt.Printf("  %-4s count=%-8s sum=%-10s avg=%.1f\n",
 				row[0], row[1], row[2], row[3].Float())
@@ -55,8 +64,38 @@ func main() {
 	run("40% stragglers   ")
 
 	st := cluster.Stats()
-	fmt.Printf("\ncluster stats: %d queries, %d sub-queries, %d replica races, %d saved by replicas\n",
-		st.Queries, st.SubQueries, st.ReplicaRaces, st.PrimaryFailures)
-	fmt.Println("\n(the paper sends every sub-query to a primary and a replica and uses")
-	fmt.Println(" whichever answers first; both always compute, keeping caches in sync)")
+	fmt.Printf("\ncluster stats: %d queries, %d sub-queries, %d hedges, %d replica races, %d saved by replicas\n",
+		st.Queries, st.SubQueries, st.Hedges, st.ReplicaRaces, st.PrimaryFailures)
+	open := 0
+	for _, h := range cluster.Health() {
+		if h.Breaker != "closed" {
+			open++
+		}
+	}
+	fmt.Printf("leaf health: %d leaves, %d with a non-closed breaker\n", len(cluster.Health()), open)
+
+	// Now the degraded case: a tight deadline and leaves so slow that some
+	// shards cannot answer in time. Instead of failing the click, the
+	// cluster serves whatever arrived and reports the coverage.
+	small, err := powerdrill.NewCluster(tbl, powerdrill.ClusterOptions{
+		Shards:   8,
+		Replicas: 2,
+		Deadline: 300 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	small.InjectStragglers(0.5, 10*time.Second, 3)
+	fmt.Println()
+	start := time.Now()
+	res, err := small.Query(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("300ms deadline, half the fleet hung: answered in %v with %.1f%% coverage (%d shards missing)\n",
+		time.Since(start).Round(time.Millisecond), 100*res.Coverage, res.Stats.ShardsMissing)
+	fmt.Println("\n(the paper sends every sub-query to a primary and a replica; here the")
+	fmt.Println(" replica is asked only once the primary looks slow, the first answer wins,")
+	fmt.Println(" and a shard with no healthy replica degrades the answer's coverage")
+	fmt.Println(" instead of failing the click)")
 }

@@ -1,16 +1,37 @@
 // Package cluster implements the distributed execution of Section 4: the
 // data is sharded quasi-randomly across leaf servers (each shard then
 // partitioned into chunks independently), queries are rewritten into
-// multi-level aggregations over a computation tree, and every sub-query is
-// sent to two servers — a primary and a replica — with the first answer
-// winning, which hides stragglers and evictions on busy machines.
+// multi-level aggregations over a computation tree, and every sub-query
+// can be answered by a primary or a replica server.
+//
+// The serving tree is built for a busy shared fleet where stragglers,
+// evictions and dead machines are the steady state, not the exception:
+//
+//   - Every query runs under a context deadline threaded down to the
+//     leaves; a hung machine can cost at most the deadline, never a hung
+//     mouse click.
+//   - Sub-queries are hedged, not raced: the primary is asked first and
+//     the replica only after a straggler threshold (a multiple of a moving
+//     per-shard latency estimate — see hedge.go), or immediately on error.
+//   - Failed attempts are re-dispatched with capped, jittered exponential
+//     backoff while the deadline allows.
+//   - Each leaf carries a consecutive-failure circuit breaker (health.go),
+//     so known-dead leaves are skipped instead of timed out against, and
+//     rejoin via half-open probes when they recover.
+//   - When a shard exhausts replicas, retries and deadline, the query
+//     degrades instead of failing: the merged answer is served with
+//     Coverage < 1 and the missing shards' row counts accounted — the
+//     paper's UI reports exactly this fraction next to every answer.
 //
 // Leaves are in-process by default (the unit tests and benchmarks run a
-// whole cluster in one binary); package rpc in this directory exposes the
-// same Leaf interface over net/rpc for multi-process deployments.
+// whole cluster in one binary); rpc.go in this directory exposes the same
+// Leaf interface over net/rpc for multi-process deployments, and
+// faultinject.go provides the fault harness the tests and pdbench's
+// faulttol experiment drive.
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -25,59 +46,50 @@ import (
 
 // Leaf answers partial queries for one shard.
 type Leaf interface {
-	// PartialQuery executes sql and returns the mergeable partial.
-	PartialQuery(sqlText string) (*exec.Partial, error)
+	// PartialQuery executes sql and returns the mergeable partial. The
+	// context carries the query's deadline: implementations must return
+	// promptly (with ctx.Err or a partial already computed) once it
+	// expires.
+	PartialQuery(ctx context.Context, sqlText string) (*exec.Partial, error)
 	// Name identifies the server in logs and stats.
 	Name() string
 }
 
-// LocalLeaf wraps an engine as a Leaf, with optional fault injection.
+// LocalLeaf wraps an engine as a Leaf, with composable fault injection.
 type LocalLeaf struct {
 	name   string
 	engine *exec.Engine
-
-	mu sync.Mutex
-	// Straggle delays the next queries (simulating load/eviction).
-	straggle time.Duration
-	// fail makes the next queries error (simulating a dead machine).
-	fail bool
+	inj    Injector
 }
 
 // NewLocalLeaf creates an in-process leaf server.
 func NewLocalLeaf(name string, engine *exec.Engine) *LocalLeaf {
-	return &LocalLeaf{name: name, engine: engine}
+	l := &LocalLeaf{name: name, engine: engine}
+	l.inj.name = name
+	return l
 }
 
 // Name implements Leaf.
 func (l *LocalLeaf) Name() string { return l.name }
 
+// Inject exposes the leaf's fault injector.
+func (l *LocalLeaf) Inject() *Injector { return &l.inj }
+
 // SetStraggle makes subsequent queries take at least d.
-func (l *LocalLeaf) SetStraggle(d time.Duration) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.straggle = d
-}
+func (l *LocalLeaf) SetStraggle(d time.Duration) { l.inj.SetStraggle(d) }
 
 // SetFail makes subsequent queries fail.
-func (l *LocalLeaf) SetFail(fail bool) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.fail = fail
-}
+func (l *LocalLeaf) SetFail(fail bool) { l.inj.SetFail(fail) }
 
 // Engine exposes the underlying engine (for stats).
 func (l *LocalLeaf) Engine() *exec.Engine { return l.engine }
 
-// PartialQuery implements Leaf.
-func (l *LocalLeaf) PartialQuery(sqlText string) (*exec.Partial, error) {
-	l.mu.Lock()
-	straggle, fail := l.straggle, l.fail
-	l.mu.Unlock()
-	if straggle > 0 {
-		time.Sleep(straggle)
-	}
-	if fail {
-		return nil, fmt.Errorf("cluster: leaf %s unavailable", l.name)
+// PartialQuery implements Leaf. Injected latency waits are abandoned when
+// ctx expires; the engine call itself always runs to completion (the
+// paper executes on both replicas regardless, to keep their caches warm).
+func (l *LocalLeaf) PartialQuery(ctx context.Context, sqlText string) (*exec.Partial, error) {
+	if err := l.inj.admit(ctx); err != nil {
+		return nil, err
 	}
 	stmt, err := sql.Parse(sqlText)
 	if err != nil {
@@ -103,6 +115,36 @@ type Options struct {
 	Engine exec.Options
 	// Seed drives shard placement.
 	Seed int64
+
+	// Deadline bounds each Query's wall clock (0 = none). QueryContext
+	// callers can carry their own deadline instead; both compose.
+	Deadline time.Duration
+	// HedgeMultiplier scales the moving per-shard latency estimate into
+	// the straggler threshold: the replica is asked after
+	// multiplier × estimate (default 3). While a shard has no estimate
+	// yet, the replica is asked immediately (the seed's race-both).
+	HedgeMultiplier float64
+	// HedgeMinDelay / HedgeMaxDelay clamp the hedge delay
+	// (defaults 1ms / 1s).
+	HedgeMinDelay time.Duration
+	HedgeMaxDelay time.Duration
+	// MaxRetries is how many re-dispatches beyond the first pass over the
+	// replicas a sub-query may use (default 2; negative disables).
+	// Sub-queries are idempotent reads, so re-dispatch is always safe.
+	MaxRetries int
+	// RetryBackoff seeds the capped, jittered exponential backoff between
+	// re-dispatches (default 2ms).
+	RetryBackoff time.Duration
+	// BreakerThreshold consecutive failures trip a leaf's circuit breaker
+	// (default 3; negative disables health tracking). An open breaker
+	// skips the leaf until BreakerCooldown (default 1s) has passed, then
+	// a single half-open probe decides.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// MinCoverage fails queries whose merged answer covers less than this
+	// fraction of rows (default 0: serve any partial answer; 1 restores
+	// all-shards-or-error).
+	MinCoverage float64
 }
 
 func (o Options) withDefaults() Options {
@@ -118,6 +160,30 @@ func (o Options) withDefaults() Options {
 	if o.Replicas > 2 {
 		o.Replicas = 2
 	}
+	if o.HedgeMultiplier <= 0 {
+		o.HedgeMultiplier = 3
+	}
+	if o.HedgeMinDelay <= 0 {
+		o.HedgeMinDelay = time.Millisecond
+	}
+	if o.HedgeMaxDelay <= 0 {
+		o.HedgeMaxDelay = time.Second
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 2
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 2 * time.Millisecond
+	}
+	if o.BreakerThreshold == 0 {
+		o.BreakerThreshold = 3
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = time.Second
+	}
 	if o.Engine.Gate == nil {
 		// One admission gate for every leaf engine in the process: a query
 		// fanning out to all shards (× replicas) shares one worker budget
@@ -127,11 +193,48 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// newLeafState wires a leaf into shard si at replica index r under o's
+// health policy.
+func (o Options) newLeafState(leaf Leaf, si, r int) *leafState {
+	ls := &leafState{leaf: leaf, shard: si, replica: r}
+	if o.BreakerThreshold > 0 {
+		ls.br = newBreaker(o.BreakerThreshold, o.BreakerCooldown)
+	}
+	return ls
+}
+
+// shardState holds one shard's replicas and its dispatch-side state.
+type shardState struct {
+	replicas []*leafState
+	lat      latEstimate
+
+	mu   sync.Mutex
+	rows int64 // known row count (0 until learned; see learnRows)
+}
+
+// learnRows records the shard's row count from a successful partial, so
+// coverage accounting can charge the shard even after its leaves die.
+// NewLocal/OpenShards know it at assembly; RPC clusters learn it from the
+// first answer.
+func (s *shardState) learnRows(n int64) {
+	if n <= 0 {
+		return
+	}
+	s.mu.Lock()
+	s.rows = n
+	s.mu.Unlock()
+}
+
+func (s *shardState) knownRows() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rows
+}
+
 // Cluster is a tree of aggregating nodes over replicated leaf servers.
 type Cluster struct {
-	opts Options
-	// shards[i] holds the replicas serving shard i (1 or 2 entries).
-	shards [][]Leaf
+	opts   Options
+	shards []*shardState
 	// leaves are the distinct local leaves (for fault injection); remote
 	// clusters leave this nil.
 	leaves []*LocalLeaf
@@ -144,8 +247,26 @@ type Cluster struct {
 type Stats struct {
 	Queries         int64
 	SubQueries      int64
-	ReplicaRaces    int64 // sub-queries issued to two servers
-	PrimaryFailures int64 // sub-queries saved by the replica
+	ReplicaRaces    int64 // sub-queries issued to more than one server
+	PrimaryFailures int64 // sub-queries answered by a non-primary replica
+	// Hedges counts secondary dispatches fired by the straggler threshold
+	// (including the immediate hedge on shards with no latency estimate).
+	Hedges int64
+	// Retries counts re-dispatches after a replica error: speculative
+	// immediate ones and backoff retries alike.
+	Retries int64
+	// DeadlineExpired counts sub-queries abandoned because the query
+	// deadline expired before any replica answered.
+	DeadlineExpired int64
+	// ShardsMissing counts shard answers missing from served results —
+	// every one of them degraded a query's coverage below 1.
+	ShardsMissing int64
+	// PartialAnswers counts queries served with Coverage < 1.
+	PartialAnswers int64
+	// BreakerOpens counts circuit breakers tripping open; BreakerSkips
+	// counts dispatches skipped because a breaker was open.
+	BreakerOpens int64
+	BreakerSkips int64
 }
 
 // NewLocal builds an in-process cluster: the table is sharded, each shard
@@ -157,17 +278,17 @@ func NewLocal(tbl *table.Table, opts Options) (*Cluster, error) {
 	c := &Cluster{opts: opts}
 	shards := tbl.Shard(opts.Shards)
 	for i, shardTbl := range shards {
-		var replicas []Leaf
+		s := &shardState{rows: int64(shardTbl.NumRows())}
 		for r := 0; r < opts.Replicas; r++ {
 			store, err := colstore.FromTable(shardTbl, opts.Store)
 			if err != nil {
 				return nil, fmt.Errorf("cluster: shard %d replica %d: %w", i, r, err)
 			}
 			leaf := NewLocalLeaf(fmt.Sprintf("shard%d-r%d", i, r), exec.New(store, opts.Engine))
-			replicas = append(replicas, leaf)
+			s.replicas = append(s.replicas, opts.newLeafState(leaf, i, r))
 			c.leaves = append(c.leaves, leaf)
 		}
-		c.shards = append(c.shards, replicas)
+		c.shards = append(c.shards, s)
 	}
 	return c, nil
 }
@@ -188,26 +309,38 @@ func OpenShards(dirs []string, opts Options, mgr *memmgr.Manager) (*Cluster, err
 	}
 	c := &Cluster{opts: opts}
 	for i, dir := range dirs {
-		var replicas []Leaf
+		s := &shardState{}
 		for r := 0; r < opts.Replicas; r++ {
 			store, _, err := colstore.OpenLazy(dir, mgr)
 			if err != nil {
 				return nil, fmt.Errorf("cluster: open shard %d replica %d: %w", i, r, err)
 			}
+			s.rows = int64(store.NumRows())
 			leaf := NewLocalLeaf(fmt.Sprintf("shard%d-r%d", i, r), exec.New(store, opts.Engine))
-			replicas = append(replicas, leaf)
+			s.replicas = append(s.replicas, opts.newLeafState(leaf, i, r))
 			c.leaves = append(c.leaves, leaf)
 		}
-		c.shards = append(c.shards, replicas)
+		c.shards = append(c.shards, s)
 	}
 	return c, nil
 }
 
 // FromLeaves assembles a cluster from pre-built leaves (used by the RPC
-// client); leafSets[i] holds the replicas of shard i.
+// client); leafSets[i] holds the replicas of shard i. Leaves that are down
+// at assembly simply stay unhealthy until they come back — see
+// NewRemoteLeaf — so a partially-up fleet still serves (partial) answers.
 func FromLeaves(leafSets [][]Leaf, opts Options) *Cluster {
+	opts.Shards = len(leafSets)
 	opts = opts.withDefaults()
-	return &Cluster{opts: opts, shards: leafSets}
+	c := &Cluster{opts: opts}
+	for i, replicas := range leafSets {
+		s := &shardState{}
+		for r, leaf := range replicas {
+			s.replicas = append(s.replicas, opts.newLeafState(leaf, i, r))
+		}
+		c.shards = append(c.shards, s)
+	}
+	return c
 }
 
 // Leaves returns the local leaves for fault injection in tests.
@@ -220,15 +353,50 @@ func (c *Cluster) Stats() Stats {
 	return c.stats
 }
 
-// Query runs a SQL query over the whole cluster: leaves compute partials
-// for their shards in parallel, inner tree levels merge Fanout children at
-// a time, and the root finalizes (AVG, ORDER BY, LIMIT).
+// Health reports every leaf's dispatch-side health (breaker state,
+// success/failure counts, last error), in shard-then-replica order.
+func (c *Cluster) Health() []LeafHealth {
+	var out []LeafHealth
+	for _, s := range c.shards {
+		for _, ls := range s.replicas {
+			out = append(out, ls.health())
+		}
+	}
+	return out
+}
+
+// bump adds n to one stats counter.
+func (c *Cluster) bump(field *int64, n int64) {
+	c.mu.Lock()
+	*field += n
+	c.mu.Unlock()
+}
+
+// Query runs a SQL query over the whole cluster under Options.Deadline:
+// leaves compute partials for their shards in parallel, inner tree levels
+// merge Fanout children at a time, and the root finalizes (AVG, ORDER BY,
+// LIMIT).
 func (c *Cluster) Query(sqlText string) (*exec.Result, error) {
+	return c.QueryContext(context.Background(), sqlText)
+}
+
+// QueryContext is Query under a caller-supplied context; Options.Deadline
+// (when set) still caps the total wall clock. When shards are unreachable
+// within the deadline the merged answer is served anyway with
+// Result.Coverage < 1, unless Options.MinCoverage forbids it. The error is
+// non-nil only when parsing fails, merging fails, no shard answered at
+// all, or coverage fell below MinCoverage.
+func (c *Cluster) QueryContext(ctx context.Context, sqlText string) (*exec.Result, error) {
 	stmt, err := sql.Parse(sqlText)
 	if err != nil {
 		return nil, err
 	}
-	partials, err := c.scatter(sqlText)
+	if c.opts.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.opts.Deadline)
+		defer cancel()
+	}
+	partials, missing, err := c.scatter(ctx, sqlText)
 	if err != nil {
 		return nil, err
 	}
@@ -236,75 +404,231 @@ func (c *Cluster) Query(sqlText string) (*exec.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Coverage accounting: shards that never answered contribute their
+	// (known) row counts to the denominator only. A remote shard that has
+	// never answered has no known count — it is still counted in
+	// ShardsMissing, but cannot lower the fraction.
+	for _, si := range missing {
+		merged.Stats.RowsTotal += c.shards[si].knownRows()
+		merged.Stats.ShardsMissing++
+	}
+	coverage := 1.0
+	if merged.Stats.RowsTotal > 0 {
+		coverage = float64(merged.Stats.RowsCovered) / float64(merged.Stats.RowsTotal)
+	}
+	if len(missing) > 0 && coverage < c.opts.MinCoverage {
+		return nil, fmt.Errorf("cluster: answer covers %.1f%% of rows (%d of %d shards missing), below MinCoverage %.1f%%",
+			100*coverage, len(missing), len(c.shards), 100*c.opts.MinCoverage)
+	}
 	c.mu.Lock()
 	c.stats.Queries++
+	if len(missing) > 0 {
+		c.stats.ShardsMissing += int64(len(missing))
+		c.stats.PartialAnswers++
+	}
 	c.mu.Unlock()
 	return exec.FinalizePartial(stmt, merged)
 }
 
-// scatter fans the sub-query out to every shard (each replicated).
-func (c *Cluster) scatter(sqlText string) ([]*exec.Partial, error) {
+// scatter fans the sub-query out to every shard. It returns the partials
+// that arrived and the indices of shards that did not; the error is
+// non-nil only when not a single shard answered.
+func (c *Cluster) scatter(ctx context.Context, sqlText string) ([]*exec.Partial, []int, error) {
 	results := make([]*exec.Partial, len(c.shards))
 	errs := make([]error, len(c.shards))
 	var wg sync.WaitGroup
-	for i, replicas := range c.shards {
+	for i := range c.shards {
 		wg.Add(1)
-		go func(i int, replicas []Leaf) {
+		go func(i int) {
 			defer wg.Done()
-			part, err := c.askReplicas(sqlText, replicas)
-			results[i] = part
-			errs[i] = err
-		}(i, replicas)
+			results[i], errs[i] = c.askShard(ctx, i, sqlText)
+		}(i)
 	}
 	wg.Wait()
+	partials := make([]*exec.Partial, 0, len(c.shards))
+	var missing []int
+	var firstErr error
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("cluster: shard %d: %w", i, err)
+			missing = append(missing, i)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cluster: shard %d: %w", i, err)
+			}
+			continue
 		}
+		partials = append(partials, results[i])
 	}
-	return results, nil
+	if len(partials) == 0 && firstErr != nil {
+		return nil, nil, firstErr
+	}
+	return partials, missing, nil
 }
 
-// askReplicas sends the sub-query to the primary and (if configured) the
-// replica simultaneously; the first success wins. Both keep computing — the
-// paper always executes on both to keep their caches in sync — which the
-// goroutines naturally model: the loser finishes in the background.
-func (c *Cluster) askReplicas(sqlText string, replicas []Leaf) (*exec.Partial, error) {
-	c.mu.Lock()
-	c.stats.SubQueries++
-	if len(replicas) > 1 {
-		c.stats.ReplicaRaces++
+// askShard answers one shard's sub-query with tiered hedging:
+//
+//  1. Dispatch to the primary (breaker-open replicas are skipped).
+//  2. If it has not answered within the hedge delay, dispatch the replica
+//     too; the first success wins. An error brings the replica in
+//     immediately (speculative re-dispatch).
+//  3. When every allowed replica has been tried, re-dispatch with capped
+//     jittered backoff until MaxRetries or the deadline runs out.
+func (c *Cluster) askShard(ctx context.Context, si int, sqlText string) (*exec.Partial, error) {
+	s := c.shards[si]
+	c.bump(&c.stats.SubQueries, 1)
+
+	// Dispatch order: primary first, breaker-open leaves skipped. If every
+	// breaker is open the shard fails fast — it will be probed again after
+	// the cooldown — instead of burning the deadline on known-dead leaves.
+	now := time.Now()
+	order := make([]*leafState, 0, len(s.replicas))
+	var skipped int64
+	for _, ls := range s.replicas {
+		if ls.allowed(now) {
+			order = append(order, ls)
+		} else {
+			skipped++
+		}
 	}
-	c.mu.Unlock()
+	if skipped > 0 {
+		c.bump(&c.stats.BreakerSkips, skipped)
+	}
+	if len(order) == 0 {
+		return nil, fmt.Errorf("shard %d: all %d replicas circuit-open", si, len(s.replicas))
+	}
 
 	type answer struct {
 		part    *exec.Partial
 		err     error
-		replica int
+		ls      *leafState
+		elapsed time.Duration
 	}
-	ch := make(chan answer, len(replicas))
-	for r, leaf := range replicas {
-		go func(r int, leaf Leaf) {
-			part, err := leaf.PartialQuery(sqlText)
-			ch <- answer{part, err, r}
-		}(r, leaf)
+	// Buffered for every launch this sub-query can possibly make, so late
+	// finishers never block (they just finish in the background, like the
+	// paper's losing replica).
+	ch := make(chan answer, len(order)*(1+c.opts.MaxRetries)+2)
+	inflight := 0
+	launch := func(ls *leafState) {
+		inflight++
+		go func() {
+			start := time.Now()
+			part, err := ls.leaf.PartialQuery(ctx, sqlText)
+			ch <- answer{part, err, ls, time.Since(start)}
+		}()
 	}
+
+	next := 0 // next undispatched entry in order
+	launch(order[next])
+	next++
+
+	// The hedge timer is armed only while an undispatched replica remains.
+	var hedgeCh <-chan time.Time
+	if next < len(order) {
+		t := time.NewTimer(c.opts.hedgeDelay(&s.lat))
+		defer t.Stop()
+		hedgeCh = t.C
+	}
+
+	retriesLeft := c.opts.MaxRetries
+	retryAttempt := 0            // backoff exponent + rotation cursor
+	var retryCh <-chan time.Time // pending backoff timer
+	raced := false
 	var firstErr error
-	for range replicas {
-		a := <-ch
-		if a.err == nil {
-			if a.replica != 0 {
-				c.mu.Lock()
-				c.stats.PrimaryFailures++
-				c.mu.Unlock()
-			}
-			return a.part, nil
+
+	finish := func(a answer) *exec.Partial {
+		a.ls.success()
+		s.lat.observe(a.elapsed)
+		s.learnRows(a.part.Stats.RowsTotal)
+		if a.ls.replica != 0 {
+			c.bump(&c.stats.PrimaryFailures, 1)
 		}
-		if firstErr == nil {
-			firstErr = a.err
+		return a.part
+	}
+	markRaced := func(ls *leafState) {
+		if !raced && ls != order[0] {
+			raced = true
+			c.bump(&c.stats.ReplicaRaces, 1)
 		}
 	}
-	return nil, firstErr
+
+	for {
+		select {
+		case a := <-ch:
+			inflight--
+			if a.err == nil {
+				// Record outcomes that already arrived before returning the
+				// win: dropping a buffered failure would slow its breaker.
+			drain:
+				for {
+					select {
+					case b := <-ch:
+						inflight--
+						if b.err == nil {
+							b.ls.success()
+						} else if b.ls.failure(b.err, time.Now()) {
+							c.bump(&c.stats.BreakerOpens, 1)
+						}
+					default:
+						break drain
+					}
+				}
+				return finish(a), nil
+			}
+			if a.ls.failure(a.err, time.Now()) {
+				c.bump(&c.stats.BreakerOpens, 1)
+			}
+			if firstErr == nil {
+				firstErr = a.err
+			}
+			if ctx.Err() != nil {
+				// Deadline already gone: no point re-dispatching.
+				if inflight == 0 {
+					c.bump(&c.stats.DeadlineExpired, 1)
+					return nil, firstErr
+				}
+				continue
+			}
+			switch {
+			case next < len(order):
+				// Speculative re-dispatch: bring the replica in now
+				// instead of waiting for the hedge timer.
+				hedgeCh = nil
+				c.bump(&c.stats.Retries, 1)
+				markRaced(order[next])
+				launch(order[next])
+				next++
+			case retriesLeft > 0 && retryCh == nil:
+				retriesLeft--
+				c.bump(&c.stats.Retries, 1)
+				t := time.NewTimer(backoffDelay(c.opts.RetryBackoff, c.opts.HedgeMaxDelay, retryAttempt))
+				defer t.Stop()
+				retryCh = t.C
+			case inflight == 0 && retryCh == nil:
+				return nil, firstErr
+			}
+		case <-hedgeCh:
+			hedgeCh = nil
+			c.bump(&c.stats.Hedges, 1)
+			markRaced(order[next])
+			launch(order[next])
+			next++
+		case <-retryCh:
+			retryCh = nil
+			target := order[retryAttempt%len(order)]
+			retryAttempt++
+			markRaced(target)
+			launch(target)
+		case <-ctx.Done():
+			// The deadline expired with attempts still in flight. Leaves
+			// abandon injected waits and RPC calls promptly on ctx, so the
+			// launched goroutines drain into the buffered channel without
+			// anyone reading — no goroutine outlives its leaf call.
+			c.bump(&c.stats.DeadlineExpired, 1)
+			if firstErr != nil {
+				return nil, firstErr
+			}
+			return nil, ctx.Err()
+		}
+	}
 }
 
 // mergeTree merges partials Fanout at a time, simulating the levels of the

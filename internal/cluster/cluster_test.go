@@ -145,10 +145,32 @@ func TestReplicaHidesFailure(t *testing.T) {
 	if c.Stats().PrimaryFailures == 0 {
 		t.Error("no primary failures recorded despite dead primaries")
 	}
-	// Kill both replicas of one shard: the query must now fail loudly.
+	// Kill both replicas of one shard: the query now degrades gracefully —
+	// a partial answer with the missing shard accounted in Coverage.
 	c.Leaves()[1].SetFail(true)
-	if _, err := c.Query(q); err == nil {
-		t.Error("query succeeded with a whole shard dead")
+	partial, err := c.Query(q)
+	if err != nil {
+		t.Fatalf("query with a whole shard dead: %v", err)
+	}
+	if partial.Coverage >= 1 {
+		t.Errorf("coverage = %v with a whole shard dead, want < 1", partial.Coverage)
+	}
+	if partial.Stats.ShardsMissing != 1 {
+		t.Errorf("ShardsMissing = %d, want 1", partial.Stats.ShardsMissing)
+	}
+	st := c.Stats()
+	if st.ShardsMissing == 0 || st.PartialAnswers == 0 {
+		t.Errorf("stats did not record the partial answer: %+v", st)
+	}
+	// MinCoverage restores fail-loudly semantics.
+	c2, err := NewLocal(tbl, Options{Shards: 4, Replicas: 2, Store: storeOpts(), MinCoverage: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.Leaves()[0].SetFail(true)
+	c2.Leaves()[1].SetFail(true)
+	if _, err := c2.Query(q); err == nil {
+		t.Error("query succeeded below MinCoverage")
 	}
 }
 
@@ -187,10 +209,22 @@ func TestNoReplication(t *testing.T) {
 	if st.ReplicaRaces != 0 {
 		t.Errorf("replica races recorded without replication: %+v", st)
 	}
-	// Any leaf failure is fatal without a replica.
+	// Without a replica a leaf failure costs that shard: the answer is
+	// served anyway with its loss reported in Coverage.
 	c.Leaves()[0].SetFail(true)
+	res, err := c.Query(`SELECT country, COUNT(*) FROM data GROUP BY country;`)
+	if err != nil {
+		t.Fatalf("query with dead shard and no replicas: %v", err)
+	}
+	if res.Coverage >= 1 {
+		t.Errorf("coverage = %v with a shard dead, want < 1", res.Coverage)
+	}
+	// All shards dead: nothing to serve, so the error surfaces.
+	for _, leaf := range c.Leaves() {
+		leaf.SetFail(true)
+	}
 	if _, err := c.Query(`SELECT country, COUNT(*) FROM data GROUP BY country;`); err == nil {
-		t.Error("query survived leaf failure without replicas")
+		t.Error("query succeeded with every shard dead")
 	}
 }
 

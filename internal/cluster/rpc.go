@@ -1,12 +1,16 @@
 package cluster
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/rpc"
+	"sync"
+	"time"
 
 	"powerdrill/internal/exec"
-	"powerdrill/internal/sql"
 	"powerdrill/internal/value"
 )
 
@@ -128,9 +132,12 @@ func fromWirePartial(w *WirePartial) *exec.Partial {
 	return out
 }
 
-// LeafService is the net/rpc server wrapper around an engine.
+// LeafService is the net/rpc server wrapper around a leaf. Wrapping a Leaf
+// rather than a bare engine means the server side of the wire carries the
+// same fault-injection hooks as an in-process leaf (pdserver exposes them,
+// and the RPC tests straggle a real server to force failover).
 type LeafService struct {
-	engine *exec.Engine
+	leaf Leaf
 }
 
 // QueryArgs is the RPC request.
@@ -138,18 +145,16 @@ type QueryArgs struct {
 	SQL string
 }
 
-// NewLeafService wraps an engine for serving.
-func NewLeafService(engine *exec.Engine) *LeafService {
-	return &LeafService{engine: engine}
+// NewLeafService wraps a leaf for serving.
+func NewLeafService(leaf Leaf) *LeafService {
+	return &LeafService{leaf: leaf}
 }
 
-// PartialQuery is the RPC method: parse, run, ship the partial.
+// PartialQuery is the RPC method: run the leaf, ship the partial. The
+// server runs without a deadline — cancellation is the client's business
+// (it abandons the call); the server finishes and keeps its caches warm.
 func (s *LeafService) PartialQuery(args *QueryArgs, reply *WirePartial) error {
-	stmt, err := sql.Parse(args.SQL)
-	if err != nil {
-		return err
-	}
-	part, err := s.engine.RunPartial(stmt)
+	part, err := s.leaf.PartialQuery(context.Background(), args.SQL)
 	if err != nil {
 		return err
 	}
@@ -157,11 +162,11 @@ func (s *LeafService) PartialQuery(args *QueryArgs, reply *WirePartial) error {
 	return nil
 }
 
-// Serve registers the service and accepts connections on l until the
+// ServeLeaf registers the leaf and accepts connections on l until the
 // listener closes. It blocks; run it in a goroutine or a dedicated process.
-func Serve(l net.Listener, engine *exec.Engine) error {
+func ServeLeaf(l net.Listener, leaf Leaf) error {
 	srv := rpc.NewServer()
-	if err := srv.RegisterName("Leaf", NewLeafService(engine)); err != nil {
+	if err := srv.RegisterName("Leaf", NewLeafService(leaf)); err != nil {
 		return err
 	}
 	for {
@@ -173,32 +178,152 @@ func Serve(l net.Listener, engine *exec.Engine) error {
 	}
 }
 
-// RemoteLeaf is a Leaf backed by a net/rpc connection.
-type RemoteLeaf struct {
-	name   string
-	client *rpc.Client
+// Serve wraps an engine in a LocalLeaf and serves it on l.
+func Serve(l net.Listener, engine *exec.Engine) error {
+	return ServeLeaf(l, NewLocalLeaf(l.Addr().String(), engine))
 }
 
-// Dial connects to a leaf server.
+// RemoteLeaf is a Leaf backed by a net/rpc connection with a managed
+// lifecycle: the connection is dialed lazily, torn down when the transport
+// breaks (server restart, severed TCP), and redialed on the next call —
+// with a short backoff window after a failed dial so a down server costs
+// one connection attempt per window, not per sub-query.
+type RemoteLeaf struct {
+	name string
+	addr string
+
+	mu        sync.Mutex
+	client    *rpc.Client
+	dialFails int
+	nextDial  time.Time // no redial before this after a failed dial
+}
+
+const (
+	dialBackoffBase = 50 * time.Millisecond
+	dialBackoffMax  = 2 * time.Second
+)
+
+// NewRemoteLeaf creates a leaf client for addr without connecting: the
+// first call dials. A server that is down at assembly time is not fatal —
+// the cluster serves partial answers until it comes up, at which point a
+// half-open probe (or the next dispatch) redials and the leaf joins.
+func NewRemoteLeaf(addr string) *RemoteLeaf {
+	return &RemoteLeaf{name: addr, addr: addr}
+}
+
+// Dial connects to a leaf server eagerly, failing if it is unreachable.
+// Prefer NewRemoteLeaf when assembling clusters that must tolerate
+// not-yet-up servers.
 func Dial(addr string) (*RemoteLeaf, error) {
-	client, err := rpc.Dial("tcp", addr)
-	if err != nil {
+	r := NewRemoteLeaf(addr)
+	if _, err := r.ensureClient(); err != nil {
 		return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
 	}
-	return &RemoteLeaf{name: addr, client: client}, nil
+	return r, nil
 }
 
 // Name implements Leaf.
 func (r *RemoteLeaf) Name() string { return r.name }
 
-// PartialQuery implements Leaf.
-func (r *RemoteLeaf) PartialQuery(sqlText string) (*exec.Partial, error) {
-	var reply WirePartial
-	if err := r.client.Call("Leaf.PartialQuery", &QueryArgs{SQL: sqlText}, &reply); err != nil {
-		return nil, err
+// ensureClient returns the live client, dialing if necessary. Failed dials
+// open a backoff window during which calls fail immediately.
+func (r *RemoteLeaf) ensureClient() (*rpc.Client, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.client != nil {
+		return r.client, nil
 	}
-	return fromWirePartial(&reply), nil
+	now := time.Now()
+	if now.Before(r.nextDial) {
+		return nil, fmt.Errorf("cluster: leaf %s: down (redial backoff)", r.addr)
+	}
+	client, err := rpc.Dial("tcp", r.addr)
+	if err != nil {
+		d := dialBackoffBase
+		for i := 0; i < r.dialFails && d < dialBackoffMax; i++ {
+			d *= 2
+		}
+		if d > dialBackoffMax {
+			d = dialBackoffMax
+		}
+		r.dialFails++
+		r.nextDial = now.Add(d)
+		return nil, fmt.Errorf("cluster: dial %s: %w", r.addr, err)
+	}
+	r.dialFails = 0
+	r.nextDial = time.Time{}
+	r.client = client
+	return client, nil
 }
 
-// Close releases the connection.
-func (r *RemoteLeaf) Close() error { return r.client.Close() }
+// teardown discards client if it is still the current connection, so the
+// next call redials. Compare-and-clear: a concurrent call that already
+// replaced the connection is left alone.
+func (r *RemoteLeaf) teardown(client *rpc.Client) {
+	r.mu.Lock()
+	if r.client == client {
+		r.client = nil
+	}
+	r.mu.Unlock()
+	client.Close()
+}
+
+// isConnError reports whether err means the transport is broken (as
+// opposed to the server returning an application error).
+func isConnError(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, rpc.ErrShutdown) || errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	var nerr net.Error
+	return errors.As(err, &nerr)
+}
+
+// PartialQuery implements Leaf. Sub-queries are idempotent reads, so a
+// call that dies with a connection error is transparently retried once on
+// a fresh connection; application errors pass through. When ctx expires
+// mid-call the call is abandoned — the connection is NOT torn down, since
+// concurrent queries may be multiplexed on it and the reply (discarded by
+// net/rpc) may still arrive.
+func (r *RemoteLeaf) PartialQuery(ctx context.Context, sqlText string) (*exec.Partial, error) {
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		client, err := r.ensureClient()
+		if err != nil {
+			return nil, err
+		}
+		var reply WirePartial
+		call := client.Go("Leaf.PartialQuery", &QueryArgs{SQL: sqlText}, &reply, make(chan *rpc.Call, 1))
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-call.Done:
+		}
+		if call.Error == nil {
+			return fromWirePartial(&reply), nil
+		}
+		lastErr = call.Error
+		if !isConnError(call.Error) {
+			return nil, call.Error
+		}
+		r.teardown(client)
+	}
+	return nil, lastErr
+}
+
+// Close releases the connection (if one is up).
+func (r *RemoteLeaf) Close() error {
+	r.mu.Lock()
+	client := r.client
+	r.client = nil
+	r.mu.Unlock()
+	if client == nil {
+		return nil
+	}
+	return client.Close()
+}

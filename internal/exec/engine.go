@@ -159,6 +159,16 @@ type QueryStats struct {
 	// CoalescedReads counts the reads this query's run coalescing saved
 	// (a run of m contiguous cold chunks is one read, saving m−1).
 	CoalescedReads int
+	// RowsTotal counts the rows the answer SHOULD span: the store's row
+	// count for a single engine or leaf partial, the sum over every shard
+	// (answering or not) after a cluster merge. RowsCovered counts the
+	// rows of the servers that actually contributed. The two are equal
+	// unless a shard was abandoned (dead replicas, expired deadline) and
+	// the cluster degraded to a partial answer.
+	RowsTotal   int64
+	RowsCovered int64
+	// ShardsMissing counts shards absent from a merged answer.
+	ShardsMissing int
 }
 
 // Result is a finished query result.
@@ -166,6 +176,12 @@ type Result struct {
 	Columns []string
 	Rows    [][]value.Value
 	Stats   QueryStats
+	// Coverage is the fraction of rows the answer covers
+	// (Stats.RowsCovered / Stats.RowsTotal): 1 for a complete answer,
+	// lower when the serving tree degraded to a partial result because a
+	// shard's replicas were all dead or out of deadline (the paper's UI
+	// reports exactly this fraction next to every answer).
+	Coverage float64
 }
 
 // New creates an engine over a store.
@@ -269,7 +285,10 @@ func (e *Engine) Run(stmt *sql.SelectStmt) (*Result, error) {
 	qs.DiskBytesRead = ps.DiskBytesRead
 	qs.ReadRuns = ps.ReadRuns
 	qs.CoalescedReads = ps.CoalescedReads
+	qs.RowsTotal = int64(e.store.NumRows())
+	qs.RowsCovered = qs.RowsTotal
 	res.Stats = qs
+	res.Coverage = 1
 	e.recordStats(qs)
 	return res, nil
 }

@@ -79,6 +79,12 @@ func (e *Engine) RunPartial(stmt *sql.SelectStmt) (*Partial, error) {
 	qs.DiskBytesRead = ps.DiskBytesRead
 	qs.ReadRuns = ps.ReadRuns
 	qs.CoalescedReads = ps.CoalescedReads
+	// A leaf's partial always covers its whole shard — coverage accounting
+	// is about server availability, not restriction selectivity. The
+	// coordinator adds the row counts of shards that never answered to
+	// RowsTotal alone, which is what drives Coverage below 1.
+	qs.RowsTotal = int64(e.store.NumRows())
+	qs.RowsCovered = qs.RowsTotal
 	out := &Partial{Stats: qs}
 	for _, it := range p.items {
 		out.Columns = append(out.Columns, it.name)
@@ -178,6 +184,9 @@ func MergePartials(dst, src *Partial) error {
 	dst.Stats.CacheSkippedChunks += src.Stats.CacheSkippedChunks
 	dst.Stats.ReadRuns += src.Stats.ReadRuns
 	dst.Stats.CoalescedReads += src.Stats.CoalescedReads
+	dst.Stats.RowsTotal += src.Stats.RowsTotal
+	dst.Stats.RowsCovered += src.Stats.RowsCovered
+	dst.Stats.ShardsMissing += src.Stats.ShardsMissing
 	return nil
 }
 
@@ -216,7 +225,10 @@ func (c *PartialCell) merge(o *PartialCell) error {
 // the root of the tree does (it also "executes any having statements" in
 // the paper; HAVING is outside this subset).
 func FinalizePartial(stmt *sql.SelectStmt, p *Partial) (*Result, error) {
-	res := &Result{Columns: p.Columns, Stats: p.Stats}
+	res := &Result{Columns: p.Columns, Stats: p.Stats, Coverage: 1}
+	if p.Stats.RowsTotal > 0 {
+		res.Coverage = float64(p.Stats.RowsCovered) / float64(p.Stats.RowsTotal)
+	}
 	specs, keyIdx, err := partialItemSpecs(stmt)
 	if err != nil {
 		return nil, err

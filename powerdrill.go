@@ -183,6 +183,11 @@ type Result struct {
 	Rows    [][]Value
 	// Stats reports what the query touched.
 	Stats QueryStats
+	// Coverage is the fraction of rows the answer spans, in (0, 1]. It is
+	// 1 except for cluster queries that had to serve a partial answer
+	// because some shards were unreachable — the paper's UI shows this
+	// fraction next to every result.
+	Coverage float64
 }
 
 // QueryStats are per-query execution counters (chunks skipped, cached,
@@ -202,7 +207,7 @@ func (s *Store) Query(sqlText string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Columns: res.Columns, Rows: res.Rows, Stats: res.Stats}, nil
+	return &Result{Columns: res.Columns, Rows: res.Rows, Stats: res.Stats, Coverage: res.Coverage}, nil
 }
 
 // NumRows returns the number of imported rows.
