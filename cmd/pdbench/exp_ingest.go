@@ -1,0 +1,247 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"powerdrill"
+)
+
+// ingestReport is the machine-readable result of the ingest experiment,
+// written to BENCH_ingest.json.
+type ingestReport struct {
+	BaseRows     int     `json:"base_rows"`
+	AppendedRows int     `json:"appended_rows"`
+	AppendRate   float64 `json:"append_rows_per_sec"`
+
+	QueriesDuringAppend int   `json:"queries_during_append"`
+	QueryP50Micros      int64 `json:"query_p50_micros"`
+	QueryP99Micros      int64 `json:"query_p99_micros"`
+	ConsistencyOK       bool  `json:"consistency_ok"`
+
+	Seals                 int64 `json:"seals"`
+	SegmentsBeforeCompact int   `json:"segments_before_compact"`
+	SegmentsAfterCompact  int   `json:"segments_after_compact"`
+	ResidentBeforeCompact int64 `json:"resident_bytes_before_compact"`
+	ResidentAfterCompact  int64 `json:"resident_bytes_after_compact"`
+	GenBeforeCompact      int   `json:"gen_before_compact"`
+	GenAfterCompact       int   `json:"gen_after_compact"`
+}
+
+// runIngest measures the streaming append path: half the dataset is
+// imported in bulk, the other half streamed through Append while
+// concurrent queries snapshot the store. Every query's COUNT(*) must
+// equal its snapshot's row accounting and grow monotonically — the cut
+// is always a consistent prefix of the append stream — and compaction
+// must shrink both the generation's segment count and the resident
+// footprint. Results land in BENCH_ingest.json.
+func runIngest(cfg config) error {
+	tbl := dataset(cfg)
+	half := cfg.rows / 2
+	baseRows := make([]int, half)
+	for i := range baseRows {
+		baseRows[i] = i
+	}
+	opts := powerdrill.Options{
+		PartitionFields:  []string{"country", "table_name"},
+		MaxChunkRows:     maxInt(cfg.rows/100, 1000),
+		OptimizeElements: true,
+		Reorder:          true,
+		Parallelism:      cfg.parallelism,
+		// ~10 seals over the streamed half.
+		IngestSealRows: maxInt(half/10, 1000),
+		// Manual compaction only, so the before/after comparison is
+		// deterministic.
+		IngestCompactMinSegments: 1 << 30,
+	}
+	built, err := powerdrill.Build(tbl.Select(baseRows), opts)
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "pdbench-ingest-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	if err := built.Save(dir, "zippy"); err != nil {
+		return err
+	}
+	store, _, err := powerdrill.Open(dir, opts)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+
+	fmt.Printf("base: %d rows imported in bulk; streaming %d more while querying\n\n",
+		half, cfg.rows-half)
+
+	// --- Append while querying -----------------------------------------
+	batch := maxInt(half/100, 500)
+	appendStart := time.Now()
+	done := make(chan struct{})
+	var appendErr error
+	go func() {
+		defer close(done)
+		for at := half; at < cfg.rows; at += batch {
+			n := minInt(batch, cfg.rows-at)
+			rows := make([]int, n)
+			for i := range rows {
+				rows[i] = at + i
+			}
+			if err := store.Append(tbl.Select(rows)); err != nil {
+				appendErr = err
+				return
+			}
+		}
+	}()
+
+	var (
+		mu         sync.Mutex
+		lats       []time.Duration
+		consistent = true
+		queries    int
+	)
+	var qwg sync.WaitGroup
+	for q := 0; q < 2; q++ {
+		qwg.Add(1)
+		go func() {
+			defer qwg.Done()
+			// Monotonicity holds per goroutine: each iteration's snapshot
+			// is taken after the previous query returned. Across
+			// goroutines completion order does not match snapshot order.
+			var lastCount int64
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				start := time.Now()
+				_, err := store.Query(`SELECT country, COUNT(*) AS c FROM data GROUP BY country ORDER BY c DESC LIMIT 10;`)
+				lat := time.Since(start)
+				cnt, err2 := store.Query(`SELECT COUNT(*) AS c FROM data;`)
+				ok := true
+				switch {
+				case err != nil || err2 != nil:
+					ok = false
+				case cnt.Rows[0][0].Int() != cnt.Stats.RowsTotal:
+					// One snapshot's scan and its row accounting disagree.
+					ok = false
+				case cnt.Rows[0][0].Int() < lastCount:
+					// A later snapshot saw fewer rows: not a prefix cut.
+					ok = false
+				default:
+					lastCount = cnt.Rows[0][0].Int()
+				}
+				mu.Lock()
+				queries += 2
+				lats = append(lats, lat)
+				if !ok {
+					consistent = false
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	<-done
+	qwg.Wait()
+	if appendErr != nil {
+		return appendErr
+	}
+	appendElapsed := time.Since(appendStart)
+	if err := store.Flush(); err != nil {
+		return err
+	}
+
+	// Final cross-check: everything streamed is visible.
+	final, err := store.Query(`SELECT COUNT(*) AS c FROM data;`)
+	if err != nil {
+		return err
+	}
+	if final.Rows[0][0].Int() != int64(cfg.rows) {
+		consistent = false
+	}
+
+	// --- Compaction: generation count and resident bytes ----------------
+	// Warm the segments so the before/after footprint comparison reflects
+	// resident data, not never-loaded columns.
+	if _, err := store.Query(`SELECT table_name, SUM(latency) AS s FROM data GROUP BY table_name ORDER BY s DESC LIMIT 10;`); err != nil {
+		return err
+	}
+	before, _ := store.IngestStats()
+	msBefore, _ := store.MemStats()
+	if _, err := store.CompactNow(); err != nil {
+		return err
+	}
+	after, _ := store.IngestStats()
+	msAfter, _ := store.MemStats()
+
+	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+	rep := ingestReport{
+		BaseRows:              half,
+		AppendedRows:          cfg.rows - half,
+		AppendRate:            float64(cfg.rows-half) / appendElapsed.Seconds(),
+		QueriesDuringAppend:   queries,
+		ConsistencyOK:         consistent,
+		Seals:                 before.Seals,
+		SegmentsBeforeCompact: before.Segments,
+		SegmentsAfterCompact:  after.Segments,
+		ResidentBeforeCompact: msBefore.ResidentBytes,
+		ResidentAfterCompact:  msAfter.ResidentBytes,
+		GenBeforeCompact:      before.Gen,
+		GenAfterCompact:       after.Gen,
+	}
+	if n := len(lats); n > 0 {
+		rep.QueryP50Micros = lats[n/2].Microseconds()
+		rep.QueryP99Micros = lats[n*99/100].Microseconds()
+	}
+
+	row("", "rows", "rate/s", "p50", "p99", "seals")
+	row("append", fmt.Sprint(rep.AppendedRows),
+		fmt.Sprintf("%.0f", rep.AppendRate),
+		time.Duration(rep.QueryP50Micros*1000).Round(time.Microsecond).String(),
+		time.Duration(rep.QueryP99Micros*1000).Round(time.Microsecond).String(),
+		fmt.Sprint(rep.Seals))
+	fmt.Println()
+	row("", "segments", "resident MB", "generation")
+	row("before", fmt.Sprint(rep.SegmentsBeforeCompact), mb(rep.ResidentBeforeCompact), fmt.Sprint(rep.GenBeforeCompact))
+	row("after", fmt.Sprint(rep.SegmentsAfterCompact), mb(rep.ResidentAfterCompact), fmt.Sprint(rep.GenAfterCompact))
+	fmt.Println()
+
+	if consistent {
+		fmt.Printf("consistency: ok (%d concurrent queries, monotonic prefix counts, totals matched)\n", queries)
+	} else {
+		fmt.Printf("consistency: FAILED\n")
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_ingest.json", blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_ingest.json")
+	if !consistent {
+		return fmt.Errorf("snapshot consistency violated during concurrent append")
+	}
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

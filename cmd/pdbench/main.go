@@ -23,6 +23,7 @@
 //	pdbench -exp chunkres            # chunk-granular residency vs selectivity
 //	pdbench -exp coldio              # per-chunk compression + coalesced cold reads
 //	pdbench -exp virtcol             # budget-aware (persisted) virtual columns
+//	pdbench -exp ingest              # streaming appends, snapshot queries, compaction
 //
 // Absolute numbers depend on the host; the relationships (who wins, by
 // what factor, where curves bend) are the reproduction target. See
@@ -61,6 +62,7 @@ var experiments = []struct {
 	{"chunkres", "Section 5: chunk-granular residency vs restriction selectivity", runChunkRes},
 	{"coldio", "Cold I/O: per-chunk compression, coalesced runs, cache-aware skips", runColdIO},
 	{"virtcol", "Budget-aware virtual columns: sidecar persistence, eviction, span pruning", runVirtCol},
+	{"ingest", "Streaming ingestion: append rate, snapshot query latency, compaction", runIngest},
 }
 
 // config carries the shared experiment parameters.

@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"testing"
+)
 
 // TestAllExperimentsRun executes every experiment at miniature scale: the
 // harness must produce all tables without errors regardless of dataset
@@ -10,6 +13,16 @@ func TestAllExperimentsRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment harness is slow")
 	}
+	// Experiments write BENCH_*.json into the working directory; keep
+	// test runs from littering the package dir.
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
 	cfg := config{rows: 20_000, reps: 1, seed: 7}
 	for _, e := range experiments {
 		e := e

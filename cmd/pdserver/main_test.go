@@ -182,3 +182,76 @@ func TestCoordinatorStatzHandler(t *testing.T) {
 		t.Fatal("memory section missing for a coordinator over lazily opened shards")
 	}
 }
+
+// TestIngestHandler drives POST /ingest end to end: appended rows are
+// queryable immediately, the flush barrier seals them, and /statz grows
+// an ingest section.
+func TestIngestHandler(t *testing.T) {
+	tbl := powerdrill.GenerateQueryLogs(1000, 3)
+	built, err := powerdrill.Build(tbl, powerdrill.Options{
+		PartitionFields: []string{"country", "table_name"},
+		MaxChunkRows:    500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := built.Save(dir, "zippy"); err != nil {
+		t.Fatal(err)
+	}
+	store, _, err := powerdrill.Open(dir, powerdrill.Options{IngestSealRows: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	body := `{"columns":[
+		{"name":"timestamp","kind":"int64","ints":[1,2,3]},
+		{"name":"table_name","kind":"string","strs":["t1","t1","t2"]},
+		{"name":"latency","kind":"int64","ints":[10,20,30]},
+		{"name":"country","kind":"string","strs":["zz","zz","zz"]},
+		{"name":"user","kind":"string","strs":["u1","u2","u3"]}]}`
+	rec := httptest.NewRecorder()
+	ingestHandler(store).ServeHTTP(rec, httptest.NewRequest("POST", "/ingest?flush=1", strings.NewReader(body)))
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp map[string]int
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp["appended"] != 3 || resp["rows"] != 1003 {
+		t.Fatalf("response = %v", resp)
+	}
+	res, err := store.Query(`SELECT COUNT(*) AS c FROM data WHERE country = "zz";`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 3 {
+		t.Fatalf("appended rows not visible: %v", res.Rows)
+	}
+
+	rec = httptest.NewRecorder()
+	statzHandler(store).ServeHTTP(rec, httptest.NewRequest("GET", "/statz", nil))
+	var p statzPayload
+	if err := json.Unmarshal(rec.Body.Bytes(), &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Ingest == nil {
+		t.Fatal("ingest section missing after appends")
+	}
+	if p.Ingest.RowsAppended != 3 || p.Ingest.Seals != 1 || p.Ingest.Segments != 1 {
+		t.Fatalf("ingest section = %+v", p.Ingest)
+	}
+	if p.Rows != 1003 {
+		t.Fatalf("rows = %d, want 1003", p.Rows)
+	}
+
+	// Schema violations surface as 422, not 500.
+	rec = httptest.NewRecorder()
+	ingestHandler(store).ServeHTTP(rec, httptest.NewRequest("POST", "/ingest",
+		strings.NewReader(`{"columns":[{"name":"latency","kind":"string","strs":["x"]}]}`)))
+	if rec.Code != 422 {
+		t.Fatalf("bad batch status = %d", rec.Code)
+	}
+}

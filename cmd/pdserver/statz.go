@@ -22,9 +22,28 @@ type statzPayload struct {
 
 	ResultCache *cacheSection `json:"result_cache,omitempty"`
 
+	// Ingest is present when the store has an active append path: the
+	// committed generation, live segments and buffer state.
+	Ingest *ingestSection `json:"ingest,omitempty"`
+
 	// Cluster is present in coordinator mode (-shards): fan-out counters
 	// plus per-leaf health.
 	Cluster *clusterSection `json:"cluster,omitempty"`
+}
+
+// ingestSection mirrors powerdrill.IngestStats.
+type ingestSection struct {
+	Gen               int   `json:"gen"`
+	Segments          int   `json:"segments"`
+	SegmentRows       int64 `json:"segment_rows"`
+	MemRows           int   `json:"mem_rows"`
+	SealingRows       int64 `json:"sealing_rows"`
+	MemBytes          int64 `json:"mem_bytes"`
+	RowsAppended      int64 `json:"rows_appended"`
+	Seals             int64 `json:"seals"`
+	Compactions       int64 `json:"compactions"`
+	SegmentsCompacted int64 `json:"segments_compacted"`
+	SegmentsRetired   int64 `json:"segments_retired"`
 }
 
 // clusterSection mirrors powerdrill.ClusterStats plus per-leaf health —
@@ -193,6 +212,21 @@ func statzHandler(store *powerdrill.Store) http.Handler {
 				HitRate:   cs.HitRate(),
 			}
 		}
+		if is, ok := store.IngestStats(); ok {
+			p.Ingest = &ingestSection{
+				Gen:               is.Gen,
+				Segments:          is.Segments,
+				SegmentRows:       is.SegmentRows,
+				MemRows:           is.MemRows,
+				SealingRows:       is.SealingRows,
+				MemBytes:          is.MemBytes,
+				RowsAppended:      is.RowsAppended,
+				Seals:             is.Seals,
+				Compactions:       is.Compactions,
+				SegmentsCompacted: is.SegmentsCompacted,
+				SegmentsRetired:   is.SegmentsRetired,
+			}
+		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
@@ -200,10 +234,84 @@ func statzHandler(store *powerdrill.Store) http.Handler {
 	})
 }
 
+// ingestRequest is the JSON body of POST /ingest: a columnar batch, one
+// entry per store column, all the same length.
+type ingestRequest struct {
+	Columns []ingestColumn `json:"columns"`
+}
+
+type ingestColumn struct {
+	Name string `json:"name"`
+	// Kind is "string", "int64" or "float64"; exactly one of the value
+	// arrays must be set accordingly.
+	Kind   string    `json:"kind"`
+	Strs   []string  `json:"strs,omitempty"`
+	Ints   []int64   `json:"ints,omitempty"`
+	Floats []float64 `json:"floats,omitempty"`
+}
+
+// ingestHandler appends a POSTed batch through the store's streaming
+// ingestion path; the rows are visible to queries as soon as the request
+// returns. ?flush=1 additionally seals the write buffer (durability
+// barrier).
+func ingestHandler(store *powerdrill.Store) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST a columnar batch", http.StatusMethodNotAllowed)
+			return
+		}
+		var req ingestRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		tbl := powerdrill.NewTable("data")
+		rows := -1
+		for _, c := range req.Columns {
+			var n int
+			switch c.Kind {
+			case "string":
+				tbl.AddStringColumn(c.Name, c.Strs)
+				n = len(c.Strs)
+			case "int64":
+				tbl.AddInt64Column(c.Name, c.Ints)
+				n = len(c.Ints)
+			case "float64":
+				tbl.AddFloat64Column(c.Name, c.Floats)
+				n = len(c.Floats)
+			default:
+				http.Error(w, "column "+c.Name+": kind must be string, int64 or float64", http.StatusBadRequest)
+				return
+			}
+			if rows >= 0 && n != rows {
+				http.Error(w, "ragged batch: columns differ in length", http.StatusBadRequest)
+				return
+			}
+			rows = n
+		}
+		if err := store.Append(tbl); err != nil {
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		if r.URL.Query().Get("flush") != "" {
+			if err := store.Flush(); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]int{
+			"appended": rows,
+			"rows":     store.NumRows(),
+		})
+	})
+}
+
 // serveStatz starts the observability HTTP listener on addr.
 func serveStatz(addr string, store *powerdrill.Store) error {
 	mux := http.NewServeMux()
 	mux.Handle("/statz", statzHandler(store))
+	mux.Handle("/ingest", ingestHandler(store))
 	return http.ListenAndServe(addr, mux)
 }
 

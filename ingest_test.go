@@ -1,0 +1,135 @@
+package powerdrill
+
+import (
+	"fmt"
+	"testing"
+)
+
+// ingestOptions are small-scale settings that force several seals.
+func ingestOptions() Options {
+	return Options{
+		PartitionFields:          []string{"country", "table_name"},
+		MaxChunkRows:             500,
+		OptimizeElements:         true,
+		Reorder:                  true,
+		IngestSealRows:           600,
+		IngestCompactMinSegments: 100, // manual compaction only
+	}
+}
+
+// TestPublicAPIAppend drives the public streaming path end to end: build
+// and save a base store, reopen it lazily, append the rest of the stream,
+// and check every answer matches a one-shot Build of the full table —
+// including after a compaction and a fresh Open (which must auto-attach
+// the generations).
+func TestPublicAPIAppend(t *testing.T) {
+	const baseRows, fullRows = 2000, 4000
+	full := GenerateQueryLogs(fullRows, 7)
+	base := tableSlice(full, 0, baseRows)
+
+	dir := t.TempDir()
+	built, err := Build(base, ingestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := built.Save(dir, "zippy"); err != nil {
+		t.Fatal(err)
+	}
+	store, _, err := Open(dir, ingestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Appending to a Build store must fail with a clear error.
+	if err := built.Append(base); err == nil {
+		t.Fatal("Append on an in-memory store must fail")
+	}
+
+	// Stream the second half in batches.
+	for start := baseRows; start < fullRows; start += 250 {
+		if err := store.Append(tableSlice(full, start, 250)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if store.NumRows() != fullRows {
+		t.Fatalf("NumRows = %d, want %d", store.NumRows(), fullRows)
+	}
+
+	// Reference: one-shot import of the identical full table.
+	oracle, err := Build(full, ingestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		`SELECT country, COUNT(*) AS c FROM data GROUP BY country ORDER BY country;`,
+		`SELECT table_name, MIN(latency) AS lo, MAX(latency) AS hi, COUNT(*) AS c FROM data GROUP BY table_name ORDER BY table_name;`,
+		`SELECT country, COUNT(*) AS c FROM data WHERE latency > 500 GROUP BY country ORDER BY country;`,
+		`SELECT user, latency FROM data WHERE country = "US" ORDER BY latency DESC, user LIMIT 25;`,
+	}
+	checkOracle := func(stage string) {
+		t.Helper()
+		for _, q := range queries {
+			want, err := oracle.Query(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := store.Query(q)
+			if err != nil {
+				t.Fatalf("%s: %v", stage, err)
+			}
+			if fmt.Sprint(got.Rows) != fmt.Sprint(want.Rows) {
+				t.Fatalf("%s: %s\ngot  %v\nwant %v", stage, q, got.Rows, want.Rows)
+			}
+			if got.Stats.RowsTotal != int64(fullRows) {
+				t.Fatalf("%s: RowsTotal = %d, want %d", stage, got.Stats.RowsTotal, fullRows)
+			}
+		}
+	}
+	checkOracle("streamed")
+
+	if err := store.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st, ok := store.IngestStats()
+	if !ok || st.Segments < 2 || st.Seals < 2 {
+		t.Fatalf("ingest stats = %+v ok=%v, want ≥2 sealed segments", st, ok)
+	}
+	cst, err := store.CompactNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cst.Merged != st.Segments {
+		t.Fatalf("compaction merged %d of %d segments", cst.Merged, st.Segments)
+	}
+	after, _ := store.IngestStats()
+	if after.Segments != 1 {
+		t.Fatalf("segments after compaction = %d", after.Segments)
+	}
+	checkOracle("compacted")
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh Open must auto-attach and still agree with the oracle.
+	store, _, err = Open(dir, ingestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if store.NumRows() != fullRows {
+		t.Fatalf("reopened NumRows = %d, want %d", store.NumRows(), fullRows)
+	}
+	if _, ok := store.IngestStats(); !ok {
+		t.Fatal("reopen did not attach the append path")
+	}
+	checkOracle("reopened")
+}
+
+// tableSlice copies rows [start, start+n) of src into a fresh table.
+func tableSlice(src *Table, start, n int) *Table {
+	rows := make([]int, n)
+	for i := range rows {
+		rows[i] = start + i
+	}
+	return src.Select(rows)
+}

@@ -43,6 +43,14 @@ type Resizer interface {
 	SetCapacity(capacity int64)
 }
 
+// KeyLister is implemented by policies that can enumerate their resident
+// keys — a pure peek, like Contains, with no recency or counter effects.
+// The memory manager uses it to drop a whole key namespace at once when a
+// store generation is retired (ingest compaction).
+type KeyLister interface {
+	Keys() []string
+}
+
 // EvictionNotifier is implemented by policies that can report budget
 // evictions. The callback fires synchronously inside the mutating call
 // (Put, Get or SetCapacity) for every entry the policy displaces to satisfy

@@ -299,3 +299,36 @@ func BenchmarkPutChurn(b *testing.B) {
 		})
 	}
 }
+
+func TestKeysEnumeratesEveryPolicy(t *testing.T) {
+	for _, c := range policies(1000) {
+		t.Run(c.Name(), func(t *testing.T) {
+			c.Put("ns1/a", 1, 100)
+			c.Put("ns1/b", 2, 100)
+			c.Put("ns2/a", 3, 100)
+			keys := c.(KeyLister).Keys()
+			if len(keys) != 3 {
+				t.Fatalf("Keys() = %v, want 3 entries", keys)
+			}
+			seen := map[string]bool{}
+			for _, k := range keys {
+				seen[k] = true
+			}
+			for _, want := range []string{"ns1/a", "ns1/b", "ns2/a"} {
+				if !seen[want] {
+					t.Errorf("Keys() missing %q: %v", want, keys)
+				}
+			}
+			c.Remove("ns1/b")
+			if got := len(c.(KeyLister).Keys()); got != 2 {
+				t.Errorf("Keys() after Remove = %d entries, want 2", got)
+			}
+		})
+	}
+	// The synchronized wrapper forwards Keys.
+	s := NewSynchronized(NewLRU(1000))
+	s.Put("x", 1, 10)
+	if keys := s.Keys(); len(keys) != 1 || keys[0] != "x" {
+		t.Errorf("Synchronized Keys() = %v", keys)
+	}
+}

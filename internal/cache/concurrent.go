@@ -23,6 +23,13 @@ func NewSynchronized(inner Cache) *Synchronized {
 	return &Synchronized{inner: inner}
 }
 
+// Keys implements KeyLister.
+func (s *Synchronized) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.(KeyLister).Keys()
+}
+
 // Contains implements Cache.
 func (s *Synchronized) Contains(key string) bool {
 	s.mu.Lock()

@@ -31,6 +31,15 @@ func (c *LRU) SetCapacity(capacity int64) {
 // OnEvict implements EvictionNotifier.
 func (c *LRU) OnEvict(fn func(key string, value any, size int64)) { c.onEvict = fn }
 
+// Keys implements KeyLister: a peek with no recency or counter effects.
+func (c *LRU) Keys() []string {
+	keys := make([]string, 0, len(c.items))
+	for k := range c.items {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
 // Contains implements Cache: a peek with no recency or counter effects.
 func (c *LRU) Contains(key string) bool {
 	_, ok := c.items[key]

@@ -51,6 +51,15 @@ func (c *TwoQ) SetCapacity(capacity int64) {
 // OnEvict implements EvictionNotifier.
 func (c *TwoQ) OnEvict(fn func(key string, value any, size int64)) { c.onEvict = fn }
 
+// Keys implements KeyLister: a peek with no recency or counter effects.
+func (c *TwoQ) Keys() []string {
+	keys := make([]string, 0, len(c.items))
+	for k := range c.items {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
 // Contains implements Cache: a peek with no recency or counter effects.
 func (c *TwoQ) Contains(key string) bool {
 	_, ok := c.items[key]

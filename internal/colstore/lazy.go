@@ -486,6 +486,28 @@ func (s *Store) MemManager() *memmgr.Manager {
 	return s.lazy.mgr
 }
 
+// Codec returns the compression codec the persisted store was saved with
+// ("" for uncompressed stores and for fully resident ones). The ingest
+// path uses it to seal write chunks with the same framing as the base
+// store's columns.
+func (s *Store) Codec() string {
+	if s.lazy == nil {
+		return ""
+	}
+	return s.lazy.reader.m.Codec
+}
+
+// CacheNamespace returns the prefix that namespaces this lazy store's
+// entries inside its (possibly shared) memory manager, or "" for fully
+// resident stores. Retiring a superseded store generation drops all its
+// residency at once via memmgr.DropNamespace with this prefix.
+func (s *Store) CacheNamespace() string {
+	if s.lazy == nil {
+		return ""
+	}
+	return s.lazy.ns
+}
+
 // IOStats reports the lazy store's physical I/O counters (file opens, read
 // calls, decompression time); ok is false for fully resident stores.
 func (s *Store) IOStats() (IOStats, bool) {

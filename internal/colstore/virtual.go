@@ -20,19 +20,27 @@ package colstore
 // engine's plan lock already serializes materialization per engine; a
 // materialization race between engines sharing one Store is resolved by
 // adopting the winner's column). Two *processes* (or two Stores opened
-// separately on the same directory) may race on the sidecar manifest; the
-// manifest write is atomic (temp file + rename) and column files are
-// claimed exclusively (O_EXCL, never overwritten), so the store stays
-// readable and live readers' recorded byte ranges stay valid — the losing
-// writer's column is at worst absent after a reopen and gets
-// re-materialized, never corrupted.
+// separately on the same directory) coordinate through the sidecar's
+// generation chain: column files are claimed exclusively (O_EXCL, never
+// overwritten), and the manifest is committed by claiming the next
+// "manifest.gen-NNNNNN.json" exclusively after merging the newest one on
+// disk (see genfile.go). A writer that loses the claim race re-reads,
+// re-merges and retries, so concurrent writers *lose nothing* — every
+// committed column survives — where the pre-generation tmp+rename
+// manifest was last-writer-wins (lose-not-corrupt). Readers take the
+// highest generation that parses; a crashed writer's torn file is skipped
+// and the previous generation stays authoritative. Files orphaned by lost
+// column-file races or superseded generations are reclaimed by
+// GCVirtualSidecar (the ingest compactor calls it).
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"strings"
 	"syscall"
 
 	"powerdrill/internal/value"
@@ -41,9 +49,20 @@ import (
 const (
 	// virtualSubdir is the sidecar directory inside a persisted store.
 	virtualSubdir = "virtual"
-	// virtualManifestName is the sidecar manifest inside virtualSubdir.
+	// virtualManifestName is the legacy single-file sidecar manifest inside
+	// virtualSubdir, read (never written) for stores persisted before the
+	// generation chain.
 	virtualManifestName = "manifest.json"
+	// virtualGenPrefix/virtualGenSuffix frame the generation-chain
+	// manifests: virtualGenPrefix + NNNNNN + virtualGenSuffix.
+	virtualGenPrefix = "manifest.gen-"
+	virtualGenSuffix = ".json"
 )
+
+// virtualGenName names the sidecar manifest of generation gen.
+func virtualGenName(gen int) string {
+	return fmt.Sprintf("%s%06d%s", virtualGenPrefix, gen, virtualGenSuffix)
+}
 
 // virtualSidecar is the JSON header of the virtual/ sidecar. Format and
 // Codec mirror the parent manifest: sidecar column files use exactly the
@@ -54,15 +73,50 @@ type virtualSidecar struct {
 	Format  int           `json:"format,omitempty"`
 	Codec   string        `json:"codec,omitempty"`
 	Columns []manifestCol `json:"columns"`
+	// Gen is the manifest's position in the generation chain; derived from
+	// the file name on read, 0 for a legacy manifest.json.
+	Gen int `json:"gen,omitempty"`
 }
 
-// readVirtualSidecar loads dir's sidecar manifest; a missing sidecar is
-// not an error (nil, nil), and neither is an unreadable sidecar *path*
-// (e.g. a stray file where the directory should be — persisting into it
-// will fail and fall back, but the store itself must open).
+// readVirtualSidecar loads dir's newest sidecar manifest: the
+// highest-numbered manifest.gen-*.json that parses, falling back to the
+// legacy manifest.json of pre-generation stores. A missing sidecar is not
+// an error (nil, nil), and neither is an unreadable sidecar *path* (e.g. a
+// stray file where the directory should be — persisting into it will fail
+// and fall back, but the store itself must open). A generation file that
+// fails to read or parse is skipped — that is a crashed or in-flight
+// writer's torn claim, and the previous generation stays authoritative.
 func readVirtualSidecar(dir string) (*virtualSidecar, error) {
-	blob, err := os.ReadFile(filepath.Join(dir, virtualSubdir, virtualManifestName))
+	vdir := filepath.Join(dir, virtualSubdir)
+	entries, err := os.ReadDir(vdir)
 	if errors.Is(err, os.ErrNotExist) || errors.Is(err, syscall.ENOTDIR) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("colstore: open virtual sidecar: %w", err)
+	}
+	var best *virtualSidecar
+	for _, ent := range entries {
+		gen, ok := ParseGenSeq(ent.Name(), virtualGenPrefix, virtualGenSuffix)
+		if !ok || (best != nil && gen <= best.Gen) {
+			continue
+		}
+		blob, err := os.ReadFile(filepath.Join(vdir, ent.Name()))
+		if err != nil {
+			continue
+		}
+		var vm virtualSidecar
+		if json.Unmarshal(blob, &vm) != nil {
+			continue
+		}
+		vm.Gen = gen
+		best = &vm
+	}
+	if best != nil {
+		return best, nil
+	}
+	blob, err := os.ReadFile(filepath.Join(vdir, virtualManifestName))
+	if errors.Is(err, os.ErrNotExist) {
 		return nil, nil
 	}
 	if err != nil {
@@ -77,8 +131,8 @@ func readVirtualSidecar(dir string) (*virtualSidecar, error) {
 
 // persistVirtualLocked writes one freshly built virtual column into the
 // store's virtual/ sidecar: the column file in the parent store's framing,
-// then the sidecar manifest (atomically, temp + rename). The caller holds
-// lazySource.persistMu.
+// then a new generation of the sidecar manifest (read-merge-claim; see the
+// file comment). The caller holds lazySource.persistMu.
 func (s *Store) persistVirtualLocked(col *Column) (manifestCol, error) {
 	src := s.lazy
 	r := src.reader
@@ -127,25 +181,126 @@ func (s *Store) persistVirtualLocked(col *Column) (manifestCol, error) {
 		}
 		break
 	}
-	src.mu.RLock()
-	cols := append(append([]manifestCol(nil), src.sidecar...), mc)
-	src.mu.RUnlock()
-	blob, err := json.MarshalIndent(&virtualSidecar{Format: r.m.Format, Codec: r.m.Codec, Columns: cols}, "", "  ")
-	if err != nil {
-		return mc, fmt.Errorf("colstore: persist virtual column %q: %w", col.Name, err)
-	}
-	path := filepath.Join(r.dir, virtualSubdir, virtualManifestName)
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
-		return mc, fmt.Errorf("colstore: persist virtual column %q: %w", col.Name, err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		return mc, fmt.Errorf("colstore: persist virtual column %q: %w", col.Name, err)
+	// Commit through the generation chain: re-read the newest manifest on
+	// disk (it may carry columns other processes persisted since this
+	// store last looked), merge this column in, and claim the next
+	// generation number. Losing the claim means another writer committed
+	// concurrently — re-read and retry, so every committed column
+	// survives. If the merged manifest already names this column (the same
+	// expression materialized by another process), the on-disk entry wins:
+	// the data is identical by construction (deterministic materialization
+	// over immutable rows), our file is merely orphaned for GC, and the
+	// caller still registers the in-memory copy it just built.
+	var cols []manifestCol
+	for {
+		cur, err := readVirtualSidecar(r.dir)
+		if err != nil {
+			return mc, fmt.Errorf("colstore: persist virtual column %q: %w", col.Name, err)
+		}
+		gen := 0
+		cols = cols[:0]
+		if cur != nil {
+			gen = cur.Gen
+			if cur.Codec == r.m.Codec && cur.Format == r.m.Format {
+				cols = append(cols, cur.Columns...)
+			}
+			// A stale-framing sidecar (store re-saved in place with another
+			// codec) contributes no columns but keeps the chain moving.
+		}
+		dup := false
+		for _, existing := range cols {
+			if existing.Name == mc.Name {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			cols = append(cols, mc)
+		}
+		blob, err := json.MarshalIndent(&virtualSidecar{Format: r.m.Format, Codec: r.m.Codec, Columns: cols, Gen: gen + 1}, "", "  ")
+		if err != nil {
+			return mc, fmt.Errorf("colstore: persist virtual column %q: %w", col.Name, err)
+		}
+		err = ClaimFileExclusive(filepath.Join(r.dir, virtualSubdir, virtualGenName(gen+1)), blob)
+		if errors.Is(err, fs.ErrExist) {
+			continue
+		}
+		if err != nil {
+			return mc, fmt.Errorf("colstore: persist virtual column %q: %w", col.Name, err)
+		}
+		break
 	}
 	src.mu.Lock()
 	src.sidecar = cols
 	src.mu.Unlock()
 	return mc, nil
+}
+
+// GCVirtualSidecar removes sidecar files nothing references anymore:
+// column files orphaned by lost persist races or by in-place re-saves,
+// generation manifests superseded by a newer one, and stale temp files.
+// Files referenced by the newest generation manifest or by the legacy
+// manifest.json (still read by pre-generation binaries) are kept.
+// Best-effort by design: individual removal errors are ignored, and a
+// *cross-process* materializer racing the GC can lose a column file it has
+// written but not yet committed — costing that process one
+// re-materialization, never corruption. The ingest compactor calls this to
+// reap dead one-off virtual columns; returns files removed and bytes
+// reclaimed. A no-op on fully resident stores.
+func (s *Store) GCVirtualSidecar() (files int, bytes int64) {
+	if s.lazy == nil {
+		return 0, 0
+	}
+	src := s.lazy
+	src.persistMu.Lock()
+	defer src.persistMu.Unlock()
+	dir := src.reader.dir
+	vdir := filepath.Join(dir, virtualSubdir)
+	entries, err := os.ReadDir(vdir)
+	if err != nil {
+		return 0, 0
+	}
+	keep := make(map[string]bool, 8)
+	newestGen := -1
+	if cur, err := readVirtualSidecar(dir); err == nil && cur != nil {
+		newestGen = cur.Gen
+		for _, mc := range cur.Columns {
+			keep[filepath.Base(mc.File)] = true
+		}
+	}
+	if blob, err := os.ReadFile(filepath.Join(vdir, virtualManifestName)); err == nil {
+		var legacy virtualSidecar
+		if json.Unmarshal(blob, &legacy) == nil {
+			for _, mc := range legacy.Columns {
+				keep[filepath.Base(mc.File)] = true
+			}
+		}
+	}
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || name == virtualManifestName {
+			continue
+		}
+		var remove bool
+		if gen, ok := ParseGenSeq(name, virtualGenPrefix, virtualGenSuffix); ok {
+			remove = gen < newestGen
+		} else if strings.HasSuffix(name, ".tmp") {
+			remove = true
+		} else {
+			remove = !keep[name]
+		}
+		if !remove {
+			continue
+		}
+		info, ierr := ent.Info()
+		if os.Remove(filepath.Join(vdir, name)) == nil {
+			files++
+			if ierr == nil {
+				bytes += info.Size()
+			}
+		}
+	}
+	return files, bytes
 }
 
 // registerSidecarColumn publishes a sidecar column's metadata so the store

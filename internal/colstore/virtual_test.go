@@ -1,7 +1,6 @@
 package colstore
 
 import (
-	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -39,18 +38,17 @@ func materializeUpper(t *testing.T, s *Store, name string) *Column {
 	return materializeSuffix(t, s, name, "!")
 }
 
-// sidecarManifest reads the virtual sidecar's manifest of dir.
+// sidecarManifest reads the virtual sidecar's newest manifest of dir.
 func sidecarManifest(t *testing.T, dir string) *virtualSidecar {
 	t.Helper()
-	blob, err := os.ReadFile(filepath.Join(dir, virtualSubdir, virtualManifestName))
+	vm, err := readVirtualSidecar(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var vm virtualSidecar
-	if err := json.Unmarshal(blob, &vm); err != nil {
-		t.Fatal(err)
+	if vm == nil {
+		t.Fatalf("no virtual sidecar manifest in %s", dir)
 	}
-	return &vm
+	return vm
 }
 
 // TestVirtualSidecarPersistReopen pins the tentpole round trip: a virtual
@@ -407,5 +405,94 @@ func TestVirtualReuseAfterClose(t *testing.T) {
 	}
 	if !built.ValueAt(0, 0).Equal(got.ValueAt(0, 0)) {
 		t.Fatal("value mismatch after Close")
+	}
+}
+
+// TestVirtualSidecarLoseNothingAcrossHandles is the cross-writer story:
+// two store handles on the same directory (two processes in real life)
+// each materialize a different virtual column. Under the old
+// single-manifest sidecar the second persist overwrote the first
+// (last-writer-wins); the generation chain makes each persist read the
+// newest generation, merge, and claim the next — both columns survive.
+func TestVirtualSidecarLoseNothingAcrossHandles(t *testing.T) {
+	_, dir := buildSavedStore(t, 3000, "zippy")
+	s1, _, err := OpenLazy(dir, memmgr.New(0, "2q"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _, err := OpenLazy(dir, memmgr.New(0, "2q"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Neither handle knows about the other's materialization.
+	materializeSuffix(t, s1, "va", "_a")
+	materializeSuffix(t, s2, "vb", "_b")
+
+	vm := sidecarManifest(t, dir)
+	if len(vm.Columns) != 2 {
+		t.Fatalf("newest sidecar generation lists %d columns, want both: %+v", len(vm.Columns), vm.Columns)
+	}
+	if vm.Gen < 2 {
+		t.Fatalf("generation chain did not advance: gen %d", vm.Gen)
+	}
+
+	// A third handle sees both, bit-for-bit.
+	s3, _, err := OpenLazy(dir, memmgr.New(0, "2q"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, suffix := range map[string]string{"va": "_a", "vb": "_b"} {
+		col, err := s3.ColumnErr(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		src, err := s3.ColumnErr("country")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ci := 0; ci < s3.NumChunks(); ci++ {
+			for r := 0; r < s3.ChunkRows(ci); r++ {
+				want := src.ValueAt(ci, r).Str() + suffix
+				if got := col.ValueAt(ci, r).Str(); got != want {
+					t.Fatalf("%s chunk %d row %d = %q, want %q", name, ci, r, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestGCVirtualSidecar: superseded generation manifests and unreferenced
+// column files are collected; the live generation's files survive.
+func TestGCVirtualSidecar(t *testing.T) {
+	_, dir := buildSavedStore(t, 3000, "")
+	s, _, err := OpenLazy(dir, memmgr.New(0, "2q"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	materializeSuffix(t, s, "va", "_a")
+	materializeSuffix(t, s, "vb", "_b") // advances the chain: gen 1 is now dead
+	// Plant an orphan column file, as a crashed materialization would.
+	if err := os.WriteFile(filepath.Join(dir, virtualSubdir, "vcol_9999.bin"), []byte("orphan"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	files, bytes := s.GCVirtualSidecar()
+	if files < 2 || bytes <= 0 {
+		t.Fatalf("GC removed %d files / %d bytes, want ≥2 files (dead gen + orphan)", files, bytes)
+	}
+	// Live state intact.
+	vm := sidecarManifest(t, dir)
+	if len(vm.Columns) != 2 {
+		t.Fatalf("GC damaged the live generation: %+v", vm.Columns)
+	}
+	reopened, _, err := OpenLazy(dir, memmgr.New(0, "2q"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reopened.HasColumn("va") || !reopened.HasColumn("vb") {
+		t.Fatal("GC lost a live virtual column")
+	}
+	// Idempotent: nothing left to collect.
+	if files, _ := s.GCVirtualSidecar(); files != 0 {
+		t.Fatalf("second GC removed %d files, want 0", files)
 	}
 }

@@ -1,0 +1,141 @@
+package dict
+
+// Append is the mutable dictionary behind the ingest write chunk: rows
+// arriving through the append path are dictionary-encoded immediately —
+// each distinct value stored once, each row reduced to a uint32 id — so
+// the write buffer's footprint tracks distinct values, not rows, exactly
+// like a sealed column's.
+//
+// Unlike the Dict implementations, ids are assigned in *arrival* order,
+// because keeping the sorted order of a global dictionary under appends
+// would renumber every existing id on insert. The sorted, rank-ordered
+// global dictionary the query engine needs is rebuilt when the chunk is
+// frozen or sealed (colstore.FromTable re-encodes), so Append never has to
+// answer FindGE and deliberately does not implement Dict.
+//
+// Concurrency: none built in. The write chunk guards each Append with its
+// own mutex and snapshots value prefixes under that lock.
+
+import (
+	"fmt"
+
+	"powerdrill/internal/value"
+)
+
+// Append maps values of one kind to dense arrival-order ids and back.
+type Append struct {
+	kind value.Kind
+
+	strs   []string
+	strIdx map[string]uint32
+
+	ints   []int64
+	intIdx map[int64]uint32
+
+	flts   []float64
+	fltIdx map[float64]uint32
+
+	// bytes tracks the payload footprint (string bytes; numeric values are
+	// counted as 8 bytes each via the slices' lengths in MemoryBytes).
+	strBytes int64
+}
+
+// NewAppend creates an empty arrival-order dictionary for the given kind.
+func NewAppend(kind value.Kind) *Append {
+	a := &Append{kind: kind}
+	switch kind {
+	case value.KindString:
+		a.strIdx = make(map[string]uint32, 64)
+	case value.KindInt64:
+		a.intIdx = make(map[int64]uint32, 64)
+	case value.KindFloat64:
+		a.fltIdx = make(map[float64]uint32, 64)
+	default:
+		panic(fmt.Sprintf("dict: NewAppend with invalid kind %v", kind))
+	}
+	return a
+}
+
+// Kind reports the value kind the dictionary stores.
+func (a *Append) Kind() value.Kind { return a.kind }
+
+// Len returns the number of distinct values seen so far.
+func (a *Append) Len() int {
+	switch a.kind {
+	case value.KindString:
+		return len(a.strs)
+	case value.KindInt64:
+		return len(a.ints)
+	}
+	return len(a.flts)
+}
+
+// AddString returns s's id, assigning the next one on first sight.
+func (a *Append) AddString(s string) uint32 {
+	if id, ok := a.strIdx[s]; ok {
+		return id
+	}
+	id := uint32(len(a.strs))
+	a.strs = append(a.strs, s)
+	a.strIdx[s] = id
+	a.strBytes += int64(len(s))
+	return id
+}
+
+// AddInt64 returns v's id, assigning the next one on first sight.
+func (a *Append) AddInt64(v int64) uint32 {
+	if id, ok := a.intIdx[v]; ok {
+		return id
+	}
+	id := uint32(len(a.ints))
+	a.ints = append(a.ints, v)
+	a.intIdx[v] = id
+	return id
+}
+
+// AddFloat64 returns v's id, assigning the next one on first sight.
+func (a *Append) AddFloat64(v float64) uint32 {
+	if id, ok := a.fltIdx[v]; ok {
+		return id
+	}
+	id := uint32(len(a.flts))
+	a.flts = append(a.flts, v)
+	a.fltIdx[v] = id
+	return id
+}
+
+// Value returns the value with the given arrival-order id.
+func (a *Append) Value(id uint32) value.Value {
+	switch a.kind {
+	case value.KindString:
+		return value.String(a.strs[id])
+	case value.KindInt64:
+		return value.Int64(a.ints[id])
+	}
+	return value.Float64(a.flts[id])
+}
+
+// Strings returns the backing value slice in id order. The slice is the
+// dictionary's own storage: callers must copy what they keep and must not
+// mutate it.
+func (a *Append) Strings() []string { return a.strs }
+
+// Int64s returns the backing value slice in id order (see Strings).
+func (a *Append) Int64s() []int64 { return a.ints }
+
+// Float64s returns the backing value slice in id order (see Strings).
+func (a *Append) Float64s() []float64 { return a.flts }
+
+// MemoryBytes returns the approximate in-memory footprint: value payloads
+// plus the id-assignment index.
+func (a *Append) MemoryBytes() int64 {
+	switch a.kind {
+	case value.KindString:
+		// Each distinct string is stored twice (slice + map key): payload
+		// twice, plus a string header and a map slot per entry.
+		return 2*a.strBytes + int64(len(a.strs))*(16+24)
+	case value.KindInt64:
+		return int64(len(a.ints)) * (8 + 16)
+	}
+	return int64(len(a.flts)) * (8 + 16)
+}

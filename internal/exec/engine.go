@@ -212,6 +212,11 @@ func New(store *colstore.Store, opts Options) *Engine {
 // Store returns the engine's store.
 func (e *Engine) Store() *colstore.Store { return e.store }
 
+// Gate returns the engine's admission gate, so satellite engines (ingest
+// generations, cluster leaves) can share one process-wide worker budget
+// instead of multiplying it.
+func (e *Engine) Gate() *Gate { return e.gate }
+
 // Stats returns the cumulative counters.
 func (e *Engine) Stats() Stats {
 	e.statsMu.Lock()

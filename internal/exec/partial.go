@@ -336,6 +336,13 @@ func partialItemSpecs(stmt *sql.SelectStmt) ([]*partialItemSpec, []int, error) {
 	return specs, keyIdx, nil
 }
 
+// ApplyOrderLimit applies stmt's ORDER BY and LIMIT to an assembled
+// result — the root step of any multi-part row-scan merge. Ingest
+// snapshots use it after concatenating per-generation scans (each run
+// with the LIMIT stripped), mirroring what FinalizePartial does for
+// aggregates.
+func ApplyOrderLimit(stmt *sql.SelectStmt, res *Result) { sortPartialRows(stmt, res) }
+
 // sortPartialRows applies ORDER BY and LIMIT at the root.
 func sortPartialRows(stmt *sql.SelectStmt, res *Result) {
 	if len(stmt.OrderBy) > 0 {

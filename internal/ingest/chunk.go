@@ -1,0 +1,210 @@
+package ingest
+
+import (
+	"sync"
+
+	"powerdrill/internal/colstore"
+	"powerdrill/internal/dict"
+	"powerdrill/internal/exec"
+	"powerdrill/internal/table"
+	"powerdrill/internal/value"
+)
+
+// writeChunk is the in-memory buffer rows append into: one arrival-order
+// dictionary (dict.Append) plus a uint32 id per row and column, so the
+// buffer is dictionary-encoded from the first row — its footprint tracks
+// distinct values plus 4 bytes a cell, not raw strings.
+//
+// Lock order: Writer.mu may be held while taking mu (seal marks the chunk
+// sealed inside the writer's critical section); mu is never held while
+// taking Writer.mu.
+type writeChunk struct {
+	mu     sync.Mutex
+	cols   []wcCol
+	rows   int
+	sealed bool
+
+	// frozen caches the latest frozen prefix view; snapshots taken at the
+	// same row count (the common case between appends) share one build.
+	frozenMu   sync.Mutex
+	frozenRows int
+	frozen     *frozenView
+}
+
+// wcCol is one column of the write buffer.
+type wcCol struct {
+	meta colstore.ColumnMeta
+	dict *dict.Append
+	ids  []uint32
+}
+
+// frozenView is an immutable queryable build of a write-chunk prefix: a
+// fully resident colstore constructed with the base store's import
+// options, plus an engine sharing the writer's admission gate.
+type frozenView struct {
+	rows  int
+	store *colstore.Store
+	eng   *exec.Engine
+}
+
+func newWriteChunk(schema []colstore.ColumnMeta) *writeChunk {
+	wc := &writeChunk{cols: make([]wcCol, len(schema))}
+	for i, m := range schema {
+		wc.cols[i] = wcCol{meta: m, dict: dict.NewAppend(m.Kind)}
+	}
+	return wc
+}
+
+// append encodes tbl's rows into the buffer. ok is false when the chunk
+// was sealed before the lock was acquired — the caller retries against
+// the writer's fresh chunk. The whole batch lands in one critical
+// section, so a snapshot cut never splits a batch.
+func (c *writeChunk) append(tbl *table.Table) (rows int, ok bool) {
+	n := tbl.NumRows()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sealed {
+		return 0, false
+	}
+	for i := range c.cols {
+		wc := &c.cols[i]
+		src := tbl.Column(wc.meta.Name)
+		switch wc.meta.Kind {
+		case value.KindString:
+			for _, s := range src.Strs {
+				wc.ids = append(wc.ids, wc.dict.AddString(s))
+			}
+		case value.KindInt64:
+			for _, v := range src.Ints {
+				wc.ids = append(wc.ids, wc.dict.AddInt64(v))
+			}
+		default:
+			for _, v := range src.Floats {
+				wc.ids = append(wc.ids, wc.dict.AddFloat64(v))
+			}
+		}
+	}
+	c.rows += n
+	return c.rows, true
+}
+
+// markSealed finalizes the row count; every later append retries against
+// the writer's replacement chunk. Called with Writer.mu held, which is
+// what makes "sealed chunks are complete" visible to snapshots: a chunk
+// observed on the sealing list was marked sealed in an earlier Writer.mu
+// critical section, so its row count can no longer move.
+func (c *writeChunk) markSealed() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sealed = true
+	return c.rows
+}
+
+// curRows returns the current row count — a snapshot's cut point for the
+// live buffer.
+func (c *writeChunk) curRows() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rows
+}
+
+// memoryBytes approximates the buffer's resident footprint.
+func (c *writeChunk) memoryBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var total int64
+	for i := range c.cols {
+		total += c.cols[i].dict.MemoryBytes() + int64(len(c.cols[i].ids))*4
+	}
+	return total
+}
+
+// prefix captures an immutable view of the first n rows: the id slices
+// and dictionary value slices are snapshotted by header under the lock.
+// Appends only ever grow them (prefix elements are never rewritten, and a
+// reallocating append leaves the old array behind untouched), so the
+// captured views stay valid and race-free after the lock is dropped.
+type chunkPrefix struct {
+	cols []prefixCol
+	rows int
+}
+
+type prefixCol struct {
+	meta colstore.ColumnMeta
+	ids  []uint32
+	strs []string
+	ints []int64
+	flts []float64
+}
+
+func (c *writeChunk) prefix(n int) chunkPrefix {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := chunkPrefix{rows: n, cols: make([]prefixCol, len(c.cols))}
+	for i := range c.cols {
+		wc := &c.cols[i]
+		pc := prefixCol{meta: wc.meta, ids: wc.ids[:n]}
+		switch wc.meta.Kind {
+		case value.KindString:
+			pc.strs = wc.dict.Strings()
+		case value.KindInt64:
+			pc.ints = wc.dict.Int64s()
+		default:
+			pc.flts = wc.dict.Float64s()
+		}
+		p.cols[i] = pc
+	}
+	return p
+}
+
+// toTable decodes the prefix back into a raw table — the input the
+// ordinary import pipeline (colstore.FromTable) expects.
+func (p chunkPrefix) toTable(name string) *table.Table {
+	tbl := table.New(name)
+	for _, pc := range p.cols {
+		switch pc.meta.Kind {
+		case value.KindString:
+			vals := make([]string, p.rows)
+			for i, id := range pc.ids {
+				vals[i] = pc.strs[id]
+			}
+			tbl.AddStringColumn(pc.meta.Name, vals)
+		case value.KindInt64:
+			vals := make([]int64, p.rows)
+			for i, id := range pc.ids {
+				vals[i] = pc.ints[id]
+			}
+			tbl.AddInt64Column(pc.meta.Name, vals)
+		default:
+			vals := make([]float64, p.rows)
+			for i, id := range pc.ids {
+				vals[i] = pc.flts[id]
+			}
+			tbl.AddFloat64Column(pc.meta.Name, vals)
+		}
+	}
+	return tbl
+}
+
+// freezeAt returns a queryable view of exactly the first n rows, building
+// it with the writer's import options so the view partitions, reorders
+// and dictionary-encodes identically to a sealed segment of the same
+// rows. Views are cached per row count: repeated snapshots between
+// appends share one build.
+func (c *writeChunk) freezeAt(n int, w *Writer) (*frozenView, error) {
+	if n == 0 {
+		return nil, nil
+	}
+	c.frozenMu.Lock()
+	defer c.frozenMu.Unlock()
+	if c.frozen != nil && c.frozenRows == n {
+		return c.frozen, nil
+	}
+	cs, err := colstore.FromTable(c.prefix(n).toTable("mem"), w.base.Opts)
+	if err != nil {
+		return nil, err
+	}
+	fv := &frozenView{rows: n, store: cs, eng: exec.New(cs, w.unitEngineOpts())}
+	c.frozen, c.frozenRows = fv, n
+	return fv, nil
+}

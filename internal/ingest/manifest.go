@@ -1,0 +1,177 @@
+// Package ingest is the streaming append path: rows arrive through a
+// Writer, buffer in a dictionary-encoded in-memory write chunk, and are
+// sealed into immutable on-disk *segments* committed through a chain of
+// numbered generation manifests. A query pins one generation (plus the
+// sealed-but-uncommitted chunks and a frozen prefix of the write buffer)
+// and sees a bit-for-bit consistent cut of the append stream while
+// appends, seals and compactions continue underneath it.
+//
+// The paper's system assumes data is imported in bulk (Section 2.2); this
+// package grows that pipeline into an LSM-shaped ingestion path that
+// reuses it wholesale: every sealed segment is a full colstore built by
+// the same FromTable import (same partitioning, reordering and dictionary
+// options as the base store) and saved in the same v3 on-disk format, so
+// the lazy reader, memory budget and chunk-skipping machinery apply to
+// appended data unchanged.
+//
+// Durability protocol. A store directory with appends holds
+//
+//	<dir>/MANIFEST.gen-000007.json   the newest generation manifest
+//	<dir>/segs/seg-000012/...        one colstore per sealed segment
+//
+// next to the untouched base manifest. Sealing writes the segment
+// directory first, then commits by claiming the *next* generation file
+// exclusively (colstore.ClaimFileExclusive); readers take the highest
+// generation that parses. A crash between the two leaves an orphan
+// segment directory and no manifest — the previous generation stays
+// authoritative and the orphan is garbage-collected on the next Attach.
+// Readers that predate this package ignore MANIFEST.gen-* files entirely
+// and keep seeing the base store.
+package ingest
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"powerdrill/internal/colstore"
+)
+
+// Generation manifests live at the store root so HasGenerations can
+// decide with one directory listing; segment directories live under segs/.
+const (
+	genPrefix  = "MANIFEST.gen-"
+	genSuffix  = ".json"
+	segsSubdir = "segs"
+)
+
+// genName renders the manifest file name of a generation.
+func genName(gen int) string {
+	return fmt.Sprintf("%s%06d%s", genPrefix, gen, genSuffix)
+}
+
+// segRel renders the store-relative directory of a segment.
+func segRel(seq int) string {
+	return filepath.Join(segsSubdir, fmt.Sprintf("seg-%06d", seq))
+}
+
+// genSegment is one sealed segment as recorded in a generation manifest.
+type genSegment struct {
+	// Dir is the segment's directory relative to the store root.
+	Dir string `json:"dir"`
+	// Rows is the segment's row count (recorded so reopen and stats do
+	// not need to open the segment to know its size).
+	Rows int `json:"rows"`
+}
+
+// genManifest is one committed generation: the complete list of live
+// segments. Each seal or compaction writes a whole new manifest rather
+// than editing the previous one, so a generation is immutable once its
+// file exists and a reader holding it never sees the segment list change.
+type genManifest struct {
+	Gen int `json:"gen"`
+	// NextSeg is the next unused segment sequence number. It only grows,
+	// even across compactions that shrink the segment list, so a retired
+	// segment's directory name is never reused while a snapshot might
+	// still hold it.
+	NextSeg  int          `json:"next_seg"`
+	Segments []genSegment `json:"segments"`
+}
+
+// HasGenerations reports whether dir carries ingest generations — i.e.
+// whether a store was ever appended to. Used by the public Open to decide
+// to attach a Writer; errors read as "no".
+func HasGenerations(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, ent := range entries {
+		if _, ok := colstore.ParseGenSeq(ent.Name(), genPrefix, genSuffix); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// readGenerations scans dir for the newest parseable generation manifest.
+// Unreadable or torn files are skipped (a crashed writer's partial claim
+// must not mask the previous generation). Returns (nil, 0, nil) when the
+// directory has no generations at all.
+func readGenerations(dir string) (*genManifest, int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	var best *genManifest
+	bestGen := -1
+	for _, ent := range entries {
+		gen, ok := colstore.ParseGenSeq(ent.Name(), genPrefix, genSuffix)
+		if !ok || gen <= bestGen {
+			continue
+		}
+		blob, err := os.ReadFile(filepath.Join(dir, ent.Name()))
+		if err != nil {
+			continue
+		}
+		var m genManifest
+		if json.Unmarshal(blob, &m) != nil || m.Gen != gen {
+			continue
+		}
+		best, bestGen = &m, gen
+	}
+	if best == nil {
+		return nil, 0, nil
+	}
+	return best, bestGen, nil
+}
+
+// commitGeneration claims gen's manifest file exclusively. fs.ErrExist
+// means another writer committed this generation first — with the
+// single-writer-per-directory contract that is a usage error, surfaced
+// rather than merged.
+func commitGeneration(dir string, m *genManifest) error {
+	blob, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return colstore.ClaimFileExclusive(filepath.Join(dir, genName(m.Gen)), blob)
+}
+
+// gcGenerations removes superseded generation manifests (gen < keep) and
+// orphan segment directories not referenced by the keep manifest — the
+// leftovers of a writer that crashed between writing a segment and
+// committing it, or of retirements whose removal was interrupted. Only
+// called from Attach, before any snapshot exists, so nothing live can
+// reference what it deletes. Removal errors are ignored: garbage that
+// survives is re-collected next time.
+func gcGenerations(dir string, keep *genManifest) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, ent := range entries {
+		name := ent.Name()
+		if gen, ok := colstore.ParseGenSeq(name, genPrefix, genSuffix); ok && gen < keep.Gen {
+			_ = os.Remove(filepath.Join(dir, name))
+		}
+		if strings.HasPrefix(name, genPrefix) && strings.HasSuffix(name, ".tmp") {
+			_ = os.Remove(filepath.Join(dir, name))
+		}
+	}
+	live := make(map[string]bool, len(keep.Segments))
+	for _, seg := range keep.Segments {
+		live[filepath.Base(seg.Dir)] = true
+	}
+	segEntries, err := os.ReadDir(filepath.Join(dir, segsSubdir))
+	if err != nil {
+		return
+	}
+	for _, ent := range segEntries {
+		if !live[ent.Name()] {
+			_ = os.RemoveAll(filepath.Join(dir, segsSubdir, ent.Name()))
+		}
+	}
+}

@@ -1,0 +1,469 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"powerdrill/internal/colstore"
+	"powerdrill/internal/exec"
+	"powerdrill/internal/table"
+)
+
+// Opts configures a Writer.
+type Opts struct {
+	// SealRows is the write-buffer size at which an Append seals the
+	// buffer into an on-disk segment (default: the base store's
+	// MaxChunkRows, so a fresh segment is roughly one chunk).
+	SealRows int
+	// CompactMinSegments is the segment count at which the background
+	// compactor merges all live segments into one (default 4).
+	CompactMinSegments int
+	// Codec overrides the segment compression codec; empty uses the base
+	// store's codec.
+	Codec string
+	// EngineOpts configures the engines of segments and frozen buffer
+	// views. The gate is always replaced by the base engine's, so every
+	// unit shares one process-wide worker budget, and the per-chunk
+	// result cache is disabled (units are small and short-lived).
+	EngineOpts exec.Options
+}
+
+func (o Opts) withDefaults(base *colstore.Store) Opts {
+	if o.SealRows <= 0 {
+		o.SealRows = base.Opts.MaxChunkRows
+		if o.SealRows <= 0 {
+			o.SealRows = 50_000
+		}
+	}
+	if o.CompactMinSegments <= 0 {
+		o.CompactMinSegments = 4
+	}
+	return o
+}
+
+// segment is one sealed, committed, immutable on-disk colstore. refs
+// counts the snapshots holding it; a compaction that supersedes a segment
+// marks it retired, and the last Release destroys it (directory, cache
+// namespace, file handles).
+type segment struct {
+	rel     string
+	dir     string
+	rows    int
+	store   *colstore.Store
+	eng     *exec.Engine
+	refs    int
+	retired bool
+}
+
+// Writer is the append path of one store directory. It assumes a single
+// writer per directory (the generation claim turns a violation into an
+// error rather than lost data, but concurrent writers are not a supported
+// deployment); all methods are safe for concurrent use from any number of
+// goroutines alongside any number of snapshots.
+//
+// Lock order: sealMu → mu → writeChunk.mu. sealMu serializes the two
+// operations that commit generations (seal and compact); mu guards the
+// mutable view state (buffer, sealing list, segments, generation number)
+// and is only ever held briefly.
+type Writer struct {
+	dir     string
+	base    *colstore.Store
+	baseEng *exec.Engine
+	opts    Opts
+	codec   string
+	schema  []colstore.ColumnMeta
+
+	mu      sync.Mutex
+	mem     *writeChunk
+	sealing []*writeChunk
+	segs    []*segment
+	gen     int
+	nextSeg int
+	closed  bool
+	stats   counters
+
+	// sealMu serializes seal and compaction: at most one generation
+	// commit is in flight, so generation numbers advance one at a time
+	// and the segment list only changes under it.
+	sealMu sync.Mutex
+
+	compactCh chan struct{}
+	done      chan struct{}
+	wg        sync.WaitGroup
+
+	// testBeforeCommit runs between writing a segment directory and
+	// claiming its generation manifest — the crash window the durability
+	// protocol is designed around. Tests panic here to simulate a crash.
+	testBeforeCommit func()
+}
+
+// counters are the writer's cumulative statistics (guarded by mu).
+type counters struct {
+	rowsAppended      int64
+	seals             int64
+	compactions       int64
+	segmentsCompacted int64
+	segmentsRetired   int64
+}
+
+// Stats is a point-in-time snapshot of the writer's state and counters.
+type Stats struct {
+	// Gen is the committed generation number (0 before the first seal).
+	Gen int
+	// Segments and SegmentRows describe the live committed segments.
+	Segments    int
+	SegmentRows int64
+	// MemRows counts buffered rows not yet sealed; SealingRows counts
+	// rows sealed but not yet committed; MemBytes is the buffer's
+	// resident footprint (dictionaries plus ids).
+	MemRows     int
+	SealingRows int64
+	MemBytes    int64
+	// Cumulative counters.
+	RowsAppended      int64
+	Seals             int64
+	Compactions       int64
+	SegmentsCompacted int64
+	SegmentsRetired   int64
+}
+
+// Attach opens the append path of a store directory: reads the newest
+// generation manifest (if any), garbage-collects superseded manifests and
+// orphan segment directories, opens every live segment lazily against the
+// base store's memory manager, and starts the background compactor. The
+// base store must have been opened lazily (OpenLazy) from dir.
+func Attach(dir string, base *colstore.Store, baseEng *exec.Engine, opts Opts) (*Writer, error) {
+	if base.MemManager() == nil {
+		return nil, errors.New("ingest: append requires a store opened from disk")
+	}
+	var schema []colstore.ColumnMeta
+	for _, name := range base.Columns() {
+		m, ok := base.ColumnMeta(name)
+		if !ok || m.Virtual {
+			continue
+		}
+		schema = append(schema, m)
+	}
+	opts = opts.withDefaults(base)
+	w := &Writer{
+		dir:       dir,
+		base:      base,
+		baseEng:   baseEng,
+		opts:      opts,
+		codec:     opts.Codec,
+		schema:    schema,
+		compactCh: make(chan struct{}, 1),
+		done:      make(chan struct{}),
+	}
+	if w.codec == "" {
+		w.codec = base.Codec()
+	}
+	m, gen, err := readGenerations(dir)
+	if err != nil {
+		return nil, err
+	}
+	if m != nil {
+		gcGenerations(dir, m)
+		w.gen, w.nextSeg = gen, m.NextSeg
+		for _, gs := range m.Segments {
+			seg, err := w.openSegment(gs)
+			if err != nil {
+				w.closeSegments()
+				return nil, err
+			}
+			w.segs = append(w.segs, seg)
+		}
+	}
+	w.mem = newWriteChunk(w.schema)
+	w.wg.Add(1)
+	go w.compactLoop()
+	return w, nil
+}
+
+// unitEngineOpts are the engine options every non-base unit (segment or
+// frozen buffer view) runs with: the caller's options minus the result
+// cache, sharing the base engine's admission gate.
+func (w *Writer) unitEngineOpts() exec.Options {
+	o := w.opts.EngineOpts
+	o.ResultCacheBytes = 0
+	o.Gate = w.baseEng.Gate()
+	return o
+}
+
+// openSegment opens one committed segment lazily, budgeted by the base
+// store's memory manager (segment cache keys are namespaced by the
+// segment's own directory, so retirement can drop them wholesale).
+func (w *Writer) openSegment(gs genSegment) (*segment, error) {
+	dir := filepath.Join(w.dir, gs.Dir)
+	cs, _, err := colstore.OpenLazy(dir, w.base.MemManager())
+	if err != nil {
+		return nil, fmt.Errorf("ingest: open segment %s: %w", gs.Dir, err)
+	}
+	cs.DisableVirtualPersist()
+	return &segment{
+		rel:   gs.Dir,
+		dir:   dir,
+		rows:  gs.Rows,
+		store: cs,
+		eng:   exec.New(cs, w.unitEngineOpts()),
+	}, nil
+}
+
+// Append validates and buffers a batch of rows. The batch must carry
+// exactly the store's physical columns (same names and kinds). When the
+// buffer reaches SealRows the calling goroutine seals it into an on-disk
+// segment before returning — append cost is amortized-constant with a
+// periodic spike, which doubles as backpressure.
+func (w *Writer) Append(tbl *table.Table) error {
+	if err := w.validate(tbl); err != nil {
+		return err
+	}
+	if tbl.NumRows() == 0 {
+		return nil
+	}
+	for {
+		w.mu.Lock()
+		if w.closed {
+			w.mu.Unlock()
+			return errors.New("ingest: writer is closed")
+		}
+		mem := w.mem
+		w.mu.Unlock()
+		rows, ok := mem.append(tbl)
+		if !ok {
+			// Sealed between the load and the append; retry against the
+			// replacement buffer.
+			continue
+		}
+		w.mu.Lock()
+		w.stats.rowsAppended += int64(tbl.NumRows())
+		w.mu.Unlock()
+		if rows >= w.opts.SealRows {
+			return w.seal()
+		}
+		return nil
+	}
+}
+
+// validate checks a batch against the store schema.
+func (w *Writer) validate(tbl *table.Table) error {
+	if got, want := len(tbl.ColumnNames()), len(w.schema); got != want {
+		return fmt.Errorf("ingest: batch has %d columns, store has %d", got, want)
+	}
+	for _, m := range w.schema {
+		col := tbl.Column(m.Name)
+		if col == nil {
+			return fmt.Errorf("ingest: batch is missing column %q", m.Name)
+		}
+		if col.Kind != m.Kind {
+			return fmt.Errorf("ingest: column %q is %v, store has %v", m.Name, col.Kind, m.Kind)
+		}
+	}
+	return nil
+}
+
+// Flush seals the current buffer (if non-empty) into a committed on-disk
+// segment, making every previously appended row durable.
+func (w *Writer) Flush() error { return w.seal() }
+
+// seal turns the current write buffer into a committed segment:
+//
+//  1. under mu: mark the buffer sealed (finalizing its row count) and
+//     swap in a fresh one — appends continue immediately;
+//  2. build a colstore from the sealed rows with the base store's import
+//     options and save it under segs/;
+//  3. commit by claiming the next generation manifest;
+//  4. under mu: advance the generation and move the rows from the
+//     sealing list to the segment list in one critical section, so no
+//     snapshot can see them twice or not at all.
+//
+// The order of step 1 is what makes snapshot cuts consistent: a buffer is
+// sealed (row count frozen) before the fresh buffer becomes visible, so
+// the sealed rows plus any fresh-buffer prefix always form a prefix of
+// the append stream.
+func (w *Writer) seal() error {
+	w.sealMu.Lock()
+	defer w.sealMu.Unlock()
+
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return errors.New("ingest: writer is closed")
+	}
+	mem := w.mem
+	if mem.curRows() == 0 {
+		w.mu.Unlock()
+		return nil
+	}
+	rows := mem.markSealed()
+	w.sealing = append(w.sealing, mem)
+	w.mem = newWriteChunk(w.schema)
+	gen, seq := w.gen, w.nextSeg
+	segList := w.liveSegments()
+	w.mu.Unlock()
+
+	seg, err := w.buildSegment(mem.prefix(rows), seq, gen+1, segList)
+	if err != nil {
+		return err
+	}
+
+	w.mu.Lock()
+	w.gen = gen + 1
+	w.nextSeg = seq + 1
+	w.segs = append(w.segs, seg)
+	for i, c := range w.sealing {
+		if c == mem {
+			w.sealing = append(w.sealing[:i], w.sealing[i+1:]...)
+			break
+		}
+	}
+	w.stats.seals++
+	segCount := len(w.segs)
+	w.mu.Unlock()
+
+	_ = os.Remove(filepath.Join(w.dir, genName(gen)))
+	if segCount >= w.opts.CompactMinSegments {
+		w.kickCompactor()
+	}
+	return nil
+}
+
+// liveSegments renders the current segment list as manifest entries.
+// Callers hold mu.
+func (w *Writer) liveSegments() []genSegment {
+	list := make([]genSegment, len(w.segs))
+	for i, s := range w.segs {
+		list[i] = genSegment{Dir: s.rel, Rows: s.rows}
+	}
+	return list
+}
+
+// buildSegment writes the rows of p as segment seq on disk and commits
+// generation gen listing prev plus the new segment. Called with sealMu
+// held.
+func (w *Writer) buildSegment(p chunkPrefix, seq, gen int, prev []genSegment) (*segment, error) {
+	cs, err := colstore.FromTable(p.toTable("seg"), w.base.Opts)
+	if err != nil {
+		return nil, err
+	}
+	rel := segRel(seq)
+	dir := filepath.Join(w.dir, rel)
+	if err := os.MkdirAll(filepath.Dir(dir), 0o755); err != nil {
+		return nil, err
+	}
+	if err := colstore.Save(cs, dir, w.codec); err != nil {
+		return nil, err
+	}
+	if w.testBeforeCommit != nil {
+		w.testBeforeCommit()
+	}
+	gs := genSegment{Dir: rel, Rows: p.rows}
+	m := &genManifest{Gen: gen, NextSeg: seq + 1, Segments: append(prev, gs)}
+	if err := commitGeneration(w.dir, m); err != nil {
+		if errors.Is(err, fs.ErrExist) {
+			return nil, fmt.Errorf("ingest: generation %d already committed: another writer is appending to %s", gen, w.dir)
+		}
+		return nil, err
+	}
+	return w.openSegment(gs)
+}
+
+// Rows returns the total row count an immediate snapshot would cover:
+// base store plus committed segments plus sealed-uncommitted buffers plus
+// the live buffer.
+func (w *Writer) Rows() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	total := int64(w.base.NumRows())
+	for _, s := range w.segs {
+		total += int64(s.rows)
+	}
+	for _, c := range w.sealing {
+		total += int64(c.curRows())
+	}
+	return total + int64(w.mem.curRows())
+}
+
+// Stats returns the writer's current state and cumulative counters.
+func (w *Writer) Stats() Stats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	st := Stats{
+		Gen:               w.gen,
+		Segments:          len(w.segs),
+		MemRows:           w.mem.curRows(),
+		MemBytes:          w.mem.memoryBytes(),
+		RowsAppended:      w.stats.rowsAppended,
+		Seals:             w.stats.seals,
+		Compactions:       w.stats.compactions,
+		SegmentsCompacted: w.stats.segmentsCompacted,
+		SegmentsRetired:   w.stats.segmentsRetired,
+	}
+	for _, s := range w.segs {
+		st.SegmentRows += int64(s.rows)
+	}
+	for _, c := range w.sealing {
+		st.SealingRows += int64(c.curRows())
+	}
+	return st
+}
+
+// kickCompactor nudges the background compactor without blocking.
+func (w *Writer) kickCompactor() {
+	select {
+	case w.compactCh <- struct{}{}:
+	default:
+	}
+}
+
+// compactLoop is the background compactor: it waits for a nudge (sent
+// after seals that push the segment count past the threshold) and merges.
+// Errors are dropped — the next seal re-nudges, and CompactNow surfaces
+// them to callers who want to know.
+func (w *Writer) compactLoop() {
+	defer w.wg.Done()
+	for {
+		select {
+		case <-w.done:
+			return
+		case <-w.compactCh:
+			w.mu.Lock()
+			due := len(w.segs) >= w.opts.CompactMinSegments
+			w.mu.Unlock()
+			if due {
+				_, _ = w.CompactNow()
+			}
+		}
+	}
+}
+
+// Close seals any buffered rows, stops the compactor, and releases the
+// segments' file handles. The directory remains attachable.
+func (w *Writer) Close() error {
+	err := w.seal()
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return err
+	}
+	w.closed = true
+	w.mu.Unlock()
+	close(w.done)
+	w.wg.Wait()
+	w.closeSegments()
+	return err
+}
+
+// closeSegments releases every live segment's file handles.
+func (w *Writer) closeSegments() {
+	w.mu.Lock()
+	segs := append([]*segment(nil), w.segs...)
+	w.mu.Unlock()
+	for _, s := range segs {
+		_ = s.store.Close()
+	}
+}

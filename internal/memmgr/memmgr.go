@@ -10,6 +10,7 @@ package memmgr
 
 import (
 	"math"
+	"strings"
 	"sync"
 
 	"powerdrill/internal/cache"
@@ -104,6 +105,12 @@ type Manager struct {
 	hits, coldLoads         int64
 	coldBytes, diskBytes    int64
 	evictions, evictedBytes int64
+	// condemned holds key prefixes whose entries must not re-enter the
+	// policy: DropNamespace retired the namespace while some of its entries
+	// were still pinned by a draining query. Release drops such stragglers
+	// instead of re-admitting them; a prefix is removed once no pinned key
+	// matches it, so the set stays bounded by in-flight retirements.
+	condemned map[string]struct{}
 	// virtualBytes tracks the resident bytes of virtual-column entries
 	// across both tiers (grows when one becomes resident, shrinks when one
 	// leaves residency via eviction or an oversized drop).
@@ -322,6 +329,15 @@ func (m *Manager) Release(key string) {
 	delete(m.pinned, key)
 	m.pinnedBytes -= p.it.size
 	m.syncCapacity()
+	if m.isCondemned(key) {
+		// The entry's namespace was retired (DropNamespace) while this
+		// query was still draining: drop it instead of re-admitting it.
+		if p.it.virtual {
+			m.virtualBytes -= p.it.size
+		}
+		m.pruneCondemned()
+		return
+	}
 	if p.it.size > m.evictableCapacity() {
 		// Will never fit the evictable tier: drop now. The policies would
 		// silently refuse oversized entries; counting here keeps the
@@ -340,6 +356,73 @@ func (m *Manager) Release(key string) {
 		// to promote it back to Am/T2. Policy-internal hit counters move,
 		// but the manager reports its own counters, not the policy's.
 		m.policy.Get(key)
+	}
+}
+
+// DropNamespace removes every resident entry whose key starts with prefix
+// — the retirement path for a store generation superseded by ingest
+// compaction: its chunks and dictionaries leave the budget at once instead
+// of lingering until eviction pressure finds them. Unpinned entries are
+// dropped immediately; entries still pinned by a draining query are
+// condemned and dropped on their final Release instead of re-entering the
+// policy. Returns the count and bytes of the entries dropped immediately.
+func (m *Manager) DropNamespace(prefix string) (dropped int, droppedBytes int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, key := range m.policy.(cache.KeyLister).Keys() {
+		if !strings.HasPrefix(key, prefix) {
+			continue
+		}
+		v, ok := m.policy.Get(key)
+		if !ok {
+			continue
+		}
+		it := v.(*item)
+		m.policy.Remove(key)
+		if it.virtual {
+			m.virtualBytes -= it.size
+		}
+		dropped++
+		droppedBytes += it.size
+	}
+	for key := range m.pinned {
+		if strings.HasPrefix(key, prefix) {
+			if m.condemned == nil {
+				m.condemned = make(map[string]struct{}, 2)
+			}
+			m.condemned[prefix] = struct{}{}
+			break
+		}
+	}
+	return dropped, droppedBytes
+}
+
+// isCondemned reports whether key belongs to a retired namespace. Requires
+// m.mu. The condemned set holds only prefixes with pinned stragglers, so
+// the scan is over a handful of entries at most.
+func (m *Manager) isCondemned(key string) bool {
+	for prefix := range m.condemned {
+		if strings.HasPrefix(key, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// pruneCondemned drops condemned prefixes no pinned key matches anymore.
+// Requires m.mu.
+func (m *Manager) pruneCondemned() {
+	for prefix := range m.condemned {
+		alive := false
+		for key := range m.pinned {
+			if strings.HasPrefix(key, prefix) {
+				alive = true
+				break
+			}
+		}
+		if !alive {
+			delete(m.condemned, prefix)
+		}
 	}
 }
 

@@ -231,3 +231,56 @@ func TestConcurrentChurn(t *testing.T) {
 		t.Fatalf("resident %d exceeds budget", st.ResidentBytes)
 	}
 }
+
+func TestDropNamespace(t *testing.T) {
+	m := New(0, "")
+	var calls atomic.Int64
+	for _, key := range []string{"seg1\x00a", "seg1\x00b", "seg2\x00a"} {
+		if _, _, err := m.Acquire(key, loader(&calls, 100)); err != nil {
+			t.Fatal(err)
+		}
+		m.Release(key)
+	}
+	dropped, bytes := m.DropNamespace("seg1\x00")
+	if dropped != 2 || bytes != 200 {
+		t.Fatalf("DropNamespace = (%d, %d), want (2, 200)", dropped, bytes)
+	}
+	st := m.Stats()
+	if st.ResidentBytes != 100 || st.ResidentItems != 1 {
+		t.Fatalf("after drop: %+v", st)
+	}
+	// The surviving namespace still answers warm; the dropped one reloads.
+	_, cold, _ := m.Acquire("seg2\x00a", loader(&calls, 100))
+	m.Release("seg2\x00a")
+	if cold {
+		t.Fatal("seg2 entry dropped with seg1 namespace")
+	}
+	_, cold, _ = m.Acquire("seg1\x00a", loader(&calls, 100))
+	m.Release("seg1\x00a")
+	if !cold {
+		t.Fatal("seg1 entry survived DropNamespace")
+	}
+}
+
+func TestDropNamespacePinnedStraggler(t *testing.T) {
+	m := New(0, "")
+	var calls atomic.Int64
+	// Pinned entry: dropped only when its last pin releases, and it must
+	// not re-enter the policy then.
+	if _, _, err := m.Acquire("seg1\x00a", loader(&calls, 100)); err != nil {
+		t.Fatal(err)
+	}
+	dropped, _ := m.DropNamespace("seg1\x00")
+	if dropped != 0 {
+		t.Fatalf("pinned entry dropped while held: %d", dropped)
+	}
+	m.Release("seg1\x00a")
+	if st := m.Stats(); st.ResidentBytes != 0 || st.ResidentItems != 0 {
+		t.Fatalf("condemned entry survived release: %+v", st)
+	}
+	_, cold, _ := m.Acquire("seg1\x00a", loader(&calls, 100))
+	m.Release("seg1\x00a")
+	if !cold {
+		t.Fatal("condemned entry re-entered the cache")
+	}
+}

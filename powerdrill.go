@@ -27,10 +27,12 @@ package powerdrill
 
 import (
 	"fmt"
+	"sync"
 
 	"powerdrill/internal/cache"
 	"powerdrill/internal/colstore"
 	"powerdrill/internal/exec"
+	"powerdrill/internal/ingest"
 	"powerdrill/internal/memmgr"
 	"powerdrill/internal/table"
 	"powerdrill/internal/value"
@@ -129,6 +131,15 @@ type Options struct {
 	// MemoryPolicy selects the eviction policy for Open: "lru",
 	// "2q" (default) or "arc".
 	MemoryPolicy string
+	// IngestSealRows is the streaming-append buffer size: an Append that
+	// fills the in-memory write buffer to this many rows seals it into an
+	// on-disk segment (default: MaxChunkRows). See docs/ingest.md.
+	IngestSealRows int
+	// IngestCompactMinSegments is the live segment count at which the
+	// background compactor merges all ingest segments into one
+	// (default 4).
+	IngestCompactMinSegments int
+
 	// DisableVirtualPersist keeps virtual columns (expressions materialized
 	// at query time) out of the store's on-disk sidecar. By default a store
 	// opened with Open persists each materialization next to the store so
@@ -166,6 +177,13 @@ type Store struct {
 	store  *colstore.Store
 	engine *exec.Engine
 	opts   Options
+
+	// dir is the directory the store was opened from ("" for Build);
+	// ing is the streaming-append path, attached by Open when the
+	// directory carries ingest generations or lazily by the first Append.
+	dir   string
+	ingMu sync.Mutex
+	ing   *ingest.Writer
 }
 
 // Build imports a raw table.
@@ -202,7 +220,14 @@ type QueryStats = exec.QueryStats
 // with AND/OR/NOT/IN/NOT IN/=/!=/</<=/>/>=, the scalar functions date,
 // year, month, day, hour, lower, upper, length, and the aggregates
 // COUNT(*), COUNT(x), COUNT(DISTINCT x), SUM, MIN, MAX, AVG.
+// Stores with an active append path (see Append) answer through a
+// snapshot: one bit-for-bit consistent cut of the append stream, pinned
+// for the duration of the query while appends, seals and compactions
+// continue underneath.
 func (s *Store) Query(sqlText string) (*Result, error) {
+	if w := s.writer(); w != nil {
+		return queryIngest(w, sqlText)
+	}
 	res, err := s.engine.Query(sqlText)
 	if err != nil {
 		return nil, err
@@ -210,8 +235,14 @@ func (s *Store) Query(sqlText string) (*Result, error) {
 	return &Result{Columns: res.Columns, Rows: res.Rows, Stats: res.Stats, Coverage: res.Coverage}, nil
 }
 
-// NumRows returns the number of imported rows.
-func (s *Store) NumRows() int { return s.store.NumRows() }
+// NumRows returns the number of imported rows, including appended rows
+// on stores with an active append path.
+func (s *Store) NumRows() int {
+	if w := s.writer(); w != nil {
+		return int(w.Rows())
+	}
+	return s.store.NumRows()
+}
 
 // NumChunks returns the number of chunks the partitioning produced.
 func (s *Store) NumChunks() int { return s.store.NumChunks() }
@@ -249,9 +280,22 @@ type IOStats = colstore.IOStats
 func (s *Store) IOStats() (IOStats, bool) { return s.store.IOStats() }
 
 // Close releases the file handles and decompression memos a lazily opened
-// store caches outside the memory budget. The store stays usable; a no-op
-// for in-memory stores.
-func (s *Store) Close() error { return s.store.Close() }
+// store caches outside the memory budget, and — on stores with an active
+// append path — seals any buffered rows and stops the background
+// compactor. The store stays usable; a no-op for in-memory stores.
+func (s *Store) Close() error {
+	var err error
+	s.ingMu.Lock()
+	if s.ing != nil {
+		err = s.ing.Close()
+		s.ing = nil
+	}
+	s.ingMu.Unlock()
+	if cerr := s.store.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
 
 // MemoryStats is a snapshot of the memory manager's accounting: budget,
 // resident/pinned bytes, cold loads, evictions, hit rate.
@@ -283,7 +327,15 @@ func Open(dir string, opts Options) (*Store, int64, error) {
 	if opts.DisableVirtualPersist {
 		cs.DisableVirtualPersist()
 	}
-	return &Store{store: cs, engine: exec.New(cs, opts.engineOptions()), opts: opts}, stats.BytesRead, nil
+	s := &Store{store: cs, engine: exec.New(cs, opts.engineOptions()), opts: opts, dir: dir}
+	// A directory that was appended to reopens with its append path
+	// attached, so the sealed generations are queryable immediately.
+	if ingest.HasGenerations(dir) {
+		if _, err := s.ensureWriter(); err != nil {
+			return nil, 0, err
+		}
+	}
+	return s, stats.BytesRead, nil
 }
 
 // validateMemoryPolicy rejects unknown policy names instead of silently
