@@ -24,6 +24,7 @@
 //	pdbench -exp coldio              # per-chunk compression + coalesced cold reads
 //	pdbench -exp virtcol             # budget-aware (persisted) virtual columns
 //	pdbench -exp ingest              # streaming appends, snapshot queries, compaction
+//	pdbench -exp kernels             # vectorized kernels vs scalar, bloom/dict-shard pruning
 //
 // Absolute numbers depend on the host; the relationships (who wins, by
 // what factor, where curves bend) are the reproduction target. See
@@ -63,6 +64,7 @@ var experiments = []struct {
 	{"coldio", "Cold I/O: per-chunk compression, coalesced runs, cache-aware skips", runColdIO},
 	{"virtcol", "Budget-aware virtual columns: sidecar persistence, eviction, span pruning", runVirtCol},
 	{"ingest", "Streaming ingestion: append rate, snapshot query latency, compaction", runIngest},
+	{"kernels", "Vectorized scan kernels vs scalar path; Bloom + dict-shard pruning", runKernels},
 }
 
 // config carries the shared experiment parameters.

@@ -310,6 +310,9 @@ func runQuery(args []string) error {
 		if res.Stats.CacheSkippedChunks > 0 {
 			warmth += fmt.Sprintf("; %d chunks answered from result cache unloaded", res.Stats.CacheSkippedChunks)
 		}
+		if res.Stats.BloomSkippedChunks > 0 {
+			warmth += fmt.Sprintf("; %d chunks pruned by bloom filters", res.Stats.BloomSkippedChunks)
+		}
 		fmt.Printf("-- %d rows in %v; chunks: %d/%d active, %d skipped, %d cached, %d scanned; %s\n\n",
 			len(res.Rows), elapsed.Round(time.Microsecond),
 			res.Stats.ActiveChunks, res.Stats.ChunksTotal,

@@ -139,8 +139,16 @@ type engineSection struct {
 	// ActiveChunks/SkippedChunks split every query's chunks by the
 	// pre-scan residency analysis: only active chunks are ever loaded
 	// (and charged to the budget) on a chunk-granular store.
-	ActiveChunks    int64 `json:"active_chunks"`
-	SkippedChunks   int64 `json:"skipped_chunks"`
+	ActiveChunks  int64 `json:"active_chunks"`
+	SkippedChunks int64 `json:"skipped_chunks"`
+	// BloomSkippedChunks counts skipped chunks only the per-chunk Bloom
+	// filters could rule out — chunks whose [min, max] span admitted the
+	// restriction but whose id set provably did not contain it.
+	BloomSkippedChunks int64 `json:"bloom_skipped_chunks"`
+	// KernelChunks/ScalarChunks split aggregated chunks by execution path:
+	// vectorized kernels versus the scalar reference loop (DisableKernels).
+	KernelChunks    int64 `json:"kernel_chunks"`
+	ScalarChunks    int64 `json:"scalar_chunks"`
 	ColdLoads       int64 `json:"cold_loads"`
 	ColdChunkLoads  int64 `json:"cold_chunk_loads"`
 	ColdDictLoads   int64 `json:"cold_dict_loads"`
@@ -178,6 +186,9 @@ func statzHandler(store *powerdrill.Store) http.Handler {
 				CellsScanned:       es.CellsScanned,
 				ActiveChunks:       es.ActiveChunks,
 				SkippedChunks:      es.SkippedChunks,
+				BloomSkippedChunks: es.BloomSkippedChunks,
+				KernelChunks:       es.KernelChunks,
+				ScalarChunks:       es.ScalarChunks,
 				ColdLoads:          es.ColdLoads,
 				ColdChunkLoads:     es.ColdChunkLoads,
 				ColdDictLoads:      es.ColdDictLoads,

@@ -7,7 +7,9 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"unicode/utf8"
 
+	"powerdrill/internal/bloom"
 	"powerdrill/internal/compress"
 	"powerdrill/internal/dict"
 	"powerdrill/internal/enc"
@@ -33,9 +35,22 @@ import (
 //     so a cold chunk is one exact ReadAt plus one single-record
 //     decompress — cold I/O scales with restriction selectivity under
 //     compression exactly like it does for raw stores.
+//   - v4 (scan-pruning metadata): each sparse chunk additionally carries a
+//     Bloom filter over its distinct global-ids, so equality restrictions
+//     on unsorted columns can skip chunks the [min, max] span test cannot;
+//     and sharded string dictionaries record one frame per sub-dictionary
+//     (byte range, value count, routing bounds, Bloom filter), so lazy
+//     reopens of uncompressed stores load only the dictionary shards a
+//     query probes. Both fields are optional JSON additions: v4 readers
+//     open v1–v3 stores unchanged, and older readers ignore the fields.
 
 // formatVersion is the manifest generation this package writes.
-const formatVersion = 3
+const formatVersion = 4
+
+// formatPerRecordCodec is the first generation whose codec applies per
+// record (dictionary and chunks compressed individually) rather than to
+// the whole column file.
+const formatPerRecordCodec = 3
 
 // manifest is the JSON header of a persisted store.
 type manifest struct {
@@ -67,6 +82,25 @@ type manifestCol struct {
 	// and the byte range of each chunk record, so a single chunk can be
 	// loaded without touching the rest of the column.
 	Chunks []manifestChunk `json:"chunks,omitempty"`
+	// DictShards sub-frames a sharded string dictionary (v4): one entry per
+	// dict.Sharded shard, in id order. Byte offsets index the uncompressed
+	// column stream, so lazy readers of uncompressed stores can load single
+	// shards with exact reads; compressed stores fall back to the full
+	// dictionary record.
+	DictShards []manifestDictShard `json:"dict_shards,omitempty"`
+}
+
+// manifestDictShard is one sub-dictionary frame: the byte range
+// [Off, Off+Len) of its values inside the uncompressed column stream, the
+// value count, the first/last values for routing, and the shard's marshaled
+// Bloom filter (so absent-value probes answer without any load).
+type manifestDictShard struct {
+	Off   int64  `json:"off"`
+	Len   int64  `json:"len"`
+	Count int    `json:"count"`
+	First string `json:"first"`
+	Last  string `json:"last"`
+	Bloom []byte `json:"bloom,omitempty"`
 }
 
 // manifestChunk records one chunk's residency metadata: the global-id span
@@ -82,6 +116,11 @@ type manifestChunk struct {
 	Len  int64  `json:"len"`
 	COff int64  `json:"coff,omitempty"`
 	CLen int64  `json:"clen,omitempty"`
+	// Bloom is a marshaled filter over the chunk's distinct global-ids (v4,
+	// sparse chunks only): a negative probe proves an equality restriction
+	// matches nothing in the chunk, pruning it before any load — the check
+	// the [Min, Max] span cannot make on unsorted columns.
+	Bloom []byte `json:"bloom,omitempty"`
 }
 
 type manifestOpts struct {
@@ -147,10 +186,15 @@ func save(s *Store, dir, codecName string, format int) error {
 		}
 		file := fmt.Sprintf("col_%04d.bin", i)
 		raw, dictLen, chunkMetas := encodeColumn(col)
+		var dictShards []manifestDictShard
+		if format >= 4 {
+			buildChunkBlooms(col, chunkMetas)
+			dictShards = dictShardFrames(col)
+		}
 		ps.Release()
 		mc := manifestCol{
 			Name: name, Kind: col.Kind.String(), Virtual: col.Virtual, File: file,
-			DictLen: dictLen, Chunks: chunkMetas,
+			DictLen: dictLen, Chunks: chunkMetas, DictShards: dictShards,
 		}
 		if codec != nil {
 			if format >= 3 {
@@ -172,6 +216,82 @@ func save(s *Store, dir, codecName string, format int) error {
 		return fmt.Errorf("colstore: save manifest: %w", err)
 	}
 	return nil
+}
+
+// chunkBloomMaxCard bounds the cardinality a chunk bloom filter covers:
+// beyond it the filter's manifest footprint (~1.2 bytes/distinct value)
+// outweighs the expected pruning win.
+const chunkBloomMaxCard = 1 << 16
+
+// buildChunkBlooms attaches a global-id Bloom filter to every chunk whose
+// chunk-dictionary is sparse within its [min, max] span. Dense chunks gain
+// nothing — the span test is already exact there — so the filter is built
+// only when at most half the span's ids are present (unsorted columns,
+// where restriction spans prune worst).
+func buildChunkBlooms(col *Column, metas []manifestChunk) {
+	for i, ch := range col.Chunks {
+		gids := ch.GlobalIDs
+		if len(gids) == 0 || len(gids) > chunkBloomMaxCard {
+			continue
+		}
+		span := int64(gids[len(gids)-1]) - int64(gids[0]) + 1
+		if int64(len(gids))*2 > span {
+			continue
+		}
+		f := bloom.NewWithEstimates(len(gids), 0.01)
+		for _, g := range gids {
+			f.AddUint64(uint64(g))
+		}
+		metas[i].Bloom = f.Marshal()
+	}
+}
+
+// dictShardFrames exports a sharded string dictionary's sub-frames: one
+// manifest row per dict.Sharded shard with its byte range inside the
+// uncompressed dictionary payload (recomputed from the deterministic
+// length-prefixed layout encodeColumn writes). Returns nil — no frames,
+// full-dictionary loads — for non-sharded dictionaries and for values that
+// would not survive a JSON round-trip (routing bounds are stored as JSON
+// strings, which replace invalid UTF-8).
+func dictShardFrames(col *Column) []manifestDictShard {
+	sd, ok := col.Dict.(*dict.Sharded)
+	if !ok || col.Kind != value.KindString {
+		return nil
+	}
+	frames := sd.Frames()
+	if len(frames) == 0 {
+		return nil
+	}
+	off := int64(uvarintLen(uint64(col.Dict.Len())))
+	out := make([]manifestDictShard, 0, len(frames))
+	idx := uint32(0)
+	for _, fr := range frames {
+		if !utf8.ValidString(fr.First) || !utf8.ValidString(fr.Last) {
+			return nil
+		}
+		start := off
+		for k := 0; k < fr.Count; k++ {
+			s := col.Dict.Value(idx).Str()
+			off += int64(uvarintLen(uint64(len(s)))) + int64(len(s))
+			idx++
+		}
+		out = append(out, manifestDictShard{
+			Off: start, Len: off - start,
+			Count: fr.Count, First: fr.First, Last: fr.Last,
+			Bloom: fr.Filter.Marshal(),
+		})
+	}
+	return out
+}
+
+// uvarintLen returns the encoded byte length of v as a uvarint.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
 }
 
 // compressRecords rewrites one column's raw stream with per-record (v3)
@@ -199,7 +319,7 @@ func compressRecords(codec compress.Codec, raw []byte, mc manifestCol) ([]byte, 
 // perChunkCompressed reports whether a column file uses the v3 per-record
 // codec framing (compressed records at exact byte ranges).
 func (m *manifest) perChunkCompressed(mc manifestCol) bool {
-	return m.Codec != "" && m.Format >= 3 && mc.DictCLen > 0
+	return m.Codec != "" && m.Format >= formatPerRecordCodec && mc.DictCLen > 0
 }
 
 // decompressColumnFile rebuilds a v3 column's uncompressed stream from its

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"powerdrill/internal/bloom"
 	"powerdrill/internal/compress"
 	"powerdrill/internal/dict"
 	"powerdrill/internal/memmgr"
@@ -240,6 +241,13 @@ func (r *Reader) LoadColumnDict(name string) (dict.Dict, int64, error) {
 	if err != nil {
 		return nil, 0, fmt.Errorf("colstore: column %q: %w", name, err)
 	}
+	if d, ok := r.shardedDictFromFrames(mc, kind); ok {
+		// Sub-framed load (v4, uncompressed sharded string dictionaries):
+		// routing bounds and Bloom filters come straight from the manifest,
+		// so no dictionary bytes are read until a query probes a shard —
+		// and each probe reads exactly that shard's byte range.
+		return d, 0, nil
+	}
 	if n, exact := r.DictFileLen(name); exact {
 		raw, err := r.readRange(mc.File, 0, n)
 		if err != nil {
@@ -271,6 +279,59 @@ func (r *Reader) LoadColumnDict(name string) (dict.Dict, int64, error) {
 		diskBytes = r.recordShare(mc, mc.DictLen)
 	}
 	return d, diskBytes, nil
+}
+
+// shardedDictFromFrames reconstructs a sharded string dictionary from the
+// manifest's v4 sub-frames, loading no values. Applies only to uncompressed
+// stores saved with StringDictSharded: the shard byte ranges index the raw
+// column file, so each shard the query probes is served by one exact
+// ReadAt. Any malformed frame (bad Bloom bytes, non-positive count) makes
+// the whole path report !ok and the caller falls back to decoding the full
+// dictionary record — slower, never wrong.
+func (r *Reader) shardedDictFromFrames(mc manifestCol, kind value.Kind) (dict.Dict, bool) {
+	if kind != value.KindString || len(mc.DictShards) == 0 ||
+		r.m.Codec != "" || r.sd != StringDictSharded {
+		return nil, false
+	}
+	frames := make([]dict.ShardFrame, len(mc.DictShards))
+	for i, ds := range mc.DictShards {
+		f, err := bloom.Unmarshal(ds.Bloom)
+		if err != nil || ds.Count <= 0 || ds.Len <= 0 {
+			return nil, false
+		}
+		frames[i] = dict.ShardFrame{Count: ds.Count, First: ds.First, Last: ds.Last, Filter: f}
+	}
+	shards := mc.DictShards
+	file := mc.File
+	loader := func(i int) ([]string, error) {
+		if i < 0 || i >= len(shards) {
+			return nil, fmt.Errorf("colstore: dict shard %d of %q out of range", i, mc.Name)
+		}
+		ds := shards[i]
+		raw, err := r.readRange(file, ds.Off, ds.Len)
+		if err != nil {
+			return nil, fmt.Errorf("colstore: load dict shard %d of %q: %w", i, mc.Name, err)
+		}
+		br := &byteReader{buf: raw}
+		vals := make([]string, ds.Count)
+		for j := range vals {
+			l, err := br.uvarint()
+			if err != nil {
+				return nil, fmt.Errorf("colstore: dict shard %d of %q: %w", i, mc.Name, err)
+			}
+			b, err := br.take(int(l))
+			if err != nil {
+				return nil, fmt.Errorf("colstore: dict shard %d of %q: %w", i, mc.Name, err)
+			}
+			vals[j] = string(b)
+		}
+		return vals, nil
+	}
+	d, err := dict.NewShardedFromFrames(frames, loader)
+	if err != nil {
+		return nil, false
+	}
+	return d, true
 }
 
 // LoadColumnChunk decodes a single chunk of the named column. When the
@@ -390,6 +451,12 @@ type lazySource struct {
 	// from the manifest (or the virtual sidecar) — the metadata restriction
 	// pruning runs on.
 	spans map[string][]ChunkSpan
+	// blooms holds each column's decoded per-chunk Bloom filters (v4
+	// manifests; nil entries where the chunk has none), the second
+	// metadata input to restriction pruning: a negative probe proves an
+	// equality restriction matches nothing in a chunk even when the value
+	// falls inside the chunk's [min, max] span.
+	blooms map[string][]*bloom.Filter
 	// sidecar mirrors the virtual/ sidecar manifest's column list.
 	sidecar []manifestCol
 
@@ -436,7 +503,14 @@ func OpenLazy(dir string, mgr *memmgr.Manager) (*Store, *DiskStats, error) {
 	if abs, err := filepath.Abs(ns); err == nil {
 		ns = abs
 	}
-	src := &lazySource{reader: r, mgr: mgr, ns: ns, spans: make(map[string][]ChunkSpan), chunked: true}
+	src := &lazySource{
+		reader:  r,
+		mgr:     mgr,
+		ns:      ns,
+		spans:   make(map[string][]ChunkSpan),
+		blooms:  make(map[string][]*bloom.Filter),
+		chunked: true,
+	}
 	s.lazy = src
 	s.metas = make(map[string]ColumnMeta, len(r.m.Columns))
 	for _, meta := range r.Columns() {
@@ -455,6 +529,9 @@ func OpenLazy(dir string, mgr *memmgr.Manager) (*Store, *DiskStats, error) {
 			spans[i] = ChunkSpan{MinGID: cm.Min, MaxGID: cm.Max}
 		}
 		src.spans[meta.Name] = spans
+		if filters := decodeChunkBlooms(mc); filters != nil {
+			src.blooms[meta.Name] = filters
+		}
 	}
 	if src.chunked {
 		// Virtual columns persisted by earlier sessions: register them so
@@ -553,6 +630,44 @@ func (s *Store) ChunkSpans(name string) ([]ChunkSpan, bool) {
 		return sp, ok
 	}
 	return nil, false
+}
+
+// decodeChunkBlooms unmarshals a manifest column's per-chunk Bloom filters
+// (v4; empty on older manifests). The returned slice is indexed by chunk,
+// nil where the chunk carries no filter (dense or empty chunks) or where
+// the bytes fail to parse — a bad filter degrades to span-only pruning,
+// never to a wrong answer. Returns nil when no chunk has one.
+func decodeChunkBlooms(mc manifestCol) []*bloom.Filter {
+	var filters []*bloom.Filter
+	for i, cm := range mc.Chunks {
+		if len(cm.Bloom) == 0 {
+			continue
+		}
+		f, err := bloom.Unmarshal(cm.Bloom)
+		if err != nil {
+			continue
+		}
+		if filters == nil {
+			filters = make([]*bloom.Filter, len(mc.Chunks))
+		}
+		filters[i] = f
+	}
+	return filters
+}
+
+// ChunkBlooms returns the named column's per-chunk Bloom filters over
+// distinct global-ids, without loading any chunk data: nil entries mark
+// chunks without one. ok is false on fully resident stores, on manifests
+// predating the filters (v1–v3), and for columns none of whose chunks
+// carry one — callers then prune on spans alone.
+func (s *Store) ChunkBlooms(name string) ([]*bloom.Filter, bool) {
+	if s.lazy == nil {
+		return nil, false
+	}
+	s.lazy.mu.RLock()
+	bf, ok := s.lazy.blooms[name]
+	s.lazy.mu.RUnlock()
+	return bf, ok
 }
 
 // acquire pins the named physical column in the memory manager as one

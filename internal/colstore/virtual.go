@@ -143,7 +143,7 @@ func (s *Store) persistVirtualLocked(col *Column) (manifestCol, error) {
 	}
 	if r.m.Codec != "" {
 		codec := mustCodec(r.m.Codec)
-		if r.m.Format >= formatVersion {
+		if r.m.Format >= formatPerRecordCodec {
 			raw, mc = compressRecords(codec, raw, mc)
 		} else {
 			// Legacy whole-column framing: keep the sidecar readable by the

@@ -124,6 +124,51 @@ func NewSharded(sorted []string, opts ShardedOptions) *Sharded {
 // SetLoader replaces the shard loader (e.g. with a file-backed one).
 func (d *Sharded) SetLoader(l Loader) { d.loader = l }
 
+// ShardFrame is the persistable description of one sub-dictionary: its
+// value count, routing bounds, and Bloom filter. A store manifest records
+// one frame per shard (plus the shard's byte range in the dictionary
+// record) so a reopened store can route and filter lookups — and then load
+// only the shards a query actually probes — without ever decoding the full
+// dictionary.
+type ShardFrame struct {
+	Count       int
+	First, Last string
+	Filter      *bloom.Filter
+}
+
+// Frames exports the shard layout for persistence.
+func (d *Sharded) Frames() []ShardFrame {
+	out := make([]ShardFrame, len(d.shards))
+	for i := range d.shards {
+		sh := &d.shards[i]
+		out[i] = ShardFrame{Count: sh.count, First: sh.first, Last: sh.last, Filter: sh.filter}
+	}
+	return out
+}
+
+// NewShardedFromFrames reconstructs a sharded dictionary from persisted
+// frames without loading any values: routing bounds and Bloom filters are
+// resident immediately, shard contents page in through the loader on first
+// use. Global-ids resolve identically to the dictionary the frames were
+// exported from, because a value's id is its shard's cumulative base plus
+// its local rank — both fully determined by the frames.
+func NewShardedFromFrames(frames []ShardFrame, loader Loader) (*Sharded, error) {
+	if loader == nil {
+		return nil, fmt.Errorf("dict: NewShardedFromFrames requires a loader")
+	}
+	d := &Sharded{loader: loader}
+	base := 0
+	for i, fr := range frames {
+		if fr.Count <= 0 || fr.Filter == nil {
+			return nil, fmt.Errorf("dict: invalid shard frame %d (count=%d)", i, fr.Count)
+		}
+		d.shards = append(d.shards, shard{base: base, count: fr.Count, first: fr.First, last: fr.Last, filter: fr.Filter})
+		base += fr.Count
+	}
+	d.n = base
+	return d, nil
+}
+
 // Kind implements Dict.
 func (d *Sharded) Kind() value.Kind { return value.KindString }
 

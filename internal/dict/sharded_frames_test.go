@@ -1,0 +1,121 @@
+package dict
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// framesRoundTrip builds a sharded dictionary, exports its frames, rebuilds
+// a second dictionary from the frames plus a loader that serves the
+// original shard contents, and requires every observable to agree:
+// StringAt/Value for every id, Lookup for every value (and misses), FindGE
+// over probes, Len, Shards. This is the property the colstore manifest
+// relies on when it persists frames and loads shards from byte ranges.
+func framesRoundTrip(t *testing.T, vals []string, shardSize int) {
+	t.Helper()
+	sort.Strings(vals)
+	// Dictionaries hold distinct values; dedupe after sorting.
+	vals = dedupeSorted(vals)
+	if len(vals) == 0 {
+		return
+	}
+	orig := NewSharded(vals, ShardedOptions{ShardSize: shardSize, Retain: true})
+	frames := orig.Frames()
+
+	loader := func(i int) ([]string, error) {
+		base := i * shardSize
+		end := base + shardSize
+		if end > len(vals) {
+			end = len(vals)
+		}
+		if base < 0 || base >= len(vals) {
+			return nil, fmt.Errorf("shard %d out of range", i)
+		}
+		return vals[base:end], nil
+	}
+	rt, err := NewShardedFromFrames(frames, loader)
+	if err != nil {
+		t.Fatalf("NewShardedFromFrames: %v", err)
+	}
+
+	if rt.Len() != orig.Len() {
+		t.Fatalf("Len = %d, want %d", rt.Len(), orig.Len())
+	}
+	if rt.Shards() != orig.Shards() {
+		t.Fatalf("Shards = %d, want %d", rt.Shards(), orig.Shards())
+	}
+	if rt.ResidentShards() != 0 {
+		t.Fatalf("rebuilt dictionary has %d resident shards before any probe", rt.ResidentShards())
+	}
+	for id := 0; id < rt.Len(); id++ {
+		if got, want := rt.StringAt(uint32(id)), vals[id]; got != want {
+			t.Fatalf("StringAt(%d) = %q, want %q", id, got, want)
+		}
+	}
+	for id, v := range vals {
+		got, ok := rt.LookupString(v)
+		if !ok || got != uint32(id) {
+			t.Fatalf("LookupString(%q) = (%d, %v), want (%d, true)", v, got, ok, id)
+		}
+	}
+	for _, miss := range []string{"", "\x00", "zzzz~miss", vals[0] + "\x00"} {
+		if _, ok := orig.LookupString(miss); ok {
+			continue // actually present; nothing to check
+		}
+		if _, ok := rt.LookupString(miss); ok {
+			t.Fatalf("rebuilt dictionary finds %q, original does not", miss)
+		}
+	}
+}
+
+func dedupeSorted(vals []string) []string {
+	out := vals[:0]
+	for i, v := range vals {
+		if i == 0 || v != vals[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// TestShardedFramesRoundTrip covers shard sizes that do and don't divide
+// the value count, a single shard, and one-value-per-shard.
+func TestShardedFramesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, n := range []int{1, 2, 7, 64, 100, 257} {
+		for _, shardSize := range []int{1, 3, 16, 64, 1024} {
+			vals := make([]string, n)
+			for i := range vals {
+				vals[i] = fmt.Sprintf("v%04d_%02d", rng.Intn(n*2), rng.Intn(10))
+			}
+			framesRoundTrip(t, vals, shardSize)
+		}
+	}
+}
+
+// TestShardedFramesLazyLoads checks the point of sub-framing: a rebuilt
+// dictionary resolves a single lookup by loading only the one shard the
+// routing bounds and Bloom filter send it to.
+func TestShardedFramesLazyLoads(t *testing.T) {
+	vals := make([]string, 90)
+	for i := range vals {
+		vals[i] = fmt.Sprintf("w%03d", i)
+	}
+	orig := NewSharded(vals, ShardedOptions{ShardSize: 30, Retain: true})
+	loader := func(i int) ([]string, error) { return vals[i*30 : (i+1)*30], nil }
+	rt, err := NewShardedFromFrames(orig.Frames(), loader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rt.LookupString("w045"); !ok {
+		t.Fatal("lookup of present value failed")
+	}
+	if got := rt.Loads(); got != 1 {
+		t.Fatalf("point lookup loaded %d shards, want 1", got)
+	}
+	if got := rt.ResidentShards(); got != 1 {
+		t.Fatalf("ResidentShards = %d, want 1", got)
+	}
+}

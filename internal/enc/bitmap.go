@@ -104,6 +104,12 @@ func (b *Bitmap) Clone() *Bitmap {
 	return &Bitmap{n: b.n, words: append([]uint64(nil), b.words...)}
 }
 
+// Words exposes the backing word array (64 rows per word, little-endian
+// bit order, bits beyond Len kept zero). Kernels iterate it directly so the
+// per-row body can be inlined instead of dispatched through ForEach's
+// closure.
+func (b *Bitmap) Words() []uint64 { return b.words }
+
 // ForEach calls fn with each selected row index in ascending order.
 func (b *Bitmap) ForEach(fn func(i int)) {
 	for wi, w := range b.words {

@@ -1,0 +1,148 @@
+package enc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// oracleBitmap mirrors a Bitmap with a plain map of set indices — the
+// obviously-correct model the word-parallel implementation is checked
+// against, operation by operation.
+type oracleBitmap struct {
+	n   int
+	set map[int]bool
+}
+
+func newOracle(n int) *oracleBitmap { return &oracleBitmap{n: n, set: make(map[int]bool)} }
+
+func (o *oracleBitmap) and(p *oracleBitmap) {
+	for i := range o.set {
+		if !p.set[i] {
+			delete(o.set, i)
+		}
+	}
+}
+
+func (o *oracleBitmap) or(p *oracleBitmap) {
+	for i := range p.set {
+		o.set[i] = true
+	}
+}
+
+func (o *oracleBitmap) not() {
+	next := make(map[int]bool, o.n)
+	for i := 0; i < o.n; i++ {
+		if !o.set[i] {
+			next[i] = true
+		}
+	}
+	o.set = next
+}
+
+// requireEqual checks every observable of the Bitmap against the oracle:
+// Get per index, Count, None, All, and the index sequence ForEach yields
+// (which must also be strictly ascending).
+func requireEqual(t *testing.T, b *Bitmap, o *oracleBitmap, ctx string) {
+	t.Helper()
+	if b.Len() != o.n {
+		t.Fatalf("%s: Len = %d, want %d", ctx, b.Len(), o.n)
+	}
+	if b.Count() != len(o.set) {
+		t.Fatalf("%s: Count = %d, want %d", ctx, b.Count(), len(o.set))
+	}
+	if b.None() != (len(o.set) == 0) {
+		t.Fatalf("%s: None = %v with %d set", ctx, b.None(), len(o.set))
+	}
+	if b.All() != (len(o.set) == o.n) {
+		t.Fatalf("%s: All = %v with %d/%d set", ctx, b.All(), len(o.set), o.n)
+	}
+	for i := 0; i < o.n; i++ {
+		if b.Get(i) != o.set[i] {
+			t.Fatalf("%s: Get(%d) = %v, want %v", ctx, i, b.Get(i), o.set[i])
+		}
+	}
+	prev := -1
+	b.ForEach(func(i int) {
+		if i <= prev {
+			t.Fatalf("%s: ForEach not ascending: %d after %d", ctx, i, prev)
+		}
+		if !o.set[i] {
+			t.Fatalf("%s: ForEach yielded unset index %d", ctx, i)
+		}
+		prev = i
+	})
+}
+
+// runBitmapOracle drives one random op sequence over a (Bitmap, oracle)
+// pair and a second pair that the binary ops draw their operand from.
+func runBitmapOracle(t *testing.T, seed int64, n int, ops int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b, o := NewBitmap(n), newOracle(n)
+	other, otherO := NewBitmap(n), newOracle(n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 0 {
+			other.Set(i)
+			otherO.set[i] = true
+		}
+	}
+	for step := 0; step < ops; step++ {
+		switch op := rng.Intn(8); op {
+		case 0:
+			if n > 0 {
+				i := rng.Intn(n)
+				b.Set(i)
+				o.set[i] = true
+			}
+		case 1:
+			if n > 0 {
+				i := rng.Intn(n)
+				b.Clear(i)
+				delete(o.set, i)
+			}
+		case 2:
+			b.And(other)
+			o.and(otherO)
+		case 3:
+			b.Or(other)
+			o.or(otherO)
+		case 4:
+			b.Not()
+			o.not()
+		case 5:
+			b.SetAll()
+			for i := 0; i < n; i++ {
+				o.set[i] = true
+			}
+		case 6:
+			b.ClearAll()
+			o.set = make(map[int]bool)
+		case 7:
+			b.AndNot(other)
+			for i := range otherO.set {
+				delete(o.set, i)
+			}
+		}
+		requireEqual(t, b, o, "after op")
+	}
+}
+
+// TestBitmapVsOracleProperty exercises random op sequences across sizes
+// that cover the word-boundary cases (0, 1, 63, 64, 65, two words, many).
+func TestBitmapVsOracleProperty(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 128, 200, 1000} {
+		for seed := int64(0); seed < 5; seed++ {
+			runBitmapOracle(t, seed, n, 40)
+		}
+	}
+}
+
+// FuzzBitmapVsOracle lets the fuzzer pick the size and op sequence.
+func FuzzBitmapVsOracle(f *testing.F) {
+	f.Add(int64(1), uint16(64), uint8(20))
+	f.Add(int64(99), uint16(0), uint8(5))
+	f.Add(int64(-3), uint16(1027), uint8(60))
+	f.Fuzz(func(t *testing.T, seed int64, n uint16, ops uint8) {
+		runBitmapOracle(t, seed, int(n)%2048, int(ops)%64)
+	})
+}

@@ -71,6 +71,13 @@ type Sequence interface {
 	CountIntoMasked(counts []int64, mask *Bitmap)
 	// Materialize appends all elements to dst and returns it.
 	Materialize(dst []uint32) []uint32
+	// SpreadMask sets m's bit for every row whose chunk-id v has active[v]
+	// true; active must be sized to the chunk-dictionary cardinality and m
+	// to Len rows. Rows whose chunk-id is inactive are left untouched, so
+	// callers reuse a cleared bitmap. This spreads a per-distinct predicate
+	// verdict to per-row selection in one type-specialized pass — the
+	// vectorized restriction step.
+	SpreadMask(active []bool, m *Bitmap)
 	// AppendBytes appends the serialized element payload to dst; the
 	// inverse is Decode with the same width and length.
 	AppendBytes(dst []byte) []byte
@@ -198,6 +205,11 @@ func (s constSeq) Materialize(dst []uint32) []uint32 {
 	}
 	return dst
 }
+func (s constSeq) SpreadMask(active []bool, m *Bitmap) {
+	if s.n > 0 && active[s.v] {
+		m.SetAll()
+	}
+}
 func (s constSeq) AppendBytes(dst []byte) []byte {
 	var b [4]byte
 	binary.LittleEndian.PutUint32(b[:], s.v)
@@ -251,6 +263,22 @@ func (s bitSeq) CountIntoMasked(counts []int64, mask *Bitmap) {
 	counts[1] += int64(ones)
 	counts[0] += int64(selected - ones)
 }
+func (s bitSeq) SpreadMask(active []bool, m *Bitmap) {
+	switch {
+	case active[0] && active[1]:
+		m.SetAll()
+	case active[1]:
+		for i, w := range s.bits {
+			m.words[i] |= w
+		}
+		m.trim()
+	case active[0]:
+		for i, w := range s.bits {
+			m.words[i] |= ^w
+		}
+		m.trim()
+	}
+}
 func (s bitSeq) Materialize(dst []uint32) []uint32 {
 	for i := 0; i < s.n; i++ {
 		dst = append(dst, uint32(s.bits[i/64]>>(i%64)&1))
@@ -288,6 +316,22 @@ func (s byteSeq) Materialize(dst []uint32) []uint32 {
 	return dst
 }
 func (s byteSeq) AppendBytes(dst []byte) []byte { return append(dst, s...) }
+func (s byteSeq) SpreadMask(active []bool, m *Bitmap) {
+	for wi := range m.words {
+		base := wi * 64
+		end := base + 64
+		if end > len(s) {
+			end = len(s)
+		}
+		var w uint64
+		for i := base; i < end; i++ {
+			if active[s[i]] {
+				w |= 1 << uint(i-base)
+			}
+		}
+		m.words[wi] |= w
+	}
+}
 
 // wordSeq: up to 65536 distinct values, two bytes per element.
 type wordSeq []uint16
@@ -309,6 +353,22 @@ func (s wordSeq) Materialize(dst []uint32) []uint32 {
 		dst = append(dst, uint32(v))
 	}
 	return dst
+}
+func (s wordSeq) SpreadMask(active []bool, m *Bitmap) {
+	for wi := range m.words {
+		base := wi * 64
+		end := base + 64
+		if end > len(s) {
+			end = len(s)
+		}
+		var w uint64
+		for i := base; i < end; i++ {
+			if active[s[i]] {
+				w |= 1 << uint(i-base)
+			}
+		}
+		m.words[wi] |= w
+	}
 }
 func (s wordSeq) AppendBytes(dst []byte) []byte {
 	var b [2]byte
@@ -335,6 +395,22 @@ func (s dwordSeq) CountIntoMasked(counts []int64, mask *Bitmap) {
 	mask.ForEach(func(i int) { counts[s[i]]++ })
 }
 func (s dwordSeq) Materialize(dst []uint32) []uint32 { return append(dst, s...) }
+func (s dwordSeq) SpreadMask(active []bool, m *Bitmap) {
+	for wi := range m.words {
+		base := wi * 64
+		end := base + 64
+		if end > len(s) {
+			end = len(s)
+		}
+		var w uint64
+		for i := base; i < end; i++ {
+			if active[s[i]] {
+				w |= 1 << uint(i-base)
+			}
+		}
+		m.words[wi] |= w
+	}
+}
 func (s dwordSeq) AppendBytes(dst []byte) []byte {
 	var b [4]byte
 	for _, v := range s {

@@ -188,7 +188,7 @@ func (e *Engine) scanChunk(p *plan, ci int, nCols int64, qs *QueryStats) (*parti
 				qs.RowsCached += int64(rows)
 				return v.(*partial), nil
 			}
-			part, err := e.aggregateChunk(p, ci, nil)
+			part, err := e.aggregateChunk(p, ci, nil, qs)
 			if err != nil {
 				return nil, err
 			}
@@ -198,7 +198,7 @@ func (e *Engine) scanChunk(p *plan, ci int, nCols int64, qs *QueryStats) (*parti
 			qs.CellsScanned += int64(rows) * nCols
 			return part, nil
 		}
-		part, err := e.aggregateChunk(p, ci, nil)
+		part, err := e.aggregateChunk(p, ci, nil, qs)
 		if err != nil {
 			return nil, err
 		}
@@ -211,7 +211,7 @@ func (e *Engine) scanChunk(p *plan, ci int, nCols int64, qs *QueryStats) (*parti
 		if err != nil {
 			return nil, err
 		}
-		part, err := e.aggregateChunk(p, ci, mask)
+		part, err := e.aggregateChunk(p, ci, mask, qs)
 		if err != nil {
 			return nil, err
 		}
@@ -259,59 +259,94 @@ func (e *Engine) mergePartial(global map[uint32][]accCell, part *partial, p *pla
 }
 
 // aggregateChunk computes a chunk's partial aggregates. mask == nil means
-// the chunk is fully active. This function contains the inner loops of
-// Section 2.4: dense arrays indexed by chunk-id, no hashing.
-func (e *Engine) aggregateChunk(p *plan, ci int, mask *enc.Bitmap) (*partial, error) {
+// the chunk is fully active. It dispatches to the vectorized kernels
+// (kernels.go) unless Options.DisableKernels pins the scalar reference
+// path — the oracle the differential fuzzer compares the kernels against.
+// Both paths produce bit-for-bit identical partials, including float
+// SUM/AVG accumulation order (ascending rows).
+func (e *Engine) aggregateChunk(p *plan, ci int, mask *enc.Bitmap, qs *QueryStats) (*partial, error) {
+	if e.opts.DisableKernels {
+		if qs != nil {
+			qs.ScalarChunks++
+		}
+		return e.aggregateChunkScalar(p, ci, mask)
+	}
+	if qs != nil {
+		qs.KernelChunks++
+	}
+	return e.aggregateChunkVec(p, ci, mask)
+}
+
+// chunkAggCtx is the per-chunk geometry both aggregation paths share:
+// group cardinality and global-ids, materialized group elements, and the
+// per-aggregate argument tables (numeric value, hash, and global-id of
+// each argument chunk-id — computed once per distinct value, not per row,
+// the same trick the restriction masks use).
+type chunkAggCtx struct {
+	rows int
+	na   int
+	// Group geometry: chunk-ids 0..card-1 map to group global-ids. gseq and
+	// gelems are nil for a global aggregate (card == 1, one implicit group).
+	card      int
+	groupGIDs []uint32
+	gseq      enc.Sequence
+	gelems    []uint32
+	// Per-aggregate argument tables, indexed [agg][chunk-id] (argElems is
+	// [agg][row]).
+	argIsInt []bool
+	argValsF [][]float64
+	argValsI [][]int64
+	argGIDs  [][]uint32
+	argHash  [][]uint64
+	argElems [][]uint32
+}
+
+// newChunkAggCtx resolves chunk ci's group geometry and argument tables.
+func (e *Engine) newChunkAggCtx(p *plan, ci int) *chunkAggCtx {
 	rows := e.store.ChunkRows(ci)
 	gcol := p.groupColumn()
 	na := len(p.aggs)
-
-	// Group geometry: chunk-ids 0..card-1 map to group global-ids.
-	var card int
-	var groupGIDs []uint32
-	var gelems []uint32
+	c := &chunkAggCtx{rows: rows, na: na}
 	if gcol == "" {
-		card = 1
-		groupGIDs = []uint32{0}
+		c.card = 1
+		c.groupGIDs = []uint32{0}
 	} else {
 		gch := p.col(e, gcol).Chunks[ci]
-		card = gch.Cardinality()
-		groupGIDs = gch.GlobalIDs
-		gelems = gch.Elems.Materialize(make([]uint32, 0, rows))
+		c.card = gch.Cardinality()
+		c.groupGIDs = gch.GlobalIDs
+		c.gseq = gch.Elems
+		c.gelems = gch.Elems.Materialize(make([]uint32, 0, rows))
 	}
 
-	// Per-aggregate argument tables: numeric value, hash, and global-id of
-	// each argument chunk-id (computed once per distinct value, not per
-	// row — the same trick the restriction masks use).
-	argIsInt := make([]bool, na)
-	argValsF := make([][]float64, na)
-	argValsI := make([][]int64, na)
-	argGIDs := make([][]uint32, na)
-	argHash := make([][]uint64, na)
-	argElems := make([][]uint32, na)
+	c.argIsInt = make([]bool, na)
+	c.argValsF = make([][]float64, na)
+	c.argValsI = make([][]int64, na)
+	c.argGIDs = make([][]uint32, na)
+	c.argHash = make([][]uint64, na)
+	c.argElems = make([][]uint32, na)
 	for j, spec := range p.aggs {
 		if spec.argCol == "" {
 			continue
 		}
 		acol := p.col(e, spec.argCol)
 		ach := acol.Chunks[ci]
-		argGIDs[j] = ach.GlobalIDs
-		argElems[j] = ach.Elems.Materialize(make([]uint32, 0, rows))
+		c.argGIDs[j] = ach.GlobalIDs
+		c.argElems[j] = ach.Elems.Materialize(make([]uint32, 0, rows))
 		switch spec.fn {
 		case aggSum, aggAvg:
 			if acol.Kind == value.KindInt64 {
-				argIsInt[j] = true
+				c.argIsInt[j] = true
 				vals := make([]int64, len(ach.GlobalIDs))
 				for i, gid := range ach.GlobalIDs {
 					vals[i] = acol.Dict.Value(gid).Int()
 				}
-				argValsI[j] = vals
+				c.argValsI[j] = vals
 			} else {
 				vals := make([]float64, len(ach.GlobalIDs))
 				for i, gid := range ach.GlobalIDs {
 					vals[i] = acol.Dict.Value(gid).AsFloat()
 				}
-				argValsF[j] = vals
+				c.argValsF[j] = vals
 			}
 		case aggCountDistinct:
 			if !e.opts.ExactDistinct {
@@ -319,10 +354,21 @@ func (e *Engine) aggregateChunk(p *plan, ci int, mask *enc.Bitmap) (*partial, er
 				for i, gid := range ach.GlobalIDs {
 					hs[i] = acol.Dict.Hash(gid)
 				}
-				argHash[j] = hs
+				c.argHash[j] = hs
 			}
 		}
 	}
+	return c
+}
+
+// aggregateChunkScalar is the retained row-at-a-time reference
+// implementation — the inner loops of Section 2.4 (dense arrays indexed by
+// chunk-id, no hashing), one interface-dispatched add per row. It stays in
+// the tree as the differential-fuzzing oracle and the ablation baseline;
+// production queries run the kernels in kernels.go.
+func (e *Engine) aggregateChunkScalar(p *plan, ci int, mask *enc.Bitmap) (*partial, error) {
+	c := e.newChunkAggCtx(p, ci)
+	rows, card, na, gelems := c.rows, c.card, c.na, c.gelems
 
 	accs := make([]accCell, card*na)
 	add := func(r int) {
@@ -338,14 +384,14 @@ func (e *Engine) aggregateChunk(p *plan, ci int, mask *enc.Bitmap) (*partial, er
 				cell.count++
 			case aggSum, aggAvg:
 				cell.count++
-				if argIsInt[j] {
-					cell.sumI += argValsI[j][argElems[j][r]]
+				if c.argIsInt[j] {
+					cell.sumI += c.argValsI[j][c.argElems[j][r]]
 				} else {
-					cell.sumF += argValsF[j][argElems[j][r]]
+					cell.sumF += c.argValsF[j][c.argElems[j][r]]
 				}
 			case aggMin, aggMax:
 				cell.count++
-				gid := argGIDs[j][argElems[j][r]]
+				gid := c.argGIDs[j][c.argElems[j][r]]
 				if !cell.hasMM {
 					cell.minID, cell.maxID, cell.hasMM = gid, gid, true
 				} else {
@@ -362,12 +408,12 @@ func (e *Engine) aggregateChunk(p *plan, ci int, mask *enc.Bitmap) (*partial, er
 					if cell.exact == nil {
 						cell.exact = make(map[uint32]struct{}, 16)
 					}
-					cell.exact[argGIDs[j][argElems[j][r]]] = struct{}{}
+					cell.exact[c.argGIDs[j][c.argElems[j][r]]] = struct{}{}
 				} else {
 					if cell.sketch == nil {
 						cell.sketch = sketch.NewKMV(e.opts.SketchM)
 					}
-					cell.sketch.AddHash(argHash[j][argElems[j][r]])
+					cell.sketch.AddHash(c.argHash[j][c.argElems[j][r]])
 				}
 			}
 		}
@@ -375,9 +421,9 @@ func (e *Engine) aggregateChunk(p *plan, ci int, mask *enc.Bitmap) (*partial, er
 
 	// Fast path: a single COUNT(*) over a full chunk is the pure
 	// counts[elements[row]]++ loop (20 ms for 5M rows in the paper).
-	if mask == nil && na == 1 && p.aggs[0].fn == aggCount && gcol != "" {
+	if mask == nil && na == 1 && p.aggs[0].fn == aggCount && c.gseq != nil {
 		counts := make([]int64, card)
-		p.col(e, gcol).Chunks[ci].Elems.CountInto(counts)
+		c.gseq.CountInto(counts)
 		for g := 0; g < card; g++ {
 			accs[g].count = counts[g]
 		}
@@ -409,7 +455,7 @@ func (e *Engine) aggregateChunk(p *plan, ci int, mask *enc.Bitmap) (*partial, er
 			}
 		}
 		if contributed {
-			part.gids = append(part.gids, groupGIDs[g])
+			part.gids = append(part.gids, c.groupGIDs[g])
 			part.accs = append(part.accs, accs[g*na:(g+1)*na]...)
 		}
 	}

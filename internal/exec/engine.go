@@ -30,6 +30,11 @@ type Options struct {
 	// DisableSkipping scans every chunk regardless of the restriction —
 	// the ablation that isolates Section 2.2's contribution.
 	DisableSkipping bool
+	// DisableKernels forces the row-at-a-time scalar scan path instead of
+	// the vectorized kernels. The scalar path is the reference
+	// implementation the differential fuzzer compares the kernels against
+	// (and an ablation isolating the kernels' contribution).
+	DisableKernels bool
 	// Parallelism is the number of workers a single query fans its chunk
 	// scans out over; 0 (the default) means runtime.GOMAXPROCS(0), and 1
 	// recovers the fully sequential engine.
@@ -110,6 +115,15 @@ type Stats struct {
 	// CoalescedReads counts the reads run coalescing saved (a run of m
 	// contiguous cold chunks is one read, saving m−1).
 	CoalescedReads int64
+	// BloomSkippedChunks counts chunks pruned only because a per-chunk
+	// bloom filter proved an equality restriction's ids absent — the
+	// manifest spans alone could not have skipped them.
+	BloomSkippedChunks int64
+	// KernelChunks counts chunks aggregated by the vectorized kernels;
+	// ScalarChunks counts chunks that ran the row-at-a-time reference path
+	// (Options.DisableKernels).
+	KernelChunks int64
+	ScalarChunks int64
 }
 
 // QueryStats are the per-query counters.
@@ -159,6 +173,16 @@ type QueryStats struct {
 	// CoalescedReads counts the reads this query's run coalescing saved
 	// (a run of m contiguous cold chunks is one read, saving m−1).
 	CoalescedReads int
+	// BloomSkippedChunks counts chunks this query pruned only because a
+	// per-chunk bloom filter proved an equality restriction's ids absent —
+	// the manifest spans alone could not have skipped them. They are also
+	// counted in SkippedChunks (and ChunksSkipped).
+	BloomSkippedChunks int
+	// KernelChunks counts chunks this query aggregated through the
+	// vectorized kernels; ScalarChunks counts chunks that ran the
+	// row-at-a-time reference path instead (Options.DisableKernels).
+	KernelChunks int
+	ScalarChunks int
 	// RowsTotal counts the rows the answer SHOULD span: the store's row
 	// count for a single engine or leaf partial, the sum over every shard
 	// (answering or not) after a cluster merge. RowsCovered counts the
@@ -283,6 +307,7 @@ func (e *Engine) Run(stmt *sql.SelectStmt) (*Result, error) {
 			return nil, err
 		}
 	}
+	qs.BloomSkippedChunks = rsd.bloomSkipped
 	qs.ColdLoads = ps.ColdLoads
 	qs.ColdChunkLoads = ps.ColdChunkLoads
 	qs.ColdDictLoads = ps.ColdDictLoads
@@ -323,6 +348,9 @@ func (e *Engine) recordStats(qs QueryStats) {
 	e.stats.CacheSkippedChunks += int64(qs.CacheSkippedChunks)
 	e.stats.ReadRuns += int64(qs.ReadRuns)
 	e.stats.CoalescedReads += int64(qs.CoalescedReads)
+	e.stats.BloomSkippedChunks += int64(qs.BloomSkippedChunks)
+	e.stats.KernelChunks += int64(qs.KernelChunks)
+	e.stats.ScalarChunks += int64(qs.ScalarChunks)
 }
 
 // prefetchColumns pins what the statement will touch BEFORE planning takes

@@ -1,0 +1,410 @@
+package exec
+
+// Vectorized aggregation kernels — the batch-at-a-time rewrite of the
+// Section 2.4 inner loops. Where the scalar reference path (agg.go)
+// dispatches a closure per row that switches over every aggregate, the
+// kernels run one type-specialized pass per aggregate over the chunk's
+// materialized element arrays, driven either by the full row range or by
+// the surviving-row bitmap's words (64 rows per branch-free word probe).
+//
+// Bit-for-bit identity with the scalar path is a hard requirement (the
+// differential fuzzer enforces it): every kernel visits rows in ascending
+// order, so float SUM/AVG accumulate in exactly the scalar order, KMV
+// sketches ingest hashes in the same sequence, and the compaction step
+// reproduces the scalar occupancy rules exactly.
+
+import (
+	"math/bits"
+
+	"powerdrill/internal/enc"
+	"powerdrill/internal/sketch"
+	"powerdrill/internal/value"
+)
+
+// aggregateChunkVec computes a chunk's partial aggregates with the
+// vectorized kernels. mask == nil means the chunk is fully active.
+func (e *Engine) aggregateChunkVec(p *plan, ci int, mask *enc.Bitmap) (*partial, error) {
+	if mask != nil {
+		// Sparse masks skip the dense per-chunk tables entirely: building
+		// them costs O(rows) per chunk (materialized element arrays plus
+		// per-distinct-value lookup tables), which dominates when only a
+		// few rows survive the restriction. The gather path is O(selected).
+		if n := mask.Count(); n*8 <= e.store.ChunkRows(ci) {
+			return e.aggregateChunkVecSparse(p, ci, mask, n)
+		}
+	}
+	c := e.newChunkAggCtx(p, ci)
+
+	// Row counts per group drive every kernel: they are each cell's .count
+	// (all aggregate kinds count selected rows identically) and the
+	// occupancy test of the compaction step.
+	counts := make([]int64, c.card)
+	switch {
+	case c.gseq == nil: // global aggregate: one implicit group
+		if mask == nil {
+			counts[0] = int64(c.rows)
+		} else {
+			counts[0] = int64(mask.Count())
+		}
+	case mask == nil:
+		c.gseq.CountInto(counts)
+	default:
+		c.gseq.CountIntoMasked(counts, mask)
+	}
+
+	accs := make([]accCell, c.card*c.na)
+	for j, spec := range p.aggs {
+		switch spec.fn {
+		case aggCount:
+			kernelFill(accs, j, c.na, counts)
+		case aggSum, aggAvg:
+			if c.argIsInt[j] {
+				kernelSumInt(accs, j, c, counts, mask)
+			} else {
+				kernelSumFloat(accs, j, c, counts, mask)
+			}
+		case aggMin, aggMax:
+			kernelMinMax(accs, j, c, counts, mask)
+		case aggCountDistinct:
+			kernelDistinct(e, accs, j, c, counts, mask)
+		}
+	}
+
+	// Compact: keep only groups that actually received rows. counts[g] > 0
+	// is exactly the scalar path's occupancy verdict (every aggregate kind
+	// counts every selected row); the one asymmetry is the scalar rule that
+	// a pure GROUP BY over a full chunk emits every dictionary entry.
+	part := &partial{}
+	for g := 0; g < c.card; g++ {
+		contributed := counts[g] > 0
+		if c.na == 0 && mask == nil {
+			contributed = true
+		}
+		if contributed {
+			part.gids = append(part.gids, c.groupGIDs[g])
+			part.accs = append(part.accs, accs[g*c.na:(g+1)*c.na]...)
+		}
+	}
+	return part, nil
+}
+
+// aggregateChunkVecSparse is the low-selectivity kernel: it gathers the
+// surviving row indices once from the bitmap words, then reads the group
+// and argument sequences point-wise for just those rows — no materialized
+// element arrays, no per-distinct-value tables. Values and hashes come from
+// the same dictionary calls the dense tables are built from, and rows are
+// visited in ascending order, so the partial is bit-identical to the dense
+// kernels' and the scalar path's.
+func (e *Engine) aggregateChunkVecSparse(p *plan, ci int, mask *enc.Bitmap, nsel int) (*partial, error) {
+	na := len(p.aggs)
+	sel := make([]int32, 0, nsel)
+	for wi, w := range mask.Words() {
+		base := wi * 64
+		for w != 0 {
+			sel = append(sel, int32(base+bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+
+	card := 1
+	groupGIDs := []uint32{0}
+	var gseq enc.Sequence
+	if gcol := p.groupColumn(); gcol != "" {
+		gch := p.col(e, gcol).Chunks[ci]
+		card = gch.Cardinality()
+		groupGIDs = gch.GlobalIDs
+		gseq = gch.Elems
+	}
+	counts := make([]int64, card)
+	var gof []uint32 // group chunk-id per selected row
+	if gseq == nil {
+		counts[0] = int64(len(sel))
+	} else {
+		gof = make([]uint32, len(sel))
+		for i, r := range sel {
+			g := gseq.At(int(r))
+			gof[i] = g
+			counts[g]++
+		}
+	}
+	group := func(i int) int {
+		if gof == nil {
+			return 0
+		}
+		return int(gof[i])
+	}
+
+	accs := make([]accCell, card*na)
+	for j, spec := range p.aggs {
+		if spec.argCol == "" {
+			continue // COUNT(*): counts are written below
+		}
+		acol := p.col(e, spec.argCol)
+		ach := acol.Chunks[ci]
+		agids, aseq := ach.GlobalIDs, ach.Elems
+		switch spec.fn {
+		case aggSum, aggAvg:
+			if acol.Kind == value.KindInt64 {
+				for i, r := range sel {
+					accs[group(i)*na+j].sumI += acol.Dict.Value(agids[aseq.At(int(r))]).Int()
+				}
+			} else {
+				for i, r := range sel {
+					accs[group(i)*na+j].sumF += acol.Dict.Value(agids[aseq.At(int(r))]).AsFloat()
+				}
+			}
+		case aggMin, aggMax:
+			for i, r := range sel {
+				gid := agids[aseq.At(int(r))]
+				cell := &accs[group(i)*na+j]
+				if !cell.hasMM {
+					cell.minID, cell.maxID, cell.hasMM = gid, gid, true
+					continue
+				}
+				if gid < cell.minID {
+					cell.minID = gid
+				}
+				if gid > cell.maxID {
+					cell.maxID = gid
+				}
+			}
+		case aggCountDistinct:
+			if e.opts.ExactDistinct {
+				for i, r := range sel {
+					cell := &accs[group(i)*na+j]
+					if cell.exact == nil {
+						cell.exact = make(map[uint32]struct{}, 16)
+					}
+					cell.exact[agids[aseq.At(int(r))]] = struct{}{}
+				}
+			} else {
+				for i, r := range sel {
+					cell := &accs[group(i)*na+j]
+					if cell.sketch == nil {
+						cell.sketch = sketch.NewKMV(e.opts.SketchM)
+					}
+					cell.sketch.AddHash(acol.Dict.Hash(agids[aseq.At(int(r))]))
+				}
+			}
+		}
+	}
+
+	// Compact: mask != nil here, so occupancy is exactly counts[g] > 0 on
+	// every path (including the pure-GROUP-BY na == 0 case).
+	part := &partial{}
+	for g := 0; g < card; g++ {
+		if counts[g] == 0 {
+			continue
+		}
+		base := g * na
+		for j := 0; j < na; j++ {
+			accs[base+j].count = counts[g]
+		}
+		part.gids = append(part.gids, groupGIDs[g])
+		part.accs = append(part.accs, accs[base:base+na]...)
+	}
+	return part, nil
+}
+
+// kernelFill writes the per-group row counts into aggregate column j —
+// the complete COUNT(*) kernel, and the .count side of every other kernel.
+func kernelFill(accs []accCell, j, na int, counts []int64) {
+	for g, n := range counts {
+		accs[g*na+j].count = n
+	}
+}
+
+// kernelSumInt accumulates SUM/AVG over an int64 column: dense per-group
+// sums indexed by group chunk-id, values looked up per distinct argument
+// chunk-id.
+func kernelSumInt(accs []accCell, j int, c *chunkAggCtx, counts []int64, mask *enc.Bitmap) {
+	vals, ae, ge := c.argValsI[j], c.argElems[j], c.gelems
+	sums := make([]int64, c.card)
+	switch {
+	case ge == nil && mask == nil:
+		var s int64
+		for _, a := range ae {
+			s += vals[a]
+		}
+		sums[0] = s
+	case ge == nil:
+		var s int64
+		for wi, w := range mask.Words() {
+			base := wi * 64
+			for w != 0 {
+				r := base + bits.TrailingZeros64(w)
+				w &= w - 1
+				s += vals[ae[r]]
+			}
+		}
+		sums[0] = s
+	case mask == nil:
+		for r, a := range ae {
+			sums[ge[r]] += vals[a]
+		}
+	default:
+		for wi, w := range mask.Words() {
+			base := wi * 64
+			for w != 0 {
+				r := base + bits.TrailingZeros64(w)
+				w &= w - 1
+				sums[ge[r]] += vals[ae[r]]
+			}
+		}
+	}
+	for g, s := range sums {
+		cell := &accs[g*c.na+j]
+		cell.count = counts[g]
+		cell.sumI = s
+	}
+}
+
+// kernelSumFloat is kernelSumInt for float64 columns. Ascending row order
+// keeps the float accumulation bit-identical to the scalar path.
+func kernelSumFloat(accs []accCell, j int, c *chunkAggCtx, counts []int64, mask *enc.Bitmap) {
+	vals, ae, ge := c.argValsF[j], c.argElems[j], c.gelems
+	sums := make([]float64, c.card)
+	switch {
+	case ge == nil && mask == nil:
+		var s float64
+		for _, a := range ae {
+			s += vals[a]
+		}
+		sums[0] = s
+	case ge == nil:
+		var s float64
+		for wi, w := range mask.Words() {
+			base := wi * 64
+			for w != 0 {
+				r := base + bits.TrailingZeros64(w)
+				w &= w - 1
+				s += vals[ae[r]]
+			}
+		}
+		sums[0] = s
+	case mask == nil:
+		for r, a := range ae {
+			sums[ge[r]] += vals[a]
+		}
+	default:
+		for wi, w := range mask.Words() {
+			base := wi * 64
+			for w != 0 {
+				r := base + bits.TrailingZeros64(w)
+				w &= w - 1
+				sums[ge[r]] += vals[ae[r]]
+			}
+		}
+	}
+	for g, s := range sums {
+		cell := &accs[g*c.na+j]
+		cell.count = counts[g]
+		cell.sumF = s
+	}
+}
+
+// kernelMinMax tracks per-group global-id extremes. One kernel serves both
+// MIN and MAX: the cell carries both ids and finalize picks the right one.
+func kernelMinMax(accs []accCell, j int, c *chunkAggCtx, counts []int64, mask *enc.Bitmap) {
+	gids, ae, ge := c.argGIDs[j], c.argElems[j], c.gelems
+	minIDs := make([]uint32, c.card)
+	maxIDs := make([]uint32, c.card)
+	seen := make([]bool, c.card)
+	visit := func(g int, gid uint32) {
+		if !seen[g] {
+			minIDs[g], maxIDs[g], seen[g] = gid, gid, true
+			return
+		}
+		if gid < minIDs[g] {
+			minIDs[g] = gid
+		}
+		if gid > maxIDs[g] {
+			maxIDs[g] = gid
+		}
+	}
+	switch {
+	case mask == nil && ge == nil:
+		for _, a := range ae {
+			visit(0, gids[a])
+		}
+	case mask == nil:
+		for r, a := range ae {
+			visit(int(ge[r]), gids[a])
+		}
+	case ge == nil:
+		for wi, w := range mask.Words() {
+			base := wi * 64
+			for w != 0 {
+				r := base + bits.TrailingZeros64(w)
+				w &= w - 1
+				visit(0, gids[ae[r]])
+			}
+		}
+	default:
+		for wi, w := range mask.Words() {
+			base := wi * 64
+			for w != 0 {
+				r := base + bits.TrailingZeros64(w)
+				w &= w - 1
+				visit(int(ge[r]), gids[ae[r]])
+			}
+		}
+	}
+	for g := 0; g < c.card; g++ {
+		cell := &accs[g*c.na+j]
+		cell.count = counts[g]
+		if seen[g] {
+			cell.minID, cell.maxID, cell.hasMM = minIDs[g], maxIDs[g], true
+		}
+	}
+}
+
+// kernelDistinct feeds COUNT(DISTINCT x) accumulators: per-group KMV
+// sketches (hash per distinct argument id, precomputed) or exact id sets.
+// Sketches and sets allocate lazily on first row, like the scalar path.
+func kernelDistinct(e *Engine, accs []accCell, j int, c *chunkAggCtx, counts []int64, mask *enc.Bitmap) {
+	ae, ge := c.argElems[j], c.gelems
+	group := func(r int) int {
+		if ge == nil {
+			return 0
+		}
+		return int(ge[r])
+	}
+	var visit func(r int)
+	if e.opts.ExactDistinct {
+		gids := c.argGIDs[j]
+		visit = func(r int) {
+			cell := &accs[group(r)*c.na+j]
+			if cell.exact == nil {
+				cell.exact = make(map[uint32]struct{}, 16)
+			}
+			cell.exact[gids[ae[r]]] = struct{}{}
+		}
+	} else {
+		hs := c.argHash[j]
+		visit = func(r int) {
+			cell := &accs[group(r)*c.na+j]
+			if cell.sketch == nil {
+				cell.sketch = sketch.NewKMV(e.opts.SketchM)
+			}
+			cell.sketch.AddHash(hs[ae[r]])
+		}
+	}
+	if mask == nil {
+		for r := 0; r < c.rows; r++ {
+			visit(r)
+		}
+	} else {
+		for wi, w := range mask.Words() {
+			base := wi * 64
+			for w != 0 {
+				r := base + bits.TrailingZeros64(w)
+				w &= w - 1
+				visit(r)
+			}
+		}
+	}
+	for g := 0; g < c.card; g++ {
+		accs[g*c.na+j].count = counts[g]
+	}
+}

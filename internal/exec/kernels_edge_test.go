@@ -1,0 +1,183 @@
+package exec
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"powerdrill/internal/colstore"
+	"powerdrill/internal/table"
+)
+
+// edgeStore builds a store with exact 4-row chunks (partitioned by a
+// monotone column, so row order is preserved) and unique tags planted at
+// chunk boundaries: "first" at row 4 (first row of chunk 1), "last" at row
+// 11 (last row of chunk 2). Chunk 3 holds a single distinct tag "only".
+func edgeStore(t *testing.T) *colstore.Store {
+	t.Helper()
+	const rows, chunkRows = 16, 4
+	s := make([]string, rows)
+	n := make([]int64, rows)
+	p := make([]string, rows)
+	for i := 0; i < rows; i++ {
+		s[i] = fmt.Sprintf("bulk%d", i%3)
+		n[i] = int64(i)
+		p[i] = fmt.Sprintf("p%02d", i/chunkRows)
+	}
+	s[4] = "first" // first row of chunk 1
+	s[11] = "last" // last row of chunk 2
+	for i := 12; i < 16; i++ {
+		s[i] = "only" // chunk 3: one distinct value
+	}
+	tbl := table.New("data").
+		AddStringColumn("s", s).
+		AddInt64Column("n", n).
+		AddStringColumn("p", p)
+	store, err := colstore.FromTable(tbl, colstore.Options{
+		PartitionFields: []string{"p"},
+		MaxChunkRows:    chunkRows,
+	})
+	if err != nil {
+		t.Fatalf("FromTable: %v", err)
+	}
+	if store.NumChunks() != 4 {
+		t.Fatalf("edge store has %d chunks, want 4", store.NumChunks())
+	}
+	return store
+}
+
+// TestKernelChunkBoundaries drives restrictions that land exactly on chunk
+// edges — the first row of a chunk, the last row of a chunk, a chunk with a
+// single distinct value, and the all-rows / zero-rows extremes — through
+// both scan paths and checks results and the skip/scan counters.
+func TestKernelChunkBoundaries(t *testing.T) {
+	store := edgeStore(t)
+	cases := []struct {
+		name    string
+		query   string
+		wantN   string // expected lone aggregate rendering, "" to skip
+		scanned int    // chunks the precise classification must scan
+		skipped int    // chunks skipped before or during classification
+	}{
+		{
+			name:    "first row of a chunk",
+			query:   `SELECT COUNT(*) AS c FROM data WHERE s = "first";`,
+			wantN:   "1",
+			scanned: 1, skipped: 3,
+		},
+		{
+			name:    "last row of a chunk",
+			query:   `SELECT SUM(n) AS c FROM data WHERE s = "last";`,
+			wantN:   "11",
+			scanned: 1, skipped: 3,
+		},
+		{
+			name: "single-distinct chunk fully active",
+			// Chunk 3 holds only "only": classification is activeAll, so the
+			// chunk aggregates without a mask.
+			query:   `SELECT COUNT(*) AS c FROM data WHERE s = "only";`,
+			wantN:   "4",
+			scanned: 1, skipped: 3,
+		},
+		{
+			name:    "all rows match",
+			query:   `SELECT COUNT(*) AS c FROM data WHERE n >= 0;`,
+			wantN:   "16",
+			scanned: 4, skipped: 0,
+		},
+		{
+			name: "zero rows match",
+			// No group receives a row, so the result is empty — and every
+			// chunk is skipped before its data is touched.
+			query:   `SELECT COUNT(*) AS c FROM data WHERE s = "absent";`,
+			wantN:   "empty",
+			scanned: 0, skipped: 4,
+		},
+		{
+			name:  "group by spanning boundaries",
+			query: `SELECT s, COUNT(*) AS c, MAX(n) AS m FROM data WHERE n < 12 GROUP BY s;`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			kernel := New(store, Options{Parallelism: 1})
+			scalar := New(store, Options{Parallelism: 1, DisableKernels: true})
+			kres, err := kernel.Query(tc.query)
+			if err != nil {
+				t.Fatalf("kernel: %v", err)
+			}
+			sres, err := scalar.Query(tc.query)
+			if err != nil {
+				t.Fatalf("scalar: %v", err)
+			}
+			if !reflect.DeepEqual(kres.Rows, sres.Rows) {
+				t.Fatalf("paths diverge:\n  kernel: %#v\n  scalar: %#v", kres.Rows, sres.Rows)
+			}
+			switch tc.wantN {
+			case "":
+				return
+			case "empty":
+				if len(kres.Rows) != 0 {
+					t.Fatalf("want empty result, got %#v", kres.Rows)
+				}
+			default:
+				if len(kres.Rows) != 1 || len(kres.Rows[0]) != 1 {
+					t.Fatalf("want one aggregate cell, got %#v", kres.Rows)
+				}
+				if got := kres.Rows[0][0].String(); got != tc.wantN {
+					t.Fatalf("aggregate = %s, want %s", got, tc.wantN)
+				}
+			}
+			for _, r := range []struct {
+				path string
+				res  *Result
+			}{{"kernel", kres}, {"scalar", sres}} {
+				if r.res.Stats.ChunksScanned != tc.scanned {
+					t.Errorf("%s ChunksScanned = %d, want %d", r.path, r.res.Stats.ChunksScanned, tc.scanned)
+				}
+				if r.res.Stats.ChunksSkipped != tc.skipped {
+					t.Errorf("%s ChunksSkipped = %d, want %d", r.path, r.res.Stats.ChunksSkipped, tc.skipped)
+				}
+			}
+			if kres.Stats.KernelChunks != tc.scanned {
+				t.Errorf("KernelChunks = %d, want %d", kres.Stats.KernelChunks, tc.scanned)
+			}
+			if sres.Stats.ScalarChunks != tc.scanned {
+				t.Errorf("ScalarChunks = %d, want %d", sres.Stats.ScalarChunks, tc.scanned)
+			}
+		})
+	}
+}
+
+// TestKernelSparseDenseCutover pins the sparse-gather/dense cutover: the
+// same query must give identical results on either side of the mask
+// popcount threshold (n*8 <= rows chooses the gather path).
+func TestKernelSparseDenseCutover(t *testing.T) {
+	const rows = 512
+	s := make([]string, rows)
+	n := make([]int64, rows)
+	for i := 0; i < rows; i++ {
+		s[i] = fmt.Sprintf("g%d", i%4)
+		n[i] = int64(i % 17)
+	}
+	tbl := table.New("data").AddStringColumn("s", s).AddInt64Column("n", n)
+	store, err := colstore.FromTable(tbl, colstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n < 1 selects ~6% of rows (sparse); n < 9 selects ~53% (dense).
+	for _, where := range []string{"n < 1", "n < 9"} {
+		q := fmt.Sprintf(`SELECT s, COUNT(*) AS c, SUM(n) AS t FROM data WHERE %s GROUP BY s;`, where)
+		kres, err := New(store, Options{Parallelism: 1}).Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sres, err := New(store, Options{Parallelism: 1, DisableKernels: true}).Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(kres.Rows, sres.Rows) {
+			t.Fatalf("%s: paths diverge:\n  kernel: %#v\n  scalar: %#v", where, kres.Rows, sres.Rows)
+		}
+	}
+}

@@ -118,4 +118,7 @@ func (qs *QueryStats) add(o QueryStats) {
 	qs.CacheSkippedChunks += o.CacheSkippedChunks
 	qs.ReadRuns += o.ReadRuns
 	qs.CoalescedReads += o.CoalescedReads
+	qs.BloomSkippedChunks += o.BloomSkippedChunks
+	qs.KernelChunks += o.KernelChunks
+	qs.ScalarChunks += o.ScalarChunks
 }

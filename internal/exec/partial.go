@@ -72,6 +72,7 @@ func (e *Engine) RunPartial(stmt *sql.SelectStmt) (*Partial, error) {
 	if err != nil {
 		return nil, err
 	}
+	qs.BloomSkippedChunks = rsd.bloomSkipped
 	qs.ColdLoads = ps.ColdLoads
 	qs.ColdChunkLoads = ps.ColdChunkLoads
 	qs.ColdDictLoads = ps.ColdDictLoads
@@ -184,6 +185,9 @@ func MergePartials(dst, src *Partial) error {
 	dst.Stats.CacheSkippedChunks += src.Stats.CacheSkippedChunks
 	dst.Stats.ReadRuns += src.Stats.ReadRuns
 	dst.Stats.CoalescedReads += src.Stats.CoalescedReads
+	dst.Stats.BloomSkippedChunks += src.Stats.BloomSkippedChunks
+	dst.Stats.KernelChunks += src.Stats.KernelChunks
+	dst.Stats.ScalarChunks += src.Stats.ScalarChunks
 	dst.Stats.RowsTotal += src.Stats.RowsTotal
 	dst.Stats.RowsCovered += src.Stats.RowsCovered
 	dst.Stats.ShardsMissing += src.Stats.ShardsMissing

@@ -3,6 +3,7 @@ package exec
 import (
 	"sort"
 
+	"powerdrill/internal/bloom"
 	"powerdrill/internal/colstore"
 	"powerdrill/internal/sql"
 	"powerdrill/internal/value"
@@ -48,6 +49,10 @@ type residency struct {
 	// sig is the predicted cache-key signature the cached entries were
 	// probed under; plan verifies it against the compiled query.
 	sig string
+	// bloomSkipped counts chunks pruned only because a per-chunk bloom
+	// filter proved an equality restriction's ids absent — the [min, max]
+	// spans alone would have kept them active.
+	bloomSkipped int
 }
 
 // activeSet returns the active flags (nil = all chunks).
@@ -98,9 +103,10 @@ func (e *Engine) analyzeResidency(stmt *sql.SelectStmt, ps *colstore.PinSet) *re
 	}
 	active := make([]bool, n)
 	full := make([]bool, n)
-	count, fullCount := 0, 0
+	hasBlooms := node.hasBlooms()
+	count, fullCount, bloomSkipped := 0, 0, 0
 	for ci := 0; ci < n; ci++ {
-		switch node.classify(ci) {
+		switch node.classify(ci, true) {
 		case activeAll:
 			// Span-proven fully active: the precise per-chunk-dictionary
 			// classification is sound w.r.t. this (TestResidencySoundness),
@@ -112,12 +118,18 @@ func (e *Engine) analyzeResidency(stmt *sql.SelectStmt, ps *colstore.PinSet) *re
 		case activeSome:
 			active[ci] = true
 			count++
+		case activeNone:
+			// Attribute the skip: if spans alone would have kept the chunk,
+			// the bloom filters are what pruned it.
+			if hasBlooms && node.classify(ci, false) != activeNone {
+				bloomSkipped++
+			}
 		}
 	}
 	if fullCount == 0 {
 		full = nil
 	}
-	return &residency{active: active, count: count, full: full}
+	return &residency{active: active, count: count, full: full, bloomSkipped: bloomSkipped}
 }
 
 // spanNode is a conservative, metadata-only compilation of a WHERE tree:
@@ -130,6 +142,25 @@ type spanNode struct {
 	spans    []colstore.ChunkSpan
 	gids     []uint32 // rInSet: sorted global-ids
 	lo, hi   uint32   // rRange: [lo, hi)
+	// blooms are per-chunk global-id filters (v4 manifests; nil entries and
+	// nil slices mean "no filter"). Only rInSet leaves consult them: a
+	// filter that tests negative for every id in the set proves the chunk
+	// holds none of them — no false negatives — sharpening activeNone on
+	// unsorted columns whose [min, max] spans cover everything.
+	blooms []*bloom.Filter
+}
+
+// hasBlooms reports whether any leaf carries chunk bloom filters.
+func (n *spanNode) hasBlooms() bool {
+	if len(n.blooms) > 0 {
+		return true
+	}
+	for _, c := range n.children {
+		if c.hasBlooms() {
+			return true
+		}
+	}
+	return false
 }
 
 // unknownSpan is the "cannot decide, assume active" sentinel leaf.
@@ -169,25 +200,26 @@ func (e *Engine) compileSpanTree(w sql.Expr, ps *colstore.PinSet) *spanNode {
 // restriction on a materialized expression prunes chunks even after the
 // column was evicted — or in a later process that merely reopened the
 // store — instead of being treated as all-active.
-func (e *Engine) spanLeafColumn(x sql.Expr, ps *colstore.PinSet) (*colstore.Column, []colstore.ChunkSpan, bool) {
+func (e *Engine) spanLeafColumn(x sql.Expr, ps *colstore.PinSet) (*colstore.Column, []colstore.ChunkSpan, []*bloom.Filter, bool) {
 	name := ""
 	if id, ok := x.(*sql.Ident); ok {
 		name = id.Name
 	} else if key := x.String(); e.store.HasColumn(key) {
 		name = key
 	} else {
-		return nil, nil, false
+		return nil, nil, nil, false
 	}
 	spans, ok := e.store.ChunkSpans(name)
 	if !ok {
-		return nil, nil, false
+		return nil, nil, nil, false
 	}
 	col, err := ps.ColumnDict(name)
 	if err != nil {
 		// Plan will hit (and report) the same load error; stay conservative.
-		return nil, nil, false
+		return nil, nil, nil, false
 	}
-	return col, spans, true
+	blooms, _ := e.store.ChunkBlooms(name)
+	return col, spans, blooms, true
 }
 
 // spanComparison maps `col OP literal` onto a set or range leaf over spans.
@@ -202,7 +234,7 @@ func (e *Engine) spanComparison(n *sql.Binary, ps *colstore.PinSet) *spanNode {
 	if !ok {
 		return unknownSpan
 	}
-	col, spans, ok := e.spanLeafColumn(lhs, ps)
+	col, spans, blooms, ok := e.spanLeafColumn(lhs, ps)
 	if !ok {
 		return unknownSpan
 	}
@@ -212,7 +244,7 @@ func (e *Engine) spanComparison(n *sql.Binary, ps *colstore.PinSet) *spanNode {
 		if err != nil {
 			return unknownSpan
 		}
-		leaf := &spanNode{op: rInSet, spans: spans, gids: gids}
+		leaf := &spanNode{op: rInSet, spans: spans, gids: gids, blooms: blooms}
 		if op == sql.OpNe {
 			return &spanNode{op: rNot, children: []*spanNode{leaf}}
 		}
@@ -235,7 +267,7 @@ func (e *Engine) spanIn(n *sql.In, ps *colstore.PinSet) *spanNode {
 		}
 		lits = append(lits, lit)
 	}
-	col, spans, ok := e.spanLeafColumn(n.X, ps)
+	col, spans, blooms, ok := e.spanLeafColumn(n.X, ps)
 	if !ok {
 		return unknownSpan
 	}
@@ -243,7 +275,7 @@ func (e *Engine) spanIn(n *sql.In, ps *colstore.PinSet) *spanNode {
 	if err != nil {
 		return unknownSpan
 	}
-	leaf := &spanNode{op: rInSet, spans: spans, gids: gids}
+	leaf := &spanNode{op: rInSet, spans: spans, gids: gids, blooms: blooms}
 	if n.Negated {
 		return &spanNode{op: rNot, children: []*spanNode{leaf}}
 	}
@@ -254,12 +286,15 @@ func (e *Engine) spanIn(n *sql.In, ps *colstore.PinSet) *spanNode {
 // three-valued lattice as restriction.classify, but over [min, max]
 // summaries instead of full chunk-dictionaries. Sound by construction:
 // whenever this returns activeNone, the precise classification would too.
-func (n *spanNode) classify(ci int) triState {
+// useBloom additionally consults the per-chunk bloom filters at rInSet
+// leaves; filters never report a present id absent, so the sharpened
+// activeNone — and its flip to activeAll under NOT — stays sound.
+func (n *spanNode) classify(ci int, useBloom bool) triState {
 	switch n.op {
 	case rAnd:
 		out := activeAll
 		for _, c := range n.children {
-			if s := c.classify(ci); s < out {
+			if s := c.classify(ci, useBloom); s < out {
 				out = s
 			}
 			if out == activeNone {
@@ -270,7 +305,7 @@ func (n *spanNode) classify(ci int) triState {
 	case rOr:
 		out := activeNone
 		for _, c := range n.children {
-			if s := c.classify(ci); s > out {
+			if s := c.classify(ci, useBloom); s > out {
 				out = s
 			}
 			if out == activeAll {
@@ -279,7 +314,7 @@ func (n *spanNode) classify(ci int) triState {
 		}
 		return out
 	case rNot:
-		switch n.children[0].classify(ci) {
+		switch n.children[0].classify(ci, useBloom) {
 		case activeNone:
 			return activeAll
 		case activeAll:
@@ -295,6 +330,9 @@ func (n *spanNode) classify(ci int) triState {
 		if sp.MinGID == sp.MaxGID {
 			// Single distinct value, proven to be in the set.
 			return activeAll
+		}
+		if useBloom && ci < len(n.blooms) && n.blooms[ci] != nil && !anyGIDInBloom(n.gids, sp, n.blooms[ci]) {
+			return activeNone
 		}
 		return activeSome
 	case rRange:
@@ -315,4 +353,17 @@ func (n *spanNode) classify(ci int) triState {
 func anyGIDInSpan(sorted []uint32, sp colstore.ChunkSpan) bool {
 	i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= sp.MinGID })
 	return i < len(sorted) && sorted[i] <= sp.MaxGID
+}
+
+// anyGIDInBloom reports whether the chunk's bloom filter admits any of the
+// sorted global-ids inside the span. False means every id is provably
+// absent from the chunk (filters have no false negatives).
+func anyGIDInBloom(sorted []uint32, sp colstore.ChunkSpan, f *bloom.Filter) bool {
+	i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= sp.MinGID })
+	for ; i < len(sorted) && sorted[i] <= sp.MaxGID; i++ {
+		if f.TestUint64(uint64(sorted[i])) {
+			return true
+		}
+	}
+	return false
 }

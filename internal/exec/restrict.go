@@ -396,6 +396,12 @@ func (r *restriction) mask(e *Engine, p *plan, ci int) (*enc.Bitmap, error) {
 			return nil, err
 		}
 		for _, c := range r.children[1:] {
+			if !e.opts.DisableKernels && out.None() && !c.canError() {
+				// Kernel path: an empty AND stays empty; skip the remaining
+				// children unless one could surface an evaluation error the
+				// scalar path would report.
+				continue
+			}
 			m, err := c.mask(e, p, ci)
 			if err != nil {
 				return nil, err
@@ -424,11 +430,11 @@ func (r *restriction) mask(e *Engine, p *plan, ci int) (*enc.Bitmap, error) {
 		m.Not()
 		return m, nil
 	case rInSet:
-		return maskFromChunkPred(r.colRef.Chunks[ci], rows, func(gid uint32) bool {
+		return maskFromChunkPredWith(e, r.colRef.Chunks[ci], rows, func(gid uint32) bool {
 			return containsUint32(r.gids, gid)
 		}), nil
 	case rRange:
-		return maskFromChunkPred(r.colRef.Chunks[ci], rows, func(gid uint32) bool {
+		return maskFromChunkPredWith(e, r.colRef.Chunks[ci], rows, func(gid uint32) bool {
 			return gid >= r.lo && gid < r.hi
 		}), nil
 	case rRowPred:
@@ -439,6 +445,32 @@ func (r *restriction) mask(e *Engine, p *plan, ci int) (*enc.Bitmap, error) {
 		return m, nil
 	}
 	return nil, fmt.Errorf("exec: cannot mask restriction op %d", r.op)
+}
+
+// canError reports whether evaluating the tree's mask can surface an
+// error: only the row-predicate fallback evaluates expressions per row; id
+// sets, ranges and their boolean combinations cannot fail. The kernel
+// path's AND short-circuit uses this so it never skips an error the scalar
+// reference path would report.
+func (r *restriction) canError() bool {
+	if r.op == rRowPred {
+		return true
+	}
+	for _, c := range r.children {
+		if c.canError() {
+			return true
+		}
+	}
+	return false
+}
+
+// maskFromChunkPredWith picks the mask builder for the engine's scan mode:
+// the vectorized SpreadMask spread or the scalar per-row reference loop.
+func maskFromChunkPredWith(e *Engine, ch *colstore.Chunk, rows int, pred func(gid uint32) bool) *enc.Bitmap {
+	if e.opts.DisableKernels {
+		return maskFromChunkPred(ch, rows, pred)
+	}
+	return maskFromChunkPredVec(ch, rows, pred)
 }
 
 // maskFromChunkPred builds a row bitmap from a per-global-id predicate:
@@ -463,6 +495,24 @@ func maskFromChunkPred(ch *colstore.Chunk, rows int, pred func(gid uint32) bool)
 		if active[ch.Elems.At(r)] {
 			m.Set(r)
 		}
+	}
+	return m
+}
+
+// maskFromChunkPredVec is maskFromChunkPred with the per-row spread
+// replaced by the sequence's word-at-a-time SpreadMask kernel.
+func maskFromChunkPredVec(ch *colstore.Chunk, rows int, pred func(gid uint32) bool) *enc.Bitmap {
+	active := make([]bool, len(ch.GlobalIDs))
+	anyActive := false
+	for i, gid := range ch.GlobalIDs {
+		if pred(gid) {
+			active[i] = true
+			anyActive = true
+		}
+	}
+	m := enc.NewBitmap(rows)
+	if anyActive {
+		ch.Elems.SpreadMask(active, m)
 	}
 	return m
 }
