@@ -1,0 +1,185 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"powerdrill"
+)
+
+// durabilityReport is the machine-readable result of the durability
+// experiment, written to BENCH_durability.json.
+type durabilityReport struct {
+	// Append throughput per WAL fsync policy (rows/sec): what each rung
+	// of the durability ladder costs.
+	AppendRateNever    float64 `json:"append_rows_per_sec_fsync_never"`
+	AppendRateInterval float64 `json:"append_rows_per_sec_fsync_interval"`
+	AppendRateAlways   float64 `json:"append_rows_per_sec_fsync_always"`
+
+	// Cold-read checksum verification: first-touch query latency with
+	// verification on vs off, and how many records the verified run
+	// checked.
+	ColdQueryVerifyMicros   int64 `json:"cold_query_verify_micros"`
+	ColdQueryNoVerifyMicros int64 `json:"cold_query_noverify_micros"`
+	ChecksumRecordsVerified int   `json:"checksum_records_verified"`
+
+	// Offline scrub over the final store (base + segments + WAL).
+	ScrubFiles    int     `json:"scrub_files"`
+	ScrubRecords  int     `json:"scrub_records"`
+	ScrubMB       float64 `json:"scrub_mb"`
+	ScrubMicros   int64   `json:"scrub_micros"`
+	ScrubCorrupt  int     `json:"scrub_corrupt"`
+	ScrubMBPerSec float64 `json:"scrub_mb_per_sec"`
+}
+
+// runDurability measures what the durable-ingest machinery costs: append
+// throughput under each WAL fsync policy, the cold-read latency of
+// checksum verification, and the offline scrub's pass rate over
+// everything the run wrote. The scrub finding zero corrupt files on a
+// freshly written store is the experiment's correctness gate. Results
+// land in BENCH_durability.json.
+func runDurability(cfg config) error {
+	tbl := dataset(cfg)
+	half := cfg.rows / 2
+	baseRows := make([]int, half)
+	for i := range baseRows {
+		baseRows[i] = i
+	}
+	opts := powerdrill.Options{
+		PartitionFields:  []string{"country", "table_name"},
+		MaxChunkRows:     maxInt(cfg.rows/100, 1000),
+		OptimizeElements: true,
+		Reorder:          true,
+		Parallelism:      cfg.parallelism,
+		IngestSealRows:   maxInt(half/10, 1000),
+	}
+	built, err := powerdrill.Build(tbl.Select(baseRows), opts)
+	if err != nil {
+		return err
+	}
+
+	rep := durabilityReport{}
+	batch := maxInt(half/100, 500)
+	var lastDir string
+	for _, policy := range []string{powerdrill.FsyncNever, powerdrill.FsyncInterval, powerdrill.FsyncAlways} {
+		dir, err := os.MkdirTemp("", "pdbench-durability-")
+		if err != nil {
+			return err
+		}
+		if policy != powerdrill.FsyncAlways {
+			defer os.RemoveAll(dir)
+		}
+		if err := built.Save(dir, "zippy"); err != nil {
+			return err
+		}
+		popts := opts
+		popts.IngestFsyncPolicy = policy
+		store, _, err := powerdrill.Open(dir, popts)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		for at := half; at < cfg.rows; at += batch {
+			n := minInt(batch, cfg.rows-at)
+			rows := make([]int, n)
+			for i := range rows {
+				rows[i] = at + i
+			}
+			if err := store.Append(tbl.Select(rows)); err != nil {
+				return err
+			}
+		}
+		if err := store.Flush(); err != nil {
+			return err
+		}
+		rate := float64(cfg.rows-half) / time.Since(start).Seconds()
+		if err := store.Close(); err != nil {
+			return err
+		}
+		switch policy {
+		case powerdrill.FsyncNever:
+			rep.AppendRateNever = rate
+		case powerdrill.FsyncInterval:
+			rep.AppendRateInterval = rate
+		case powerdrill.FsyncAlways:
+			rep.AppendRateAlways = rate
+			lastDir = dir
+		}
+	}
+	defer os.RemoveAll(lastDir)
+
+	row("", "fsync policy", "append rows/s")
+	row("", "never", fmt.Sprintf("%.0f", rep.AppendRateNever))
+	row("", "interval", fmt.Sprintf("%.0f", rep.AppendRateInterval))
+	row("", "always", fmt.Sprintf("%.0f", rep.AppendRateAlways))
+	fmt.Println()
+
+	// --- Cold-read verification cost ------------------------------------
+	coldQuery := `SELECT table_name, SUM(latency) AS s FROM data GROUP BY table_name ORDER BY s DESC LIMIT 10;`
+	for _, verify := range []bool{true, false} {
+		store, _, err := powerdrill.Open(lastDir, powerdrill.Options{
+			Parallelism:           cfg.parallelism,
+			DisableChecksumVerify: !verify,
+		})
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		res, err := store.Query(coldQuery)
+		if err != nil {
+			return err
+		}
+		micros := time.Since(start).Microseconds()
+		if verify {
+			rep.ColdQueryVerifyMicros = micros
+			rep.ChecksumRecordsVerified = res.Stats.ChecksumVerified
+		} else {
+			rep.ColdQueryNoVerifyMicros = micros
+		}
+		if err := store.Close(); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("cold query: %dµs verified (%d records), %dµs unverified\n\n",
+		rep.ColdQueryVerifyMicros, rep.ChecksumRecordsVerified, rep.ColdQueryNoVerifyMicros)
+
+	// --- Offline scrub ---------------------------------------------------
+	start := time.Now()
+	srep, err := powerdrill.Scrub(lastDir)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	var bytes int64
+	for _, f := range srep.Files {
+		bytes += f.Bytes
+	}
+	rep.ScrubFiles = len(srep.Files)
+	rep.ScrubRecords = srep.Records
+	rep.ScrubMB = float64(bytes) / 1e6
+	rep.ScrubMicros = elapsed.Microseconds()
+	rep.ScrubCorrupt = srep.Corrupt
+	if s := elapsed.Seconds(); s > 0 {
+		rep.ScrubMBPerSec = rep.ScrubMB / s
+	}
+	fmt.Printf("scrub: %d files (%.2f MB), %d records verified, %d corrupt, %v\n",
+		rep.ScrubFiles, rep.ScrubMB, rep.ScrubRecords, rep.ScrubCorrupt, elapsed.Round(time.Millisecond))
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_durability.json", blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_durability.json")
+	if rep.ScrubCorrupt != 0 {
+		return fmt.Errorf("scrub found %d corrupt files in a freshly written store", rep.ScrubCorrupt)
+	}
+	if rep.ScrubRecords == 0 {
+		return fmt.Errorf("scrub verified no records — checksums missing from the written store")
+	}
+	return nil
+}

@@ -25,6 +25,7 @@
 //	pdbench -exp virtcol             # budget-aware (persisted) virtual columns
 //	pdbench -exp ingest              # streaming appends, snapshot queries, compaction
 //	pdbench -exp kernels             # vectorized kernels vs scalar, bloom/dict-shard pruning
+//	pdbench -exp durability          # WAL fsync cost, checksum overhead, offline scrub
 //
 // Absolute numbers depend on the host; the relationships (who wins, by
 // what factor, where curves bend) are the reproduction target. See
@@ -65,6 +66,7 @@ var experiments = []struct {
 	{"virtcol", "Budget-aware virtual columns: sidecar persistence, eviction, span pruning", runVirtCol},
 	{"ingest", "Streaming ingestion: append rate, snapshot query latency, compaction", runIngest},
 	{"kernels", "Vectorized scan kernels vs scalar path; Bloom + dict-shard pruning", runKernels},
+	{"durability", "Durable ingest: fsync policy cost, checksum overhead, offline scrub", runDurability},
 }
 
 // config carries the shared experiment parameters.

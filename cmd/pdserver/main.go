@@ -22,11 +22,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"powerdrill"
@@ -83,18 +87,62 @@ func main() {
 	}
 	fmt.Printf("pdserver: serving %d rows (%d chunks, lazy columns, memory budget %s) on %s\n",
 		store.NumRows(), store.NumChunks(), budget, l.Addr())
+	var statzSrv *http.Server
 	if *statz != "" {
+		statzSrv = &http.Server{Addr: *statz, Handler: statzMux(store)}
 		go func() {
-			if err := serveStatz(*statz, store); err != nil {
+			if err := statzSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintf(os.Stderr, "pdserver: statz: %v\n", err)
 			}
 		}()
 		fmt.Printf("pdserver: /statz on %s\n", *statz)
 	}
-	if err := powerdrill.ServeShard(l, store); err != nil {
-		fmt.Fprintf(os.Stderr, "pdserver: %v\n", err)
-		os.Exit(1)
+
+	// SIGTERM/SIGINT triggers a graceful shutdown: stop accepting, drain
+	// in-flight HTTP requests, then flush the write buffer so every
+	// acknowledged append is sealed durably before the process exits.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- powerdrill.ServeShard(l, store) }()
+	select {
+	case err := <-serveErr:
+		_ = store.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pdserver: %v\n", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		stop() // a second signal kills immediately
+		fmt.Println("pdserver: signal received; draining, flushing, closing")
+		if err := shutdownLeaf(l, statzSrv, store, serveErr); err != nil {
+			fmt.Fprintf(os.Stderr, "pdserver: shutdown: %v\n", err)
+			os.Exit(1)
+		}
 	}
+}
+
+// shutdownLeaf runs the graceful-shutdown sequence: close the RPC
+// listener (new connections refused, the serve loop exits), drain the
+// observability server's in-flight requests, then Flush — sealing every
+// buffered row into a committed segment — and Close the store. After it
+// returns, every acknowledged append is durable and the process can
+// exit or be killed safely.
+func shutdownLeaf(l net.Listener, statzSrv *http.Server, store *powerdrill.Store, serveErr <-chan error) error {
+	_ = l.Close()
+	if statzSrv != nil {
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		_ = statzSrv.Shutdown(sctx)
+		cancel()
+	}
+	if serveErr != nil {
+		<-serveErr // the RPC accept loop has exited
+	}
+	if err := store.Flush(); err != nil {
+		_ = store.Close()
+		return err
+	}
+	return store.Close()
 }
 
 type coordinatorOptions struct {

@@ -162,6 +162,12 @@ type engineSection struct {
 	// chunks are served by one ReadAt per run instead of one per chunk.
 	ReadRuns       int64 `json:"read_runs"`
 	CoalescedReads int64 `json:"coalesced_reads"`
+	// ChecksumVerified/ChecksumFailed count cold loads that passed /
+	// failed CRC32C verification (format v5 stores). A nonzero failure
+	// count means the storage layer caught corruption before it could
+	// reach a result.
+	ChecksumVerified int64 `json:"checksum_verified"`
+	ChecksumFailed   int64 `json:"checksum_failed"`
 }
 
 type cacheSection struct {
@@ -197,6 +203,8 @@ func statzHandler(store *powerdrill.Store) http.Handler {
 				CacheSkippedChunks: es.CacheSkippedChunks,
 				ReadRuns:           es.ReadRuns,
 				CoalescedReads:     es.CoalescedReads,
+				ChecksumVerified:   es.ChecksumVerified,
+				ChecksumFailed:     es.ChecksumFailed,
 			},
 		}
 		if ms, ok := store.MemStats(); ok {
@@ -318,12 +326,13 @@ func ingestHandler(store *powerdrill.Store) http.Handler {
 	})
 }
 
-// serveStatz starts the observability HTTP listener on addr.
-func serveStatz(addr string, store *powerdrill.Store) error {
+// statzMux routes the leaf observability endpoints: /statz counters and
+// /ingest streaming appends.
+func statzMux(store *powerdrill.Store) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/statz", statzHandler(store))
 	mux.Handle("/ingest", ingestHandler(store))
-	return http.ListenAndServe(addr, mux)
+	return mux
 }
 
 // coordinatorStatzHandler serves the coordinator's runtime counters:

@@ -79,6 +79,9 @@ func (s *Store) writer() *ingest.Writer {
 func (s *Store) ensureWriter() (*ingest.Writer, error) {
 	s.ingMu.Lock()
 	defer s.ingMu.Unlock()
+	if s.closed {
+		return nil, errors.New("powerdrill: store is closed")
+	}
 	if s.ing != nil {
 		return s.ing, nil
 	}
@@ -86,9 +89,11 @@ func (s *Store) ensureWriter() (*ingest.Writer, error) {
 		return nil, errors.New("powerdrill: appending requires a store opened from disk (use Open)")
 	}
 	w, err := ingest.Attach(s.dir, s.store, s.engine, ingest.Opts{
-		SealRows:           s.opts.IngestSealRows,
-		CompactMinSegments: s.opts.IngestCompactMinSegments,
-		EngineOpts:         s.opts.engineOptions(),
+		SealRows:              s.opts.IngestSealRows,
+		CompactMinSegments:    s.opts.IngestCompactMinSegments,
+		FsyncPolicy:           s.opts.IngestFsyncPolicy,
+		DisableChecksumVerify: s.opts.DisableChecksumVerify,
+		EngineOpts:            s.opts.engineOptions(),
 	})
 	if err != nil {
 		return nil, err

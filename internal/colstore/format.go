@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"os"
 	"path/filepath"
 	"unicode/utf8"
 
@@ -43,9 +42,13 @@ import (
 //     reopens of uncompressed stores load only the dictionary shards a
 //     query probes. Both fields are optional JSON additions: v4 readers
 //     open v1–v3 stores unchanged, and older readers ignore the fields.
+//   - v5 (record checksums): every on-disk record — head record, chunk
+//     record, dictionary shard frame — carries a CRC32C over the exact
+//     file bytes a cold load reads, verified on read (see checksum.go).
+//     Again purely additive JSON fields; v1–v4 stores read unchanged.
 
 // formatVersion is the manifest generation this package writes.
-const formatVersion = 4
+const formatVersion = 5
 
 // formatPerRecordCodec is the first generation whose codec applies per
 // record (dictionary and chunks compressed individually) rather than to
@@ -78,6 +81,10 @@ type manifestCol struct {
 	// plus chunk-count varint) at the start of the column file; only set by
 	// per-record-compressed (v3) saves.
 	DictCLen int64 `json:"dict_clen,omitempty"`
+	// DictCRC is the CRC32C of the head record's file bytes (v5): the
+	// compressed record on per-record-compressed stores, otherwise every
+	// byte before the first chunk (the whole file for chunkless columns).
+	DictCRC uint32 `json:"dict_crc,omitempty"`
 	// Chunks is the per-chunk layout: value span for restriction pruning
 	// and the byte range of each chunk record, so a single chunk can be
 	// loaded without touching the rest of the column.
@@ -101,6 +108,9 @@ type manifestDictShard struct {
 	First string `json:"first"`
 	Last  string `json:"last"`
 	Bloom []byte `json:"bloom,omitempty"`
+	// CRC is the CRC32C of the shard's file bytes (v5, uncompressed
+	// stores only — shard offsets index the file directly there).
+	CRC uint32 `json:"crc,omitempty"`
 }
 
 // manifestChunk records one chunk's residency metadata: the global-id span
@@ -121,6 +131,10 @@ type manifestChunk struct {
 	// matches nothing in the chunk, pruning it before any load — the check
 	// the [Min, Max] span cannot make on unsorted columns.
 	Bloom []byte `json:"bloom,omitempty"`
+	// CRC is the CRC32C of the chunk record's file bytes (v5): the
+	// compressed record [COff, COff+CLen) on per-record-compressed
+	// stores, [Off, Off+Len) otherwise.
+	CRC uint32 `json:"crc,omitempty"`
 }
 
 type manifestOpts struct {
@@ -158,7 +172,7 @@ func save(s *Store, dir, codecName string, format int) error {
 			return err
 		}
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := vfs().MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("colstore: save: %w", err)
 	}
 	m := manifest{
@@ -203,7 +217,10 @@ func save(s *Store, dir, codecName string, format int) error {
 				raw = codec.Compress(nil, raw)
 			}
 		}
-		if err := os.WriteFile(filepath.Join(dir, file), raw, 0o644); err != nil {
+		if format >= formatChecksums {
+			addColChecksums(&mc, raw, codec != nil && mc.DictCLen > 0)
+		}
+		if err := vfs().WriteFile(filepath.Join(dir, file), raw, 0o644); err != nil {
 			return fmt.Errorf("colstore: save column %q: %w", name, err)
 		}
 		m.Columns = append(m.Columns, mc)
@@ -212,7 +229,7 @@ func save(s *Store, dir, codecName string, format int) error {
 	if err != nil {
 		return fmt.Errorf("colstore: save manifest: %w", err)
 	}
-	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), blob, 0o644); err != nil {
+	if err := vfs().WriteFile(filepath.Join(dir, "manifest.json"), blob, 0o644); err != nil {
 		return fmt.Errorf("colstore: save manifest: %w", err)
 	}
 	return nil
@@ -413,7 +430,7 @@ type DiskStats struct {
 
 // readManifest loads and validates a persisted store's manifest.
 func readManifest(dir string) (*manifest, int64, error) {
-	blob, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	blob, err := vfs().ReadFile(filepath.Join(dir, "manifest.json"))
 	if err != nil {
 		return nil, 0, fmt.Errorf("colstore: open: %w", err)
 	}
@@ -463,12 +480,15 @@ func Open(dir string) (*Store, *DiskStats, error) {
 	}
 	s := storeShell(m)
 	for _, mc := range m.Columns {
-		raw, err := os.ReadFile(filepath.Join(dir, mc.File))
+		raw, err := vfs().ReadFile(filepath.Join(dir, mc.File))
 		if err != nil {
 			return nil, nil, fmt.Errorf("colstore: open column %q: %w", mc.Name, err)
 		}
 		stats.BytesRead += int64(len(raw))
 		stats.Files++
+		if _, err := verifyColumnFile(m, mc, raw, filepath.Join(dir, mc.File)); err != nil {
+			return nil, nil, fmt.Errorf("colstore: open column %q: %w", mc.Name, err)
+		}
 		if codec != nil {
 			if m.perChunkCompressed(mc) {
 				raw, err = decompressColumnFile(codec, mc, raw)

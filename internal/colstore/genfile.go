@@ -29,11 +29,11 @@ import (
 // readers skip anything that does not parse.
 func ClaimFileExclusive(path string, blob []byte) error {
 	tmp := fmt.Sprintf("%s.%d.tmp", path, os.Getpid())
-	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+	if err := vfs().WriteFile(tmp, blob, 0o644); err != nil {
 		return err
 	}
-	err := os.Link(tmp, path)
-	_ = os.Remove(tmp)
+	err := vfs().Link(tmp, path)
+	_ = vfs().Remove(tmp)
 	if err == nil {
 		return nil
 	}
@@ -41,7 +41,7 @@ func ClaimFileExclusive(path string, blob []byte) error {
 		return fs.ErrExist
 	}
 	// No hard-link support: claim with O_EXCL instead.
-	f, cerr := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	f, cerr := vfs().OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if cerr != nil {
 		if errors.Is(cerr, fs.ErrExist) {
 			return fs.ErrExist

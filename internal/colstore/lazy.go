@@ -1,8 +1,8 @@
 package colstore
 
 import (
+	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"strconv"
 	"sync"
@@ -89,6 +89,11 @@ type Reader struct {
 	rawOrder []string
 	rawBytes int64
 	stats    IOStats
+
+	// verify enables CRC32C verification of every cold-read record on v5
+	// stores (see checksum.go). On by default; earlier formats carry no
+	// checksums, so the flag is moot there.
+	verify bool
 }
 
 // NewReader opens the manifest in dir. manifestBytes reports the bytes
@@ -107,10 +112,11 @@ func NewReader(dir string) (r *Reader, manifestBytes int64, err error) {
 		}
 	}
 	r = &Reader{
-		dir:  dir,
-		m:    m,
-		sd:   StringDictKind(m.Opts.StringDict),
-		cols: make(map[string]manifestCol, len(m.Columns)),
+		dir:    dir,
+		m:      m,
+		sd:     StringDictKind(m.Opts.StringDict),
+		cols:   make(map[string]manifestCol, len(m.Columns)),
+		verify: true,
 	}
 	if r.sd == "" {
 		r.sd = StringDictArray
@@ -182,7 +188,7 @@ func (r *Reader) rawColumn(name string) (raw []byte, diskBytes int64, kind value
 			return cached, 0, kind, mc.Virtual, nil
 		}
 	}
-	raw, err = os.ReadFile(filepath.Join(r.dir, mc.File))
+	raw, err = vfs().ReadFile(filepath.Join(r.dir, mc.File))
 	if err != nil {
 		return nil, 0, value.KindInvalid, false, fmt.Errorf("colstore: load column %q: %w", name, err)
 	}
@@ -195,6 +201,13 @@ func (r *Reader) rawColumn(name string) (raw []byte, diskBytes int64, kind value
 	}
 	r.fileSizes[mc.File] = diskBytes
 	r.mu.Unlock()
+	if r.verifyActive() {
+		n, verr := verifyColumnFile(r.m, mc, raw, filepath.Join(r.dir, mc.File))
+		r.noteChecksum(n, verr == nil)
+		if verr != nil {
+			return nil, 0, value.KindInvalid, false, fmt.Errorf("colstore: load column %q: %w", name, verr)
+		}
+	}
 	if r.m.Codec != "" {
 		codec := mustCodec(r.m.Codec)
 		if r.m.perChunkCompressed(mc) {
@@ -252,6 +265,9 @@ func (r *Reader) LoadColumnDict(name string) (dict.Dict, int64, error) {
 		raw, err := r.readRange(mc.File, 0, n)
 		if err != nil {
 			return nil, 0, fmt.Errorf("colstore: load dictionary of %q: %w", name, err)
+		}
+		if err := r.verifyRecord(mc.File, 0, raw, mc.DictCRC); err != nil {
+			return nil, 0, err
 		}
 		if r.m.perChunkCompressed(mc) {
 			if raw, err = r.decompress(mustCodec(r.m.Codec), nil, raw); err != nil {
@@ -311,6 +327,9 @@ func (r *Reader) shardedDictFromFrames(mc manifestCol, kind value.Kind) (dict.Di
 		raw, err := r.readRange(file, ds.Off, ds.Len)
 		if err != nil {
 			return nil, fmt.Errorf("colstore: load dict shard %d of %q: %w", i, mc.Name, err)
+		}
+		if err := r.verifyRecord(file, ds.Off, raw, ds.CRC); err != nil {
+			return nil, err
 		}
 		br := &byteReader{buf: raw}
 		vals := make([]string, ds.Count)
@@ -825,6 +844,13 @@ type PinSet struct {
 	// CoalescedReads counts the reads run coalescing saved: a run of m
 	// contiguous cold chunks is one read instead of m, saving m−1.
 	CoalescedReads int
+	// ChecksumVerified counts the records (chunks, dictionaries) whose
+	// CRC32C this set's cold loads checked and matched — zero on v1–v4
+	// stores or with verification disabled.
+	ChecksumVerified int64
+	// ChecksumFailed counts cold loads this set aborted on a checksum
+	// mismatch (the query then fails with that ChecksumError).
+	ChecksumFailed int64
 }
 
 // heldPin records the pins held for one column.
@@ -884,6 +910,7 @@ func (p *PinSet) ensureDict(h *heldPin) error {
 	}
 	d, key, cold, size, disk, err := p.s.acquireDict(h.view.Name)
 	if err != nil {
+		p.noteChecksumErr(err)
 		return err
 	}
 	h.view.Dict = d
@@ -892,8 +919,19 @@ func (p *PinSet) ensureDict(h *heldPin) error {
 	if cold {
 		p.ColdDictLoads++
 		p.coldColumn(h, size, disk)
+		if p.s.ChecksumsActive() {
+			p.ChecksumVerified++
+		}
 	}
 	return nil
+}
+
+// noteChecksumErr counts a load aborted by a checksum mismatch.
+func (p *PinSet) noteChecksumErr(err error) {
+	var ce *ChecksumError
+	if errors.As(err, &ce) {
+		p.ChecksumFailed++
+	}
 }
 
 // ensureChunk pins one chunk into the view. rec optionally carries the
@@ -904,6 +942,7 @@ func (p *PinSet) ensureChunk(h *heldPin, ci int, rec []byte) error {
 	}
 	ch, key, cold, size, disk, err := p.s.acquireChunk(h.view.Name, ci, rec)
 	if err != nil {
+		p.noteChecksumErr(err)
 		return err
 	}
 	h.view.Chunks[ci] = ch
@@ -912,6 +951,9 @@ func (p *PinSet) ensureChunk(h *heldPin, ci int, rec []byte) error {
 	if cold {
 		p.ColdChunkLoads++
 		p.coldColumn(h, size, disk)
+		if p.s.ChecksumsActive() {
+			p.ChecksumVerified++
+		}
 	}
 	return nil
 }

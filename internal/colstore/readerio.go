@@ -2,12 +2,12 @@ package colstore
 
 import (
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"time"
 
 	"powerdrill/internal/compress"
+	"powerdrill/internal/faultfs"
 )
 
 // This file is the Reader's cold-I/O machinery: a bounded per-column file
@@ -46,12 +46,18 @@ type IOStats struct {
 	DecompressCalls int64
 	// DecompressNanos sums the wall time spent inside the codec.
 	DecompressNanos int64
+	// ChecksumVerified counts records whose CRC32C was checked and
+	// matched on a cold read (v5 stores with verification enabled).
+	ChecksumVerified int64
+	// ChecksumFailed counts records whose CRC32C check failed — each one
+	// a load that returned a ChecksumError instead of decoded data.
+	ChecksumFailed int64
 }
 
 // openFile is a reference-counted cached handle. Eviction marks the handle
 // doomed; the file closes when the last in-flight read releases it.
 type openFile struct {
-	f      *os.File
+	f      faultfs.File
 	refs   int
 	doomed bool
 }
@@ -60,13 +66,13 @@ type openFile struct {
 // column file. The caller must call the returned release exactly once;
 // reads run outside the lock, and the reference count keeps an evicted
 // handle open until its last in-flight read finishes.
-func (r *Reader) acquireFile(file string) (*os.File, func(), error) {
+func (r *Reader) acquireFile(file string) (faultfs.File, func(), error) {
 	r.mu.Lock()
 	of, ok := r.files[file]
 	if ok {
 		r.touchFileLocked(file)
 	} else {
-		f, err := os.Open(filepath.Join(r.dir, file))
+		f, err := vfs().Open(filepath.Join(r.dir, file))
 		if err != nil {
 			r.mu.Unlock()
 			return nil, nil, err
@@ -180,7 +186,7 @@ func (r *Reader) IOStats() IOStats {
 // files); Close only frees resources.
 func (r *Reader) Close() error {
 	r.mu.Lock()
-	var toClose []*os.File
+	var toClose []faultfs.File
 	for _, of := range r.files {
 		// refs/doomed are guarded by r.mu: a handle still held by an
 		// in-flight read is doomed here and closed by its release.
@@ -292,6 +298,12 @@ func (r *Reader) DictFileLen(name string) (int64, bool) {
 	if r.m.Codec != "" {
 		return 0, false
 	}
+	if r.m.Format >= formatChecksums && len(mc.Chunks) > 0 {
+		// v5 checksums cover the whole head record (dictionary plus
+		// chunk-count varint), so exact dictionary reads span it fully;
+		// the decoder ignores the trailing varint.
+		return mc.Chunks[0].Off, true
+	}
 	return mc.DictLen, true
 }
 
@@ -305,6 +317,13 @@ func (r *Reader) DecodeChunkRecord(name string, ci int, rec []byte) (*Chunk, err
 	}
 	if ci < 0 || ci >= len(mc.Chunks) {
 		return nil, fmt.Errorf("colstore: column %q has %d chunks, want %d", name, len(mc.Chunks), ci)
+	}
+	off := mc.Chunks[ci].Off
+	if r.m.perChunkCompressed(mc) {
+		off = mc.Chunks[ci].COff
+	}
+	if err := r.verifyRecord(mc.File, off, rec, mc.Chunks[ci].CRC); err != nil {
+		return nil, err
 	}
 	raw := rec
 	if r.m.perChunkCompressed(mc) {

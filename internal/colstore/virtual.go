@@ -76,6 +76,35 @@ type virtualSidecar struct {
 	// Gen is the manifest's position in the generation chain; derived from
 	// the file name on read, 0 for a legacy manifest.json.
 	Gen int `json:"gen,omitempty"`
+	// Check is the CRC32C of the manifest's canonical marshal with this
+	// field zeroed (v5): a torn or corrupted generation file fails the
+	// check and is skipped exactly like one that fails to parse.
+	Check uint32 `json:"check,omitempty"`
+}
+
+// checkedSidecarBlob marshals vs with its integrity checksum filled in.
+func checkedSidecarBlob(vs *virtualSidecar) ([]byte, error) {
+	vs.Check = 0
+	blob, err := json.MarshalIndent(vs, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	vs.Check = CRC32C(blob)
+	return json.MarshalIndent(vs, "", "  ")
+}
+
+// sidecarCheckOK verifies a parsed generation manifest against its Check
+// field by re-marshaling canonically with the field zeroed. Files written
+// before checksums (Check == 0) pass.
+func sidecarCheckOK(vm *virtualSidecar) bool {
+	if vm.Check == 0 {
+		return true
+	}
+	check := vm.Check
+	vm.Check = 0
+	canon, err := json.MarshalIndent(vm, "", "  ")
+	vm.Check = check
+	return err == nil && CRC32C(canon) == check
 }
 
 // readVirtualSidecar loads dir's newest sidecar manifest: the
@@ -88,7 +117,7 @@ type virtualSidecar struct {
 // writer's torn claim, and the previous generation stays authoritative.
 func readVirtualSidecar(dir string) (*virtualSidecar, error) {
 	vdir := filepath.Join(dir, virtualSubdir)
-	entries, err := os.ReadDir(vdir)
+	entries, err := vfs().ReadDir(vdir)
 	if errors.Is(err, os.ErrNotExist) || errors.Is(err, syscall.ENOTDIR) {
 		return nil, nil
 	}
@@ -101,12 +130,15 @@ func readVirtualSidecar(dir string) (*virtualSidecar, error) {
 		if !ok || (best != nil && gen <= best.Gen) {
 			continue
 		}
-		blob, err := os.ReadFile(filepath.Join(vdir, ent.Name()))
+		blob, err := vfs().ReadFile(filepath.Join(vdir, ent.Name()))
 		if err != nil {
 			continue
 		}
 		var vm virtualSidecar
 		if json.Unmarshal(blob, &vm) != nil {
+			continue
+		}
+		if !sidecarCheckOK(&vm) {
 			continue
 		}
 		vm.Gen = gen
@@ -115,7 +147,7 @@ func readVirtualSidecar(dir string) (*virtualSidecar, error) {
 	if best != nil {
 		return best, nil
 	}
-	blob, err := os.ReadFile(filepath.Join(vdir, virtualManifestName))
+	blob, err := vfs().ReadFile(filepath.Join(vdir, virtualManifestName))
 	if errors.Is(err, os.ErrNotExist) {
 		return nil, nil
 	}
@@ -151,7 +183,10 @@ func (s *Store) persistVirtualLocked(col *Column) (manifestCol, error) {
 			raw = codec.Compress(nil, raw)
 		}
 	}
-	if err := os.MkdirAll(filepath.Join(r.dir, virtualSubdir), 0o755); err != nil {
+	if r.m.Format >= formatChecksums {
+		addColChecksums(&mc, raw, r.m.Codec != "" && mc.DictCLen > 0)
+	}
+	if err := vfs().MkdirAll(filepath.Join(r.dir, virtualSubdir), 0o755); err != nil {
 		return mc, fmt.Errorf("colstore: persist virtual column %q: %w", col.Name, err)
 	}
 	// Claim a column file exclusively (O_EXCL): another Store or process
@@ -163,7 +198,7 @@ func (s *Store) persistVirtualLocked(col *Column) (manifestCol, error) {
 	src.mu.RUnlock()
 	for {
 		mc.File = filepath.Join(virtualSubdir, fmt.Sprintf("vcol_%04d.bin", seq))
-		f, err := os.OpenFile(filepath.Join(r.dir, mc.File), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		f, err := vfs().OpenFile(filepath.Join(r.dir, mc.File), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 		if os.IsExist(err) {
 			seq++
 			continue
@@ -217,7 +252,7 @@ func (s *Store) persistVirtualLocked(col *Column) (manifestCol, error) {
 		if !dup {
 			cols = append(cols, mc)
 		}
-		blob, err := json.MarshalIndent(&virtualSidecar{Format: r.m.Format, Codec: r.m.Codec, Columns: cols, Gen: gen + 1}, "", "  ")
+		blob, err := checkedSidecarBlob(&virtualSidecar{Format: r.m.Format, Codec: r.m.Codec, Columns: cols, Gen: gen + 1})
 		if err != nil {
 			return mc, fmt.Errorf("colstore: persist virtual column %q: %w", col.Name, err)
 		}
@@ -256,7 +291,7 @@ func (s *Store) GCVirtualSidecar() (files int, bytes int64) {
 	defer src.persistMu.Unlock()
 	dir := src.reader.dir
 	vdir := filepath.Join(dir, virtualSubdir)
-	entries, err := os.ReadDir(vdir)
+	entries, err := vfs().ReadDir(vdir)
 	if err != nil {
 		return 0, 0
 	}
@@ -268,7 +303,7 @@ func (s *Store) GCVirtualSidecar() (files int, bytes int64) {
 			keep[filepath.Base(mc.File)] = true
 		}
 	}
-	if blob, err := os.ReadFile(filepath.Join(vdir, virtualManifestName)); err == nil {
+	if blob, err := vfs().ReadFile(filepath.Join(vdir, virtualManifestName)); err == nil {
 		var legacy virtualSidecar
 		if json.Unmarshal(blob, &legacy) == nil {
 			for _, mc := range legacy.Columns {
@@ -283,7 +318,16 @@ func (s *Store) GCVirtualSidecar() (files int, bytes int64) {
 		}
 		var remove bool
 		if gen, ok := ParseGenSeq(name, virtualGenPrefix, virtualGenSuffix); ok {
+			// Generations older than the newest readable one are
+			// superseded. A higher-numbered file is either a concurrent
+			// writer's fresh commit (kept) or a crashed writer's torn
+			// claim — unreadable garbage, swept so it cannot linger.
 			remove = gen < newestGen
+			if gen > newestGen {
+				var vm virtualSidecar
+				blob, err := vfs().ReadFile(filepath.Join(vdir, name))
+				remove = err != nil || json.Unmarshal(blob, &vm) != nil || !sidecarCheckOK(&vm)
+			}
 		} else if strings.HasSuffix(name, ".tmp") {
 			remove = true
 		} else {
@@ -293,7 +337,7 @@ func (s *Store) GCVirtualSidecar() (files int, bytes int64) {
 			continue
 		}
 		info, ierr := ent.Info()
-		if os.Remove(filepath.Join(vdir, name)) == nil {
+		if vfs().Remove(filepath.Join(vdir, name)) == nil {
 			files++
 			if ierr == nil {
 				bytes += info.Size()

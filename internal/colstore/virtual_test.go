@@ -3,6 +3,7 @@ package colstore
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"powerdrill/internal/memmgr"
@@ -494,5 +495,78 @@ func TestGCVirtualSidecar(t *testing.T) {
 	// Idempotent: nothing left to collect.
 	if files, _ := s.GCVirtualSidecar(); files != 0 {
 		t.Fatalf("second GC removed %d files, want 0", files)
+	}
+}
+
+// TestVirtualSidecarTornGeneration: a crashed sidecar commit's garbage —
+// unparseable bytes, or a parseable manifest whose integrity check fails
+// — at a higher generation number must not mask the good generation: the
+// store opens and the virtual column still loads bit-for-bit.
+func TestVirtualSidecarTornGeneration(t *testing.T) {
+	for _, torn := range []struct {
+		name string
+		blob func(good []byte) []byte
+	}{
+		{"garbage", func([]byte) []byte { return []byte("{not a manifest") }},
+		{"bad-check", func(good []byte) []byte {
+			// Parseable JSON, wrong Check: flip a byte inside the column
+			// file name.
+			b := append([]byte(nil), good...)
+			at := strings.Index(string(b), "vcol_")
+			if at < 0 {
+				t.Fatal("no virtual column file in sidecar manifest")
+			}
+			b[at+5] ^= 0x01
+			return b
+		}},
+	} {
+		t.Run(torn.name, func(t *testing.T) {
+			_, dir := buildSavedStore(t, 1500, "zippy")
+			lazy, _, err := OpenLazy(dir, memmgr.New(0, "2q"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			built := materializeUpper(t, lazy, "upper(country)")
+			vm := sidecarManifest(t, dir)
+			vdir := filepath.Join(dir, virtualSubdir)
+			goodBlob, err := os.ReadFile(filepath.Join(vdir, virtualGenName(vm.Gen)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			tornPath := filepath.Join(vdir, virtualGenName(vm.Gen+1))
+			if err := os.WriteFile(tornPath, torn.blob(goodBlob), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if err := lazy.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			reopened, _, err := OpenLazy(dir, memmgr.New(0, "2q"))
+			if err != nil {
+				t.Fatalf("torn sidecar generation breaks open: %v", err)
+			}
+			defer reopened.Close()
+			got, err := reopened.ColumnErr("upper(country)")
+			if err != nil {
+				t.Fatal(err)
+			}
+			for ci := range built.Chunks {
+				for r := 0; r < built.Chunks[ci].Rows(); r++ {
+					if !built.ValueAt(ci, r).Equal(got.ValueAt(ci, r)) {
+						t.Fatalf("chunk %d row %d: %v != %v", ci, r, built.ValueAt(ci, r), got.ValueAt(ci, r))
+					}
+				}
+			}
+			// The scrub names the torn file.
+			var verdicts []ScrubFile
+			for _, f := range ScrubDir(dir, dir) {
+				if f.Kind == "sidecar-manifest" && !f.OK() {
+					verdicts = append(verdicts, f)
+				}
+			}
+			if len(verdicts) != 1 || !strings.HasSuffix(verdicts[0].Path, virtualGenName(vm.Gen+1)) {
+				t.Fatalf("scrub verdicts for torn sidecar = %+v", verdicts)
+			}
+		})
 	}
 }

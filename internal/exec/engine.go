@@ -105,6 +105,12 @@ type Stats struct {
 	// DiskBytesRead sums their on-disk (compressed) bytes — the quantity
 	// Figure 5's latency model charges.
 	DiskBytesRead int64
+	// ChecksumVerified counts cold loads whose CRC32C checked out;
+	// ChecksumFailed counts loads rejected for a mismatch (v5 stores with
+	// verification on). A nonzero failure count means disk corruption was
+	// caught before it could reach a query result.
+	ChecksumVerified int64
+	ChecksumFailed   int64
 	// CacheSkippedChunks counts chunks the cache-aware residency pass
 	// answered straight from the result cache — never pinned, loaded, or
 	// charged to the byte budget.
@@ -162,6 +168,10 @@ type QueryStats struct {
 	ColdBytesLoaded int64
 	// DiskBytesRead sums their on-disk (compressed) bytes.
 	DiskBytesRead int64
+	// ChecksumVerified / ChecksumFailed count this query's cold loads
+	// that passed / failed CRC verification (v5 stores).
+	ChecksumVerified int
+	ChecksumFailed   int
 	// CacheSkippedChunks counts chunks answered by the cache-aware
 	// residency pass from the result cache alone: they are in ChunksCached
 	// too, but additionally were never pinned or loaded.
@@ -313,6 +323,8 @@ func (e *Engine) Run(stmt *sql.SelectStmt) (*Result, error) {
 	qs.ColdDictLoads = ps.ColdDictLoads
 	qs.ColdBytesLoaded = ps.ColdBytesLoaded
 	qs.DiskBytesRead = ps.DiskBytesRead
+	qs.ChecksumVerified = int(ps.ChecksumVerified)
+	qs.ChecksumFailed = int(ps.ChecksumFailed)
 	qs.ReadRuns = ps.ReadRuns
 	qs.CoalescedReads = ps.CoalescedReads
 	qs.RowsTotal = int64(e.store.NumRows())
@@ -345,6 +357,8 @@ func (e *Engine) recordStats(qs QueryStats) {
 	e.stats.ColdDictLoads += int64(qs.ColdDictLoads)
 	e.stats.ColdBytesLoaded += qs.ColdBytesLoaded
 	e.stats.DiskBytesRead += qs.DiskBytesRead
+	e.stats.ChecksumVerified += int64(qs.ChecksumVerified)
+	e.stats.ChecksumFailed += int64(qs.ChecksumFailed)
 	e.stats.CacheSkippedChunks += int64(qs.CacheSkippedChunks)
 	e.stats.ReadRuns += int64(qs.ReadRuns)
 	e.stats.CoalescedReads += int64(qs.CoalescedReads)

@@ -78,6 +78,8 @@ func (e *Engine) RunPartial(stmt *sql.SelectStmt) (*Partial, error) {
 	qs.ColdDictLoads = ps.ColdDictLoads
 	qs.ColdBytesLoaded = ps.ColdBytesLoaded
 	qs.DiskBytesRead = ps.DiskBytesRead
+	qs.ChecksumVerified = int(ps.ChecksumVerified)
+	qs.ChecksumFailed = int(ps.ChecksumFailed)
 	qs.ReadRuns = ps.ReadRuns
 	qs.CoalescedReads = ps.CoalescedReads
 	// A leaf's partial always covers its whole shard — coverage accounting
@@ -182,6 +184,8 @@ func MergePartials(dst, src *Partial) error {
 	dst.Stats.ColdDictLoads += src.Stats.ColdDictLoads
 	dst.Stats.ColdBytesLoaded += src.Stats.ColdBytesLoaded
 	dst.Stats.DiskBytesRead += src.Stats.DiskBytesRead
+	dst.Stats.ChecksumVerified += src.Stats.ChecksumVerified
+	dst.Stats.ChecksumFailed += src.Stats.ChecksumFailed
 	dst.Stats.CacheSkippedChunks += src.Stats.CacheSkippedChunks
 	dst.Stats.ReadRuns += src.Stats.ReadRuns
 	dst.Stats.CoalescedReads += src.Stats.CoalescedReads

@@ -1,0 +1,97 @@
+// Package faultfs is the storage-layer sibling of cluster.Injector: a
+// filesystem seam under the colstore and ingest write paths that can
+// crash after a byte budget (tearing the final write), silently tear a
+// write, drop fsyncs, or flip bits on reads. The default implementation
+// is a direct passthrough to the os package; tests swap in an Injector
+// to drive crash-recovery and corruption-detection properties.
+//
+// The crash model is a process kill at a random point in the stream of
+// filesystem operations: every completed write survives, the operation
+// that exhausts the budget applies only a prefix of its bytes (a torn
+// write), and every subsequent operation fails with ErrCrashed — the
+// "process" is dead until the test restores the real filesystem and
+// reopens the store.
+package faultfs
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"sync/atomic"
+)
+
+// FS is the slice of filesystem surface the storage layers use. Method
+// signatures mirror the os package so the passthrough is trivial.
+type FS interface {
+	Open(name string) (File, error)
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	ReadFile(name string) ([]byte, error)
+	WriteFile(name string, data []byte, perm fs.FileMode) error
+	MkdirAll(path string, perm fs.FileMode) error
+	Remove(name string) error
+	RemoveAll(path string) error
+	Rename(oldpath, newpath string) error
+	Link(oldname, newname string) error
+	ReadDir(name string) ([]fs.DirEntry, error)
+	Stat(name string) (fs.FileInfo, error)
+	Truncate(name string, size int64) error
+}
+
+// File is the open-file surface the storage layers use: sequential
+// writes (WAL appends, column files), positioned reads (cold chunk
+// loads), fsync, close.
+type File interface {
+	io.Writer
+	io.ReaderAt
+	io.Closer
+	Sync() error
+	Name() string
+}
+
+// OS is the passthrough implementation — the process default.
+type OS struct{}
+
+func (OS) Open(name string) (File, error) { return os.Open(name) }
+
+func (OS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (OS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (OS) WriteFile(name string, data []byte, perm fs.FileMode) error {
+	return os.WriteFile(name, data, perm)
+}
+
+func (OS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+func (OS) Remove(name string) error                     { return os.Remove(name) }
+func (OS) RemoveAll(path string) error                  { return os.RemoveAll(path) }
+func (OS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (OS) Link(oldname, newname string) error           { return os.Link(oldname, newname) }
+func (OS) ReadDir(name string) ([]fs.DirEntry, error)   { return os.ReadDir(name) }
+func (OS) Stat(name string) (fs.FileInfo, error)        { return os.Stat(name) }
+func (OS) Truncate(name string, size int64) error       { return os.Truncate(name, size) }
+
+// current is the process-global filesystem the storage layers route
+// through. A global (rather than an FS threaded through every API) keeps
+// the seam invisible to production code paths; fault tests swap it for
+// the duration of one scripted scenario and must not run in parallel
+// with other disk-touching tests in the same process.
+var current atomic.Pointer[fsBox]
+
+type fsBox struct{ fs FS }
+
+func init() { current.Store(&fsBox{fs: OS{}}) }
+
+// Current returns the filesystem storage code should route through.
+func Current() FS { return current.Load().fs }
+
+// Swap installs f as the process filesystem and returns a function that
+// restores the previous one. Intended for tests:
+//
+//	restore := faultfs.Swap(inj)
+//	defer restore()
+func Swap(f FS) (restore func()) {
+	old := current.Swap(&fsBox{fs: f})
+	return func() { current.Store(old) }
+}

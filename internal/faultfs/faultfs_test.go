@@ -1,0 +1,162 @@
+package faultfs
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestOSPassthroughRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	var f FS = OS{}
+	path := filepath.Join(dir, "a.bin")
+	if err := f.WriteFile(path, []byte("hello"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.ReadFile(path)
+	if err != nil || string(b) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", b, err)
+	}
+	h, err := f.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 3)
+	if _, err := h.ReadAt(buf, 1); err != nil || string(buf) != "ell" {
+		t.Fatalf("ReadAt = %q, %v", buf, err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSwapRestores(t *testing.T) {
+	inj := NewInjector(OS{}, InjectorOptions{WriteBudget: -1})
+	restore := Swap(inj)
+	if Current() != FS(inj) {
+		t.Fatal("Swap did not install the injector")
+	}
+	restore()
+	if _, ok := Current().(OS); !ok {
+		t.Fatalf("restore did not reinstall the OS passthrough, got %T", Current())
+	}
+}
+
+func TestInjectorCrashTearsFinalWrite(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS{}, InjectorOptions{WriteBudget: 10, SilentTearAt: -1})
+	pathA := filepath.Join(dir, "a.bin")
+	pathB := filepath.Join(dir, "b.bin")
+	if err := inj.WriteFile(pathA, []byte("12345678"), 0o644); err != nil {
+		t.Fatalf("first write within budget: %v", err)
+	}
+	// 2 units left: the next 5-byte write tears after 2 bytes and crashes.
+	err := inj.WriteFile(pathB, []byte("abcde"), 0o644)
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want ErrCrashed, got %v", err)
+	}
+	got, err := os.ReadFile(pathB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "ab" {
+		t.Fatalf("torn write left %q, want prefix \"ab\"", got)
+	}
+	// Everything after the crash fails.
+	if _, err := inj.ReadFile(pathA); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("read after crash: %v", err)
+	}
+	if err := inj.Remove(pathA); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("remove after crash: %v", err)
+	}
+	if !inj.Crashed() {
+		t.Fatal("Crashed() = false after budget exhaustion")
+	}
+}
+
+func TestInjectorFileWriteCrash(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS{}, InjectorOptions{WriteBudget: 4, SilentTearAt: -1})
+	f, err := inj.OpenFile(filepath.Join(dir, "w.log"), os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("ab")); err != nil {
+		t.Fatalf("within budget: %v", err)
+	}
+	if _, err := f.Write([]byte("cdef")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want ErrCrashed, got %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close after crash must still release the fd: %v", err)
+	}
+	got, _ := os.ReadFile(filepath.Join(dir, "w.log"))
+	if string(got) != "abcd" {
+		t.Fatalf("file = %q, want torn \"abcd\"", got)
+	}
+}
+
+func TestInjectorSilentTear(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS{}, InjectorOptions{WriteBudget: -1, SilentTearAt: 6})
+	path := filepath.Join(dir, "t.bin")
+	if err := inj.WriteFile(path, []byte("0123"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Cumulative offset 6 falls inside this write: it applies 2 of 4
+	// bytes but reports success.
+	if err := inj.WriteFile(path+"2", []byte("abcd"), 0o644); err != nil {
+		t.Fatalf("silent tear must not error: %v", err)
+	}
+	got, _ := os.ReadFile(path + "2")
+	if string(got) != "ab" {
+		t.Fatalf("silently torn file = %q, want \"ab\"", got)
+	}
+	if inj.Crashed() {
+		t.Fatal("silent tear must not crash the injector")
+	}
+}
+
+func TestInjectorDropSyncs(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS{}, InjectorOptions{WriteBudget: -1, DropSyncs: true, SilentTearAt: -1})
+	f, err := inj.OpenFile(filepath.Join(dir, "s.log"), os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("dropped sync must report success: %v", err)
+	}
+	_ = f.Close()
+	st := inj.Stats()
+	if st.Syncs != 1 || st.SyncsDropped != 1 {
+		t.Fatalf("stats = %+v, want 1 sync, 1 dropped", st)
+	}
+}
+
+func TestInjectorFlipsReadBits(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r.bin")
+	orig := bytes.Repeat([]byte{0x55}, 256)
+	if err := os.WriteFile(path, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	inj := NewInjector(OS{}, InjectorOptions{WriteBudget: -1, FlipReadBitProb: 1, Seed: 7, SilentTearAt: -1})
+	got, err := inj.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, orig) {
+		t.Fatal("FlipReadBitProb=1 read returned unmodified bytes")
+	}
+	if inj.Stats().BitsFlipped == 0 {
+		t.Fatal("BitsFlipped not counted")
+	}
+	// The file on disk is untouched — rot is injected on the read path.
+	disk, _ := os.ReadFile(path)
+	if !bytes.Equal(disk, orig) {
+		t.Fatal("read-path flip must not modify the file")
+	}
+}

@@ -1,0 +1,334 @@
+package faultfs
+
+import (
+	"errors"
+	"io/fs"
+	"math/rand"
+	"sync"
+)
+
+// ErrCrashed is returned by every operation after the injector's write
+// budget is exhausted: the simulated process is dead and stays dead
+// until the test restores the real filesystem.
+var ErrCrashed = errors.New("faultfs: injected crash")
+
+// InjectorOptions configures an Injector.
+type InjectorOptions struct {
+	// WriteBudget is the number of write units the filesystem accepts
+	// before crashing: one unit per byte written plus one per metadata
+	// mutation (remove, rename, link, mkdir, truncate). The write that
+	// exhausts the budget applies only its affordable prefix — a torn
+	// write — and every later operation returns ErrCrashed. Negative
+	// means unlimited (no crash).
+	WriteBudget int64
+	// DropSyncs makes Sync report success without syncing — the
+	// lying-disk failure mode. Counted in Stats.SyncsDropped.
+	DropSyncs bool
+	// SilentTearAt, when > 0, silently truncates the write whose byte
+	// range covers this cumulative written-byte offset: the write
+	// applies only the bytes before the offset but reports full
+	// success. Models a latent torn write no error ever surfaced —
+	// the case a scrub pass exists to find. Zero or negative disables.
+	SilentTearAt int64
+	// FlipReadBitProb is the per-read probability of flipping one
+	// random bit in the returned buffer (bit rot on the read path).
+	FlipReadBitProb float64
+	// Seed seeds the bit-flip randomness.
+	Seed int64
+}
+
+// InjectorStats counts what the injector did.
+type InjectorStats struct {
+	Writes       int64
+	BytesWritten int64
+	Syncs        int64
+	SyncsDropped int64
+	BitsFlipped  int64
+	Crashed      bool
+	// Units is the cumulative write units charged (bytes plus metadata
+	// mutations). A dry run with an unlimited budget measures a
+	// workload's total units; a crash test then picks a kill point
+	// uniformly inside that range.
+	Units int64
+}
+
+// Injector wraps a base FS with configurable faults. Safe for
+// concurrent use.
+type Injector struct {
+	base FS
+
+	mu      sync.Mutex
+	budget  int64 // remaining write units; < 0 means unlimited
+	crashed bool
+	opts    InjectorOptions
+	rng     *rand.Rand
+	written int64 // cumulative payload bytes attempted (SilentTearAt offsets index this)
+	stats   InjectorStats
+}
+
+// NewInjector wraps base (usually OS{}) with the configured faults.
+func NewInjector(base FS, opts InjectorOptions) *Injector {
+	if base == nil {
+		base = OS{}
+	}
+	return &Injector{
+		base:   base,
+		budget: opts.WriteBudget,
+		opts:   opts,
+		rng:    rand.New(rand.NewSource(opts.Seed)),
+	}
+}
+
+// Stats returns a snapshot of the injector's counters.
+func (in *Injector) Stats() InjectorStats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	st := in.stats
+	st.Crashed = in.crashed
+	return st
+}
+
+// Crashed reports whether the write budget has been exhausted.
+func (in *Injector) Crashed() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.crashed
+}
+
+// consume charges n write units. It returns how many of them the budget
+// affords; crossing zero flips the injector into the crashed state, and
+// err is ErrCrashed both then and on every later call.
+func (in *Injector) consume(n int64) (allowed int64, err error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return 0, ErrCrashed
+	}
+	if in.budget < 0 || n <= in.budget {
+		if in.budget >= 0 {
+			in.budget -= n
+		}
+		in.stats.Units += n
+		return n, nil
+	}
+	allowed = in.budget
+	in.budget = 0
+	in.crashed = true
+	in.stats.Units += allowed
+	return allowed, ErrCrashed
+}
+
+// tearLen applies SilentTearAt: for a payload of n bytes starting at
+// cumulative offset in.written, it returns how many bytes to actually
+// write and whether the caller should still report success.
+func (in *Injector) tearLen(n int64) int64 {
+	at := in.opts.SilentTearAt
+	if at <= 0 || at >= in.written+n || at < in.written {
+		return n
+	}
+	return at - in.written
+}
+
+// checkAlive fails reads and metadata queries after a crash.
+func (in *Injector) checkAlive() error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// maybeFlip flips one random bit of buf with the configured probability.
+func (in *Injector) maybeFlip(buf []byte) {
+	if in.opts.FlipReadBitProb <= 0 || len(buf) == 0 {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.rng.Float64() >= in.opts.FlipReadBitProb {
+		return
+	}
+	bit := in.rng.Intn(len(buf) * 8)
+	buf[bit/8] ^= 1 << (bit % 8)
+	in.stats.BitsFlipped++
+}
+
+// meta charges one unit for a metadata mutation.
+func (in *Injector) meta() error {
+	_, err := in.consume(1)
+	return err
+}
+
+func (in *Injector) Open(name string) (File, error) {
+	if err := in.checkAlive(); err != nil {
+		return nil, err
+	}
+	f, err := in.base.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{in: in, f: f}, nil
+}
+
+func (in *Injector) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	if err := in.checkAlive(); err != nil {
+		return nil, err
+	}
+	f, err := in.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{in: in, f: f}, nil
+}
+
+func (in *Injector) ReadFile(name string) ([]byte, error) {
+	if err := in.checkAlive(); err != nil {
+		return nil, err
+	}
+	b, err := in.base.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	in.maybeFlip(b)
+	return b, nil
+}
+
+func (in *Injector) WriteFile(name string, data []byte, perm fs.FileMode) error {
+	n := int64(len(data))
+	allowed, err := in.consume(n)
+	if err != nil && allowed == 0 {
+		return err
+	}
+	in.mu.Lock()
+	tear := in.tearLen(allowed)
+	in.written += n
+	in.stats.Writes++
+	in.stats.BytesWritten += tear
+	in.mu.Unlock()
+	if werr := in.base.WriteFile(name, data[:tear], perm); werr != nil {
+		return werr
+	}
+	return err
+}
+
+func (in *Injector) MkdirAll(path string, perm fs.FileMode) error {
+	if err := in.meta(); err != nil {
+		return err
+	}
+	return in.base.MkdirAll(path, perm)
+}
+
+func (in *Injector) Remove(name string) error {
+	if err := in.meta(); err != nil {
+		return err
+	}
+	return in.base.Remove(name)
+}
+
+func (in *Injector) RemoveAll(path string) error {
+	if err := in.meta(); err != nil {
+		return err
+	}
+	return in.base.RemoveAll(path)
+}
+
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if err := in.meta(); err != nil {
+		return err
+	}
+	return in.base.Rename(oldpath, newpath)
+}
+
+func (in *Injector) Link(oldname, newname string) error {
+	if err := in.meta(); err != nil {
+		return err
+	}
+	return in.base.Link(oldname, newname)
+}
+
+func (in *Injector) ReadDir(name string) ([]fs.DirEntry, error) {
+	if err := in.checkAlive(); err != nil {
+		return nil, err
+	}
+	return in.base.ReadDir(name)
+}
+
+func (in *Injector) Stat(name string) (fs.FileInfo, error) {
+	if err := in.checkAlive(); err != nil {
+		return nil, err
+	}
+	return in.base.Stat(name)
+}
+
+func (in *Injector) Truncate(name string, size int64) error {
+	if err := in.meta(); err != nil {
+		return err
+	}
+	return in.base.Truncate(name, size)
+}
+
+// injFile wraps an open file with the injector's faults.
+type injFile struct {
+	in *Injector
+	f  File
+}
+
+func (f *injFile) Name() string { return f.f.Name() }
+
+func (f *injFile) Write(b []byte) (int, error) {
+	in := f.in
+	n := int64(len(b))
+	allowed, err := in.consume(n)
+	in.mu.Lock()
+	tear := in.tearLen(allowed)
+	in.written += n
+	in.stats.Writes++
+	in.stats.BytesWritten += tear
+	in.mu.Unlock()
+	if tear > 0 {
+		if wn, werr := f.f.Write(b[:tear]); werr != nil {
+			return wn, werr
+		}
+	}
+	if err != nil {
+		return int(tear), err
+	}
+	// A silent tear reports full success — the caller must not learn
+	// that bytes went missing; that is the scrub pass's job.
+	return len(b), nil
+}
+
+func (f *injFile) ReadAt(p []byte, off int64) (int, error) {
+	if err := f.in.checkAlive(); err != nil {
+		return 0, err
+	}
+	n, err := f.f.ReadAt(p, off)
+	if err == nil {
+		f.in.maybeFlip(p[:n])
+	}
+	return n, err
+}
+
+func (f *injFile) Sync() error {
+	in := f.in
+	in.mu.Lock()
+	if in.crashed {
+		in.mu.Unlock()
+		return ErrCrashed
+	}
+	in.stats.Syncs++
+	drop := in.opts.DropSyncs
+	if drop {
+		in.stats.SyncsDropped++
+	}
+	in.mu.Unlock()
+	if drop {
+		return nil
+	}
+	return f.f.Sync()
+}
+
+// Close always reaches the base file so descriptors never leak, even
+// after a crash.
+func (f *injFile) Close() error { return f.f.Close() }

@@ -24,6 +24,15 @@ type writeChunk struct {
 	rows   int
 	sealed bool
 
+	// wal is the chunk's live WAL file: every batch is framed into it
+	// before the column buffers are touched. walSeqs lists every WAL
+	// sequence whose rows this chunk holds — just wal.seq for a fresh
+	// chunk, the replayed sequences plus the new one for a chunk rebuilt
+	// by recovery. When the chunk's segment commits, these sequences
+	// retire. nil for pre-WAL chunks built by tests.
+	wal     *walFile
+	walSeqs []int
+
 	// frozen caches the latest frozen prefix view; snapshots taken at the
 	// same row count (the common case between appends) share one build.
 	frozenMu   sync.Mutex
@@ -58,13 +67,23 @@ func newWriteChunk(schema []colstore.ColumnMeta) *writeChunk {
 // append encodes tbl's rows into the buffer. ok is false when the chunk
 // was sealed before the lock was acquired — the caller retries against
 // the writer's fresh chunk. The whole batch lands in one critical
-// section, so a snapshot cut never splits a batch.
-func (c *writeChunk) append(tbl *table.Table) (rows int, ok bool) {
+// section, so a snapshot cut never splits a batch; the WAL frame is
+// written inside that same section, *before* any buffer mutation, so a
+// batch that fails to reach the log is rejected with memory untouched
+// and a crash mid-frame leaves a torn tail covering only unacknowledged
+// rows. payload is the batch's pre-encoded frame (nil skips logging —
+// the replay path, whose rows are already on disk).
+func (c *writeChunk) append(tbl *table.Table, payload []byte, syncNow bool) (rows int, ok bool, err error) {
 	n := tbl.NumRows()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.sealed {
-		return 0, false
+		return 0, false, nil
+	}
+	if payload != nil && c.wal != nil {
+		if err := c.wal.appendFrame(payload, syncNow); err != nil {
+			return 0, false, err
+		}
 	}
 	for i := range c.cols {
 		wc := &c.cols[i]
@@ -85,7 +104,7 @@ func (c *writeChunk) append(tbl *table.Table) (rows int, ok bool) {
 		}
 	}
 	c.rows += n
-	return c.rows, true
+	return c.rows, true, nil
 }
 
 // markSealed finalizes the row count; every later append retries against

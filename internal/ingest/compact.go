@@ -2,7 +2,6 @@ package ingest
 
 import (
 	"fmt"
-	"os"
 	"path/filepath"
 
 	"powerdrill/internal/colstore"
@@ -44,6 +43,9 @@ func (w *Writer) CompactNow() (CompactStats, error) {
 	}
 	old := append([]*segment(nil), w.segs...)
 	gen, seq := w.gen, w.nextSeg
+	// Compaction commits no chunk, so the WAL state just carries forward:
+	// floor from the still-uncommitted buffers, done from lingering files.
+	walFloor, walDone := w.walStateLocked(nil)
 	w.mu.Unlock()
 	if len(old) < 2 {
 		return CompactStats{}, nil
@@ -62,7 +64,7 @@ func (w *Writer) CompactNow() (CompactStats, error) {
 	if err := colstore.Save(cs, dir, w.codec); err != nil {
 		return CompactStats{}, err
 	}
-	m := &genManifest{Gen: gen + 1, NextSeg: seq + 1, Segments: []genSegment{gs}}
+	m := &genManifest{Gen: gen + 1, NextSeg: seq + 1, Segments: []genSegment{gs}, WalFloor: walFloor, WalDone: walDone}
 	if err := commitGeneration(w.dir, m); err != nil {
 		return CompactStats{}, err
 	}
@@ -88,7 +90,7 @@ func (w *Writer) CompactNow() (CompactStats, error) {
 	w.stats.segmentsCompacted += int64(len(old))
 	w.mu.Unlock()
 
-	_ = os.Remove(filepath.Join(w.dir, genName(gen)))
+	_ = vfs().Remove(filepath.Join(w.dir, genName(gen)))
 	for _, s := range destroy {
 		w.destroySegment(s)
 	}
@@ -165,7 +167,7 @@ func (w *Writer) destroySegment(s *segment) {
 			mgr.DropNamespace(ns + "\x00")
 		}
 	}
-	_ = os.RemoveAll(s.dir)
+	_ = vfs().RemoveAll(s.dir)
 	w.mu.Lock()
 	w.stats.segmentsRetired++
 	w.mu.Unlock()

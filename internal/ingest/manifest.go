@@ -32,7 +32,6 @@ package ingest
 import (
 	"encoding/json"
 	"fmt"
-	"os"
 	"path/filepath"
 	"strings"
 
@@ -78,13 +77,54 @@ type genManifest struct {
 	// still hold it.
 	NextSeg  int          `json:"next_seg"`
 	Segments []genSegment `json:"segments"`
+	// WalFloor retires every WAL sequence below it: their rows are
+	// committed in Segments, so replay skips (and deletes) those files.
+	// The floor is the lowest sequence any not-yet-committed write chunk
+	// still holds; it only rises.
+	WalFloor int `json:"wal_floor,omitempty"`
+	// WalDone lists committed WAL sequences at or above WalFloor — the
+	// sequences of this commit's chunk (and earlier commits) that an
+	// older uncommitted chunk's sequence still pins below the floor.
+	// Their files are deleted right after the commit; the list covers
+	// the crash window between commit and deletion.
+	WalDone []int `json:"wal_done,omitempty"`
+	// Check is the CRC32C of the manifest's canonical marshal with this
+	// field zeroed: a torn or bit-flipped generation file fails the
+	// check and is skipped exactly like one that fails to parse.
+	Check uint32 `json:"check,omitempty"`
 }
 
-// HasGenerations reports whether dir carries ingest generations — i.e.
-// whether a store was ever appended to. Used by the public Open to decide
-// to attach a Writer; errors read as "no".
+// checkedManifestBlob marshals m with its integrity checksum filled in.
+func checkedManifestBlob(m *genManifest) ([]byte, error) {
+	m.Check = 0
+	blob, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	m.Check = colstore.CRC32C(blob)
+	return json.MarshalIndent(m, "", "  ")
+}
+
+// manifestCheckOK verifies a parsed generation manifest against its
+// Check field by re-marshaling canonically with the field zeroed. Files
+// written before checksums (Check == 0) pass.
+func manifestCheckOK(m *genManifest) bool {
+	if m.Check == 0 {
+		return true
+	}
+	check := m.Check
+	m.Check = 0
+	canon, err := json.MarshalIndent(m, "", "  ")
+	m.Check = check
+	return err == nil && colstore.CRC32C(canon) == check
+}
+
+// HasGenerations reports whether dir carries ingest state — a committed
+// generation manifest, or WAL files left by a writer that crashed before
+// its first commit (those rows must be recovered, so the public Open
+// must attach a Writer for them too). Errors read as "no".
 func HasGenerations(dir string) bool {
-	entries, err := os.ReadDir(dir)
+	entries, err := vfs().ReadDir(dir)
 	if err != nil {
 		return false
 	}
@@ -92,6 +132,9 @@ func HasGenerations(dir string) bool {
 		if _, ok := colstore.ParseGenSeq(ent.Name(), genPrefix, genSuffix); ok {
 			return true
 		}
+	}
+	if seqs, err := listWALFiles(dir); err == nil && len(seqs) > 0 {
+		return true
 	}
 	return false
 }
@@ -101,7 +144,7 @@ func HasGenerations(dir string) bool {
 // must not mask the previous generation). Returns (nil, 0, nil) when the
 // directory has no generations at all.
 func readGenerations(dir string) (*genManifest, int, error) {
-	entries, err := os.ReadDir(dir)
+	entries, err := vfs().ReadDir(dir)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -112,12 +155,12 @@ func readGenerations(dir string) (*genManifest, int, error) {
 		if !ok || gen <= bestGen {
 			continue
 		}
-		blob, err := os.ReadFile(filepath.Join(dir, ent.Name()))
+		blob, err := vfs().ReadFile(filepath.Join(dir, ent.Name()))
 		if err != nil {
 			continue
 		}
 		var m genManifest
-		if json.Unmarshal(blob, &m) != nil || m.Gen != gen {
+		if json.Unmarshal(blob, &m) != nil || m.Gen != gen || !manifestCheckOK(&m) {
 			continue
 		}
 		best, bestGen = &m, gen
@@ -133,45 +176,61 @@ func readGenerations(dir string) (*genManifest, int, error) {
 // single-writer-per-directory contract that is a usage error, surfaced
 // rather than merged.
 func commitGeneration(dir string, m *genManifest) error {
-	blob, err := json.MarshalIndent(m, "", "  ")
+	blob, err := checkedManifestBlob(m)
 	if err != nil {
 		return err
 	}
 	return colstore.ClaimFileExclusive(filepath.Join(dir, genName(m.Gen)), blob)
 }
 
-// gcGenerations removes superseded generation manifests (gen < keep) and
-// orphan segment directories not referenced by the keep manifest — the
-// leftovers of a writer that crashed between writing a segment and
-// committing it, or of retirements whose removal was interrupted. Only
-// called from Attach, before any snapshot exists, so nothing live can
-// reference what it deletes. Removal errors are ignored: garbage that
-// survives is re-collected next time.
+// gcGenerations removes superseded generation manifests (gen < keep),
+// torn manifests that failed to read (keep is the newest *parseable*
+// generation and this writer holds the directory, so any other numbered
+// file is a crashed commit's garbage), and orphan segment directories
+// not referenced by the keep manifest — the leftovers of a writer that
+// crashed between writing a segment and committing it, or of
+// retirements whose removal was interrupted. WAL files are never
+// touched: the replay pass owns their lifecycle, and sweeping one here
+// would throw away acknowledged rows. keep may be nil (no committed
+// generation): every numbered manifest is then garbage and so is every
+// segment directory. Only called from Attach, before any snapshot
+// exists and before WAL replay, so nothing live can reference what it
+// deletes. Removal errors are ignored: garbage that survives is
+// re-collected next time.
 func gcGenerations(dir string, keep *genManifest) {
-	entries, err := os.ReadDir(dir)
+	keepGen := -1
+	var keepSegs []genSegment
+	if keep != nil {
+		keepGen = keep.Gen
+		keepSegs = keep.Segments
+	}
+	entries, err := vfs().ReadDir(dir)
 	if err != nil {
 		return
 	}
 	for _, ent := range entries {
 		name := ent.Name()
-		if gen, ok := colstore.ParseGenSeq(name, genPrefix, genSuffix); ok && gen < keep.Gen {
-			_ = os.Remove(filepath.Join(dir, name))
+		if gen, ok := colstore.ParseGenSeq(name, genPrefix, genSuffix); ok && gen != keepGen {
+			_ = vfs().Remove(filepath.Join(dir, name))
 		}
 		if strings.HasPrefix(name, genPrefix) && strings.HasSuffix(name, ".tmp") {
-			_ = os.Remove(filepath.Join(dir, name))
+			_ = vfs().Remove(filepath.Join(dir, name))
 		}
 	}
-	live := make(map[string]bool, len(keep.Segments))
-	for _, seg := range keep.Segments {
+	live := make(map[string]bool, len(keepSegs))
+	for _, seg := range keepSegs {
 		live[filepath.Base(seg.Dir)] = true
 	}
-	segEntries, err := os.ReadDir(filepath.Join(dir, segsSubdir))
+	segEntries, err := vfs().ReadDir(filepath.Join(dir, segsSubdir))
 	if err != nil {
 		return
 	}
 	for _, ent := range segEntries {
+		if _, isWal := isWalName(ent.Name()); isWal {
+			continue
+		}
 		if !live[ent.Name()] {
-			_ = os.RemoveAll(filepath.Join(dir, segsSubdir, ent.Name()))
+			_ = vfs().RemoveAll(filepath.Join(dir, segsSubdir, ent.Name()))
 		}
 	}
 }

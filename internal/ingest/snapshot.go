@@ -198,6 +198,8 @@ func addQueryStats(dst *exec.QueryStats, src exec.QueryStats) {
 	dst.ColdDictLoads += src.ColdDictLoads
 	dst.ColdBytesLoaded += src.ColdBytesLoaded
 	dst.DiskBytesRead += src.DiskBytesRead
+	dst.ChecksumVerified += src.ChecksumVerified
+	dst.ChecksumFailed += src.ChecksumFailed
 	dst.CacheSkippedChunks += src.CacheSkippedChunks
 	dst.ReadRuns += src.ReadRuns
 	dst.CoalescedReads += src.CoalescedReads

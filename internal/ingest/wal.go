@@ -1,0 +1,277 @@
+package ingest
+
+// The write-ahead log closes the durability gap between Append and the
+// next seal: every accepted batch is framed and appended to a WAL file
+// under segs/ *before* the in-memory write chunk is touched, so a crash
+// loses no acknowledged row — Writer.Attach replays the WAL after the
+// newest committed generation.
+//
+// Layout and lifecycle. Each write chunk owns one WAL file,
+// segs/wal-NNNNNN.log, created when the chunk becomes the live buffer
+// and rotated out with it at seal: the sealed chunk's rows commit as a
+// segment, its WAL files are thereby superseded, and the fresh buffer
+// starts a fresh WAL. The generation manifest records which WAL
+// sequence numbers are retired (WalFloor / WalDone), and superseded
+// files are deleted after each commit — so replay work is bounded by
+// one buffer's worth of batches, not by history.
+//
+// Frame format. A batch is one frame:
+//
+//	[4B payload length, LE] [4B CRC32C(payload), LE] [payload]
+//
+// The payload is columnar in schema order: a row-count uvarint, then
+// per column the row values (strings as uvarint length + bytes, int64
+// and float64 as 8 LE bytes each). A frame is the atom of recovery: a
+// torn tail — short header, short payload, or CRC mismatch — truncates
+// replay at the last complete frame, so a batch is recovered whole or
+// not at all, exactly matching what Append acknowledged (the frame is
+// on disk before Append touches memory, and fsync policy governs only
+// the window the *filesystem cache* may lose).
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"powerdrill/internal/colstore"
+	"powerdrill/internal/faultfs"
+	"powerdrill/internal/table"
+	"powerdrill/internal/value"
+)
+
+// vfs returns the filesystem the ingest package's disk I/O routes
+// through — the OS in production, a faultfs.Injector under fault tests.
+func vfs() faultfs.FS { return faultfs.Current() }
+
+// Fsync policies for the WAL (Opts.FsyncPolicy).
+const (
+	// FsyncAlways syncs after every frame, before the append returns:
+	// an acknowledged row survives both process and OS crashes.
+	FsyncAlways = "always"
+	// FsyncInterval syncs on a timer and at rotation: a process crash
+	// loses nothing (the kernel has the writes), an OS crash loses at
+	// most the last interval. The default.
+	FsyncInterval = "interval"
+	// FsyncNever leaves syncing to the kernel entirely.
+	FsyncNever = "never"
+)
+
+const (
+	walPrefix      = "wal-"
+	walSuffix      = ".log"
+	walHeaderBytes = 8
+)
+
+// walRel renders the store-relative path of WAL sequence seq.
+func walRel(seq int) string {
+	return filepath.Join(segsSubdir, fmt.Sprintf("%s%06d%s", walPrefix, seq, walSuffix))
+}
+
+// isWalName reports whether a segs/ entry is a WAL file, and its
+// sequence number. The GC sweeps must never treat these as orphans.
+func isWalName(name string) (int, bool) {
+	return colstore.ParseGenSeq(name, walPrefix, walSuffix)
+}
+
+// walFile is one open WAL file. appendFrame is called under the owning
+// write chunk's lock (frames are written before the memory mutation they
+// cover); sync may race it from the interval-policy ticker, so the file
+// carries its own lock.
+type walFile struct {
+	mu    sync.Mutex
+	f     faultfs.File
+	seq   int
+	path  string
+	dirty bool
+}
+
+// createWAL creates the WAL file for sequence seq in dir. O_EXCL: a
+// sequence number is never reused, so an existing file means a protocol
+// bug (or a second writer) and must not be silently truncated.
+func createWAL(dir string, seq int) (*walFile, error) {
+	path := filepath.Join(dir, walRel(seq))
+	if err := vfs().MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("ingest: create wal: %w", err)
+	}
+	f, err := vfs().OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: create wal: %w", err)
+	}
+	return &walFile{f: f, seq: seq, path: path}, nil
+}
+
+// appendFrame writes one framed payload. syncNow (the "always" policy)
+// syncs before returning, making the frame crash-durable before the
+// caller acknowledges the batch.
+func (wf *walFile) appendFrame(payload []byte, syncNow bool) error {
+	buf := make([]byte, walHeaderBytes+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], colstore.CRC32C(payload))
+	copy(buf[walHeaderBytes:], payload)
+	wf.mu.Lock()
+	defer wf.mu.Unlock()
+	if _, err := wf.f.Write(buf); err != nil {
+		return fmt.Errorf("ingest: wal %s: %w", wf.path, err)
+	}
+	wf.dirty = true
+	if syncNow {
+		if err := wf.f.Sync(); err != nil {
+			return fmt.Errorf("ingest: wal sync %s: %w", wf.path, err)
+		}
+		wf.dirty = false
+	}
+	return nil
+}
+
+// sync flushes pending frames to stable storage (no-op when clean).
+func (wf *walFile) sync() error {
+	wf.mu.Lock()
+	defer wf.mu.Unlock()
+	if !wf.dirty {
+		return nil
+	}
+	if err := wf.f.Sync(); err != nil {
+		return err
+	}
+	wf.dirty = false
+	return nil
+}
+
+// close closes the file handle (the file stays on disk).
+func (wf *walFile) close() error {
+	wf.mu.Lock()
+	defer wf.mu.Unlock()
+	return wf.f.Close()
+}
+
+// readWALFrames parses a WAL file into its complete frames. good is the
+// byte offset after the last frame whose header, length and CRC all
+// check out; bytes beyond it (good < size) are a torn tail — acceptable
+// only in the highest-sequence file, where it marks the crash point.
+func readWALFrames(path string) (payloads [][]byte, good, size int64, err error) {
+	data, err := vfs().ReadFile(path)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	size = int64(len(data))
+	for {
+		rest := data[good:]
+		if len(rest) < walHeaderBytes {
+			return payloads, good, size, nil
+		}
+		n := binary.LittleEndian.Uint32(rest[0:4])
+		crc := binary.LittleEndian.Uint32(rest[4:8])
+		if uint64(n) > uint64(len(rest)-walHeaderBytes) {
+			return payloads, good, size, nil
+		}
+		payload := rest[walHeaderBytes : walHeaderBytes+int(n)]
+		if colstore.CRC32C(payload) != crc {
+			return payloads, good, size, nil
+		}
+		payloads = append(payloads, payload)
+		good += walHeaderBytes + int64(n)
+	}
+}
+
+// encodeWALBatch renders a validated batch as a frame payload: row count,
+// then each schema column's values in order.
+func encodeWALBatch(schema []colstore.ColumnMeta, tbl *table.Table) []byte {
+	out := binary.AppendUvarint(nil, uint64(tbl.NumRows()))
+	for _, m := range schema {
+		src := tbl.Column(m.Name)
+		switch m.Kind {
+		case value.KindString:
+			for _, s := range src.Strs {
+				out = binary.AppendUvarint(out, uint64(len(s)))
+				out = append(out, s...)
+			}
+		case value.KindInt64:
+			for _, v := range src.Ints {
+				out = binary.LittleEndian.AppendUint64(out, uint64(v))
+			}
+		default:
+			for _, v := range src.Floats {
+				out = binary.LittleEndian.AppendUint64(out, math.Float64bits(v))
+			}
+		}
+	}
+	return out
+}
+
+// decodeWALBatch parses a frame payload back into a batch table. Any
+// structural mismatch — short payload, oversized row count, trailing
+// bytes — is an error: the CRC already proved the bytes are what was
+// written, so a decode failure means a schema change or a bug, not disk
+// corruption, and replay must stop rather than guess.
+func decodeWALBatch(schema []colstore.ColumnMeta, payload []byte) (*table.Table, error) {
+	rows64, n := binary.Uvarint(payload)
+	if n <= 0 || rows64 > uint64(len(payload)) {
+		return nil, fmt.Errorf("ingest: wal frame: bad row count")
+	}
+	rows := int(rows64)
+	rest := payload[n:]
+	tbl := table.New("wal")
+	for _, m := range schema {
+		switch m.Kind {
+		case value.KindString:
+			vals := make([]string, rows)
+			for i := range vals {
+				l, n := binary.Uvarint(rest)
+				if n <= 0 || uint64(len(rest)-n) < l {
+					return nil, fmt.Errorf("ingest: wal frame: truncated string in %q", m.Name)
+				}
+				vals[i] = string(rest[n : n+int(l)])
+				rest = rest[n+int(l):]
+			}
+			tbl.AddStringColumn(m.Name, vals)
+		case value.KindInt64:
+			vals := make([]int64, rows)
+			for i := range vals {
+				if len(rest) < 8 {
+					return nil, fmt.Errorf("ingest: wal frame: truncated int64 in %q", m.Name)
+				}
+				vals[i] = int64(binary.LittleEndian.Uint64(rest))
+				rest = rest[8:]
+			}
+			tbl.AddInt64Column(m.Name, vals)
+		default:
+			vals := make([]float64, rows)
+			for i := range vals {
+				if len(rest) < 8 {
+					return nil, fmt.Errorf("ingest: wal frame: truncated float64 in %q", m.Name)
+				}
+				vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(rest))
+				rest = rest[8:]
+			}
+			tbl.AddFloat64Column(m.Name, vals)
+		}
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("ingest: wal frame: %d trailing bytes", len(rest))
+	}
+	return tbl, nil
+}
+
+// listWALFiles returns the WAL sequence numbers present under dir/segs,
+// ascending.
+func listWALFiles(dir string) ([]int, error) {
+	entries, err := vfs().ReadDir(filepath.Join(dir, segsSubdir))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var seqs []int
+	for _, ent := range entries {
+		if seq, ok := isWalName(ent.Name()); ok && !ent.IsDir() {
+			seqs = append(seqs, seq)
+		}
+	}
+	// ReadDir returns names sorted, and the fixed-width numbering makes
+	// lexicographic order numeric.
+	return seqs, nil
+}

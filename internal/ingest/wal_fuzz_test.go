@@ -1,0 +1,88 @@
+package ingest
+
+// Differential fuzzing of the WAL replay path: arbitrary bytes fed to
+// the frame parser must never panic, must only ever yield frames whose
+// CRCs check out, and re-framing whatever was recovered must round-trip
+// bit-for-bit. This is the parser a restarted process trusts with its
+// acknowledged rows — "garbage in, bounded recovery out" is the whole
+// contract.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"powerdrill/internal/colstore"
+	"powerdrill/internal/value"
+)
+
+// frameBytes renders one well-formed WAL frame.
+func frameBytes(payload []byte) []byte {
+	out := make([]byte, walHeaderBytes, walHeaderBytes+len(payload))
+	binary.LittleEndian.PutUint32(out[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(out[4:8], colstore.CRC32C(payload))
+	return append(out, payload...)
+}
+
+func FuzzWALReplay(f *testing.F) {
+	f.Add([]byte{}, []byte("hello"), []byte{0xff, 0x00})
+	f.Add(frameBytes([]byte("a")), []byte("b"), []byte{})
+	f.Add(frameBytes(nil), frameBytes([]byte("xyz")), []byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, raw, extra, tail []byte) {
+		dir := t.TempDir()
+		// The file under test: arbitrary bytes, then a well-formed frame,
+		// then an arbitrary tail — so every run exercises both the "parse
+		// whatever is there" and the "stop at the tear" behaviors.
+		blob := append(append(append([]byte(nil), raw...), frameBytes(extra)...), tail...)
+		path := filepath.Join(dir, "wal-000000.log")
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		payloads, good, size, err := readWALFrames(path)
+		if err != nil {
+			t.Fatalf("read error on readable file: %v", err)
+		}
+		if size != int64(len(blob)) || good < 0 || good > size {
+			t.Fatalf("good=%d size=%d file=%d", good, size, len(blob))
+		}
+		// Every recovered frame's bytes must be exactly what a writer
+		// framed: re-encode and compare against the consumed prefix.
+		var refr []byte
+		for _, p := range payloads {
+			refr = append(refr, frameBytes(p)...)
+		}
+		if int64(len(refr)) != good || !bytes.Equal(refr, blob[:good]) {
+			t.Fatalf("recovered frames re-encode to %d bytes != consumed prefix %d", len(refr), good)
+		}
+		// Re-reading the re-framed file is a fixed point: same payloads,
+		// no torn tail.
+		path2 := filepath.Join(dir, "wal-000001.log")
+		if err := os.WriteFile(path2, refr, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		p2, good2, size2, err := readWALFrames(path2)
+		if err != nil || good2 != size2 || len(p2) != len(payloads) {
+			t.Fatalf("re-framed file: %d/%d frames, good %d of %d, err %v",
+				len(p2), len(payloads), good2, size2, err)
+		}
+		// Batch decoding of arbitrary payloads must never panic or
+		// over-read — it either errors or yields a rectangular table.
+		schema := []colstore.ColumnMeta{
+			{Name: "v", Kind: value.KindInt64},
+			{Name: "c", Kind: value.KindString},
+			{Name: "f", Kind: value.KindFloat64},
+		}
+		for _, p := range payloads {
+			if tbl, err := decodeWALBatch(schema, p); err == nil {
+				rows := tbl.NumRows()
+				for _, m := range schema {
+					if got := tbl.Column(m.Name).Len(); got != rows {
+						t.Fatalf("decoded ragged table: column %s has %d rows of %d", m.Name, got, rows)
+					}
+				}
+			}
+		}
+	})
+}

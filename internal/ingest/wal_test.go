@@ -1,0 +1,294 @@
+package ingest
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"powerdrill/internal/colstore"
+	"powerdrill/internal/table"
+	"powerdrill/internal/value"
+)
+
+func walSchema() []colstore.ColumnMeta {
+	return []colstore.ColumnMeta{
+		{Name: "c", Kind: value.KindString},
+		{Name: "v", Kind: value.KindInt64},
+		{Name: "f", Kind: value.KindFloat64},
+	}
+}
+
+func walBatch(start, n int) *table.Table {
+	tbl := table.New("b")
+	strs := make([]string, n)
+	ints := make([]int64, n)
+	flts := make([]float64, n)
+	for i := 0; i < n; i++ {
+		strs[i] = strings.Repeat("x", (start+i)%5)
+		ints[i] = int64(start + i)
+		flts[i] = float64(start+i) / 3
+	}
+	tbl.AddStringColumn("c", strs)
+	tbl.AddInt64Column("v", ints)
+	tbl.AddFloat64Column("f", flts)
+	return tbl
+}
+
+func TestWALBatchRoundTrip(t *testing.T) {
+	schema := walSchema()
+	in := walBatch(7, 23)
+	out, err := decodeWALBatch(schema, encodeWALBatch(schema, in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != in.NumRows() {
+		t.Fatalf("rows = %d, want %d", out.NumRows(), in.NumRows())
+	}
+	for _, m := range schema {
+		a, b := in.Column(m.Name), out.Column(m.Name)
+		for i := 0; i < in.NumRows(); i++ {
+			switch m.Kind {
+			case value.KindString:
+				if a.Strs[i] != b.Strs[i] {
+					t.Fatalf("%s[%d] = %q, want %q", m.Name, i, b.Strs[i], a.Strs[i])
+				}
+			case value.KindInt64:
+				if a.Ints[i] != b.Ints[i] {
+					t.Fatalf("%s[%d] = %d, want %d", m.Name, i, b.Ints[i], a.Ints[i])
+				}
+			default:
+				if a.Floats[i] != b.Floats[i] {
+					t.Fatalf("%s[%d] = %v, want %v", m.Name, i, b.Floats[i], a.Floats[i])
+				}
+			}
+		}
+	}
+}
+
+func TestWALTornTailTruncatesAtLastGoodFrame(t *testing.T) {
+	dir := t.TempDir()
+	wf, err := createWAL(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := walSchema()
+	p1 := encodeWALBatch(schema, walBatch(0, 4))
+	p2 := encodeWALBatch(schema, walBatch(4, 4))
+	if err := wf.appendFrame(p1, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := wf.appendFrame(p2, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := wf.close(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.Stat(wf.path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the final frame: every truncation point inside it must yield
+	// exactly the first frame, never a partial second one.
+	frame1 := int64(walHeaderBytes + len(p1))
+	for _, cut := range []int64{frame1 + 1, frame1 + walHeaderBytes, full.Size() - 1} {
+		if err := os.Truncate(wf.path, cut); err != nil {
+			t.Fatal(err)
+		}
+		payloads, good, size, err := readWALFrames(wf.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(payloads) != 1 || good != frame1 || size != cut {
+			t.Fatalf("cut %d: %d frames, good=%d size=%d", cut, len(payloads), good, size)
+		}
+	}
+	// A flipped bit inside a frame fails its CRC the same way.
+	blob, _ := os.ReadFile(wf.path)
+	blob[walHeaderBytes+2] ^= 0x40
+	if err := os.WriteFile(wf.path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	payloads, good, _, err := readWALFrames(wf.path)
+	if err != nil || len(payloads) != 0 || good != 0 {
+		t.Fatalf("bit flip: %d frames, good=%d, err=%v", len(payloads), good, err)
+	}
+}
+
+// TestWALReplayRecoversUnflushedRows: rows appended but never sealed
+// come back after the writer is abandoned (simulated crash — no Close,
+// no Flush).
+func TestWALReplayRecoversUnflushedRows(t *testing.T) {
+	dir, base, eng := newBase(t, 100)
+	w, err := Attach(dir, base, eng, Opts{SealRows: 1000, FsyncPolicy: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(rowsTable(100, 30)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(rowsTable(130, 20)); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: the writer is abandoned with its buffer unflushed.
+
+	w2 := reattach(t, dir, Opts{SealRows: 1000})
+	defer w2.Close()
+	if got := w2.Rows(); got != 150 {
+		t.Fatalf("recovered rows = %d, want 150", got)
+	}
+	snap, err := w2.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Release()
+	checkPrefix(t, snap, 150)
+}
+
+// TestWALRecoveredBufferSealsAtThreshold: a replayed buffer at or past
+// SealRows is sealed during attach rather than growing without bound.
+func TestWALRecoveredBufferSealsAtThreshold(t *testing.T) {
+	dir, base, eng := newBase(t, 100)
+	w, err := Attach(dir, base, eng, Opts{SealRows: 1000, FsyncPolicy: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(rowsTable(100, 60)); err != nil {
+		t.Fatal(err)
+	}
+	// Crash, then reattach with a threshold the recovered rows exceed.
+	w2 := reattach(t, dir, Opts{SealRows: 50})
+	defer w2.Close()
+	st := w2.Stats()
+	if st.Segments != 1 || st.MemRows != 0 {
+		t.Fatalf("recovered buffer not sealed: %+v", st)
+	}
+	snap, err := w2.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Release()
+	checkPrefix(t, snap, 160)
+}
+
+// TestWALRetiredAfterSeal: committing a buffer deletes its WAL files and
+// raises the manifest floor, so replay work stays bounded.
+func TestWALRetiredAfterSeal(t *testing.T) {
+	dir, base, eng := newBase(t, 100)
+	w, err := Attach(dir, base, eng, Opts{SealRows: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for i := 0; i < 4; i++ {
+		if err := w.Append(rowsTable(100+50*i, 50)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seqs, err := listWALFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 1 {
+		t.Fatalf("wal files after 4 seals = %v, want just the live one", seqs)
+	}
+	m, _, err := readGenerations(dir)
+	if err != nil || m == nil {
+		t.Fatalf("readGenerations: %v %v", m, err)
+	}
+	if m.WalFloor != seqs[0] || len(m.WalDone) != 0 {
+		t.Fatalf("manifest wal state = floor %d done %v, want floor %d", m.WalFloor, m.WalDone, seqs[0])
+	}
+}
+
+// TestWALCleanCloseLeavesNoFiles: a graceful Close commits everything,
+// so no WAL file survives it.
+func TestWALCleanCloseLeavesNoFiles(t *testing.T) {
+	dir, base, eng := newBase(t, 100)
+	w, err := Attach(dir, base, eng, Opts{SealRows: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(rowsTable(100, 30)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seqs, err := listWALFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 0 {
+		t.Fatalf("wal files after clean close: %v", seqs)
+	}
+}
+
+// TestWALTornNonFinalFileFailsAttach: a torn frame anywhere but the
+// newest WAL file is corruption, not a crash artifact, and must refuse
+// to attach rather than silently drop acknowledged rows.
+func TestWALTornNonFinalFileFailsAttach(t *testing.T) {
+	dir, base, eng := newBase(t, 100)
+	w, err := Attach(dir, base, eng, Opts{SealRows: 1000, FsyncPolicy: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(rowsTable(100, 10)); err != nil {
+		t.Fatal(err)
+	}
+	seqs, err := listWALFiles(dir)
+	if err != nil || len(seqs) != 1 {
+		t.Fatalf("wal files = %v (%v)", seqs, err)
+	}
+	path := filepath.Join(dir, walRel(seqs[0]))
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	// A second, newer WAL file makes the torn one non-final.
+	nw, err := createWAL(dir, seqs[0]+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.appendFrame(encodeWALBatch(w.schema, rowsTable(110, 5)), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	lazy, _, err := colstore.OpenLazy(dir, base.MemManager())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Attach(dir, lazy, eng, Opts{}); err == nil || !strings.Contains(err.Error(), "torn") {
+		t.Fatalf("attach on torn non-final wal: err = %v, want torn-frame error", err)
+	}
+}
+
+// TestHasGenerationsSeesWALOnlyDirs: a crash before the first commit
+// leaves WAL files and no manifest; the store must still be recognized
+// as carrying ingest state so Open attaches a writer and recovers them.
+func TestHasGenerationsSeesWALOnlyDirs(t *testing.T) {
+	dir, base, eng := newBase(t, 100)
+	if HasGenerations(dir) {
+		t.Fatal("fresh store reports generations")
+	}
+	w, err := Attach(dir, base, eng, Opts{SealRows: 1000, FsyncPolicy: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(rowsTable(100, 5)); err != nil {
+		t.Fatal(err)
+	}
+	// No Flush, no Close: only WAL files exist.
+	if _, gen, err := readGenerations(dir); err != nil || gen != 0 {
+		t.Fatalf("unexpected committed generation %d (%v)", gen, err)
+	}
+	if !HasGenerations(dir) {
+		t.Fatal("wal-only store not recognized")
+	}
+}

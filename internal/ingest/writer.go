@@ -4,9 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
-	"os"
 	"path/filepath"
+	"sort"
 	"sync"
+	"time"
 
 	"powerdrill/internal/colstore"
 	"powerdrill/internal/exec"
@@ -25,6 +26,15 @@ type Opts struct {
 	// Codec overrides the segment compression codec; empty uses the base
 	// store's codec.
 	Codec string
+	// FsyncPolicy controls when WAL appends reach stable storage:
+	// FsyncAlways, FsyncInterval (the default) or FsyncNever.
+	FsyncPolicy string
+	// FsyncEvery is the timer period of the FsyncInterval policy
+	// (default 200ms).
+	FsyncEvery time.Duration
+	// DisableChecksumVerify turns off CRC verification on segment cold
+	// reads (the base store's own verify flag is the caller's to manage).
+	DisableChecksumVerify bool
 	// EngineOpts configures the engines of segments and frozen buffer
 	// views. The gate is always replaced by the base engine's, so every
 	// unit shares one process-wide worker budget, and the per-chunk
@@ -41,6 +51,12 @@ func (o Opts) withDefaults(base *colstore.Store) Opts {
 	}
 	if o.CompactMinSegments <= 0 {
 		o.CompactMinSegments = 4
+	}
+	if o.FsyncPolicy == "" {
+		o.FsyncPolicy = FsyncInterval
+	}
+	if o.FsyncEvery <= 0 {
+		o.FsyncEvery = 200 * time.Millisecond
 	}
 	return o
 }
@@ -85,6 +101,16 @@ type Writer struct {
 	nextSeg int
 	closed  bool
 	stats   counters
+
+	// walSeq is the next unallocated WAL sequence number. It is written
+	// only under sealMu (Attach runs before any concurrency), and read
+	// under mu by walStateLocked.
+	walSeq int
+	// walDone holds committed WAL sequences whose files still exist —
+	// normally empty (files are deleted right after commit), populated
+	// only when a deletion failed. The next manifest re-lists them so
+	// replay never re-ingests their rows.
+	walDone map[int]bool
 
 	// sealMu serializes seal and compaction: at most one generation
 	// commit is in flight, so generation numbers advance one at a time
@@ -134,8 +160,9 @@ type Stats struct {
 // Attach opens the append path of a store directory: reads the newest
 // generation manifest (if any), garbage-collects superseded manifests and
 // orphan segment directories, opens every live segment lazily against the
-// base store's memory manager, and starts the background compactor. The
-// base store must have been opened lazily (OpenLazy) from dir.
+// base store's memory manager, replays the write-ahead log into a fresh
+// buffer, and starts the background compactor. The base store must have
+// been opened lazily (OpenLazy) from dir.
 func Attach(dir string, base *colstore.Store, baseEng *exec.Engine, opts Opts) (*Writer, error) {
 	if base.MemManager() == nil {
 		return nil, errors.New("ingest: append requires a store opened from disk")
@@ -166,8 +193,8 @@ func Attach(dir string, base *colstore.Store, baseEng *exec.Engine, opts Opts) (
 	if err != nil {
 		return nil, err
 	}
+	gcGenerations(dir, m)
 	if m != nil {
-		gcGenerations(dir, m)
 		w.gen, w.nextSeg = gen, m.NextSeg
 		for _, gs := range m.Segments {
 			seg, err := w.openSegment(gs)
@@ -178,10 +205,181 @@ func Attach(dir string, base *colstore.Store, baseEng *exec.Engine, opts Opts) (
 			w.segs = append(w.segs, seg)
 		}
 	}
-	w.mem = newWriteChunk(w.schema)
+	mem, err := w.replayWAL(m)
+	if err != nil {
+		w.closeSegments()
+		return nil, err
+	}
+	w.mem = mem
 	w.wg.Add(1)
 	go w.compactLoop()
+	if w.opts.FsyncPolicy == FsyncInterval {
+		w.wg.Add(1)
+		go w.syncLoop()
+	}
+	if mem.curRows() >= w.opts.SealRows {
+		// A recovered buffer past the seal threshold seals straight away;
+		// a failure here is not fatal — the rows are safe in the replayed
+		// WAL files and the next threshold crossing retries.
+		_ = w.seal()
+	}
 	return w, nil
+}
+
+// replayWAL recovers the write buffer from the WAL files on disk.
+// Sequences below the manifest's floor or in its done list are committed
+// in segments already — their files are deleted, not replayed. The rest
+// are decoded in sequence order into one fresh chunk, which inherits
+// those sequences (its rows are durable in them) plus a newly created
+// WAL file for rows still to come. A torn tail is legal only in the
+// highest live sequence — the file that was being appended at the crash;
+// a tear anywhere else is corruption and fails the attach.
+func (w *Writer) replayWAL(m *genManifest) (*writeChunk, error) {
+	floor := 0
+	done := map[int]bool{}
+	if m != nil {
+		floor = m.WalFloor
+		for _, s := range m.WalDone {
+			done[s] = true
+		}
+	}
+	seqs, err := listWALFiles(w.dir)
+	if err != nil {
+		return nil, err
+	}
+	next := floor
+	for _, s := range seqs {
+		if s >= next {
+			next = s + 1
+		}
+	}
+	for s := range done {
+		if s >= next {
+			next = s + 1
+		}
+	}
+	chunk := newWriteChunk(w.schema)
+	carry := map[int]bool{}
+	var live []int
+	for i, seq := range seqs {
+		path := filepath.Join(w.dir, walRel(seq))
+		if seq < floor || done[seq] {
+			if vfs().Remove(path) != nil && done[seq] {
+				carry[seq] = true
+			}
+			continue
+		}
+		payloads, good, size, err := readWALFrames(path)
+		if err != nil {
+			return nil, fmt.Errorf("ingest: wal replay %s: %w", path, err)
+		}
+		if good < size && i != len(seqs)-1 {
+			return nil, fmt.Errorf("ingest: wal %s: torn frame at offset %d in a non-final file", path, good)
+		}
+		for _, p := range payloads {
+			tbl, err := decodeWALBatch(w.schema, p)
+			if err != nil {
+				return nil, fmt.Errorf("ingest: wal replay %s: %w", path, err)
+			}
+			if _, ok, err := chunk.append(tbl, nil, false); err != nil || !ok {
+				return nil, fmt.Errorf("ingest: wal replay %s: buffer rejected batch", path)
+			}
+		}
+		live = append(live, seq)
+	}
+	nw, err := createWAL(w.dir, next)
+	if err != nil {
+		return nil, err
+	}
+	chunk.wal = nw
+	chunk.walSeqs = append(live, next)
+	w.walSeq = next + 1
+	w.walDone = carry
+	return chunk, nil
+}
+
+// walStateLocked computes the WAL retirement state for the manifest
+// about to commit: the floor is the lowest sequence a not-yet-committed
+// chunk (the live buffer and any stuck sealing chunk other than the one
+// committing) still holds; done lists committed sequences at or above
+// the floor whose files may still exist. Called with mu held (and sealMu
+// held by the committing path, which is what makes walSeq stable).
+func (w *Writer) walStateLocked(committing *writeChunk) (floor int, done []int) {
+	floor = w.walSeq
+	lower := func(c *writeChunk) {
+		for _, s := range c.walSeqs {
+			if s < floor {
+				floor = s
+			}
+		}
+	}
+	if w.mem != nil {
+		lower(w.mem)
+	}
+	for _, c := range w.sealing {
+		if c != committing {
+			lower(c)
+		}
+	}
+	seen := make(map[int]bool, len(w.walDone))
+	for s := range w.walDone {
+		seen[s] = true
+	}
+	if committing != nil {
+		for _, s := range committing.walSeqs {
+			seen[s] = true
+		}
+	}
+	for s := range seen {
+		if s >= floor {
+			done = append(done, s)
+		}
+	}
+	sort.Ints(done)
+	return floor, done
+}
+
+// retireWAL runs after a successful commit that covered chunk's rows:
+// the chunk's WAL files are superseded by the committed segment, so the
+// open handle is closed and the files deleted. A file that refuses to
+// die stays in walDone and keeps being listed in manifests so replay
+// skips it.
+func (w *Writer) retireWAL(chunk *writeChunk, done []int) {
+	if chunk.wal != nil {
+		_ = chunk.wal.close()
+	}
+	w.mu.Lock()
+	w.walDone = make(map[int]bool, len(done))
+	for _, s := range done {
+		w.walDone[s] = true
+	}
+	for _, s := range chunk.walSeqs {
+		if vfs().Remove(filepath.Join(w.dir, walRel(s))) == nil {
+			delete(w.walDone, s)
+		}
+	}
+	w.mu.Unlock()
+}
+
+// syncLoop is the FsyncInterval policy's timer: it periodically fsyncs
+// the live buffer's WAL. Sealed chunks' WALs are synced at rotation.
+func (w *Writer) syncLoop() {
+	defer w.wg.Done()
+	t := time.NewTicker(w.opts.FsyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.done:
+			return
+		case <-t.C:
+			w.mu.Lock()
+			mem := w.mem
+			w.mu.Unlock()
+			if mem != nil && mem.wal != nil {
+				_ = mem.wal.sync()
+			}
+		}
+	}
 }
 
 // unitEngineOpts are the engine options every non-base unit (segment or
@@ -204,6 +402,9 @@ func (w *Writer) openSegment(gs genSegment) (*segment, error) {
 		return nil, fmt.Errorf("ingest: open segment %s: %w", gs.Dir, err)
 	}
 	cs.DisableVirtualPersist()
+	if w.opts.DisableChecksumVerify {
+		cs.SetVerifyChecksums(false)
+	}
 	return &segment{
 		rel:   gs.Dir,
 		dir:   dir,
@@ -214,10 +415,13 @@ func (w *Writer) openSegment(gs genSegment) (*segment, error) {
 }
 
 // Append validates and buffers a batch of rows. The batch must carry
-// exactly the store's physical columns (same names and kinds). When the
-// buffer reaches SealRows the calling goroutine seals it into an on-disk
-// segment before returning — append cost is amortized-constant with a
-// periodic spike, which doubles as backpressure.
+// exactly the store's physical columns (same names and kinds). The batch
+// is framed into the write-ahead log before it touches the buffer, so an
+// acknowledged Append survives a crash; under FsyncAlways the frame is
+// also fsynced first. When the buffer reaches SealRows the calling
+// goroutine seals it into an on-disk segment before returning — append
+// cost is amortized-constant with a periodic spike, which doubles as
+// backpressure.
 func (w *Writer) Append(tbl *table.Table) error {
 	if err := w.validate(tbl); err != nil {
 		return err
@@ -225,6 +429,8 @@ func (w *Writer) Append(tbl *table.Table) error {
 	if tbl.NumRows() == 0 {
 		return nil
 	}
+	payload := encodeWALBatch(w.schema, tbl)
+	syncNow := w.opts.FsyncPolicy == FsyncAlways
 	for {
 		w.mu.Lock()
 		if w.closed {
@@ -233,7 +439,10 @@ func (w *Writer) Append(tbl *table.Table) error {
 		}
 		mem := w.mem
 		w.mu.Unlock()
-		rows, ok := mem.append(tbl)
+		rows, ok, err := mem.append(tbl, payload, syncNow)
+		if err != nil {
+			return err
+		}
 		if !ok {
 			// Sealed between the load and the append; retry against the
 			// replacement buffer.
@@ -299,14 +508,43 @@ func (w *Writer) seal() error {
 		w.mu.Unlock()
 		return nil
 	}
-	rows := mem.markSealed()
-	w.sealing = append(w.sealing, mem)
-	w.mem = newWriteChunk(w.schema)
-	gen, seq := w.gen, w.nextSeg
-	segList := w.liveSegments()
 	w.mu.Unlock()
 
-	seg, err := w.buildSegment(mem.prefix(rows), seq, gen+1, segList)
+	// Rotate the WAL with the buffer: the replacement buffer gets a fresh
+	// file, created before the swap so no append ever waits on file
+	// creation. walSeq is stable here — sealMu is held.
+	nw, err := createWAL(w.dir, w.walSeq)
+	if err != nil {
+		return err
+	}
+	w.walSeq++
+
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		_ = nw.close()
+		_ = vfs().Remove(nw.path)
+		return errors.New("ingest: writer is closed")
+	}
+	rows := mem.markSealed()
+	w.sealing = append(w.sealing, mem)
+	fresh := newWriteChunk(w.schema)
+	fresh.wal = nw
+	fresh.walSeqs = []int{nw.seq}
+	w.mem = fresh
+	gen, seq := w.gen, w.nextSeg
+	segList := w.liveSegments()
+	walFloor, walDone := w.walStateLocked(mem)
+	w.mu.Unlock()
+
+	// The sealed chunk's WAL is the only durable copy of its rows until
+	// the segment commits; make sure the tail frames have hit disk before
+	// the files become this commit's responsibility.
+	if mem.wal != nil {
+		_ = mem.wal.sync()
+	}
+
+	seg, err := w.buildSegment(mem.prefix(rows), seq, gen+1, segList, walFloor, walDone)
 	if err != nil {
 		return err
 	}
@@ -325,7 +563,8 @@ func (w *Writer) seal() error {
 	segCount := len(w.segs)
 	w.mu.Unlock()
 
-	_ = os.Remove(filepath.Join(w.dir, genName(gen)))
+	w.retireWAL(mem, walDone)
+	_ = vfs().Remove(filepath.Join(w.dir, genName(gen)))
 	if segCount >= w.opts.CompactMinSegments {
 		w.kickCompactor()
 	}
@@ -343,16 +582,16 @@ func (w *Writer) liveSegments() []genSegment {
 }
 
 // buildSegment writes the rows of p as segment seq on disk and commits
-// generation gen listing prev plus the new segment. Called with sealMu
-// held.
-func (w *Writer) buildSegment(p chunkPrefix, seq, gen int, prev []genSegment) (*segment, error) {
+// generation gen listing prev plus the new segment, carrying the WAL
+// retirement state computed by the caller. Called with sealMu held.
+func (w *Writer) buildSegment(p chunkPrefix, seq, gen int, prev []genSegment, walFloor int, walDone []int) (*segment, error) {
 	cs, err := colstore.FromTable(p.toTable("seg"), w.base.Opts)
 	if err != nil {
 		return nil, err
 	}
 	rel := segRel(seq)
 	dir := filepath.Join(w.dir, rel)
-	if err := os.MkdirAll(filepath.Dir(dir), 0o755); err != nil {
+	if err := vfs().MkdirAll(filepath.Dir(dir), 0o755); err != nil {
 		return nil, err
 	}
 	if err := colstore.Save(cs, dir, w.codec); err != nil {
@@ -362,7 +601,7 @@ func (w *Writer) buildSegment(p chunkPrefix, seq, gen int, prev []genSegment) (*
 		w.testBeforeCommit()
 	}
 	gs := genSegment{Dir: rel, Rows: p.rows}
-	m := &genManifest{Gen: gen, NextSeg: seq + 1, Segments: append(prev, gs)}
+	m := &genManifest{Gen: gen, NextSeg: seq + 1, Segments: append(prev, gs), WalFloor: walFloor, WalDone: walDone}
 	if err := commitGeneration(w.dir, m); err != nil {
 		if errors.Is(err, fs.ErrExist) {
 			return nil, fmt.Errorf("ingest: generation %d already committed: another writer is appending to %s", gen, w.dir)
@@ -441,8 +680,9 @@ func (w *Writer) compactLoop() {
 	}
 }
 
-// Close seals any buffered rows, stops the compactor, and releases the
-// segments' file handles. The directory remains attachable.
+// Close seals any buffered rows, stops the compactor and sync timer,
+// closes the live WAL, and releases the segments' file handles. The
+// directory remains attachable.
 func (w *Writer) Close() error {
 	err := w.seal()
 	w.mu.Lock()
@@ -451,9 +691,31 @@ func (w *Writer) Close() error {
 		return err
 	}
 	w.closed = true
+	mem := w.mem
+	sealing := append([]*writeChunk(nil), w.sealing...)
 	w.mu.Unlock()
 	close(w.done)
 	w.wg.Wait()
+	for _, c := range sealing {
+		// A chunk stuck on the sealing list (its segment build failed)
+		// keeps its rows alive only in its WAL files: sync and close the
+		// handle, leave the files for the next attach to replay.
+		if c.wal != nil {
+			_ = c.wal.sync()
+			_ = c.wal.close()
+		}
+	}
+	if mem != nil && mem.wal != nil {
+		// If the final seal failed, the WAL is the rows' only durable
+		// copy — sync it before letting go of the handle. A clean, empty,
+		// unshared WAL file is deleted so a store without pending rows
+		// carries no segs/wal-* litter.
+		_ = mem.wal.sync()
+		_ = mem.wal.close()
+		if mem.curRows() == 0 && len(mem.walSeqs) == 1 {
+			_ = vfs().Remove(mem.wal.path)
+		}
+	}
 	w.closeSegments()
 	return err
 }

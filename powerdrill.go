@@ -139,6 +139,18 @@ type Options struct {
 	// background compactor merges all ingest segments into one
 	// (default 4).
 	IngestCompactMinSegments int
+	// IngestFsyncPolicy controls when write-ahead-log appends reach
+	// stable storage: FsyncAlways (fsync before every Append returns —
+	// an acknowledged row survives an OS crash), FsyncInterval
+	// (timer-driven fsync, the default — a process crash loses nothing,
+	// an OS crash at most the last interval), or FsyncNever (the kernel
+	// decides). See docs/ingest.md.
+	IngestFsyncPolicy string
+	// DisableChecksumVerify turns off per-record CRC32C verification on
+	// cold reads of format-v5 stores. Verification is on by default; a
+	// detected mismatch fails the read with the file and offset rather
+	// than returning corrupt data. See docs/format.md.
+	DisableChecksumVerify bool
 
 	// DisableVirtualPersist keeps virtual columns (expressions materialized
 	// at query time) out of the store's on-disk sidecar. By default a store
@@ -181,9 +193,12 @@ type Store struct {
 	// dir is the directory the store was opened from ("" for Build);
 	// ing is the streaming-append path, attached by Open when the
 	// directory carries ingest generations or lazily by the first Append.
-	dir   string
-	ingMu sync.Mutex
-	ing   *ingest.Writer
+	// closed marks a store Close has run on: Append must fail cleanly
+	// rather than re-attach a writer to released file handles.
+	dir    string
+	ingMu  sync.Mutex
+	ing    *ingest.Writer
+	closed bool
 }
 
 // Build imports a raw table.
@@ -290,6 +305,7 @@ func (s *Store) Close() error {
 		err = s.ing.Close()
 		s.ing = nil
 	}
+	s.closed = true
 	s.ingMu.Unlock()
 	if cerr := s.store.Close(); err == nil {
 		err = cerr
@@ -319,6 +335,9 @@ func Open(dir string, opts Options) (*Store, int64, error) {
 	if err := validateMemoryPolicy(opts.MemoryPolicy); err != nil {
 		return nil, 0, err
 	}
+	if err := validateFsyncPolicy(opts.IngestFsyncPolicy); err != nil {
+		return nil, 0, err
+	}
 	mgr := memmgr.New(opts.MemoryBudgetBytes, opts.MemoryPolicy)
 	cs, stats, err := colstore.OpenLazy(dir, mgr)
 	if err != nil {
@@ -326,6 +345,9 @@ func Open(dir string, opts Options) (*Store, int64, error) {
 	}
 	if opts.DisableVirtualPersist {
 		cs.DisableVirtualPersist()
+	}
+	if opts.DisableChecksumVerify {
+		cs.SetVerifyChecksums(false)
 	}
 	s := &Store{store: cs, engine: exec.New(cs, opts.engineOptions()), opts: opts, dir: dir}
 	// A directory that was appended to reopens with its append path
@@ -347,6 +369,26 @@ func validateMemoryPolicy(p string) error {
 		return nil
 	}
 	return fmt.Errorf("powerdrill: unknown memory policy %q (want lru, 2q or arc)", p)
+}
+
+// WAL fsync policies for Options.IngestFsyncPolicy.
+const (
+	// FsyncAlways syncs the WAL before every Append returns.
+	FsyncAlways = ingest.FsyncAlways
+	// FsyncInterval syncs the WAL on a timer and at rotation (default).
+	FsyncInterval = ingest.FsyncInterval
+	// FsyncNever leaves WAL syncing to the kernel.
+	FsyncNever = ingest.FsyncNever
+)
+
+// validateFsyncPolicy rejects unknown WAL fsync policy names up front,
+// so a typo cannot quietly run with weaker durability than configured.
+func validateFsyncPolicy(p string) error {
+	switch p {
+	case "", ingest.FsyncAlways, ingest.FsyncInterval, ingest.FsyncNever:
+		return nil
+	}
+	return fmt.Errorf("powerdrill: unknown ingest fsync policy %q (want always, interval or never)", p)
 }
 
 // MemStats reports the memory manager's accounting; ok is false for stores

@@ -1,0 +1,37 @@
+package powerdrill
+
+import (
+	"errors"
+
+	"powerdrill/internal/ingest"
+)
+
+// ScrubFile is one file's verdict from an offline scrub: path (relative
+// to the store root), kind, size, records verified, and the first
+// failure found (empty when clean).
+type ScrubFile = ingest.ScrubFile
+
+// ScrubReport is the result of scrubbing a store directory: one verdict
+// per file plus totals. Corrupt > 0 means at least one file failed
+// verification.
+type ScrubReport = ingest.ScrubReport
+
+// Scrub verifies every checksummed byte of the store directory at dir —
+// base column files, generation manifests, sealed segments, WAL frames
+// and the virtual sidecar — without opening it for query, so it works
+// on stores too corrupt to open. Read-only: corruption is reported, one
+// verdict per file, never repaired. Stores persisted before format v5
+// scrub clean with zero records verified (nothing carries a checksum).
+func Scrub(dir string) (*ScrubReport, error) {
+	return ingest.ScrubStore(dir)
+}
+
+// Scrub verifies the on-disk files of this store in place; the store
+// must have been opened from a directory (Open). Queries may run
+// concurrently — the scrub only reads. See the package-level Scrub.
+func (s *Store) Scrub() (*ScrubReport, error) {
+	if s.dir == "" {
+		return nil, errors.New("powerdrill: scrub requires a store opened from disk (use Open or the package-level Scrub)")
+	}
+	return ingest.ScrubStore(s.dir)
+}
