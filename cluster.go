@@ -19,6 +19,11 @@ type ClusterOptions struct {
 	// Replicas per sub-query: 2 enables the paper's primary+replica
 	// scheme (default), 1 disables it.
 	Replicas int
+	// Servers is how many placement servers in-process clusters spread
+	// replicas over (default Replicas). With Servers > Replicas some
+	// servers start empty — spare capacity Rebalance can move hot
+	// shards' replicas onto.
+	Servers int
 	// Store configures the per-shard imports.
 	Store Options
 	// Seed drives shard placement.
@@ -53,6 +58,7 @@ func (o ClusterOptions) clusterOptions() cluster.Options {
 		Shards:           o.Shards,
 		Fanout:           o.Fanout,
 		Replicas:         o.Replicas,
+		Servers:          o.Servers,
 		Seed:             o.Seed,
 		Deadline:         o.Deadline,
 		HedgeMultiplier:  o.HedgeMultiplier,
@@ -178,3 +184,73 @@ func (c *Cluster) InjectStragglers(frac float64, delay time.Duration, seed int64
 func ServeShard(l net.Listener, s *Store) error {
 	return cluster.Serve(l, s.engine)
 }
+
+// RebalanceOptions tunes one Rebalance pass.
+type RebalanceOptions = cluster.RebalanceOptions
+
+// RebalanceMove records one replica relocation performed by Rebalance.
+type RebalanceMove = cluster.Move
+
+// PlacementEntry is one row of the shard→server placement table.
+type PlacementEntry = cluster.PlacementEntry
+
+// Placement returns the current shard→server placement table, including
+// each replica's latency estimate and breaker state.
+func (c *Cluster) Placement() []PlacementEntry { return c.inner.Placement() }
+
+// Rebalance runs one placement pass: replicas whose latency EWMA towers
+// over the cluster median (or whose breaker is open) are rebuilt on the
+// least-loaded registered server not already hosting their shard.
+// In-process clusters (NewCluster, OpenCluster) register their simulated
+// servers automatically; RPC clusters add spare servers with
+// AddRemoteServer. Superseded leaves are left to drain.
+func (c *Cluster) Rebalance(opts RebalanceOptions) ([]RebalanceMove, error) {
+	return c.inner.Rebalance(opts)
+}
+
+// AddRemoteServer registers a remote placement server as a Rebalance move
+// target: addrForShard maps a shard index to the address where that
+// server would serve it (one pdserver -store process per shard, or one
+// multiplexed listener).
+func (c *Cluster) AddRemoteServer(name string, addrForShard func(shard int) string) {
+	c.inner.AddServer(name, func(si int) (cluster.Leaf, error) {
+		return cluster.NewRemoteLeaf(addrForShard(si)), nil
+	})
+}
+
+// Mixer is an inner node of the serving tree: it answers partial queries
+// like a leaf but computes them by fanning out to child nodes (leaf or
+// mixer processes) and merging their partials. Serve it with ServeMixer
+// and point a parent — ConnectCluster or a higher ConnectMixer — at its
+// address; trees stack to any depth.
+type Mixer struct {
+	inner *cluster.Mixer
+}
+
+// ConnectMixer assembles a mixer over remote children;
+// childAddrSets[i] lists the addresses of child subtree i's replicas
+// (each a leaf server or another mixer). Children down at assembly join
+// automatically once reachable, exactly like ConnectCluster's leaves.
+func ConnectMixer(name string, childAddrSets [][]string, opts ClusterOptions) *Mixer {
+	var childSets [][]cluster.Leaf
+	for _, addrs := range childAddrSets {
+		var replicas []cluster.Leaf
+		for _, a := range addrs {
+			replicas = append(replicas, cluster.NewRemoteLeaf(a))
+		}
+		childSets = append(childSets, replicas)
+	}
+	return &Mixer{inner: cluster.NewMixer(name, childSets, opts.clusterOptions())}
+}
+
+// ServeMixer serves the mixer's RPC service on l; it blocks.
+func ServeMixer(l net.Listener, m *Mixer) error {
+	return cluster.ServeNode(l, m.inner)
+}
+
+// Stats returns the mixer's own dispatch counters (its fan-out to its
+// children; the coordinator's counters are separate).
+func (m *Mixer) Stats() ClusterStats { return m.inner.Stats() }
+
+// Health reports the mixer's view of its children's health.
+func (m *Mixer) Health() []LeafHealth { return m.inner.Health() }

@@ -1,0 +1,264 @@
+package main
+
+// The mixer-tier experiment drives the serving tree as real RPC processes
+// (Section 4): a flat coordinator over remote leaves versus a 2-level tree
+// of mixer nodes over the same leaves must answer bit-for-bit identically
+// at full coverage, and the health-driven rebalancer must move a hot
+// shard's replica off a straggling server with a measurable p99
+// improvement. Results land in BENCH_mixer.json.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"os"
+	"sort"
+	"time"
+
+	"powerdrill/internal/cluster"
+	"powerdrill/internal/colstore"
+	"powerdrill/internal/exec"
+	"powerdrill/internal/value"
+	"powerdrill/internal/workload"
+)
+
+// mixerReport is the JSON written to BENCH_mixer.json.
+type mixerReport struct {
+	Rows          int     `json:"rows"`
+	Shards        int     `json:"shards"`
+	TreeIdentical bool    `json:"tree_identical"`
+	Coverage      float64 `json:"coverage"`
+
+	StraggleMS  float64    `json:"straggle_ms"`
+	P50BeforeMS float64    `json:"p50_before_ms"`
+	P99BeforeMS float64    `json:"p99_before_ms"`
+	P50AfterMS  float64    `json:"p50_after_ms"`
+	P99AfterMS  float64    `json:"p99_after_ms"`
+	Move        *mixerMove `json:"rebalance_move"`
+}
+
+type mixerMove struct {
+	Shard  int    `json:"shard"`
+	From   string `json:"from"`
+	To     string `json:"to"`
+	Reason string `json:"reason"`
+}
+
+func runMixerExp(cfg config) error {
+	tbl := workload.QueryLogs(workload.LogsSpec{Rows: cfg.rows, Seed: cfg.seed})
+	chunk := cfg.rows / 100
+	if chunk < 1000 {
+		chunk = 1000
+	}
+	storeOpts := colstore.Options{
+		PartitionFields:  []string{"country", "table_name"},
+		MaxChunkRows:     chunk,
+		OptimizeElements: true,
+	}
+	rep := mixerReport{Rows: cfg.rows, Shards: 6}
+
+	// --- Flat coordinator vs 2-level mixer tree, over real RPC ----------
+	shards := tbl.Shard(rep.Shards)
+	var leafAddrs []string
+	for i, shardTbl := range shards {
+		store, err := colstore.FromTable(shardTbl, storeOpts)
+		if err != nil {
+			return err
+		}
+		leaf := cluster.NewLocalLeaf(fmt.Sprintf("leaf%d", i), exec.New(store, exec.Options{}))
+		addr, err := serveNodeRPC(leaf)
+		if err != nil {
+			return err
+		}
+		leafAddrs = append(leafAddrs, addr)
+	}
+	remoteSets := func(addrs []string) [][]cluster.Leaf {
+		var sets [][]cluster.Leaf
+		for _, a := range addrs {
+			sets = append(sets, []cluster.Leaf{cluster.NewRemoteLeaf(a)})
+		}
+		return sets
+	}
+	flat := cluster.FromLeaves(remoteSets(leafAddrs), cluster.Options{Replicas: 1})
+
+	// Two mixer processes, each served over RPC like any other node, each
+	// fanning out to half the leaf fleet.
+	addrA, err := serveNodeRPC(cluster.NewMixer("mixer-a", remoteSets(leafAddrs[:3]), cluster.Options{Replicas: 1}))
+	if err != nil {
+		return err
+	}
+	addrB, err := serveNodeRPC(cluster.NewMixer("mixer-b", remoteSets(leafAddrs[3:]), cluster.Options{Replicas: 1}))
+	if err != nil {
+		return err
+	}
+	tree := cluster.FromLeaves(remoteSets([]string{addrA, addrB}), cluster.Options{Replicas: 1})
+
+	queries := []string{
+		`SELECT country, COUNT(*) as c, SUM(latency), AVG(latency) FROM data GROUP BY country ORDER BY c DESC, country ASC LIMIT 10;`,
+		`SELECT user, MIN(latency), MAX(latency), AVG(latency) FROM data GROUP BY user;`,
+	}
+	rep.TreeIdentical = true
+	rep.Coverage = 1
+	for _, q := range queries {
+		fres, err := flat.Query(q)
+		if err != nil {
+			return fmt.Errorf("flat coordinator: %w", err)
+		}
+		tres, err := tree.Query(q)
+		if err != nil {
+			return fmt.Errorf("mixer tree: %w", err)
+		}
+		if !sameRowsExactly(fres.Rows, tres.Rows) {
+			rep.TreeIdentical = false
+		}
+		if fres.Coverage < rep.Coverage {
+			rep.Coverage = fres.Coverage
+		}
+		if tres.Coverage < rep.Coverage {
+			rep.Coverage = tres.Coverage
+		}
+	}
+	if !rep.TreeIdentical {
+		return fmt.Errorf("mixer tree diverged from the flat coordinator")
+	}
+	if rep.Coverage != 1 {
+		return fmt.Errorf("coverage %v over a healthy fleet", rep.Coverage)
+	}
+	fmt.Printf("flat coordinator vs 2-level mixer tree over RPC (%d leaves, %d queries):\n",
+		rep.Shards, len(queries))
+	fmt.Println("  identical results: ok (bit-for-bit, floats included)")
+	fmt.Println("  coverage==1: ok")
+
+	// --- Health-driven rebalancing --------------------------------------
+	// One replica per shard with a spare server; shard 0's server straggles
+	// at 10x the healthy latency, so every query pays it — until the
+	// rebalancer rebuilds the replica on the spare.
+	c, err := cluster.NewLocal(tbl, cluster.Options{
+		Shards: rep.Shards, Replicas: 1, Servers: 4, Store: storeOpts,
+	})
+	if err != nil {
+		return err
+	}
+	q := queries[0]
+	base := time.Now()
+	if _, err := c.Query(q); err != nil {
+		return err
+	}
+	straggle := 10 * time.Since(base)
+	if straggle < 30*time.Millisecond {
+		straggle = 30 * time.Millisecond
+	}
+	rep.StraggleMS = float64(straggle) / 1e6
+	c.Leaves()[0].SetStraggle(straggle)
+
+	const n = 20
+	measure := func() (p50, p99 time.Duration, err error) {
+		lats := make([]time.Duration, 0, n)
+		for i := 0; i < n; i++ {
+			start := time.Now()
+			if _, err := c.Query(q); err != nil {
+				return 0, 0, err
+			}
+			lats = append(lats, time.Since(start))
+		}
+		sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+		return lats[len(lats)/2], lats[len(lats)*99/100], nil
+	}
+	p50, p99, err := measure()
+	if err != nil {
+		return err
+	}
+	rep.P50BeforeMS = float64(p50) / 1e6
+	rep.P99BeforeMS = float64(p99) / 1e6
+
+	moves, err := c.Rebalance(cluster.RebalanceOptions{})
+	if err != nil {
+		return err
+	}
+	if len(moves) != 1 {
+		return fmt.Errorf("rebalancer made %d moves, want 1 (straggling shard 0)", len(moves))
+	}
+	mv := moves[0]
+	rep.Move = &mixerMove{Shard: mv.Shard, From: mv.From, To: mv.To, Reason: mv.Reason}
+	p50, p99, err = measure()
+	if err != nil {
+		return err
+	}
+	rep.P50AfterMS = float64(p50) / 1e6
+	rep.P99AfterMS = float64(p99) / 1e6
+
+	fmt.Printf("\nrebalance: shard 0's only replica straggles its server at %.0fms\n", rep.StraggleMS)
+	row("", "p50", "p99")
+	row("straggling", fmt.Sprintf("%.1fms", rep.P50BeforeMS), fmt.Sprintf("%.1fms", rep.P99BeforeMS))
+	row("rebalanced", fmt.Sprintf("%.1fms", rep.P50AfterMS), fmt.Sprintf("%.1fms", rep.P99AfterMS))
+	fmt.Printf("moved shard %d replica %s -> %s (reason: %s); p99 %.1fx better\n",
+		mv.Shard, mv.From, mv.To, mv.Reason, rep.P99BeforeMS/math.Max(rep.P99AfterMS, 1e-9))
+	if rep.P99AfterMS >= rep.P99BeforeMS {
+		return fmt.Errorf("rebalance did not improve p99: %.1fms -> %.1fms", rep.P99BeforeMS, rep.P99AfterMS)
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_mixer.json", blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Println("\nwrote BENCH_mixer.json")
+	return nil
+}
+
+// serveNodeRPC serves a node (leaf or mixer) over loopback RPC and returns
+// its address; the listener lives for the rest of the process.
+func serveNodeRPC(node cluster.Leaf) (string, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	go cluster.ServeNode(l, node)
+	return l.Addr().String(), nil
+}
+
+// sameRowsExactly compares result rows as sets, demanding exact equality —
+// for floats, the very bits.
+func sameRowsExactly(a, b [][]value.Value) bool {
+	a = append([][]value.Value{}, a...)
+	b = append([][]value.Value{}, b...)
+	canon := func(rows [][]value.Value) {
+		sort.Slice(rows, func(x, y int) bool {
+			for i := range rows[x] {
+				if c := rows[x][i].Compare(rows[y][i]); c != 0 {
+					return c < 0
+				}
+			}
+			return false
+		})
+	}
+	canon(a)
+	canon(b)
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			av, bv := a[i][j], b[i][j]
+			if av.Kind() != bv.Kind() {
+				return false
+			}
+			if av.Kind() == value.KindFloat64 {
+				if math.Float64bits(av.Float()) != math.Float64bits(bv.Float()) {
+					return false
+				}
+				continue
+			}
+			if !av.Equal(bv) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -16,6 +16,7 @@
 //	pdbench -exp caches              # Section 5 eviction policies
 //	pdbench -exp distributed         # Section 4 tree + replicas
 //	pdbench -exp faulttol            # Section 4 hedging, breakers, coverage
+//	pdbench -exp mixer               # Section 4 RPC mixer tree + rebalancing
 //	pdbench -exp groupby             # ablation: counts-array vs hash
 //	pdbench -exp skipping            # ablation: Section 2.2 on/off
 //	pdbench -exp partitionorder      # ablation: field-order sensitivity
@@ -56,6 +57,7 @@ var experiments = []struct {
 	{"caches", "Section 5: cache eviction policies", runCaches},
 	{"distributed", "Section 4: execution tree, replicas, stragglers", runDistributed},
 	{"faulttol", "Section 4: deadlines, hedged re-dispatch, breakers, coverage", runFaultTol},
+	{"mixer", "Section 4: RPC mixer tree vs flat coordinator; health-driven rebalancing", runMixerExp},
 	{"groupby", "Ablation: counts-array vs hash-table group-by", runGroupBy},
 	{"skipping", "Ablation: chunk skipping on/off", runSkipping},
 	{"partitionorder", "Ablation: partition field order sensitivity", runPartitionOrder},

@@ -65,6 +65,8 @@ func usage() {
            (-q - reads queries from stdin)
            -shards DIR1,DIR2,... replaces -store with an in-process cluster
            (replicated, hedged, health-tracked); [-replicas N] [-deadline D]
+           -connect "a,b;c,d" queries a remote fleet of pdserver processes
+           (leaf or mixer nodes; ';' separates subtrees, ',' replicas)
   info     -store DIR
   scrub    -store DIR [-v]
            verifies every checksummed byte offline (columns, segments,
@@ -265,6 +267,7 @@ func runQuery(args []string) error {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
 	storeDir := fs.String("store", "", "store directory")
 	shards := fs.String("shards", "", "comma-separated shard store directories: query an in-process cluster instead of one store")
+	connect := fs.String("connect", "", `remote node address sets ("a,b;c,d"): query a fleet of pdserver leaf/mixer processes`)
 	q := fs.String("q", "", "SQL query, or '-' to read one query per line from stdin")
 	parallelism := fs.Int("parallelism", 0, "chunk-scan workers per query (0 = all cores, 1 = sequential)")
 	memBudget := fs.Int64("memory-budget", 0, "resident column byte budget (0 = unlimited, columns still load lazily)")
@@ -272,11 +275,32 @@ func runQuery(args []string) error {
 	replicas := fs.Int("replicas", 2, "replicas per shard with -shards")
 	deadline := fs.Duration("deadline", 10*time.Second, "per-query deadline with -shards (0 = none)")
 	fs.Parse(args)
-	if *q == "" || (*storeDir == "" && *shards == "") {
-		return fmt.Errorf("query needs -q and one of -store or -shards")
+	if *q == "" || (*storeDir == "" && *shards == "" && *connect == "") {
+		return fmt.Errorf("query needs -q and one of -store, -shards or -connect")
+	}
+	if *connect != "" {
+		var sets [][]string
+		for _, grp := range strings.Split(*connect, ";") {
+			var addrs []string
+			for _, a := range strings.Split(grp, ",") {
+				if a = strings.TrimSpace(a); a != "" {
+					addrs = append(addrs, a)
+				}
+			}
+			if len(addrs) > 0 {
+				sets = append(sets, addrs)
+			}
+		}
+		c, err := powerdrill.ConnectCluster(sets, powerdrill.ClusterOptions{Deadline: *deadline})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("connected to %d remote subtrees (deadline %v)\n", len(sets), *deadline)
+		return clusterQueries(c, *q)
 	}
 	if *shards != "" {
-		return runClusterQuery(strings.Split(*shards, ","), *q, powerdrill.ClusterOptions{
+		dirs := strings.Split(*shards, ",")
+		c, err := powerdrill.OpenCluster(dirs, powerdrill.ClusterOptions{
 			Replicas: *replicas,
 			Deadline: *deadline,
 			Store: powerdrill.Options{
@@ -286,6 +310,12 @@ func runQuery(args []string) error {
 				MemoryPolicy:      *memPolicy,
 			},
 		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("opened cluster: %d shards x %d replicas (deadline %v)\n",
+			len(dirs), *replicas, *deadline)
+		return clusterQueries(c, *q)
 	}
 	store, bytesRead, err := powerdrill.Open(*storeDir, powerdrill.Options{
 		ResultCacheBytes:  64 << 20,
@@ -356,16 +386,11 @@ func runQuery(args []string) error {
 	return sc.Err()
 }
 
-// runClusterQuery answers queries from an in-process cluster over the
-// shard directories: replicated leaves, hedged dispatch, per-leaf health,
-// and partial answers with coverage reported when shards are missing.
-func runClusterQuery(dirs []string, q string, opts powerdrill.ClusterOptions) error {
-	c, err := powerdrill.OpenCluster(dirs, opts)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("opened cluster: %d shards x %d replicas (deadline %v)\n",
-		len(dirs), opts.Replicas, opts.Deadline)
+// clusterQueries answers queries from an assembled cluster — in-process
+// shard directories or a remote fleet alike: replicated subtrees, hedged
+// dispatch, per-child health, and partial answers with coverage reported
+// when shards are missing.
+func clusterQueries(c *powerdrill.Cluster, q string) error {
 	runOne := func(sqlText string) error {
 		start := time.Now()
 		res, err := c.Query(sqlText)

@@ -15,10 +15,20 @@
 // health-tracked — see docs/cluster.md) and queries are answered over
 // HTTP (/query) with per-leaf health on /statz.
 //
+// With -mixer it runs as an inner serving-tree node: it answers the same
+// PartialQuery RPC a leaf does, but computes each answer by fanning out to
+// the listed child nodes (leaf or mixer processes — trees stack) and
+// shipping one merged partial up. With -connect it runs as a coordinator
+// over remote nodes. Both take address sets: ';' separates child subtrees,
+// ',' separates a subtree's replica addresses.
+//
 // Usage:
 //
 //	pdserver -store ./shard0 -listen :7070 -memory-budget 268435456 -statz :8080
+//	pdserver -store ./shard0 -listen :7070 -scrub-interval 1h
 //	pdserver -shards ./shard0,./shard1 -statz :8080 -deadline 10s
+//	pdserver -mixer "h1:7070,h1b:7070;h2:7070" -listen :7071 -statz :8081
+//	pdserver -connect "mix1:7071,mix1b:7071;mix2:7071" -statz :8080
 package main
 
 import (
@@ -47,7 +57,24 @@ func main() {
 	statz := flag.String("statz", "", "HTTP address for the /statz JSON endpoint (disabled when empty; required with -shards)")
 	replicas := flag.Int("replicas", 2, "replicas per shard in coordinator mode")
 	deadline := flag.Duration("deadline", 10*time.Second, "per-query deadline in coordinator mode (0 = none)")
+	mixer := flag.String("mixer", "", `child address sets ("a,b;c,d"): run as a mixer node over them instead of serving a store`)
+	connect := flag.String("connect", "", `remote node address sets ("a,b;c,d"): run as a coordinator over leaf/mixer processes`)
+	scrubInterval := flag.Duration("scrub-interval", 0, "background scrub cadence for the leaf's store (0 = off)")
 	flag.Parse()
+	if *mixer != "" {
+		if err := runMixer(*mixer, *listen, *statz, *deadline); err != nil {
+			fmt.Fprintf(os.Stderr, "pdserver: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *connect != "" {
+		if err := runConnect(*connect, *statz, *deadline); err != nil {
+			fmt.Fprintf(os.Stderr, "pdserver: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *shards != "" {
 		if err := runCoordinator(strings.Split(*shards, ","), *statz, coordinatorOptions{
 			replicas:    *replicas,
@@ -71,6 +98,7 @@ func main() {
 		Parallelism:       *parallelism,
 		MemoryBudgetBytes: *memBudget,
 		MemoryPolicy:      *memPolicy,
+		ScrubInterval:     *scrubInterval,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pdserver: %v\n", err)
@@ -175,5 +203,71 @@ func runCoordinator(dirs []string, statzAddr string, o coordinatorOptions) error
 	}
 	fmt.Printf("pdserver: coordinating %d shards x %d replicas (deadline %v); /query and /statz on %s\n",
 		len(dirs), o.replicas, o.deadline, statzAddr)
+	return serveCoordinatorStatz(statzAddr, c)
+}
+
+// parseAddrSets parses "a,b;c,d" into address sets: ';' separates child
+// subtrees, ',' separates a subtree's replica addresses.
+func parseAddrSets(s string) [][]string {
+	var sets [][]string
+	for _, grp := range strings.Split(s, ";") {
+		var addrs []string
+		for _, a := range strings.Split(grp, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		if len(addrs) > 0 {
+			sets = append(sets, addrs)
+		}
+	}
+	return sets
+}
+
+// runMixer serves an inner serving-tree node: the same RPC surface as a
+// leaf, answered by fanning out to the child nodes and merging. Children
+// that are down at startup join once reachable.
+func runMixer(children, listen, statzAddr string, deadline time.Duration) error {
+	sets := parseAddrSets(children)
+	if len(sets) == 0 {
+		return fmt.Errorf("-mixer needs at least one child address set")
+	}
+	l, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	m := powerdrill.ConnectMixer(l.Addr().String(), sets, powerdrill.ClusterOptions{Deadline: deadline})
+	fmt.Printf("pdserver: mixing %d child subtrees (deadline %v) on %s\n",
+		len(sets), deadline, l.Addr())
+	if statzAddr != "" {
+		go func() {
+			mux := http.NewServeMux()
+			mux.Handle("/statz", mixerStatzHandler(m))
+			if err := http.ListenAndServe(statzAddr, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "pdserver: statz: %v\n", err)
+			}
+		}()
+		fmt.Printf("pdserver: /statz on %s\n", statzAddr)
+	}
+	return powerdrill.ServeMixer(l, m)
+}
+
+// runConnect serves a coordinator over remote leaf or mixer processes:
+// /query and /statz over HTTP, exactly like -shards but with the serving
+// tree living in other processes.
+func runConnect(addrs, statzAddr string, deadline time.Duration) error {
+	if statzAddr == "" {
+		return fmt.Errorf("coordinator mode needs -statz (it serves /query and /statz over HTTP)")
+	}
+	sets := parseAddrSets(addrs)
+	if len(sets) == 0 {
+		return fmt.Errorf("-connect needs at least one node address set")
+	}
+	c, err := powerdrill.ConnectCluster(sets, powerdrill.ClusterOptions{Deadline: deadline})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pdserver: coordinating %d remote subtrees (deadline %v); /query and /statz on %s\n",
+		len(sets), deadline, statzAddr)
 	return serveCoordinatorStatz(statzAddr, c)
 }

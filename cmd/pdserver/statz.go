@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
+	"time"
 
 	"powerdrill"
 )
@@ -26,9 +27,25 @@ type statzPayload struct {
 	// committed generation, live segments and buffer state.
 	Ingest *ingestSection `json:"ingest,omitempty"`
 
-	// Cluster is present in coordinator mode (-shards): fan-out counters
-	// plus per-leaf health.
+	// LastScrub is present once a background scrub pass (-scrub-interval)
+	// has completed: when it ran, what it covered, and the verdicts.
+	LastScrub *scrubSection `json:"last_scrub,omitempty"`
+
+	// Cluster is present in coordinator mode (-shards, -connect) and mixer
+	// mode (-mixer): fan-out counters plus per-child health.
 	Cluster *clusterSection `json:"cluster,omitempty"`
+}
+
+// scrubSection mirrors powerdrill.ScrubStatus: the most recent background
+// scrub pass over the leaf's store files.
+type scrubSection struct {
+	Time      string   `json:"time"`
+	ElapsedMS float64  `json:"elapsed_ms"`
+	Files     int      `json:"files"`
+	Records   int      `json:"records"`
+	Corrupt   int      `json:"corrupt"`
+	Failures  []string `json:"failures,omitempty"`
+	Err       string   `json:"err,omitempty"`
 }
 
 // ingestSection mirrors powerdrill.IngestStats.
@@ -60,26 +77,47 @@ type clusterSection struct {
 	PartialAnswers  int64 `json:"partial_answers"`
 	BreakerOpens    int64 `json:"breaker_opens"`
 	BreakerSkips    int64 `json:"breaker_skips"`
+	Rebalances      int64 `json:"rebalances"`
+	ReplicasMoved   int64 `json:"replicas_moved"`
 
 	Leaves []leafHealthSection `json:"leaves"`
+
+	// Placement is the shard→server placement table (coordinators only).
+	Placement []placementSection `json:"placement,omitempty"`
 }
 
 type leafHealthSection struct {
 	Name    string `json:"name"`
 	Shard   int    `json:"shard"`
 	Replica int    `json:"replica"`
+	// Server is the placement label of the server the replica lives on.
+	Server string `json:"server,omitempty"`
 	// Breaker is "closed", "open", "half-open" or "disabled".
 	Breaker             string `json:"breaker"`
 	ConsecutiveFailures int    `json:"consecutive_failures"`
 	Successes           int64  `json:"successes"`
 	Failures            int64  `json:"failures"`
 	BreakerOpens        int64  `json:"breaker_opens"`
-	LastError           string `json:"last_error,omitempty"`
+	// LatencyEWMAMS is the replica's moving completed-attempt latency in
+	// milliseconds — the rebalancer's signal.
+	LatencyEWMAMS float64 `json:"latency_ewma_ms"`
+	LastError     string  `json:"last_error,omitempty"`
 }
 
-// clusterStatz snapshots a coordinator's stats and leaf health.
-func clusterStatz(c *powerdrill.Cluster) *clusterSection {
-	st := c.Stats()
+// placementSection is one row of the shard→server placement table.
+type placementSection struct {
+	Shard         int     `json:"shard"`
+	Replica       int     `json:"replica"`
+	Server        string  `json:"server"`
+	Leaf          string  `json:"leaf"`
+	LatencyEWMAMS float64 `json:"latency_ewma_ms"`
+	Breaker       string  `json:"breaker"`
+}
+
+// dispatchStatz renders one node's fan-out counters and per-child health —
+// the shape is identical for a coordinator and a mixer, because they run
+// the same dispatcher.
+func dispatchStatz(st powerdrill.ClusterStats, health []powerdrill.LeafHealth) *clusterSection {
 	s := &clusterSection{
 		Queries:         st.Queries,
 		SubQueries:      st.SubQueries,
@@ -92,21 +130,53 @@ func clusterStatz(c *powerdrill.Cluster) *clusterSection {
 		PartialAnswers:  st.PartialAnswers,
 		BreakerOpens:    st.BreakerOpens,
 		BreakerSkips:    st.BreakerSkips,
+		Rebalances:      st.Rebalances,
+		ReplicasMoved:   st.ReplicasMoved,
 	}
-	for _, h := range c.Health() {
+	for _, h := range health {
 		s.Leaves = append(s.Leaves, leafHealthSection{
 			Name:                h.Name,
 			Shard:               h.Shard,
 			Replica:             h.Replica,
+			Server:              h.Server,
 			Breaker:             h.Breaker,
 			ConsecutiveFailures: h.ConsecutiveFailures,
 			Successes:           h.Successes,
 			Failures:            h.Failures,
 			BreakerOpens:        h.BreakerOpens,
+			LatencyEWMAMS:       float64(h.LatencyEWMA) / 1e6,
 			LastError:           h.LastError,
 		})
 	}
 	return s
+}
+
+// clusterStatz snapshots a coordinator's stats, leaf health and placement.
+func clusterStatz(c *powerdrill.Cluster) *clusterSection {
+	s := dispatchStatz(c.Stats(), c.Health())
+	for _, e := range c.Placement() {
+		s.Placement = append(s.Placement, placementSection{
+			Shard:         e.Shard,
+			Replica:       e.Replica,
+			Server:        e.Server,
+			Leaf:          e.Leaf,
+			LatencyEWMAMS: float64(e.LatencyEWMA) / 1e6,
+			Breaker:       e.Breaker,
+		})
+	}
+	return s
+}
+
+// mixerStatzHandler serves a mixer node's runtime counters: its own
+// fan-out statistics and its view of its children's health.
+func mixerStatzHandler(m *powerdrill.Mixer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		p := statzPayload{Cluster: dispatchStatz(m.Stats(), m.Health())}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(&p)
+	})
 }
 
 type memorySection struct {
@@ -229,6 +299,17 @@ func statzHandler(store *powerdrill.Store) http.Handler {
 				Misses:    cs.Misses,
 				Evictions: cs.Evictions,
 				HitRate:   cs.HitRate(),
+			}
+		}
+		if ss, ok := store.LastScrub(); ok {
+			p.LastScrub = &scrubSection{
+				Time:      ss.Time.Format(time.RFC3339),
+				ElapsedMS: float64(ss.Elapsed) / 1e6,
+				Files:     ss.Files,
+				Records:   ss.Records,
+				Corrupt:   ss.Corrupt,
+				Failures:  ss.Failures,
+				Err:       ss.Err,
 			}
 		}
 		if is, ok := store.IngestStats(); ok {

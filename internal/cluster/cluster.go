@@ -4,8 +4,13 @@
 // multi-level aggregations over a computation tree, and every sub-query
 // can be answered by a primary or a replica server.
 //
-// The serving tree is built for a busy shared fleet where stragglers,
-// evictions and dead machines are the steady state, not the exception:
+// The tree is built from one abstraction: a node that answers
+// PartialQuery. Leaves execute the sub-query on their shard; Mixers
+// (mixer.go) are inner nodes that fan out to child nodes — leaves or
+// deeper mixers — and ship one merged partial up. Both sides of every
+// edge run the same dispatch machinery (dispatch.go), extracted into a
+// dispatcher any node embeds, so the full straggler/failure story applies
+// per level:
 //
 //   - Every query runs under a context deadline threaded down to the
 //     leaves; a hung machine can cost at most the deadline, never a hung
@@ -15,36 +20,40 @@
 //     per-shard latency estimate — see hedge.go), or immediately on error.
 //   - Failed attempts are re-dispatched with capped, jittered exponential
 //     backoff while the deadline allows.
-//   - Each leaf carries a consecutive-failure circuit breaker (health.go),
-//     so known-dead leaves are skipped instead of timed out against, and
+//   - Each child carries a consecutive-failure circuit breaker (health.go),
+//     so known-dead nodes are skipped instead of timed out against, and
 //     rejoin via half-open probes when they recover.
 //   - When a shard exhausts replicas, retries and deadline, the query
 //     degrades instead of failing: the merged answer is served with
 //     Coverage < 1 and the missing shards' row counts accounted — the
 //     paper's UI reports exactly this fraction next to every answer.
 //
+// On top of the topology, placement.go keeps a shard→server placement
+// table and a rebalancer that moves hot shards' replicas onto cold
+// servers using the breaker state and per-replica latency estimates the
+// dispatcher already tracks.
+//
 // Leaves are in-process by default (the unit tests and benchmarks run a
-// whole cluster in one binary); rpc.go in this directory exposes the same
-// Leaf interface over net/rpc for multi-process deployments, and
-// faultinject.go provides the fault harness the tests and pdbench's
-// faulttol experiment drive.
+// whole cluster in one binary); rpc.go exposes the same node interface
+// over net/rpc for multi-process deployments (partials cross the wire in
+// the versioned exec.EncodePartial form), and faultinject.go provides the
+// fault harness the tests and pdbench's faulttol experiment drive.
 package cluster
 
 import (
 	"context"
 	"fmt"
 	"math/rand"
-	"sync"
 	"time"
 
 	"powerdrill/internal/colstore"
 	"powerdrill/internal/exec"
-	"powerdrill/internal/memmgr"
 	"powerdrill/internal/sql"
-	"powerdrill/internal/table"
 )
 
-// Leaf answers partial queries for one shard.
+// Leaf answers partial queries for one subtree: a real leaf covers one
+// shard, a Mixer covers every shard below it. The coordinator does not
+// distinguish the two.
 type Leaf interface {
 	// PartialQuery executes sql and returns the mergeable partial. The
 	// context carries the query's deadline: implementations must return
@@ -53,6 +62,15 @@ type Leaf interface {
 	PartialQuery(ctx context.Context, sqlText string) (*exec.Partial, error)
 	// Name identifies the server in logs and stats.
 	Name() string
+}
+
+// RowCounter is an optional Leaf extension: nodes that can report how many
+// rows they serve without running a query. The dispatcher asks it (over
+// RPC: the Leaf.Stat method) for shards whose row counts are still
+// unknown, concurrently with the first query's scatter — so Coverage is
+// exact from the first answer even for shards that never respond.
+type RowCounter interface {
+	NumRows(ctx context.Context) (int64, error)
 }
 
 // LocalLeaf wraps an engine as a Leaf, with composable fault injection.
@@ -98,6 +116,13 @@ func (l *LocalLeaf) PartialQuery(ctx context.Context, sqlText string) (*exec.Par
 	return l.engine.RunPartial(stmt)
 }
 
+// NumRows implements RowCounter. It deliberately bypasses the fault
+// injector: a leaf whose queries fail can still report its shard size,
+// which is what lets Coverage degrade exactly.
+func (l *LocalLeaf) NumRows(ctx context.Context) (int64, error) {
+	return int64(l.engine.Store().NumRows()), nil
+}
+
 // Options configures a cluster.
 type Options struct {
 	// Shards is the number of data shards (default 8). The paper keeps
@@ -109,6 +134,11 @@ type Options struct {
 	// Replicas per sub-query: 1 (no replication) or 2 (the paper's
 	// primary + replica scheme). Default 2.
 	Replicas int
+	// Servers is how many placement servers NewLocal/OpenShards spread
+	// replicas over (default Replicas). With Servers > Replicas some
+	// servers start empty — spare capacity the rebalancer can move hot
+	// shards' replicas onto.
+	Servers int
 	// Store configures the per-shard column stores.
 	Store colstore.Options
 	// Engine configures the per-shard engines.
@@ -160,6 +190,9 @@ func (o Options) withDefaults() Options {
 	if o.Replicas > 2 {
 		o.Replicas = 2
 	}
+	if o.Servers < o.Replicas {
+		o.Servers = o.Replicas
+	}
 	if o.HedgeMultiplier <= 0 {
 		o.HedgeMultiplier = 3
 	}
@@ -193,182 +226,38 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// newLeafState wires a leaf into shard si at replica index r under o's
-// health policy.
-func (o Options) newLeafState(leaf Leaf, si, r int) *leafState {
-	ls := &leafState{leaf: leaf, shard: si, replica: r}
+// newLeafState wires a leaf into shard si at replica index r on server
+// srv under o's health policy.
+func (o Options) newLeafState(leaf Leaf, si, r int, srv string) *leafState {
+	ls := &leafState{leaf: leaf, shard: si, replica: r, server: srv}
 	if o.BreakerThreshold > 0 {
 		ls.br = newBreaker(o.BreakerThreshold, o.BreakerCooldown)
 	}
 	return ls
 }
 
-// shardState holds one shard's replicas and its dispatch-side state.
-type shardState struct {
-	replicas []*leafState
-	lat      latEstimate
-
-	mu   sync.Mutex
-	rows int64 // known row count (0 until learned; see learnRows)
-}
-
-// learnRows records the shard's row count from a successful partial, so
-// coverage accounting can charge the shard even after its leaves die.
-// NewLocal/OpenShards know it at assembly; RPC clusters learn it from the
-// first answer.
-func (s *shardState) learnRows(n int64) {
-	if n <= 0 {
-		return
-	}
-	s.mu.Lock()
-	s.rows = n
-	s.mu.Unlock()
-}
-
-func (s *shardState) knownRows() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.rows
-}
-
-// Cluster is a tree of aggregating nodes over replicated leaf servers.
+// Cluster is the root of the serving tree: a dispatcher over replicated
+// children (leaves or mixers) that finalizes merged partials into results.
 type Cluster struct {
-	opts   Options
-	shards []*shardState
+	dispatcher
+	place placement
 	// leaves are the distinct local leaves (for fault injection); remote
-	// clusters leave this nil.
+	// clusters leave this nil. Guarded by dispatcher.mu — the rebalancer
+	// appends while queries run.
 	leaves []*LocalLeaf
-
-	mu    sync.Mutex
-	stats Stats
-}
-
-// Stats counts distributed execution events.
-type Stats struct {
-	Queries         int64
-	SubQueries      int64
-	ReplicaRaces    int64 // sub-queries issued to more than one server
-	PrimaryFailures int64 // sub-queries answered by a non-primary replica
-	// Hedges counts secondary dispatches fired by the straggler threshold
-	// (including the immediate hedge on shards with no latency estimate).
-	Hedges int64
-	// Retries counts re-dispatches after a replica error: speculative
-	// immediate ones and backoff retries alike.
-	Retries int64
-	// DeadlineExpired counts sub-queries abandoned because the query
-	// deadline expired before any replica answered.
-	DeadlineExpired int64
-	// ShardsMissing counts shard answers missing from served results —
-	// every one of them degraded a query's coverage below 1.
-	ShardsMissing int64
-	// PartialAnswers counts queries served with Coverage < 1.
-	PartialAnswers int64
-	// BreakerOpens counts circuit breakers tripping open; BreakerSkips
-	// counts dispatches skipped because a breaker was open.
-	BreakerOpens int64
-	BreakerSkips int64
-}
-
-// NewLocal builds an in-process cluster: the table is sharded, each shard
-// imported into Replicas independent stores (a real deployment loads the
-// same shard files on two machines; here each replica builds its own store
-// so fault injection on one cannot corrupt the other).
-func NewLocal(tbl *table.Table, opts Options) (*Cluster, error) {
-	opts = opts.withDefaults()
-	c := &Cluster{opts: opts}
-	shards := tbl.Shard(opts.Shards)
-	for i, shardTbl := range shards {
-		s := &shardState{rows: int64(shardTbl.NumRows())}
-		for r := 0; r < opts.Replicas; r++ {
-			store, err := colstore.FromTable(shardTbl, opts.Store)
-			if err != nil {
-				return nil, fmt.Errorf("cluster: shard %d replica %d: %w", i, r, err)
-			}
-			leaf := NewLocalLeaf(fmt.Sprintf("shard%d-r%d", i, r), exec.New(store, opts.Engine))
-			s.replicas = append(s.replicas, opts.newLeafState(leaf, i, r))
-			c.leaves = append(c.leaves, leaf)
-		}
-		c.shards = append(c.shards, s)
-	}
-	return c, nil
-}
-
-// OpenShards assembles an in-process cluster from persisted shard
-// directories, opening every shard lazily: no column data is read until a
-// query touches it, and all leaves share one memory manager — so the whole
-// cluster's resident column bytes respect a single budget (mgr may be nil
-// for lazy loading without a budget). Replicas of a shard open the same
-// directory and therefore share resident columns, which is exactly what
-// the paper's primary+replica scheme wants: the replica answers from the
-// same bytes.
-func OpenShards(dirs []string, opts Options, mgr *memmgr.Manager) (*Cluster, error) {
-	opts.Shards = len(dirs)
-	opts = opts.withDefaults()
-	if mgr == nil {
-		mgr = memmgr.New(0, "")
-	}
-	c := &Cluster{opts: opts}
-	for i, dir := range dirs {
-		s := &shardState{}
-		for r := 0; r < opts.Replicas; r++ {
-			store, _, err := colstore.OpenLazy(dir, mgr)
-			if err != nil {
-				return nil, fmt.Errorf("cluster: open shard %d replica %d: %w", i, r, err)
-			}
-			s.rows = int64(store.NumRows())
-			leaf := NewLocalLeaf(fmt.Sprintf("shard%d-r%d", i, r), exec.New(store, opts.Engine))
-			s.replicas = append(s.replicas, opts.newLeafState(leaf, i, r))
-			c.leaves = append(c.leaves, leaf)
-		}
-		c.shards = append(c.shards, s)
-	}
-	return c, nil
-}
-
-// FromLeaves assembles a cluster from pre-built leaves (used by the RPC
-// client); leafSets[i] holds the replicas of shard i. Leaves that are down
-// at assembly simply stay unhealthy until they come back — see
-// NewRemoteLeaf — so a partially-up fleet still serves (partial) answers.
-func FromLeaves(leafSets [][]Leaf, opts Options) *Cluster {
-	opts.Shards = len(leafSets)
-	opts = opts.withDefaults()
-	c := &Cluster{opts: opts}
-	for i, replicas := range leafSets {
-		s := &shardState{}
-		for r, leaf := range replicas {
-			s.replicas = append(s.replicas, opts.newLeafState(leaf, i, r))
-		}
-		c.shards = append(c.shards, s)
-	}
-	return c
 }
 
 // Leaves returns the local leaves for fault injection in tests.
-func (c *Cluster) Leaves() []*LocalLeaf { return c.leaves }
-
-// Stats returns cumulative distributed-execution counters.
-func (c *Cluster) Stats() Stats {
+func (c *Cluster) Leaves() []*LocalLeaf {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.stats
+	return append([]*LocalLeaf(nil), c.leaves...)
 }
 
-// Health reports every leaf's dispatch-side health (breaker state,
-// success/failure counts, last error), in shard-then-replica order.
-func (c *Cluster) Health() []LeafHealth {
-	var out []LeafHealth
-	for _, s := range c.shards {
-		for _, ls := range s.replicas {
-			out = append(out, ls.health())
-		}
-	}
-	return out
-}
-
-// bump adds n to one stats counter.
-func (c *Cluster) bump(field *int64, n int64) {
+// addLeaf records a locally-created leaf.
+func (c *Cluster) addLeaf(l *LocalLeaf) {
 	c.mu.Lock()
-	*field += n
+	c.leaves = append(c.leaves, l)
 	c.mu.Unlock()
 }
 
@@ -396,21 +285,9 @@ func (c *Cluster) QueryContext(ctx context.Context, sqlText string) (*exec.Resul
 		ctx, cancel = context.WithTimeout(ctx, c.opts.Deadline)
 		defer cancel()
 	}
-	partials, missing, err := c.scatter(ctx, sqlText)
+	merged, missing, err := c.gather(ctx, sqlText)
 	if err != nil {
 		return nil, err
-	}
-	merged, err := c.mergeTree(partials)
-	if err != nil {
-		return nil, err
-	}
-	// Coverage accounting: shards that never answered contribute their
-	// (known) row counts to the denominator only. A remote shard that has
-	// never answered has no known count — it is still counted in
-	// ShardsMissing, but cannot lower the fraction.
-	for _, si := range missing {
-		merged.Stats.RowsTotal += c.shards[si].knownRows()
-		merged.Stats.ShardsMissing++
 	}
 	coverage := 1.0
 	if merged.Stats.RowsTotal > 0 {
@@ -423,247 +300,17 @@ func (c *Cluster) QueryContext(ctx context.Context, sqlText string) (*exec.Resul
 	c.mu.Lock()
 	c.stats.Queries++
 	if len(missing) > 0 {
-		c.stats.ShardsMissing += int64(len(missing))
 		c.stats.PartialAnswers++
 	}
 	c.mu.Unlock()
 	return exec.FinalizePartial(stmt, merged)
 }
 
-// scatter fans the sub-query out to every shard. It returns the partials
-// that arrived and the indices of shards that did not; the error is
-// non-nil only when not a single shard answered.
-func (c *Cluster) scatter(ctx context.Context, sqlText string) ([]*exec.Partial, []int, error) {
-	results := make([]*exec.Partial, len(c.shards))
-	errs := make([]error, len(c.shards))
-	var wg sync.WaitGroup
-	for i := range c.shards {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			results[i], errs[i] = c.askShard(ctx, i, sqlText)
-		}(i)
-	}
-	wg.Wait()
-	partials := make([]*exec.Partial, 0, len(c.shards))
-	var missing []int
-	var firstErr error
-	for i, err := range errs {
-		if err != nil {
-			missing = append(missing, i)
-			if firstErr == nil {
-				firstErr = fmt.Errorf("cluster: shard %d: %w", i, err)
-			}
-			continue
-		}
-		partials = append(partials, results[i])
-	}
-	if len(partials) == 0 && firstErr != nil {
-		return nil, nil, firstErr
-	}
-	return partials, missing, nil
-}
-
-// askShard answers one shard's sub-query with tiered hedging:
-//
-//  1. Dispatch to the primary (breaker-open replicas are skipped).
-//  2. If it has not answered within the hedge delay, dispatch the replica
-//     too; the first success wins. An error brings the replica in
-//     immediately (speculative re-dispatch).
-//  3. When every allowed replica has been tried, re-dispatch with capped
-//     jittered backoff until MaxRetries or the deadline runs out.
-func (c *Cluster) askShard(ctx context.Context, si int, sqlText string) (*exec.Partial, error) {
-	s := c.shards[si]
-	c.bump(&c.stats.SubQueries, 1)
-
-	// Dispatch order: primary first, breaker-open leaves skipped. If every
-	// breaker is open the shard fails fast — it will be probed again after
-	// the cooldown — instead of burning the deadline on known-dead leaves.
-	now := time.Now()
-	order := make([]*leafState, 0, len(s.replicas))
-	var skipped int64
-	for _, ls := range s.replicas {
-		if ls.allowed(now) {
-			order = append(order, ls)
-		} else {
-			skipped++
-		}
-	}
-	if skipped > 0 {
-		c.bump(&c.stats.BreakerSkips, skipped)
-	}
-	if len(order) == 0 {
-		return nil, fmt.Errorf("shard %d: all %d replicas circuit-open", si, len(s.replicas))
-	}
-
-	type answer struct {
-		part    *exec.Partial
-		err     error
-		ls      *leafState
-		elapsed time.Duration
-	}
-	// Buffered for every launch this sub-query can possibly make, so late
-	// finishers never block (they just finish in the background, like the
-	// paper's losing replica).
-	ch := make(chan answer, len(order)*(1+c.opts.MaxRetries)+2)
-	inflight := 0
-	launch := func(ls *leafState) {
-		inflight++
-		go func() {
-			start := time.Now()
-			part, err := ls.leaf.PartialQuery(ctx, sqlText)
-			ch <- answer{part, err, ls, time.Since(start)}
-		}()
-	}
-
-	next := 0 // next undispatched entry in order
-	launch(order[next])
-	next++
-
-	// The hedge timer is armed only while an undispatched replica remains.
-	var hedgeCh <-chan time.Time
-	if next < len(order) {
-		t := time.NewTimer(c.opts.hedgeDelay(&s.lat))
-		defer t.Stop()
-		hedgeCh = t.C
-	}
-
-	retriesLeft := c.opts.MaxRetries
-	retryAttempt := 0            // backoff exponent + rotation cursor
-	var retryCh <-chan time.Time // pending backoff timer
-	raced := false
-	var firstErr error
-
-	finish := func(a answer) *exec.Partial {
-		a.ls.success()
-		s.lat.observe(a.elapsed)
-		s.learnRows(a.part.Stats.RowsTotal)
-		if a.ls.replica != 0 {
-			c.bump(&c.stats.PrimaryFailures, 1)
-		}
-		return a.part
-	}
-	markRaced := func(ls *leafState) {
-		if !raced && ls != order[0] {
-			raced = true
-			c.bump(&c.stats.ReplicaRaces, 1)
-		}
-	}
-
-	for {
-		select {
-		case a := <-ch:
-			inflight--
-			if a.err == nil {
-				// Record outcomes that already arrived before returning the
-				// win: dropping a buffered failure would slow its breaker.
-			drain:
-				for {
-					select {
-					case b := <-ch:
-						inflight--
-						if b.err == nil {
-							b.ls.success()
-						} else if b.ls.failure(b.err, time.Now()) {
-							c.bump(&c.stats.BreakerOpens, 1)
-						}
-					default:
-						break drain
-					}
-				}
-				return finish(a), nil
-			}
-			if a.ls.failure(a.err, time.Now()) {
-				c.bump(&c.stats.BreakerOpens, 1)
-			}
-			if firstErr == nil {
-				firstErr = a.err
-			}
-			if ctx.Err() != nil {
-				// Deadline already gone: no point re-dispatching.
-				if inflight == 0 {
-					c.bump(&c.stats.DeadlineExpired, 1)
-					return nil, firstErr
-				}
-				continue
-			}
-			switch {
-			case next < len(order):
-				// Speculative re-dispatch: bring the replica in now
-				// instead of waiting for the hedge timer.
-				hedgeCh = nil
-				c.bump(&c.stats.Retries, 1)
-				markRaced(order[next])
-				launch(order[next])
-				next++
-			case retriesLeft > 0 && retryCh == nil:
-				retriesLeft--
-				c.bump(&c.stats.Retries, 1)
-				t := time.NewTimer(backoffDelay(c.opts.RetryBackoff, c.opts.HedgeMaxDelay, retryAttempt))
-				defer t.Stop()
-				retryCh = t.C
-			case inflight == 0 && retryCh == nil:
-				return nil, firstErr
-			}
-		case <-hedgeCh:
-			hedgeCh = nil
-			c.bump(&c.stats.Hedges, 1)
-			markRaced(order[next])
-			launch(order[next])
-			next++
-		case <-retryCh:
-			retryCh = nil
-			target := order[retryAttempt%len(order)]
-			retryAttempt++
-			markRaced(target)
-			launch(target)
-		case <-ctx.Done():
-			// The deadline expired with attempts still in flight. Leaves
-			// abandon injected waits and RPC calls promptly on ctx, so the
-			// launched goroutines drain into the buffered channel without
-			// anyone reading — no goroutine outlives its leaf call.
-			c.bump(&c.stats.DeadlineExpired, 1)
-			if firstErr != nil {
-				return nil, firstErr
-			}
-			return nil, ctx.Err()
-		}
-	}
-}
-
-// mergeTree merges partials Fanout at a time, simulating the levels of the
-// computation tree (the rewrite SELECT…GROUP BY over inner
-// SELECT…GROUP BY results, applied recursively).
-func (c *Cluster) mergeTree(parts []*exec.Partial) (*exec.Partial, error) {
-	if len(parts) == 0 {
-		return &exec.Partial{}, nil
-	}
-	level := parts
-	for len(level) > 1 {
-		var next []*exec.Partial
-		for start := 0; start < len(level); start += c.opts.Fanout {
-			end := start + c.opts.Fanout
-			if end > len(level) {
-				end = len(level)
-			}
-			acc := level[start]
-			for _, p := range level[start+1 : end] {
-				if err := exec.MergePartials(acc, p); err != nil {
-					return nil, err
-				}
-			}
-			next = append(next, acc)
-		}
-		level = next
-	}
-	return level[0], nil
-}
-
 // InjectStragglers marks a random fraction of leaves as slow, for tail
 // latency experiments.
 func (c *Cluster) InjectStragglers(frac float64, delay time.Duration, seed int64) {
 	r := rand.New(rand.NewSource(seed))
-	for _, l := range c.leaves {
+	for _, l := range c.Leaves() {
 		if r.Float64() < frac {
 			l.SetStraggle(delay)
 		} else {

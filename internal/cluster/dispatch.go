@@ -1,0 +1,466 @@
+package cluster
+
+// The dispatcher is the dispatch half of a serving-tree node, extracted
+// from Cluster so that every level of the tree runs the same machinery:
+// the coordinator embeds one to reach its children, and each Mixer embeds
+// one to reach *its* children (leaves or deeper mixers). Hedging, retries,
+// breakers and coverage accounting therefore apply per level — a straggling
+// leaf is hedged by its mixer, a straggling mixer by the coordinator.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"powerdrill/internal/exec"
+)
+
+// Stats counts distributed execution events.
+type Stats struct {
+	Queries         int64
+	SubQueries      int64
+	ReplicaRaces    int64 // sub-queries issued to more than one server
+	PrimaryFailures int64 // sub-queries answered by a non-primary replica
+	// Hedges counts secondary dispatches fired by the straggler threshold
+	// (including the immediate hedge on shards with no latency estimate).
+	Hedges int64
+	// Retries counts re-dispatches after a replica error: speculative
+	// immediate ones and backoff retries alike.
+	Retries int64
+	// DeadlineExpired counts sub-queries abandoned because the query
+	// deadline expired before any replica answered.
+	DeadlineExpired int64
+	// ShardsMissing counts shard answers missing from served results —
+	// every one of them degraded a query's coverage below 1.
+	ShardsMissing int64
+	// PartialAnswers counts queries served with Coverage < 1.
+	PartialAnswers int64
+	// BreakerOpens counts circuit breakers tripping open; BreakerSkips
+	// counts dispatches skipped because a breaker was open.
+	BreakerOpens int64
+	BreakerSkips int64
+	// Rebalances counts Rebalance calls that moved at least one replica;
+	// ReplicasMoved counts the individual relocations.
+	Rebalances    int64
+	ReplicasMoved int64
+}
+
+// shardState holds one shard's replicas and its dispatch-side state.
+type shardState struct {
+	lat latEstimate
+
+	mu       sync.Mutex
+	replicas []*leafState
+	rows     int64 // known row count (0 until learned; see learnRows)
+}
+
+// replicaList snapshots the replica set. The returned slice is immutable:
+// the rebalancer replaces the whole slice (setReplica), never an element
+// in place, so in-flight dispatches keep a consistent view.
+func (s *shardState) replicaList() []*leafState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.replicas
+}
+
+// setReplica swaps replica r for ls (copy-on-write) and returns the
+// superseded leaf state, which is left to drain — in-flight sub-queries
+// may still be using it.
+func (s *shardState) setReplica(r int, ls *leafState) *leafState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := s.replicas[r]
+	replicas := append([]*leafState(nil), s.replicas...)
+	replicas[r] = ls
+	s.replicas = replicas
+	return old
+}
+
+// learnRows records the shard's row count, so coverage accounting can
+// charge the shard even after its leaves die. NewLocal/OpenShards know it
+// at assembly; RPC clusters learn it from the Stat RPC or the first
+// answer.
+func (s *shardState) learnRows(n int64) {
+	if n <= 0 {
+		return
+	}
+	s.mu.Lock()
+	s.rows = n
+	s.mu.Unlock()
+}
+
+func (s *shardState) knownRows() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rows
+}
+
+// dispatcher fans sub-queries out to replicated children and merges the
+// answers, with per-child hedging, retries, breakers and coverage
+// accounting. Cluster (the root) and Mixer (inner nodes) embed it.
+type dispatcher struct {
+	opts   Options
+	shards []*shardState
+
+	mu    sync.Mutex
+	stats Stats
+
+	// rowsKnown short-circuits the pre-query Stat round once every
+	// shard's row count has been learned.
+	rowsKnown atomic.Bool
+}
+
+// bump adds n to one stats counter.
+func (d *dispatcher) bump(field *int64, n int64) {
+	d.mu.Lock()
+	*field += n
+	d.mu.Unlock()
+}
+
+// Stats returns cumulative distributed-execution counters.
+func (d *dispatcher) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// Health reports every child's dispatch-side health (breaker state,
+// success/failure counts, latency estimate, last error), in
+// shard-then-replica order.
+func (d *dispatcher) Health() []LeafHealth {
+	var out []LeafHealth
+	for _, s := range d.shards {
+		for _, ls := range s.replicaList() {
+			out = append(out, ls.health())
+		}
+	}
+	return out
+}
+
+// gather runs one fan-out round: scatter the sub-query to every shard,
+// merge what arrived Fanout at a time, and charge shards that never
+// answered to the stats so Coverage degrades correctly. It is the shared
+// core of Cluster.QueryContext and Mixer.PartialQuery. The returned error
+// is non-nil only when not a single shard answered or a merge failed.
+func (d *dispatcher) gather(ctx context.Context, sqlText string) (*exec.Partial, []int, error) {
+	// Shards whose row counts are still unknown are asked via the Stat
+	// RPC concurrently with the scatter, so the very first query already
+	// accounts a dead shard's rows in its Coverage.
+	var rowsWG sync.WaitGroup
+	if !d.allRowsKnown() {
+		rowsWG.Add(1)
+		go func() {
+			defer rowsWG.Done()
+			d.refreshRows(ctx)
+		}()
+	}
+	partials, missing, err := d.scatter(ctx, sqlText)
+	rowsWG.Wait()
+	if err != nil {
+		return nil, nil, err
+	}
+	merged, err := d.mergeTree(partials)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, si := range missing {
+		merged.Stats.RowsTotal += d.shards[si].knownRows()
+		merged.Stats.ShardsMissing++
+	}
+	if len(missing) > 0 {
+		d.bump(&d.stats.ShardsMissing, int64(len(missing)))
+	}
+	return merged, missing, nil
+}
+
+// rowStatTimeout bounds the pre-query Stat round: a hung server must not
+// hold up coverage accounting longer than this (the shard simply stays
+// unknown and is retried on the next query).
+const rowStatTimeout = 2 * time.Second
+
+// allRowsKnown reports whether every shard's row count has been learned.
+func (d *dispatcher) allRowsKnown() bool {
+	if d.rowsKnown.Load() {
+		return true
+	}
+	for _, s := range d.shards {
+		if s.knownRows() <= 0 {
+			return false
+		}
+	}
+	d.rowsKnown.Store(true)
+	return true
+}
+
+// refreshRows asks shards with unknown row counts for them through the
+// optional RowCounter extension (the Leaf.Stat RPC). Shards with no
+// answering replica stay unknown and are retried next query.
+func (d *dispatcher) refreshRows(ctx context.Context) {
+	ctx, cancel := context.WithTimeout(ctx, rowStatTimeout)
+	defer cancel()
+	var wg sync.WaitGroup
+	for _, s := range d.shards {
+		if s.knownRows() > 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s *shardState) {
+			defer wg.Done()
+			for _, ls := range s.replicaList() {
+				rc, ok := ls.leaf.(RowCounter)
+				if !ok {
+					continue
+				}
+				if n, err := rc.NumRows(ctx); err == nil && n > 0 {
+					s.learnRows(n)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	d.allRowsKnown() // cache the verdict if everything answered
+}
+
+// scatter fans the sub-query out to every shard. It returns the partials
+// that arrived and the indices of shards that did not; the error is
+// non-nil only when not a single shard answered.
+func (d *dispatcher) scatter(ctx context.Context, sqlText string) ([]*exec.Partial, []int, error) {
+	results := make([]*exec.Partial, len(d.shards))
+	errs := make([]error, len(d.shards))
+	var wg sync.WaitGroup
+	for i := range d.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = d.askShard(ctx, i, sqlText)
+		}(i)
+	}
+	wg.Wait()
+	partials := make([]*exec.Partial, 0, len(d.shards))
+	var missing []int
+	var firstErr error
+	for i, err := range errs {
+		if err != nil {
+			missing = append(missing, i)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cluster: shard %d: %w", i, err)
+			}
+			continue
+		}
+		partials = append(partials, results[i])
+	}
+	if len(partials) == 0 && firstErr != nil {
+		return nil, nil, firstErr
+	}
+	return partials, missing, nil
+}
+
+// askShard answers one shard's sub-query with tiered hedging:
+//
+//  1. Dispatch to the primary (breaker-open replicas are skipped).
+//  2. If it has not answered within the hedge delay, dispatch the replica
+//     too; the first success wins. An error brings the replica in
+//     immediately (speculative re-dispatch).
+//  3. When every allowed replica has been tried, re-dispatch with capped
+//     jittered backoff until MaxRetries or the deadline runs out.
+func (d *dispatcher) askShard(ctx context.Context, si int, sqlText string) (*exec.Partial, error) {
+	s := d.shards[si]
+	replicas := s.replicaList()
+	d.bump(&d.stats.SubQueries, 1)
+
+	// Dispatch order: primary first, breaker-open leaves skipped. If every
+	// breaker is open the shard fails fast — it will be probed again after
+	// the cooldown — instead of burning the deadline on known-dead leaves.
+	now := time.Now()
+	order := make([]*leafState, 0, len(replicas))
+	var skipped int64
+	for _, ls := range replicas {
+		if ls.allowed(now) {
+			order = append(order, ls)
+		} else {
+			skipped++
+		}
+	}
+	if skipped > 0 {
+		d.bump(&d.stats.BreakerSkips, skipped)
+	}
+	if len(order) == 0 {
+		return nil, fmt.Errorf("shard %d: all %d replicas circuit-open", si, len(replicas))
+	}
+
+	type answer struct {
+		part    *exec.Partial
+		err     error
+		ls      *leafState
+		elapsed time.Duration
+	}
+	// Buffered for every launch this sub-query can possibly make, so late
+	// finishers never block (they just finish in the background, like the
+	// paper's losing replica).
+	ch := make(chan answer, len(order)*(1+d.opts.MaxRetries)+2)
+	inflight := 0
+	launch := func(ls *leafState) {
+		inflight++
+		go func() {
+			start := time.Now()
+			part, err := ls.leaf.PartialQuery(ctx, sqlText)
+			elapsed := time.Since(start)
+			if err == nil {
+				// Per-leaf latency is observed here, in the launch
+				// goroutine, so hedge losers that finish long after the
+				// winner still feed the estimate the rebalancer reads — a
+				// straggling replica looks slow even though it never wins.
+				ls.observe(elapsed)
+			}
+			ch <- answer{part, err, ls, elapsed}
+		}()
+	}
+
+	next := 0 // next undispatched entry in order
+	launch(order[next])
+	next++
+
+	// The hedge timer is armed only while an undispatched replica remains.
+	var hedgeCh <-chan time.Time
+	if next < len(order) {
+		t := time.NewTimer(d.opts.hedgeDelay(&s.lat))
+		defer t.Stop()
+		hedgeCh = t.C
+	}
+
+	retriesLeft := d.opts.MaxRetries
+	retryAttempt := 0            // backoff exponent + rotation cursor
+	var retryCh <-chan time.Time // pending backoff timer
+	raced := false
+	var firstErr error
+
+	finish := func(a answer) *exec.Partial {
+		a.ls.success()
+		s.lat.observe(a.elapsed)
+		s.learnRows(a.part.Stats.RowsTotal)
+		if a.ls.replica != 0 {
+			d.bump(&d.stats.PrimaryFailures, 1)
+		}
+		return a.part
+	}
+	markRaced := func(ls *leafState) {
+		if !raced && ls != order[0] {
+			raced = true
+			d.bump(&d.stats.ReplicaRaces, 1)
+		}
+	}
+
+	for {
+		select {
+		case a := <-ch:
+			inflight--
+			if a.err == nil {
+				// Record outcomes that already arrived before returning the
+				// win: dropping a buffered failure would slow its breaker.
+			drain:
+				for {
+					select {
+					case b := <-ch:
+						inflight--
+						if b.err == nil {
+							b.ls.success()
+						} else if b.ls.failure(b.err, time.Now()) {
+							d.bump(&d.stats.BreakerOpens, 1)
+						}
+					default:
+						break drain
+					}
+				}
+				return finish(a), nil
+			}
+			if a.ls.failure(a.err, time.Now()) {
+				d.bump(&d.stats.BreakerOpens, 1)
+			}
+			if firstErr == nil {
+				firstErr = a.err
+			}
+			if ctx.Err() != nil {
+				// Deadline already gone: no point re-dispatching.
+				if inflight == 0 {
+					d.bump(&d.stats.DeadlineExpired, 1)
+					return nil, firstErr
+				}
+				continue
+			}
+			switch {
+			case next < len(order):
+				// Speculative re-dispatch: bring the replica in now
+				// instead of waiting for the hedge timer.
+				hedgeCh = nil
+				d.bump(&d.stats.Retries, 1)
+				markRaced(order[next])
+				launch(order[next])
+				next++
+			case retriesLeft > 0 && retryCh == nil:
+				retriesLeft--
+				d.bump(&d.stats.Retries, 1)
+				t := time.NewTimer(backoffDelay(d.opts.RetryBackoff, d.opts.HedgeMaxDelay, retryAttempt))
+				defer t.Stop()
+				retryCh = t.C
+			case inflight == 0 && retryCh == nil:
+				return nil, firstErr
+			}
+		case <-hedgeCh:
+			hedgeCh = nil
+			d.bump(&d.stats.Hedges, 1)
+			markRaced(order[next])
+			launch(order[next])
+			next++
+		case <-retryCh:
+			retryCh = nil
+			target := order[retryAttempt%len(order)]
+			retryAttempt++
+			markRaced(target)
+			launch(target)
+		case <-ctx.Done():
+			// The deadline expired with attempts still in flight. Leaves
+			// abandon injected waits and RPC calls promptly on ctx, so the
+			// launched goroutines drain into the buffered channel without
+			// anyone reading — no goroutine outlives its leaf call.
+			d.bump(&d.stats.DeadlineExpired, 1)
+			if firstErr != nil {
+				return nil, firstErr
+			}
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// mergeTree merges partials Fanout at a time — the in-process remnant of
+// the computation tree. With real mixers in the topology each level
+// arrives pre-merged and this folds only the node's own children; a flat
+// coordinator still simulates every level here. Either way the float
+// aggregates stay bit-for-bit identical: per-leaf sums ride
+// PartialCell.SumFParts and are folded canonically at finalize.
+func (d *dispatcher) mergeTree(parts []*exec.Partial) (*exec.Partial, error) {
+	if len(parts) == 0 {
+		return &exec.Partial{}, nil
+	}
+	level := parts
+	for len(level) > 1 {
+		var next []*exec.Partial
+		for start := 0; start < len(level); start += d.opts.Fanout {
+			end := start + d.opts.Fanout
+			if end > len(level) {
+				end = len(level)
+			}
+			acc := level[start]
+			for _, p := range level[start+1 : end] {
+				if err := exec.MergePartials(acc, p); err != nil {
+					return nil, err
+				}
+			}
+			next = append(next, acc)
+		}
+		level = next
+	}
+	return level[0], nil
+}

@@ -123,13 +123,27 @@ type leafState struct {
 	leaf    Leaf
 	shard   int
 	replica int
+	server  string   // placement label (see placement.go)
 	br      *breaker // nil when the breaker is disabled
+	// lat tracks this replica's completed-attempt latency — observed for
+	// hedge losers too, so a straggler accumulates a high estimate even
+	// when it never wins a race. The rebalancer reads it.
+	lat latEstimate
 
 	mu        sync.Mutex
 	successes int64
 	failures  int64
 	lastErr   string
 }
+
+// serverName is the placement label of the server this replica lives on.
+func (ls *leafState) serverName() string { return ls.server }
+
+// observe feeds the replica's latency estimate.
+func (ls *leafState) observe(d time.Duration) { ls.lat.observe(d) }
+
+// latency is the replica's moving completed-attempt latency (0 = none).
+func (ls *leafState) latency() time.Duration { return ls.lat.value() }
 
 // allowed reports whether the breaker admits a dispatch now.
 func (ls *leafState) allowed(now time.Time) bool {
@@ -167,6 +181,8 @@ type LeafHealth struct {
 	Name    string
 	Shard   int
 	Replica int
+	// Server is the placement label of the server the replica lives on.
+	Server string
 	// Breaker is "closed", "open" or "half-open" ("disabled" when health
 	// tracking is off).
 	Breaker             string
@@ -175,19 +191,24 @@ type LeafHealth struct {
 	Failures            int64
 	// BreakerOpens counts how many times this leaf's breaker tripped.
 	BreakerOpens int64
-	LastError    string
+	// LatencyEWMA is the replica's moving completed-attempt latency
+	// (0 = no observation yet) — the signal the rebalancer reads.
+	LatencyEWMA time.Duration
+	LastError   string
 }
 
 func (ls *leafState) health() LeafHealth {
 	ls.mu.Lock()
 	h := LeafHealth{
-		Name:      ls.leaf.Name(),
-		Shard:     ls.shard,
-		Replica:   ls.replica,
-		Breaker:   "disabled",
-		Successes: ls.successes,
-		Failures:  ls.failures,
-		LastError: ls.lastErr,
+		Name:        ls.leaf.Name(),
+		Shard:       ls.shard,
+		Replica:     ls.replica,
+		Server:      ls.server,
+		Breaker:     "disabled",
+		Successes:   ls.successes,
+		Failures:    ls.failures,
+		LatencyEWMA: ls.lat.value(),
+		LastError:   ls.lastErr,
 	}
 	ls.mu.Unlock()
 	if ls.br != nil {

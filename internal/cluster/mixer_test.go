@@ -1,0 +1,480 @@
+package cluster
+
+// Tests for the real mixer tier: topology-invariant results (bit-for-bit,
+// floats included), per-level coverage accounting, the Stat RPC making the
+// very first query's Coverage exact, mixer failover over real RPC, and the
+// health-driven rebalancer.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"powerdrill/internal/colstore"
+	"powerdrill/internal/exec"
+	"powerdrill/internal/table"
+	"powerdrill/internal/value"
+)
+
+// floatTable builds a table whose float column spans enough orders of
+// magnitude that summing it in a different order changes the low bits —
+// exactly what a topology-dependent merge order would expose.
+func floatTable(rows int) *table.Table {
+	r := rand.New(rand.NewSource(7))
+	ks := make([]string, rows)
+	fs := make([]float64, rows)
+	for i := range ks {
+		ks[i] = fmt.Sprintf("g%d", i%7)
+		fs[i] = (r.Float64() - 0.5) * math.Pow(10, float64(r.Intn(12)))
+	}
+	t := table.New("data")
+	t.AddStringColumn("k", ks)
+	t.AddFloat64Column("f", fs)
+	return t
+}
+
+// buildLeaves shards tbl n ways and wraps each shard in a LocalLeaf.
+func buildLeaves(t *testing.T, tbl *table.Table, n int, sopts colstore.Options) []*LocalLeaf {
+	t.Helper()
+	shards := tbl.Shard(n)
+	leaves := make([]*LocalLeaf, n)
+	for i, st := range shards {
+		store, err := colstore.FromTable(st, sopts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		leaves[i] = NewLocalLeaf(fmt.Sprintf("leaf%d", i), exec.New(store, exec.Options{}))
+	}
+	return leaves
+}
+
+func singles(leaves []*LocalLeaf) [][]Leaf {
+	var sets [][]Leaf
+	for _, l := range leaves {
+		sets = append(sets, []Leaf{l})
+	}
+	return sets
+}
+
+// sortedCopy orders a copy of rows canonically, so answers to queries
+// without a total ORDER BY compare as sets.
+func sortedCopy(rows [][]value.Value) [][]value.Value {
+	out := append([][]value.Value{}, rows...)
+	sortRows(out)
+	return out
+}
+
+// bitIdenticalRows demands exact equality — for floats, the very bits.
+func bitIdenticalRows(a, b [][]value.Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			av, bv := a[i][j], b[i][j]
+			if av.Kind() != bv.Kind() {
+				return false
+			}
+			if av.Kind() == value.KindFloat64 {
+				if math.Float64bits(av.Float()) != math.Float64bits(bv.Float()) {
+					return false
+				}
+				continue
+			}
+			if !av.Equal(bv) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestTopologyEquivalence is the mixer-tier correctness claim: the same 12
+// leaves arranged as a flat coordinator, a 2-level mixer tree and a 3-level
+// uneven tree must answer bit-for-bit identically — float SUM/AVG included
+// — with identical summed scan statistics.
+func TestTopologyEquivalence(t *testing.T) {
+	opts := Options{Fanout: 3, Replicas: 1}
+	cases := []struct {
+		name    string
+		tbl     *table.Table
+		sopts   colstore.Options
+		queries []string
+	}{
+		{"logs", logs(4000), storeOpts(), distributedQueries()},
+		{"floats", floatTable(6000), colstore.Options{MaxChunkRows: 250}, []string{
+			`SELECT k, SUM(f) as s, AVG(f), COUNT(*) FROM data GROUP BY k ORDER BY s DESC, k ASC;`,
+			`SELECT k, MIN(f), MAX(f) FROM data GROUP BY k;`,
+			`SELECT SUM(f), AVG(f) FROM data;`,
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			leaves := buildLeaves(t, tc.tbl, 12, tc.sopts)
+
+			flat := FromLeaves(singles(leaves), opts)
+
+			// Two levels: three mixers over four leaves each.
+			var mixers []*Mixer
+			var twoSets [][]Leaf
+			for g := 0; g < 3; g++ {
+				m := NewMixer(fmt.Sprintf("mix%d", g), singles(leaves[g*4:(g+1)*4]), opts)
+				mixers = append(mixers, m)
+				twoSets = append(twoSets, []Leaf{m})
+			}
+			two := FromLeaves(twoSets, opts)
+
+			// Three levels, uneven: one branch is mixer→mixer→leaves, one is
+			// mixer→leaves, and two leaves hang off the root directly.
+			sa := NewMixer("sub-a", singles(leaves[0:3]), opts)
+			sb := NewMixer("sub-b", singles(leaves[3:6]), opts)
+			ma := NewMixer("mid-a", [][]Leaf{{sa}, {sb}}, opts)
+			mb := NewMixer("mid-b", singles(leaves[6:10]), opts)
+			three := FromLeaves([][]Leaf{{ma}, {mb}, {leaves[10]}, {leaves[11]}}, opts)
+
+			total := int64(tc.tbl.NumRows())
+			for _, q := range tc.queries {
+				ref, err := flat.Query(q)
+				if err != nil {
+					t.Fatalf("flat %q: %v", q, err)
+				}
+				if ref.Coverage != 1 {
+					t.Fatalf("flat %q: coverage %v", q, ref.Coverage)
+				}
+				if ref.Stats.RowsTotal != total || ref.Stats.RowsCovered != total {
+					t.Fatalf("flat %q: rows %d/%d, table has %d",
+						q, ref.Stats.RowsCovered, ref.Stats.RowsTotal, total)
+				}
+				for name, c := range map[string]*Cluster{"2-level": two, "3-level": three} {
+					got, err := c.Query(q)
+					if err != nil {
+						t.Fatalf("%s %q: %v", name, q, err)
+					}
+					if !bitIdenticalRows(sortedCopy(got.Rows), sortedCopy(ref.Rows)) {
+						t.Errorf("%s %q: rows diverged from flat coordinator", name, q)
+					}
+					if got.Coverage != 1 {
+						t.Errorf("%s %q: coverage %v", name, q, got.Coverage)
+					}
+					if got.Stats.RowsTotal != ref.Stats.RowsTotal ||
+						got.Stats.RowsCovered != ref.Stats.RowsCovered ||
+						got.Stats.RowsScanned != ref.Stats.RowsScanned ||
+						got.Stats.ChunksScanned != ref.Stats.ChunksScanned {
+						t.Errorf("%s %q: stats diverged: got rows %d/%d scanned %d chunks %d, flat rows %d/%d scanned %d chunks %d",
+							name, q,
+							got.Stats.RowsCovered, got.Stats.RowsTotal, got.Stats.RowsScanned, got.Stats.ChunksScanned,
+							ref.Stats.RowsCovered, ref.Stats.RowsTotal, ref.Stats.RowsScanned, ref.Stats.ChunksScanned)
+					}
+				}
+			}
+
+			// Fan-out accounting: the 2-level root dispatches one sub-query
+			// per mixer per query; each mixer fans out to its four leaves.
+			nq := int64(len(tc.queries))
+			if st := two.Stats(); st.SubQueries != 3*nq {
+				t.Errorf("2-level root SubQueries = %d, want %d", st.SubQueries, 3*nq)
+			}
+			for _, m := range mixers {
+				if st := m.Stats(); st.Queries != nq || st.SubQueries != 4*nq {
+					t.Errorf("mixer %s: Queries=%d SubQueries=%d, want %d and %d",
+						m.Name(), st.Queries, st.SubQueries, nq, 4*nq)
+				}
+			}
+		})
+	}
+}
+
+// TestMixerCoverageOnLeafDeath: a leaf dying two levels below the root
+// must surface as exact Coverage at the root — charged by its mixer (whose
+// ShardsMissing grows), not by the root (whose own children all answered).
+func TestMixerCoverageOnLeafDeath(t *testing.T) {
+	tbl := logs(3000)
+	leaves := buildLeaves(t, tbl, 4, storeOpts())
+	opts := Options{Replicas: 1, MaxRetries: -1, BreakerThreshold: -1}
+	ma := NewMixer("mix-a", singles(leaves[0:2]), opts)
+	mb := NewMixer("mix-b", singles(leaves[2:4]), opts)
+	root := FromLeaves([][]Leaf{{ma}, {mb}}, opts)
+
+	leaves[3].SetFail(true)
+	res, err := root.Query(countQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int64(tbl.NumRows())
+	dead := int64(tbl.Shard(4)[3].NumRows())
+	want := float64(total-dead) / float64(total)
+	if res.Coverage != want {
+		t.Errorf("coverage = %v, want exactly %v (dead shard has %d of %d rows)",
+			res.Coverage, want, dead, total)
+	}
+	if st := mb.Stats(); st.ShardsMissing == 0 {
+		t.Error("mixer above the dead leaf charged no missing shard")
+	}
+	if st := root.Stats(); st.ShardsMissing != 0 {
+		t.Errorf("root charged %d missing shards; both mixers answered", st.ShardsMissing)
+	}
+
+	// The leaf recovers: coverage returns to 1 through the same tree.
+	leaves[3].SetFail(false)
+	res, err = root.Query(countQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coverage != 1 {
+		t.Errorf("coverage after recovery = %v, want 1", res.Coverage)
+	}
+}
+
+// TestFirstQueryCoverageExact is the Stat-RPC satellite: a cluster
+// assembled from leaves with unknown row counts must already report exact
+// Coverage on its very first query when a shard is dead — the counts
+// arrive via RowCounter concurrently with the scatter.
+func TestFirstQueryCoverageExact(t *testing.T) {
+	tbl := logs(2000)
+	leaves := buildLeaves(t, tbl, 4, storeOpts())
+	c := FromLeaves(singles(leaves), Options{Replicas: 1, MaxRetries: 0})
+	leaves[1].SetFail(true)
+
+	res, err := c.Query(countQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int64(tbl.NumRows())
+	dead := int64(tbl.Shard(4)[1].NumRows())
+	if res.Stats.RowsTotal != total {
+		t.Errorf("first query RowsTotal = %d, want %d (dead shard unaccounted)",
+			res.Stats.RowsTotal, total)
+	}
+	if want := float64(total-dead) / float64(total); res.Coverage != want {
+		t.Errorf("first query coverage = %v, want exactly %v", res.Coverage, want)
+	}
+}
+
+// serveNodeAddr serves node over real loopback RPC and returns its address.
+func serveNodeAddr(t *testing.T, node Leaf) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go ServeNode(ln, node)
+	return ln.Addr().String()
+}
+
+// TestRPCStatFirstQueryCoverage drives the Leaf.Stat RPC end-to-end: a
+// remote leaf whose queries fail still reports its row count, so the first
+// query over the wire is exactly covered.
+func TestRPCStatFirstQueryCoverage(t *testing.T) {
+	tbl := logs(2000)
+	leaves := buildLeaves(t, tbl, 2, storeOpts())
+	leaves[0].SetFail(true)
+	var sets [][]Leaf
+	for _, l := range leaves {
+		sets = append(sets, []Leaf{NewRemoteLeaf(serveNodeAddr(t, l))})
+	}
+	c := FromLeaves(sets, Options{Replicas: 1, MaxRetries: 0})
+
+	res, err := c.Query(countQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int64(tbl.NumRows())
+	dead := int64(tbl.Shard(2)[0].NumRows())
+	if res.Stats.RowsTotal != total {
+		t.Errorf("RowsTotal = %d, want %d", res.Stats.RowsTotal, total)
+	}
+	if want := float64(total-dead) / float64(total); res.Coverage != want {
+		t.Errorf("coverage = %v, want exactly %v", res.Coverage, want)
+	}
+}
+
+// TestMixerKilledMidQueryFailsOver runs a two-level tree of real RPC
+// processes — four leaf servers, two replica mixer servers over them —
+// kills the primary mixer's connections mid-query, and demands the replica
+// mixer deliver the identical full-coverage answer.
+func TestMixerKilledMidQueryFailsOver(t *testing.T) {
+	tbl := logs(3000)
+	leaves := buildLeaves(t, tbl, 4, storeOpts())
+	var leafAddrs []string
+	for _, l := range leaves {
+		leafAddrs = append(leafAddrs, serveNodeAddr(t, l))
+	}
+	mixerOver := func(name string) *Mixer {
+		var sets [][]Leaf
+		for _, a := range leafAddrs {
+			sets = append(sets, []Leaf{NewRemoteLeaf(a)})
+		}
+		return NewMixer(name, sets, Options{Replicas: 1})
+	}
+	addrA := serveNodeAddr(t, mixerOver("mixer-a"))
+	addrB := serveNodeAddr(t, mixerOver("mixer-b"))
+
+	proxy, err := NewFlakyProxy(addrA, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	// A huge hedge multiplier keeps the replica mixer out of the race until
+	// the primary actually fails: the failover below is kill-triggered, not
+	// a hedge that would have fired anyway.
+	root := FromLeaves(
+		[][]Leaf{{NewRemoteLeaf(proxy.Addr()), NewRemoteLeaf(addrB)}},
+		Options{Replicas: 2, HedgeMultiplier: 1000, HedgeMaxDelay: 10 * time.Second},
+	)
+
+	ref, err := root.Query(countQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Coverage != 1 {
+		t.Fatalf("baseline coverage = %v", ref.Coverage)
+	}
+
+	// Slow the whole leaf tier down so the primary mixer's answer is still
+	// in flight when its transport dies.
+	for _, l := range leaves {
+		l.SetStraggle(200 * time.Millisecond)
+	}
+	type outcome struct {
+		res *exec.Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := root.Query(countQuery)
+		done <- outcome{res, err}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	proxy.SetDown(true)
+	proxy.KillActive()
+
+	o := <-done
+	if o.err != nil {
+		t.Fatalf("query after mixer kill: %v", o.err)
+	}
+	if o.res.Coverage != 1 {
+		t.Errorf("coverage after failover = %v, want 1", o.res.Coverage)
+	}
+	if !bitIdenticalRows(sortedCopy(o.res.Rows), sortedCopy(ref.Rows)) {
+		t.Error("failover answer diverged from the healthy baseline")
+	}
+	if st := root.Stats(); st.PrimaryFailures == 0 || st.Retries == 0 {
+		t.Errorf("expected a kill-triggered re-dispatch; stats = %+v", st)
+	}
+}
+
+// TestRebalanceMovesHotReplica: a straggling server's shard replica must be
+// rebuilt on a cold server, after which dispatch stops visiting the
+// straggler entirely.
+func TestRebalanceMovesHotReplica(t *testing.T) {
+	c, err := NewLocal(logs(2000), Options{
+		Shards: 4, Replicas: 1, Servers: 3, Store: storeOpts(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	straggler := c.Leaves()[0] // shard 0's only replica, on srv0
+	straggler.SetStraggle(30 * time.Millisecond)
+	for i := 0; i < 8; i++ {
+		if _, err := c.Query(countQuery); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	moves, err := c.Rebalance(RebalanceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) != 1 {
+		t.Fatalf("moves = %+v, want exactly one", moves)
+	}
+	mv := moves[0]
+	if mv.Shard != 0 || mv.From != "srv0" || mv.To == "srv0" || mv.Reason != "hot" {
+		t.Errorf("move = %+v, want shard 0 off srv0 for reason \"hot\"", mv)
+	}
+	if mv.LeafEWMA <= mv.MedianEWMA {
+		t.Errorf("moved replica's EWMA %v not above median %v", mv.LeafEWMA, mv.MedianEWMA)
+	}
+	var entry PlacementEntry
+	for _, e := range c.Placement() {
+		if e.Shard == 0 {
+			entry = e
+		}
+	}
+	if entry.Server != mv.To {
+		t.Errorf("placement table says shard 0 is on %s, move said %s", entry.Server, mv.To)
+	}
+
+	// The superseded leaf stops receiving dispatches, and answers stay
+	// correct from the replacement replica.
+	before := straggler.Inject().Calls()
+	want := singleNodeResult(t, logs(2000), countQuery)
+	for i := 0; i < 3; i++ {
+		res, err := c.Query(countQuery)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := append([][]value.Value{}, res.Rows...)
+		w := append([][]value.Value{}, want...)
+		sortRows(g)
+		sortRows(w)
+		if !equalRows(t, g, w) {
+			t.Fatal("post-rebalance answer diverged")
+		}
+	}
+	if after := straggler.Inject().Calls(); after != before {
+		t.Errorf("superseded leaf still dispatched to: %d -> %d calls", before, after)
+	}
+	if st := c.Stats(); st.Rebalances != 1 || st.ReplicasMoved != 1 {
+		t.Errorf("stats = %+v, want one rebalance moving one replica", st)
+	}
+
+	// The fresh replica has no latency estimate yet; a second pass finds
+	// nothing to move.
+	if moves, _ := c.Rebalance(RebalanceOptions{}); len(moves) != 0 {
+		t.Errorf("second pass moved %+v, want none", moves)
+	}
+}
+
+// TestRebalanceMovesBreakerOpenReplica: a replica whose breaker is open is
+// movable regardless of latency, and the move restores full coverage.
+func TestRebalanceMovesBreakerOpenReplica(t *testing.T) {
+	c, err := NewLocal(logs(1000), Options{
+		Shards: 2, Replicas: 1, Servers: 3,
+		BreakerThreshold: 1, MaxRetries: 0, Store: storeOpts(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Leaves()[1].SetFail(true) // shard 1's only replica
+	res, err := c.Query(countQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coverage >= 1 {
+		t.Fatalf("coverage = %v with a dead shard", res.Coverage)
+	}
+
+	moves, err := c.Rebalance(RebalanceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) != 1 || moves[0].Shard != 1 || moves[0].Reason != "breaker-open" {
+		t.Fatalf("moves = %+v, want shard 1 moved for reason \"breaker-open\"", moves)
+	}
+	res, err = c.Query(countQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coverage != 1 {
+		t.Errorf("coverage after rebalance = %v, want 1", res.Coverage)
+	}
+}

@@ -1,5 +1,21 @@
 package cluster
 
+// The RPC layer lets serving-tree nodes run as separate processes
+// (cmd/pdserver) while the coordinator keeps the exact same execution
+// tree. Partials cross the wire in the versioned exec.EncodePartial
+// binary form — not as a gob mirror of the in-memory struct — so every
+// level of the tree ships the same bytes and a mixed-version fleet fails
+// loud on an incompatible layout instead of misdecoding.
+//
+// One service implements the whole node protocol:
+//
+//	PartialQuery(QueryArgs) → QueryReply   run the sub-query, ship the partial
+//	Stat(StatArgs)          → StatReply    report NumRows without running one
+//
+// ServeNode registers it under BOTH the "Leaf" and "Mixer" names: a
+// parent dials a child the same way whether it is a leaf process or a
+// mixer process, which is what lets trees stack to any depth.
+
 import (
 	"context"
 	"errors"
@@ -11,128 +27,9 @@ import (
 	"time"
 
 	"powerdrill/internal/exec"
-	"powerdrill/internal/value"
 )
 
-// The RPC layer lets leaf servers run as separate processes (cmd/pdserver)
-// while the coordinator keeps the exact same execution tree. Values cross
-// the wire as explicit tagged unions because value.Value's fields are
-// unexported by design.
-
-// WireValue is the gob-encodable form of value.Value.
-type WireValue struct {
-	Kind uint8
-	Str  string
-	Int  int64
-	Flt  float64
-}
-
-// toWire converts a value for transport.
-func toWire(v value.Value) WireValue {
-	w := WireValue{Kind: uint8(v.Kind())}
-	switch v.Kind() {
-	case value.KindString:
-		w.Str = v.Str()
-	case value.KindInt64:
-		w.Int = v.Int()
-	case value.KindFloat64:
-		w.Flt = v.Float()
-	}
-	return w
-}
-
-// fromWire converts a transported value back.
-func fromWire(w WireValue) value.Value {
-	switch value.Kind(w.Kind) {
-	case value.KindString:
-		return value.String(w.Str)
-	case value.KindInt64:
-		return value.Int64(w.Int)
-	case value.KindFloat64:
-		return value.Float64(w.Flt)
-	}
-	return value.Value{}
-}
-
-// WireCell mirrors exec.PartialCell.
-type WireCell struct {
-	Count    int64
-	SumI     int64
-	SumF     float64
-	SumIsInt bool
-	HasMin   bool
-	Min      WireValue
-	HasMax   bool
-	Max      WireValue
-	Sketch   []byte
-}
-
-// WireGroup mirrors exec.PartialGroup.
-type WireGroup struct {
-	Keys  []WireValue
-	Cells []WireCell
-}
-
-// WirePartial mirrors exec.Partial.
-type WirePartial struct {
-	Columns []string
-	Groups  []WireGroup
-	Stats   exec.QueryStats
-}
-
-// toWirePartial converts a partial for transport.
-func toWirePartial(p *exec.Partial) *WirePartial {
-	out := &WirePartial{Columns: p.Columns, Stats: p.Stats}
-	for _, g := range p.Groups {
-		wg := WireGroup{}
-		for _, k := range g.Keys {
-			wg.Keys = append(wg.Keys, toWire(k))
-		}
-		for _, c := range g.Cells {
-			wc := WireCell{
-				Count: c.Count, SumI: c.SumI, SumF: c.SumF, SumIsInt: c.SumIsInt,
-				Sketch: c.Sketch,
-			}
-			if c.Min.IsValid() {
-				wc.HasMin, wc.Min = true, toWire(c.Min)
-			}
-			if c.Max.IsValid() {
-				wc.HasMax, wc.Max = true, toWire(c.Max)
-			}
-			wg.Cells = append(wg.Cells, wc)
-		}
-		out.Groups = append(out.Groups, wg)
-	}
-	return out
-}
-
-// fromWirePartial converts a transported partial back.
-func fromWirePartial(w *WirePartial) *exec.Partial {
-	out := &exec.Partial{Columns: w.Columns, Stats: w.Stats}
-	for _, g := range w.Groups {
-		pg := exec.PartialGroup{}
-		for _, k := range g.Keys {
-			pg.Keys = append(pg.Keys, fromWire(k))
-		}
-		for _, c := range g.Cells {
-			pc := exec.PartialCell{
-				Count: c.Count, SumI: c.SumI, SumF: c.SumF, SumIsInt: c.SumIsInt,
-				Sketch: c.Sketch,
-			}
-			if c.HasMin {
-				pc.Min = fromWire(c.Min)
-			}
-			if c.HasMax {
-				pc.Max = fromWire(c.Max)
-			}
-			pg.Cells = append(pg.Cells, pc)
-		}
-		out.Groups = append(out.Groups, pg)
-	}
-	return out
-}
-
-// LeafService is the net/rpc server wrapper around a leaf. Wrapping a Leaf
+// LeafService is the net/rpc server wrapper around a node. Wrapping a Leaf
 // rather than a bare engine means the server side of the wire carries the
 // same fault-injection hooks as an in-process leaf (pdserver exposes them,
 // and the RPC tests straggle a real server to force failover).
@@ -145,28 +42,63 @@ type QueryArgs struct {
 	SQL string
 }
 
-// NewLeafService wraps a leaf for serving.
+// QueryReply carries one partial in the versioned wire encoding
+// (exec.EncodePartial).
+type QueryReply struct {
+	Partial []byte
+}
+
+// StatArgs requests a node's row count (no query runs).
+type StatArgs struct{}
+
+// StatReply answers it: how many rows the node's subtree spans.
+type StatReply struct {
+	NumRows int64
+}
+
+// NewLeafService wraps a node for serving.
 func NewLeafService(leaf Leaf) *LeafService {
 	return &LeafService{leaf: leaf}
 }
 
-// PartialQuery is the RPC method: run the leaf, ship the partial. The
+// PartialQuery is the RPC method: run the node, ship the partial. The
 // server runs without a deadline — cancellation is the client's business
 // (it abandons the call); the server finishes and keeps its caches warm.
-func (s *LeafService) PartialQuery(args *QueryArgs, reply *WirePartial) error {
+func (s *LeafService) PartialQuery(args *QueryArgs, reply *QueryReply) error {
 	part, err := s.leaf.PartialQuery(context.Background(), args.SQL)
 	if err != nil {
 		return err
 	}
-	*reply = *toWirePartial(part)
+	reply.Partial = exec.EncodePartial(part)
 	return nil
 }
 
-// ServeLeaf registers the leaf and accepts connections on l until the
-// listener closes. It blocks; run it in a goroutine or a dedicated process.
-func ServeLeaf(l net.Listener, leaf Leaf) error {
+// Stat is the RPC method behind RowCounter: it answers the node's row
+// count so a coordinator can account coverage for this subtree before
+// (or without) its first successful query.
+func (s *LeafService) Stat(args *StatArgs, reply *StatReply) error {
+	rc, ok := s.leaf.(RowCounter)
+	if !ok {
+		return fmt.Errorf("cluster: node %s does not report row counts", s.leaf.Name())
+	}
+	n, err := rc.NumRows(context.Background())
+	if err != nil {
+		return err
+	}
+	reply.NumRows = n
+	return nil
+}
+
+// ServeNode registers node's RPC service under both the "Leaf" and
+// "Mixer" names and accepts connections on l until the listener closes.
+// It blocks; run it in a goroutine or a dedicated process.
+func ServeNode(l net.Listener, node Leaf) error {
 	srv := rpc.NewServer()
-	if err := srv.RegisterName("Leaf", NewLeafService(leaf)); err != nil {
+	svc := NewLeafService(node)
+	if err := srv.RegisterName("Leaf", svc); err != nil {
+		return err
+	}
+	if err := srv.RegisterName("Mixer", svc); err != nil {
 		return err
 	}
 	for {
@@ -178,16 +110,20 @@ func ServeLeaf(l net.Listener, leaf Leaf) error {
 	}
 }
 
+// ServeLeaf is ServeNode under its historical name.
+func ServeLeaf(l net.Listener, leaf Leaf) error { return ServeNode(l, leaf) }
+
 // Serve wraps an engine in a LocalLeaf and serves it on l.
 func Serve(l net.Listener, engine *exec.Engine) error {
-	return ServeLeaf(l, NewLocalLeaf(l.Addr().String(), engine))
+	return ServeNode(l, NewLocalLeaf(l.Addr().String(), engine))
 }
 
 // RemoteLeaf is a Leaf backed by a net/rpc connection with a managed
 // lifecycle: the connection is dialed lazily, torn down when the transport
 // breaks (server restart, severed TCP), and redialed on the next call —
 // with a short backoff window after a failed dial so a down server costs
-// one connection attempt per window, not per sub-query.
+// one connection attempt per window, not per sub-query. The far end may
+// be a leaf or a mixer; the protocol is identical.
 type RemoteLeaf struct {
 	name string
 	addr string
@@ -281,39 +217,56 @@ func isConnError(err error) bool {
 	return errors.As(err, &nerr)
 }
 
-// PartialQuery implements Leaf. Sub-queries are idempotent reads, so a
-// call that dies with a connection error is transparently retried once on
-// a fresh connection; application errors pass through. When ctx expires
-// mid-call the call is abandoned — the connection is NOT torn down, since
-// concurrent queries may be multiplexed on it and the reply (discarded by
-// net/rpc) may still arrive.
-func (r *RemoteLeaf) PartialQuery(ctx context.Context, sqlText string) (*exec.Partial, error) {
+// call runs one RPC with the managed-lifecycle rules: calls are idempotent
+// reads, so a call that dies with a connection error is transparently
+// retried once on a fresh connection; application errors pass through.
+// When ctx expires mid-call the call is abandoned — the connection is NOT
+// torn down, since concurrent queries may be multiplexed on it and the
+// reply (discarded by net/rpc) may still arrive.
+func (r *RemoteLeaf) call(ctx context.Context, method string, args, reply any) error {
 	var lastErr error
 	for attempt := 0; attempt < 2; attempt++ {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return err
 		}
 		client, err := r.ensureClient()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		var reply WirePartial
-		call := client.Go("Leaf.PartialQuery", &QueryArgs{SQL: sqlText}, &reply, make(chan *rpc.Call, 1))
+		call := client.Go(method, args, reply, make(chan *rpc.Call, 1))
 		select {
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return ctx.Err()
 		case <-call.Done:
 		}
 		if call.Error == nil {
-			return fromWirePartial(&reply), nil
+			return nil
 		}
 		lastErr = call.Error
 		if !isConnError(call.Error) {
-			return nil, call.Error
+			return call.Error
 		}
 		r.teardown(client)
 	}
-	return nil, lastErr
+	return lastErr
+}
+
+// PartialQuery implements Leaf.
+func (r *RemoteLeaf) PartialQuery(ctx context.Context, sqlText string) (*exec.Partial, error) {
+	var reply QueryReply
+	if err := r.call(ctx, "Leaf.PartialQuery", &QueryArgs{SQL: sqlText}, &reply); err != nil {
+		return nil, err
+	}
+	return exec.DecodePartial(reply.Partial)
+}
+
+// NumRows implements RowCounter via the Leaf.Stat RPC.
+func (r *RemoteLeaf) NumRows(ctx context.Context) (int64, error) {
+	var reply StatReply
+	if err := r.call(ctx, "Leaf.Stat", &StatArgs{}, &reply); err != nil {
+		return 0, err
+	}
+	return reply.NumRows, nil
 }
 
 // Close releases the connection (if one is up).

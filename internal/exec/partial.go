@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -43,9 +44,44 @@ type PartialCell struct {
 	// SumIsInt records whether the summed column is integral, so the root
 	// can render SUM with the right kind.
 	SumIsInt bool
-	Min      value.Value
-	Max      value.Value
-	Sketch   []byte // marshaled KMV for COUNT DISTINCT
+	// SumFParts holds the per-leaf float sums that SumF totals, one entry
+	// per contributing leaf. Float addition is not associative, so folding
+	// SumF level by level would make SUM/AVG depend on how the tree groups
+	// its merges; concatenating the parts is associative, and the root
+	// folds them in one canonical order (see sumFloat) — the answer is
+	// bit-for-bit identical whatever the topology.
+	SumFParts []float64
+	Min       value.Value
+	Max       value.Value
+	Sketch    []byte // marshaled KMV for COUNT DISTINCT
+}
+
+// sumFloat is the cell's float total. With per-part sums present they are
+// folded smallest-first by the IEEE-754 total order (sign-magnitude bit
+// trick, so ±0 and NaN payloads order deterministically too); without
+// them (int sums, pre-part encoders) the running SumF stands in.
+func (c *PartialCell) sumFloat() float64 {
+	if len(c.SumFParts) == 0 {
+		return c.SumF
+	}
+	parts := append([]float64(nil), c.SumFParts...)
+	sort.Slice(parts, func(i, j int) bool { return floatOrd(parts[i]) < floatOrd(parts[j]) })
+	var sum float64
+	for _, v := range parts {
+		sum += v
+	}
+	return sum
+}
+
+// floatOrd maps a float64 to a uint64 whose natural order is the IEEE-754
+// total order (negatives descending by magnitude, then ±0, positives
+// ascending, NaNs at the extremes by payload).
+func floatOrd(f float64) uint64 {
+	b := math.Float64bits(f)
+	if b>>63 != 0 {
+		return ^b
+	}
+	return b | 1<<63
 }
 
 // RunPartial executes a statement but stops before finalization: no AVG
@@ -106,6 +142,9 @@ func (e *Engine) RunPartial(stmt *sql.SelectStmt) (*Partial, error) {
 			}
 			if col := p.aggs[j].argCol; col != "" {
 				cell.SumIsInt = p.col(e, col).Kind == value.KindInt64
+			}
+			if fn := p.aggs[j].fn; (fn == aggSum || fn == aggAvg) && !cell.SumIsInt {
+				cell.SumFParts = []float64{cell.SumF}
 			}
 			if accs[j].hasMM {
 				col := p.col(e, p.aggs[j].argCol)
@@ -202,6 +241,7 @@ func (c *PartialCell) merge(o *PartialCell) error {
 	c.Count += o.Count
 	c.SumI += o.SumI
 	c.SumF += o.SumF
+	c.SumFParts = append(c.SumFParts, o.SumFParts...)
 	c.SumIsInt = c.SumIsInt || o.SumIsInt
 	if o.Min.IsValid() && (!c.Min.IsValid() || o.Min.Compare(c.Min) < 0) {
 		c.Min = o.Min
@@ -258,13 +298,13 @@ func FinalizePartial(stmt *sql.SelectStmt, p *Partial) (*Result, error) {
 				if cell.SumIsInt {
 					row[i] = value.Int64(cell.SumI)
 				} else {
-					row[i] = value.Float64(cell.SumF)
+					row[i] = value.Float64(cell.sumFloat())
 				}
 			case aggAvg:
 				if cell.Count == 0 {
 					row[i] = value.Float64(0)
 				} else {
-					total := cell.SumF
+					total := cell.sumFloat()
 					if cell.SumIsInt {
 						total = float64(cell.SumI)
 					}

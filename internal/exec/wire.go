@@ -1,0 +1,350 @@
+package exec
+
+// An explicit, versioned binary wire form for Partial. Partials are the
+// one payload that crosses process boundaries at every level of the
+// serving tree (leaf → mixer → … → coordinator), so their encoding must
+// not ride one process's gob assumptions: a mixed-version fleet needs to
+// fail loud on an incompatible layout, and intermediate mixers must be
+// able to re-ship what they merged without re-encoding surprises.
+//
+// Layout (all multi-byte integers are uvarint/varint; floats are 8-byte
+// little-endian IEEE-754 bits):
+//
+//	byte    version (PartialWireVersion)
+//	uvarint #columns, then each as (uvarint len, bytes)
+//	uvarint #stat counters, then each as varint — in the fixed order of
+//	        statsCounters; the list is append-only, so a decoder reads
+//	        what it knows and skips trailing counters from newer peers
+//	uvarint #groups, then per group:
+//	  uvarint #keys, then each value as (kind byte, payload)
+//	  uvarint #cells, then per cell:
+//	    byte    flags (1 SumIsInt, 2 has Min, 4 has Max)
+//	    varint  Count, varint SumI, fixed64 SumF
+//	    uvarint #SumFParts, then each as fixed64
+//	    value   Min (if flagged), value Max (if flagged)
+//	    uvarint len(Sketch), bytes
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"powerdrill/internal/value"
+)
+
+// PartialWireVersion is the current encoding version. Bump it when the
+// layout changes incompatibly; append new stat counters instead when that
+// is the only change.
+const PartialWireVersion = 1
+
+const (
+	cellFlagSumIsInt = 1 << iota
+	cellFlagHasMin
+	cellFlagHasMax
+)
+
+// EncodePartial serializes p into the versioned wire form.
+func EncodePartial(p *Partial) []byte {
+	b := make([]byte, 0, 256)
+	b = append(b, PartialWireVersion)
+	b = binary.AppendUvarint(b, uint64(len(p.Columns)))
+	for _, c := range p.Columns {
+		b = appendWireString(b, c)
+	}
+	counters := statsCounters(&p.Stats)
+	b = binary.AppendUvarint(b, uint64(len(counters)))
+	for _, v := range counters {
+		b = binary.AppendVarint(b, v)
+	}
+	b = binary.AppendUvarint(b, uint64(len(p.Groups)))
+	for _, g := range p.Groups {
+		b = binary.AppendUvarint(b, uint64(len(g.Keys)))
+		for _, k := range g.Keys {
+			b = appendWireValue(b, k)
+		}
+		b = binary.AppendUvarint(b, uint64(len(g.Cells)))
+		for i := range g.Cells {
+			b = appendWireCell(b, &g.Cells[i])
+		}
+	}
+	return b
+}
+
+// DecodePartial parses data produced by EncodePartial (any process, any
+// build — the version byte gates compatibility).
+func DecodePartial(data []byte) (*Partial, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("exec: decode partial: empty payload")
+	}
+	if data[0] != PartialWireVersion {
+		return nil, fmt.Errorf("exec: decode partial: wire version %d, want %d", data[0], PartialWireVersion)
+	}
+	r := &wireReader{b: data[1:]}
+	p := &Partial{}
+	for i, n := 0, r.uvarint(); uint64(i) < n && r.err == nil; i++ {
+		p.Columns = append(p.Columns, r.str())
+	}
+	nStats := r.uvarint()
+	counters := make([]int64, nStats)
+	for i := range counters {
+		counters[i] = r.varint()
+	}
+	setStatsCounters(&p.Stats, counters)
+	nGroups := r.uvarint()
+	for gi := uint64(0); gi < nGroups && r.err == nil; gi++ {
+		var g PartialGroup
+		for i, n := 0, r.uvarint(); uint64(i) < n && r.err == nil; i++ {
+			g.Keys = append(g.Keys, r.value())
+		}
+		for i, n := 0, r.uvarint(); uint64(i) < n && r.err == nil; i++ {
+			g.Cells = append(g.Cells, r.cell())
+		}
+		p.Groups = append(p.Groups, g)
+	}
+	if r.err == nil && len(r.b) != 0 {
+		r.err = fmt.Errorf("exec: decode partial: %d trailing bytes", len(r.b))
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return p, nil
+}
+
+func appendWireString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendWireValue(b []byte, v value.Value) []byte {
+	b = append(b, byte(v.Kind()))
+	switch v.Kind() {
+	case value.KindString:
+		b = appendWireString(b, v.Str())
+	case value.KindInt64:
+		b = binary.AppendVarint(b, v.Int())
+	case value.KindFloat64:
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v.Float()))
+	}
+	return b
+}
+
+func appendWireCell(b []byte, c *PartialCell) []byte {
+	var flags byte
+	if c.SumIsInt {
+		flags |= cellFlagSumIsInt
+	}
+	if c.Min.IsValid() {
+		flags |= cellFlagHasMin
+	}
+	if c.Max.IsValid() {
+		flags |= cellFlagHasMax
+	}
+	b = append(b, flags)
+	b = binary.AppendVarint(b, c.Count)
+	b = binary.AppendVarint(b, c.SumI)
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(c.SumF))
+	b = binary.AppendUvarint(b, uint64(len(c.SumFParts)))
+	for _, v := range c.SumFParts {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+	}
+	if c.Min.IsValid() {
+		b = appendWireValue(b, c.Min)
+	}
+	if c.Max.IsValid() {
+		b = appendWireValue(b, c.Max)
+	}
+	b = binary.AppendUvarint(b, uint64(len(c.Sketch)))
+	return append(b, c.Sketch...)
+}
+
+// wireReader consumes the payload; the first malformed read sticks in err
+// and every later read returns zero values.
+type wireReader struct {
+	b   []byte
+	err error
+}
+
+func (r *wireReader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("exec: decode partial: truncated payload")
+	}
+}
+
+func (r *wireReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *wireReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b)
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *wireReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(r.b) {
+		r.fail()
+		return nil
+	}
+	out := r.b[:n]
+	r.b = r.b[n:]
+	return out
+}
+
+func (r *wireReader) str() string {
+	n := r.uvarint()
+	return string(r.take(int(n)))
+}
+
+func (r *wireReader) float() float64 {
+	raw := r.take(8)
+	if r.err != nil {
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(raw))
+}
+
+func (r *wireReader) value() value.Value {
+	kind := r.take(1)
+	if r.err != nil {
+		return value.Value{}
+	}
+	switch value.Kind(kind[0]) {
+	case value.KindString:
+		return value.String(r.str())
+	case value.KindInt64:
+		return value.Int64(r.varint())
+	case value.KindFloat64:
+		return value.Float64(r.float())
+	case value.KindInvalid:
+		return value.Value{}
+	}
+	r.err = fmt.Errorf("exec: decode partial: unknown value kind %d", kind[0])
+	return value.Value{}
+}
+
+func (r *wireReader) cell() PartialCell {
+	flagsRaw := r.take(1)
+	if r.err != nil {
+		return PartialCell{}
+	}
+	flags := flagsRaw[0]
+	c := PartialCell{SumIsInt: flags&cellFlagSumIsInt != 0}
+	c.Count = r.varint()
+	c.SumI = r.varint()
+	c.SumF = r.float()
+	if n := r.uvarint(); n > 0 && r.err == nil {
+		if n > uint64(len(r.b)/8) {
+			r.fail()
+			return PartialCell{}
+		}
+		c.SumFParts = make([]float64, n)
+		for i := range c.SumFParts {
+			c.SumFParts[i] = r.float()
+		}
+	}
+	if flags&cellFlagHasMin != 0 {
+		c.Min = r.value()
+	}
+	if flags&cellFlagHasMax != 0 {
+		c.Max = r.value()
+	}
+	if n := r.uvarint(); n > 0 && r.err == nil {
+		c.Sketch = append([]byte(nil), r.take(int(n))...)
+	}
+	return c
+}
+
+// statsCounters snapshots every QueryStats counter in wire order. The
+// order is append-only: add new counters at the end (and mirror them in
+// setStatsCounters) so older decoders skip them and newer decoders
+// zero-fill; TestWireStatsCoversEveryField enforces the mirror.
+func statsCounters(qs *QueryStats) []int64 {
+	return []int64{
+		int64(qs.ChunksTotal),
+		int64(qs.ChunksSkipped),
+		int64(qs.ChunksCached),
+		int64(qs.ChunksScanned),
+		qs.RowsScanned,
+		qs.RowsCached,
+		qs.RowsSkipped,
+		qs.CellsCovered,
+		qs.CellsScanned,
+		int64(qs.ActiveChunks),
+		int64(qs.SkippedChunks),
+		int64(qs.ColdLoads),
+		int64(qs.ColdChunkLoads),
+		int64(qs.ColdDictLoads),
+		qs.ColdBytesLoaded,
+		qs.DiskBytesRead,
+		int64(qs.ChecksumVerified),
+		int64(qs.ChecksumFailed),
+		int64(qs.CacheSkippedChunks),
+		int64(qs.ReadRuns),
+		int64(qs.CoalescedReads),
+		int64(qs.BloomSkippedChunks),
+		int64(qs.KernelChunks),
+		int64(qs.ScalarChunks),
+		qs.RowsTotal,
+		qs.RowsCovered,
+		int64(qs.ShardsMissing),
+	}
+}
+
+// setStatsCounters is the inverse of statsCounters; counters beyond the
+// known list (a newer peer) are ignored, missing ones stay zero.
+func setStatsCounters(qs *QueryStats, vals []int64) {
+	dst := []func(int64){
+		func(v int64) { qs.ChunksTotal = int(v) },
+		func(v int64) { qs.ChunksSkipped = int(v) },
+		func(v int64) { qs.ChunksCached = int(v) },
+		func(v int64) { qs.ChunksScanned = int(v) },
+		func(v int64) { qs.RowsScanned = v },
+		func(v int64) { qs.RowsCached = v },
+		func(v int64) { qs.RowsSkipped = v },
+		func(v int64) { qs.CellsCovered = v },
+		func(v int64) { qs.CellsScanned = v },
+		func(v int64) { qs.ActiveChunks = int(v) },
+		func(v int64) { qs.SkippedChunks = int(v) },
+		func(v int64) { qs.ColdLoads = int(v) },
+		func(v int64) { qs.ColdChunkLoads = int(v) },
+		func(v int64) { qs.ColdDictLoads = int(v) },
+		func(v int64) { qs.ColdBytesLoaded = v },
+		func(v int64) { qs.DiskBytesRead = v },
+		func(v int64) { qs.ChecksumVerified = int(v) },
+		func(v int64) { qs.ChecksumFailed = int(v) },
+		func(v int64) { qs.CacheSkippedChunks = int(v) },
+		func(v int64) { qs.ReadRuns = int(v) },
+		func(v int64) { qs.CoalescedReads = int(v) },
+		func(v int64) { qs.BloomSkippedChunks = int(v) },
+		func(v int64) { qs.KernelChunks = int(v) },
+		func(v int64) { qs.ScalarChunks = int(v) },
+		func(v int64) { qs.RowsTotal = v },
+		func(v int64) { qs.RowsCovered = v },
+		func(v int64) { qs.ShardsMissing = int(v) },
+	}
+	for i, v := range vals {
+		if i >= len(dst) {
+			break
+		}
+		dst[i](v)
+	}
+}

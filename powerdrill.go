@@ -28,6 +28,7 @@ package powerdrill
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"powerdrill/internal/cache"
 	"powerdrill/internal/colstore"
@@ -151,6 +152,12 @@ type Options struct {
 	// detected mismatch fails the read with the file and offset rather
 	// than returning corrupt data. See docs/format.md.
 	DisableChecksumVerify bool
+	// ScrubInterval runs the offline scrub (see Scrub) on this cadence in
+	// the background for stores opened from disk: every checksummed byte
+	// of the directory is re-verified, read-only, while queries continue.
+	// The latest verdict is available from Store.LastScrub and pdserver's
+	// /statz last_scrub section. Default 0 = no background scrubbing.
+	ScrubInterval time.Duration
 
 	// DisableVirtualPersist keeps virtual columns (expressions materialized
 	// at query time) out of the store's on-disk sidecar. By default a store
@@ -199,6 +206,13 @@ type Store struct {
 	ingMu  sync.Mutex
 	ing    *ingest.Writer
 	closed bool
+
+	// Background scrub loop state (see scrub.go); scrubStop is non-nil
+	// while the loop runs.
+	scrubMu   sync.Mutex
+	scrubLast *ScrubStatus
+	scrubStop chan struct{}
+	scrubWG   sync.WaitGroup
 }
 
 // Build imports a raw table.
@@ -299,6 +313,7 @@ func (s *Store) IOStats() (IOStats, bool) { return s.store.IOStats() }
 // append path — seals any buffered rows and stops the background
 // compactor. The store stays usable; a no-op for in-memory stores.
 func (s *Store) Close() error {
+	s.stopScrubLoop()
 	var err error
 	s.ingMu.Lock()
 	if s.ing != nil {
@@ -356,6 +371,9 @@ func Open(dir string, opts Options) (*Store, int64, error) {
 		if _, err := s.ensureWriter(); err != nil {
 			return nil, 0, err
 		}
+	}
+	if opts.ScrubInterval > 0 {
+		s.startScrubLoop(opts.ScrubInterval)
 	}
 	return s, stats.BytesRead, nil
 }

@@ -2,6 +2,7 @@ package powerdrill
 
 import (
 	"errors"
+	"time"
 
 	"powerdrill/internal/ingest"
 )
@@ -34,4 +35,96 @@ func (s *Store) Scrub() (*ScrubReport, error) {
 		return nil, errors.New("powerdrill: scrub requires a store opened from disk (use Open or the package-level Scrub)")
 	}
 	return ingest.ScrubStore(s.dir)
+}
+
+// ScrubStatus summarizes one background scrub pass
+// (Options.ScrubInterval).
+type ScrubStatus struct {
+	// Time is when the pass finished; Elapsed how long it took.
+	Time    time.Time
+	Elapsed time.Duration
+	// Files, Records and Corrupt are the pass totals: files visited,
+	// checksummed records verified clean, files that failed.
+	Files   int
+	Records int
+	Corrupt int
+	// Failures lists the failing files' verdicts ("path: error"), capped
+	// at scrubFailureCap entries.
+	Failures []string
+	// Err is set when the pass itself could not run (the directory walk
+	// failed); the per-file verdicts above are then from no files.
+	Err string
+}
+
+const scrubFailureCap = 8
+
+// LastScrub returns the most recent background scrub verdict; ok is
+// false while no pass has completed (or scrubbing is off).
+func (s *Store) LastScrub() (ScrubStatus, bool) {
+	s.scrubMu.Lock()
+	defer s.scrubMu.Unlock()
+	if s.scrubLast == nil {
+		return ScrubStatus{}, false
+	}
+	return *s.scrubLast, true
+}
+
+// startScrubLoop begins the background cadence: one pass per interval
+// (no immediate pass — an Open should not double its disk traffic), each
+// pass recorded for LastScrub. Close stops the loop.
+func (s *Store) startScrubLoop(interval time.Duration) {
+	stop := make(chan struct{})
+	s.scrubMu.Lock()
+	s.scrubStop = stop
+	s.scrubMu.Unlock()
+	s.scrubWG.Add(1)
+	go func() {
+		defer s.scrubWG.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				s.scrubOnce()
+			}
+		}
+	}()
+}
+
+// scrubOnce runs one pass and records the verdict.
+func (s *Store) scrubOnce() {
+	start := time.Now()
+	status := ScrubStatus{}
+	rep, err := ingest.ScrubStore(s.dir)
+	status.Time = time.Now()
+	status.Elapsed = time.Since(start)
+	if err != nil {
+		status.Err = err.Error()
+	} else {
+		status.Files = len(rep.Files)
+		status.Records = rep.Records
+		status.Corrupt = rep.Corrupt
+		for _, f := range rep.Files {
+			if f.OK() || len(status.Failures) >= scrubFailureCap {
+				continue
+			}
+			status.Failures = append(status.Failures, f.Path+": "+f.Err)
+		}
+	}
+	s.scrubMu.Lock()
+	s.scrubLast = &status
+	s.scrubMu.Unlock()
+}
+
+// stopScrubLoop halts the cadence and waits for an in-flight pass.
+func (s *Store) stopScrubLoop() {
+	s.scrubMu.Lock()
+	if s.scrubStop != nil {
+		close(s.scrubStop)
+		s.scrubStop = nil
+	}
+	s.scrubMu.Unlock()
+	s.scrubWG.Wait()
 }

@@ -1,0 +1,109 @@
+package powerdrill
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// waitScrub polls LastScrub until accept returns true or the deadline
+// passes; background passes run on a ticker, so tests must wait.
+func waitScrub(t *testing.T, s *Store, accept func(ScrubStatus) bool) ScrubStatus {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if ss, ok := s.LastScrub(); ok && accept(ss) {
+			return ss
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	ss, ok := s.LastScrub()
+	t.Fatalf("no acceptable scrub pass before deadline (last=%+v ok=%v)", ss, ok)
+	return ScrubStatus{}
+}
+
+// TestBackgroundScrub: Options.ScrubInterval runs the offline scrub on a
+// cadence against the opened directory, publishing each verdict through
+// LastScrub — clean passes first, then corruption once a byte flips on
+// disk, with queries unaffected throughout.
+func TestBackgroundScrub(t *testing.T) {
+	tbl := GenerateQueryLogs(4000, 11)
+	store, err := Build(tbl, Options{
+		PartitionFields: []string{"country", "table_name"},
+		MaxChunkRows:    500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := store.Save(dir, "zippy"); err != nil {
+		t.Fatal(err)
+	}
+
+	back, _, err := Open(dir, Options{ScrubInterval: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+
+	clean := waitScrub(t, back, func(ss ScrubStatus) bool { return ss.Files > 0 })
+	if clean.Corrupt != 0 || len(clean.Failures) != 0 || clean.Err != "" {
+		t.Fatalf("first pass not clean: %+v", clean)
+	}
+	if clean.Records == 0 {
+		t.Fatalf("clean pass verified no records: %+v", clean)
+	}
+
+	// Flip a byte in one checksummed file; a later pass must name it.
+	rep, err := Scrub(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var target string
+	for _, f := range rep.Files {
+		if f.Records > 0 && f.Bytes > 8 {
+			target = filepath.Join(dir, f.Path)
+			break
+		}
+	}
+	if target == "" {
+		t.Fatal("no checksummed file to corrupt")
+	}
+	blob, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := append([]byte(nil), blob...)
+	corrupt[len(corrupt)/2] ^= 0x20
+	if err := os.WriteFile(target, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := waitScrub(t, back, func(ss ScrubStatus) bool { return ss.Corrupt > 0 })
+	if len(bad.Failures) == 0 {
+		t.Fatalf("corrupt pass lists no failures: %+v", bad)
+	}
+	if !bad.Time.After(clean.Time) {
+		t.Fatalf("corrupt pass not newer than clean pass: %v vs %v", bad.Time, clean.Time)
+	}
+
+	// The scrub is advisory: the already-resident store still answers.
+	if _, err := back.Query(`SELECT country, COUNT(*) FROM data GROUP BY country;`); err != nil {
+		t.Fatalf("query during scrub alarm: %v", err)
+	}
+
+	// Close stops the cadence; the verdict freezes.
+	if err := back.Close(); err != nil {
+		t.Fatal(err)
+	}
+	frozen, ok := back.LastScrub()
+	if !ok {
+		t.Fatal("verdict lost on close")
+	}
+	time.Sleep(60 * time.Millisecond)
+	after, _ := back.LastScrub()
+	if !after.Time.Equal(frozen.Time) {
+		t.Fatal("scrub loop still running after Close")
+	}
+}
